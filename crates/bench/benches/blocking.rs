@@ -1,0 +1,65 @@
+//! E1 (timing side): blocking adaptations over growing datasets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_bench::{experiment_key, workload};
+use probdedup_reduction::{
+    block_alternatives, block_conflict_resolved, block_multipass, cluster_blocking,
+    ClusterBlockingConfig, ConflictResolution, WorldSelection,
+};
+
+fn blocking_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(10);
+    for entities in [250usize, 1000] {
+        let ds = workload(entities);
+        let combined = ds.combined();
+        let tuples = combined.xtuples();
+        let spec = experiment_key();
+        group.bench_with_input(
+            BenchmarkId::new("alternatives", entities),
+            tuples,
+            |b, tuples| b.iter(|| block_alternatives(black_box(tuples), &spec).pairs.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conflict-resolved", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    block_conflict_resolved(
+                        black_box(tuples),
+                        &spec,
+                        ConflictResolution::MostProbableAlternative,
+                    )
+                    .pairs
+                    .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multipass-top3", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    block_multipass(black_box(tuples), &spec, WorldSelection::TopK(3))
+                        .pairs
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cluster-kmeans", entities),
+            tuples,
+            |b, tuples| {
+                let cfg = ClusterBlockingConfig {
+                    k: (tuples.len() / 8).max(2),
+                    ..Default::default()
+                };
+                b.iter(|| cluster_blocking(black_box(tuples), &spec, &cfg).0.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, blocking_variants);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E2 (timing side): similarity-based vs decision-based derivation cost
+//! per x-tuple pair, as the alternative counts grow.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_decision::combine::WeightedSum;
+use probdedup_decision::derive_decision::{ExpectedMatchingResult, MatchingWeightDerivation};
+use probdedup_decision::derive_sim::ExpectedSimilarity;
+use probdedup_decision::threshold::Thresholds;
+use probdedup_decision::xmodel::{
+    DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel,
+};
+use probdedup_matching::matrix::compare_xtuples;
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::schema::Schema;
+use probdedup_model::xtuple::XTuple;
+use probdedup_textsim::NormalizedHamming;
+
+fn xtuple_with_alts(k: usize, tag: char) -> XTuple {
+    let s = Schema::new(["name", "job"]);
+    let mut b = XTuple::builder(&s);
+    let p = 0.95 / k as f64;
+    for i in 0..k {
+        b = b.alt(p, [format!("{tag}name{i:02}"), format!("{tag}job{i:02}")]);
+    }
+    b.build().expect("valid")
+}
+
+fn derivations(c: &mut Criterion) {
+    let s = Schema::new(["name", "job"]);
+    let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+    let phi = Arc::new(WeightedSum::new([0.8, 0.2]).unwrap());
+    let models: Vec<(&str, Arc<dyn XTupleDecisionModel>)> = vec![
+        (
+            "similarity-based",
+            Arc::new(SimilarityBasedModel::new(
+                phi.clone(),
+                Arc::new(ExpectedSimilarity),
+                Thresholds::new(0.4, 0.7).unwrap(),
+            )),
+        ),
+        (
+            "decision-weight",
+            Arc::new(DecisionBasedModel::new(
+                phi.clone(),
+                Thresholds::new(0.4, 0.7).unwrap(),
+                Arc::new(MatchingWeightDerivation::with_cap(1e9)),
+                Thresholds::new(0.5, 2.0).unwrap(),
+            )),
+        ),
+        (
+            "decision-expected-eta",
+            Arc::new(DecisionBasedModel::new(
+                phi,
+                Thresholds::new(0.4, 0.7).unwrap(),
+                Arc::new(ExpectedMatchingResult::new()),
+                Thresholds::new(0.9, 1.7).unwrap(),
+            )),
+        ),
+    ];
+    let mut group = c.benchmark_group("derivation");
+    for k in [2usize, 4, 8] {
+        let t1 = xtuple_with_alts(k, 'x');
+        let t2 = xtuple_with_alts(k, 'y');
+        let matrix = compare_xtuples(&t1, &t2, &cmp);
+        for (name, model) in &models {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{k}x{k}")),
+                model,
+                |bench, model| {
+                    bench.iter(|| model.decide(black_box(&t1), black_box(&t2), black_box(&matrix)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, derivations);
+criterion_main!(benches);

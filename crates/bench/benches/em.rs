@@ -1,0 +1,33 @@
+//! E5 (timing side): EM estimation cost vs number of patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_decision::em::{fit_em, EmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_patterns(n: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (m, u) = ([0.95, 0.9, 0.85, 0.8], [0.05, 0.1, 0.15, 0.2]);
+    (0..n)
+        .map(|_| {
+            let is_match = rng.random::<f64>() < 0.15;
+            let params = if is_match { &m } else { &u };
+            params.iter().map(|&q| rng.random::<f64>() < q).collect()
+        })
+        .collect()
+}
+
+fn em_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fit");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let patterns = sample_patterns(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, p| {
+            b.iter(|| fit_em(black_box(p), &EmConfig::default()).unwrap().iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, em_fit);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E4: cost of probabilistic attribute matching — Eq. 5 vs support size,
+//! and the k×l comparison matrix vs alternative counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_matching::matrix::compare_xtuples;
+use probdedup_matching::pvalue_sim::pvalue_similarity;
+use probdedup_matching::value_cmp::ValueComparator;
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::pvalue::PValue;
+use probdedup_model::schema::Schema;
+use probdedup_model::xtuple::XTuple;
+use probdedup_textsim::NormalizedHamming;
+
+/// A categorical value with `n` string alternatives.
+fn pvalue_with_support(n: usize, tag: char) -> PValue {
+    let p = 0.95 / n as f64;
+    PValue::categorical((0..n).map(|i| (format!("{tag}value{i:03}"), p))).expect("valid")
+}
+
+fn eq5_vs_support(c: &mut Criterion) {
+    let cmp = ValueComparator::text(NormalizedHamming::new());
+    let mut group = c.benchmark_group("eq5_support");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let a = pvalue_with_support(n, 'a');
+        let b = pvalue_with_support(n, 'b');
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| pvalue_similarity(black_box(&a), black_box(&b), &cmp))
+        });
+    }
+    group.finish();
+}
+
+/// An x-tuple with `k` certain alternatives.
+fn xtuple_with_alts(k: usize, tag: char) -> XTuple {
+    let s = Schema::new(["name", "job"]);
+    let mut b = XTuple::builder(&s);
+    let p = 0.95 / k as f64;
+    for i in 0..k {
+        b = b.alt(p, [format!("{tag}name{i:02}"), format!("{tag}job{i:02}")]);
+    }
+    b.build().expect("valid")
+}
+
+fn matrix_vs_alternatives(c: &mut Criterion) {
+    let s = Schema::new(["name", "job"]);
+    let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+    let mut group = c.benchmark_group("comparison_matrix");
+    for k in [1usize, 2, 4, 8] {
+        let t1 = xtuple_with_alts(k, 'x');
+        let t2 = xtuple_with_alts(k, 'y');
+        group.bench_with_input(BenchmarkId::new("kxk", k), &k, |bench, _| {
+            bench.iter(|| compare_xtuples(black_box(&t1), black_box(&t2), &cmp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, eq5_vs_support, matrix_vs_alternatives);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E1 (timing side): the four SNM adaptations over growing datasets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_bench::{experiment_key, workload};
+use probdedup_reduction::{
+    conflict_resolved_snm, multipass_snm, ranked_snm, sorting_alternatives, ConflictResolution,
+    RankingFunction, WorldSelection,
+};
+
+fn snm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snm");
+    group.sample_size(10);
+    for entities in [250usize, 1000] {
+        let ds = workload(entities);
+        let combined = ds.combined();
+        let tuples = combined.xtuples();
+        let spec = experiment_key();
+        group.bench_with_input(
+            BenchmarkId::new("multipass-top3", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    multipass_snm(black_box(tuples), &spec, 6, WorldSelection::TopK(3))
+                        .pairs
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multipass-diverse3", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    multipass_snm(
+                        black_box(tuples),
+                        &spec,
+                        6,
+                        WorldSelection::DiverseTopK { k: 3, pool: 16 },
+                    )
+                    .pairs
+                    .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conflict-resolved", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    conflict_resolved_snm(
+                        black_box(tuples),
+                        &spec,
+                        6,
+                        ConflictResolution::MostProbableAlternative,
+                    )
+                    .0
+                    .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorting-alternatives", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| sorting_alternatives(black_box(tuples), &spec, 6).pairs.len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ranked-expected-score", entities),
+            tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    ranked_snm(black_box(tuples), &spec, 6, RankingFunction::ExpectedScore)
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, snm_variants);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E6: throughput of the string-similarity kernels (the inner loop of
+//! Eq. 5 — everything else multiplies its cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_textsim::{
+    DamerauLevenshtein, Jaro, JaroWinkler, Lcs, Levenshtein, MongeElkan, NormalizedHamming,
+    ProfileSimilarity, QGram, SoundexComparator, StringComparator, TokenJaccard,
+};
+
+fn kernel_throughput(c: &mut Criterion) {
+    let pairs: Vec<(&str, &str)> = vec![
+        ("Tim", "Kim"),
+        ("machinist", "mechanic"),
+        ("Johannes", "Johanes"),
+        ("confectioner", "confectionist"),
+        ("a longer string with several words", "another long string with words"),
+    ];
+    let kernels: Vec<Box<dyn StringComparator>> = vec![
+        Box::new(NormalizedHamming::new()),
+        Box::new(Levenshtein::new()),
+        Box::new(DamerauLevenshtein::new()),
+        Box::new(Jaro::new()),
+        Box::new(JaroWinkler::new()),
+        Box::new(QGram::bigram(ProfileSimilarity::Dice)),
+        Box::new(QGram::trigram(ProfileSimilarity::Jaccard)),
+        Box::new(Lcs::new()),
+        Box::new(SoundexComparator::strict()),
+        Box::new(MongeElkan::jaro_winkler()),
+        Box::new(TokenJaccard::new()),
+    ];
+    let mut group = c.benchmark_group("textsim");
+    for k in &kernels {
+        group.bench_with_input(BenchmarkId::from_parameter(k.name()), k, |b, k| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (x, y) in &pairs {
+                    acc += k.similarity(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_throughput);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E3 (timing side): possible-world machinery — enumeration, top-k
+//! selection, and conditioning.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_model::schema::Schema;
+use probdedup_model::world::{enumerate_worlds, top_k_worlds, world_count};
+use probdedup_model::xtuple::XTuple;
+
+fn tuples_with_alternatives(n_tuples: usize, alts: usize) -> Vec<XTuple> {
+    let s = Schema::new(["name", "job"]);
+    (0..n_tuples)
+        .map(|t| {
+            let mut b = XTuple::builder(&s);
+            let p = 0.95 / alts as f64;
+            for a in 0..alts {
+                b = b.alt(p, [format!("n{t}a{a}"), format!("j{t}a{a}")]);
+            }
+            b.build().expect("valid")
+        })
+        .collect()
+}
+
+fn enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_enumeration");
+    for (n, alts) in [(4usize, 2usize), (6, 2), (4, 3), (8, 2)] {
+        let ts = tuples_with_alternatives(n, alts);
+        let count = world_count(&ts);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}tuples_{alts}alts_{count}worlds")),
+            &ts,
+            |bench, ts| bench.iter(|| enumerate_worlds(black_box(ts), u128::MAX).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+fn top_k(c: &mut Criterion) {
+    // Top-k must beat full enumeration on large spaces: 12 tuples × 3
+    // alternatives ≈ 5.3 × 10⁵ full worlds, but top-8 touches only a
+    // frontier.
+    let ts = tuples_with_alternatives(12, 3);
+    let mut group = c.benchmark_group("world_top_k");
+    for k in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| top_k_worlds(black_box(&ts), k, true).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, enumeration, top_k);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Shared fixtures and workloads for the benchmark harness and the
+//! `experiments` binary.
+//!
+//! The paper fixtures (ℛ1/ℛ2/ℛ3/ℛ4 and the example keys) live in
+//! `probdedup::paper`; this crate adds the synthetic workloads used by the
+//! quantitative experiments E1–E6 of DESIGN.md, with fixed seeds so bench
+//! and experiment outputs are reproducible run to run.
+
+use std::sync::Arc;
+
+use probdedup_core::pipeline::{DedupPipeline, ReductionStrategy};
+use probdedup_core::prepare::Preparation;
+use probdedup_datagen::{generate, DatasetConfig, Dictionaries, SyntheticDataset};
+use probdedup_decision::combine::WeightedSum;
+use probdedup_decision::derive_sim::ExpectedSimilarity;
+use probdedup_decision::threshold::Thresholds;
+use probdedup_decision::xmodel::{SimilarityBasedModel, XTupleDecisionModel};
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_reduction::{KeyPart, KeySpec};
+use probdedup_textsim::JaroWinkler;
+
+/// The fixed workload seed.
+pub const SEED: u64 = 20100301; // ICDE 2010 workshop week
+
+/// A standard synthetic workload with `entities` ground-truth entities
+/// across two sources (see `DatasetConfig` for the dirt profile).
+pub fn workload(entities: usize) -> SyntheticDataset {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities,
+            sources: 2,
+            presence_rate: 0.85,
+            extra_copy_rate: 0.1,
+            typo_rate: 0.25,
+            uncertainty_rate: 0.35,
+            xtuple_rate: 0.25,
+            maybe_rate: 0.2,
+            seed: SEED,
+            ..DatasetConfig::default()
+        },
+    )
+}
+
+/// The standard sorting/blocking key of the experiments: name prefix 3 +
+/// city prefix 2 (city is less typo-prone than job in the generator).
+pub fn experiment_key() -> KeySpec {
+    KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)])
+}
+
+/// Attribute weights used across the experiments.
+pub fn experiment_weights() -> WeightedSum {
+    WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).expect("static weights")
+}
+
+/// The standard similarity-based decision model (thresholds tuned on the
+/// workload; see tests/pipeline_end_to_end.rs).
+pub fn experiment_model() -> Arc<dyn XTupleDecisionModel> {
+    Arc::new(SimilarityBasedModel::new(
+        Arc::new(experiment_weights()),
+        Arc::new(ExpectedSimilarity),
+        Thresholds::new(0.72, 0.82).expect("static thresholds"),
+    ))
+}
+
+/// A ready pipeline over the workload schema with the given reduction.
+pub fn experiment_pipeline(reduction: ReductionStrategy, threads: usize) -> DedupPipeline {
+    experiment_pipeline_cached(reduction, threads, false)
+}
+
+/// [`experiment_pipeline`] with the similarity cache toggled explicitly
+/// (the cache ablation of the pipeline bench).
+pub fn experiment_pipeline_cached(
+    reduction: ReductionStrategy,
+    threads: usize,
+    cache: bool,
+) -> DedupPipeline {
+    let ds = workload(1); // only for the schema
+    DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&ds.schema, JaroWinkler::new()))
+        .model(experiment_model())
+        .reduction(reduction)
+        .threads(threads)
+        .cache_similarities(cache)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let a = workload(50);
+        let b = workload(50);
+        assert_eq!(a.total_rows(), b.total_rows());
+        assert_eq!(a.combined().xtuples(), b.combined().xtuples());
+    }
+
+    #[test]
+    fn pipeline_smoke() {
+        let ds = workload(30);
+        let sources: Vec<&probdedup_model::relation::XRelation> =
+            ds.relations.iter().collect();
+        let result = experiment_pipeline(ReductionStrategy::Full, 2)
+            .run(&sources)
+            .expect("run");
+        assert!(result.candidates > 0);
+    }
+}

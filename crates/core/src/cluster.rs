@@ -1,0 +1,138 @@
+//! Union-find for transitive closure of matches: the final merge step of
+//! entity resolution (the paper cites the merge/purge formulation \[19\]).
+
+/// Disjoint-set forest with path compression and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// All clusters of size ≥ `min_size`, each sorted ascending; clusters
+    /// ordered by their smallest member (deterministic).
+    pub fn clusters(&mut self, min_size: usize) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root
+            .into_values()
+            .filter(|c| c.len() >= min_size)
+            .collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitive_closure() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        let clusters = uf.clusters(2);
+        assert_eq!(clusters, vec![vec![0, 1, 2]]);
+        let all = uf.clusters(1);
+        assert_eq!(all, vec![vec![0, 1, 2], vec![3], vec![4], vec![5]]);
+    }
+
+    #[test]
+    fn equivalence_relation_laws() {
+        let mut uf = UnionFind::new(10);
+        for (a, b) in [(0, 5), (5, 9), (2, 3)] {
+            uf.union(a, b);
+        }
+        // Reflexive.
+        for x in 0..10 {
+            assert!(uf.connected(x, x));
+        }
+        // Symmetric.
+        assert_eq!(uf.connected(0, 9), uf.connected(9, 0));
+        // Transitive.
+        assert!(uf.connected(0, 9));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.clusters(1).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, n - 1));
+        assert_eq!(uf.clusters(2).len(), 1);
+        assert_eq!(uf.clusters(2)[0].len(), n);
+    }
+}

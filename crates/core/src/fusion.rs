@@ -1,0 +1,106 @@
+//! Minimal data fusion (step (d) of the integration process, Section I):
+//! combine two x-tuples judged to be duplicates into one representation.
+//!
+//! The paper defers fusion of probabilistic data to future work; we ship
+//! the natural baseline: an **equal-weight mixture** of the two tuples'
+//! conditioned alternative distributions. Identical alternatives merge
+//! (their masses add), so two records that agree end up *more* certain —
+//! the behaviour one wants from corroborating sources.
+
+use probdedup_model::xtuple::{XAlternative, XTuple};
+
+/// Fuse two x-tuples (assumed duplicates) into one.
+///
+/// * Each input's alternatives are conditioned on existence
+///   (`p(tⁱ)/p(t)`), then mixed with weight ½ each.
+/// * Alternatives with identical values merge by adding probabilities.
+/// * The fused membership probability is the **maximum** of the inputs —
+///   evidence that the entity exists in either source supports existence.
+pub fn fuse_xtuples(a: &XTuple, b: &XTuple) -> XTuple {
+    let membership = a.probability().max(b.probability());
+    let mut merged: Vec<(Vec<probdedup_model::pvalue::PValue>, f64)> = Vec::new();
+    for (t, weight) in [(a, 0.5), (b, 0.5)] {
+        for (alt, cond_p) in t.conditioned() {
+            let mass = weight * cond_p * membership;
+            match merged.iter_mut().find(|(vals, _)| vals == alt.values()) {
+                Some((_, p)) => *p += mass,
+                None => merged.push((alt.values().to_vec(), mass)),
+            }
+        }
+    }
+    let alternatives: Vec<XAlternative> = merged
+        .into_iter()
+        .map(|(values, p)| XAlternative::new(values, p).expect("mixture mass is valid"))
+        .collect();
+    XTuple::new(alternatives).expect("non-empty mixture")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_model::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(["name", "job"])
+    }
+
+    #[test]
+    fn agreeing_tuples_become_more_certain() {
+        let s = schema();
+        let a = XTuple::builder(&s)
+            .alt(0.6, ["John", "pilot"])
+            .alt(0.4, ["Jon", "pilot"])
+            .build()
+            .unwrap();
+        let b = XTuple::builder(&s)
+            .alt(0.9, ["John", "pilot"])
+            .alt(0.1, ["Johan", "pilot"])
+            .build()
+            .unwrap();
+        let fused = fuse_xtuples(&a, &b);
+        // (John, pilot) mass: 0.5·0.6 + 0.5·0.9 = 0.75.
+        let john = fused
+            .alternatives()
+            .iter()
+            .find(|alt| alt.value(0).alternatives()[0].0.render() == "John")
+            .unwrap();
+        assert!((john.probability() - 0.75).abs() < 1e-12);
+        assert_eq!(fused.len(), 3);
+        assert!((fused.probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn membership_takes_the_maximum() {
+        let s = schema();
+        let a = XTuple::builder(&s).alt(0.3, ["Tim", "baker"]).build().unwrap();
+        let b = XTuple::builder(&s).alt(0.8, ["Tim", "baker"]).build().unwrap();
+        let fused = fuse_xtuples(&a, &b);
+        assert!((fused.probability() - 0.8).abs() < 1e-12);
+        // Identical alternative merged into one.
+        assert_eq!(fused.len(), 1);
+    }
+
+    #[test]
+    fn fusion_is_symmetric() {
+        let s = schema();
+        let a = XTuple::builder(&s)
+            .alt(0.5, ["A", "x"])
+            .alt(0.5, ["B", "y"])
+            .build()
+            .unwrap();
+        let b = XTuple::builder(&s).alt(1.0, ["C", "z"]).build().unwrap();
+        let ab = fuse_xtuples(&a, &b);
+        let ba = fuse_xtuples(&b, &a);
+        assert!((ab.probability() - ba.probability()).abs() < 1e-12);
+        assert_eq!(ab.len(), ba.len());
+        // Same alternative masses regardless of order.
+        for alt in ab.alternatives() {
+            let twin = ba
+                .alternatives()
+                .iter()
+                .find(|o| o.values() == alt.values())
+                .expect("alternative present in both");
+            assert!((alt.probability() - twin.probability()).abs() < 1e-12);
+        }
+    }
+}

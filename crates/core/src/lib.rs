@@ -1,0 +1,32 @@
+//! The end-to-end duplicate-detection pipeline for probabilistic data —
+//! the five-step process of Section III of Panse et al. (ICDE 2010),
+//! assembled from the workspace crates:
+//!
+//! 1. **Data preparation** ([`prepare`]) — standardize attribute value
+//!    distributions (case, whitespace, diacritics, replacements).
+//! 2. **Search-space reduction** ([`pipeline::ReductionStrategy`]) — any of
+//!    the paper's SNM/blocking adaptations, or the full quadratic scan.
+//! 3. **Attribute value matching** — comparison matrices via
+//!    `probdedup-matching` (Eq. 5 per attribute).
+//! 4. **Decision model** — any [`XTupleDecisionModel`] (similarity-based or
+//!    decision-based derivation, Fig. 6).
+//! 5. **Verification** — hooks into `probdedup-eval` (the
+//!    [`pipeline::DedupResult`] exposes everything the metrics need).
+//!
+//! Beyond the paper's determined process, [`prob_result`] implements the
+//! conclusion's outlook: emitting the *uncertainty of the dedup decision
+//! itself* as probabilistic data (mutually exclusive sets of tuples).
+//!
+//! [`XTupleDecisionModel`]: probdedup_decision::xmodel::XTupleDecisionModel
+
+pub mod cluster;
+pub mod fusion;
+pub mod pipeline;
+pub mod prepare;
+pub mod prob_result;
+
+pub use cluster::UnionFind;
+pub use fusion::fuse_xtuples;
+pub use pipeline::{DedupPipeline, DedupResult, PairDecision, ReductionStrategy};
+pub use prepare::Preparation;
+pub use prob_result::{probabilistic_result, ProbabilisticResult};

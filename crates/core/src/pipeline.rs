@@ -1,0 +1,634 @@
+//! The [`DedupPipeline`]: preparation → reduction → matching → decision →
+//! clustering, over one or more probabilistic source relations.
+
+use std::sync::Arc;
+
+use probdedup_decision::threshold::MatchClass;
+use probdedup_decision::xmodel::XTupleDecisionModel;
+use probdedup_matching::matrix::compare_xtuples;
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::error::ModelError;
+use probdedup_model::ids::{SourceId, TupleHandle};
+use probdedup_model::relation::XRelation;
+use probdedup_reduction::{
+    block_alternatives, block_conflict_resolved, block_multipass, cluster_blocking,
+    conflict_resolved_snm, multipass_snm, ranked_snm, sorting_alternatives, CandidatePairs,
+    ClusterBlockingConfig, ConflictResolution, KeySpec, RankingFunction, WorldSelection,
+};
+
+use crate::cluster::UnionFind;
+use crate::prepare::Preparation;
+
+/// Which search-space reduction runs before matching.
+#[derive(Clone)]
+pub enum ReductionStrategy {
+    /// All `n·(n−1)/2` pairs (the baseline the paper calls "mostly too
+    /// inefficient" — correct but quadratic).
+    Full,
+    /// Multi-pass SNM over possible worlds (Section V-A.1).
+    MultipassWorlds {
+        /// Sorting key.
+        spec: KeySpec,
+        /// SNM window size.
+        window: usize,
+        /// World selection policy.
+        selection: WorldSelection,
+    },
+    /// SNM over conflict-resolved certain keys (Section V-A.2).
+    ConflictResolved {
+        /// Sorting key.
+        spec: KeySpec,
+        /// SNM window size.
+        window: usize,
+        /// Conflict-resolution strategy.
+        strategy: ConflictResolution,
+    },
+    /// Sorting alternatives (Section V-A.3).
+    SortingAlternatives {
+        /// Sorting key.
+        spec: KeySpec,
+        /// SNM window size.
+        window: usize,
+    },
+    /// Uncertain keys + probabilistic ranking (Section V-A.4).
+    RankedKeys {
+        /// Sorting key.
+        spec: KeySpec,
+        /// SNM window size.
+        window: usize,
+        /// Ranking semantics.
+        ranking: RankingFunction,
+    },
+    /// Blocking with per-alternative keys (Section V-B, Fig. 14).
+    BlockingAlternatives {
+        /// Blocking key.
+        spec: KeySpec,
+    },
+    /// Blocking with conflict-resolved keys (Section V-B).
+    BlockingConflictResolved {
+        /// Blocking key.
+        spec: KeySpec,
+        /// Conflict-resolution strategy.
+        strategy: ConflictResolution,
+    },
+    /// Multi-pass blocking over selected worlds (Section V-B).
+    BlockingMultipass {
+        /// Blocking key.
+        spec: KeySpec,
+        /// World selection policy.
+        selection: WorldSelection,
+    },
+    /// Clustering of uncertain keys (Section V-B, UK-means style).
+    ClusterBlocking {
+        /// Blocking key.
+        spec: KeySpec,
+        /// Clustering configuration.
+        config: ClusterBlockingConfig,
+    },
+}
+
+impl ReductionStrategy {
+    fn candidates(&self, tuples: &[probdedup_model::xtuple::XTuple]) -> CandidatePairs {
+        match self {
+            Self::Full => {
+                let mut pairs = CandidatePairs::new(tuples.len());
+                for i in 0..tuples.len() {
+                    for j in (i + 1)..tuples.len() {
+                        pairs.insert(i, j);
+                    }
+                }
+                pairs
+            }
+            Self::MultipassWorlds {
+                spec,
+                window,
+                selection,
+            } => multipass_snm(tuples, spec, *window, *selection).pairs,
+            Self::ConflictResolved {
+                spec,
+                window,
+                strategy,
+            } => conflict_resolved_snm(tuples, spec, *window, *strategy).0,
+            Self::SortingAlternatives { spec, window } => {
+                sorting_alternatives(tuples, spec, *window).pairs
+            }
+            Self::RankedKeys {
+                spec,
+                window,
+                ranking,
+            } => ranked_snm(tuples, spec, *window, *ranking).0,
+            Self::BlockingAlternatives { spec } => block_alternatives(tuples, spec).pairs,
+            Self::BlockingConflictResolved { spec, strategy } => {
+                block_conflict_resolved(tuples, spec, *strategy).pairs
+            }
+            Self::BlockingMultipass { spec, selection } => {
+                block_multipass(tuples, spec, *selection).pairs
+            }
+            Self::ClusterBlocking { spec, config } => cluster_blocking(tuples, spec, config).0,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Full => "full",
+            Self::MultipassWorlds { .. } => "snm-multipass",
+            Self::ConflictResolved { .. } => "snm-conflict-resolved",
+            Self::SortingAlternatives { .. } => "snm-alternatives",
+            Self::RankedKeys { .. } => "snm-ranked",
+            Self::BlockingAlternatives { .. } => "blocking-alternatives",
+            Self::BlockingConflictResolved { .. } => "blocking-conflict-resolved",
+            Self::BlockingMultipass { .. } => "blocking-multipass",
+            Self::ClusterBlocking { .. } => "blocking-cluster",
+        }
+    }
+}
+
+/// The decision recorded for one compared candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairDecision {
+    /// Row indices into the combined relation, `i < j`.
+    pub pair: (usize, usize),
+    /// The derived similarity degree.
+    pub similarity: f64,
+    /// The matching value η.
+    pub class: MatchClass,
+}
+
+/// Result of a pipeline run over the **combined** relation (all sources
+/// concatenated; [`DedupResult::handle`] maps rows back to sources).
+#[derive(Debug, Clone)]
+pub struct DedupResult {
+    /// The prepared combined relation the decisions refer to.
+    pub relation: XRelation,
+    /// Row offset where each source starts in the combined relation.
+    pub source_offsets: Vec<usize>,
+    /// Number of candidate pairs compared.
+    pub candidates: usize,
+    /// Every compared pair with its decision, in candidate order.
+    pub decisions: Vec<PairDecision>,
+    /// Duplicate clusters (transitive closure of matches), size ≥ 2.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl DedupResult {
+    /// Pairs classified as matches.
+    pub fn matches(&self) -> impl Iterator<Item = &PairDecision> {
+        self.decisions
+            .iter()
+            .filter(|d| d.class == MatchClass::Match)
+    }
+
+    /// Pairs classified as possible matches (clerical review).
+    pub fn possible_matches(&self) -> impl Iterator<Item = &PairDecision> {
+        self.decisions
+            .iter()
+            .filter(|d| d.class == MatchClass::Possible)
+    }
+
+    /// Canonical match-pair set (for the eval crate).
+    pub fn match_pair_set(&self) -> std::collections::HashSet<(usize, usize)> {
+        self.matches().map(|d| d.pair).collect()
+    }
+
+    /// Map a combined row index back to its source handle.
+    pub fn handle(&self, row: usize) -> TupleHandle {
+        let source = self
+            .source_offsets
+            .partition_point(|&off| off <= row)
+            .saturating_sub(1);
+        TupleHandle {
+            source: SourceId(source as u16),
+            row: (row - self.source_offsets[source]) as u32,
+        }
+    }
+}
+
+/// The configured pipeline. Build with [`DedupPipeline::builder`].
+#[derive(Clone)]
+pub struct DedupPipeline {
+    preparation: Preparation,
+    reduction: ReductionStrategy,
+    comparators: AttributeComparators,
+    model: Arc<dyn XTupleDecisionModel>,
+    threads: usize,
+    cache_similarities: bool,
+}
+
+/// Builder for [`DedupPipeline`].
+pub struct DedupPipelineBuilder {
+    preparation: Preparation,
+    reduction: ReductionStrategy,
+    comparators: Option<AttributeComparators>,
+    model: Option<Arc<dyn XTupleDecisionModel>>,
+    threads: usize,
+    cache_similarities: bool,
+}
+
+impl DedupPipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> DedupPipelineBuilder {
+        DedupPipelineBuilder {
+            preparation: Preparation::new(),
+            reduction: ReductionStrategy::Full,
+            comparators: None,
+            model: None,
+            threads: 1,
+            cache_similarities: false,
+        }
+    }
+
+    /// Run over one or more source relations (schemas must be
+    /// structurally compatible).
+    pub fn run(&self, sources: &[&XRelation]) -> Result<DedupResult, ModelError> {
+        // 0. Combine sources.
+        let mut combined = match sources.first() {
+            Some(first) => XRelation::new(first.schema().clone()),
+            None => {
+                return Ok(DedupResult {
+                    relation: XRelation::new(probdedup_model::schema::Schema::new(
+                        Vec::<String>::new(),
+                    )),
+                    source_offsets: vec![],
+                    candidates: 0,
+                    decisions: vec![],
+                    clusters: vec![],
+                })
+            }
+        };
+        let mut source_offsets = Vec::with_capacity(sources.len());
+        for src in sources {
+            if !combined.schema().compatible_with(src.schema()) {
+                return Err(ModelError::IncompatibleSchemas);
+            }
+            source_offsets.push(combined.len());
+            for t in src.xtuples() {
+                combined.push(t.clone());
+            }
+        }
+
+        // 1. Preparation.
+        self.preparation.apply(&mut combined);
+
+        // 2. Search-space reduction.
+        let candidates = self.reduction.candidates(combined.xtuples());
+
+        // 3+4. Matching + decision, parallel over candidate chunks. The
+        // optional similarity cache is shared across threads (interior
+        // mutex; kernel evaluations dominate lock cost).
+        let tuples = combined.xtuples();
+        let pairs = candidates.pairs();
+        let caches = self
+            .cache_similarities
+            .then(|| self.comparators.to_cached());
+        let threads = self.threads.clamp(1, pairs.len().max(1));
+        let decisions: Vec<PairDecision> = if threads == 1 || pairs.len() < 64 {
+            self.decide_chunk(tuples, pairs, caches.as_deref())
+        } else {
+            let chunk_size = pairs.len().div_ceil(threads);
+            let mut out: Vec<Vec<PairDecision>> = Vec::new();
+            let caches_ref = caches.as_deref();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(move |_| self.decide_chunk(tuples, chunk, caches_ref)))
+                    .collect();
+                out = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect();
+            })
+            .expect("scope");
+            out.concat()
+        };
+
+        // 5. Transitive closure of matches.
+        let mut uf = UnionFind::new(combined.len());
+        for d in decisions.iter().filter(|d| d.class == MatchClass::Match) {
+            uf.union(d.pair.0, d.pair.1);
+        }
+        let clusters = uf.clusters(2);
+
+        Ok(DedupResult {
+            relation: combined,
+            source_offsets,
+            candidates: pairs.len(),
+            decisions,
+            clusters,
+        })
+    }
+
+    fn decide_chunk(
+        &self,
+        tuples: &[probdedup_model::xtuple::XTuple],
+        pairs: &[(usize, usize)],
+        caches: Option<&[probdedup_matching::cache::CachedComparator]>,
+    ) -> Vec<PairDecision> {
+        pairs
+            .iter()
+            .map(|&(i, j)| {
+                let matrix = match caches {
+                    Some(c) => {
+                        probdedup_matching::matrix::compare_xtuples_cached(
+                            &tuples[i], &tuples[j], c,
+                        )
+                    }
+                    None => compare_xtuples(&tuples[i], &tuples[j], &self.comparators),
+                };
+                let d = self.model.decide(&tuples[i], &tuples[j], &matrix);
+                PairDecision {
+                    pair: (i, j),
+                    similarity: d.similarity,
+                    class: d.class,
+                }
+            })
+            .collect()
+    }
+}
+
+impl DedupPipelineBuilder {
+    /// Set the preparation plan (default: none).
+    pub fn preparation(mut self, p: Preparation) -> Self {
+        self.preparation = p;
+        self
+    }
+
+    /// Set the reduction strategy (default: full comparison).
+    pub fn reduction(mut self, r: ReductionStrategy) -> Self {
+        self.reduction = r;
+        self
+    }
+
+    /// Set the per-attribute value comparators (required).
+    pub fn comparators(mut self, c: AttributeComparators) -> Self {
+        self.comparators = Some(c);
+        self
+    }
+
+    /// Set the x-tuple decision model (required).
+    pub fn model(mut self, m: Arc<dyn XTupleDecisionModel>) -> Self {
+        self.model = Some(m);
+        self
+    }
+
+    /// Number of comparison threads (default 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Memoize value-pair similarities across all comparisons of a run
+    /// (default off). Pays off when the same strings recur across many
+    /// candidate pairs — i.e. almost always on real data.
+    pub fn cache_similarities(mut self, on: bool) -> Self {
+        self.cache_similarities = on;
+        self
+    }
+
+    /// Finish; panics if comparators or model are missing (programming
+    /// error, not data error).
+    pub fn build(self) -> DedupPipeline {
+        DedupPipeline {
+            preparation: self.preparation,
+            reduction: self.reduction,
+            comparators: self.comparators.expect("comparators are required"),
+            model: self.model.expect("a decision model is required"),
+            threads: self.threads,
+            cache_similarities: self.cache_similarities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_decision::combine::WeightedSum;
+    use probdedup_decision::derive_sim::ExpectedSimilarity;
+    use probdedup_decision::threshold::Thresholds;
+    use probdedup_decision::xmodel::SimilarityBasedModel;
+    use probdedup_model::schema::Schema;
+    use probdedup_model::xtuple::XTuple;
+    use probdedup_textsim::NormalizedHamming;
+
+    fn schema() -> Schema {
+        Schema::new(["name", "job"])
+    }
+
+    fn model() -> Arc<dyn XTupleDecisionModel> {
+        Arc::new(SimilarityBasedModel::new(
+            Arc::new(WeightedSum::new([0.8, 0.2]).unwrap()),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.6, 0.8).unwrap(),
+        ))
+    }
+
+    fn pipeline(reduction: ReductionStrategy) -> DedupPipeline {
+        DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .model(model())
+            .reduction(reduction)
+            .build()
+    }
+
+    fn r3() -> XRelation {
+        let s = schema();
+        let mut r = XRelation::new(s.clone());
+        r.push(XTuple::builder(&s).alt(1.0, ["John", "pilot"]).build().unwrap());
+        r.push(XTuple::builder(&s).alt(0.9, ["Tim", "mechanic"]).build().unwrap());
+        r
+    }
+
+    fn r4() -> XRelation {
+        let s = schema();
+        let mut r = XRelation::new(s.clone());
+        r.push(XTuple::builder(&s).alt(0.8, ["John", "pilot"]).build().unwrap());
+        r.push(XTuple::builder(&s).alt(1.0, ["Tom", "mechanic"]).build().unwrap());
+        r
+    }
+
+    #[test]
+    fn end_to_end_two_sources() {
+        let (a, b) = (r3(), r4());
+        let result = pipeline(ReductionStrategy::Full).run(&[&a, &b]).unwrap();
+        assert_eq!(result.relation.len(), 4);
+        assert_eq!(result.candidates, 6);
+        // (John,pilot) × (John,pilot) across sources is a match despite the
+        // differing membership probabilities.
+        let matches: Vec<(usize, usize)> = result.matches().map(|d| d.pair).collect();
+        assert!(matches.contains(&(0, 2)));
+        // Tim/Tom mechanic: sim = 0.8·(2/3) + 0.2·1 = 0.733 → possible.
+        let possibles: Vec<(usize, usize)> =
+            result.possible_matches().map(|d| d.pair).collect();
+        assert!(possibles.contains(&(1, 3)));
+        // Clusters: the John pair.
+        assert_eq!(result.clusters, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn handles_map_back_to_sources() {
+        let (a, b) = (r3(), r4());
+        let result = pipeline(ReductionStrategy::Full).run(&[&a, &b]).unwrap();
+        assert_eq!(result.handle(0), TupleHandle::new(0, 0));
+        assert_eq!(result.handle(1), TupleHandle::new(0, 1));
+        assert_eq!(result.handle(2), TupleHandle::new(1, 0));
+        assert_eq!(result.handle(3), TupleHandle::new(1, 1));
+    }
+
+    #[test]
+    fn reduction_strategies_run_end_to_end() {
+        let (a, b) = (r3(), r4());
+        let spec = KeySpec::paper_example(0, 1);
+        let strategies = vec![
+            ReductionStrategy::MultipassWorlds {
+                spec: spec.clone(),
+                window: 2,
+                selection: WorldSelection::TopK(3),
+            },
+            ReductionStrategy::ConflictResolved {
+                spec: spec.clone(),
+                window: 2,
+                strategy: ConflictResolution::MostProbableAlternative,
+            },
+            ReductionStrategy::SortingAlternatives {
+                spec: spec.clone(),
+                window: 2,
+            },
+            ReductionStrategy::RankedKeys {
+                spec: spec.clone(),
+                window: 2,
+                ranking: RankingFunction::MostProbableKey,
+            },
+            ReductionStrategy::BlockingAlternatives { spec: spec.clone() },
+            ReductionStrategy::BlockingConflictResolved {
+                spec: spec.clone(),
+                strategy: ConflictResolution::MostProbableAlternative,
+            },
+            ReductionStrategy::BlockingMultipass {
+                spec: spec.clone(),
+                selection: WorldSelection::TopK(2),
+            },
+            ReductionStrategy::ClusterBlocking {
+                spec,
+                config: ClusterBlockingConfig {
+                    k: 2,
+                    ..Default::default()
+                },
+            },
+        ];
+        let full = pipeline(ReductionStrategy::Full).run(&[&a, &b]).unwrap();
+        for strat in strategies {
+            let name = strat.name();
+            let result = pipeline(strat).run(&[&a, &b]).unwrap();
+            assert!(result.candidates <= full.candidates, "{name}");
+            // Matches under a reduced candidate set are a subset of the
+            // full-comparison matches.
+            let full_set = full.match_pair_set();
+            for m in result.match_pair_set() {
+                assert!(full_set.contains(&m), "{name} invented match {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (a, b) = (r3(), r4());
+        // Force multiple rows so parallelism kicks in.
+        let mut big_a = XRelation::new(schema());
+        for _ in 0..30 {
+            for t in a.xtuples() {
+                big_a.push(t.clone());
+            }
+        }
+        let seq = pipeline(ReductionStrategy::Full).run(&[&big_a, &b]).unwrap();
+        let par = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .model(model())
+            .threads(4)
+            .build()
+            .run(&[&big_a, &b])
+            .unwrap();
+        assert_eq!(seq.decisions.len(), par.decisions.len());
+        for (s, p) in seq.decisions.iter().zip(&par.decisions) {
+            assert_eq!(s.pair, p.pair);
+            assert!((s.similarity - p.similarity).abs() < 1e-15);
+            assert_eq!(s.class, p.class);
+        }
+    }
+
+    #[test]
+    fn cached_run_matches_uncached() {
+        let (a, b) = (r3(), r4());
+        let mut big = XRelation::new(schema());
+        for _ in 0..40 {
+            for t in a.xtuples() {
+                big.push(t.clone());
+            }
+        }
+        let base = pipeline(ReductionStrategy::Full).run(&[&big, &b]).unwrap();
+        let cached = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .model(model())
+            .cache_similarities(true)
+            .threads(4)
+            .build()
+            .run(&[&big, &b])
+            .unwrap();
+        assert_eq!(base.decisions.len(), cached.decisions.len());
+        for (x, y) in base.decisions.iter().zip(&cached.decisions) {
+            assert_eq!(x.pair, y.pair);
+            assert!((x.similarity - y.similarity).abs() < 1e-15);
+            assert_eq!(x.class, y.class);
+        }
+    }
+
+    #[test]
+    fn incompatible_schemas_rejected() {
+        let a = r3();
+        let b = XRelation::new(Schema::new(["solo"]));
+        assert!(matches!(
+            pipeline(ReductionStrategy::Full).run(&[&a, &b]),
+            Err(ModelError::IncompatibleSchemas)
+        ));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let result = pipeline(ReductionStrategy::Full).run(&[]).unwrap();
+        assert_eq!(result.candidates, 0);
+        let empty = XRelation::new(schema());
+        let result = pipeline(ReductionStrategy::Full).run(&[&empty]).unwrap();
+        assert_eq!(result.candidates, 0);
+        assert!(result.clusters.is_empty());
+    }
+
+    #[test]
+    fn preparation_feeds_matching() {
+        let s = schema();
+        let mut a = XRelation::new(s.clone());
+        a.push(XTuple::builder(&s).alt(1.0, ["  JOHN ", "PILOT"]).build().unwrap());
+        let mut b = XRelation::new(s.clone());
+        b.push(XTuple::builder(&s).alt(1.0, ["john", "pilot"]).build().unwrap());
+        let with_prep = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &s,
+                NormalizedHamming::new(),
+            ))
+            .model(model())
+            .preparation(Preparation::standard_all(2))
+            .build()
+            .run(&[&a, &b])
+            .unwrap();
+        assert_eq!(with_prep.matches().count(), 1);
+        let without = pipeline(ReductionStrategy::Full).run(&[&a, &b]).unwrap();
+        assert_eq!(without.matches().count(), 0);
+    }
+}

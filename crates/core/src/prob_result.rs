@@ -1,0 +1,226 @@
+//! Probabilistic dedup results — the paper's concluding outlook made
+//! concrete: *"any kind of uncertainty arising in the duplicate detection
+//! process (e.g., two tuples are duplicates with only a less confidence)
+//! can be directly modeled in the resulting data by creating mutually
+//! exclusive sets of tuples."*
+//!
+//! For every **possible match** the pipeline could not decide, the result
+//! relation carries the merged tuple *and* both originals, bound by an
+//! [`AlternativeSets`] constraint: with probability `c` (the match
+//! confidence) the merged tuple exists, with `1 − c` the two originals do.
+
+use probdedup_decision::threshold::MatchClass;
+use probdedup_model::lineage::AlternativeSets;
+use probdedup_model::relation::XRelation;
+
+use crate::fusion::fuse_xtuples;
+use crate::pipeline::DedupResult;
+
+/// A result relation with mutually-exclusive-set constraints.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticResult {
+    /// All undisputed rows, plus merged rows for matches, plus
+    /// merged-or-originals triples for possible matches.
+    pub relation: XRelation,
+    /// One constraint per possible match.
+    pub constraints: Vec<AlternativeSets>,
+}
+
+/// Map a similarity degree into a match confidence in `[0, 1]`. Normalized
+/// degrees pass through; non-normalized ones (matching weights in `[0,∞)`)
+/// are squashed with `w / (1 + w)`.
+fn confidence(similarity: f64, normalized: bool) -> f64 {
+    if normalized {
+        similarity.clamp(0.0, 1.0)
+    } else if similarity.is_infinite() {
+        1.0
+    } else {
+        (similarity / (1.0 + similarity)).clamp(0.0, 1.0)
+    }
+}
+
+/// Build the probabilistic result of a pipeline run.
+///
+/// * Matched clusters collapse into one fused row.
+/// * Possible matches become three rows (merged with `p = c`, both
+///   originals scaled by `1 − c`) under one [`AlternativeSets`] constraint.
+///   A row involved in several possible matches keeps only its
+///   highest-confidence constraint (DAG lineage is out of scope — exactly
+///   the ULDB capability the paper says the target model must provide).
+/// * Everything else is copied through.
+///
+/// `normalized_scores` states whether the decision model's similarity is
+/// normalized (certainty factors) or a matching weight.
+pub fn probabilistic_result(result: &DedupResult, normalized_scores: bool) -> ProbabilisticResult {
+    let n = result.relation.len();
+    let mut out = XRelation::new(result.relation.schema().clone());
+    let mut constraints = Vec::new();
+
+    // Rows consumed by a match cluster.
+    let mut in_cluster = vec![false; n];
+    for cluster in &result.clusters {
+        for &r in cluster {
+            in_cluster[r] = true;
+        }
+    }
+    // Best possible-match partner per row (highest confidence wins).
+    let mut best_possible: Vec<Option<(usize, f64)>> = vec![None; n];
+    for d in result
+        .decisions
+        .iter()
+        .filter(|d| d.class == MatchClass::Possible)
+    {
+        let (i, j) = d.pair;
+        if in_cluster[i] || in_cluster[j] {
+            continue; // already decided via a hard match
+        }
+        let c = confidence(d.similarity, normalized_scores);
+        for (a, b) in [(i, j), (j, i)] {
+            let better = best_possible[a].is_none_or(|(_, old)| c > old);
+            if better {
+                best_possible[a] = Some((b, c));
+            }
+        }
+    }
+
+    // Emit fused rows for match clusters.
+    for cluster in &result.clusters {
+        let mut fused = result.relation.get(cluster[0]).expect("row").clone();
+        for &r in &cluster[1..] {
+            fused = fuse_xtuples(&fused, result.relation.get(r).expect("row"));
+        }
+        out.push(fused);
+    }
+
+    // Emit possible-match triples (only for mutually-best pairs, so each
+    // row joins at most one constraint) and plain rows.
+    let mut emitted = in_cluster.clone();
+    for i in 0..n {
+        if emitted[i] {
+            continue;
+        }
+        if let Some((j, c)) = best_possible[i] {
+            let mutual = best_possible[j] == Some((i, c)) || best_possible[j].map(|(p, _)| p) == Some(i);
+            if mutual && !emitted[j] {
+                let ti = result.relation.get(i).expect("row").clone();
+                let tj = result.relation.get(j).expect("row").clone();
+                let merged_row = out.len();
+                let merged = scale_xtuple(&fuse_xtuples(&ti, &tj), c);
+                out.push(merged);
+                let row_i = out.len();
+                out.push(scale_xtuple(&ti, 1.0 - c));
+                let row_j = out.len();
+                out.push(scale_xtuple(&tj, 1.0 - c));
+                let mut sets = AlternativeSets::new();
+                sets.add_option(vec![merged_row], c).expect("c ∈ [0,1]");
+                sets.add_option(vec![row_i, row_j], 1.0 - c)
+                    .expect("1 − c ∈ [0,1]");
+                constraints.push(sets);
+                emitted[i] = true;
+                emitted[j] = true;
+                continue;
+            }
+        }
+        out.push(result.relation.get(i).expect("row").clone());
+        emitted[i] = true;
+    }
+
+    ProbabilisticResult {
+        relation: out,
+        constraints,
+    }
+}
+
+/// Scale an x-tuple's membership by `factor` (keeping the conditional
+/// alternative distribution). A factor of 0 would produce an invalid
+/// tuple; it is clamped to a tiny positive mass instead.
+fn scale_xtuple(t: &probdedup_model::xtuple::XTuple, factor: f64) -> probdedup_model::xtuple::XTuple {
+    use probdedup_model::xtuple::{XAlternative, XTuple};
+    let factor = factor.max(1e-9);
+    let alts: Vec<XAlternative> = t
+        .alternatives()
+        .iter()
+        .map(|a| {
+            XAlternative::new(a.values().to_vec(), a.probability() * factor)
+                .expect("scaled mass valid")
+        })
+        .collect();
+    XTuple::new(alts).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{DedupPipeline, ReductionStrategy};
+    use probdedup_decision::combine::WeightedSum;
+    use probdedup_decision::derive_sim::ExpectedSimilarity;
+    use probdedup_decision::threshold::Thresholds;
+    use probdedup_decision::xmodel::SimilarityBasedModel;
+    use probdedup_matching::vector::AttributeComparators;
+    use probdedup_model::schema::Schema;
+    use probdedup_model::xtuple::XTuple;
+    use probdedup_textsim::NormalizedHamming;
+    use std::sync::Arc;
+
+    fn run(rows: &[(&str, &str)]) -> DedupResult {
+        let s = Schema::new(["name", "job"]);
+        let mut r = XRelation::new(s.clone());
+        for (n, j) in rows {
+            r.push(XTuple::builder(&s).alt(1.0, [*n, *j]).build().unwrap());
+        }
+        DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(&s, NormalizedHamming::new()))
+            .model(Arc::new(SimilarityBasedModel::new(
+                Arc::new(WeightedSum::new([0.8, 0.2]).unwrap()),
+                Arc::new(ExpectedSimilarity),
+                Thresholds::new(0.6, 0.95).unwrap(),
+            )))
+            .reduction(ReductionStrategy::Full)
+            .build()
+            .run(&[&r])
+            .unwrap()
+    }
+
+    #[test]
+    fn possible_match_becomes_alternative_sets() {
+        // Tim/Tom mechanic: sim ≈ 0.73 → possible under (0.6, 0.95).
+        let result = run(&[("Tim", "mechanic"), ("Tom", "mechanic")]);
+        assert_eq!(result.possible_matches().count(), 1);
+        let pr = probabilistic_result(&result, true);
+        // merged + two scaled originals.
+        assert_eq!(pr.relation.len(), 3);
+        assert_eq!(pr.constraints.len(), 1);
+        pr.constraints[0].validate(&pr.relation).unwrap();
+        let c = pr.constraints[0].options()[0].1;
+        assert!((0.6..0.95).contains(&c), "confidence = {c}");
+        // Merged row's membership equals the confidence.
+        assert!((pr.relation.get(0).unwrap().probability() - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hard_matches_fuse_without_constraints() {
+        let result = run(&[("John", "pilot"), ("John", "pilot"), ("Zed", "baker")]);
+        assert_eq!(result.clusters.len(), 1);
+        let pr = probabilistic_result(&result, true);
+        // fused row + Zed.
+        assert_eq!(pr.relation.len(), 2);
+        assert!(pr.constraints.is_empty());
+    }
+
+    #[test]
+    fn unrelated_rows_copied_through() {
+        let result = run(&[("Aaa", "xx"), ("Zzz", "qq")]);
+        let pr = probabilistic_result(&result, true);
+        assert_eq!(pr.relation.len(), 2);
+        assert!(pr.constraints.is_empty());
+    }
+
+    #[test]
+    fn weight_scores_are_squashed() {
+        assert_eq!(confidence(f64::INFINITY, false), 1.0);
+        assert!((confidence(1.0, false) - 0.5).abs() < 1e-12);
+        assert!((confidence(3.0, false) - 0.75).abs() < 1e-12);
+        assert_eq!(confidence(0.7, true), 0.7);
+        assert_eq!(confidence(1.7, true), 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the pipeline's building blocks: union-find laws,
+//! fusion conservation, and probabilistic-result validity.
+
+use proptest::prelude::*;
+
+use probdedup_core::cluster::UnionFind;
+use probdedup_core::fusion::fuse_xtuples;
+use probdedup_model::schema::Schema;
+use probdedup_model::xtuple::XTuple;
+
+fn arb_xtuple() -> impl Strategy<Value = XTuple> {
+    proptest::collection::vec(("[a-c]{1,3}", "[x-z]{1,3}", 1u32..40), 1..4).prop_map(|alts| {
+        let total: u32 = alts.iter().map(|(_, _, w)| *w).sum();
+        let denom = f64::from(total) * 1.15;
+        let s = Schema::new(["name", "job"]);
+        let mut b = XTuple::builder(&s);
+        for (n, j, w) in alts {
+            b = b.alt(f64::from(w) / denom, [n, j]);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Union-find implements an equivalence relation closed under the
+    /// given unions.
+    #[test]
+    fn union_find_equivalence(
+        n in 2usize..40,
+        unions in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        let mut uf = UnionFind::new(n);
+        let mut reference: Vec<usize> = (0..n).collect(); // naive labels
+        for &(a, b) in &unions {
+            let (a, b) = (a % n, b % n);
+            uf.union(a, b);
+            let (la, lb) = (reference[a], reference[b]);
+            if la != lb {
+                for l in reference.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    uf.connected(i, j),
+                    reference[i] == reference[j],
+                    "disagreement on ({}, {})", i, j
+                );
+            }
+        }
+        // Clusters partition 0..n.
+        let clusters = uf.clusters(1);
+        let mut seen = vec![false; n];
+        for c in &clusters {
+            for &x in c {
+                prop_assert!(!std::mem::replace(&mut seen[x], true));
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Fusion conserves mass: the fused alternatives' probabilities sum to
+    /// the fused membership, which is the max of the inputs'.
+    #[test]
+    fn fusion_mass_conservation(a in arb_xtuple(), b in arb_xtuple()) {
+        let fused = fuse_xtuples(&a, &b);
+        let expected_membership = a.probability().max(b.probability());
+        prop_assert!((fused.probability() - expected_membership).abs() < 1e-9);
+        let alt_sum: f64 = fused.alternatives().iter().map(|x| x.probability()).sum();
+        prop_assert!((alt_sum - expected_membership).abs() < 1e-9);
+    }
+
+    /// Fusion is symmetric up to alternative order.
+    #[test]
+    fn fusion_symmetry(a in arb_xtuple(), b in arb_xtuple()) {
+        let ab = fuse_xtuples(&a, &b);
+        let ba = fuse_xtuples(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for alt in ab.alternatives() {
+            let twin = ba
+                .alternatives()
+                .iter()
+                .find(|o| o.values() == alt.values());
+            prop_assert!(twin.is_some(), "missing alternative in reverse fusion");
+            prop_assert!((alt.probability() - twin.unwrap().probability()).abs() < 1e-9);
+        }
+    }
+
+    /// Fusing a tuple with itself yields the same conditional distribution
+    /// (idempotence up to membership). Compared on aggregated per-row
+    /// masses: the input may itself contain identical-valued alternatives,
+    /// which fusion legitimately merges.
+    #[test]
+    fn fusion_self_idempotent(a in arb_xtuple()) {
+        let fused = fuse_xtuples(&a, &a);
+        prop_assert!(fused.len() <= a.len());
+        let aggregate = |t: &XTuple| {
+            let mut rows: Vec<(Vec<probdedup_model::pvalue::PValue>, f64)> = Vec::new();
+            for (alt, w) in t.conditioned() {
+                match rows.iter_mut().find(|(v, _)| v == alt.values()) {
+                    Some((_, mass)) => *mass += w,
+                    None => rows.push((alt.values().to_vec(), w)),
+                }
+            }
+            rows
+        };
+        let orig = aggregate(&a);
+        let out = aggregate(&fused);
+        prop_assert_eq!(orig.len(), out.len());
+        for (values, mass) in &orig {
+            let twin = out.iter().find(|(v, _)| v == values);
+            prop_assert!(twin.is_some(), "row lost by self-fusion");
+            prop_assert!((twin.unwrap().1 - mass).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The error model: typographic and OCR-style corruption of string values.
+//!
+//! Section III of the paper lists the dirt duplicate detection must
+//! tolerate: "missing data, typos, data obsolescence or misspellings".
+//! [`Corruptor`] injects exactly these, with keyboard-adjacent
+//! substitutions and OCR confusions so the errors look like real ones
+//! (edit distance 1–2 from the truth, mostly).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Corruption intensity knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Expected number of typo operations applied to a corrupted string.
+    pub typo_ops: f64,
+    /// Probability that a corruption uses an OCR confusion table instead of
+    /// a keyboard-adjacent substitution.
+    pub ocr_rate: f64,
+    /// Probability of truncating the string (dropping a suffix), modelling
+    /// abbreviations ("Timothy" → "Tim").
+    pub truncate_rate: f64,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        Self {
+            typo_ops: 1.3,
+            ocr_rate: 0.2,
+            truncate_rate: 0.1,
+        }
+    }
+}
+
+/// A seeded string corruptor.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    config: CorruptionConfig,
+}
+
+/// Keyboard neighbourhoods (QWERTY, lowercase).
+fn keyboard_neighbors(c: char) -> &'static str {
+    match c.to_ascii_lowercase() {
+        'q' => "wa",
+        'w' => "qes",
+        'e' => "wrd",
+        'r' => "etf",
+        't' => "ryg",
+        'y' => "tuh",
+        'u' => "yij",
+        'i' => "uok",
+        'o' => "ipl",
+        'p' => "ol",
+        'a' => "qsz",
+        's' => "awdx",
+        'd' => "sefc",
+        'f' => "drgv",
+        'g' => "fthb",
+        'h' => "gyjn",
+        'j' => "hukm",
+        'k' => "jil",
+        'l' => "kop",
+        'z' => "asx",
+        'x' => "zsdc",
+        'c' => "xdfv",
+        'v' => "cfgb",
+        'b' => "vghn",
+        'n' => "bhjm",
+        'm' => "njk",
+        _ => "aeiou",
+    }
+}
+
+/// OCR confusion pairs (visually similar glyphs).
+fn ocr_confusion(c: char) -> Option<char> {
+    Some(match c {
+        'o' => '0',
+        '0' => 'o',
+        'l' => '1',
+        '1' => 'l',
+        'i' => 'l',
+        's' => '5',
+        '5' => 's',
+        'b' => '6',
+        'g' => '9',
+        'e' => 'c',
+        'c' => 'e',
+        'u' => 'v',
+        'v' => 'u',
+        'm' => 'n',
+        'n' => 'm',
+        _ => return None,
+    })
+}
+
+impl Corruptor {
+    /// A corruptor with the given intensity.
+    pub fn new(config: CorruptionConfig) -> Self {
+        Self { config }
+    }
+
+    /// Apply one random typo operation.
+    fn typo_once(&self, s: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return "x".to_string();
+        }
+        let mut out = chars.clone();
+        match rng.random_range(0..4u8) {
+            // substitution (keyboard-adjacent or OCR)
+            0 => {
+                let i = rng.random_range(0..out.len());
+                let c = out[i];
+                let replacement = if rng.random::<f64>() < self.config.ocr_rate {
+                    ocr_confusion(c)
+                } else {
+                    None
+                };
+                out[i] = replacement.unwrap_or_else(|| {
+                    let pool = keyboard_neighbors(c);
+                    let pick = pool
+                        .chars()
+                        .nth(rng.random_range(0..pool.chars().count()))
+                        .expect("non-empty pool");
+                    if c.is_uppercase() {
+                        pick.to_ascii_uppercase()
+                    } else {
+                        pick
+                    }
+                });
+            }
+            // insertion
+            1 => {
+                let i = rng.random_range(0..=out.len());
+                let base = out[i.min(out.len() - 1)];
+                let pool = keyboard_neighbors(base);
+                let pick = pool
+                    .chars()
+                    .nth(rng.random_range(0..pool.chars().count()))
+                    .expect("non-empty pool");
+                out.insert(i, pick);
+            }
+            // deletion
+            2 => {
+                if out.len() > 1 {
+                    let i = rng.random_range(0..out.len());
+                    out.remove(i);
+                }
+            }
+            // adjacent transposition
+            _ => {
+                if out.len() > 1 {
+                    let i = rng.random_range(0..out.len() - 1);
+                    out.swap(i, i + 1);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Corrupt `s`: possibly truncate, then apply a geometric number of
+    /// typo operations (at least one, so the output differs from the input
+    /// with high probability).
+    pub fn corrupt(&self, s: &str, rng: &mut StdRng) -> String {
+        let mut out = s.to_string();
+        if rng.random::<f64>() < self.config.truncate_rate {
+            let len = out.chars().count();
+            if len > 3 {
+                let keep = rng.random_range(3..len);
+                out = out.chars().take(keep).collect();
+            }
+        }
+        let mut ops = 1;
+        while rng.random::<f64>() < (self.config.typo_ops - 1.0).clamp(0.0, 0.95) / self.config.typo_ops.max(1.0)
+        {
+            ops += 1;
+            if ops >= 4 {
+                break;
+            }
+        }
+        for _ in 0..ops {
+            out = self.typo_once(&out, rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corruption_changes_strings_mostly() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut changed = 0;
+        for _ in 0..200 {
+            if c.corrupt("machinist", &mut rng) != "machinist" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 180, "only {changed}/200 corrupted");
+    }
+
+    #[test]
+    fn corruption_stays_near_the_original() {
+        let c = Corruptor::new(CorruptionConfig {
+            typo_ops: 1.0,
+            ocr_rate: 0.0,
+            truncate_rate: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let out = c.corrupt("confectioner", &mut rng);
+            let dist = levenshtein(&out, "confectioner");
+            assert!(dist <= 2, "{out} too far (d = {dist})");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(c.corrupt("Johannes", &mut r1), c.corrupt("Johannes", &mut r2));
+        }
+    }
+
+    #[test]
+    fn empty_and_short_inputs_survive() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let out = c.corrupt("", &mut rng);
+            assert!(!out.is_empty() || out.is_empty()); // must not panic
+            let out = c.corrupt("a", &mut rng);
+            assert!(!out.is_empty());
+        }
+    }
+
+    /// Plain Levenshtein for the distance assertion (kept local to avoid a
+    /// dev-dependency cycle with textsim).
+    fn levenshtein(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=bv.len()).collect();
+        let mut curr = vec![0; bv.len() + 1];
+        for (i, ca) in av.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, cb) in bv.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[bv.len()]
+    }
+}

@@ -1,0 +1,123 @@
+//! Value dictionaries for entity sampling.
+//!
+//! The default dictionaries describe people (first names, occupations,
+//! cities) — the domain of the paper's examples. Custom dictionaries turn
+//! the same generator into other domains (the astronomy example builds a
+//! star-catalog dictionary, mirroring the paper's motivating scenario of
+//! unifying data from different space telescopes).
+
+/// The value pools the generator samples entities from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionaries {
+    /// Person (or object) names.
+    pub names: Vec<String>,
+    /// Occupations (or classes).
+    pub jobs: Vec<String>,
+    /// Cities (or regions).
+    pub cities: Vec<String>,
+}
+
+impl Dictionaries {
+    /// Build from string slices.
+    pub fn new<S: AsRef<str>>(names: &[S], jobs: &[S], cities: &[S]) -> Self {
+        let collect = |xs: &[S]| xs.iter().map(|s| s.as_ref().to_string()).collect();
+        Self {
+            names: collect(names),
+            jobs: collect(jobs),
+            cities: collect(cities),
+        }
+    }
+
+    /// The default people dictionaries (names/occupations/cities).
+    pub fn people() -> Self {
+        Self::new(&FIRST_NAMES, &OCCUPATIONS, &CITIES)
+    }
+}
+
+/// First names: a mix of similar clusters (Tim/Tom/Jim/Kim, John/Johan/Jon)
+/// so that realistic near-duplicates occur, as in the paper's figures.
+pub const FIRST_NAMES: [&str; 96] = [
+    "Tim", "Tom", "Jim", "Kim", "Timothy", "Thomas", "James", "Jimmy",
+    "John", "Johan", "Jon", "Johannes", "Jonathan", "Johnny", "Jan", "Sean",
+    "Shaun", "Shane", "Ian", "Juan", "Maurice", "Morris", "Maureen", "Mauro",
+    "Fabian", "Fabio", "Fabrice", "Norbert", "Robert", "Rupert", "Roberta",
+    "Albert", "Alberta", "Gilbert", "Herbert", "Hubert", "Ander", "Anders",
+    "Andre", "Andrea", "Andreas", "Andrew", "Anna", "Anne", "Hanna",
+    "Hannah", "Johanna", "Joanna", "Joan", "Jane", "Janet", "Janine", "Nina",
+    "Tina", "Gina", "Lina", "Mina", "Maria", "Marie", "Mario", "Marion",
+    "Marian", "Martin", "Martina", "Marta", "Martha", "Matthew", "Matthias",
+    "Mathias", "Mia", "Lea", "Leah", "Lena", "Elena", "Helena", "Helene",
+    "Peter", "Petra", "Paul", "Paula", "Pablo", "Carl", "Karl", "Carla",
+    "Karla", "Clara", "Klara", "Laura", "Lara", "Sara", "Sarah", "Zara",
+    "Eric", "Erik", "Erika", "Erica",
+];
+
+/// Occupations, again with confusable clusters (machinist/mechanic/
+/// mechanist, baker/banker, confectioner/confectionist).
+pub const OCCUPATIONS: [&str; 72] = [
+    "machinist", "mechanic", "mechanist", "engineer", "engraver", "baker",
+    "banker", "barber", "butcher", "confectioner", "confectionist", "pilot",
+    "pianist", "painter", "printer", "plumber", "carpenter", "cartographer",
+    "musician", "museum guide", "mustard maker", "teacher", "preacher",
+    "researcher", "astronomer", "astrologer", "gastronomer", "nurse",
+    "doctor", "docker", "driver", "diver", "designer", "miner", "milner",
+    "miller", "tailor", "sailor", "jailor", "farmer", "framer", "firefighter",
+    "lighthouse keeper", "bookkeeper", "beekeeper", "librarian", "veterinarian",
+    "electrician", "optician", "physician", "physicist", "chemist", "cellist",
+    "violinist", "machine operator", "crane operator", "radio operator",
+    "welder", "wielder", "winemaker", "watchmaker", "matchmaker", "shoemaker",
+    "glassblower", "glazier", "grazier", "potter", "porter", "waiter",
+    "writer", "rider", "roofer",
+];
+
+/// City names with confusable pairs.
+pub const CITIES: [&str; 48] = [
+    "Hamburg", "Homburg", "Hamm", "Enschede", "Eindhoven", "Essen",
+    "Amsterdam", "Rotterdam", "Potsdam", "Berlin", "Bern", "Bremen",
+    "Dresden", "Dreden", "Leiden", "Leuven", "London", "Londonderry",
+    "Paris", "Pisa", "Prague", "Vienna", "Venice", "Verona", "Munich",
+    "Zurich", "Zwolle", "Utrecht", "Antwerp", "Ghent", "Groningen",
+    "Goettingen", "Tuebingen", "Heidelberg", "Freiburg", "Fribourg",
+    "Strasbourg", "Salzburg", "Stuttgart", "Frankfurt", "Dortmund",
+    "Duisburg", "Dusseldorf", "Cologne", "Bonn", "Basel", "Kassel", "Kiel",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dictionaries_are_nonempty_and_unique() {
+        let d = Dictionaries::people();
+        for (name, pool) in [
+            ("names", &d.names),
+            ("jobs", &d.jobs),
+            ("cities", &d.cities),
+        ] {
+            assert!(pool.len() >= 40, "{name} too small");
+            let mut sorted = pool.clone();
+            sorted.sort();
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(sorted.len(), before, "{name} contains duplicates");
+        }
+    }
+
+    #[test]
+    fn confusable_clusters_present() {
+        let d = Dictionaries::people();
+        for needle in ["Tim", "Tom", "Jim", "Kim", "John", "Johan"] {
+            assert!(d.names.iter().any(|n| n == needle), "{needle} missing");
+        }
+        for needle in ["machinist", "mechanic", "confectioner", "musician"] {
+            assert!(d.jobs.iter().any(|j| j == needle), "{needle} missing");
+        }
+    }
+
+    #[test]
+    fn custom_dictionaries() {
+        let d = Dictionaries::new(&["NGC-1", "NGC-2"], &["galaxy"], &["north"]);
+        assert_eq!(d.names.len(), 2);
+        assert_eq!(d.jobs, vec!["galaxy"]);
+    }
+}

@@ -1,0 +1,378 @@
+//! The dataset generator: entities → dirty, uncertain x-relations +
+//! ground truth.
+
+use probdedup_model::pvalue::PValue;
+use probdedup_model::relation::XRelation;
+use probdedup_model::schema::{AttrType, Schema};
+use probdedup_model::value::Value;
+use probdedup_model::xtuple::XTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corrupt::{CorruptionConfig, Corruptor};
+use crate::dict::Dictionaries;
+use crate::truth::GroundTruth;
+
+/// Generator configuration. All rates are probabilities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of ground-truth entities.
+    pub entities: usize,
+    /// Number of source relations (≥ 1).
+    pub sources: usize,
+    /// Probability that an entity is present in a given source.
+    pub presence_rate: f64,
+    /// Probability of an additional copy within the same source
+    /// (intra-source duplicates; applied repeatedly, geometric).
+    pub extra_copy_rate: f64,
+    /// Probability that an attribute value of a duplicate record is
+    /// corrupted (typos/OCR/truncation).
+    pub typo_rate: f64,
+    /// Probability that the job/city of a record is missing (⊥).
+    pub missing_rate: f64,
+    /// Probability that an attribute value becomes an uncertain
+    /// distribution instead of a certain value.
+    pub uncertainty_rate: f64,
+    /// Given an uncertain value, probability that the *true* value is in
+    /// its support (otherwise only corrupted variants are).
+    pub truth_in_support_rate: f64,
+    /// Probability that a record becomes a multi-alternative x-tuple.
+    pub xtuple_rate: f64,
+    /// Probability that a record is a maybe tuple (`p(t) < 1`).
+    pub maybe_rate: f64,
+    /// String corruption intensity.
+    pub corruption: CorruptionConfig,
+    /// RNG seed: identical configs ⇒ identical datasets.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            entities: 500,
+            sources: 2,
+            presence_rate: 0.8,
+            extra_copy_rate: 0.15,
+            typo_rate: 0.3,
+            missing_rate: 0.05,
+            uncertainty_rate: 0.4,
+            truth_in_support_rate: 0.9,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            corruption: CorruptionConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// A generated dataset: the per-source x-relations, plus ground truth over
+/// the combined (concatenated) row space.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// One x-relation per source.
+    pub relations: Vec<XRelation>,
+    /// Ground truth over the combined rows (sources concatenated in order).
+    pub truth: GroundTruth,
+    /// The schema shared by all sources.
+    pub schema: Schema,
+}
+
+impl SyntheticDataset {
+    /// Concatenate all sources into one x-relation (row order matches the
+    /// ground truth).
+    pub fn combined(&self) -> XRelation {
+        let mut out = XRelation::new(self.schema.clone());
+        for r in &self.relations {
+            for t in r.xtuples() {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Total rows across sources.
+    pub fn total_rows(&self) -> usize {
+        self.relations.iter().map(XRelation::len).sum()
+    }
+}
+
+/// The ground-truth record of one entity.
+#[derive(Debug, Clone)]
+struct Entity {
+    name: String,
+    job: String,
+    city: String,
+    age: i64,
+}
+
+fn sample_entity(dict: &Dictionaries, rng: &mut StdRng) -> Entity {
+    Entity {
+        name: dict.names[rng.random_range(0..dict.names.len())].clone(),
+        job: dict.jobs[rng.random_range(0..dict.jobs.len())].clone(),
+        city: dict.cities[rng.random_range(0..dict.cities.len())].clone(),
+        age: rng.random_range(18..90),
+    }
+}
+
+/// The schema of generated datasets: `(name, job, city, age)`.
+pub fn dataset_schema() -> Schema {
+    Schema::with_types([
+        ("name", AttrType::Text),
+        ("job", AttrType::Text),
+        ("city", AttrType::Text),
+        ("age", AttrType::Int),
+    ])
+}
+
+/// Build one (possibly uncertain) string attribute value.
+fn string_value(
+    truth: &str,
+    cfg: &DatasetConfig,
+    corruptor: &Corruptor,
+    can_be_missing: bool,
+    rng: &mut StdRng,
+) -> PValue {
+    if can_be_missing && rng.random::<f64>() < cfg.missing_rate {
+        return PValue::null();
+    }
+    // The value the source observed (possibly corrupted).
+    let observed = if rng.random::<f64>() < cfg.typo_rate {
+        corruptor.corrupt(truth, rng)
+    } else {
+        truth.to_string()
+    };
+    if rng.random::<f64>() >= cfg.uncertainty_rate {
+        return PValue::certain(observed);
+    }
+    // Uncertain value: 2–3 alternatives with random weights; total mass may
+    // stay below 1 (residual = "something else entirely", i.e. ⊥-leaning
+    // extraction confidence).
+    let n_alts = rng.random_range(2..=3usize);
+    let include_truth = rng.random::<f64>() < cfg.truth_in_support_rate;
+    let mut support: Vec<String> = Vec::with_capacity(n_alts);
+    if include_truth {
+        support.push(truth.to_string());
+    }
+    if !support.contains(&observed) {
+        support.push(observed.clone());
+    }
+    while support.len() < n_alts {
+        let variant = corruptor.corrupt(truth, rng);
+        if !support.contains(&variant) {
+            support.push(variant);
+        } else {
+            break; // corruption collided; accept a smaller support
+        }
+    }
+    let total_mass = 0.85 + rng.random::<f64>() * 0.15; // in [0.85, 1)
+    let mut weights: Vec<f64> = (0..support.len()).map(|_| rng.random::<f64>() + 0.2).collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w = *w / wsum * total_mass;
+    }
+    PValue::categorical(support.into_iter().zip(weights))
+        .expect("generated mass ≤ 1 by construction")
+}
+
+/// Build one record (x-tuple) describing `entity`.
+fn record_for(
+    entity: &Entity,
+    cfg: &DatasetConfig,
+    corruptor: &Corruptor,
+    rng: &mut StdRng,
+) -> XTuple {
+    let schema = dataset_schema();
+    let make_row = |rng: &mut StdRng| -> Vec<PValue> {
+        vec![
+            string_value(&entity.name, cfg, corruptor, false, rng),
+            string_value(&entity.job, cfg, corruptor, true, rng),
+            string_value(&entity.city, cfg, corruptor, true, rng),
+            // Ages drift by ±1 occasionally (obsolescence).
+            PValue::certain(Value::Int(
+                entity.age + i64::from(rng.random::<f64>() < 0.1) * rng.random_range(-1..=1),
+            )),
+        ]
+    };
+    let membership = if rng.random::<f64>() < cfg.maybe_rate {
+        0.5 + rng.random::<f64>() * 0.45
+    } else {
+        1.0
+    };
+    if rng.random::<f64>() < cfg.xtuple_rate {
+        // Correlated row variants as alternatives.
+        let k = rng.random_range(2..=3usize);
+        let mut weights: Vec<f64> = (0..k).map(|_| rng.random::<f64>() + 0.2).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut b = XTuple::builder(&schema);
+        for w in weights.iter_mut() {
+            *w = *w / wsum * membership;
+        }
+        for &w in &weights {
+            b = b.alt_pvalues(w, make_row(rng));
+        }
+        b.build().expect("valid generated x-tuple")
+    } else {
+        XTuple::builder(&schema)
+            .alt_pvalues(membership, make_row(rng))
+            .build()
+            .expect("valid generated tuple")
+    }
+}
+
+/// Generate a dataset from dictionaries and a configuration.
+pub fn generate(dict: &Dictionaries, cfg: &DatasetConfig) -> SyntheticDataset {
+    assert!(cfg.sources >= 1, "need at least one source");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let corruptor = Corruptor::new(cfg.corruption);
+    let schema = dataset_schema();
+    let entities: Vec<Entity> = (0..cfg.entities)
+        .map(|_| sample_entity(dict, &mut rng))
+        .collect();
+
+    let mut relations: Vec<XRelation> = (0..cfg.sources)
+        .map(|_| XRelation::new(schema.clone()))
+        .collect();
+    // (source, entity) emission plan, then ground truth in combined order.
+    let mut entity_of_rows: Vec<Vec<u64>> = vec![Vec::new(); cfg.sources];
+    for (eid, entity) in entities.iter().enumerate() {
+        let mut anywhere = false;
+        for s in 0..cfg.sources {
+            if rng.random::<f64>() < cfg.presence_rate {
+                anywhere = true;
+                relations[s].push(record_for(entity, cfg, &corruptor, &mut rng));
+                entity_of_rows[s].push(eid as u64);
+                while rng.random::<f64>() < cfg.extra_copy_rate {
+                    relations[s].push(record_for(entity, cfg, &corruptor, &mut rng));
+                    entity_of_rows[s].push(eid as u64);
+                }
+            }
+        }
+        if !anywhere {
+            // Guarantee every entity appears at least once (in a random
+            // source) so entity counts are exact.
+            let s = rng.random_range(0..cfg.sources);
+            relations[s].push(record_for(entity, cfg, &corruptor, &mut rng));
+            entity_of_rows[s].push(eid as u64);
+        }
+    }
+    let truth = GroundTruth::new(entity_of_rows.concat());
+    SyntheticDataset {
+        relations,
+        truth,
+        schema,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig {
+            entities: 60,
+            sources: 2,
+            seed: 7,
+            ..DatasetConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Dictionaries::people();
+        let a = generate(&d, &small_cfg());
+        let b = generate(&d, &small_cfg());
+        assert_eq!(a.total_rows(), b.total_rows());
+        for (ra, rb) in a.relations.iter().zip(&b.relations) {
+            assert_eq!(ra.xtuples(), rb.xtuples());
+        }
+        let c = generate(
+            &d,
+            &DatasetConfig {
+                seed: 8,
+                ..small_cfg()
+            },
+        );
+        assert_ne!(a.combined().xtuples(), c.combined().xtuples());
+    }
+
+    #[test]
+    fn truth_covers_all_rows_and_entities() {
+        let d = Dictionaries::people();
+        let ds = generate(&d, &small_cfg());
+        assert_eq!(ds.truth.len(), ds.total_rows());
+        assert_eq!(ds.truth.entity_count(), 60);
+        // With presence 0.8 on 2 sources, duplicates must exist.
+        assert!(ds.truth.true_pair_count() > 0);
+    }
+
+    #[test]
+    fn combined_preserves_row_order() {
+        let d = Dictionaries::people();
+        let ds = generate(&d, &small_cfg());
+        let combined = ds.combined();
+        assert_eq!(combined.len(), ds.total_rows());
+        // First rows of combined are source 0's rows.
+        assert_eq!(
+            combined.xtuples()[..ds.relations[0].len()],
+            *ds.relations[0].xtuples()
+        );
+    }
+
+    #[test]
+    fn uncertainty_knobs_have_effect() {
+        let d = Dictionaries::people();
+        let certain = generate(
+            &d,
+            &DatasetConfig {
+                uncertainty_rate: 0.0,
+                xtuple_rate: 0.0,
+                maybe_rate: 0.0,
+                missing_rate: 0.0,
+                ..small_cfg()
+            },
+        );
+        for t in certain.combined().xtuples() {
+            assert_eq!(t.len(), 1);
+            assert!(!t.is_maybe());
+        }
+        let uncertain = generate(
+            &d,
+            &DatasetConfig {
+                uncertainty_rate: 1.0,
+                xtuple_rate: 1.0,
+                maybe_rate: 1.0,
+                ..small_cfg()
+            },
+        );
+        let stats =
+            probdedup_model::stats::RelationStats::for_xrelation(&uncertain.combined());
+        assert!(stats.maybe_tuples > 0);
+        assert!(stats.uncertain_values > 0);
+        assert!(stats.max_alternatives >= 2);
+    }
+
+    #[test]
+    fn zero_duplicate_config() {
+        let d = Dictionaries::people();
+        let ds = generate(
+            &d,
+            &DatasetConfig {
+                entities: 40,
+                sources: 1,
+                presence_rate: 1.0,
+                extra_copy_rate: 0.0,
+                ..small_cfg()
+            },
+        );
+        assert_eq!(ds.total_rows(), 40);
+        assert_eq!(ds.truth.true_pair_count(), 0);
+    }
+
+    #[test]
+    fn schema_is_four_attributes() {
+        let s = dataset_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("age"), Some(3));
+        assert_eq!(s.type_of(3), AttrType::Int);
+    }
+}

@@ -1,0 +1,107 @@
+//! Ground truth: which generated rows describe the same entity.
+
+use std::collections::HashSet;
+
+/// The entity assignment of the rows of one **combined** relation (rows of
+/// all sources concatenated, as the reduction layer consumes them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// `entity[i]` is the ground-truth entity id of row `i`.
+    entity: Vec<u64>,
+}
+
+impl GroundTruth {
+    /// Wrap an entity-id-per-row vector.
+    pub fn new(entity: Vec<u64>) -> Self {
+        Self { entity }
+    }
+
+    /// Entity id of row `i`.
+    pub fn entity_of(&self, row: usize) -> u64 {
+        self.entity[row]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entity.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entity.is_empty()
+    }
+
+    /// Whether rows `i` and `j` are true duplicates.
+    pub fn is_duplicate(&self, i: usize, j: usize) -> bool {
+        i != j && self.entity[i] == self.entity[j]
+    }
+
+    /// All true duplicate pairs `(i, j)` with `i < j`.
+    pub fn true_pairs(&self) -> HashSet<(usize, usize)> {
+        let mut pairs = HashSet::new();
+        // Group rows by entity.
+        let mut by_entity: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (row, &e) in self.entity.iter().enumerate() {
+            by_entity.entry(e).or_default().push(row);
+        }
+        for rows in by_entity.values() {
+            for (a, &i) in rows.iter().enumerate() {
+                for &j in rows.iter().skip(a + 1) {
+                    pairs.insert((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Number of true duplicate pairs.
+    pub fn true_pair_count(&self) -> usize {
+        self.true_pairs().len()
+    }
+
+    /// Number of distinct entities represented.
+    pub fn entity_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.entity.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_of_small_clusters() {
+        // Rows: e0, e1, e0, e2, e1, e0 → entity 0 has rows {0,2,5} (3
+        // pairs), entity 1 has {1,4} (1 pair), entity 2 has {3} (none).
+        let t = GroundTruth::new(vec![0, 1, 0, 2, 1, 0]);
+        let pairs = t.true_pairs();
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(0, 5)));
+        assert!(pairs.contains(&(2, 5)));
+        assert!(pairs.contains(&(1, 4)));
+        assert_eq!(t.true_pair_count(), 4);
+        assert_eq!(t.entity_count(), 3);
+    }
+
+    #[test]
+    fn is_duplicate_semantics() {
+        let t = GroundTruth::new(vec![7, 7, 8]);
+        assert!(t.is_duplicate(0, 1));
+        assert!(t.is_duplicate(1, 0));
+        assert!(!t.is_duplicate(0, 2));
+        assert!(!t.is_duplicate(1, 1), "self-pairs are not duplicates");
+    }
+
+    #[test]
+    fn empty_truth() {
+        let t = GroundTruth::new(vec![]);
+        assert!(t.is_empty());
+        assert!(t.true_pairs().is_empty());
+        assert_eq!(t.entity_count(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the synthetic generator: structural validity of all
+//! generated data under arbitrary configurations.
+
+use proptest::prelude::*;
+
+use probdedup_datagen::{generate, CorruptionConfig, DatasetConfig, Dictionaries};
+use probdedup_model::stats::RelationStats;
+
+fn arb_config() -> impl Strategy<Value = DatasetConfig> {
+    (
+        5usize..60,
+        1usize..4,
+        0.0f64..=1.0,
+        0.0f64..=0.5,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(entities, sources, presence, extra, typo, uncertainty, xtuple, seed)| DatasetConfig {
+                entities,
+                sources,
+                presence_rate: presence,
+                extra_copy_rate: extra,
+                typo_rate: typo,
+                missing_rate: 0.1,
+                uncertainty_rate: uncertainty,
+                truth_in_support_rate: 0.9,
+                xtuple_rate: xtuple,
+                maybe_rate: 0.25,
+                corruption: CorruptionConfig::default(),
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated dataset is structurally valid: model invariants hold
+    /// (they are enforced by constructors, so generation succeeding is the
+    /// assertion), truth covers all rows, every entity is represented.
+    #[test]
+    fn generated_data_is_valid(cfg in arb_config()) {
+        let ds = generate(&Dictionaries::people(), &cfg);
+        prop_assert_eq!(ds.truth.len(), ds.total_rows());
+        prop_assert_eq!(ds.truth.entity_count(), cfg.entities);
+        prop_assert_eq!(ds.relations.len(), cfg.sources);
+        // Every x-tuple respects the mass invariants (probability ≤ 1,
+        // alternatives non-empty) — revalidated via stats traversal.
+        let stats = RelationStats::for_xrelation(&ds.combined());
+        prop_assert_eq!(stats.tuples, ds.total_rows());
+        prop_assert!(stats.alternatives >= stats.tuples);
+        for r in &ds.relations {
+            for t in r.xtuples() {
+                prop_assert!(t.probability() <= 1.0 + 1e-9);
+                prop_assert!(!t.alternatives().is_empty());
+            }
+        }
+    }
+
+    /// Determinism: the same config yields the same dataset; different
+    /// seeds yield different data (given enough entities).
+    #[test]
+    fn determinism(cfg in arb_config()) {
+        let a = generate(&Dictionaries::people(), &cfg);
+        let b = generate(&Dictionaries::people(), &cfg);
+        let (ca, cb) = (a.combined(), b.combined());
+        prop_assert_eq!(ca.xtuples(), cb.xtuples());
+    }
+
+    /// With certainty knobs at zero, data is fully certain.
+    #[test]
+    fn zero_uncertainty_is_certain(mut cfg in arb_config()) {
+        cfg.uncertainty_rate = 0.0;
+        cfg.xtuple_rate = 0.0;
+        cfg.maybe_rate = 0.0;
+        cfg.missing_rate = 0.0;
+        let ds = generate(&Dictionaries::people(), &cfg);
+        let stats = RelationStats::for_xrelation(&ds.combined());
+        prop_assert_eq!(stats.uncertain_values, 0);
+        prop_assert_eq!(stats.maybe_tuples, 0);
+        prop_assert_eq!(stats.max_alternatives, 1);
+    }
+
+    /// True duplicate pairs grow with the presence rate (statistically;
+    /// tested at the extremes to avoid flakiness).
+    #[test]
+    fn presence_extremes(mut cfg in arb_config()) {
+        prop_assume!(cfg.sources >= 2);
+        cfg.extra_copy_rate = 0.0;
+        cfg.presence_rate = 0.0; // every entity forced into exactly one source
+        let lonely = generate(&Dictionaries::people(), &cfg);
+        prop_assert_eq!(lonely.truth.true_pair_count(), 0);
+        cfg.presence_rate = 1.0; // every entity in every source
+        let crowded = generate(&Dictionaries::people(), &cfg);
+        prop_assert!(crowded.truth.true_pair_count() >= cfg.entities);
+    }
+}

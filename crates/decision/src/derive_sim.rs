@@ -1,0 +1,226 @@
+//! Similarity-based derivation functions ϑ : ℝ^{k×l} → ℝ (Fig. 6, left).
+//!
+//! Step 1 applies φ to each alternative-pair comparison vector, giving the
+//! similarity vector `s⃗(t₁,t₂) ∈ ℝ^{k×l}`; a derivation function collapses
+//! it into the x-tuple similarity.
+
+/// The per-alternative-pair similarities of an x-tuple pair together with
+/// the **conditioned** alternative probabilities (normalized by `p(t)`,
+/// removing tuple-membership influence — the paper's conditioning step).
+#[derive(Debug, Clone, Copy)]
+pub struct AlternativeSimilarities<'a> {
+    /// Row-major `k × l` similarities `sim(t₁ⁱ, t₂ʲ)`.
+    pub sims: &'a [f64],
+    /// Conditioned probabilities `p(t₁ⁱ)/p(t₁)` (length `k`, sums to 1).
+    pub w1: &'a [f64],
+    /// Conditioned probabilities `p(t₂ʲ)/p(t₂)` (length `l`, sums to 1).
+    pub w2: &'a [f64],
+}
+
+impl AlternativeSimilarities<'_> {
+    /// Iterate `(i, j, weight, sim)` over all alternative pairs, where
+    /// `weight = w1[i] · w2[j]` is the conditioned probability of the world
+    /// in which both alternatives are the true ones.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64, f64)> + '_ {
+        let l = self.w2.len();
+        self.sims.iter().enumerate().map(move |(idx, &s)| {
+            let (i, j) = (idx / l, idx % l);
+            (i, j, self.w1[i] * self.w2[j], s)
+        })
+    }
+}
+
+/// A similarity-based derivation function ϑ.
+pub trait SimilarityDerivation: Send + Sync {
+    /// Collapse the alternative-pair similarities into one degree.
+    fn derive(&self, input: &AlternativeSimilarities<'_>) -> f64;
+
+    /// Short human-readable name.
+    fn name(&self) -> &str {
+        "derivation"
+    }
+}
+
+/// Eq. 6: the conditional expectation of the alternative-pair similarity
+/// over the possible worlds containing both tuples,
+///
+/// ```text
+/// sim(t₁,t₂) = Σᵢ Σⱼ (p(t₁ⁱ)/p(t₁)) · (p(t₂ʲ)/p(t₂)) · sim(t₁ⁱ, t₂ʲ)
+/// ```
+///
+/// The paper notes this is the natural choice for knowledge-based
+/// (normalized) techniques: with *non*-normalized step-1 values one huge
+/// pair similarity dominates the expectation regardless of its probability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpectedSimilarity;
+
+impl SimilarityDerivation for ExpectedSimilarity {
+    fn derive(&self, input: &AlternativeSimilarities<'_>) -> f64 {
+        input.iter().map(|(_, _, w, s)| w * s).sum()
+    }
+
+    fn name(&self) -> &str {
+        "expected-similarity"
+    }
+}
+
+/// `ϑ = max sim(t₁ⁱ, t₂ʲ)` — optimistic: the pair is as similar as its most
+/// similar alternative combination (ignores probabilities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxSimilarity;
+
+impl SimilarityDerivation for MaxSimilarity {
+    fn derive(&self, input: &AlternativeSimilarities<'_>) -> f64 {
+        input
+            .sims
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn name(&self) -> &str {
+        "max-similarity"
+    }
+}
+
+/// `ϑ = min sim(t₁ⁱ, t₂ʲ)` — pessimistic counterpart of [`MaxSimilarity`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinSimilarity;
+
+impl SimilarityDerivation for MinSimilarity {
+    fn derive(&self, input: &AlternativeSimilarities<'_>) -> f64 {
+        input.sims.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn name(&self) -> &str {
+        "min-similarity"
+    }
+}
+
+/// The similarity of the jointly most probable alternative pair — the
+/// "most probable world" reading of x-tuple similarity. Ties break toward
+/// the higher similarity for determinism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MostProbableWorldSimilarity;
+
+impl SimilarityDerivation for MostProbableWorldSimilarity {
+    fn derive(&self, input: &AlternativeSimilarities<'_>) -> f64 {
+        input
+            .iter()
+            .max_by(|(_, _, wa, sa), (_, _, wb, sb)| {
+                wa.partial_cmp(wb)
+                    .expect("finite weights")
+                    .then(sa.partial_cmp(sb).expect("finite sims"))
+            })
+            .map(|(_, _, _, s)| s)
+            .unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &str {
+        "most-probable-world"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 7's data: sims (11/15, 7/15, 4/15), conditioned weights
+    /// (1/3, 2/9, 4/9) × (1).
+    fn fig7_input() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (
+            vec![11.0 / 15.0, 7.0 / 15.0, 4.0 / 15.0],
+            vec![0.3 / 0.9, 0.2 / 0.9, 0.4 / 0.9],
+            vec![1.0],
+        )
+    }
+
+    #[test]
+    fn eq6_expected_similarity_is_7_15ths() {
+        let (sims, w1, w2) = fig7_input();
+        let input = AlternativeSimilarities {
+            sims: &sims,
+            w1: &w1,
+            w2: &w2,
+        };
+        let sim = ExpectedSimilarity.derive(&input);
+        assert!((sim - 7.0 / 15.0).abs() < 1e-12, "sim = {sim}");
+    }
+
+    #[test]
+    fn max_min_derivations() {
+        let (sims, w1, w2) = fig7_input();
+        let input = AlternativeSimilarities {
+            sims: &sims,
+            w1: &w1,
+            w2: &w2,
+        };
+        assert!((MaxSimilarity.derive(&input) - 11.0 / 15.0).abs() < 1e-12);
+        assert!((MinSimilarity.derive(&input) - 4.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_probable_world_picks_heaviest_pair() {
+        let (sims, w1, w2) = fig7_input();
+        let input = AlternativeSimilarities {
+            sims: &sims,
+            w1: &w1,
+            w2: &w2,
+        };
+        // Heaviest conditioned weight is alternative 3 (4/9) → sim 4/15.
+        assert!((MostProbableWorldSimilarity.derive(&input) - 4.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_bounded_by_extremes() {
+        let sims = vec![0.9, 0.1, 0.5, 0.4];
+        let w1 = vec![0.5, 0.5];
+        let w2 = vec![0.25, 0.75];
+        let input = AlternativeSimilarities {
+            sims: &sims,
+            w1: &w1,
+            w2: &w2,
+        };
+        let e = ExpectedSimilarity.derive(&input);
+        assert!(e <= MaxSimilarity.derive(&input) + 1e-12);
+        assert!(e >= MinSimilarity.derive(&input) - 1e-12);
+    }
+
+    #[test]
+    fn iter_enumerates_row_major_with_weights() {
+        let sims = vec![1.0, 2.0, 3.0, 4.0];
+        let w1 = vec![0.4, 0.6];
+        let w2 = vec![0.3, 0.7];
+        let input = AlternativeSimilarities {
+            sims: &sims,
+            w1: &w1,
+            w2: &w2,
+        };
+        let entries: Vec<_> = input.iter().collect();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].0, 0);
+        assert_eq!(entries[0].1, 0);
+        assert!((entries[0].2 - 0.12).abs() < 1e-12);
+        assert_eq!(entries[3], (1, 1, 0.6 * 0.7, 4.0));
+        // Weights over all pairs sum to 1.
+        let total: f64 = input.iter().map(|(_, _, w, _)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pair_degenerate_case() {
+        let input = AlternativeSimilarities {
+            sims: &[0.42],
+            w1: &[1.0],
+            w2: &[1.0],
+        };
+        for d in [
+            &ExpectedSimilarity as &dyn SimilarityDerivation,
+            &MaxSimilarity,
+            &MinSimilarity,
+            &MostProbableWorldSimilarity,
+        ] {
+            assert!((d.derive(&input) - 0.42).abs() < 1e-12, "{}", d.name());
+        }
+    }
+}

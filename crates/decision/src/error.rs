@@ -1,0 +1,84 @@
+//! Error type for decision-model construction and estimation.
+
+use std::fmt;
+
+/// Errors raised while building or fitting decision models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionError {
+    /// Thresholds must satisfy `T_λ ≤ T_μ`.
+    InvalidThresholds {
+        /// Lower (non-match) threshold.
+        lambda: f64,
+        /// Upper (match) threshold.
+        mu: f64,
+    },
+    /// Weights must be finite, non-negative and not all zero.
+    InvalidWeights,
+    /// A probability parameter was outside its valid open interval.
+    InvalidParameter {
+        /// Parameter name (`m`, `u`, `p`, …).
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Estimation needs at least one observation.
+    EmptyTrainingData,
+    /// Comparison vectors fed to a model must share its arity.
+    DimensionMismatch {
+        /// Arity the model was built for.
+        expected: usize,
+        /// Arity received.
+        got: usize,
+    },
+    /// Fellegi–Sunter threshold selection enumerates 2ⁿ agreement patterns;
+    /// refused beyond this arity.
+    TooManyAttributes {
+        /// Arity requested.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+}
+
+impl fmt::Display for DecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidThresholds { lambda, mu } => {
+                write!(f, "invalid thresholds: T_λ = {lambda} must be ≤ T_μ = {mu}")
+            }
+            Self::InvalidWeights => write!(f, "weights must be finite, ≥ 0 and not all zero"),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} outside its valid range")
+            }
+            Self::EmptyTrainingData => write!(f, "estimation requires at least one observation"),
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: model arity {expected}, vector arity {got}")
+            }
+            Self::TooManyAttributes { got, max } => {
+                write!(f, "{got} attributes exceed the supported maximum of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecisionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases: Vec<(DecisionError, &str)> = vec![
+            (DecisionError::InvalidThresholds { lambda: 0.9, mu: 0.1 }, "T_λ"),
+            (DecisionError::InvalidWeights, "weights"),
+            (DecisionError::InvalidParameter { name: "m", value: 2.0 }, "parameter m"),
+            (DecisionError::EmptyTrainingData, "at least one"),
+            (DecisionError::DimensionMismatch { expected: 2, got: 3 }, "dimension"),
+            (DecisionError::TooManyAttributes { got: 40, max: 24 }, "maximum"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

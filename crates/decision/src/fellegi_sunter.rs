@@ -1,0 +1,391 @@
+//! The Fellegi–Sunter probabilistic record-linkage model (Section III-D of
+//! the paper; Fellegi & Sunter 1969).
+//!
+//! For every tuple pair the comparison vector is reduced to an *agreement
+//! pattern* `γ ∈ {0,1}ⁿ` (attribute similarity above a per-attribute
+//! agreement threshold). The model carries, per attribute `i`:
+//!
+//! * `mᵢ = P(γᵢ = 1 | pair ∈ M)` — the m-probability (Eq. 1),
+//! * `uᵢ = P(γᵢ = 1 | pair ∈ U)` — the u-probability (Eq. 2),
+//!
+//! and scores a pair by the matching weight `R = m(c⃗)/u(c⃗)` under
+//! conditional independence. Pairs with `R > T_μ` match, `R < T_λ` don't,
+//! the band in between goes to clerical review. [`FellegiSunter::optimal_thresholds`]
+//! implements Fellegi & Sunter's error-bound-driven threshold selection;
+//! parameters can be estimated from labeled data
+//! ([`FellegiSunter::estimate_labeled`]) or without labels via EM
+//! ([`crate::em`]).
+
+use crate::error::DecisionError;
+use crate::threshold::Thresholds;
+
+/// Maximum arity for exact threshold selection (enumerates 2ⁿ patterns).
+pub const MAX_PATTERN_ARITY: usize = 24;
+
+/// Clamp for probability parameters: keeps weights finite.
+const PARAM_EPS: f64 = 1e-6;
+
+/// A fitted Fellegi–Sunter model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FellegiSunter {
+    m: Vec<f64>,
+    u: Vec<f64>,
+    /// Per-attribute agreement thresholds binarizing comparison vectors.
+    agree: Vec<f64>,
+}
+
+impl FellegiSunter {
+    /// Build from per-attribute m/u-probabilities with a single agreement
+    /// threshold for all attributes. Parameters are clamped into
+    /// `[ε, 1−ε]`; arities must match; `m > u` is the informative case but
+    /// is not enforced (EM may legitimately estimate uninformative
+    /// attributes).
+    pub fn new<I, J>(m: I, u: J, agreement_threshold: f64) -> Result<Self, DecisionError>
+    where
+        I: IntoIterator<Item = f64>,
+        J: IntoIterator<Item = f64>,
+    {
+        let m: Vec<f64> = m.into_iter().collect();
+        let u: Vec<f64> = u.into_iter().collect();
+        if m.is_empty() {
+            return Err(DecisionError::EmptyTrainingData);
+        }
+        if m.len() != u.len() {
+            return Err(DecisionError::DimensionMismatch {
+                expected: m.len(),
+                got: u.len(),
+            });
+        }
+        for &x in m.iter().chain(u.iter()) {
+            if x.is_nan() || !(0.0..=1.0).contains(&x) {
+                return Err(DecisionError::InvalidParameter {
+                    name: "m/u",
+                    value: x,
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&agreement_threshold) {
+            return Err(DecisionError::InvalidParameter {
+                name: "agreement_threshold",
+                value: agreement_threshold,
+            });
+        }
+        let clamp = |v: f64| v.clamp(PARAM_EPS, 1.0 - PARAM_EPS);
+        let agree = vec![agreement_threshold; m.len()];
+        Ok(Self {
+            m: m.into_iter().map(clamp).collect(),
+            u: u.into_iter().map(clamp).collect(),
+            agree,
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.m.len()
+    }
+
+    /// The m-probabilities.
+    pub fn m(&self) -> &[f64] {
+        &self.m
+    }
+
+    /// The u-probabilities.
+    pub fn u(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// Binarize a comparison vector into the agreement pattern γ.
+    pub fn agreement_pattern(&self, c: &[f64]) -> Vec<bool> {
+        assert_eq!(c.len(), self.arity(), "comparison vector arity");
+        c.iter().zip(&self.agree).map(|(x, t)| x >= t).collect()
+    }
+
+    /// Matching weight `R = P(γ|M)/P(γ|U)` of a comparison vector.
+    pub fn weight(&self, c: &[f64]) -> f64 {
+        self.weight_of_pattern(&self.agreement_pattern(c))
+    }
+
+    /// `log₂ R` — the additive form used in practice (each attribute
+    /// contributes its agreement or disagreement weight).
+    pub fn log2_weight(&self, c: &[f64]) -> f64 {
+        self.weight(c).log2()
+    }
+
+    /// Matching weight of an explicit agreement pattern.
+    pub fn weight_of_pattern(&self, gamma: &[bool]) -> f64 {
+        assert_eq!(gamma.len(), self.arity(), "pattern arity");
+        let mut r = 1.0;
+        for ((&g, &m), &u) in gamma.iter().zip(&self.m).zip(&self.u) {
+            r *= if g { m / u } else { (1.0 - m) / (1.0 - u) };
+        }
+        r
+    }
+
+    /// `P(γ | M)` of an explicit pattern.
+    pub fn prob_given_match(&self, gamma: &[bool]) -> f64 {
+        gamma
+            .iter()
+            .zip(&self.m)
+            .map(|(&g, &m)| if g { m } else { 1.0 - m })
+            .product()
+    }
+
+    /// `P(γ | U)` of an explicit pattern.
+    pub fn prob_given_unmatch(&self, gamma: &[bool]) -> f64 {
+        gamma
+            .iter()
+            .zip(&self.u)
+            .map(|(&g, &u)| if g { u } else { 1.0 - u })
+            .product()
+    }
+
+    /// Estimate m/u from labeled pairs: `matched`/`unmatched` are comparison
+    /// vectors of known duplicates and known distinct pairs. Laplace
+    /// smoothing (+1/+2) keeps estimates off the boundary.
+    pub fn estimate_labeled(
+        matched: &[Vec<f64>],
+        unmatched: &[Vec<f64>],
+        agreement_threshold: f64,
+    ) -> Result<Self, DecisionError> {
+        let arity = matched
+            .first()
+            .or_else(|| unmatched.first())
+            .ok_or(DecisionError::EmptyTrainingData)?
+            .len();
+        if matched.is_empty() || unmatched.is_empty() {
+            return Err(DecisionError::EmptyTrainingData);
+        }
+        for v in matched.iter().chain(unmatched) {
+            if v.len() != arity {
+                return Err(DecisionError::DimensionMismatch {
+                    expected: arity,
+                    got: v.len(),
+                });
+            }
+        }
+        let rate = |data: &[Vec<f64>], i: usize| -> f64 {
+            let agree = data
+                .iter()
+                .filter(|v| v[i] >= agreement_threshold)
+                .count() as f64;
+            (agree + 1.0) / (data.len() as f64 + 2.0)
+        };
+        let m: Vec<f64> = (0..arity).map(|i| rate(matched, i)).collect();
+        let u: Vec<f64> = (0..arity).map(|i| rate(unmatched, i)).collect();
+        Self::new(m, u, agreement_threshold)
+    }
+
+    /// Fellegi & Sunter's optimal threshold selection on the matching
+    /// weight `R`, given admissible error rates:
+    ///
+    /// * `mu_bound` — tolerated false-match rate `μ = P(assign M | U)`;
+    /// * `lambda_bound` — tolerated false-non-match rate
+    ///   `λ = P(assign U | M)`.
+    ///
+    /// All 2ⁿ agreement patterns are ordered by decreasing `R`; the match
+    /// region grows from the top while its accumulated u-probability stays
+    /// within `μ`, the non-match region grows from the bottom while its
+    /// accumulated m-probability stays within `λ`. Returns thresholds on
+    /// `R` (not log-scaled). Errors above [`MAX_PATTERN_ARITY`] attributes.
+    pub fn optimal_thresholds(
+        &self,
+        mu_bound: f64,
+        lambda_bound: f64,
+    ) -> Result<Thresholds, DecisionError> {
+        if self.arity() > MAX_PATTERN_ARITY {
+            return Err(DecisionError::TooManyAttributes {
+                got: self.arity(),
+                max: MAX_PATTERN_ARITY,
+            });
+        }
+        for (name, v) in [("mu_bound", mu_bound), ("lambda_bound", lambda_bound)] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(DecisionError::InvalidParameter { name, value: v });
+            }
+        }
+        let n = self.arity();
+        let mut patterns: Vec<(f64, f64, f64)> = (0..(1usize << n))
+            .map(|bits| {
+                let gamma: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                (
+                    self.weight_of_pattern(&gamma),
+                    self.prob_given_match(&gamma),
+                    self.prob_given_unmatch(&gamma),
+                )
+            })
+            .collect();
+        // Decreasing weight.
+        patterns.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite weights"));
+        // Group patterns with (numerically) equal weight: they are
+        // indistinguishable to the classifier, so each group is admitted to
+        // a region in full or not at all.
+        let mut groups: Vec<(f64, f64, f64)> = Vec::new();
+        for (w, pm, pu) in patterns {
+            match groups.last_mut() {
+                Some((gw, gm, gu)) if (*gw - w).abs() <= 1e-12 * gw.max(1.0) => {
+                    *gm += pm;
+                    *gu += pu;
+                }
+                _ => groups.push((w, pm, pu)),
+            }
+        }
+        let max_weight = groups.first().expect("non-empty").0;
+
+        // Match region grows from the top; `T_μ` is the weight of the last
+        // admitted group (classification is `R ≥ T_μ`). No group admitted →
+        // a threshold strictly above every weight.
+        let mut acc_u = 0.0;
+        let mut t_mu = max_weight * 2.0;
+        for &(w, _, pu) in &groups {
+            if acc_u + pu > mu_bound {
+                break;
+            }
+            acc_u += pu;
+            t_mu = w;
+        }
+        // Non-match region grows from the bottom; `T_λ` is the weight of the
+        // first *excluded* group (classification is `R < T_λ`, so every
+        // strictly lighter group lands in U). All groups admitted → a
+        // threshold above every weight (collapses with T_μ below).
+        let mut acc_m = 0.0;
+        let mut t_lambda = max_weight * 2.0;
+        for &(w, pm, _) in groups.iter().rev() {
+            if acc_m + pm > lambda_bound {
+                t_lambda = w;
+                break;
+            }
+            acc_m += pm;
+        }
+        if t_lambda > t_mu {
+            // Error bounds so tight/loose that the regions would overlap;
+            // collapse to a single threshold at the geometric mean.
+            let t = (t_lambda * t_mu).sqrt();
+            return Thresholds::new(t, t);
+        }
+        Thresholds::new(t_lambda, t_mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::MatchClass;
+
+    fn model() -> FellegiSunter {
+        FellegiSunter::new([0.9, 0.8], [0.1, 0.2], 0.8).unwrap()
+    }
+
+    #[test]
+    fn weight_product_form() {
+        let fs = model();
+        // Both agree: (0.9/0.1)·(0.8/0.2) = 36.
+        assert!((fs.weight(&[0.9, 0.95]) - 36.0).abs() < 1e-9);
+        // First agrees, second disagrees: 9 · (0.2/0.8) = 2.25.
+        assert!((fs.weight(&[0.9, 0.1]) - 2.25).abs() < 1e-9);
+        // Both disagree: (0.1/0.9)·(0.2/0.8) = 1/36.
+        assert!((fs.weight(&[0.0, 0.0]) - 1.0 / 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_weight_is_additive() {
+        let fs = model();
+        let w_full = fs.log2_weight(&[1.0, 1.0]);
+        let w1 = (0.9f64 / 0.1).log2();
+        let w2 = (0.8f64 / 0.2).log2();
+        assert!((w_full - (w1 + w2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agreement_pattern_binarization() {
+        let fs = model();
+        assert_eq!(fs.agreement_pattern(&[0.85, 0.3]), vec![true, false]);
+        assert_eq!(fs.agreement_pattern(&[0.8, 0.8]), vec![true, true]); // ≥
+    }
+
+    #[test]
+    fn pattern_probabilities_sum_to_one() {
+        let fs = model();
+        let mut pm = 0.0;
+        let mut pu = 0.0;
+        for bits in 0..4usize {
+            let gamma = vec![bits & 1 == 1, bits >> 1 & 1 == 1];
+            pm += fs.prob_given_match(&gamma);
+            pu += fs.prob_given_unmatch(&gamma);
+        }
+        assert!((pm - 1.0).abs() < 1e-9);
+        assert!((pu - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(FellegiSunter::new([0.9], [0.1, 0.2], 0.5).is_err());
+        assert!(FellegiSunter::new([1.5], [0.1], 0.5).is_err());
+        assert!(FellegiSunter::new([], [], 0.5).is_err());
+        assert!(FellegiSunter::new([0.9], [0.1], 1.5).is_err());
+    }
+
+    #[test]
+    fn labeled_estimation_recovers_rates() {
+        // 10 matched pairs: attribute 0 agrees 9 times; attribute 1 agrees 8.
+        let matched: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![if i < 9 { 1.0 } else { 0.0 }, if i < 8 { 1.0 } else { 0.0 }])
+            .collect();
+        // 10 unmatched: attribute 0 agrees once, attribute 1 twice.
+        let unmatched: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![if i < 1 { 1.0 } else { 0.0 }, if i < 2 { 1.0 } else { 0.0 }])
+            .collect();
+        let fs = FellegiSunter::estimate_labeled(&matched, &unmatched, 0.5).unwrap();
+        // Laplace-smoothed: (9+1)/12, (8+1)/12, (1+1)/12, (2+1)/12.
+        assert!((fs.m()[0] - 10.0 / 12.0).abs() < 1e-9);
+        assert!((fs.m()[1] - 9.0 / 12.0).abs() < 1e-9);
+        assert!((fs.u()[0] - 2.0 / 12.0).abs() < 1e-9);
+        assert!((fs.u()[1] - 3.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimation_requires_both_classes() {
+        assert!(FellegiSunter::estimate_labeled(&[], &[vec![1.0]], 0.5).is_err());
+        assert!(FellegiSunter::estimate_labeled(&[vec![1.0]], &[], 0.5).is_err());
+    }
+
+    #[test]
+    fn optimal_thresholds_classify_sensibly() {
+        let fs = model();
+        let th = fs.optimal_thresholds(0.05, 0.05).unwrap();
+        assert!(th.lambda() <= th.mu());
+        // The all-agreement pattern must be a match under loose bounds.
+        assert_eq!(th.classify(fs.weight(&[1.0, 1.0])), MatchClass::Match);
+        // The all-disagreement pattern must be a non-match.
+        assert_eq!(th.classify(fs.weight(&[0.0, 0.0])), MatchClass::NonMatch);
+    }
+
+    #[test]
+    fn tighter_bounds_widen_the_review_band() {
+        let fs = FellegiSunter::new([0.95, 0.9, 0.85], [0.05, 0.1, 0.15], 0.8).unwrap();
+        let loose = fs.optimal_thresholds(0.2, 0.2).unwrap();
+        let tight = fs.optimal_thresholds(0.01, 0.01).unwrap();
+        // Tight error bounds exclude more patterns from M and U: the match
+        // threshold rises and the non-match threshold falls (or stays).
+        assert!(tight.mu() >= loose.mu() - 1e-12);
+        assert!(tight.lambda() <= loose.lambda() + 1e-12);
+    }
+
+    #[test]
+    fn zero_bounds_yield_extreme_thresholds() {
+        let fs = model();
+        let th = fs.optimal_thresholds(0.0, 0.0).unwrap();
+        // Nothing may be auto-classified: everything is a possible match.
+        assert_eq!(th.classify(fs.weight(&[1.0, 1.0])), MatchClass::Possible);
+        assert_eq!(th.classify(fs.weight(&[0.0, 0.0])), MatchClass::Possible);
+    }
+
+    #[test]
+    fn too_many_attributes_refused() {
+        let n = MAX_PATTERN_ARITY + 1;
+        let fs = FellegiSunter::new(vec![0.9; n], vec![0.1; n], 0.8).unwrap();
+        assert!(matches!(
+            fs.optimal_thresholds(0.1, 0.1),
+            Err(DecisionError::TooManyAttributes { .. })
+        ));
+    }
+}

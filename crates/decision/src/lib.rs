@@ -1,0 +1,49 @@
+//! Decision models for duplicate detection in probabilistic data
+//! (Sections III-D and IV-B of Panse et al., ICDE 2010).
+//!
+//! For **certain-data** tuple pairs the classical two-step scheme of Fig. 3
+//! applies: a combination function φ collapses the comparison vector into a
+//! single similarity degree, which one or two thresholds classify into
+//! *match* (M), *possible match* (P) or *non-match* (U). Two families are
+//! implemented:
+//!
+//! * **knowledge-based** ([`rules`]): identification rules with certainty
+//!   factors (Fig. 1) — normalized similarity degrees;
+//! * **probabilistic** ([`fellegi_sunter`]): the Fellegi–Sunter theory, with
+//!   m/u-probabilities per attribute, matching weight `R = m(c⃗)/u(c⃗)`,
+//!   optimal threshold selection from error bounds, and unsupervised
+//!   parameter estimation via the EM algorithm ([`em`], Winkler 1988) —
+//!   non-normalized matching weights.
+//!
+//! For **x-tuple** pairs the comparison vector becomes a k×l matrix, and the
+//! paper defines two adaptations (Fig. 6), both implemented in [`xmodel`]:
+//!
+//! * **similarity-based derivation** — φ on every alternative pair, then a
+//!   derivation function ϑ : ℝ^{k×l} → ℝ ([`derive_sim`]); the canonical ϑ
+//!   is the conditional expectation over possible worlds (Eq. 6);
+//! * **decision-based derivation** — classify every alternative pair first,
+//!   then derive from the matching values η ∈ {m,p,u}^{k×l}
+//!   ([`derive_decision`]); the canonical ϑ is the matching weight
+//!   `P(m)/P(u)` over world masses (Eqs. 7–9).
+
+pub mod combine;
+pub mod derive_decision;
+pub mod derive_sim;
+pub mod em;
+pub mod error;
+pub mod fellegi_sunter;
+pub mod model;
+pub mod rules;
+pub mod threshold;
+pub mod xmodel;
+
+pub use combine::{CombinationFunction, WeightedProduct, WeightedSum};
+pub use derive_decision::{DecisionDerivation, ExpectedMatchingResult, MatchingWeightDerivation};
+pub use derive_sim::{ExpectedSimilarity, MaxSimilarity, MinSimilarity, SimilarityDerivation};
+pub use em::{fit_em, EmConfig, EmResult};
+pub use error::DecisionError;
+pub use fellegi_sunter::FellegiSunter;
+pub use model::{DecisionModel, SimpleModel};
+pub use rules::{Condition, Rule, RuleSet};
+pub use threshold::{MatchClass, Thresholds};
+pub use xmodel::{DecisionBasedModel, SimilarityBasedModel, XDecision, XTupleDecisionModel};

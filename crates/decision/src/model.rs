@@ -1,0 +1,199 @@
+//! The certain-data decision model of Fig. 3: φ on the comparison vector,
+//! then threshold classification — as a reusable trait with the paper's
+//! three families as implementations.
+
+use std::sync::Arc;
+
+use crate::combine::CombinationFunction;
+use crate::fellegi_sunter::FellegiSunter;
+use crate::rules::RuleSet;
+use crate::threshold::{MatchClass, Thresholds};
+
+/// A decision model for (comparison vectors of) tuple pairs — Fig. 3's
+/// two-step scheme. `Common decision models can be used without any
+/// adaption` for the dependency-free probabilistic model (Section IV-A):
+/// uncertainty is already absorbed into the comparison vector.
+pub trait DecisionModel: Send + Sync {
+    /// Step 1: the similarity degree `sim(t₁,t₂) = φ(c⃗)`.
+    fn similarity(&self, c: &[f64]) -> f64;
+
+    /// The thresholds used in step 2.
+    fn thresholds(&self) -> Thresholds;
+
+    /// Steps 1+2: similarity and classification `η(t₁,t₂)`.
+    fn decide(&self, c: &[f64]) -> (f64, MatchClass) {
+        let s = self.similarity(c);
+        (s, self.thresholds().classify(s))
+    }
+
+    /// Short human-readable name.
+    fn name(&self) -> &str {
+        "decision-model"
+    }
+}
+
+impl<T: DecisionModel + ?Sized> DecisionModel for Arc<T> {
+    fn similarity(&self, c: &[f64]) -> f64 {
+        (**self).similarity(c)
+    }
+    fn thresholds(&self) -> Thresholds {
+        (**self).thresholds()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// φ + thresholds: the generic model of Fig. 3 with an arbitrary
+/// combination function.
+#[derive(Clone)]
+pub struct SimpleModel {
+    phi: Arc<dyn CombinationFunction>,
+    thresholds: Thresholds,
+}
+
+impl SimpleModel {
+    /// Build from a combination function and thresholds.
+    pub fn new(phi: Arc<dyn CombinationFunction>, thresholds: Thresholds) -> Self {
+        Self { phi, thresholds }
+    }
+}
+
+impl DecisionModel for SimpleModel {
+    fn similarity(&self, c: &[f64]) -> f64 {
+        self.phi.combine(c)
+    }
+
+    fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    fn name(&self) -> &str {
+        "simple"
+    }
+}
+
+/// Knowledge-based model: a rule set's combined certainty factor classified
+/// against a user threshold (Fig. 1; the P class is usually unused, so a
+/// single threshold is the common configuration).
+#[derive(Clone)]
+pub struct KnowledgeModel {
+    rules: Arc<RuleSet>,
+    thresholds: Thresholds,
+}
+
+impl KnowledgeModel {
+    /// Build from rules and a decision threshold.
+    pub fn new(rules: RuleSet, thresholds: Thresholds) -> Self {
+        Self {
+            rules: Arc::new(rules),
+            thresholds,
+        }
+    }
+}
+
+impl DecisionModel for KnowledgeModel {
+    fn similarity(&self, c: &[f64]) -> f64 {
+        self.rules.certainty(c)
+    }
+
+    fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    fn name(&self) -> &str {
+        "knowledge-based"
+    }
+}
+
+/// Probabilistic model: the Fellegi–Sunter matching weight `R` classified
+/// against `T_λ`/`T_μ` (which live on the **weight scale**, not `[0,1]`).
+#[derive(Clone)]
+pub struct FsModel {
+    fs: Arc<FellegiSunter>,
+    thresholds: Thresholds,
+}
+
+impl FsModel {
+    /// Build from a fitted Fellegi–Sunter model and weight-scale thresholds
+    /// (e.g. from [`FellegiSunter::optimal_thresholds`]).
+    pub fn new(fs: FellegiSunter, thresholds: Thresholds) -> Self {
+        Self {
+            fs: Arc::new(fs),
+            thresholds,
+        }
+    }
+
+    /// The underlying Fellegi–Sunter parameters.
+    pub fn fellegi_sunter(&self) -> &FellegiSunter {
+        &self.fs
+    }
+}
+
+impl DecisionModel for FsModel {
+    fn similarity(&self, c: &[f64]) -> f64 {
+        self.fs.weight(c)
+    }
+
+    fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    fn name(&self) -> &str {
+        "fellegi-sunter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::WeightedSum;
+    use crate::rules::{Condition, Rule};
+
+    #[test]
+    fn simple_model_matches_paper_example() {
+        let phi = Arc::new(WeightedSum::new([0.8, 0.2]).unwrap());
+        let model = SimpleModel::new(phi, Thresholds::new(0.4, 0.7).unwrap());
+        let (sim, class) = model.decide(&[0.9, 53.0 / 90.0]);
+        assert!((sim - 377.0 / 450.0).abs() < 1e-12);
+        assert_eq!(class, MatchClass::Match);
+        assert_eq!(model.name(), "simple");
+    }
+
+    #[test]
+    fn knowledge_model_uses_certainty_factor() {
+        let rules = RuleSet::new().with_rule(
+            Rule::new(vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)], 0.8).unwrap(),
+        );
+        let model = KnowledgeModel::new(rules, Thresholds::single(0.75).unwrap());
+        // Fig. 1 rule fires → certainty 0.8 ≥ 0.75 → match.
+        let (sim, class) = model.decide(&[0.9, 0.59]);
+        assert!((sim - 0.8).abs() < 1e-12);
+        assert_eq!(class, MatchClass::Match);
+        // Rule does not fire → certainty 0 → non-match.
+        let (_, class) = model.decide(&[0.1, 0.1]);
+        assert_eq!(class, MatchClass::NonMatch);
+    }
+
+    #[test]
+    fn fs_model_classifies_on_weight_scale() {
+        let fs = FellegiSunter::new([0.9, 0.8], [0.1, 0.2], 0.8).unwrap();
+        let th = Thresholds::new(0.5, 10.0).unwrap();
+        let model = FsModel::new(fs, th);
+        // Both agree: weight 36 > 10 → match.
+        assert_eq!(model.decide(&[1.0, 1.0]).1, MatchClass::Match);
+        // Both disagree: 1/36 < 0.5 → non-match.
+        assert_eq!(model.decide(&[0.0, 0.0]).1, MatchClass::NonMatch);
+        // Mixed: 2.25 in the review band.
+        assert_eq!(model.decide(&[1.0, 0.0]).1, MatchClass::Possible);
+        assert_eq!(model.fellegi_sunter().arity(), 2);
+    }
+
+    #[test]
+    fn trait_object_via_arc() {
+        let phi = Arc::new(WeightedSum::mean(2).unwrap());
+        let model: Arc<dyn DecisionModel> =
+            Arc::new(SimpleModel::new(phi, Thresholds::single(0.5).unwrap()));
+        assert_eq!(model.decide(&[1.0, 1.0]).1, MatchClass::Match);
+    }
+}

@@ -1,0 +1,232 @@
+//! Knowledge-based identification rules (Fig. 1 of the paper):
+//!
+//! ```text
+//! IF name > threshold1 AND job > threshold2
+//! THEN DUPLICATES with CERTAINTY = 0.8
+//! ```
+//!
+//! A [`RuleSet`] evaluates all rules against a comparison vector and
+//! combines the certainty factors of the fired rules; if the resulting
+//! certainty exceeds a user-defined decision threshold, the pair is
+//! declared a duplicate.
+
+use crate::error::DecisionError;
+
+/// Comparison operator of a rule condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Strictly greater (`>`), the paper's notation.
+    Gt,
+    /// Greater or equal (`≥`).
+    Ge,
+}
+
+/// One condition `attribute-similarity  op  threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Condition {
+    /// Index of the attribute in the comparison vector.
+    pub attr: usize,
+    /// Operator.
+    pub op: Cmp,
+    /// Threshold in `[0, 1]`.
+    pub threshold: f64,
+}
+
+impl Condition {
+    /// `c[attr] > threshold`.
+    pub fn gt(attr: usize, threshold: f64) -> Self {
+        Self {
+            attr,
+            op: Cmp::Gt,
+            threshold,
+        }
+    }
+
+    /// `c[attr] ≥ threshold`.
+    pub fn ge(attr: usize, threshold: f64) -> Self {
+        Self {
+            attr,
+            op: Cmp::Ge,
+            threshold,
+        }
+    }
+
+    /// Evaluate against a comparison vector.
+    pub fn holds(&self, c: &[f64]) -> bool {
+        let v = c[self.attr];
+        match self.op {
+            Cmp::Gt => v > self.threshold,
+            Cmp::Ge => v >= self.threshold,
+        }
+    }
+}
+
+/// An identification rule: a conjunction of conditions and the certainty
+/// factor it asserts when all hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    conditions: Vec<Condition>,
+    certainty: f64,
+}
+
+impl Rule {
+    /// Build a rule; certainty must lie in `[0, 1]`.
+    pub fn new(conditions: Vec<Condition>, certainty: f64) -> Result<Self, DecisionError> {
+        if !(0.0..=1.0).contains(&certainty) || certainty.is_nan() {
+            return Err(DecisionError::InvalidParameter {
+                name: "certainty",
+                value: certainty,
+            });
+        }
+        Ok(Self {
+            conditions,
+            certainty,
+        })
+    }
+
+    /// The asserted certainty factor.
+    pub fn certainty(&self) -> f64 {
+        self.certainty
+    }
+
+    /// Whether the rule fires on `c⃗` (all conditions hold; an empty
+    /// conjunction always fires).
+    pub fn fires(&self, c: &[f64]) -> bool {
+        self.conditions.iter().all(|cond| cond.holds(c))
+    }
+
+    /// Largest attribute index referenced (for arity validation).
+    pub fn max_attr(&self) -> Option<usize> {
+        self.conditions.iter().map(|c| c.attr).max()
+    }
+}
+
+/// How certainty factors of multiple fired rules combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CfCombination {
+    /// The strongest rule wins: `max(cf₁, …, cfₖ)`.
+    #[default]
+    Max,
+    /// Probabilistic sum (MYCIN): `cf₁ ⊕ cf₂ = cf₁ + cf₂·(1 − cf₁)` —
+    /// independent corroborating evidence strengthens the conclusion.
+    ProbabilisticSum,
+}
+
+/// A set of identification rules with a certainty-combination mode.
+///
+/// `RuleSet` is a *normalized* scorer: its output (the combined certainty
+/// factor) lies in `[0, 1]`, which is why the paper pairs knowledge-based
+/// techniques with the similarity-based x-tuple derivation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    combination: CfCombination,
+}
+
+impl RuleSet {
+    /// An empty rule set (certainty 0 for everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule.
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Select the certainty-combination mode.
+    pub fn with_combination(mut self, combination: CfCombination) -> Self {
+        self.combination = combination;
+        self
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The combined certainty factor of all rules firing on `c⃗`.
+    pub fn certainty(&self, c: &[f64]) -> f64 {
+        let fired = self.rules.iter().filter(|r| r.fires(c)).map(Rule::certainty);
+        match self.combination {
+            CfCombination::Max => fired.fold(0.0, f64::max),
+            CfCombination::ProbabilisticSum => fired.fold(0.0, |acc, cf| acc + cf * (1.0 - acc)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1: IF name > th1 AND job > th2 THEN DUPLICATES, CERTAINTY 0.8.
+    fn fig1_rule() -> Rule {
+        Rule::new(
+            vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)],
+            0.8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_rule_fires_when_both_conditions_hold() {
+        let r = fig1_rule();
+        assert!(r.fires(&[0.9, 0.59]));
+        assert!(!r.fires(&[0.9, 0.5])); // job not strictly greater
+        assert!(!r.fires(&[0.6, 0.9])); // name too low
+        assert_eq!(r.certainty(), 0.8);
+        assert_eq!(r.max_attr(), Some(1));
+    }
+
+    #[test]
+    fn ruleset_max_combination() {
+        let rs = RuleSet::new()
+            .with_rule(fig1_rule())
+            .with_rule(Rule::new(vec![Condition::ge(0, 0.99)], 0.95).unwrap());
+        // Only Fig. 1 rule fires.
+        assert!((rs.certainty(&[0.9, 0.6]) - 0.8).abs() < 1e-12);
+        // Both fire → max.
+        assert!((rs.certainty(&[1.0, 0.6]) - 0.95).abs() < 1e-12);
+        // Nothing fires.
+        assert_eq!(rs.certainty(&[0.1, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn ruleset_probabilistic_sum() {
+        let rs = RuleSet::new()
+            .with_combination(CfCombination::ProbabilisticSum)
+            .with_rule(Rule::new(vec![Condition::ge(0, 0.5)], 0.6).unwrap())
+            .with_rule(Rule::new(vec![Condition::ge(1, 0.5)], 0.5).unwrap());
+        // Both fire: 0.6 ⊕ 0.5 = 0.6 + 0.5·0.4 = 0.8.
+        assert!((rs.certainty(&[0.9, 0.9]) - 0.8).abs() < 1e-12);
+        // Corroboration never exceeds 1.
+        let rs_many = RuleSet::new()
+            .with_combination(CfCombination::ProbabilisticSum)
+            .with_rule(Rule::new(vec![], 0.9).unwrap())
+            .with_rule(Rule::new(vec![], 0.9).unwrap())
+            .with_rule(Rule::new(vec![], 0.9).unwrap());
+        let cf = rs_many.certainty(&[]);
+        assert!(cf <= 1.0 && cf > 0.99);
+    }
+
+    #[test]
+    fn empty_conjunction_always_fires() {
+        let r = Rule::new(vec![], 0.3).unwrap();
+        assert!(r.fires(&[0.0, 0.0]));
+        assert_eq!(r.max_attr(), None);
+    }
+
+    #[test]
+    fn invalid_certainty_rejected() {
+        assert!(Rule::new(vec![], 1.5).is_err());
+        assert!(Rule::new(vec![], -0.1).is_err());
+        assert!(Rule::new(vec![], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ge_vs_gt_boundary() {
+        assert!(Condition::ge(0, 0.5).holds(&[0.5]));
+        assert!(!Condition::gt(0, 0.5).holds(&[0.5]));
+    }
+}

@@ -1,0 +1,144 @@
+//! Classification of similarity degrees into M / P / U (Fig. 2 of the
+//! paper): match if the degree reaches `T_μ`, non-match below `T_λ`,
+//! possible match (clerical review) in between.
+
+use crate::error::DecisionError;
+
+/// The decision for one tuple pair: the matching value
+/// `η(t₁,t₂) ∈ {m, p, u}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchClass {
+    /// `m` — the pair is a duplicate (set M).
+    Match,
+    /// `p` — possible match, requires clerical review (set P).
+    Possible,
+    /// `u` — non-match (set U).
+    NonMatch,
+}
+
+impl MatchClass {
+    /// The paper's numeric encoding for the expected-matching-result
+    /// derivation: `m = 2, p = 1, u = 0`.
+    pub fn as_score(self) -> f64 {
+        match self {
+            MatchClass::Match => 2.0,
+            MatchClass::Possible => 1.0,
+            MatchClass::NonMatch => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for MatchClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            MatchClass::Match => 'm',
+            MatchClass::Possible => 'p',
+            MatchClass::NonMatch => 'u',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The threshold pair `(T_λ, T_μ)` of Fig. 2. With `T_λ = T_μ` the possible
+/// class vanishes and the classifier is binary (common for knowledge-based
+/// techniques, which "usually do not consider P").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    lambda: f64,
+    mu: f64,
+}
+
+impl Thresholds {
+    /// Two-threshold classifier; requires `lambda ≤ mu`.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, DecisionError> {
+        if !(lambda.is_finite() && mu.is_finite()) || lambda > mu {
+            return Err(DecisionError::InvalidThresholds { lambda, mu });
+        }
+        Ok(Self { lambda, mu })
+    }
+
+    /// Single-threshold (binary) classifier: `sim ≥ t` is a match.
+    pub fn single(t: f64) -> Result<Self, DecisionError> {
+        Self::new(t, t)
+    }
+
+    /// The non-match threshold `T_λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The match threshold `T_μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Classify a similarity degree:
+    /// `sim ≥ T_μ → m`, `sim < T_λ → u`, otherwise `p`.
+    pub fn classify(&self, sim: f64) -> MatchClass {
+        if sim >= self.mu {
+            MatchClass::Match
+        } else if sim < self.lambda {
+            MatchClass::NonMatch
+        } else {
+            MatchClass::Possible
+        }
+    }
+
+    /// Whether a possible-match band exists (`T_λ < T_μ`).
+    pub fn has_possible_band(&self) -> bool {
+        self.lambda < self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_decision_based_classification() {
+        // Paper: T_λ = 0.4, T_μ = 0.7 on alternative-pair similarities
+        // 11/15 → m, 7/15 → p, 4/15 → u.
+        let t = Thresholds::new(0.4, 0.7).unwrap();
+        assert_eq!(t.classify(11.0 / 15.0), MatchClass::Match);
+        assert_eq!(t.classify(7.0 / 15.0), MatchClass::Possible);
+        assert_eq!(t.classify(4.0 / 15.0), MatchClass::NonMatch);
+    }
+
+    #[test]
+    fn boundary_semantics() {
+        let t = Thresholds::new(0.4, 0.7).unwrap();
+        assert_eq!(t.classify(0.7), MatchClass::Match); // ≥ T_μ
+        assert_eq!(t.classify(0.4), MatchClass::Possible); // ≥ T_λ, < T_μ
+        assert_eq!(t.classify(0.3999), MatchClass::NonMatch);
+        assert!(t.has_possible_band());
+    }
+
+    #[test]
+    fn single_threshold_is_binary() {
+        let t = Thresholds::single(0.5).unwrap();
+        assert!(!t.has_possible_band());
+        assert_eq!(t.classify(0.5), MatchClass::Match);
+        assert_eq!(t.classify(0.4999), MatchClass::NonMatch);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        assert!(Thresholds::new(0.8, 0.2).is_err());
+        assert!(Thresholds::new(f64::NAN, 0.5).is_err());
+        assert!(Thresholds::new(0.1, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn score_encoding() {
+        assert_eq!(MatchClass::Match.as_score(), 2.0);
+        assert_eq!(MatchClass::Possible.as_score(), 1.0);
+        assert_eq!(MatchClass::NonMatch.as_score(), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MatchClass::Match.to_string(), "m");
+        assert_eq!(MatchClass::Possible.to_string(), "p");
+        assert_eq!(MatchClass::NonMatch.to_string(), "u");
+    }
+}

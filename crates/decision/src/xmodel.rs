@@ -1,0 +1,312 @@
+//! Decision models adapted to the x-tuple concept — both sides of Fig. 6.
+//!
+//! Input: an x-tuple pair and its comparison matrix. Output: the similarity
+//! degree and the matching value `η(t₁,t₂) ∈ {m,p,u}`.
+//!
+//! * [`SimilarityBasedModel`] (Fig. 6, left): φ per alternative pair →
+//!   similarity vector → derivation ϑ over ℝ^{k×l} → thresholds.
+//! * [`DecisionBasedModel`] (Fig. 6, right): φ per alternative pair → inner
+//!   thresholds classify each pair → derivation ϑ over {m,p,u}^{k×l} →
+//!   outer thresholds.
+
+use std::sync::Arc;
+
+use probdedup_matching::matrix::ComparisonMatrix;
+use probdedup_model::condition::normalized_alternative_probs;
+use probdedup_model::xtuple::XTuple;
+
+use crate::combine::CombinationFunction;
+use crate::derive_decision::{AlternativeDecisions, DecisionDerivation};
+use crate::derive_sim::{AlternativeSimilarities, SimilarityDerivation};
+use crate::threshold::{MatchClass, Thresholds};
+
+/// The decision for one x-tuple pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XDecision {
+    /// The derived similarity degree `sim(t₁, t₂)` (normalized or not,
+    /// depending on the model).
+    pub similarity: f64,
+    /// The matching value `η(t₁, t₂)`.
+    pub class: MatchClass,
+}
+
+/// A decision model for x-tuple pairs (either side of Fig. 6).
+pub trait XTupleDecisionModel: Send + Sync {
+    /// Decide whether `(t1, t2)` is a duplicate, given their comparison
+    /// matrix (as produced by
+    /// [`compare_xtuples`](probdedup_matching::compare_xtuples)).
+    fn decide(&self, t1: &XTuple, t2: &XTuple, matrix: &ComparisonMatrix) -> XDecision;
+
+    /// Short human-readable name.
+    fn name(&self) -> &str {
+        "x-decision-model"
+    }
+}
+
+impl<T: XTupleDecisionModel + ?Sized> XTupleDecisionModel for Arc<T> {
+    fn decide(&self, t1: &XTuple, t2: &XTuple, matrix: &ComparisonMatrix) -> XDecision {
+        (**self).decide(t1, t2, matrix)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Apply φ to every comparison vector of the matrix (step 1 / step 1.1).
+fn step1_similarities(
+    phi: &dyn CombinationFunction,
+    matrix: &ComparisonMatrix,
+) -> Vec<f64> {
+    matrix.iter().map(|(_, _, c)| phi.combine(c)).collect()
+}
+
+/// Similarity-based derivation model (Fig. 6, left).
+#[derive(Clone)]
+pub struct SimilarityBasedModel {
+    phi: Arc<dyn CombinationFunction>,
+    derivation: Arc<dyn SimilarityDerivation>,
+    thresholds: Thresholds,
+}
+
+impl SimilarityBasedModel {
+    /// Build from φ, ϑ and the step-3 thresholds.
+    pub fn new(
+        phi: Arc<dyn CombinationFunction>,
+        derivation: Arc<dyn SimilarityDerivation>,
+        thresholds: Thresholds,
+    ) -> Self {
+        Self {
+            phi,
+            derivation,
+            thresholds,
+        }
+    }
+}
+
+impl XTupleDecisionModel for SimilarityBasedModel {
+    fn decide(&self, t1: &XTuple, t2: &XTuple, matrix: &ComparisonMatrix) -> XDecision {
+        assert_eq!(matrix.k(), t1.len(), "matrix rows vs t1 alternatives");
+        assert_eq!(matrix.l(), t2.len(), "matrix cols vs t2 alternatives");
+        // Step 1: φ per alternative pair → s⃗(t1, t2).
+        let sims = step1_similarities(self.phi.as_ref(), matrix);
+        // Step 2: derivation over conditioned probabilities.
+        let w1 = normalized_alternative_probs(t1);
+        let w2 = normalized_alternative_probs(t2);
+        let similarity = self.derivation.derive(&AlternativeSimilarities {
+            sims: &sims,
+            w1: &w1,
+            w2: &w2,
+        });
+        // Step 3: classification.
+        XDecision {
+            similarity,
+            class: self.thresholds.classify(similarity),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "similarity-based"
+    }
+}
+
+/// Decision-based derivation model (Fig. 6, right).
+#[derive(Clone)]
+pub struct DecisionBasedModel {
+    phi: Arc<dyn CombinationFunction>,
+    inner: Thresholds,
+    derivation: Arc<dyn DecisionDerivation>,
+    outer: Thresholds,
+}
+
+impl DecisionBasedModel {
+    /// Build from φ, the step-1.2 (inner, per-alternative-pair) thresholds,
+    /// ϑ and the step-3 (outer) thresholds. The outer thresholds live on
+    /// ϑ's scale — for the Eq. 7 matching weight that is `[0, ∞]`, not
+    /// `[0, 1]`.
+    pub fn new(
+        phi: Arc<dyn CombinationFunction>,
+        inner: Thresholds,
+        derivation: Arc<dyn DecisionDerivation>,
+        outer: Thresholds,
+    ) -> Self {
+        Self {
+            phi,
+            inner,
+            derivation,
+            outer,
+        }
+    }
+}
+
+impl XTupleDecisionModel for DecisionBasedModel {
+    fn decide(&self, t1: &XTuple, t2: &XTuple, matrix: &ComparisonMatrix) -> XDecision {
+        assert_eq!(matrix.k(), t1.len(), "matrix rows vs t1 alternatives");
+        assert_eq!(matrix.l(), t2.len(), "matrix cols vs t2 alternatives");
+        // Step 1.1: φ per alternative pair.
+        let sims = step1_similarities(self.phi.as_ref(), matrix);
+        // Step 1.2: per-pair classification → η⃗(t1, t2).
+        let classes: Vec<MatchClass> = sims.iter().map(|&s| self.inner.classify(s)).collect();
+        // Step 2: derivation over conditioned probabilities.
+        let w1 = normalized_alternative_probs(t1);
+        let w2 = normalized_alternative_probs(t2);
+        let similarity = self.derivation.derive(&AlternativeDecisions {
+            classes: &classes,
+            w1: &w1,
+            w2: &w2,
+        });
+        // Step 3: classification.
+        XDecision {
+            similarity,
+            class: self.outer.classify(similarity),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "decision-based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::WeightedSum;
+    use crate::derive_decision::{ExpectedMatchingResult, MatchingWeightDerivation};
+    use crate::derive_sim::ExpectedSimilarity;
+    use probdedup_matching::vector::AttributeComparators;
+    use probdedup_matching::compare_xtuples;
+    use probdedup_model::schema::Schema;
+    use probdedup_textsim::NormalizedHamming;
+
+    fn schema() -> Schema {
+        Schema::new(["name", "job"])
+    }
+
+    fn fig7_pair() -> (XTuple, XTuple, ComparisonMatrix) {
+        let s = schema();
+        let t32 = XTuple::builder(&s)
+            .alt(0.3, ["Tim", "mechanic"])
+            .alt(0.2, ["Jim", "mechanic"])
+            .alt(0.4, ["Jim", "baker"])
+            .build()
+            .unwrap();
+        let t42 = XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap();
+        let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+        let m = compare_xtuples(&t32, &t42, &cmp);
+        (t32, t42, m)
+    }
+
+    fn phi() -> Arc<dyn CombinationFunction> {
+        Arc::new(WeightedSum::new([0.8, 0.2]).unwrap())
+    }
+
+    /// End-to-end reproduction of the paper's similarity-based example:
+    /// sim(t32, t42) = 7/15.
+    #[test]
+    fn fig7_similarity_based_end_to_end() {
+        let (t32, t42, m) = fig7_pair();
+        let model = SimilarityBasedModel::new(
+            phi(),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.4, 0.7).unwrap(),
+        );
+        let d = model.decide(&t32, &t42, &m);
+        assert!((d.similarity - 7.0 / 15.0).abs() < 1e-12, "sim = {}", d.similarity);
+        // 7/15 ≈ 0.467 lies in the possible band [0.4, 0.7).
+        assert_eq!(d.class, MatchClass::Possible);
+        assert_eq!(model.name(), "similarity-based");
+    }
+
+    /// End-to-end reproduction of the paper's decision-based example:
+    /// P(m) = 3/9, P(u) = 4/9, sim = 0.75.
+    #[test]
+    fn fig7_decision_based_end_to_end() {
+        let (t32, t42, m) = fig7_pair();
+        let model = DecisionBasedModel::new(
+            phi(),
+            Thresholds::new(0.4, 0.7).unwrap(), // inner, from the paper
+            Arc::new(MatchingWeightDerivation::new()),
+            Thresholds::new(0.5, 2.0).unwrap(), // outer, weight scale
+        );
+        let d = model.decide(&t32, &t42, &m);
+        assert!((d.similarity - 0.75).abs() < 1e-12, "sim = {}", d.similarity);
+        assert_eq!(d.class, MatchClass::Possible); // 0.75 ∈ [0.5, 2)
+    }
+
+    /// The sketched E(η) derivation on the same pair: 8/9.
+    #[test]
+    fn fig7_expected_matching_result() {
+        let (t32, t42, m) = fig7_pair();
+        let model = DecisionBasedModel::new(
+            phi(),
+            Thresholds::new(0.4, 0.7).unwrap(),
+            Arc::new(ExpectedMatchingResult::new()),
+            Thresholds::new(0.5, 1.5).unwrap(), // [0,2] scale
+        );
+        let d = model.decide(&t32, &t42, &m);
+        assert!((d.similarity - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(d.class, MatchClass::Possible);
+    }
+
+    /// Tuple-membership invariance: scaling both tuples' membership leaves
+    /// the decision unchanged (the paper's conditioning requirement).
+    #[test]
+    fn membership_scaling_invariance() {
+        let s = schema();
+        let full = XTuple::builder(&s)
+            .alt(0.6, ["Tim", "mechanic"])
+            .alt(0.4, ["Jim", "baker"])
+            .build()
+            .unwrap();
+        let scaled = XTuple::builder(&s)
+            .alt(0.06, ["Tim", "mechanic"])
+            .alt(0.04, ["Jim", "baker"])
+            .build()
+            .unwrap();
+        let other = XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap();
+        let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+        let model = SimilarityBasedModel::new(
+            phi(),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.4, 0.7).unwrap(),
+        );
+        let d_full = model.decide(&full, &other, &compare_xtuples(&full, &other, &cmp));
+        let d_scaled = model.decide(&scaled, &other, &compare_xtuples(&scaled, &other, &cmp));
+        assert!((d_full.similarity - d_scaled.similarity).abs() < 1e-12);
+        assert_eq!(d_full.class, d_scaled.class);
+    }
+
+    /// Identical certain x-tuples are perfect matches under both models.
+    #[test]
+    fn identical_tuples_match() {
+        let s = schema();
+        let t = XTuple::builder(&s).alt(1.0, ["Tim", "mechanic"]).build().unwrap();
+        let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+        let m = compare_xtuples(&t, &t, &cmp);
+        let sim_model = SimilarityBasedModel::new(
+            phi(),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.4, 0.7).unwrap(),
+        );
+        assert_eq!(sim_model.decide(&t, &t, &m).class, MatchClass::Match);
+        let dec_model = DecisionBasedModel::new(
+            phi(),
+            Thresholds::new(0.4, 0.7).unwrap(),
+            Arc::new(MatchingWeightDerivation::with_cap(1e9)),
+            Thresholds::new(0.5, 2.0).unwrap(),
+        );
+        assert_eq!(dec_model.decide(&t, &t, &m).class, MatchClass::Match);
+    }
+
+    #[test]
+    #[should_panic(expected = "alternatives")]
+    fn mismatched_matrix_panics() {
+        let (t32, t42, m) = fig7_pair();
+        let model = SimilarityBasedModel::new(
+            phi(),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.4, 0.7).unwrap(),
+        );
+        // Swap the tuples so the matrix no longer fits.
+        let _ = model.decide(&t42, &t32, &m);
+    }
+}

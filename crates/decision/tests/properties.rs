@@ -1,0 +1,182 @@
+//! Property tests for decision models: combination-function bounds,
+//! derivation laws, EM likelihood monotonicity and threshold coherence.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup_decision::combine::{CombinationFunction, WeightedSum};
+use probdedup_decision::derive_decision::{
+    AlternativeDecisions, DecisionDerivation, ExpectedMatchingResult, MatchingWeightDerivation,
+};
+use probdedup_decision::derive_sim::{
+    AlternativeSimilarities, ExpectedSimilarity, MaxSimilarity, MinSimilarity,
+    SimilarityDerivation,
+};
+use probdedup_decision::em::{fit_em, EmConfig};
+use probdedup_decision::fellegi_sunter::FellegiSunter;
+use probdedup_decision::threshold::{MatchClass, Thresholds};
+use probdedup_decision::xmodel::{SimilarityBasedModel, XTupleDecisionModel};
+use probdedup_matching::compare_xtuples;
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::schema::Schema;
+use probdedup_model::xtuple::XTuple;
+use probdedup_textsim::NormalizedHamming;
+
+/// Strategy: normalized weights of the given arity.
+fn arb_weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..100, n).prop_map(|ws| {
+        let total: u32 = ws.iter().sum();
+        ws.into_iter().map(|w| f64::from(w) / f64::from(total)).collect()
+    })
+}
+
+/// Strategy: a comparison vector in [0,1]^n.
+fn arb_cvec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, n)
+}
+
+/// Strategy: an x-tuple over (name, job) with 1–3 alternatives.
+fn arb_xtuple() -> impl Strategy<Value = XTuple> {
+    proptest::collection::vec(("[a-c]{1,3}", "[a-c]{1,3}", 1u32..50), 1..4).prop_map(|alts| {
+        let total: u32 = alts.iter().map(|(_, _, w)| *w).sum();
+        let denom = f64::from(total) * 1.25;
+        let s = Schema::new(["name", "job"]);
+        let mut b = XTuple::builder(&s);
+        for (n, j, w) in alts {
+            b = b.alt(f64::from(w) / denom, [n, j]);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Normalized weighted sums stay in [0,1] and are monotone in each input.
+    #[test]
+    fn weighted_sum_bounds_and_monotonicity(ws in arb_weights(3), c in arb_cvec(3), bump in 0.0f64..0.5) {
+        let phi = WeightedSum::new(ws).unwrap();
+        let base = phi.combine(&c);
+        prop_assert!((0.0..=1.0).contains(&base));
+        let mut c2 = c.clone();
+        c2[0] = (c2[0] + bump).min(1.0);
+        prop_assert!(phi.combine(&c2) >= base - 1e-12);
+    }
+
+    /// Expected similarity is squeezed between min and max derivations, and
+    /// weights being a distribution means it is a convex combination.
+    #[test]
+    fn expectation_between_extremes(
+        sims in proptest::collection::vec(0.0f64..=1.0, 4),
+        w1 in arb_weights(2),
+        w2 in arb_weights(2),
+    ) {
+        let input = AlternativeSimilarities { sims: &sims, w1: &w1, w2: &w2 };
+        let e = ExpectedSimilarity.derive(&input);
+        prop_assert!(e <= MaxSimilarity.derive(&input) + 1e-12);
+        prop_assert!(e >= MinSimilarity.derive(&input) - 1e-12);
+    }
+
+    /// Decision-derivation masses partition: P(m) + P(p) + P(u) = 1, the
+    /// expected matching result is 2·P(m) + P(p), and the matching weight is
+    /// consistent with the masses.
+    #[test]
+    fn decision_derivation_consistency(
+        classes_raw in proptest::collection::vec(0u8..3, 6),
+        w1 in arb_weights(2),
+        w2 in arb_weights(3),
+    ) {
+        let classes: Vec<MatchClass> = classes_raw
+            .iter()
+            .map(|&x| match x {
+                0 => MatchClass::NonMatch,
+                1 => MatchClass::Possible,
+                _ => MatchClass::Match,
+            })
+            .collect();
+        let input = AlternativeDecisions { classes: &classes, w1: &w1, w2: &w2 };
+        let (pm, pp, pu) = input.class_masses();
+        prop_assert!((pm + pp + pu - 1.0).abs() < 1e-9);
+        let e = ExpectedMatchingResult::new().derive(&input);
+        prop_assert!((e - (2.0 * pm + pp)).abs() < 1e-9);
+        let w = MatchingWeightDerivation::new().derive(&input);
+        if pu > 0.0 {
+            prop_assert!((w - pm / pu).abs() < 1e-9);
+        }
+    }
+
+    /// The similarity-based model is invariant under scaling all alternative
+    /// probabilities of either tuple (membership must not matter).
+    #[test]
+    fn xmodel_membership_invariance(t1 in arb_xtuple(), t2 in arb_xtuple(), scale in 1u32..=10) {
+        let s = Schema::new(["name", "job"]);
+        let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+        let model = SimilarityBasedModel::new(
+            Arc::new(WeightedSum::new([0.8, 0.2]).unwrap()),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.4, 0.7).unwrap(),
+        );
+        // Scale t1's alternatives down by `scale`.
+        let factor = 1.0 / f64::from(scale);
+        let mut b = XTuple::builder(&s);
+        for alt in t1.alternatives() {
+            b = b.alt_pvalues(alt.probability() * factor, alt.values().to_vec());
+        }
+        let t1_scaled = b.build().unwrap();
+        let d1 = model.decide(&t1, &t2, &compare_xtuples(&t1, &t2, &cmp));
+        let d2 = model.decide(&t1_scaled, &t2, &compare_xtuples(&t1_scaled, &t2, &cmp));
+        prop_assert!((d1.similarity - d2.similarity).abs() < 1e-9);
+        prop_assert_eq!(d1.class, d2.class);
+    }
+
+    /// Thresholds classify coherently: raising the similarity never demotes
+    /// the class (ordering m > p > u is monotone in sim).
+    #[test]
+    fn threshold_monotonicity(lambda in 0.0f64..0.5, gap in 0.0f64..0.5, s1 in 0.0f64..=1.0, s2 in 0.0f64..=1.0) {
+        let t = Thresholds::new(lambda, lambda + gap).unwrap();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let rank = |c: MatchClass| match c {
+            MatchClass::NonMatch => 0,
+            MatchClass::Possible => 1,
+            MatchClass::Match => 2,
+        };
+        prop_assert!(rank(t.classify(hi)) >= rank(t.classify(lo)));
+    }
+
+    /// Fellegi–Sunter weights factor multiplicatively over attributes.
+    #[test]
+    fn fs_weight_factorization(m in arb_weights(3), c in arb_cvec(3)) {
+        // Use weights as (scaled) m-probabilities; fixed u.
+        let ms: Vec<f64> = m.iter().map(|x| 0.5 + x / 2.0).collect();
+        let us = vec![0.1, 0.2, 0.3];
+        let fs = FellegiSunter::new(ms.clone(), us.clone(), 0.5).unwrap();
+        let w = fs.weight(&c);
+        let manual: f64 = (0..3)
+            .map(|i| {
+                let (mi, ui) = (ms[i].clamp(1e-6, 1.0 - 1e-6), us[i]);
+                if c[i] >= 0.5 { mi / ui } else { (1.0 - mi) / (1.0 - ui) }
+            })
+            .product();
+        prop_assert!((w - manual).abs() < 1e-9 * manual.max(1.0));
+    }
+
+    /// EM monotonically increases log-likelihood (checked via successive
+    /// one-round fits against the same data) and always returns parameters
+    /// in the open unit interval.
+    #[test]
+    fn em_likelihood_and_param_bounds(seed_rows in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 2), 8..40)) {
+        let mut lls = Vec::new();
+        for iters in [1usize, 2, 4, 8] {
+            let cfg = EmConfig { max_iterations: iters, tolerance: 0.0, ..EmConfig::default() };
+            let r = fit_em(&seed_rows, &cfg).unwrap();
+            lls.push(r.log_likelihood);
+            for &x in r.model.m().iter().chain(r.model.u().iter()) {
+                prop_assert!(x > 0.0 && x < 1.0);
+            }
+        }
+        for pair in lls.windows(2) {
+            prop_assert!(pair[1] >= pair[0] - 1e-7, "log-likelihood decreased: {lls:?}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Pairwise confusion counts.
+
+use std::collections::HashSet;
+
+/// Pairwise confusion counts of a duplicate-detection run: predictions and
+/// truth are both sets of unordered row pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    /// Predicted duplicate, truly duplicate.
+    pub tp: u64,
+    /// Predicted duplicate, truly distinct.
+    pub fp: u64,
+    /// Predicted distinct (or never compared), truly duplicate.
+    pub fn_: u64,
+    /// Predicted distinct, truly distinct.
+    pub tn: u64,
+}
+
+impl ConfusionCounts {
+    /// Compare a predicted match-pair set against the true duplicate-pair
+    /// set, over a universe of `n` rows (so that true negatives are
+    /// well-defined: all `n·(n−1)/2` pairs not in either set).
+    ///
+    /// Both sets must contain canonical `(lo, hi)` pairs.
+    pub fn from_pair_sets(
+        predicted: &HashSet<(usize, usize)>,
+        truth: &HashSet<(usize, usize)>,
+        n: usize,
+    ) -> Self {
+        let tp = predicted.intersection(truth).count() as u64;
+        let fp = predicted.len() as u64 - tp;
+        let fn_ = truth.len() as u64 - tp;
+        let total = (n as u64) * (n as u64).saturating_sub(1) / 2;
+        let tn = total - tp - fp - fn_;
+        Self { tp, fp, fn_, tn }
+    }
+
+    /// Total number of pairs accounted for.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(usize, usize)]) -> HashSet<(usize, usize)> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn counts_partition_the_pair_space() {
+        // 5 rows → 10 pairs. Truth: {(0,1),(2,3)}. Predicted: {(0,1),(1,2)}.
+        let c = ConfusionCounts::from_pair_sets(
+            &set(&[(0, 1), (1, 2)]),
+            &set(&[(0, 1), (2, 3)]),
+            5,
+        );
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 7);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = set(&[(0, 1), (0, 2), (1, 2)]);
+        let c = ConfusionCounts::from_pair_sets(&truth, &truth, 4);
+        assert_eq!(c.tp, 3);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 0);
+        assert_eq!(c.tn, 3);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let c = ConfusionCounts::from_pair_sets(&set(&[]), &set(&[]), 0);
+        assert_eq!(c.total(), 0);
+    }
+}

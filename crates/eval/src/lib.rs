@@ -1,0 +1,18 @@
+//! Verification metrics for duplicate detection (Section III-E of Panse et
+//! al., ICDE 2010): *"the effectiveness of the applied identification is
+//! checked in terms of recall, precision, false negative percentage, false
+//! positive percentage and F₁-measure"* — plus the candidate-set metrics
+//! (pairs completeness, reduction ratio) needed to evaluate search-space
+//! reduction, threshold sweeps, and plain-text report tables.
+
+pub mod confusion;
+pub mod metrics;
+pub mod reduction_metrics;
+pub mod report;
+pub mod sweep;
+
+pub use confusion::ConfusionCounts;
+pub use metrics::EffectivenessMetrics;
+pub use reduction_metrics::ReductionMetrics;
+pub use report::Table;
+pub use sweep::{best_f1, grid, sweep_thresholds, threshold_for_precision, SweepPoint};

@@ -1,0 +1,130 @@
+//! Effectiveness metrics derived from confusion counts (Section III-E).
+
+use crate::confusion::ConfusionCounts;
+
+/// The paper's verification metrics. Ill-defined ratios (0/0) report as
+/// `1.0` for precision/recall on empty denominators — the conventional
+/// "vacuously perfect" reading — so that empty test cases don't explode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectivenessMetrics {
+    /// `tp / (tp + fp)`.
+    pub precision: f64,
+    /// `tp / (tp + fn)`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// False positive percentage: `fp / (fp + tn)` (share of true
+    /// non-duplicate pairs wrongly matched).
+    pub false_positive_pct: f64,
+    /// False negative percentage: `fn / (tp + fn)` (share of true
+    /// duplicate pairs missed; `1 − recall`).
+    pub false_negative_pct: f64,
+}
+
+impl EffectivenessMetrics {
+    /// Derive all metrics from counts.
+    pub fn from_counts(c: &ConfusionCounts) -> Self {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let precision = ratio(c.tp, c.tp + c.fp);
+        let recall = ratio(c.tp, c.tp + c.fn_);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        let false_positive_pct = if c.fp + c.tn == 0 {
+            0.0
+        } else {
+            c.fp as f64 / (c.fp + c.tn) as f64
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+            false_positive_pct,
+            false_negative_pct: 1.0 - recall,
+        }
+    }
+}
+
+impl std::fmt::Display for EffectivenessMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} FP%={:.4} FN%={:.3}",
+            self.precision, self.recall, self.f1, self.false_positive_pct, self.false_negative_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        let c = ConfusionCounts {
+            tp: 8,
+            fp: 2,
+            fn_: 4,
+            tn: 86,
+        };
+        let m = EffectivenessMetrics::from_counts(&c);
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        let expected_f1 = 2.0 * 0.8 * (2.0 / 3.0) / (0.8 + 2.0 / 3.0);
+        assert!((m.f1 - expected_f1).abs() < 1e-12);
+        assert!((m.false_positive_pct - 2.0 / 88.0).abs() < 1e-12);
+        assert!((m.false_negative_pct - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean_identity() {
+        for (tp, fp, fn_) in [(5u64, 3u64, 2u64), (1, 0, 0), (0, 5, 5)] {
+            let c = ConfusionCounts { tp, fp, fn_, tn: 10 };
+            let m = EffectivenessMetrics::from_counts(&c);
+            if m.precision + m.recall > 0.0 {
+                let hm = 2.0 / (1.0 / m.precision.max(1e-15) + 1.0 / m.recall.max(1e-15));
+                if m.precision > 0.0 && m.recall > 0.0 {
+                    assert!((m.f1 - hm).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = EffectivenessMetrics::from_counts(&ConfusionCounts::default());
+        assert_eq!(empty.precision, 1.0);
+        assert_eq!(empty.recall, 1.0);
+        assert_eq!(empty.false_positive_pct, 0.0);
+        let all_wrong = EffectivenessMetrics::from_counts(&ConfusionCounts {
+            tp: 0,
+            fp: 10,
+            fn_: 10,
+            tn: 0,
+        });
+        assert_eq!(all_wrong.precision, 0.0);
+        assert_eq!(all_wrong.recall, 0.0);
+        assert_eq!(all_wrong.f1, 0.0);
+        assert_eq!(all_wrong.false_positive_pct, 1.0);
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let m = EffectivenessMetrics::from_counts(&ConfusionCounts {
+            tp: 1,
+            fp: 1,
+            fn_: 1,
+            tn: 1,
+        });
+        let s = m.to_string();
+        assert!(s.contains("P=") && s.contains("F1=") && s.contains("FN%="));
+    }
+}

@@ -1,0 +1,118 @@
+//! Candidate-set quality metrics for search-space reduction: pairs
+//! completeness (how many true duplicates survive into the candidate set —
+//! an upper bound on end-to-end recall) and reduction ratio (how much of
+//! the quadratic pair space was pruned). Section V's methods trade these
+//! two off; experiment E1 sweeps them.
+
+use std::collections::HashSet;
+
+/// Quality of a candidate pair set produced by a reduction method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionMetrics {
+    /// `|candidates ∩ truth| / |truth|` — recall of the candidate set.
+    pub pairs_completeness: f64,
+    /// `1 − |candidates| / (n·(n−1)/2)`.
+    pub reduction_ratio: f64,
+    /// Number of candidate pairs.
+    pub candidates: usize,
+    /// Number of true duplicate pairs.
+    pub true_pairs: usize,
+    /// Harmonic mean of pairs completeness and reduction ratio (a common
+    /// single-figure summary of the trade-off).
+    pub harmonic_mean: f64,
+}
+
+impl ReductionMetrics {
+    /// Evaluate a candidate set against the truth over `n` rows.
+    pub fn evaluate(
+        candidates: &HashSet<(usize, usize)>,
+        truth: &HashSet<(usize, usize)>,
+        n: usize,
+    ) -> Self {
+        let covered = candidates.intersection(truth).count();
+        let pairs_completeness = if truth.is_empty() {
+            1.0
+        } else {
+            covered as f64 / truth.len() as f64
+        };
+        let total = n * n.saturating_sub(1) / 2;
+        let reduction_ratio = if total == 0 {
+            0.0
+        } else {
+            1.0 - candidates.len() as f64 / total as f64
+        };
+        let harmonic_mean = if pairs_completeness + reduction_ratio <= 0.0 {
+            0.0
+        } else {
+            2.0 * pairs_completeness * reduction_ratio / (pairs_completeness + reduction_ratio)
+        };
+        Self {
+            pairs_completeness,
+            reduction_ratio,
+            candidates: candidates.len(),
+            true_pairs: truth.len(),
+            harmonic_mean,
+        }
+    }
+}
+
+impl std::fmt::Display for ReductionMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PC={:.3} RR={:.3} HM={:.3} ({} candidates / {} true pairs)",
+            self.pairs_completeness,
+            self.reduction_ratio,
+            self.harmonic_mean,
+            self.candidates,
+            self.true_pairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(usize, usize)]) -> HashSet<(usize, usize)> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn full_comparison_has_pc_one_rr_zero() {
+        let n = 5;
+        let mut all = HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                all.insert((i, j));
+            }
+        }
+        let truth = set(&[(0, 1), (2, 4)]);
+        let m = ReductionMetrics::evaluate(&all, &truth, n);
+        assert_eq!(m.pairs_completeness, 1.0);
+        assert_eq!(m.reduction_ratio, 0.0);
+        assert_eq!(m.candidates, 10);
+    }
+
+    #[test]
+    fn partial_candidate_set() {
+        // Truth {(0,1),(2,3)}, candidates {(0,1),(1,2)} over 5 rows.
+        let m = ReductionMetrics::evaluate(&set(&[(0, 1), (1, 2)]), &set(&[(0, 1), (2, 3)]), 5);
+        assert!((m.pairs_completeness - 0.5).abs() < 1e-12);
+        assert!((m.reduction_ratio - 0.8).abs() < 1e-12);
+        let hm = 2.0 * 0.5 * 0.8 / 1.3;
+        assert!((m.harmonic_mean - hm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_is_vacuously_complete() {
+        let m = ReductionMetrics::evaluate(&set(&[(0, 1)]), &set(&[]), 3);
+        assert_eq!(m.pairs_completeness, 1.0);
+    }
+
+    #[test]
+    fn display() {
+        let m = ReductionMetrics::evaluate(&set(&[(0, 1)]), &set(&[(0, 1)]), 3);
+        assert!(m.to_string().contains("PC=1.000"));
+    }
+}

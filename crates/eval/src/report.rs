@@ -1,0 +1,119 @@
+//! Plain-text report tables: the experiment harness prints paper-style
+//! rows with aligned columns.
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded or truncated to the header width).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|s| s.as_ref().to_string()).collect();
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a header separator, and two-space
+    /// gutters.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["method", "PC", "RR"]);
+        t.row(&["multipass", "1.000", "0.93"]);
+        t.row(&["blocking-alt", "0.98", "0.991"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].starts_with("---"));
+        // All data lines align on the PC column.
+        let pc_col = lines[0].find("PC").unwrap();
+        assert_eq!(&lines[2][pc_col..pc_col + 5], "1.000");
+        assert_eq!(&lines[3][pc_col..pc_col + 4], "0.98");
+    }
+
+    #[test]
+    fn rows_padded_and_truncated() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+        t.row(&["x", "y", "ignored-extra"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains("ignored-extra"));
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new(&["solo"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Memoization of value-pair similarities.
+//!
+//! Eq. 5 evaluates the kernel on every pair of support values; across a
+//! relation the same string pairs recur constantly (domains are small
+//! relative to the number of tuples). [`CachedComparator`] wraps a
+//! [`ValueComparator`] with a thread-safe memo table keyed on the canonical
+//! (sorted) value pair — exploiting kernel symmetry to halve the table.
+
+use std::sync::Mutex;
+
+use probdedup_model::util::FxHashMap;
+use probdedup_model::value::Value;
+
+use crate::value_cmp::ValueComparator;
+
+/// A memoizing wrapper around [`ValueComparator`].
+///
+/// Thread-safe via an internal mutex; for the read-dominated access pattern
+/// of duplicate detection the contention is negligible compared to kernel
+/// cost, and sharding can be layered on top if ever needed.
+pub struct CachedComparator {
+    inner: ValueComparator,
+    memo: Mutex<FxHashMap<(Value, Value), f64>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl CachedComparator {
+    /// Wrap `inner` with an empty memo table.
+    pub fn new(inner: ValueComparator) -> Self {
+        Self {
+            inner,
+            memo: Mutex::new(FxHashMap::default()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Memoized similarity (same contract as
+    /// [`ValueComparator::similarity`]).
+    pub fn similarity(&self, a: &Value, b: &Value) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        // Nulls are trivial; don't pollute the cache.
+        if a.is_null() || b.is_null() {
+            return self.inner.similarity(a, b);
+        }
+        let key = if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        if let Some(&s) = self.memo.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return s;
+        }
+        let s = self.inner.similarity(a, b);
+        self.misses.fetch_add(1, Relaxed);
+        self.memo.lock().expect("cache poisoned").insert(key, s);
+        s
+    }
+
+    /// `(hits, misses)` counters — used by benches to report cache
+    /// effectiveness.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.memo.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the memo table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The wrapped comparator.
+    pub fn inner(&self) -> &ValueComparator {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_textsim::NormalizedHamming;
+
+    fn cached() -> CachedComparator {
+        CachedComparator::new(ValueComparator::text(NormalizedHamming::new()))
+    }
+
+    #[test]
+    fn caches_symmetric_pairs() {
+        let c = cached();
+        let tim = Value::from("Tim");
+        let kim = Value::from("Kim");
+        let s1 = c.similarity(&tim, &kim);
+        let s2 = c.similarity(&kim, &tim); // must hit the same entry
+        assert_eq!(s1, s2);
+        assert_eq!(c.len(), 1);
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn nulls_bypass_cache() {
+        let c = cached();
+        assert_eq!(c.similarity(&Value::Null, &Value::Null), 1.0);
+        assert_eq!(c.similarity(&Value::Null, &Value::from("x")), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn values_agree_with_inner() {
+        let c = cached();
+        let pairs = [("machinist", "mechanic"), ("a", "a"), ("", "x")];
+        for (x, y) in pairs {
+            let vx = Value::from(x);
+            let vy = Value::from(y);
+            assert_eq!(c.similarity(&vx, &vy), c.inner().similarity(&vx, &vy));
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let c = Arc::new(cached());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        let a = Value::from(format!("name{}", (i + j) % 7));
+                        let b = Value::from(format!("name{}", j % 5));
+                        let s = c.similarity(&a, &b);
+                        assert!((0.0..=1.0).contains(&s));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 7 * 5 + 7);
+    }
+}

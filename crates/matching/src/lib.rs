@@ -1,0 +1,32 @@
+//! Attribute value matching for probabilistic data (Section IV-A of Panse et
+//! al., ICDE 2010).
+//!
+//! The similarity of two uncertain attribute values `a₁`, `a₂` over the
+//! extended domain `D̂ = D ∪ {⊥}` is their **expected pairwise similarity**
+//! (Eq. 5):
+//!
+//! ```text
+//! sim(a₁, a₂) = Σ_{d₁∈D̂} Σ_{d₂∈D̂}  P(a₁=d₁) · P(a₂=d₂) · sim(d₁, d₂)
+//! ```
+//!
+//! with the non-existence conventions `sim(⊥,⊥) = 1` and `sim(a,⊥) =
+//! sim(⊥,a) = 0` — two non-existent values state the same real-world fact,
+//! while an existing value is definitely not similar to a non-existing one.
+//! With the exact-equality kernel this reduces to Eq. 4, the probability
+//! that both values are equal.
+//!
+//! Comparing two tuples attribute by attribute yields the **comparison
+//! vector** `c⃗ ∈ [0,1]ⁿ` the decision models consume; comparing two
+//! x-tuples yields the k×l **comparison matrix** of Fig. 6.
+
+pub mod cache;
+pub mod matrix;
+pub mod pvalue_sim;
+pub mod value_cmp;
+pub mod vector;
+
+pub use cache::CachedComparator;
+pub use matrix::{compare_xtuples, ComparisonMatrix};
+pub use pvalue_sim::pvalue_similarity;
+pub use value_cmp::ValueComparator;
+pub use vector::{compare_tuples, AttributeComparators, ComparisonVector};

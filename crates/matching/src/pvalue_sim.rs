@@ -1,0 +1,158 @@
+//! The expected-similarity formulas of Section IV-A: Eq. 4 (error-free) and
+//! Eq. 5 (erroneous data).
+
+use probdedup_model::pvalue::PValue;
+
+use crate::value_cmp::ValueComparator;
+
+/// Eq. 5: the expected similarity of two uncertain attribute values under a
+/// similarity kernel, assuming the values are independent random variables
+/// (the dependency-free model):
+///
+/// ```text
+/// sim(a₁, a₂) = Σ_{d₁∈D̂} Σ_{d₂∈D̂} P(a₁=d₁) · P(a₂=d₂) · sim(d₁, d₂)
+/// ```
+///
+/// `D̂` includes ⊥, whose mass is implicit in [`PValue`]; the ⊥ conventions
+/// live in [`ValueComparator::similarity_opt`]. Runs in
+/// `O(|supp(a₁)| · |supp(a₂)|)` kernel evaluations (the ⊥×⊥ term is free).
+///
+/// ```
+/// use probdedup_matching::{pvalue_similarity, ValueComparator};
+/// use probdedup_model::pvalue::PValue;
+/// use probdedup_textsim::NormalizedHamming;
+///
+/// // Paper, Section IV-A: sim(t11.name, t22.name) = 0.9.
+/// let a = PValue::certain("Tim");
+/// let b = PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap();
+/// let cmp = ValueComparator::text(NormalizedHamming::new());
+/// assert!((pvalue_similarity(&a, &b, &cmp) - 0.9).abs() < 1e-12);
+/// ```
+pub fn pvalue_similarity(a: &PValue, b: &PValue, cmp: &ValueComparator) -> f64 {
+    let mut total = 0.0;
+    // Existing × existing terms.
+    for (va, pa) in a.alternatives() {
+        for (vb, pb) in b.alternatives() {
+            let s = cmp.similarity(va, vb);
+            if s > 0.0 {
+                total += pa * pb * s;
+            }
+        }
+    }
+    // ⊥ × ⊥ term: sim(⊥,⊥) = 1. The ⊥ × existing terms contribute 0.
+    total += a.null_prob() * b.null_prob();
+    // Clamp tiny floating-point overshoot.
+    total.clamp(0.0, 1.0)
+}
+
+/// Eq. 4 (error-free data): the probability that both values are equal,
+/// `P(a₁ = a₂)`. Equivalent to [`pvalue_similarity`] with the exact-equality
+/// kernel — a property test asserts this reduction.
+pub fn pvalue_equality(a: &PValue, b: &PValue) -> f64 {
+    a.equality_prob(b)
+}
+
+/// [`pvalue_similarity`] with a memoizing kernel: identical value pairs
+/// (which recur constantly across a relation — domains are small relative
+/// to tuple counts) hit the cache instead of re-running the string kernel.
+pub fn pvalue_similarity_cached(
+    a: &PValue,
+    b: &PValue,
+    cmp: &crate::cache::CachedComparator,
+) -> f64 {
+    let mut total = 0.0;
+    for (va, pa) in a.alternatives() {
+        for (vb, pb) in b.alternatives() {
+            let s = cmp.similarity(va, vb);
+            if s > 0.0 {
+                total += pa * pb * s;
+            }
+        }
+    }
+    total += a.null_prob() * b.null_prob();
+    total.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_model::value::Value;
+    use probdedup_textsim::{Exact, NormalizedHamming};
+
+    fn hamming() -> ValueComparator {
+        ValueComparator::text(NormalizedHamming::new())
+    }
+
+    #[test]
+    fn paper_sim_name_t11_t22() {
+        // sim(Tim, {Tim: .7, Kim: .3}) = .7·1 + .3·(2/3) = 0.9.
+        let a = PValue::certain("Tim");
+        let b = PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap();
+        assert!((pvalue_similarity(&a, &b, &hamming()) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_sim_job_t11_t22() {
+        // sim({machinist: .7, mechanic: .2}, mechanic)
+        //   = .7·(5/9) + .2·1 + .1·0 = 53/90 ≈ 0.589 (the paper rounds to 0.59).
+        let a = PValue::categorical([("machinist", 0.7), ("mechanic", 0.2)]).unwrap();
+        let b = PValue::certain("mechanic");
+        let s = pvalue_similarity(&a, &b, &hamming());
+        assert!((s - 53.0 / 90.0).abs() < 1e-12);
+        assert!((s - 0.59).abs() < 2e-3); // the paper's rounded figure
+    }
+
+    #[test]
+    fn null_against_null_and_existing() {
+        let null = PValue::null();
+        let tim = PValue::certain("Tim");
+        let c = hamming();
+        assert_eq!(pvalue_similarity(&null, &null, &c), 1.0);
+        assert_eq!(pvalue_similarity(&null, &tim, &c), 0.0);
+        assert_eq!(pvalue_similarity(&tim, &null, &c), 0.0);
+    }
+
+    #[test]
+    fn partial_null_mass_contributes() {
+        // a = {x: .6, ⊥: .4}, b = {x: .5, ⊥: .5}:
+        // x·x: .6·.5·1 = .3; ⊥·⊥: .4·.5 = .2 → 0.5.
+        let a = PValue::categorical([("x", 0.6)]).unwrap();
+        let b = PValue::categorical([("x", 0.5)]).unwrap();
+        assert!((pvalue_similarity(&a, &b, &hamming()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_kernel_reduces_to_equality_probability() {
+        let a = PValue::categorical([("Tim", 0.6), ("Tom", 0.4)]).unwrap();
+        let b = PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap();
+        let exact = ValueComparator::text(Exact);
+        assert!(
+            (pvalue_similarity(&a, &b, &exact) - pvalue_equality(&a, &b)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn certain_identical_values_score_one() {
+        let a = PValue::certain("machinist");
+        assert_eq!(pvalue_similarity(&a, &a, &hamming()), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = PValue::categorical([("machinist", 0.7), ("mechanic", 0.2)]).unwrap();
+        let b = PValue::categorical([("mechanic", 0.5), ("baker", 0.3)]).unwrap();
+        let c = hamming();
+        assert!(
+            (pvalue_similarity(&a, &b, &c) - pvalue_similarity(&b, &a, &c)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn numeric_distributions() {
+        // Uncertain ages compared with the numeric kernel (scale 10).
+        let a = PValue::categorical([(Value::Int(30), 0.5), (Value::Int(40), 0.5)]).unwrap();
+        let b = PValue::certain(Value::Int(35));
+        // .5·.5 + .5·.5 = 0.5.
+        assert!((pvalue_similarity(&a, &b, &hamming()) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! [`ValueComparator`]: a normalized similarity on concrete [`Value`]s,
+//! enforcing the paper's ⊥ conventions in exactly one place.
+
+use std::sync::Arc;
+
+use probdedup_model::value::Value;
+use probdedup_textsim::numeric::{AbsoluteScaled, NumericComparator};
+use probdedup_textsim::{SharedComparator, StringComparator};
+
+/// Compares two concrete domain values, routing by type:
+///
+/// * `⊥` vs `⊥` → `1.0`; `⊥` vs anything else → `0.0` (Section IV-A),
+/// * text vs text → the configured [`StringComparator`],
+/// * numeric vs numeric (`Int`/`Real` interchangeable) → the configured
+///   `NumericComparator`,
+/// * bool vs bool → exact,
+/// * mixed types → `0.0` by default, or compared as rendered strings when
+///   [`ValueComparator::coerce_mixed_to_text`] is enabled (useful for dirty
+///   sources that store numbers as strings).
+#[derive(Clone)]
+pub struct ValueComparator {
+    text: SharedComparator,
+    numeric: Arc<dyn NumericComparator>,
+    mixed_as_text: bool,
+}
+
+impl ValueComparator {
+    /// A comparator using `text` for strings and a numeric kernel that
+    /// decays over `numeric_scale` (see
+    /// [`AbsoluteScaled`]).
+    pub fn new(text: SharedComparator, numeric: Arc<dyn NumericComparator>) -> Self {
+        Self {
+            text,
+            numeric,
+            mixed_as_text: false,
+        }
+    }
+
+    /// A comparator for text-dominated schemas: the given string kernel plus
+    /// an absolute numeric kernel with scale 10.
+    pub fn text(cmp: impl StringComparator + 'static) -> Self {
+        Self::new(Arc::new(cmp), Arc::new(AbsoluteScaled::new(10.0)))
+    }
+
+    /// Compare mixed-type pairs as rendered strings instead of scoring 0.
+    pub fn coerce_mixed_to_text(mut self) -> Self {
+        self.mixed_as_text = true;
+        self
+    }
+
+    /// The underlying string kernel.
+    pub fn text_kernel(&self) -> &SharedComparator {
+        &self.text
+    }
+
+    /// Similarity of two concrete values in `[0, 1]`.
+    pub fn similarity(&self, a: &Value, b: &Value) -> f64 {
+        use Value::*;
+        match (a, b) {
+            (Null, Null) => 1.0,
+            (Null, _) | (_, Null) => 0.0,
+            (Text(x), Text(y)) => self.text.similarity(x, y),
+            (Bool(x), Bool(y)) if x == y => 1.0,
+            (Bool(_), Bool(_)) => 0.0,
+            (Int(_) | Real(_), Int(_) | Real(_)) => {
+                let (x, y) = (
+                    a.as_number().expect("numeric"),
+                    b.as_number().expect("numeric"),
+                );
+                self.numeric.similarity(x, y)
+            }
+            _ if self.mixed_as_text => self.text.similarity(&a.render(), &b.render()),
+            _ => 0.0,
+        }
+    }
+
+    /// Similarity of the optional-value encoding used by
+    /// [`PValue::outcomes`](probdedup_model::pvalue::PValue::outcomes):
+    /// `None` stands for ⊥.
+    pub fn similarity_opt(&self, a: Option<&Value>, b: Option<&Value>) -> f64 {
+        match (a, b) {
+            (None, None) => 1.0,
+            (None, Some(_)) | (Some(_), None) => 0.0,
+            (Some(x), Some(y)) => self.similarity(x, y),
+        }
+    }
+}
+
+impl std::fmt::Debug for ValueComparator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueComparator")
+            .field("text", &self.text.name())
+            .field("numeric", &self.numeric.name())
+            .field("mixed_as_text", &self.mixed_as_text)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_textsim::NormalizedHamming;
+
+    fn cmp() -> ValueComparator {
+        ValueComparator::text(NormalizedHamming::new())
+    }
+
+    #[test]
+    fn null_conventions() {
+        let c = cmp();
+        assert_eq!(c.similarity(&Value::Null, &Value::Null), 1.0);
+        assert_eq!(c.similarity(&Value::Null, &Value::from("x")), 0.0);
+        assert_eq!(c.similarity(&Value::from("x"), &Value::Null), 0.0);
+        assert_eq!(c.similarity_opt(None, None), 1.0);
+        assert_eq!(c.similarity_opt(None, Some(&Value::from("x"))), 0.0);
+    }
+
+    #[test]
+    fn text_routing() {
+        let c = cmp();
+        assert!((c.similarity(&Value::from("Tim"), &Value::from("Kim")) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_routing_mixes_int_and_real() {
+        let c = cmp();
+        assert_eq!(c.similarity(&Value::Int(30), &Value::Int(30)), 1.0);
+        assert!((c.similarity(&Value::Int(30), &Value::Real(35.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(c.similarity(&Value::Int(30), &Value::Int(50)), 0.0);
+    }
+
+    #[test]
+    fn bool_exact() {
+        let c = cmp();
+        assert_eq!(c.similarity(&Value::Bool(true), &Value::Bool(true)), 1.0);
+        assert_eq!(c.similarity(&Value::Bool(true), &Value::Bool(false)), 0.0);
+    }
+
+    #[test]
+    fn mixed_types_default_zero() {
+        let c = cmp();
+        assert_eq!(c.similarity(&Value::from("30"), &Value::Int(30)), 0.0);
+        assert_eq!(c.similarity(&Value::Bool(true), &Value::from("true")), 0.0);
+    }
+
+    #[test]
+    fn mixed_coercion_renders() {
+        let c = cmp().coerce_mixed_to_text();
+        assert_eq!(c.similarity(&Value::from("30"), &Value::Int(30)), 1.0);
+        assert!(c.similarity(&Value::from("31"), &Value::Int(30)) < 1.0);
+    }
+
+    #[test]
+    fn debug_formatting_names_kernels() {
+        let s = format!("{:?}", cmp());
+        assert!(s.contains("hamming"), "{s}");
+    }
+}

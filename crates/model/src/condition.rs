@@ -1,0 +1,115 @@
+//! Conditioning on the existence event *B* (both/all tuples belong to their
+//! relations).
+//!
+//! The paper's central modelling decision (Section IV) is that *tuple
+//! membership must not influence duplicate detection*: a person may appear
+//! with `p = 1.0` in one relation and `p = 0.1` in another and still be the
+//! same person. All similarity derivations therefore condition on the event
+//! *B* that the compared tuples exist, normalizing each alternative's
+//! probability by `p(t)` — called *conditioning* (Koch & Olteanu) or
+//! *scaling* (Widom) in the referenced literature.
+
+use crate::xtuple::XTuple;
+
+/// `P(B)`: probability that **all** given x-tuples belong to their
+/// relations, `Π p(tᵢ)` (tuples are independent across x-tuples).
+///
+/// For Fig. 7's pair `(t32, t42)`: `P(B) = 0.9 · 0.8 = 0.72`.
+pub fn existence_event_probability(tuples: &[XTuple]) -> f64 {
+    tuples.iter().map(XTuple::probability).product()
+}
+
+/// The conditioned per-alternative probabilities `p(tⁱ)/p(t)` of one
+/// x-tuple (they sum to 1).
+pub fn normalized_alternative_probs(t: &XTuple) -> Vec<f64> {
+    let total = t.probability();
+    t.alternatives()
+        .iter()
+        .map(|a| a.probability() / total)
+        .collect()
+}
+
+/// The conditioned probability of a *full* world `(i, j, …)` over `tuples`:
+/// `Π p(tᵢ^{cᵢ}) / P(B)`. Panics if `choices` and `tuples` differ in length.
+pub fn conditioned_world_probability(tuples: &[XTuple], choices: &[usize]) -> f64 {
+    assert_eq!(tuples.len(), choices.len(), "one choice per tuple");
+    let joint: f64 = tuples
+        .iter()
+        .zip(choices)
+        .map(|(t, &c)| t.alternatives()[c].probability())
+        .product();
+    joint / existence_event_probability(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn fig7_tuples() -> Vec<XTuple> {
+        let s = Schema::new(["name", "job"]);
+        vec![
+            XTuple::builder(&s)
+                .alt(0.3, ["Tim", "mechanic"])
+                .alt(0.2, ["Jim", "mechanic"])
+                .alt(0.4, ["Jim", "baker"])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.8, ["Tom", "mechanic"])
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn fig7_event_b_probability() {
+        let ts = fig7_tuples();
+        assert!((existence_event_probability(&ts) - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_probs_sum_to_one() {
+        let ts = fig7_tuples();
+        let probs = normalized_alternative_probs(&ts[0]);
+        assert_eq!(probs.len(), 3);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((probs[0] - 0.3 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig7_conditioned_world_probabilities() {
+        // P(I1|B) = 0.24/0.72 = 1/3, P(I2|B) = 2/9, P(I3|B) = 4/9.
+        let ts = fig7_tuples();
+        assert!((conditioned_world_probability(&ts, &[0, 0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((conditioned_world_probability(&ts, &[1, 0]) - 2.0 / 9.0).abs() < 1e-12);
+        assert!((conditioned_world_probability(&ts, &[2, 0]) - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioned_probs_invariant_under_membership_scaling() {
+        // Scaling all alternative probabilities of a tuple by a constant
+        // factor must not change conditioned probabilities: the core of the
+        // paper's "membership does not matter" argument.
+        let s = Schema::new(["name"]);
+        let t_full = XTuple::builder(&s)
+            .alt(0.6, ["a"])
+            .alt(0.4, ["b"])
+            .build()
+            .unwrap();
+        let t_scaled = XTuple::builder(&s)
+            .alt(0.06, ["a"])
+            .alt(0.04, ["b"])
+            .build()
+            .unwrap();
+        assert!(normalized_alternative_probs(&t_full)
+            .iter()
+            .zip(normalized_alternative_probs(&t_scaled).iter())
+            .all(|(a, b)| (a - b).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_tuple_set_event_probability_is_one() {
+        assert_eq!(existence_event_probability(&[]), 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Conversions between the dependency-free model ([`ProbTuple`]) and the
+//! x-tuple model ([`XTuple`]).
+//!
+//! * [`expand_prob_tuple`] turns attribute-level independence into explicit
+//!   alternatives (the cartesian product of attribute outcomes) — exact but
+//!   potentially exponential, hence the mandatory limit.
+//! * [`marginalize_xtuple`] projects an x-tuple down to independent
+//!   per-attribute marginals — always cheap, but *lossy*: dependencies
+//!   between attribute values are forgotten.
+//!
+//! Round-tripping `expand ∘ marginalize` is the identity only for x-tuples
+//! whose alternatives are already independent combinations; the tests
+//! demonstrate both the lossless and the lossy direction.
+
+use crate::error::ModelError;
+use crate::pvalue::PValue;
+use crate::tuple::ProbTuple;
+use crate::value::Value;
+use crate::xtuple::{XAlternative, XTuple};
+
+/// Expand a dependency-free probabilistic tuple into an x-tuple whose
+/// alternatives have **certain** values: one alternative per combination of
+/// attribute outcomes (including ⊥ outcomes), with probability
+/// `p(t) · Π P(attr = outcome)`.
+///
+/// Refuses with [`ModelError::ExpansionLimitExceeded`] if the number of
+/// combinations exceeds `limit`.
+pub fn expand_prob_tuple(t: &ProbTuple, limit: u128) -> Result<XTuple, ModelError> {
+    // Outcome lists per attribute: (value-or-null, probability).
+    let outcome_lists: Vec<Vec<(Option<Value>, f64)>> = t
+        .values()
+        .iter()
+        .map(|pv| {
+            pv.outcomes()
+                .map(|(v, p)| (v.cloned(), p))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let count = outcome_lists
+        .iter()
+        .fold(1u128, |acc, l| acc.saturating_mul(l.len() as u128));
+    if count > limit {
+        return Err(ModelError::ExpansionLimitExceeded { count, limit });
+    }
+
+    let mut alternatives = Vec::with_capacity(count as usize);
+    // Odometer over the outcome lists.
+    let mut cursor = vec![0usize; outcome_lists.len()];
+    loop {
+        let mut values = Vec::with_capacity(cursor.len());
+        let mut p = t.probability();
+        for (i, &pos) in cursor.iter().enumerate() {
+            let (v, q) = &outcome_lists[i][pos];
+            values.push(match v {
+                Some(v) => PValue::certain(v.clone()),
+                None => PValue::null(),
+            });
+            p *= q;
+        }
+        if p > 0.0 {
+            alternatives.push(XAlternative::new(values, p)?);
+        }
+        // Advance.
+        let mut done = true;
+        for i in (0..cursor.len()).rev() {
+            cursor[i] += 1;
+            if cursor[i] < outcome_lists[i].len() {
+                done = false;
+                break;
+            }
+            cursor[i] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+    XTuple::new(alternatives)
+}
+
+/// Project an x-tuple to a dependency-free tuple by per-attribute
+/// marginalization, conditioning on existence:
+/// `P(attr = v) = Σᵢ (p(tⁱ)/p(t)) · Pᵢ(attr = v)`.
+///
+/// The resulting tuple keeps the original membership probability `p(t)`.
+/// **Lossy**: dependencies between attributes are dropped.
+pub fn marginalize_xtuple(t: &XTuple) -> ProbTuple {
+    let arity = t.alternatives()[0].values().len();
+    let mut values = Vec::with_capacity(arity);
+    for a in 0..arity {
+        let mut entries: Vec<(Value, f64)> = Vec::new();
+        for (alt, w) in t.conditioned() {
+            for (v, p) in alt.value(a).alternatives() {
+                entries.push((v.clone(), w * p));
+            }
+        }
+        values.push(PValue::categorical(entries).expect("marginal mass ≤ 1 by construction"));
+    }
+    ProbTuple::new(values, t.probability()).expect("p(t) ∈ (0,1] by x-tuple invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(["name", "job"])
+    }
+
+    #[test]
+    fn expand_fig4_t11() {
+        // t11 = (Tim, {machinist .7, mechanic .2}), p = 1.0
+        // → 3 alternatives: (Tim, machinist) .7, (Tim, mechanic) .2, (Tim, ⊥) .1.
+        let t = ProbTuple::builder(&schema())
+            .certain("name", "Tim")
+            .dist("job", [("machinist", 0.7), ("mechanic", 0.2)])
+            .build()
+            .unwrap();
+        let x = expand_prob_tuple(&t, 100).unwrap();
+        assert_eq!(x.len(), 3);
+        assert!((x.probability() - 1.0).abs() < 1e-12);
+        let null_alt = x
+            .alternatives()
+            .iter()
+            .find(|a| a.value(1).is_null())
+            .unwrap();
+        assert!((null_alt.probability() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_respects_membership_probability() {
+        let t = ProbTuple::builder(&schema())
+            .dist("name", [("Tim", 0.6), ("Tom", 0.4)])
+            .certain("job", "machinist")
+            .probability(0.6)
+            .build()
+            .unwrap();
+        let x = expand_prob_tuple(&t, 100).unwrap();
+        assert_eq!(x.len(), 2);
+        assert!((x.probability() - 0.6).abs() < 1e-12);
+        assert!((x.alternatives()[0].probability() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_limit_enforced() {
+        let t = ProbTuple::builder(&schema())
+            .dist("name", [("a", 0.5), ("b", 0.5)])
+            .dist("job", [("x", 0.5), ("y", 0.5)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            expand_prob_tuple(&t, 3),
+            Err(ModelError::ExpansionLimitExceeded { count: 4, limit: 3 })
+        ));
+        assert_eq!(expand_prob_tuple(&t, 4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn marginalize_recovers_independent_distributions() {
+        let t = ProbTuple::builder(&schema())
+            .dist("name", [("Tim", 0.6), ("Tom", 0.4)])
+            .dist("job", [("x", 0.5), ("y", 0.5)])
+            .probability(0.8)
+            .build()
+            .unwrap();
+        let x = expand_prob_tuple(&t, 100).unwrap();
+        let back = marginalize_xtuple(&x);
+        assert!((back.probability() - 0.8).abs() < 1e-12);
+        for (orig, rec) in t.values().iter().zip(back.values()) {
+            for (v, p) in orig.alternatives() {
+                assert!(
+                    (rec.prob_of(Some(v)) - p).abs() < 1e-9,
+                    "marginal mismatch for {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginalize_is_lossy_for_dependent_alternatives() {
+        // Perfectly correlated: (a, x) or (b, y). Marginals are uniform, so
+        // re-expansion would also produce the impossible (a, y) combination.
+        let x = XTuple::builder(&schema())
+            .alt(0.5, ["a", "x"])
+            .alt(0.5, ["b", "y"])
+            .build()
+            .unwrap();
+        let m = marginalize_xtuple(&x);
+        assert!((m.value(0).prob_of(Some(&Value::from("a"))) - 0.5).abs() < 1e-12);
+        let re = expand_prob_tuple(&m, 100).unwrap();
+        assert_eq!(re.len(), 4, "dependency information is gone");
+    }
+
+    #[test]
+    fn marginalize_handles_null_and_uncertain_values() {
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let x = XTuple::builder(&schema())
+            .alt(0.2, [Value::from("John"), Value::Null])
+            .alt_pvalues(0.6, [PValue::certain("Johan"), mu])
+            .build()
+            .unwrap();
+        let m = marginalize_xtuple(&x);
+        // P(job = ⊥ | exists) = 0.2/0.8 = 0.25.
+        assert!((m.value(1).null_prob() - 0.25).abs() < 1e-12);
+        // P(job = musician | exists) = 0.75 · 0.5.
+        assert!((m.value(1).prob_of(Some(&Value::from("musician"))) - 0.375).abs() < 1e-12);
+    }
+}

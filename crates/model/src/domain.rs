@@ -1,0 +1,182 @@
+//! Finite attribute domains and pattern values.
+//!
+//! The ULDB model "does not support an infinite number of alternatives"; the
+//! paper's workaround (Section IV-B) is pattern values like `mu*`,
+//! representing a uniform distribution over all domain values starting with
+//! `mu`. A [`Domain`] is the finite dictionary such patterns expand against.
+
+use crate::error::ModelError;
+use crate::pvalue::PValue;
+
+/// A named, sorted dictionary of domain values (e.g. all job titles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Domain {
+    name: String,
+    /// Sorted, deduplicated values.
+    values: Vec<String>,
+}
+
+impl Domain {
+    /// Build a domain from an iterator of values (sorted and deduplicated).
+    pub fn new<I, S>(name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut vals: Vec<String> = values.into_iter().map(|s| s.as_ref().to_string()).collect();
+        vals.sort();
+        vals.dedup();
+        Self {
+            name: name.to_string(),
+            values: vals,
+        }
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All values, sorted.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether `v` is a member.
+    pub fn contains(&self, v: &str) -> bool {
+        self.values.binary_search_by(|x| x.as_str().cmp(v)).is_ok()
+    }
+
+    /// All values with the given prefix (binary-search range scan,
+    /// `O(log n + m)`).
+    pub fn with_prefix(&self, prefix: &str) -> &[String] {
+        let start = self.values.partition_point(|v| v.as_str() < prefix);
+        let end = start
+            + self.values[start..]
+                .iter()
+                .take_while(|v| v.starts_with(prefix))
+                .count();
+        &self.values[start..end]
+    }
+
+    /// Expand a pattern into a [`PValue`]:
+    ///
+    /// * `"mu*"` → uniform distribution over all members starting with `mu`
+    ///   (the paper's `t31.job` example);
+    /// * `"musician"` (no `*`) → certain value, required to be a member.
+    ///
+    /// Errors with [`ModelError::PatternNoMatch`] when nothing matches.
+    pub fn expand_pattern(&self, pattern: &str) -> Result<PValue, ModelError> {
+        let no_match = || ModelError::PatternNoMatch {
+            pattern: pattern.to_string(),
+            domain: self.name.clone(),
+        };
+        if let Some(prefix) = pattern.strip_suffix('*') {
+            let matches = self.with_prefix(prefix);
+            if matches.is_empty() {
+                return Err(no_match());
+            }
+            PValue::uniform(matches.iter().map(String::as_str))
+        } else if self.contains(pattern) {
+            Ok(PValue::certain(pattern))
+        } else {
+            Err(no_match())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> Domain {
+        Domain::new(
+            "jobs",
+            [
+                "baker",
+                "confectioner",
+                "engineer",
+                "machinist",
+                "mechanic",
+                "museum guide",
+                "musician",
+                "pilot",
+                "pianist",
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let d = Domain::new("d", ["b", "a", "b", "c"]);
+        assert_eq!(d.values(), &["a", "b", "c"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.name(), "d");
+    }
+
+    #[test]
+    fn membership() {
+        let d = jobs();
+        assert!(d.contains("pilot"));
+        assert!(!d.contains("astronaut"));
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let d = jobs();
+        assert_eq!(d.with_prefix("mu"), &["museum guide", "musician"]);
+        assert_eq!(d.with_prefix("pi"), &["pianist", "pilot"]);
+        assert!(d.with_prefix("zz").is_empty());
+        // Full-domain scan with the empty prefix.
+        assert_eq!(d.with_prefix("").len(), d.len());
+    }
+
+    #[test]
+    fn mu_star_pattern_expands_uniformly() {
+        // The paper: 'mu*' represents a uniform distribution over all
+        // possible jobs starting with 'mu'.
+        let d = jobs();
+        let v = d.expand_pattern("mu*").unwrap();
+        assert_eq!(v.support_len(), 2);
+        for (_, p) in v.alternatives() {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_pattern_requires_membership() {
+        let d = jobs();
+        assert!(d.expand_pattern("pilot").unwrap().is_certain());
+        assert!(matches!(
+            d.expand_pattern("astronaut"),
+            Err(ModelError::PatternNoMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unmatched_prefix_errors() {
+        let d = jobs();
+        assert!(matches!(
+            d.expand_pattern("zz*"),
+            Err(ModelError::PatternNoMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_domain() {
+        let d = Domain::new("empty", Vec::<String>::new());
+        assert!(d.is_empty());
+        assert!(d.expand_pattern("a*").is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Mutually exclusive tuple groups — the minimal lineage mechanism the
+//! paper's conclusion calls for.
+//!
+//! Section VI: *"by using a probabilistic data model for the target schema,
+//! any kind of uncertainty arising in the duplicate detection process … can
+//! be directly modeled in the resulting data by creating mutually exclusive
+//! sets of tuples. For that purpose, the used probabilistic data model must
+//! be able to represent dependencies between multiple sets of tuples (in the
+//! ULDB model … realized by the concept of lineage)."*
+//!
+//! [`MutexGroups`] records, over the rows of a result [`XRelation`], which
+//! row sets are mutually exclusive: within one group, **at most one row
+//! exists in any possible world**. The pipeline uses this to emit
+//! "possibly-merged" results: a group containing the merged tuple (with
+//! probability = match confidence) and the two unmerged originals.
+
+use crate::error::ModelError;
+use crate::relation::XRelation;
+use crate::util::PROB_EPS;
+
+/// Mutually exclusive groups over the row indices of a result relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MutexGroups {
+    groups: Vec<Vec<usize>>,
+}
+
+impl MutexGroups {
+    /// No groups: all rows independent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a mutually exclusive group of row indices; returns the group id.
+    /// Groups of fewer than two rows are permitted but carry no constraint.
+    pub fn add_group(&mut self, rows: Vec<usize>) -> usize {
+        self.groups.push(rows);
+        self.groups.len() - 1
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The group containing `row`, if any (a row may appear in at most one
+    /// group; [`MutexGroups::validate`] enforces this).
+    pub fn group_of(&self, row: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&row))
+    }
+
+    /// Validate against a result relation:
+    ///
+    /// * every referenced row exists,
+    /// * no row appears in two groups,
+    /// * within each group the membership probabilities sum to ≤ 1
+    ///   (mutual exclusivity must be probabilistically consistent).
+    pub fn validate(&self, relation: &XRelation) -> Result<(), ModelError> {
+        let mut seen = vec![false; relation.len()];
+        for g in &self.groups {
+            let mut mass = 0.0;
+            for &row in g {
+                let t = relation.get(row).ok_or(ModelError::SchemaMismatch {
+                    expected: relation.len(),
+                    got: row,
+                })?;
+                if std::mem::replace(&mut seen[row], true) {
+                    return Err(ModelError::MassExceeded {
+                        sum: f64::NAN,
+                        context: "row referenced by two mutex groups",
+                    });
+                }
+                mass += t.probability();
+            }
+            if mass > 1.0 + PROB_EPS {
+                return Err(ModelError::MassExceeded {
+                    sum: mass,
+                    context: "mutex group membership",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Mutually exclusive **sets** of rows — the full construct of Section VI:
+/// in any possible world, *at most one option* (a set of rows) of each
+/// `AlternativeSets` is realized, with the given probability.
+///
+/// The duplicate-detection use: a possible match `(i, j)` with confidence
+/// `c` becomes `options = [([merged], c), ([i, j], 1 − c)]` — either the
+/// merged tuple exists, or both originals do.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AlternativeSets {
+    options: Vec<(Vec<usize>, f64)>,
+}
+
+impl AlternativeSets {
+    /// No options (no constraint).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an option: a set of rows realized together with probability `p`.
+    pub fn add_option(&mut self, rows: Vec<usize>, p: f64) -> Result<(), ModelError> {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return Err(ModelError::InvalidProbability {
+                value: p,
+                context: "alternative set option",
+            });
+        }
+        self.options.push((rows, p));
+        let total: f64 = self.options.iter().map(|(_, p)| p).sum();
+        if total > 1.0 + PROB_EPS {
+            self.options.pop();
+            return Err(ModelError::MassExceeded {
+                sum: total,
+                context: "alternative set options",
+            });
+        }
+        Ok(())
+    }
+
+    /// The options.
+    pub fn options(&self) -> &[(Vec<usize>, f64)] {
+        &self.options
+    }
+
+    /// Validate row references against a result relation and require the
+    /// options' row sets to be pairwise disjoint (a row cannot belong to
+    /// two mutually exclusive worlds of the same constraint).
+    pub fn validate(&self, relation: &XRelation) -> Result<(), ModelError> {
+        let mut seen = vec![false; relation.len()];
+        for (rows, _) in &self.options {
+            for &row in rows {
+                if row >= relation.len() {
+                    return Err(ModelError::SchemaMismatch {
+                        expected: relation.len(),
+                        got: row,
+                    });
+                }
+                if std::mem::replace(&mut seen[row], true) {
+                    return Err(ModelError::MassExceeded {
+                        sum: f64::NAN,
+                        context: "row appears in two options of one alternative set",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::xtuple::XTuple;
+
+    fn relation_with_probs(ps: &[f64]) -> XRelation {
+        let s = Schema::new(["x"]);
+        let mut r = XRelation::new(s.clone());
+        for &p in ps {
+            r.push(XTuple::builder(&s).alt(p, ["v"]).build().unwrap());
+        }
+        r
+    }
+
+    #[test]
+    fn valid_groups_pass() {
+        let r = relation_with_probs(&[0.6, 0.3, 1.0]);
+        let mut g = MutexGroups::new();
+        let id = g.add_group(vec![0, 1]); // 0.6 + 0.3 ≤ 1 ✓
+        assert_eq!(id, 0);
+        assert!(g.validate(&r).is_ok());
+        assert_eq!(g.group_of(1), Some(0));
+        assert_eq!(g.group_of(2), None);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn mass_violation_detected() {
+        let r = relation_with_probs(&[0.8, 0.5]);
+        let mut g = MutexGroups::new();
+        g.add_group(vec![0, 1]); // 1.3 > 1 ✗
+        assert!(matches!(
+            g.validate(&r),
+            Err(ModelError::MassExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_groups_detected() {
+        let r = relation_with_probs(&[0.3, 0.3, 0.3]);
+        let mut g = MutexGroups::new();
+        g.add_group(vec![0, 1]);
+        g.add_group(vec![1, 2]);
+        assert!(g.validate(&r).is_err());
+    }
+
+    #[test]
+    fn out_of_range_row_detected() {
+        let r = relation_with_probs(&[0.5]);
+        let mut g = MutexGroups::new();
+        g.add_group(vec![7]);
+        assert!(g.validate(&r).is_err());
+    }
+
+    #[test]
+    fn empty_is_trivially_valid() {
+        let r = relation_with_probs(&[0.5, 0.5]);
+        let g = MutexGroups::new();
+        assert!(g.is_empty());
+        assert!(g.validate(&r).is_ok());
+    }
+
+    #[test]
+    fn alternative_sets_possible_match_encoding() {
+        // merged (row 2) with c = 0.6 XOR originals (rows 0, 1) with 0.4.
+        let r = relation_with_probs(&[1.0, 1.0, 0.6]);
+        let mut a = AlternativeSets::new();
+        a.add_option(vec![2], 0.6).unwrap();
+        a.add_option(vec![0, 1], 0.4).unwrap();
+        assert!(a.validate(&r).is_ok());
+        assert_eq!(a.options().len(), 2);
+    }
+
+    #[test]
+    fn alternative_sets_mass_guard() {
+        let mut a = AlternativeSets::new();
+        a.add_option(vec![0], 0.7).unwrap();
+        assert!(a.add_option(vec![1], 0.5).is_err());
+        // The failed option must not have been retained.
+        assert_eq!(a.options().len(), 1);
+    }
+
+    #[test]
+    fn alternative_sets_overlap_and_range_guards() {
+        let r = relation_with_probs(&[1.0, 1.0]);
+        let mut overlap = AlternativeSets::new();
+        overlap.add_option(vec![0], 0.5).unwrap();
+        overlap.add_option(vec![0, 1], 0.4).unwrap();
+        assert!(overlap.validate(&r).is_err());
+        let mut out_of_range = AlternativeSets::new();
+        out_of_range.add_option(vec![9], 0.5).unwrap();
+        assert!(out_of_range.validate(&r).is_err());
+        assert!(AlternativeSets::new().add_option(vec![0], 1.5).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Monte Carlo sampling of possible worlds.
+//!
+//! Exact world enumeration is exponential in the number of x-tuples; for
+//! expectations over many tuples (or as a cross-check of the closed-form
+//! Eq. 6 machinery) independent sampling converges at the usual `1/√n`
+//! rate. The sampler is deterministic under a seed, like everything else
+//! in this workspace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::world::World;
+use crate::xtuple::XTuple;
+
+/// A seeded sampler of possible worlds over a fixed set of x-tuples.
+#[derive(Debug)]
+pub struct WorldSampler<'a> {
+    tuples: &'a [XTuple],
+    rng: StdRng,
+    /// Per tuple: cumulative probabilities of its outcomes
+    /// (alternatives…, absence).
+    cumulative: Vec<Vec<f64>>,
+}
+
+impl<'a> WorldSampler<'a> {
+    /// A sampler over `tuples` with the given seed.
+    pub fn new(tuples: &'a [XTuple], seed: u64) -> Self {
+        let cumulative = tuples
+            .iter()
+            .map(|t| {
+                let mut acc = 0.0;
+                let mut cum: Vec<f64> = t
+                    .alternatives()
+                    .iter()
+                    .map(|a| {
+                        acc += a.probability();
+                        acc
+                    })
+                    .collect();
+                cum.push(1.0); // absence absorbs the remaining mass
+                cum
+            })
+            .collect();
+        Self {
+            tuples,
+            rng: StdRng::seed_from_u64(seed),
+            cumulative,
+        }
+    }
+
+    /// Draw one world from the exact distribution (absence included for
+    /// maybe tuples).
+    pub fn sample(&mut self) -> World {
+        let mut choices = Vec::with_capacity(self.tuples.len());
+        let mut probability = 1.0;
+        for (t, cum) in self.tuples.iter().zip(&self.cumulative) {
+            let u: f64 = self.rng.random();
+            let idx = cum.partition_point(|&c| c < u);
+            if idx < t.len() {
+                choices.push(Some(idx));
+                probability *= t.alternatives()[idx].probability();
+            } else {
+                choices.push(None);
+                probability *= 1.0 - t.probability();
+            }
+        }
+        World {
+            choices,
+            probability,
+        }
+    }
+
+    /// Draw one world **conditioned on the event B** (every tuple present):
+    /// each tuple's alternative is drawn from its conditioned distribution
+    /// `p(tⁱ)/p(t)` — the sampling analogue of Eq. 6's conditioning.
+    pub fn sample_full(&mut self) -> World {
+        let mut choices = Vec::with_capacity(self.tuples.len());
+        let mut probability = 1.0;
+        for (t, cum) in self.tuples.iter().zip(&self.cumulative) {
+            let total = t.probability();
+            let u: f64 = self.rng.random::<f64>() * total;
+            let idx = cum[..t.len()].partition_point(|&c| c < u).min(t.len() - 1);
+            choices.push(Some(idx));
+            probability *= t.alternatives()[idx].probability();
+        }
+        World {
+            choices,
+            probability,
+        }
+    }
+
+    /// Monte Carlo estimate of `E[f(world) | B]` from `n` conditioned
+    /// samples.
+    pub fn estimate_full<F: FnMut(&World) -> f64>(&mut self, n: usize, mut f: F) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let w = self.sample_full();
+            acc += f(&w);
+        }
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::world::enumerate_worlds;
+
+    fn fig7_tuples() -> Vec<XTuple> {
+        let s = Schema::new(["name", "job"]);
+        vec![
+            XTuple::builder(&s)
+                .alt(0.3, ["Tim", "mechanic"])
+                .alt(0.2, ["Jim", "mechanic"])
+                .alt(0.4, ["Jim", "baker"])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.8, ["Tom", "mechanic"])
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn unconditioned_sampling_matches_world_distribution() {
+        let ts = fig7_tuples();
+        let mut sampler = WorldSampler::new(&ts, 42);
+        let n = 60_000;
+        let mut counts: std::collections::HashMap<Vec<Option<usize>>, usize> =
+            std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(sampler.sample().choices).or_insert(0) += 1;
+        }
+        for w in enumerate_worlds(&ts, 100).unwrap() {
+            let got = *counts.get(&w.choices).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (got - w.probability).abs() < 0.01,
+                "world {:?}: {} vs {}",
+                w.choices,
+                got,
+                w.probability
+            );
+        }
+    }
+
+    #[test]
+    fn conditioned_sampling_reproduces_fig7_posterior() {
+        // P(I1|B) = 1/3, P(I2|B) = 2/9, P(I3|B) = 4/9.
+        let ts = fig7_tuples();
+        let mut sampler = WorldSampler::new(&ts, 7);
+        let n = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let w = sampler.sample_full();
+            assert!(w.is_full());
+            counts[w.choices[0].unwrap()] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 1.0 / 3.0).abs() < 0.01, "{freqs:?}");
+        assert!((freqs[1] - 2.0 / 9.0).abs() < 0.01, "{freqs:?}");
+        assert!((freqs[2] - 4.0 / 9.0).abs() < 0.01, "{freqs:?}");
+    }
+
+    #[test]
+    fn monte_carlo_expectation_approaches_eq6() {
+        // E[sim | B] over Fig. 7's pair: exactly 7/15 (see the decision
+        // crate); the MC estimate over the per-world similarities converges.
+        let ts = fig7_tuples();
+        let sims = [11.0 / 15.0, 7.0 / 15.0, 4.0 / 15.0];
+        let mut sampler = WorldSampler::new(&ts, 99);
+        let estimate = sampler.estimate_full(40_000, |w| sims[w.choices[0].unwrap()]);
+        assert!((estimate - 7.0 / 15.0).abs() < 0.005, "estimate = {estimate}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ts = fig7_tuples();
+        let mut a = WorldSampler::new(&ts, 5);
+        let mut b = WorldSampler::new(&ts, 5);
+        for _ in 0..50 {
+            assert_eq!(a.sample().choices, b.sample().choices);
+        }
+    }
+
+    #[test]
+    fn zero_samples_estimate_is_zero() {
+        let ts = fig7_tuples();
+        let mut sampler = WorldSampler::new(&ts, 1);
+        assert_eq!(sampler.estimate_full(0, |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the probabilistic data model invariants.
+
+use proptest::prelude::*;
+
+use probdedup_model::condition::{
+    conditioned_world_probability, existence_event_probability, normalized_alternative_probs,
+};
+use probdedup_model::convert::{expand_prob_tuple, marginalize_xtuple};
+use probdedup_model::pvalue::PValue;
+use probdedup_model::schema::Schema;
+use probdedup_model::tuple::ProbTuple;
+use probdedup_model::value::Value;
+use probdedup_model::world::{enumerate_worlds, full_worlds, top_k_worlds, world_count};
+use probdedup_model::xtuple::XTuple;
+
+/// Strategy: a small categorical distribution with mass ≤ 1.
+fn arb_pvalue() -> impl Strategy<Value = PValue> {
+    proptest::collection::vec(("[a-e]{1,3}", 1u32..100), 0..4).prop_map(|entries| {
+        let total: u32 = entries.iter().map(|(_, w)| *w).sum();
+        // Scale weights into (0, 1] with total mass ≤ 0.999 to leave ⊥ room
+        // sometimes; empty → certain ⊥.
+        let denom = f64::from(total.max(1)) * 1.2;
+        PValue::categorical(
+            entries
+                .into_iter()
+                .map(|(v, w)| (Value::from(v), f64::from(w) / denom)),
+        )
+        .expect("mass ≤ 1 by construction")
+    })
+}
+
+/// Strategy: an x-tuple with 1–4 alternatives over a 2-attribute schema.
+fn arb_xtuple() -> impl Strategy<Value = XTuple> {
+    proptest::collection::vec(("[a-d]{1,3}", "[a-d]{1,3}", 1u32..50), 1..4).prop_map(|alts| {
+        let total: u32 = alts.iter().map(|(_, _, w)| *w).sum();
+        let denom = f64::from(total) * 1.1; // keep Σ < 1 ⇒ maybe tuples occur
+        let s = Schema::new(["name", "job"]);
+        let mut b = XTuple::builder(&s);
+        for (n, j, w) in alts {
+            b = b.alt(f64::from(w) / denom, [n, j]);
+        }
+        b.build().expect("valid x-tuple by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PValue invariants: existence + null mass = 1; outcomes sum to 1.
+    #[test]
+    fn pvalue_mass_partition(v in arb_pvalue()) {
+        let total = v.existence_prob() + v.null_prob();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let outcome_sum: f64 = v.outcomes().map(|(_, p)| p).sum();
+        prop_assert!((outcome_sum - 1.0).abs() < 1e-6 || v.null_prob() <= 1e-9);
+    }
+
+    /// equality_prob is symmetric, in [0,1], and 1 on identical values.
+    #[test]
+    fn equality_prob_laws(a in arb_pvalue(), b in arb_pvalue()) {
+        let ab = a.equality_prob(&b);
+        let ba = b.equality_prob(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        // Certain values compared to themselves score 1.
+        if a.is_certain() {
+            prop_assert!((a.equality_prob(&a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Conditioning on existence yields a normalized distribution that
+    /// preserves outcome ratios.
+    #[test]
+    fn conditioning_preserves_ratios(v in arb_pvalue()) {
+        if let Some(c) = v.conditioned_on_existence() {
+            prop_assert!((c.existence_prob() - 1.0).abs() < 1e-6);
+            let alts = v.alternatives();
+            if alts.len() >= 2 {
+                let r_before = alts[0].1 / alts[1].1;
+                let c_alts = c.alternatives();
+                let r_after = c_alts[0].1 / c_alts[1].1;
+                prop_assert!((r_before - r_after).abs() < 1e-6);
+            }
+        } else {
+            prop_assert!(v.existence_prob() <= 1e-9);
+        }
+    }
+
+    /// World probabilities over any x-tuple set sum to 1, and the full-world
+    /// mass equals P(B).
+    #[test]
+    fn world_masses(ts in proptest::collection::vec(arb_xtuple(), 1..4)) {
+        prop_assume!(world_count(&ts) <= 4096);
+        let worlds = enumerate_worlds(&ts, 4096).unwrap();
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+        let full_mass: f64 = full_worlds(&ts).map(|w| w.probability).sum();
+        let pb = existence_event_probability(&ts);
+        prop_assert!((full_mass - pb).abs() < 1e-9);
+    }
+
+    /// top-k worlds agree with sorting the full enumeration.
+    #[test]
+    fn top_k_matches_enumeration(ts in proptest::collection::vec(arb_xtuple(), 1..3), k in 1usize..6) {
+        prop_assume!(world_count(&ts) <= 512);
+        let mut all = enumerate_worlds(&ts, 512).unwrap();
+        all.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+        let top = top_k_worlds(&ts, k, false);
+        prop_assert_eq!(top.len(), k.min(all.len()));
+        for (t, a) in top.iter().zip(all.iter()) {
+            prop_assert!((t.probability - a.probability).abs() < 1e-12);
+        }
+    }
+
+    /// Conditioned world probabilities of full worlds sum to 1 and are
+    /// invariant when every alternative probability of one tuple is scaled
+    /// by a constant factor (the "membership must not matter" law).
+    #[test]
+    fn conditioned_full_world_mass(ts in proptest::collection::vec(arb_xtuple(), 1..3)) {
+        prop_assume!(world_count(&ts) <= 512);
+        let full: Vec<Vec<usize>> = full_worlds(&ts)
+            .map(|w| w.choices.iter().map(|c| c.unwrap()).collect())
+            .collect();
+        let total: f64 = full
+            .iter()
+            .map(|c| conditioned_world_probability(&ts, c))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Normalized alternative probabilities sum to 1.
+    #[test]
+    fn normalized_alt_probs_sum(t in arb_xtuple()) {
+        let probs = normalized_alternative_probs(&t);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// expand → marginalize is the identity on dependency-free tuples
+    /// (marginals match the original distributions).
+    #[test]
+    fn expand_marginalize_roundtrip(a in arb_pvalue(), b in arb_pvalue(), p in 1u32..=100) {
+        let s = Schema::new(["x", "y"]);
+        let t = ProbTuple::builder(&s)
+            .pvalue("x", a.clone())
+            .pvalue("y", b.clone())
+            .probability(f64::from(p) / 100.0)
+            .build()
+            .unwrap();
+        prop_assume!(expand_prob_tuple(&t, 64).is_ok());
+        let x = expand_prob_tuple(&t, 64).unwrap();
+        let back = marginalize_xtuple(&x);
+        prop_assert!((back.probability() - t.probability()).abs() < 1e-9);
+        for (orig, rec) in t.values().iter().zip(back.values()) {
+            for (v, q) in orig.alternatives() {
+                prop_assert!((rec.prob_of(Some(v)) - q).abs() < 1e-6);
+            }
+        }
+    }
+}

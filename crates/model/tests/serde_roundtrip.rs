@@ -1,0 +1,70 @@
+//! Serde round-trips for the model types (run with
+//! `cargo test -p probdedup-model --features serde`). Without the feature
+//! this file compiles to nothing.
+#![cfg(feature = "serde")]
+
+use probdedup_model::pvalue::PValue;
+use probdedup_model::relation::XRelation;
+use probdedup_model::schema::{AttrType, Schema};
+use probdedup_model::value::Value;
+use probdedup_model::xtuple::XTuple;
+
+fn sample_relation() -> XRelation {
+    let s = Schema::with_types([
+        ("name", AttrType::Text),
+        ("job", AttrType::Text),
+        ("age", AttrType::Int),
+    ]);
+    let mut r = XRelation::new(s.clone());
+    let mu = PValue::categorical([("musician", 0.5), ("museum guide", 0.5)]).unwrap();
+    r.push(
+        XTuple::builder(&s)
+            .alt(0.7, [Value::from("John"), Value::from("pilot"), Value::Int(34)])
+            .alt_pvalues(
+                0.3,
+                [PValue::certain("Johan"), mu, PValue::certain(Value::Int(34))],
+            )
+            .label("t31")
+            .build()
+            .unwrap(),
+    );
+    r.push(
+        XTuple::builder(&s)
+            .alt(0.8, [Value::from("Tom"), Value::Null, Value::Int(51)])
+            .build()
+            .unwrap(),
+    );
+    r
+}
+
+#[test]
+fn xrelation_json_roundtrip() {
+    let r = sample_relation();
+    let json = serde_json::to_string(&r).expect("serialize");
+    let back: XRelation = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(r, back);
+}
+
+#[test]
+fn value_variants_roundtrip() {
+    for v in [
+        Value::Null,
+        Value::Bool(true),
+        Value::Int(-7),
+        Value::Real(2.5),
+        Value::Text("⊥ weird ⊥".into()),
+    ] {
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: Value = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(v, back);
+    }
+}
+
+#[test]
+fn pvalue_preserves_null_mass() {
+    let v = PValue::categorical([("a", 0.6), ("b", 0.3)]).unwrap();
+    let json = serde_json::to_string(&v).expect("serialize");
+    let back: PValue = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(v, back);
+    assert!((back.null_prob() - 0.1).abs() < 1e-12);
+}

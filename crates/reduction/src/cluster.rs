@@ -1,0 +1,260 @@
+//! Clustering-based blocking for uncertain keys (Section V-B: "handlings
+//! for uncertain key values can be based on clustering techniques for
+//! uncertain data", citing UK-means-style work \[38\]–\[40\]).
+//!
+//! Each x-tuple's key distribution is embedded as its **expected key
+//! vector** (per-position expected character codes, the uncertain-data
+//! analogue of UK-means' expected distance to certain centroids), and a
+//! seeded k-means over those vectors forms the blocks.
+
+use probdedup_model::xtuple::XTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::key::KeySpec;
+use crate::pairs::CandidatePairs;
+
+/// Configuration for [`cluster_blocking`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterBlockingConfig {
+    /// Number of clusters (blocks). Clamped to ≥ 1 and ≤ n.
+    pub k: usize,
+    /// Embedding dimensionality: the number of leading key characters used.
+    pub dims: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for ClusterBlockingConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            dims: 5,
+            iterations: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Expected key vector of an x-tuple: per position, the probability-weighted
+/// character code (normalized into `[0, 1]`; missing positions count as 0).
+fn embed(t: &XTuple, spec: &KeySpec, dims: usize) -> Vec<f64> {
+    let keys = spec.xtuple_keys(t);
+    let total: f64 = keys.iter().map(|(_, p)| p).sum();
+    let mut v = vec![0.0; dims];
+    if total <= 0.0 {
+        return v;
+    }
+    for (key, p) in &keys {
+        let w = p / total;
+        for (d, c) in key.chars().take(dims).enumerate() {
+            let code = ((c as u32).clamp(32, 127) - 32) as f64 / 95.0;
+            v[d] += w * code;
+        }
+    }
+    v
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Cluster the x-tuples by expected key vector and emit within-cluster
+/// candidate pairs. Deterministic under a fixed seed.
+pub fn cluster_blocking(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    config: &ClusterBlockingConfig,
+) -> (CandidatePairs, Vec<Vec<usize>>) {
+    let n = tuples.len();
+    let mut pairs = CandidatePairs::new(n);
+    if n == 0 {
+        return (pairs, Vec::new());
+    }
+    let k = config.k.clamp(1, n);
+    let dims = config.dims.max(1);
+    let points: Vec<Vec<f64>> = tuples.iter().map(|t| embed(t, spec, dims)).collect();
+
+    // k-means++-style seeding (deterministic RNG).
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; n];
+    for _ in 0..config.iterations {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .expect("finite distances")
+                        .then(a.cmp(&b))
+                })
+                .expect("k ≥ 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue; // keep the old centroid for empty clusters
+            }
+            for d in 0..dims {
+                centroid[d] = members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+    }
+
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c].push(i);
+    }
+    clusters.retain(|c| !c.is_empty());
+    for cluster in &clusters {
+        for (a, &i) in cluster.iter().enumerate() {
+            for &j in cluster.iter().skip(a + 1) {
+                pairs.insert(i, j);
+            }
+        }
+    }
+    (pairs, clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_model::schema::Schema;
+
+    fn spec() -> KeySpec {
+        KeySpec::paper_example(0, 1)
+    }
+
+    fn tuple(name: &str, job: &str, p: f64) -> XTuple {
+        let s = Schema::new(["name", "job"]);
+        XTuple::builder(&s).alt(p, [name, job]).build().unwrap()
+    }
+
+    #[test]
+    fn similar_keys_cluster_together() {
+        let tuples = vec![
+            tuple("John", "pilot", 1.0),
+            tuple("Johan", "pilot", 1.0),
+            tuple("Tim", "mechanic", 1.0),
+            tuple("Tom", "mechanic", 1.0),
+        ];
+        let cfg = ClusterBlockingConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let (pairs, clusters) = cluster_blocking(&tuples, &spec(), &cfg);
+        assert_eq!(clusters.len(), 2);
+        // The two Joh* tuples share a cluster, as do the T*m* tuples.
+        assert!(pairs.contains(0, 1), "Joh* tuples must pair");
+        assert!(pairs.contains(2, 3), "T*me tuples must pair");
+        assert!(!pairs.contains(0, 2), "cross-cluster pair must not appear");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let tuples: Vec<XTuple> = (0..12)
+            .map(|i| tuple(&format!("Name{i}"), "job", 1.0))
+            .collect();
+        let cfg = ClusterBlockingConfig::default();
+        let (p1, c1) = cluster_blocking(&tuples, &spec(), &cfg);
+        let (p2, c2) = cluster_blocking(&tuples, &spec(), &cfg);
+        assert_eq!(p1.pairs(), p2.pairs());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let tuples = vec![tuple("A", "x", 1.0), tuple("B", "y", 1.0)];
+        let cfg = ClusterBlockingConfig {
+            k: 50,
+            ..Default::default()
+        };
+        let (_, clusters) = cluster_blocking(&tuples, &spec(), &cfg);
+        assert!(clusters.len() <= 2);
+    }
+
+    #[test]
+    fn k_one_yields_all_pairs() {
+        let tuples = vec![
+            tuple("A", "x", 1.0),
+            tuple("B", "y", 1.0),
+            tuple("C", "z", 1.0),
+        ];
+        let cfg = ClusterBlockingConfig {
+            k: 1,
+            ..Default::default()
+        };
+        let (pairs, _) = cluster_blocking(&tuples, &spec(), &cfg);
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn uncertain_keys_embed_as_expectation() {
+        let s = Schema::new(["name", "job"]);
+        // A tuple torn between A-keys and Z-keys embeds mid-range and may
+        // cluster with mid-alphabet tuples.
+        let torn = XTuple::builder(&s)
+            .alt(0.5, ["Aaa", "aa"])
+            .alt(0.5, ["Zzz", "zz"])
+            .build()
+            .unwrap();
+        let e = embed(&torn, &spec(), 3);
+        let low = embed(&tuple("Aaa", "aa", 1.0), &spec(), 3);
+        let high = embed(&tuple("Zzz", "zz", 1.0), &spec(), 3);
+        for d in 0..3 {
+            assert!(e[d] > low[d] && e[d] < high[d], "dim {d}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (pairs, clusters) = cluster_blocking(&[], &spec(), &ClusterBlockingConfig::default());
+        assert!(pairs.is_empty());
+        assert!(clusters.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Sorting/blocking keys over (possibly uncertain) attribute values.
+//!
+//! The paper's running key: *"the first three characters of the name value
+//! and the first two characters of the job value"* — e.g. `(John, pilot) →
+//! "Johpi"`. For probabilistic tuples the key itself becomes a
+//! distribution: [`KeySpec::key_distribution`] (over a value row) and
+//! [`KeySpec::xtuple_keys`] (over a whole x-tuple, reproducing the
+//! probabilistic key values of Fig. 13).
+
+use probdedup_model::pvalue::PValue;
+use probdedup_model::util::PROB_EPS;
+use probdedup_model::value::Value;
+use probdedup_model::xtuple::XTuple;
+
+/// One key component: a prefix of one attribute's rendered value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPart {
+    /// Attribute index.
+    pub attr: usize,
+    /// Number of leading characters to take (`0` = the whole value).
+    pub prefix_len: usize,
+}
+
+impl KeyPart {
+    /// A prefix component.
+    pub fn prefix(attr: usize, prefix_len: usize) -> Self {
+        Self { attr, prefix_len }
+    }
+
+    /// The whole attribute value.
+    pub fn full(attr: usize) -> Self {
+        Self {
+            attr,
+            prefix_len: 0,
+        }
+    }
+
+    fn render(&self, v: &Value) -> String {
+        let s = v.render();
+        if self.prefix_len == 0 {
+            s
+        } else {
+            s.chars().take(self.prefix_len).collect()
+        }
+    }
+}
+
+/// A sorting/blocking key specification: the concatenation of its parts.
+/// `⊥` values render as the empty string, so `(John, ⊥)` under the paper's
+/// key yields `"Joh"` — exactly tuple `t43`'s first key in Fig. 13.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySpec {
+    parts: Vec<KeyPart>,
+    /// Cartesian-product guard for key distributions.
+    max_expansion: usize,
+}
+
+impl KeySpec {
+    /// A key from parts.
+    pub fn new(parts: Vec<KeyPart>) -> Self {
+        Self {
+            parts,
+            max_expansion: 4096,
+        }
+    }
+
+    /// The paper's example key: first 3 characters of attribute `name_attr`
+    /// + first 2 characters of attribute `job_attr`.
+    pub fn paper_example(name_attr: usize, job_attr: usize) -> Self {
+        Self::new(vec![
+            KeyPart::prefix(name_attr, 3),
+            KeyPart::prefix(job_attr, 2),
+        ])
+    }
+
+    /// Override the expansion guard.
+    pub fn with_max_expansion(mut self, max: usize) -> Self {
+        self.max_expansion = max.max(1);
+        self
+    }
+
+    /// The parts.
+    pub fn parts(&self) -> &[KeyPart] {
+        &self.parts
+    }
+
+    /// Key for a row of **certain** outcomes (one `Option<&Value>` per
+    /// attribute; `None` = ⊥).
+    pub fn key_of_outcomes(&self, outcomes: &[Option<&Value>]) -> String {
+        let mut key = String::new();
+        for part in &self.parts {
+            if let Some(v) = outcomes[part.attr] {
+                key.push_str(&part.render(v));
+            }
+        }
+        key
+    }
+
+    /// Key distribution of a row of possibly-uncertain values: the cartesian
+    /// product of the referenced attributes' outcome distributions, with
+    /// equal keys merged. Probabilities sum to 1 (⊥ outcomes contribute the
+    /// empty string for their part). Truncated at `max_expansion`
+    /// combinations (most probable first is *not* guaranteed under
+    /// truncation; the guard exists for pathological inputs).
+    pub fn key_distribution(&self, values: &[PValue]) -> Vec<(String, f64)> {
+        // Outcome lists only for referenced attributes, in part order.
+        let lists: Vec<Vec<(String, f64)>> = self
+            .parts
+            .iter()
+            .map(|part| {
+                let pv = &values[part.attr];
+                let mut outcomes: Vec<(String, f64)> = pv
+                    .alternatives()
+                    .iter()
+                    .map(|(v, p)| (part.render(v), *p))
+                    .collect();
+                if pv.null_prob() > PROB_EPS {
+                    outcomes.push((String::new(), pv.null_prob()));
+                }
+                // Merge outcomes that render identically (e.g. `musician`
+                // and `museum guide` both render `mu` under a 2-prefix).
+                outcomes.sort_by(|a, b| a.0.cmp(&b.0));
+                outcomes.dedup_by(|b, a| {
+                    if a.0 == b.0 {
+                        a.1 += b.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                outcomes
+            })
+            .collect();
+        // Odometer over the (merged) outcome lists.
+        let mut dist: Vec<(String, f64)> = vec![(String::new(), 1.0)];
+        for list in lists {
+            let mut next = Vec::with_capacity(dist.len() * list.len());
+            for (prefix, p) in &dist {
+                for (piece, q) in &list {
+                    next.push((format!("{prefix}{piece}"), p * q));
+                    if next.len() > self.max_expansion {
+                        break;
+                    }
+                }
+            }
+            dist = next;
+            if dist.len() > self.max_expansion {
+                dist.truncate(self.max_expansion);
+            }
+        }
+        dist.sort_by(|a, b| a.0.cmp(&b.0));
+        dist.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        dist
+    }
+
+    /// The probabilistic key values of an x-tuple (Fig. 13): the union over
+    /// alternatives of their key distributions, weighted by the **raw**
+    /// alternative probabilities (so the masses sum to `p(t)`, exactly as
+    /// printed in the figure), with equal keys merged.
+    pub fn xtuple_keys(&self, t: &XTuple) -> Vec<(String, f64)> {
+        let mut dist: Vec<(String, f64)> = Vec::new();
+        for alt in t.alternatives() {
+            for (key, p) in self.key_distribution(alt.values()) {
+                match dist.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, q)) => *q += p * alt.probability(),
+                    None => dist.push((key, p * alt.probability())),
+                }
+            }
+        }
+        dist
+    }
+
+    /// The single most probable key of an x-tuple (ties break toward the
+    /// lexicographically smaller key for determinism).
+    pub fn most_probable_key(&self, t: &XTuple) -> String {
+        let mut keys = self.xtuple_keys(t);
+        keys.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probabilities")
+                .then(a.0.cmp(&b.0))
+        });
+        keys.into_iter().next().map(|(k, _)| k).unwrap_or_default()
+    }
+
+    /// One certain key per alternative of an x-tuple, resolving uncertain
+    /// values *inside* an alternative to their most probable outcome — the
+    /// per-alternative keys of the sorting-alternatives method (Fig. 11)
+    /// and of per-alternative blocking (Fig. 14).
+    pub fn alternative_keys(&self, t: &XTuple) -> Vec<String> {
+        t.alternatives()
+            .iter()
+            .map(|alt| {
+                let mut key = String::new();
+                for part in &self.parts {
+                    let pv = alt.value(part.attr);
+                    // Prefer the most probable *rendered prefix*, so that a
+                    // distribution like `mu*` (all outcomes sharing the
+                    // prefix `mu`) contributes `mu` even though each single
+                    // outcome is improbable.
+                    let dist = self.part_distribution(part, pv);
+                    if let Some((piece, _)) = dist.first() {
+                        key.push_str(piece);
+                    }
+                }
+                key
+            })
+            .collect()
+    }
+
+    /// Rendered-prefix distribution of one part over one value, most
+    /// probable first (ties toward the smaller string).
+    fn part_distribution(&self, part: &KeyPart, pv: &PValue) -> Vec<(String, f64)> {
+        let mut outcomes: Vec<(String, f64)> = pv
+            .alternatives()
+            .iter()
+            .map(|(v, p)| (part.render(v), *p))
+            .collect();
+        if pv.null_prob() > PROB_EPS {
+            outcomes.push((String::new(), pv.null_prob()));
+        }
+        outcomes.sort_by(|a, b| a.0.cmp(&b.0));
+        outcomes.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        outcomes.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probabilities")
+                .then(a.0.cmp(&b.0))
+        });
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_model::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(["name", "job"])
+    }
+
+    fn spec() -> KeySpec {
+        KeySpec::paper_example(0, 1)
+    }
+
+    #[test]
+    fn certain_key_construction() {
+        let john = Value::from("John");
+        let pilot = Value::from("pilot");
+        let outcomes = [Some(&john), Some(&pilot)];
+        assert_eq!(spec().key_of_outcomes(&outcomes), "Johpi");
+    }
+
+    #[test]
+    fn null_renders_empty() {
+        // Fig. 13: t43's alternative (John, ⊥) → key "Joh".
+        let john = Value::from("John");
+        let outcomes: [Option<&Value>; 2] = [Some(&john), None];
+        assert_eq!(spec().key_of_outcomes(&outcomes), "Joh");
+    }
+
+    #[test]
+    fn key_distribution_merges_equal_keys() {
+        // mu* ≈ uniform over {musician, museum guide}: both render "mu".
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let values = vec![PValue::certain("Johan"), mu];
+        let dist = spec().key_distribution(&values);
+        assert_eq!(dist, vec![("Johmu".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn key_distribution_includes_null_branch() {
+        // job = {pilot: 0.6, ⊥: 0.4} → keys "Johpi" 0.6, "Joh" 0.4.
+        let values = vec![
+            PValue::certain("John"),
+            PValue::categorical([("pilot", 0.6)]).unwrap(),
+        ];
+        let mut dist = spec().key_distribution(&values);
+        dist.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(dist.len(), 2);
+        assert_eq!(dist[0].0, "Joh");
+        assert!((dist[0].1 - 0.4).abs() < 1e-12);
+        assert_eq!(dist[1].0, "Johpi");
+        assert!((dist[1].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig13_xtuple_keys() {
+        let s = schema();
+        // t31: (John, pilot):0.7 | (Johan, mu*):0.3 → Johpi 0.7, Johmu 0.3.
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let t31 = XTuple::builder(&s)
+            .alt(0.7, ["John", "pilot"])
+            .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+            .build()
+            .unwrap();
+        let mut keys = spec().xtuple_keys(&t31);
+        keys.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].0, "Johmu");
+        assert!((keys[0].1 - 0.3).abs() < 1e-12);
+        assert_eq!(keys[1].0, "Johpi");
+        assert!((keys[1].1 - 0.7).abs() < 1e-12);
+
+        // t43: (John, ⊥):0.2 | (Sean, pilot):0.6 → Joh 0.2, Seapi 0.6
+        // (masses sum to p(t) = 0.8, as printed in Fig. 13).
+        let t43 = XTuple::builder(&s)
+            .alt(0.2, [Value::from("John"), Value::Null])
+            .alt(0.6, ["Sean", "pilot"])
+            .build()
+            .unwrap();
+        let mut keys = spec().xtuple_keys(&t43);
+        keys.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(keys[0], ("Joh".to_string(), 0.2));
+        assert_eq!(keys[1].0, "Seapi");
+        assert!((keys[1].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig13_t41_certain_key_despite_two_alternatives() {
+        // t41: (John, pilot):0.8 | (Johan, pianist):0.2 — both render
+        // "Johpi": "t41 has a certain key value despite of having two
+        // alternative tuples."
+        let s = schema();
+        let t41 = XTuple::builder(&s)
+            .alt(0.8, ["John", "pilot"])
+            .alt(0.2, ["Johan", "pianist"])
+            .build()
+            .unwrap();
+        let keys = spec().xtuple_keys(&t41);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].0, "Johpi");
+        assert!((keys[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_probable_key() {
+        let s = schema();
+        let t32 = XTuple::builder(&s)
+            .alt(0.3, ["Tim", "mechanic"])
+            .alt(0.2, ["Jim", "mechanic"])
+            .alt(0.4, ["Jim", "baker"])
+            .build()
+            .unwrap();
+        // Keys: Timme 0.3, Jimme 0.2, Jimba 0.4 → most probable "Jimba".
+        assert_eq!(spec().most_probable_key(&t32), "Jimba");
+    }
+
+    #[test]
+    fn alternative_keys_fig11() {
+        let s = schema();
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let t31 = XTuple::builder(&s)
+            .alt(0.7, ["John", "pilot"])
+            .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+            .build()
+            .unwrap();
+        // Fig. 11: t31 contributes keys Johpi and Johmu.
+        assert_eq!(spec().alternative_keys(&t31), vec!["Johpi", "Johmu"]);
+    }
+
+    #[test]
+    fn full_part_takes_whole_value() {
+        let spec = KeySpec::new(vec![KeyPart::full(0)]);
+        let values = vec![PValue::certain("Johannes"), PValue::certain("x")];
+        assert_eq!(spec.key_distribution(&values), vec![("Johannes".into(), 1.0)]);
+    }
+
+    #[test]
+    fn expansion_guard_truncates() {
+        let spec = KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(1, 3)])
+            .with_max_expansion(2);
+        let a = PValue::categorical([("aaa", 0.3), ("bbb", 0.3), ("ccc", 0.4)]).unwrap();
+        let b = PValue::categorical([("xxx", 0.5), ("yyy", 0.5)]).unwrap();
+        let dist = spec.key_distribution(&[a, b]);
+        assert!(dist.len() <= 2);
+    }
+
+    #[test]
+    fn unreferenced_attributes_ignored() {
+        let spec = KeySpec::new(vec![KeyPart::prefix(1, 2)]);
+        let values = vec![
+            PValue::categorical([("many", 0.5), ("keys", 0.5)]).unwrap(),
+            PValue::certain("pilot"),
+        ];
+        // Only attribute 1 matters: a single certain key.
+        assert_eq!(spec.key_distribution(&values), vec![("pi".into(), 1.0)]);
+    }
+}

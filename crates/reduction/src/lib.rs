@@ -1,0 +1,42 @@
+//! Search-space reduction for probabilistic data (Section V of Panse et
+//! al., ICDE 2010).
+//!
+//! Comparing all `n·(n−1)/2` tuple pairs is quadratic and quickly
+//! prohibitive; classical remedies are the **sorted neighborhood method**
+//! (SNM: sort by a key, compare within a sliding window) and **blocking**
+//! (partition by a key, compare within partitions). Both need a *key* —
+//! and in probabilistic data the key attributes may be uncertain. The paper
+//! proposes four SNM adaptations and three blocking adaptations, all
+//! implemented here:
+//!
+//! | Paper section | Method | Module |
+//! |---------------|--------|--------|
+//! | V-A.1 | multi-pass over possible worlds (with careful world selection) | [`multipass`] |
+//! | V-A.2 | certain keys via conflict resolution (most probable alternative) | [`conflict`] |
+//! | V-A.3 | sorting alternatives (one key per alternative, executed-matching matrix) | [`alternatives`] |
+//! | V-A.4 | uncertain keys + probabilistic ranking | [`ranking`] |
+//! | V-B   | blocking: multi-pass / conflict-resolved / per-alternative keys / clustering | [`blocking`], [`cluster`] |
+//!
+//! All methods emit deterministic, deduplicated [`CandidatePairs`] over
+//! tuple indices of one (combined) x-relation, ready for the matching and
+//! decision layers.
+
+pub mod alternatives;
+pub mod blocking;
+pub mod cluster;
+pub mod conflict;
+pub mod key;
+pub mod multipass;
+pub mod pairs;
+pub mod ranking;
+pub mod snm;
+
+pub use alternatives::{sorting_alternatives, SortingAlternativesResult};
+pub use blocking::{block_alternatives, block_conflict_resolved, block_multipass, BlockingResult};
+pub use cluster::{cluster_blocking, ClusterBlockingConfig};
+pub use conflict::{conflict_resolved_snm, ConflictResolution};
+pub use key::{KeyPart, KeySpec};
+pub use multipass::{multipass_snm, MultipassResult, WorldSelection};
+pub use pairs::{CandidatePairs, PairMatrix};
+pub use ranking::{ranked_snm, RankingFunction};
+pub use snm::{sorted_neighborhood, SnmEntry};

@@ -1,0 +1,293 @@
+//! Multi-pass SNM over possible worlds (Section V-A.1 / Figs. 8–9).
+//!
+//! Each pass fixes one possible world (only worlds **containing all
+//! tuples** matter — tuple membership must not influence dedup, and every
+//! tuple needs a key), creates certain key values for it, runs the sorted
+//! neighborhood method, and the passes' matchings are unioned.
+//!
+//! Enumerating *all* worlds is usually prohibitive; the paper suggests a
+//! small set of **highly probable and pairwise dissimilar** worlds, because
+//! the top-probability worlds tend to be near-identical and yield redundant
+//! passes. [`WorldSelection`] offers all three policies; the E3 experiment
+//! measures their trade-off.
+
+use probdedup_model::world::{full_worlds, top_k_worlds, World};
+use probdedup_model::xtuple::XTuple;
+
+use crate::key::KeySpec;
+use crate::pairs::CandidatePairs;
+use crate::snm::{sorted_neighborhood, SnmEntry};
+
+/// Which possible worlds the passes run over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldSelection {
+    /// Every world containing all tuples, up to `limit` (errors … no:
+    /// silently stops at the limit; use with care, the count is the product
+    /// of alternative counts).
+    All {
+        /// Hard cap on enumerated full worlds.
+        limit: usize,
+    },
+    /// The `k` most probable full worlds.
+    TopK(usize),
+    /// `k` pairwise-dissimilar worlds greedily selected from the `pool`
+    /// most probable full worlds (maximize the minimum distance to the
+    /// already-selected set; ties toward higher probability). This is the
+    /// paper's "highly probable and pairwise dissimilar" policy.
+    DiverseTopK {
+        /// Number of passes.
+        k: usize,
+        /// Size of the probability-ranked candidate pool.
+        pool: usize,
+    },
+}
+
+/// Result of a multi-pass run: the unioned pairs plus each pass's world and
+/// sorted order (Fig. 9 prints them).
+#[derive(Debug, Clone)]
+pub struct MultipassResult {
+    /// Union of all passes' candidate pairs.
+    pub pairs: CandidatePairs,
+    /// Per pass: the world and the sorted key entries of that pass.
+    pub passes: Vec<(World, Vec<SnmEntry>)>,
+}
+
+/// Greedy max-min-distance selection of `k` worlds from `pool` (shared
+/// with multi-pass blocking).
+pub(crate) fn select_diverse_worlds(mut pool: Vec<World>, k: usize) -> Vec<World> {
+    if pool.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    // Pool arrives probability-sorted (top_k_worlds); seed with the most
+    // probable world.
+    let mut selected = vec![pool.remove(0)];
+    while selected.len() < k && !pool.is_empty() {
+        let (best_idx, _) = pool
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let min_dist = selected
+                    .iter()
+                    .map(|s| w.distance(s))
+                    .fold(f64::INFINITY, f64::min);
+                (i, min_dist)
+            })
+            // max by (distance, probability); pool order encodes probability
+            // rank, so earlier index wins ties.
+            .max_by(|(ia, da), (ib, db)| {
+                da.partial_cmp(db)
+                    .expect("finite distances")
+                    .then(ib.cmp(ia))
+            })
+            .expect("pool non-empty");
+        selected.push(pool.remove(best_idx));
+    }
+    selected
+}
+
+/// Key entries of one world: each tuple's key from its chosen alternative
+/// (uncertain values inside the alternative resolve to their most probable
+/// rendered prefix).
+fn world_entries(tuples: &[XTuple], world: &World, spec: &KeySpec) -> Vec<SnmEntry> {
+    debug_assert!(world.is_full(), "multi-pass uses worlds containing all tuples");
+    tuples
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let alt = world.choices[i].expect("full world");
+            // Reuse the per-alternative key logic on a single alternative.
+            let keys = spec.alternative_keys(t);
+            SnmEntry::new(keys[alt].clone(), i)
+        })
+        .collect()
+}
+
+/// Multi-pass SNM over possible worlds of `tuples`.
+pub fn multipass_snm(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    window: usize,
+    selection: WorldSelection,
+) -> MultipassResult {
+    let worlds: Vec<World> = match selection {
+        WorldSelection::All { limit } => full_worlds(tuples).take(limit).collect(),
+        WorldSelection::TopK(k) => top_k_worlds(tuples, k, true),
+        WorldSelection::DiverseTopK { k, pool } => {
+            select_diverse_worlds(top_k_worlds(tuples, pool.max(k), true), k)
+        }
+    };
+    let mut pairs = CandidatePairs::new(tuples.len());
+    let mut passes = Vec::with_capacity(worlds.len());
+    for world in worlds {
+        let entries = world_entries(tuples, &world, spec);
+        let (pass_pairs, order) = sorted_neighborhood(entries, window, tuples.len(), false);
+        pairs.absorb(&pass_pairs);
+        passes.push((world, order));
+    }
+    MultipassResult { pairs, passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probdedup_model::pvalue::PValue;
+    use probdedup_model::schema::Schema;
+    use probdedup_model::value::Value;
+
+    /// The paper's ℛ34 = ℛ3 ∪ ℛ4 (Fig. 5), tuple indices:
+    /// 0 = t31, 1 = t32, 2 = t41, 3 = t42, 4 = t43.
+    pub(crate) fn r34() -> Vec<XTuple> {
+        let s = Schema::new(["name", "job"]);
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        vec![
+            XTuple::builder(&s)
+                .alt(0.7, ["John", "pilot"])
+                .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+                .label("t31")
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.3, ["Tim", "mechanic"])
+                .alt(0.2, ["Jim", "mechanic"])
+                .alt(0.4, ["Jim", "baker"])
+                .label("t32")
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.8, ["John", "pilot"])
+                .alt(0.2, ["Johan", "pianist"])
+                .label("t41")
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.8, ["Tom", "mechanic"])
+                .label("t42")
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.2, [Value::from("John"), Value::Null])
+                .alt(0.6, ["Sean", "pilot"])
+                .label("t43")
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    fn spec() -> KeySpec {
+        KeySpec::paper_example(0, 1)
+    }
+
+    /// Fig. 9 (left): world I1 = (John pilot, Tim mechanic, Johan pianist,
+    /// Tom mechanic, Sean pilot) sorts as Johpi(t31), Johpi(t41),
+    /// Seapi(t43), Timme(t32), Tomme(t42).
+    ///
+    /// NOTE: Fig. 8 prints t41 = (Johan, pianist) in I1; under our key that
+    /// gives "Johpi" as well (Joha→Joh + pi), matching Fig. 9's key list.
+    #[test]
+    fn fig9_world_orders() {
+        let tuples = r34();
+        // Enumerate all full worlds; find I1's choices:
+        // t31 = John/pilot (0), t32 = Tim/mechanic (0), t41 = Johan/pianist (1),
+        // t42 = Tom/mechanic (0), t43 = Sean/pilot (1).
+        let world = World {
+            choices: vec![Some(0), Some(0), Some(1), Some(0), Some(1)],
+            probability: 0.7 * 0.3 * 0.2 * 0.8 * 0.6,
+        };
+        let entries = world_entries(&tuples, &world, &spec());
+        let (_, order) = sorted_neighborhood(entries, 2, 5, false);
+        let keys: Vec<(&str, usize)> = order.iter().map(|e| (e.key.as_str(), e.tuple)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("Johpi", 0), // t31
+                ("Johpi", 2), // t41
+                ("Seapi", 4), // t43
+                ("Timme", 1), // t32
+                ("Tomme", 3), // t42
+            ]
+        );
+
+        // Fig. 9 (right): world I2 = (Johan mu*, Jim mechanic, John pilot,
+        // Tom mechanic, John ⊥) sorts as Jimme(t32), Joh(t43), Johmu(t31),
+        // Johpi(t41), Tomme(t42).
+        let world2 = World {
+            choices: vec![Some(1), Some(1), Some(0), Some(0), Some(0)],
+            probability: 0.3 * 0.2 * 0.8 * 0.8 * 0.2,
+        };
+        let entries2 = world_entries(&tuples, &world2, &spec());
+        let (_, order2) = sorted_neighborhood(entries2, 2, 5, false);
+        let keys2: Vec<(&str, usize)> =
+            order2.iter().map(|e| (e.key.as_str(), e.tuple)).collect();
+        assert_eq!(
+            keys2,
+            vec![
+                ("Jimme", 1),
+                ("Joh", 4),
+                ("Johmu", 0),
+                ("Johpi", 2),
+                ("Tomme", 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn all_worlds_union_dominates_top_k() {
+        let tuples = r34();
+        let all = multipass_snm(&tuples, &spec(), 2, WorldSelection::All { limit: 10_000 });
+        let top1 = multipass_snm(&tuples, &spec(), 2, WorldSelection::TopK(1));
+        assert!(top1.pairs.len() <= all.pairs.len());
+        for &(i, j) in top1.pairs.pairs() {
+            assert!(all.pairs.contains(i, j));
+        }
+        // ℛ34 full worlds: 2·3·2·1·2 = 24 passes.
+        assert_eq!(all.passes.len(), 24);
+    }
+
+    #[test]
+    fn diverse_selection_differs_from_plain_top_k() {
+        let tuples = r34();
+        let top = multipass_snm(&tuples, &spec(), 2, WorldSelection::TopK(3));
+        let diverse = multipass_snm(
+            &tuples,
+            &spec(),
+            2,
+            WorldSelection::DiverseTopK { k: 3, pool: 24 },
+        );
+        assert_eq!(top.passes.len(), 3);
+        assert_eq!(diverse.passes.len(), 3);
+        // The diverse policy must not pick three near-identical worlds: its
+        // minimum pairwise distance is at least that of the plain top-3.
+        let min_dist = |passes: &[(World, Vec<SnmEntry>)]| -> f64 {
+            let mut d = f64::INFINITY;
+            for i in 0..passes.len() {
+                for j in (i + 1)..passes.len() {
+                    d = d.min(passes[i].0.distance(&passes[j].0));
+                }
+            }
+            d
+        };
+        assert!(min_dist(&diverse.passes) >= min_dist(&top.passes) - 1e-12);
+        // Both start from the most probable world.
+        assert_eq!(top.passes[0].0.choices, diverse.passes[0].0.choices);
+    }
+
+    #[test]
+    fn single_certain_world() {
+        let s = Schema::new(["name", "job"]);
+        let tuples = vec![
+            XTuple::builder(&s).alt(1.0, ["John", "pilot"]).build().unwrap(),
+            XTuple::builder(&s).alt(1.0, ["Johan", "pilot"]).build().unwrap(),
+        ];
+        let r = multipass_snm(&tuples, &spec(), 2, WorldSelection::All { limit: 100 });
+        assert_eq!(r.passes.len(), 1);
+        assert_eq!(r.pairs.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = multipass_snm(&[], &spec(), 2, WorldSelection::TopK(3));
+        assert!(r.pairs.is_empty());
+        // The empty tuple set has exactly one (empty) world.
+        assert_eq!(r.passes.len(), 1);
+    }
+}

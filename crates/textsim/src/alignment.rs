@@ -1,0 +1,157 @@
+//! Local alignment similarity (Smith-Waterman).
+//!
+//! Edit distances charge for *everything* that differs; local alignment
+//! rewards the best-matching region and ignores unrelated flanks. That
+//! makes it the right kernel for abbreviation-style duplicates
+//! ("Tim" vs "Timothy") and for values embedded in noise
+//! ("NGC-1976" vs "catalog NGC1976 (Orion)").
+
+use crate::traits::StringComparator;
+
+/// Smith-Waterman local alignment similarity.
+///
+/// Scores: `match_score` per matching character, `-mismatch_penalty` per
+/// substitution, `-gap_penalty` per inserted/deleted character; the
+/// similarity is the best local alignment score divided by
+/// `match_score · min(|a|, |b|)` (the maximum attainable), clamped to
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmithWaterman {
+    match_score: f64,
+    mismatch_penalty: f64,
+    gap_penalty: f64,
+}
+
+impl Default for SmithWaterman {
+    fn default() -> Self {
+        Self {
+            match_score: 2.0,
+            mismatch_penalty: 1.0,
+            gap_penalty: 1.0,
+        }
+    }
+}
+
+impl SmithWaterman {
+    /// The conventional parameterization (match 2, mismatch −1, gap −1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Custom scores; non-positive `match_score` is rejected by clamping
+    /// to the default.
+    pub fn with_scores(match_score: f64, mismatch_penalty: f64, gap_penalty: f64) -> Self {
+        Self {
+            match_score: if match_score > 0.0 { match_score } else { 2.0 },
+            mismatch_penalty: mismatch_penalty.max(0.0),
+            gap_penalty: gap_penalty.max(0.0),
+        }
+    }
+
+    /// The raw best local alignment score.
+    pub fn score(&self, a: &str, b: &str) -> f64 {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.is_empty() || bv.is_empty() {
+            return 0.0;
+        }
+        let mut prev = vec![0.0f64; bv.len() + 1];
+        let mut curr = vec![0.0f64; bv.len() + 1];
+        let mut best = 0.0f64;
+        for ca in &av {
+            for (j, cb) in bv.iter().enumerate() {
+                let diag = prev[j]
+                    + if ca == cb {
+                        self.match_score
+                    } else {
+                        -self.mismatch_penalty
+                    };
+                let up = prev[j + 1] - self.gap_penalty;
+                let left = curr[j] - self.gap_penalty;
+                let cell = diag.max(up).max(left).max(0.0);
+                curr[j + 1] = cell;
+                best = best.max(cell);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+            curr[0] = 0.0;
+        }
+        best
+    }
+}
+
+impl StringComparator for SmithWaterman {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        if la == 0 && lb == 0 {
+            return 1.0;
+        }
+        let denom = self.match_score * la.min(lb) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.score(a, b) / denom).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &str {
+        "smith-waterman"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_substring_scores_one() {
+        let sw = SmithWaterman::new();
+        // "Tim" aligns perfectly inside "Timothy".
+        assert_eq!(sw.similarity("Tim", "Timothy"), 1.0);
+        assert_eq!(sw.similarity("NGC1976", "catalog NGC1976 x"), 1.0);
+    }
+
+    #[test]
+    fn flanking_noise_is_free_unlike_levenshtein() {
+        use crate::levenshtein::Levenshtein;
+        let sw = SmithWaterman::new();
+        let lev = Levenshtein::new();
+        let (a, b) = ("core", "xxxxcorexxxx");
+        assert_eq!(sw.similarity(a, b), 1.0);
+        assert!(lev.similarity(a, b) < 0.5);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        let sw = SmithWaterman::new();
+        assert_eq!(sw.similarity("abc", "xyz"), 0.0);
+        assert_eq!(sw.similarity("", "abc"), 0.0);
+        assert_eq!(sw.similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn raw_score_known_value() {
+        // "GGTT" vs "GGT": best local alignment GGT = 3 matches · 2 = 6.
+        let sw = SmithWaterman::new();
+        assert_eq!(sw.score("GGTT", "GGT"), 6.0);
+        // One substitution inside a 4-run: max(2+2-1+2, …) — "abcd"/"abed":
+        // ab (4) vs abed alignment ab..d: 2+2-1+2 = 5.
+        assert_eq!(sw.score("abcd", "abed"), 5.0);
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let sw = SmithWaterman::new();
+        for (a, b) in [("Tim", "Timothy"), ("machinist", "mechanic"), ("", "x")] {
+            let s1 = sw.similarity(a, b);
+            let s2 = sw.similarity(b, a);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+    }
+
+    #[test]
+    fn custom_scores_clamped() {
+        let sw = SmithWaterman::with_scores(-1.0, -2.0, -3.0);
+        assert_eq!(sw.similarity("abc", "abc"), 1.0);
+    }
+}

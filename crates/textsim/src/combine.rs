@@ -1,0 +1,244 @@
+//! Comparator combinators: weighted ensembles, max/min, and gates.
+//!
+//! The paper's footnote 1 notes that using multiple comparison functions per
+//! attribute yields a comparison *matrix*; combining them back into a single
+//! score per attribute keeps the comparison-vector formulation. These
+//! combinators perform that collapse.
+
+use crate::traits::{SharedComparator, StringComparator};
+
+/// Weighted average of several comparators. Weights are normalized at
+/// construction; an empty ensemble scores 0 for distinct strings.
+#[derive(Clone, Default)]
+pub struct WeightedEnsemble {
+    members: Vec<(SharedComparator, f64)>,
+}
+
+impl WeightedEnsemble {
+    /// An empty ensemble.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a member with the given (non-negative) weight. Zero and negative
+    /// weights are dropped.
+    pub fn with(mut self, comparator: SharedComparator, weight: f64) -> Self {
+        if weight > 0.0 && weight.is_finite() {
+            self.members.push((comparator, weight));
+        }
+        self
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl StringComparator for WeightedEnsemble {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let total: f64 = self.members.iter().map(|(_, w)| w).sum();
+        if total == 0.0 {
+            return if a == b { 1.0 } else { 0.0 };
+        }
+        self.members
+            .iter()
+            .map(|(c, w)| w * c.similarity(a, b))
+            .sum::<f64>()
+            / total
+    }
+
+    fn name(&self) -> &str {
+        "weighted-ensemble"
+    }
+}
+
+/// Maximum over several comparators: "similar under *any* view".
+/// Useful to combine a syntactic kernel with a semantic glossary, as in
+/// Section III-C of the paper.
+#[derive(Clone, Default)]
+pub struct MaxOf {
+    members: Vec<SharedComparator>,
+}
+
+impl MaxOf {
+    /// An empty combinator (scores 0 for distinct strings).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a member.
+    pub fn with(mut self, comparator: SharedComparator) -> Self {
+        self.members.push(comparator);
+        self
+    }
+}
+
+impl StringComparator for MaxOf {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        self.members
+            .iter()
+            .map(|c| c.similarity(a, b))
+            .fold(0.0_f64, f64::max)
+    }
+
+    fn name(&self) -> &str {
+        "max-of"
+    }
+}
+
+/// Minimum over several comparators: "similar under *every* view".
+#[derive(Clone, Default)]
+pub struct MinOf {
+    members: Vec<SharedComparator>,
+}
+
+impl MinOf {
+    /// An empty combinator (scores 1 — the neutral element of min).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a member.
+    pub fn with(mut self, comparator: SharedComparator) -> Self {
+        self.members.push(comparator);
+        self
+    }
+}
+
+impl StringComparator for MinOf {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        self.members
+            .iter()
+            .map(|c| c.similarity(a, b))
+            .fold(1.0_f64, f64::min)
+    }
+
+    fn name(&self) -> &str {
+        "min-of"
+    }
+}
+
+/// Hard threshold gate: passes the inner similarity through when it reaches
+/// `threshold`, otherwise clamps to 0. Models the "IF name > threshold1"
+/// conditions of identification rules (Fig. 1) at the comparator level.
+#[derive(Clone)]
+pub struct ThresholdGate {
+    inner: SharedComparator,
+    threshold: f64,
+}
+
+impl ThresholdGate {
+    /// Gate `inner` at `threshold` (clamped to `[0,1]`).
+    pub fn new(inner: SharedComparator, threshold: f64) -> Self {
+        Self {
+            inner,
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl StringComparator for ThresholdGate {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let s = self.inner.similarity(a, b);
+        if s >= self.threshold {
+            s
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &str {
+        "threshold-gate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::NormalizedHamming;
+    use crate::levenshtein::Levenshtein;
+    use crate::traits::Exact;
+    use std::sync::Arc;
+
+    #[test]
+    fn weighted_ensemble_averages() {
+        let e = WeightedEnsemble::new()
+            .with(Arc::new(Exact), 1.0)
+            .with(Arc::new(NormalizedHamming::new()), 1.0);
+        // Tim/Kim: exact 0, hamming 2/3 → 1/3.
+        assert!((e.similarity("Tim", "Kim") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn weighted_ensemble_normalizes_weights() {
+        let heavy = WeightedEnsemble::new()
+            .with(Arc::new(Exact), 10.0)
+            .with(Arc::new(NormalizedHamming::new()), 30.0);
+        let light = WeightedEnsemble::new()
+            .with(Arc::new(Exact), 0.1)
+            .with(Arc::new(NormalizedHamming::new()), 0.3);
+        assert!((heavy.similarity("Tim", "Kim") - light.similarity("Tim", "Kim")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_ensemble_drops_bad_weights() {
+        let e = WeightedEnsemble::new()
+            .with(Arc::new(Exact), 0.0)
+            .with(Arc::new(Exact), -1.0)
+            .with(Arc::new(Exact), f64::NAN);
+        assert!(e.is_empty());
+        assert_eq!(e.similarity("a", "a"), 1.0);
+        assert_eq!(e.similarity("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn max_of_takes_best_view() {
+        let g = crate::semantic::Glossary::new().add_group(["mechanic", "machinist"]);
+        let m = MaxOf::new()
+            .with(Arc::new(g))
+            .with(Arc::new(NormalizedHamming::new()));
+        // Glossary gives 1.0, hamming 5/9... wait that's machinist/mechanic: glossary wins.
+        assert_eq!(m.similarity("mechanic", "machinist"), 1.0);
+        // Unknown pair: hamming wins over glossary's 0.
+        assert!((m.similarity("Tim", "Kim") - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_of_takes_worst_view() {
+        let m = MinOf::new()
+            .with(Arc::new(Exact))
+            .with(Arc::new(NormalizedHamming::new()));
+        assert_eq!(m.similarity("Tim", "Kim"), 0.0);
+        assert_eq!(m.similarity("Tim", "Tim"), 1.0);
+    }
+
+    #[test]
+    fn empty_combinators() {
+        assert_eq!(MaxOf::new().similarity("a", "b"), 0.0);
+        assert_eq!(MaxOf::new().similarity("a", "a"), 1.0);
+        assert_eq!(MinOf::new().similarity("a", "b"), 1.0);
+    }
+
+    #[test]
+    fn threshold_gate() {
+        let g = ThresholdGate::new(Arc::new(Levenshtein::new()), 0.8);
+        assert_eq!(g.similarity("duplicate", "duplicate"), 1.0);
+        // levenshtein("abc","abd") = 2/3 < 0.8 → gated to 0.
+        assert_eq!(g.similarity("abc", "abd"), 0.0);
+        // levenshtein("abcde","abcdf") = 0.8 ≥ 0.8 → passes through.
+        assert!((g.similarity("abcde", "abcdf") - 0.8).abs() < 1e-12);
+    }
+}

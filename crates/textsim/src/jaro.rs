@@ -1,0 +1,222 @@
+//! Jaro and Jaro-Winkler similarity, the record-linkage standards cited by
+//! the paper ("edit- or jaro distance", Section III-C).
+
+use crate::traits::StringComparator;
+
+/// Jaro similarity.
+///
+/// Defined as `(m/|a| + m/|b| + (m − t)/m) / 3` where `m` is the number of
+/// matching characters (equal characters within a window of
+/// `max(|a|,|b|)/2 − 1`) and `t` is half the number of transpositions among
+/// the matched characters. Returns `0.0` when there are no matches, `1.0` for
+/// two empty strings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Jaro {
+    _priv: (),
+}
+
+impl Jaro {
+    /// A new Jaro comparator.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+}
+
+/// Core Jaro computation shared by [`Jaro`] and [`JaroWinkler`].
+fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; m];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, ca) in av.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        for j in lo..hi {
+            if !b_matched[j] && bv[j] == *ca {
+                b_matched[j] = true;
+                a_matches.push(*ca);
+                break;
+            }
+        }
+    }
+    let matches = a_matches.len();
+    if matches == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<char> = bv
+        .iter()
+        .zip(b_matched.iter())
+        .filter_map(|(c, &used)| used.then_some(*c))
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count();
+    let m_f = matches as f64;
+    (m_f / n as f64 + m_f / m as f64 + (m_f - transpositions as f64 / 2.0) / m_f) / 3.0
+}
+
+impl StringComparator for Jaro {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro_similarity(a, b)
+    }
+
+    fn name(&self) -> &str {
+        "jaro"
+    }
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus.
+///
+/// `JW = J + ℓ · p · (1 − J)` where `ℓ` is the length of the common prefix
+/// (capped at [`JaroWinkler::max_prefix`], conventionally 4) and `p` the
+/// prefix scale (conventionally 0.1; must satisfy `p · max_prefix ≤ 1` so the
+/// result stays in `[0,1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaroWinkler {
+    prefix_scale: f64,
+    max_prefix: usize,
+    /// Only boost when the plain Jaro similarity exceeds this value
+    /// (Winkler's original proposal used 0.7).
+    boost_threshold: f64,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        Self {
+            prefix_scale: 0.1,
+            max_prefix: 4,
+            boost_threshold: 0.7,
+        }
+    }
+}
+
+impl JaroWinkler {
+    /// A Jaro-Winkler comparator with the conventional parameters
+    /// (scale 0.1, prefix cap 4, boost threshold 0.7).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the prefix scale. Values are clamped so that
+    /// `scale · max_prefix ≤ 1` (preserving the `[0,1]` range).
+    pub fn with_prefix_scale(mut self, scale: f64) -> Self {
+        let cap = 1.0 / self.max_prefix as f64;
+        self.prefix_scale = scale.clamp(0.0, cap);
+        self
+    }
+
+    /// Override the boost threshold (0 disables the threshold entirely).
+    pub fn with_boost_threshold(mut self, threshold: f64) -> Self {
+        self.boost_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The maximum prefix length that receives a bonus.
+    pub fn max_prefix(&self) -> usize {
+        self.max_prefix
+    }
+}
+
+impl StringComparator for JaroWinkler {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let j = jaro_similarity(a, b);
+        if j < self.boost_threshold {
+            return j;
+        }
+        let prefix = a
+            .chars()
+            .zip(b.chars())
+            .take(self.max_prefix)
+            .take_while(|(x, y)| x == y)
+            .count();
+        (j + prefix as f64 * self.prefix_scale * (1.0 - j)).min(1.0)
+    }
+
+    fn name(&self) -> &str {
+        "jaro-winkler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-3;
+
+    #[test]
+    fn classic_jaro_values() {
+        let j = Jaro::new();
+        assert!((j.similarity("MARTHA", "MARHTA") - 0.944).abs() < EPS);
+        assert!((j.similarity("DWAYNE", "DUANE") - 0.822).abs() < EPS);
+        assert!((j.similarity("DIXON", "DICKSONX") - 0.767).abs() < EPS);
+    }
+
+    #[test]
+    fn classic_jaro_winkler_values() {
+        let jw = JaroWinkler::new();
+        assert!((jw.similarity("MARTHA", "MARHTA") - 0.961).abs() < EPS);
+        assert!((jw.similarity("DWAYNE", "DUANE") - 0.840).abs() < EPS);
+        assert!((jw.similarity("DIXON", "DICKSONX") - 0.813).abs() < EPS);
+    }
+
+    #[test]
+    fn no_common_characters() {
+        assert_eq!(Jaro::new().similarity("abc", "xyz"), 0.0);
+        assert_eq!(JaroWinkler::new().similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(Jaro::new().similarity("", ""), 1.0);
+        assert_eq!(Jaro::new().similarity("", "abc"), 0.0);
+        assert_eq!(JaroWinkler::new().similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn winkler_never_below_jaro() {
+        let j = Jaro::new();
+        let jw = JaroWinkler::new();
+        for (a, b) in [
+            ("prefix", "prefixed"),
+            ("MARTHA", "MARHTA"),
+            ("abcdef", "abcfed"),
+            ("same", "same"),
+        ] {
+            assert!(jw.similarity(a, b) >= j.similarity(a, b) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn boost_threshold_suppresses_bonus() {
+        let no_boost = JaroWinkler::new().with_boost_threshold(1.0);
+        let j = Jaro::new();
+        assert!((no_boost.similarity("MARTHA", "MARHTA") - j.similarity("MARTHA", "MARHTA")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_scale_is_clamped() {
+        let jw = JaroWinkler::new().with_prefix_scale(5.0);
+        for (a, b) in [("aaaa", "aaab"), ("prefix", "prefixed")] {
+            let s = jw.similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let jw = JaroWinkler::new();
+        for (a, b) in [("DWAYNE", "DUANE"), ("Tim", "Timothy"), ("x", "")] {
+            assert!((jw.similarity(a, b) - jw.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+}

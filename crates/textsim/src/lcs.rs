@@ -1,0 +1,109 @@
+//! Longest-common-subsequence similarity.
+
+use crate::traits::StringComparator;
+
+/// LCS similarity: `2·|lcs(a,b)| / (|a| + |b|)`.
+///
+/// Robust against insertions/deletions scattered through the string, less so
+/// against substitutions; a useful complement to [`crate::NormalizedHamming`]
+/// which is strictly positional.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lcs {
+    _priv: (),
+}
+
+impl Lcs {
+    /// A new LCS comparator.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+
+    /// Length of the longest common subsequence, `O(|a|·|b|)` time,
+    /// `O(min(|a|,|b|))` space.
+    pub fn lcs_len(&self, a: &str, b: &str) -> usize {
+        let (short, long): (Vec<char>, Vec<char>) = {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            if av.len() <= bv.len() {
+                (av, bv)
+            } else {
+                (bv, av)
+            }
+        };
+        if short.is_empty() {
+            return 0;
+        }
+        let mut prev = vec![0usize; short.len() + 1];
+        let mut curr = vec![0usize; short.len() + 1];
+        for cl in &long {
+            for (j, cs) in short.iter().enumerate() {
+                curr[j + 1] = if cl == cs {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(curr[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[short.len()]
+    }
+}
+
+impl StringComparator for Lcs {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        if la + lb == 0 {
+            return 1.0;
+        }
+        2.0 * self.lcs_len(a, b) as f64 / (la + lb) as f64
+    }
+
+    fn name(&self) -> &str {
+        "lcs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_lcs_lengths() {
+        let l = Lcs::new();
+        assert_eq!(l.lcs_len("ABCBDAB", "BDCABA"), 4); // BCBA / BDAB
+        assert_eq!(l.lcs_len("abc", "abc"), 3);
+        assert_eq!(l.lcs_len("abc", "xyz"), 0);
+        assert_eq!(l.lcs_len("", "abc"), 0);
+    }
+
+    #[test]
+    fn similarity_values() {
+        let l = Lcs::new();
+        assert_eq!(l.similarity("", ""), 1.0);
+        assert_eq!(l.similarity("abc", "abc"), 1.0);
+        assert_eq!(l.similarity("abc", "xyz"), 0.0);
+        // lcs("Tim","Timothy") = 3 → 2·3/10 = 0.6
+        assert!((l.similarity("Tim", "Timothy") - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_robustness_vs_hamming() {
+        use crate::hamming::NormalizedHamming;
+        let l = Lcs::new();
+        let h = NormalizedHamming::new();
+        // A single leading insertion shifts every position for Hamming but
+        // barely affects LCS.
+        let (a, b) = ("Johannes", "xJohannes");
+        assert!(l.similarity(a, b) > 0.9);
+        assert!(h.similarity(a, b) < 0.2);
+    }
+
+    #[test]
+    fn symmetry() {
+        let l = Lcs::new();
+        for (a, b) in [("ABCBDAB", "BDCABA"), ("", "x"), ("ab", "ba")] {
+            assert!((l.similarity(a, b) - l.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+}

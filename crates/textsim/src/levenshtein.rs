@@ -1,0 +1,209 @@
+//! Levenshtein and Damerau-Levenshtein edit distances, normalized to `[0,1]`.
+
+use crate::traits::StringComparator;
+
+/// Normalized Levenshtein similarity: `1 − d(a,b) / max(|a|, |b|)` where `d`
+/// is the classical edit distance (insertions, deletions, substitutions, all
+/// of cost 1).
+///
+/// The implementation uses the two-row dynamic program: `O(|a|·|b|)` time and
+/// `O(min(|a|,|b|))` space, comparing Unicode scalar values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Levenshtein {
+    _priv: (),
+}
+
+impl Levenshtein {
+    /// A new Levenshtein comparator.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+
+    /// Raw edit distance between `a` and `b`.
+    pub fn distance(&self, a: &str, b: &str) -> usize {
+        let (short, long): (Vec<char>, Vec<char>) = {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            if av.len() <= bv.len() {
+                (av, bv)
+            } else {
+                (bv, av)
+            }
+        };
+        if short.is_empty() {
+            return long.len();
+        }
+        let mut prev: Vec<usize> = (0..=short.len()).collect();
+        let mut curr: Vec<usize> = vec![0; short.len() + 1];
+        for (i, cl) in long.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, cs) in short.iter().enumerate() {
+                let cost = usize::from(cl != cs);
+                curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[short.len()]
+    }
+
+    /// Edit distance with an early-exit bound: returns `None` if the distance
+    /// exceeds `bound`. Useful for cheap candidate filtering: the band of the
+    /// DP matrix explored is `O(bound)` wide.
+    pub fn distance_within(&self, a: &str, b: &str, bound: usize) -> Option<usize> {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len().abs_diff(bv.len()) > bound {
+            return None;
+        }
+        let d = self.distance(a, b);
+        (d <= bound).then_some(d)
+    }
+}
+
+impl StringComparator for Levenshtein {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - self.distance(a, b) as f64 / max_len as f64
+    }
+
+    fn name(&self) -> &str {
+        "levenshtein"
+    }
+}
+
+/// Normalized Damerau-Levenshtein similarity (optimal string alignment
+/// variant): like Levenshtein but counting a transposition of two adjacent
+/// characters as a single edit.
+///
+/// Typos are dominated by adjacent transpositions ("teh" → "the"), which is
+/// why record-linkage systems often prefer this kernel over plain
+/// Levenshtein; the synthetic data generator in `probdedup-datagen` injects
+/// such transpositions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DamerauLevenshtein {
+    _priv: (),
+}
+
+impl DamerauLevenshtein {
+    /// A new Damerau-Levenshtein (OSA) comparator.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+
+    /// Raw optimal-string-alignment distance.
+    pub fn distance(&self, a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let (n, m) = (av.len(), bv.len());
+        if n == 0 {
+            return m;
+        }
+        if m == 0 {
+            return n;
+        }
+        // Three rows are enough for the OSA recurrence (needs i-2).
+        let mut row0: Vec<usize> = vec![0; m + 1]; // i-2
+        let mut row1: Vec<usize> = (0..=m).collect(); // i-1
+        let mut row2: Vec<usize> = vec![0; m + 1]; // i
+        for i in 1..=n {
+            row2[0] = i;
+            for j in 1..=m {
+                let cost = usize::from(av[i - 1] != bv[j - 1]);
+                let mut d = (row1[j - 1] + cost)
+                    .min(row1[j] + 1)
+                    .min(row2[j - 1] + 1);
+                if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                    d = d.min(row0[j - 2] + 1);
+                }
+                row2[j] = d;
+            }
+            std::mem::swap(&mut row0, &mut row1);
+            std::mem::swap(&mut row1, &mut row2);
+        }
+        row1[m]
+    }
+}
+
+impl StringComparator for DamerauLevenshtein {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - self.distance(a, b) as f64 / max_len as f64
+    }
+
+    fn name(&self) -> &str {
+        "damerau"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        let l = Levenshtein::new();
+        assert_eq!(l.distance("kitten", "sitting"), 3);
+        assert_eq!(l.distance("flaw", "lawn"), 2);
+        assert_eq!(l.distance("", "abc"), 3);
+        assert_eq!(l.distance("abc", ""), 3);
+        assert_eq!(l.distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn normalized_similarity() {
+        let l = Levenshtein::new();
+        assert!((l.similarity("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+        assert_eq!(l.similarity("", ""), 1.0);
+        assert_eq!(l.similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn distance_within_bound() {
+        let l = Levenshtein::new();
+        assert_eq!(l.distance_within("kitten", "sitting", 3), Some(3));
+        assert_eq!(l.distance_within("kitten", "sitting", 2), None);
+        // Length-difference shortcut.
+        assert_eq!(l.distance_within("a", "abcdefgh", 2), None);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        let d = DamerauLevenshtein::new();
+        assert_eq!(d.distance("teh", "the"), 1);
+        assert_eq!(Levenshtein::new().distance("teh", "the"), 2);
+        assert_eq!(d.distance("ca", "abc"), 3); // OSA, not full Damerau
+        assert_eq!(d.distance("abcdef", "abcdfe"), 1);
+    }
+
+    #[test]
+    fn damerau_reduces_to_levenshtein_without_transpositions() {
+        let d = DamerauLevenshtein::new();
+        let l = Levenshtein::new();
+        for (a, b) in [("kitten", "sitting"), ("abc", ""), ("", ""), ("x", "y")] {
+            assert_eq!(d.distance(a, b), l.distance(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unicode_aware() {
+        let l = Levenshtein::new();
+        assert_eq!(l.distance("café", "cafe"), 1);
+        assert_eq!(l.distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn symmetry_on_samples() {
+        let l = Levenshtein::new();
+        let d = DamerauLevenshtein::new();
+        for (a, b) in [("abcd", "badc"), ("Tim", "Timothy"), ("", "xy")] {
+            assert_eq!(l.distance(a, b), l.distance(b, a));
+            assert_eq!(d.distance(a, b), d.distance(b, a));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! String, numeric and semantic similarity kernels for duplicate detection.
+//!
+//! This crate implements the *comparison functions* of the classical duplicate
+//! detection literature (Elmagarmid et al., TKDE 2007; Batini & Scannapieco,
+//! 2006) that "Duplicate Detection in Probabilistic Data" (Panse et al.,
+//! ICDE 2010) incorporates into its probabilistic value matching (Section
+//! III-C and Eq. 5 of the paper).
+//!
+//! All comparators are **normalized**: they return a similarity in `[0, 1]`
+//! where `1.0` means identical and `0.0` means maximally dissimilar. The paper
+//! explicitly restricts itself to normalized comparison functions (footnote 1)
+//! so that comparison vectors live in `[0,1]^n`.
+//!
+//! # Kernels
+//!
+//! * [`NormalizedHamming`] — the kernel used in every worked example of the
+//!   paper (`sim(Tim, Kim) = 2/3`, `sim(machinist, mechanic) = 5/9`, …).
+//! * [`Levenshtein`] / [`DamerauLevenshtein`] — edit distances, normalized.
+//! * [`Jaro`] / [`JaroWinkler`] — the record-linkage classics.
+//! * [`QGram`] — q-gram profile similarity (Dice, Jaccard, Cosine, Overlap).
+//! * [`Lcs`] — longest-common-subsequence similarity.
+//! * [`SoundexComparator`] — phonetic encoding.
+//! * [`MongeElkan`], [`TokenJaccard`], [`TokenSort`] — token-level
+//!   comparators.
+//! * [`Glossary`], [`Taxonomy`] — semantic similarity from synonym sets and
+//!   ontologies (Section III-C "semantic means").
+//! * [`combine`] — weighted ensembles, max/min combinators and gates.
+//!
+//! # Example
+//!
+//! ```
+//! use probdedup_textsim::{NormalizedHamming, StringComparator};
+//!
+//! let h = NormalizedHamming::new();
+//! // The paper's Section IV-A example: sim(Tim, Kim) = 2/3.
+//! assert!((h.similarity("Tim", "Kim") - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+pub mod alignment;
+pub mod combine;
+pub mod hamming;
+pub mod jaro;
+pub mod lcs;
+pub mod levenshtein;
+pub mod ngram;
+pub mod normalize;
+pub mod numeric;
+pub mod phonetic;
+pub mod semantic;
+pub mod token;
+pub mod traits;
+
+pub use alignment::SmithWaterman;
+pub use combine::{MaxOf, MinOf, ThresholdGate, WeightedEnsemble};
+pub use hamming::NormalizedHamming;
+pub use jaro::{Jaro, JaroWinkler};
+pub use lcs::Lcs;
+pub use levenshtein::{DamerauLevenshtein, Levenshtein};
+pub use ngram::{ProfileSimilarity, QGram};
+pub use normalize::Normalizer;
+pub use numeric::{AbsoluteScaled, RelativeNumeric};
+pub use phonetic::SoundexComparator;
+pub use semantic::{Glossary, Taxonomy};
+pub use token::{MongeElkan, TokenJaccard, TokenSort};
+pub use traits::{Exact, SharedComparator, StringComparator};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    /// Every comparator exported at the top level must be normalized and
+    /// reflexive on a sample of inputs. The per-module tests cover exact
+    /// values; this is a cross-module smoke test.
+    #[test]
+    fn all_comparators_normalized_and_reflexive() {
+        let comparators: Vec<Box<dyn StringComparator>> = vec![
+            Box::new(NormalizedHamming::new()),
+            Box::new(Levenshtein::new()),
+            Box::new(DamerauLevenshtein::new()),
+            Box::new(Jaro::new()),
+            Box::new(JaroWinkler::default()),
+            Box::new(QGram::bigram(ProfileSimilarity::Dice)),
+            Box::new(QGram::trigram(ProfileSimilarity::Jaccard)),
+            Box::new(Lcs::new()),
+            Box::new(SoundexComparator::strict()),
+            Box::new(SmithWaterman::new()),
+            Box::new(Exact),
+        ];
+        let samples = [
+            ("", ""),
+            ("a", ""),
+            ("", "a"),
+            ("Tim", "Tim"),
+            ("Tim", "Kim"),
+            ("machinist", "mechanic"),
+            ("John", "Johan"),
+            ("a longer string with spaces", "another string"),
+        ];
+        for c in &comparators {
+            for (a, b) in samples {
+                let s = c.similarity(a, b);
+                assert!((0.0..=1.0).contains(&s), "{}({a:?},{b:?}) = {s}", c.name());
+                if a == b {
+                    assert!(
+                        (s - 1.0).abs() < 1e-12,
+                        "{} not reflexive on {a:?}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+}

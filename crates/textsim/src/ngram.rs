@@ -1,0 +1,219 @@
+//! q-gram (n-gram) profile similarity.
+//!
+//! The paper lists "n-grams" first among syntactic comparison functions
+//! (Section III-C). A string is mapped to its multiset of `q`-long character
+//! substrings (optionally padded so prefix/suffix characters get full
+//! weight), and two profiles are compared with a set/multiset coefficient.
+
+use std::collections::HashMap;
+
+use crate::traits::StringComparator;
+
+/// The coefficient used to compare two q-gram profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileSimilarity {
+    /// Dice / Sørensen: `2·|A ∩ B| / (|A| + |B|)`.
+    #[default]
+    Dice,
+    /// Jaccard: `|A ∩ B| / |A ∪ B|`.
+    Jaccard,
+    /// Cosine: `|A ∩ B| / sqrt(|A|·|B|)` on multiset counts.
+    Cosine,
+    /// Overlap: `|A ∩ B| / min(|A|, |B|)`.
+    Overlap,
+}
+
+/// q-gram profile comparator.
+///
+/// `q` is the gram length; `padded` controls whether `q − 1` sentinel
+/// characters (`\u{1}` / `\u{2}`) are affixed before profiling, which makes
+/// prefix and suffix characters participate in `q` grams each (the common
+/// convention in record linkage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QGram {
+    q: usize,
+    padded: bool,
+    coefficient: ProfileSimilarity,
+}
+
+impl QGram {
+    /// A q-gram comparator; `q` is clamped to at least 1.
+    pub fn new(q: usize, padded: bool, coefficient: ProfileSimilarity) -> Self {
+        Self {
+            q: q.max(1),
+            padded,
+            coefficient,
+        }
+    }
+
+    /// Padded bigram comparator.
+    pub fn bigram(coefficient: ProfileSimilarity) -> Self {
+        Self::new(2, true, coefficient)
+    }
+
+    /// Padded trigram comparator.
+    pub fn trigram(coefficient: ProfileSimilarity) -> Self {
+        Self::new(3, true, coefficient)
+    }
+
+    /// The gram length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Multiset profile of `s`: map from q-gram to count.
+    pub fn profile(&self, s: &str) -> HashMap<Vec<char>, u32> {
+        let mut chars: Vec<char> = Vec::with_capacity(s.len() + 2 * (self.q - 1));
+        if self.padded {
+            chars.extend(std::iter::repeat_n('\u{1}', self.q - 1));
+        }
+        chars.extend(s.chars());
+        if self.padded {
+            chars.extend(std::iter::repeat_n('\u{2}', self.q - 1));
+        }
+        let mut profile = HashMap::new();
+        if chars.len() >= self.q {
+            for w in chars.windows(self.q) {
+                *profile.entry(w.to_vec()).or_insert(0) += 1;
+            }
+        }
+        profile
+    }
+
+    fn coefficient_value(&self, a: &HashMap<Vec<char>, u32>, b: &HashMap<Vec<char>, u32>) -> f64 {
+        let size_a: u64 = a.values().map(|&c| u64::from(c)).sum();
+        let size_b: u64 = b.values().map(|&c| u64::from(c)).sum();
+        if size_a == 0 && size_b == 0 {
+            return 1.0;
+        }
+        if size_a == 0 || size_b == 0 {
+            return 0.0;
+        }
+        // Multiset intersection size.
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let inter: u64 = small
+            .iter()
+            .map(|(g, &c)| u64::from(c.min(large.get(g).copied().unwrap_or(0))))
+            .sum();
+        let (ia, ib, inter) = (size_a as f64, size_b as f64, inter as f64);
+        match self.coefficient {
+            ProfileSimilarity::Dice => 2.0 * inter / (ia + ib),
+            ProfileSimilarity::Jaccard => inter / (ia + ib - inter),
+            ProfileSimilarity::Cosine => inter / (ia * ib).sqrt(),
+            ProfileSimilarity::Overlap => inter / ia.min(ib),
+        }
+    }
+}
+
+impl Default for QGram {
+    fn default() -> Self {
+        Self::bigram(ProfileSimilarity::Dice)
+    }
+}
+
+impl StringComparator for QGram {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let pa = self.profile(a);
+        let pb = self.profile(b);
+        self.coefficient_value(&pa, &pb)
+    }
+
+    fn name(&self) -> &str {
+        match self.coefficient {
+            ProfileSimilarity::Dice => "qgram-dice",
+            ProfileSimilarity::Jaccard => "qgram-jaccard",
+            ProfileSimilarity::Cosine => "qgram-cosine",
+            ProfileSimilarity::Overlap => "qgram-overlap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_multiset() {
+        let q = QGram::new(2, false, ProfileSimilarity::Dice);
+        let p = q.profile("aaa");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[&vec!['a', 'a']], 2);
+    }
+
+    #[test]
+    fn padded_profile_includes_sentinels() {
+        let q = QGram::bigram(ProfileSimilarity::Dice);
+        let p = q.profile("ab");
+        // #a, ab, b# → 3 grams.
+        assert_eq!(p.values().map(|&c| c as usize).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn dice_known_value() {
+        // Unpadded bigrams: "night" → {ni, ig, gh, ht}, "nacht" → {na, ac, ch, ht}.
+        // Intersection = {ht} → dice = 2·1/(4+4) = 0.25.
+        let q = QGram::new(2, false, ProfileSimilarity::Dice);
+        assert!((q.similarity("night", "nacht") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_known_value() {
+        let q = QGram::new(2, false, ProfileSimilarity::Jaccard);
+        // |A ∩ B| = 1, |A ∪ B| = 7.
+        assert!((q.similarity("night", "nacht") - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_known_value() {
+        let q = QGram::new(2, false, ProfileSimilarity::Overlap);
+        // min size 4 → 1/4.
+        assert!((q.similarity("night", "nacht") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        let q = QGram::new(2, false, ProfileSimilarity::Cosine);
+        assert!((q.similarity("night", "nacht") - 1.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_short_strings() {
+        for coeff in [
+            ProfileSimilarity::Dice,
+            ProfileSimilarity::Jaccard,
+            ProfileSimilarity::Cosine,
+            ProfileSimilarity::Overlap,
+        ] {
+            let q = QGram::new(3, false, coeff);
+            assert_eq!(q.similarity("", ""), 1.0);
+            // "ab" has no unpadded trigrams: both profiles empty vs non-empty.
+            assert_eq!(q.similarity("ab", "abcdef"), 0.0);
+            let padded = QGram::new(3, true, coeff);
+            assert!(padded.similarity("ab", "abcdef") > 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_strings_are_one() {
+        let q = QGram::trigram(ProfileSimilarity::Jaccard);
+        assert_eq!(q.similarity("identical", "identical"), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let q = QGram::bigram(ProfileSimilarity::Cosine);
+        for (a, b) in [("night", "nacht"), ("abc", ""), ("aa", "aaa")] {
+            assert!((q.similarity(a, b) - q.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q_clamped_to_one() {
+        let q = QGram::new(0, false, ProfileSimilarity::Dice);
+        assert_eq!(q.q(), 1);
+        assert!((q.similarity("ab", "ba") - 1.0).abs() < 1e-12); // same unigram multiset
+    }
+}

@@ -1,0 +1,179 @@
+//! String standardization used in the *data preparation* step
+//! (Section III-A of the paper): unification of conventions so that
+//! comparison functions see homogeneous representations.
+
+/// A configurable string normalizer. Operations are applied in a fixed,
+//  documented order: trim → case fold → strip punctuation → collapse
+/// whitespace → replacements.
+#[derive(Debug, Clone, Default)]
+pub struct Normalizer {
+    trim: bool,
+    lowercase: bool,
+    strip_punctuation: bool,
+    collapse_whitespace: bool,
+    strip_diacritics: bool,
+    replacements: Vec<(String, String)>,
+}
+
+impl Normalizer {
+    /// An identity normalizer (no transformations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sensible default for person/occupation data: trim, lowercase,
+    /// strip punctuation, collapse whitespace, strip common diacritics.
+    pub fn standard() -> Self {
+        Self::new()
+            .trim()
+            .lowercase()
+            .strip_punctuation()
+            .collapse_whitespace()
+            .strip_diacritics()
+    }
+
+    /// Trim leading/trailing whitespace.
+    pub fn trim(mut self) -> Self {
+        self.trim = true;
+        self
+    }
+
+    /// Lowercase (Unicode-aware).
+    pub fn lowercase(mut self) -> Self {
+        self.lowercase = true;
+        self
+    }
+
+    /// Remove ASCII punctuation characters.
+    pub fn strip_punctuation(mut self) -> Self {
+        self.strip_punctuation = true;
+        self
+    }
+
+    /// Collapse runs of whitespace to single spaces.
+    pub fn collapse_whitespace(mut self) -> Self {
+        self.collapse_whitespace = true;
+        self
+    }
+
+    /// Map common Latin diacritics to their ASCII base letter (é→e, ü→u, ß→ss).
+    pub fn strip_diacritics(mut self) -> Self {
+        self.strip_diacritics = true;
+        self
+    }
+
+    /// Add a literal substring replacement (applied last, in insertion
+    /// order). Useful for unit unification ("St." → "Street").
+    pub fn replace(mut self, from: &str, to: &str) -> Self {
+        self.replacements.push((from.to_string(), to.to_string()));
+        self
+    }
+
+    /// Apply the configured transformations to `s`.
+    pub fn apply(&self, s: &str) -> String {
+        let mut out: String = if self.trim { s.trim().to_string() } else { s.to_string() };
+        if self.lowercase {
+            out = out.to_lowercase();
+        }
+        if self.strip_diacritics {
+            out = out.chars().map(fold_diacritic).collect();
+        }
+        if self.strip_punctuation {
+            out.retain(|c| !c.is_ascii_punctuation());
+        }
+        if self.collapse_whitespace {
+            let mut collapsed = String::with_capacity(out.len());
+            let mut in_space = false;
+            for c in out.chars() {
+                if c.is_whitespace() {
+                    if !in_space && !collapsed.is_empty() {
+                        collapsed.push(' ');
+                    }
+                    in_space = true;
+                } else {
+                    collapsed.push(c);
+                    in_space = false;
+                }
+            }
+            while collapsed.ends_with(' ') {
+                collapsed.pop();
+            }
+            out = collapsed;
+        }
+        for (from, to) in &self.replacements {
+            out = out.replace(from.as_str(), to);
+        }
+        out
+    }
+}
+
+/// Fold a small table of Latin-1 diacritics to ASCII. Characters outside the
+/// table pass through unchanged. `ß` maps to `s` (single char keeps the
+/// function `char → char`; full "ss" expansion is handled via `replace`).
+fn fold_diacritic(c: char) -> char {
+    match c {
+        'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' => 'a',
+        'é' | 'è' | 'ê' | 'ë' => 'e',
+        'í' | 'ì' | 'î' | 'ï' => 'i',
+        'ó' | 'ò' | 'ô' | 'ö' | 'õ' | 'ø' => 'o',
+        'ú' | 'ù' | 'û' | 'ü' => 'u',
+        'ý' | 'ÿ' => 'y',
+        'ñ' => 'n',
+        'ç' => 'c',
+        'ß' => 's',
+        'Á' | 'À' | 'Â' | 'Ä' | 'Ã' | 'Å' => 'A',
+        'É' | 'È' | 'Ê' | 'Ë' => 'E',
+        'Í' | 'Ì' | 'Î' | 'Ï' => 'I',
+        'Ó' | 'Ò' | 'Ô' | 'Ö' | 'Õ' | 'Ø' => 'O',
+        'Ú' | 'Ù' | 'Û' | 'Ü' => 'U',
+        'Ñ' => 'N',
+        'Ç' => 'C',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        assert_eq!(Normalizer::new().apply("  MiXed,  Case! "), "  MiXed,  Case! ");
+    }
+
+    #[test]
+    fn standard_pipeline() {
+        let n = Normalizer::standard();
+        assert_eq!(n.apply("  MiXed,  Case! "), "mixed case");
+        assert_eq!(n.apply("Vogt-Kölln Straße"), "vogtkolln strase");
+    }
+
+    #[test]
+    fn individual_steps() {
+        assert_eq!(Normalizer::new().trim().apply(" x "), "x");
+        assert_eq!(Normalizer::new().lowercase().apply("ABC"), "abc");
+        assert_eq!(Normalizer::new().strip_punctuation().apply("a,b.c!"), "abc");
+        assert_eq!(
+            Normalizer::new().collapse_whitespace().apply("a \t b\n\nc"),
+            "a b c"
+        );
+    }
+
+    #[test]
+    fn replacements_apply_last() {
+        let n = Normalizer::new().lowercase().replace("st ", "street ");
+        assert_eq!(n.apply("Main St X"), "main street x");
+    }
+
+    #[test]
+    fn diacritics_folded() {
+        let n = Normalizer::new().strip_diacritics();
+        assert_eq!(n.apply("Müller Café"), "Muller Cafe");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Normalizer::standard().apply(""), "");
+        assert_eq!(Normalizer::standard().apply("   "), "");
+    }
+}

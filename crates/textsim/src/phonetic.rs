@@ -1,0 +1,159 @@
+//! Phonetic similarity via Soundex codes.
+//!
+//! Phonetic encodings catch misspellings that preserve pronunciation
+//! ("Smith" / "Smyth"), a class of error that edit distances rate as real
+//! differences. Classic record-linkage systems (and blocking keys) rely on
+//! them heavily.
+
+use crate::traits::StringComparator;
+
+/// The classical American Soundex code of `s` (letter + 3 digits).
+///
+/// Non-ASCII-alphabetic characters are ignored. Returns `None` when the
+/// input contains no ASCII letter at all.
+pub fn soundex(s: &str) -> Option<String> {
+    let mut letters = s.chars().filter(|c| c.is_ascii_alphabetic());
+    let first = letters.next()?.to_ascii_uppercase();
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit_of(first);
+    for c in letters {
+        let d = digit_of(c.to_ascii_uppercase());
+        match d {
+            0 => {
+                // Vowels (and y) reset adjacency; h/w (digit 255 sentinel) do not.
+                last_digit = 0;
+            }
+            255 => { /* h, w: transparent */ }
+            d => {
+                if d != last_digit {
+                    code.push(char::from_digit(u32::from(d), 10).expect("digit"));
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_digit = d;
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Soundex digit classes; 0 for vowels + y, 255 for the transparent h/w.
+fn digit_of(c: char) -> u8 {
+    match c {
+        'B' | 'F' | 'P' | 'V' => 1,
+        'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+        'D' | 'T' => 3,
+        'L' => 4,
+        'M' | 'N' => 5,
+        'R' => 6,
+        'H' | 'W' => 255,
+        _ => 0,
+    }
+}
+
+/// Comparator built on Soundex codes.
+///
+/// In `strict` mode the similarity is `1.0` iff the codes are equal, `0.0`
+/// otherwise. In `graded` mode it is the fraction of agreeing code positions
+/// (a softer signal useful inside [`crate::WeightedEnsemble`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoundexComparator {
+    graded: bool,
+}
+
+impl SoundexComparator {
+    /// Equality-of-codes comparator.
+    pub fn strict() -> Self {
+        Self { graded: false }
+    }
+
+    /// Fraction-of-agreeing-positions comparator.
+    pub fn graded() -> Self {
+        Self { graded: true }
+    }
+}
+
+impl StringComparator for SoundexComparator {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (soundex(a), soundex(b)) {
+            (Some(ca), Some(cb)) => {
+                if self.graded {
+                    let agree = ca.chars().zip(cb.chars()).filter(|(x, y)| x == y).count();
+                    agree as f64 / 4.0
+                } else if ca == cb {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (None, None) => 1.0, // both carry no phonetic content
+            _ => 0.0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        if self.graded {
+            "soundex-graded"
+        } else {
+            "soundex"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn smith_smyth_match() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(SoundexComparator::strict().similarity("Smith", "Smyth"), 1.0);
+    }
+
+    #[test]
+    fn empty_or_symbolic_input() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(SoundexComparator::strict().similarity("", ""), 1.0);
+        assert_eq!(SoundexComparator::strict().similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn graded_partial_agreement() {
+        let g = SoundexComparator::graded();
+        // Robert (R163) vs Rubin (R150): R,1 agree → 0.5.
+        assert!((g.similarity("Robert", "Rubin") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hw_transparent_rule() {
+        // Per the standard: letters with the same code separated by h/w are
+        // coded once.
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261")); // s,c both 2 across h
+    }
+
+    #[test]
+    fn short_codes_padded_with_zeros() {
+        assert_eq!(soundex("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex("Kuhn").as_deref(), Some("K500"));
+    }
+}

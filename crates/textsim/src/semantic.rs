@@ -1,0 +1,309 @@
+//! Semantic similarity from glossaries (synonym sets) and taxonomies
+//! (ontologies) — the paper's "semantic means" of attribute value matching
+//! (Section III-C).
+
+use std::collections::HashMap;
+
+use crate::traits::{SharedComparator, StringComparator};
+
+/// A glossary of synonym groups.
+///
+/// Terms inside one group are considered synonyms with a configurable
+/// within-group similarity (default `1.0`, e.g. "confectioner" ≈
+/// "confectionist"). Terms found in *different* groups score the
+/// cross-group similarity (default `0.0`). Terms unknown to the glossary
+/// fall back to an optional character-level comparator.
+#[derive(Clone)]
+pub struct Glossary {
+    /// term (lowercase) → group id
+    groups: HashMap<String, usize>,
+    group_count: usize,
+    within_group: f64,
+    across_groups: f64,
+    fallback: Option<SharedComparator>,
+}
+
+impl Glossary {
+    /// An empty glossary (every lookup falls through to the fallback).
+    pub fn new() -> Self {
+        Self {
+            groups: HashMap::new(),
+            group_count: 0,
+            within_group: 1.0,
+            across_groups: 0.0,
+            fallback: None,
+        }
+    }
+
+    /// Add a synonym group. Terms are matched case-insensitively.
+    /// If a term already belongs to a group, it keeps its first assignment
+    /// (glossaries are first-writer-wins to stay deterministic).
+    pub fn add_group<I, S>(mut self, terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let id = self.group_count;
+        self.group_count += 1;
+        for t in terms {
+            self.groups.entry(t.as_ref().to_lowercase()).or_insert(id);
+        }
+        self
+    }
+
+    /// Similarity assigned to two distinct terms of the same group.
+    pub fn with_within_group(mut self, s: f64) -> Self {
+        self.within_group = s.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Similarity assigned to terms of different groups.
+    pub fn with_across_groups(mut self, s: f64) -> Self {
+        self.across_groups = s.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Character-level comparator used when at least one term is unknown.
+    pub fn with_fallback(mut self, fallback: SharedComparator) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The group id of `term`, if present.
+    pub fn group_of(&self, term: &str) -> Option<usize> {
+        self.groups.get(&term.to_lowercase()).copied()
+    }
+
+    /// Number of synonym groups added.
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+}
+
+impl Default for Glossary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StringComparator for Glossary {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (self.group_of(a), self.group_of(b)) {
+            (Some(ga), Some(gb)) => {
+                if ga == gb {
+                    self.within_group
+                } else {
+                    self.across_groups
+                }
+            }
+            _ => self
+                .fallback
+                .as_ref()
+                .map_or(0.0, |f| f.similarity(a, b)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "glossary"
+    }
+}
+
+/// A tree-shaped taxonomy (ontology fragment) with Wu-Palmer similarity.
+///
+/// `sim(a, b) = 2·depth(lca) / (depth(a) + depth(b))` where depths count
+/// edges from the root **plus one** (so the root itself has depth 1 and the
+/// measure is well-defined there). Unknown terms fall back to an optional
+/// character-level comparator.
+///
+/// Example: a small occupation taxonomy places "machinist" and "mechanic"
+/// under "technical trade", giving them a high semantic similarity even
+/// though their spellings differ.
+#[derive(Clone)]
+pub struct Taxonomy {
+    /// node name (lowercase) → (parent index, depth). Root points to itself.
+    nodes: Vec<(usize, u32)>,
+    index: HashMap<String, usize>,
+    fallback: Option<SharedComparator>,
+}
+
+impl Taxonomy {
+    /// Create a taxonomy with the given root concept.
+    pub fn with_root(root: &str) -> Self {
+        let mut index = HashMap::new();
+        index.insert(root.to_lowercase(), 0);
+        Self {
+            nodes: vec![(0, 1)],
+            index,
+            fallback: None,
+        }
+    }
+
+    /// Add `child` under `parent`. Returns `self` for chaining; panics if the
+    /// parent is unknown (taxonomies are built top-down by construction).
+    pub fn add(mut self, parent: &str, child: &str) -> Self {
+        let p = *self
+            .index
+            .get(&parent.to_lowercase())
+            .unwrap_or_else(|| panic!("unknown taxonomy parent {parent:?}"));
+        let depth = self.nodes[p].1 + 1;
+        let id = self.nodes.len();
+        if self
+            .index
+            .insert(child.to_lowercase(), id)
+            .is_none()
+        {
+            self.nodes.push((p, depth));
+        }
+        self
+    }
+
+    /// Character-level comparator used when a term is not in the taxonomy.
+    pub fn with_fallback(mut self, fallback: SharedComparator) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Depth of `term` (root = 1), if present.
+    pub fn depth(&self, term: &str) -> Option<u32> {
+        self.index
+            .get(&term.to_lowercase())
+            .map(|&i| self.nodes[i].1)
+    }
+
+    fn lca_depth(&self, mut a: usize, mut b: usize) -> u32 {
+        while self.nodes[a].1 > self.nodes[b].1 {
+            a = self.nodes[a].0;
+        }
+        while self.nodes[b].1 > self.nodes[a].1 {
+            b = self.nodes[b].0;
+        }
+        while a != b {
+            a = self.nodes[a].0;
+            b = self.nodes[b].0;
+        }
+        self.nodes[a].1
+    }
+}
+
+impl StringComparator for Taxonomy {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let ia = self.index.get(&a.to_lowercase());
+        let ib = self.index.get(&b.to_lowercase());
+        match (ia, ib) {
+            (Some(&ia), Some(&ib)) => {
+                let lca = self.lca_depth(ia, ib);
+                let (da, db) = (self.nodes[ia].1, self.nodes[ib].1);
+                2.0 * f64::from(lca) / f64::from(da + db)
+            }
+            _ => self
+                .fallback
+                .as_ref()
+                .map_or(0.0, |f| f.similarity(a, b)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "taxonomy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::NormalizedHamming;
+    use std::sync::Arc;
+
+    fn job_taxonomy() -> Taxonomy {
+        Taxonomy::with_root("occupation")
+            .add("occupation", "technical trade")
+            .add("occupation", "food trade")
+            .add("technical trade", "machinist")
+            .add("technical trade", "mechanic")
+            .add("technical trade", "engineer")
+            .add("food trade", "baker")
+            .add("food trade", "confectioner")
+    }
+
+    #[test]
+    fn glossary_within_and_across() {
+        let g = Glossary::new()
+            .add_group(["confectioner", "confectionist"])
+            .add_group(["machinist", "mechanist"]);
+        assert_eq!(g.similarity("confectioner", "confectionist"), 1.0);
+        assert_eq!(g.similarity("Confectioner", "CONFECTIONIST"), 1.0);
+        assert_eq!(g.similarity("confectioner", "mechanist"), 0.0);
+        assert_eq!(g.group_count(), 2);
+    }
+
+    #[test]
+    fn glossary_fallback_for_unknown_terms() {
+        let g = Glossary::new()
+            .add_group(["baker", "pastry cook"])
+            .with_fallback(Arc::new(NormalizedHamming::new()));
+        // "Tim"/"Kim" unknown → hamming fallback 2/3.
+        assert!((g.similarity("Tim", "Kim") - 2.0 / 3.0).abs() < 1e-12);
+        // Without fallback, unknown pairs score 0.
+        let bare = Glossary::new().add_group(["baker"]);
+        assert_eq!(bare.similarity("Tim", "Kim"), 0.0);
+    }
+
+    #[test]
+    fn glossary_custom_scores() {
+        let g = Glossary::new()
+            .add_group(["a", "b"])
+            .add_group(["c"])
+            .with_within_group(0.9)
+            .with_across_groups(0.1);
+        assert!((g.similarity("a", "b") - 0.9).abs() < 1e-12);
+        assert!((g.similarity("a", "c") - 0.1).abs() < 1e-12);
+        assert_eq!(g.similarity("a", "a"), 1.0); // identity overrides
+    }
+
+    #[test]
+    fn taxonomy_wu_palmer() {
+        let t = job_taxonomy();
+        // machinist & mechanic: depths 3,3, lca "technical trade" depth 2.
+        assert!((t.similarity("machinist", "mechanic") - 4.0 / 6.0).abs() < 1e-12);
+        // machinist & baker: lca root depth 1 → 2/6.
+        assert!((t.similarity("machinist", "baker") - 2.0 / 6.0).abs() < 1e-12);
+        // siblings score higher than cross-branch pairs.
+        assert!(t.similarity("baker", "confectioner") > t.similarity("baker", "mechanic"));
+    }
+
+    #[test]
+    fn taxonomy_identity_and_unknowns() {
+        let t = job_taxonomy().with_fallback(Arc::new(NormalizedHamming::new()));
+        assert_eq!(t.similarity("mechanic", "mechanic"), 1.0);
+        // "pilot" unknown → hamming fallback.
+        assert!(t.similarity("pilot", "pilot2") > 0.0);
+        let bare = job_taxonomy();
+        assert_eq!(bare.similarity("pilot", "astronaut"), 0.0);
+    }
+
+    #[test]
+    fn taxonomy_root_similarity_defined() {
+        let t = Taxonomy::with_root("root").add("root", "leaf");
+        // root vs leaf: lca depth 1, depths 1+2 → 2/3.
+        assert!((t.similarity("root", "leaf") - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown taxonomy parent")]
+    fn taxonomy_unknown_parent_panics() {
+        let _ = Taxonomy::with_root("r").add("nope", "x");
+    }
+
+    #[test]
+    fn symmetry() {
+        let t = job_taxonomy();
+        assert!((t.similarity("baker", "engineer") - t.similarity("engineer", "baker")).abs() < 1e-12);
+        let g = Glossary::new().add_group(["x", "y"]);
+        assert!((g.similarity("x", "y") - g.similarity("y", "x")).abs() < 1e-12);
+    }
+}

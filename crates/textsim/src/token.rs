@@ -1,0 +1,210 @@
+//! Token-level comparators for multi-word values ("van Keulen, Maurice" vs
+//! "Maurice van Keulen").
+
+use std::sync::Arc;
+
+use crate::traits::{SharedComparator, StringComparator};
+
+/// Split a string into lowercase alphanumeric tokens.
+pub fn tokenize(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Monge-Elkan similarity: each token of `a` is matched to its best-scoring
+/// token of `b` under an inner character-level comparator, and the scores are
+/// averaged.
+///
+/// Note that Monge-Elkan is *asymmetric* in its raw form; this implementation
+/// symmetrizes it by averaging both directions so it satisfies the
+/// [`StringComparator`] symmetry law.
+#[derive(Clone)]
+pub struct MongeElkan {
+    inner: SharedComparator,
+}
+
+impl MongeElkan {
+    /// Monge-Elkan over the given inner comparator.
+    pub fn new(inner: SharedComparator) -> Self {
+        Self { inner }
+    }
+
+    /// Monge-Elkan over Jaro-Winkler (the common default).
+    pub fn jaro_winkler() -> Self {
+        Self::new(Arc::new(crate::jaro::JaroWinkler::new()))
+    }
+
+    fn directed(&self, from: &[String], to: &[String]) -> f64 {
+        if from.is_empty() {
+            return if to.is_empty() { 1.0 } else { 0.0 };
+        }
+        if to.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = from
+            .iter()
+            .map(|t| {
+                to.iter()
+                    .map(|u| self.inner.similarity(t, u))
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum();
+        total / from.len() as f64
+    }
+}
+
+impl StringComparator for MongeElkan {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta = tokenize(a);
+        let tb = tokenize(b);
+        0.5 * (self.directed(&ta, &tb) + self.directed(&tb, &ta))
+    }
+
+    fn name(&self) -> &str {
+        "monge-elkan"
+    }
+}
+
+/// Jaccard coefficient on token *sets*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenJaccard {
+    _priv: (),
+}
+
+impl TokenJaccard {
+    /// A new token-set Jaccard comparator.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+}
+
+impl StringComparator for TokenJaccard {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let mut ta = tokenize(a);
+        let mut tb = tokenize(b);
+        ta.sort_unstable();
+        ta.dedup();
+        tb.sort_unstable();
+        tb.dedup();
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        let inter = ta.iter().filter(|t| tb.binary_search(t).is_ok()).count();
+        let union = ta.len() + tb.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    fn name(&self) -> &str {
+        "token-jaccard"
+    }
+}
+
+/// Sort tokens alphabetically, rejoin with single spaces, then compare with
+/// an inner character-level comparator. Neutralizes token reordering
+/// ("Panse, Fabian" vs "Fabian Panse") while keeping character-level
+/// sensitivity to typos.
+#[derive(Clone)]
+pub struct TokenSort {
+    inner: SharedComparator,
+}
+
+impl TokenSort {
+    /// Token-sort over the given inner comparator.
+    pub fn new(inner: SharedComparator) -> Self {
+        Self { inner }
+    }
+
+    /// Token-sort over normalized Levenshtein (the `fuzzywuzzy` classic).
+    pub fn levenshtein() -> Self {
+        Self::new(Arc::new(crate::levenshtein::Levenshtein::new()))
+    }
+
+    fn canonical(s: &str) -> String {
+        let mut tokens = tokenize(s);
+        tokens.sort_unstable();
+        tokens.join(" ")
+    }
+}
+
+impl StringComparator for TokenSort {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.inner
+            .similarity(&Self::canonical(a), &Self::canonical(b))
+    }
+
+    fn name(&self) -> &str {
+        "token-sort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Exact;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokenize("van Keulen, Maurice"), vec!["van", "keulen", "maurice"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("a-b_c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn monge_elkan_reordering_invariance() {
+        let me = MongeElkan::jaro_winkler();
+        let s = me.similarity("Maurice van Keulen", "van Keulen, Maurice");
+        assert!((s - 1.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn monge_elkan_with_exact_inner_counts_best_matches() {
+        let me = MongeElkan::new(Arc::new(Exact));
+        // "john smith" vs "john doe": directed a→b = (1 + 0)/2, b→a same.
+        assert!((me.similarity("John Smith", "John Doe") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_empty_inputs() {
+        let me = MongeElkan::jaro_winkler();
+        assert_eq!(me.similarity("", ""), 1.0);
+        assert_eq!(me.similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn token_jaccard_values() {
+        let j = TokenJaccard::new();
+        assert_eq!(j.similarity("a b c", "a b c"), 1.0);
+        assert!((j.similarity("a b c", "b c d") - 0.5).abs() < 1e-12);
+        assert_eq!(j.similarity("", ""), 1.0);
+        assert_eq!(j.similarity("", "a"), 0.0);
+        // Duplicated tokens collapse to a set.
+        assert_eq!(j.similarity("a a a", "a"), 1.0);
+    }
+
+    #[test]
+    fn token_sort_neutralizes_reordering() {
+        let ts = TokenSort::levenshtein();
+        assert_eq!(ts.similarity("Panse, Fabian", "Fabian Panse"), 1.0);
+        // But still penalizes typos.
+        let s = ts.similarity("Panse, Fabian", "Fabain Panse");
+        assert!(s < 1.0 && s > 0.7, "got {s}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let me = MongeElkan::jaro_winkler();
+        let ts = TokenSort::levenshtein();
+        let tj = TokenJaccard::new();
+        for (a, b) in [
+            ("John Smith", "Smith, Jon"),
+            ("", "x y"),
+            ("alpha beta gamma", "beta"),
+        ] {
+            assert!((me.similarity(a, b) - me.similarity(b, a)).abs() < 1e-12);
+            assert!((ts.similarity(a, b) - ts.similarity(b, a)).abs() < 1e-12);
+            assert!((tj.similarity(a, b) - tj.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+}

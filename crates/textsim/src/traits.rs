@@ -1,0 +1,105 @@
+//! The [`StringComparator`] trait: a normalized similarity kernel on strings.
+
+use std::sync::Arc;
+
+/// A normalized comparison function on strings.
+///
+/// Implementations must guarantee, for all inputs `a`, `b`:
+///
+/// * **Range**: `similarity(a, b) ∈ [0, 1]`.
+/// * **Reflexivity**: `similarity(a, a) == 1.0`.
+/// * **Symmetry**: `similarity(a, b) == similarity(b, a)`.
+///
+/// These invariants let the probabilistic matcher (Eq. 5 of Panse et al.)
+/// compute expected similarities that stay in `[0, 1]`. All comparators
+/// shipped by this crate are verified against these laws with property tests.
+pub trait StringComparator: Send + Sync {
+    /// Similarity of `a` and `b` in `[0, 1]`.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+
+    /// A short human-readable name used in reports and benchmarks.
+    fn name(&self) -> &str {
+        "comparator"
+    }
+}
+
+/// A cheaply cloneable, shareable comparator handle.
+pub type SharedComparator = Arc<dyn StringComparator>;
+
+impl<T: StringComparator + ?Sized> StringComparator for Arc<T> {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        (**self).similarity(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: StringComparator + ?Sized> StringComparator for &T {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        (**self).similarity(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: StringComparator + ?Sized> StringComparator for Box<T> {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        (**self).similarity(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Exact equality: `1.0` iff the strings are identical, else `0.0`.
+///
+/// Plugging `Exact` into the erroneous-data formula (Eq. 5) collapses it to
+/// the error-free formula (Eq. 4): the probability that both uncertain values
+/// are equal. The matching crate has a property test for exactly this
+/// reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Exact;
+
+impl StringComparator for Exact {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn name(&self) -> &str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_indicator() {
+        assert_eq!(Exact.similarity("a", "a"), 1.0);
+        assert_eq!(Exact.similarity("a", "b"), 0.0);
+        assert_eq!(Exact.similarity("", ""), 1.0);
+        assert_eq!(Exact.similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn trait_objects_delegate() {
+        let boxed: Box<dyn StringComparator> = Box::new(Exact);
+        assert_eq!(boxed.similarity("x", "x"), 1.0);
+        assert_eq!(boxed.name(), "exact");
+        let arced: SharedComparator = Arc::new(Exact);
+        assert_eq!(arced.similarity("x", "y"), 0.0);
+        let by_ref: &dyn StringComparator = &Exact;
+        assert_eq!(by_ref.similarity("x", "x"), 1.0);
+    }
+
+    #[test]
+    fn exact_is_case_sensitive() {
+        assert_eq!(Exact.similarity("Tim", "tim"), 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! `probdedup` — command-line duplicate detection for probabilistic data.
+//!
+//! ```text
+//! probdedup generate --entities 500 --seed 42 --out-prefix data/census
+//! probdedup stats    --input data/census.source0.pxr
+//! probdedup dedup    --input data/census.source0.pxr --input data/census.source1.pxr \
+//!                    --reduction snm-alternatives --window 6 --lambda 0.72 --mu 0.82
+//! ```
+//!
+//! Relations are read and written in the text format of
+//! [`probdedup::model::format`] (extension convention: `.pxr`,
+//! "probabilistic x-relation").
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use probdedup::core::pipeline::{DedupPipeline, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::Thresholds;
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::format::{parse_xrelation, write_xrelation};
+use probdedup::model::relation::XRelation;
+use probdedup::model::stats::RelationStats;
+use probdedup::reduction::{KeyPart, KeySpec, RankingFunction, WorldSelection};
+use probdedup::textsim::JaroWinkler;
+
+const USAGE: &str = "\
+probdedup — duplicate detection in probabilistic data (Panse et al., ICDE 2010)
+
+USAGE:
+  probdedup generate --out-prefix PREFIX [--entities N] [--sources K] [--seed S]
+      Write synthetic probabilistic sources PREFIX.sourceI.pxr and the
+      ground truth PREFIX.truth (entity id per combined row).
+
+  probdedup stats --input FILE.pxr
+      Print the uncertainty profile of a relation.
+
+  probdedup dedup --input FILE.pxr [--input FILE2.pxr ...]
+      [--reduction full|snm-alternatives|snm-ranked|snm-multipass|blocking]
+      [--key attr:len[,attr:len...]] [--window W]
+      [--lambda T] [--mu T] [--threads N]
+      Run the pipeline and print decisions and duplicate clusters.
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A tiny argument cursor: `--flag value` pairs after the subcommand.
+struct Args {
+    items: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut items = Vec::new();
+        let mut it = raw.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            items.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { items })
+    }
+
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.all(name).into_iter().next_back()
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = raw
+        .split_first()
+        .ok_or_else(|| "missing subcommand".to_string())?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "dedup" => cmd_dedup(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let prefix = args
+        .get("out-prefix")
+        .ok_or_else(|| "--out-prefix is required".to_string())?;
+    let cfg = DatasetConfig {
+        entities: args.get_parsed("entities", 500usize)?,
+        sources: args.get_parsed("sources", 2usize)?,
+        seed: args.get_parsed("seed", 42u64)?,
+        ..DatasetConfig::default()
+    };
+    let ds = generate(&Dictionaries::people(), &cfg);
+    for (i, rel) in ds.relations.iter().enumerate() {
+        let path = format!("{prefix}.source{i}.pxr");
+        std::fs::write(&path, write_xrelation(rel)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path} ({} x-tuples)", rel.len());
+    }
+    let truth_path = format!("{prefix}.truth");
+    let truth_lines: Vec<String> = (0..ds.truth.len())
+        .map(|row| format!("{row} {}", ds.truth.entity_of(row)))
+        .collect();
+    std::fs::write(&truth_path, truth_lines.join("\n") + "\n")
+        .map_err(|e| format!("{truth_path}: {e}"))?;
+    println!(
+        "wrote {truth_path} ({} rows, {} entities, {} true duplicate pairs)",
+        ds.truth.len(),
+        ds.truth.entity_count(),
+        ds.truth.true_pair_count()
+    );
+    Ok(())
+}
+
+fn load_relation(path: &str) -> Result<XRelation, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_xrelation(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args
+        .get("input")
+        .ok_or_else(|| "--input is required".to_string())?;
+    let rel = load_relation(path)?;
+    println!("{path}:");
+    println!("{}", RelationStats::for_xrelation(&rel));
+    Ok(())
+}
+
+fn parse_key(spec: &str, schema: &probdedup::model::schema::Schema) -> Result<KeySpec, String> {
+    let mut parts = Vec::new();
+    for item in spec.split(',') {
+        let (attr, len) = item
+            .split_once(':')
+            .ok_or_else(|| format!("key part {item:?} needs attr:len"))?;
+        let idx = schema
+            .index_of(attr.trim())
+            .ok_or_else(|| format!("unknown key attribute {attr:?}"))?;
+        let len: usize = len
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid prefix length in {item:?}"))?;
+        parts.push(KeyPart::prefix(idx, len));
+    }
+    if parts.is_empty() {
+        return Err("key must have at least one part".into());
+    }
+    Ok(KeySpec::new(parts))
+}
+
+fn cmd_dedup(args: &Args) -> Result<(), String> {
+    let inputs = args.all("input");
+    if inputs.is_empty() {
+        return Err("at least one --input is required".into());
+    }
+    let relations: Vec<XRelation> = inputs
+        .iter()
+        .map(|p| load_relation(p))
+        .collect::<Result<_, _>>()?;
+    let schema = relations[0].schema().clone();
+
+    let window = args.get_parsed("window", 6usize)?;
+    let key = match args.get("key") {
+        Some(spec) => parse_key(spec, &schema)?,
+        None => {
+            // Default: 3-prefix of the first attribute + 2-prefix of the
+            // last text attribute.
+            KeySpec::new(vec![
+                KeyPart::prefix(0, 3),
+                KeyPart::prefix(schema.arity().saturating_sub(2).max(1), 2),
+            ])
+        }
+    };
+    let reduction = match args.get("reduction").unwrap_or("snm-alternatives") {
+        "full" => ReductionStrategy::Full,
+        "snm-alternatives" => ReductionStrategy::SortingAlternatives { spec: key, window },
+        "snm-ranked" => ReductionStrategy::RankedKeys {
+            spec: key,
+            window,
+            ranking: RankingFunction::ExpectedScore,
+        },
+        "snm-multipass" => ReductionStrategy::MultipassWorlds {
+            spec: key,
+            window,
+            selection: WorldSelection::DiverseTopK { k: 3, pool: 32 },
+        },
+        "blocking" => ReductionStrategy::BlockingAlternatives { spec: key },
+        other => return Err(format!("unknown reduction {other:?}")),
+    };
+
+    let lambda = args.get_parsed("lambda", 0.72f64)?;
+    let mu = args.get_parsed("mu", 0.82f64)?;
+    let threads = args.get_parsed("threads", 4usize)?;
+    let weights: Vec<f64> = std::iter::once(3.0)
+        .chain(std::iter::repeat_n(1.0, schema.arity() - 1))
+        .collect();
+    let pipeline = DedupPipeline::builder()
+        .preparation(Preparation::standard_all(schema.arity()))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(WeightedSum::normalized(weights).map_err(|e| e.to_string())?),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(lambda, mu).map_err(|e| e.to_string())?,
+        )))
+        .reduction(reduction)
+        .threads(threads)
+        .build();
+
+    let refs: Vec<&XRelation> = relations.iter().collect();
+    let result = pipeline.run(&refs).map_err(|e| e.to_string())?;
+    println!(
+        "{} rows, {} candidate pairs compared",
+        result.relation.len(),
+        result.candidates
+    );
+    println!("matches:");
+    for d in result.matches() {
+        println!(
+            "  {} ↔ {}  (sim {:.3})",
+            result.handle(d.pair.0),
+            result.handle(d.pair.1),
+            d.similarity
+        );
+    }
+    println!("possible matches (clerical review):");
+    for d in result.possible_matches() {
+        println!(
+            "  {} ↔ {}  (sim {:.3})",
+            result.handle(d.pair.0),
+            result.handle(d.pair.1),
+            d.similarity
+        );
+    }
+    println!("duplicate clusters:");
+    for cluster in &result.clusters {
+        let members: Vec<String> = cluster
+            .iter()
+            .map(|&r| result.handle(r).to_string())
+            .collect();
+        println!("  {{{}}}", members.join(", "));
+    }
+    Ok(())
+}

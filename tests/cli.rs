@@ -1,0 +1,155 @@
+//! Integration tests for the `probdedup` CLI binary: generate → stats →
+//! dedup over the text format, end to end through real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_probdedup"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("probdedup-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn generate_stats_dedup_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let prefix = dir.join("demo");
+    let prefix_str = prefix.to_str().unwrap();
+
+    // generate
+    let out = bin()
+        .args([
+            "generate",
+            "--out-prefix",
+            prefix_str,
+            "--entities",
+            "40",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let src0 = format!("{prefix_str}.source0.pxr");
+    let src1 = format!("{prefix_str}.source1.pxr");
+    assert!(std::path::Path::new(&src0).exists());
+    assert!(std::path::Path::new(&src1).exists());
+    assert!(prefix.with_extension("truth").exists());
+
+    // The generated files parse back through the library.
+    let text = std::fs::read_to_string(&src0).unwrap();
+    let parsed = probdedup::model::format::parse_xrelation(&text).expect("valid .pxr");
+    assert!(!parsed.is_empty());
+
+    // stats
+    let out = bin().args(["stats", "--input", &src0]).output().expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tuples:"), "{stdout}");
+    assert!(stdout.contains("log10(|worlds|)"), "{stdout}");
+
+    // dedup across both sources
+    let out = bin()
+        .args([
+            "dedup",
+            "--input",
+            &src0,
+            "--input",
+            &src1,
+            "--reduction",
+            "snm-alternatives",
+            "--key",
+            "name:3,city:2",
+            "--window",
+            "6",
+        ])
+        .output()
+        .expect("run dedup");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("candidate pairs compared"), "{stdout}");
+    assert!(stdout.contains("duplicate clusters:"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn determinism_across_invocations() {
+    let dir = temp_dir("determinism");
+    let p1 = dir.join("a");
+    let p2 = dir.join("b");
+    for p in [&p1, &p2] {
+        let out = bin()
+            .args([
+                "generate",
+                "--out-prefix",
+                p.to_str().unwrap(),
+                "--entities",
+                "25",
+                "--seed",
+                "99",
+            ])
+            .output()
+            .expect("run generate");
+        assert!(out.status.success());
+    }
+    let a = std::fs::read_to_string(format!("{}.source0.pxr", p1.display())).unwrap();
+    let b = std::fs::read_to_string(format!("{}.source0.pxr", p2.display())).unwrap();
+    assert_eq!(a, b, "same seed must produce identical files");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown subcommand.
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+
+    // Missing required flag.
+    let out = bin().args(["generate"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out-prefix"));
+
+    // Nonexistent input file.
+    let out = bin()
+        .args(["stats", "--input", "/nonexistent/nope.pxr"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+
+    // Bad key spec.
+    let dir = temp_dir("badkey");
+    let prefix = dir.join("x");
+    bin()
+        .args([
+            "generate",
+            "--out-prefix",
+            prefix.to_str().unwrap(),
+            "--entities",
+            "10",
+        ])
+        .output()
+        .expect("run generate");
+    let out = bin()
+        .args([
+            "dedup",
+            "--input",
+            &format!("{}.source0.pxr", prefix.display()),
+            "--key",
+            "nonexistent:3",
+        ])
+        .output()
+        .expect("run dedup");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key attribute"));
+    std::fs::remove_dir_all(&dir).ok();
+}

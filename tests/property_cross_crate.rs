@@ -1,0 +1,114 @@
+//! Cross-crate property tests: invariants that only hold when the model,
+//! matching, decision and reduction layers agree with each other.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::{ExpectedSimilarity, MaxSimilarity, MinSimilarity};
+use probdedup::decision::threshold::Thresholds;
+use probdedup::decision::xmodel::{SimilarityBasedModel, XTupleDecisionModel};
+use probdedup::matching::matrix::compare_xtuples;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::convert::marginalize_xtuple;
+use probdedup::model::schema::Schema;
+use probdedup::model::world::{full_worlds, world_count};
+use probdedup::model::xtuple::XTuple;
+use probdedup::paper;
+use probdedup::textsim::NormalizedHamming;
+
+fn arb_xtuple() -> impl Strategy<Value = XTuple> {
+    proptest::collection::vec(("[A-C][a-b]{1,2}", "[x-z]{1,2}", 1u32..40), 1..4).prop_map(
+        |alts| {
+            let total: u32 = alts.iter().map(|(_, _, w)| *w).sum();
+            let denom = f64::from(total) * 1.2;
+            let s = Schema::new(["name", "job"]);
+            let mut b = XTuple::builder(&s);
+            for (n, j, w) in alts {
+                b = b.alt(f64::from(w) / denom, [n, j]);
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+fn comparators() -> AttributeComparators {
+    AttributeComparators::uniform(&paper::schema(), NormalizedHamming::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Eq. 6 (expected similarity over the comparison matrix) equals the
+    /// explicit expectation over conditioned full worlds — "equations 5
+    /// and 6 are equivalent to the expected value of the corresponding
+    /// similarity over all possible worlds containing the considered
+    /// tuples" (Section IV-B).
+    #[test]
+    fn eq6_equals_world_expectation(t1 in arb_xtuple(), t2 in arb_xtuple()) {
+        prop_assume!(world_count(&[t1.clone(), t2.clone()]) <= 256);
+        let cmp = comparators();
+        let phi = WeightedSum::new([0.8, 0.2]).unwrap();
+        let model = SimilarityBasedModel::new(
+            Arc::new(phi.clone()),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.4, 0.7).unwrap(),
+        );
+        let matrix = compare_xtuples(&t1, &t2, &cmp);
+        let via_model = model.decide(&t1, &t2, &matrix).similarity;
+
+        // Explicit: Σ_worlds P(world | B) · sim(world's alternative pair).
+        let pair = [t1.clone(), t2.clone()];
+        let pb: f64 = probdedup::model::condition::existence_event_probability(&pair);
+        let mut expectation = 0.0;
+        for w in full_worlds(&pair) {
+            let (i, j) = (w.choices[0].unwrap(), w.choices[1].unwrap());
+            let sim = {
+                use probdedup::decision::combine::CombinationFunction;
+                phi.combine(matrix.vector(i, j))
+            };
+            expectation += w.probability / pb * sim;
+        }
+        prop_assert!((via_model - expectation).abs() < 1e-9,
+            "model {via_model} vs worlds {expectation}");
+    }
+
+    /// The expected similarity of x-tuples is sandwiched between the min
+    /// and max derivations for any pair.
+    #[test]
+    fn derivation_sandwich(t1 in arb_xtuple(), t2 in arb_xtuple()) {
+        let cmp = comparators();
+        let matrix = compare_xtuples(&t1, &t2, &cmp);
+        let mk = |d: Arc<dyn probdedup::decision::derive_sim::SimilarityDerivation>| {
+            SimilarityBasedModel::new(
+                Arc::new(WeightedSum::new([0.8, 0.2]).unwrap()),
+                d,
+                Thresholds::new(0.4, 0.7).unwrap(),
+            )
+            .decide(&t1, &t2, &matrix)
+            .similarity
+        };
+        let e = mk(Arc::new(ExpectedSimilarity));
+        let lo = mk(Arc::new(MinSimilarity));
+        let hi = mk(Arc::new(MaxSimilarity));
+        prop_assert!(lo - 1e-12 <= e && e <= hi + 1e-12, "{lo} ≤ {e} ≤ {hi}");
+    }
+
+    /// Marginalizing an x-tuple and comparing with Eq. 5 never differs
+    /// from the single-alternative x-tuple comparison (one-alternative
+    /// x-tuples ARE dependency-free tuples).
+    #[test]
+    fn single_alternative_xtuples_match_marginal_view(t in arb_xtuple()) {
+        prop_assume!(t.len() == 1);
+        let m = marginalize_xtuple(&t);
+        let back = XTuple::from_prob_tuple(&m);
+        let cmp = comparators();
+        let other = XTuple::from_prob_tuple(
+            &marginalize_xtuple(&paper::r34().get(0).unwrap().clone()),
+        );
+        let a = compare_xtuples(&t, &other, &cmp);
+        let b = compare_xtuples(&back, &other, &cmp);
+        prop_assert_eq!(a.vector(0, 0), b.vector(0, 0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-crate consistency of the reduction methods on synthetic data:
+//! containment laws at scale, pairs-completeness ordering, and agreement
+//! between SNM and blocking on what they may propose.
+
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::eval::ReductionMetrics;
+use probdedup::reduction::{
+    block_alternatives, block_conflict_resolved, conflict_resolved_snm, multipass_snm,
+    ranked_snm, sorting_alternatives, ConflictResolution, KeyPart, KeySpec, RankingFunction,
+    WorldSelection,
+};
+
+fn dataset() -> probdedup::datagen::SyntheticDataset {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 120,
+            sources: 2,
+            typo_rate: 0.2,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.35,
+            seed: 4242,
+            ..DatasetConfig::default()
+        },
+    )
+}
+
+fn key() -> KeySpec {
+    KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)])
+}
+
+fn to_set(pairs: &[(usize, usize)]) -> std::collections::HashSet<(usize, usize)> {
+    pairs.iter().copied().collect()
+}
+
+/// Conflict-resolved SNM ⊆ top-k multipass with enough worlds (the most
+/// probable world is always in the top-k) — the paper's subset claim at
+/// dataset scale.
+#[test]
+fn subset_claim_at_scale() {
+    let ds = dataset();
+    let combined = ds.combined();
+    let tuples = combined.xtuples();
+    let (resolved, _) = conflict_resolved_snm(
+        tuples,
+        &key(),
+        4,
+        ConflictResolution::MostProbableAlternative,
+    );
+    let multi = multipass_snm(tuples, &key(), 4, WorldSelection::TopK(1));
+    // TopK(1) is exactly the most probable world → identical pair sets.
+    assert_eq!(to_set(resolved.pairs()), to_set(multi.pairs.pairs()));
+}
+
+/// More worlds ⇒ pairs completeness can only grow; window growth too.
+#[test]
+fn completeness_monotonicity() {
+    let ds = dataset();
+    let combined = ds.combined();
+    let tuples = combined.xtuples();
+    let truth = ds.truth.true_pairs();
+    let n = tuples.len();
+
+    let mut last_pc = -1.0;
+    for k in [1usize, 2, 4, 8] {
+        let r = multipass_snm(tuples, &key(), 4, WorldSelection::TopK(k));
+        let pc = ReductionMetrics::evaluate(&to_set(r.pairs.pairs()), &truth, n)
+            .pairs_completeness;
+        assert!(pc >= last_pc - 1e-12, "k = {k}: {pc} < {last_pc}");
+        last_pc = pc;
+    }
+
+    let mut last_pc = -1.0;
+    for w in [2usize, 4, 8, 16] {
+        let r = sorting_alternatives(tuples, &key(), w);
+        let pc = ReductionMetrics::evaluate(&to_set(r.pairs.pairs()), &truth, n)
+            .pairs_completeness;
+        assert!(pc >= last_pc - 1e-12, "w = {w}: {pc} < {last_pc}");
+        last_pc = pc;
+    }
+}
+
+/// Per-alternative methods dominate their conflict-resolved counterparts
+/// in pairs completeness (they consider strictly more keys).
+#[test]
+fn alternatives_dominate_conflict_resolution() {
+    let ds = dataset();
+    let combined = ds.combined();
+    let tuples = combined.xtuples();
+    let truth = ds.truth.true_pairs();
+    let n = tuples.len();
+
+    let blocking_alt = block_alternatives(tuples, &key());
+    let blocking_res =
+        block_conflict_resolved(tuples, &key(), ConflictResolution::MostProbableAlternative);
+    let pc_alt = ReductionMetrics::evaluate(&to_set(blocking_alt.pairs.pairs()), &truth, n)
+        .pairs_completeness;
+    let pc_res = ReductionMetrics::evaluate(&to_set(blocking_res.pairs.pairs()), &truth, n)
+        .pairs_completeness;
+    assert!(pc_alt >= pc_res - 1e-12, "{pc_alt} < {pc_res}");
+}
+
+/// All reduction methods stay within the quadratic bound and produce some
+/// reduction on realistic data.
+#[test]
+fn all_methods_actually_reduce() {
+    let ds = dataset();
+    let combined = ds.combined();
+    let tuples = combined.xtuples();
+    let n = tuples.len();
+    let total = n * (n - 1) / 2;
+    let spec = key();
+    let counts = vec![
+        multipass_snm(tuples, &spec, 4, WorldSelection::DiverseTopK { k: 3, pool: 16 })
+            .pairs
+            .len(),
+        conflict_resolved_snm(tuples, &spec, 4, ConflictResolution::MostProbableKey)
+            .0
+            .len(),
+        sorting_alternatives(tuples, &spec, 4).pairs.len(),
+        ranked_snm(tuples, &spec, 4, RankingFunction::ExpectedScore).0.len(),
+        block_alternatives(tuples, &spec).pairs.len(),
+    ];
+    for c in counts {
+        assert!(c > 0, "a method proposed nothing on duplicate-rich data");
+        assert!(c < total / 2, "{c} pairs is no reduction over {total}");
+    }
+}
