@@ -1,9 +1,14 @@
 //! E4: cost of probabilistic attribute matching — Eq. 5 vs support size,
 //! and the k×l comparison matrix vs alternative counts.
 
+use std::sync::Arc;
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_matching::interned::{
+    compare_xtuples_interned, intern_tuples, InternedComparators,
+};
 use probdedup_matching::matrix::compare_xtuples;
-use probdedup_matching::pvalue_sim::pvalue_similarity;
+use probdedup_matching::pvalue_sim::{pvalue_similarity, pvalue_similarity_pruned};
 use probdedup_matching::value_cmp::ValueComparator;
 use probdedup_matching::vector::AttributeComparators;
 use probdedup_model::pvalue::PValue;
@@ -55,5 +60,64 @@ fn matrix_vs_alternatives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, eq5_vs_support, matrix_vs_alternatives);
+/// Eq. 5 with upper-bound pruning on skewed (geometric-tail) supports —
+/// the regime where pruning skips most kernel evaluations.
+fn eq5_pruned_vs_plain(c: &mut Criterion) {
+    let cmp = ValueComparator::text(NormalizedHamming::new());
+    // Steep geometric decay: beyond ~15 alternatives the remaining mass is
+    // under the 1e-15 pruning bound, so the pruned path stops while the
+    // plain path still evaluates every kernel pair.
+    let skewed = |tag: char, n: i32| {
+        PValue::categorical(
+            (0..n).map(|i| (format!("{tag}value{i:03}"), 0.1_f64.powi(i + 1).max(1e-18))),
+        )
+        .expect("valid")
+    };
+    let mut group = c.benchmark_group("eq5_pruning");
+    for n in [8i32, 16, 32] {
+        let a = skewed('a', n);
+        let b = skewed('b', n);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |bench, _| {
+            bench.iter(|| pvalue_similarity(black_box(&a), black_box(&b), &cmp))
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", n), &n, |bench, _| {
+            bench.iter(|| pvalue_similarity_pruned(black_box(&a), black_box(&b), &cmp))
+        });
+    }
+    group.finish();
+}
+
+/// The interned symbol path (warm sharded cache) against the plain path on
+/// the same x-tuple pair — the per-comparison speedup the pipeline's
+/// cached mode sees once the cache is hot.
+fn matrix_interned_vs_plain(c: &mut Criterion) {
+    let s = Schema::new(["name", "job"]);
+    let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+    let mut group = c.benchmark_group("comparison_matrix_interned");
+    for k in [1usize, 2, 4, 8] {
+        let t1 = xtuple_with_alts(k, 'x');
+        let t2 = xtuple_with_alts(k, 'y');
+        let (pool, interned) = intern_tuples(&[t1.clone(), t2.clone()]);
+        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        // Warm the caches so the steady state is measured.
+        let _ = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        group.bench_with_input(BenchmarkId::new("plain", k), &k, |bench, _| {
+            bench.iter(|| compare_xtuples(black_box(&t1), black_box(&t2), &cmp))
+        });
+        group.bench_with_input(BenchmarkId::new("interned", k), &k, |bench, _| {
+            bench.iter(|| {
+                compare_xtuples_interned(black_box(&interned[0]), black_box(&interned[1]), &icmps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    eq5_vs_support,
+    matrix_vs_alternatives,
+    eq5_pruned_vs_plain,
+    matrix_interned_vs_plain
+);
 criterion_main!(benches);

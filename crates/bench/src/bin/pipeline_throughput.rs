@@ -1,0 +1,218 @@
+//! End-to-end pipeline throughput probe with machine-readable output.
+//!
+//! Runs the standard synthetic workload through the full pipeline at
+//! several scales and matching configurations, printing a table and
+//! writing `BENCH_pipeline.json` (pairs/sec, wall time, cache hit rate)
+//! so the perf trajectory is comparable across PRs without parsing
+//! criterion output.
+//!
+//! ```text
+//! cargo run -p probdedup-bench --bin pipeline_throughput --release
+//! cargo run -p probdedup-bench --bin pipeline_throughput --release -- --quick
+//! cargo run -p probdedup-bench --bin pipeline_throughput --release -- --out other.json
+//! ```
+//!
+//! Three matching modes are measured:
+//!
+//! * `plain`       — no similarity memoization (`cache_similarities(false)`);
+//! * `value-cache` — the pre-interning design: Eq. 5 through a
+//!   [`CachedComparator`] keyed on cloned `Value` pairs (what the
+//!   pipeline's cached mode did before the interning layer existed) —
+//!   kept here as the before/after baseline for the interned path;
+//! * `interned`    — the pipeline's cached mode: symbols + sharded
+//!   `SymbolCache` + upper-bound pruning.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use probdedup_bench::{experiment_model, experiment_pipeline_cached, workload, SEED};
+use probdedup_core::exec::par_map_index;
+use probdedup_core::pipeline::ReductionStrategy;
+use probdedup_core::prepare::Preparation;
+use probdedup_matching::cache::CachedComparator;
+use probdedup_matching::matrix::compare_xtuples_cached;
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::relation::XRelation;
+use probdedup_textsim::JaroWinkler;
+
+/// One measured configuration.
+struct Run {
+    entities: usize,
+    rows: usize,
+    mode: &'static str,
+    threads: usize,
+    candidates: usize,
+    wall_ms: f64,
+    pairs_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    interned_values: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut scales: Vec<usize> = vec![100, 250, 500];
+    let mut threads_list: Vec<usize> = vec![1, 4];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                scales = vec![100];
+                threads_list = vec![4];
+            }
+            "--out" => {
+                out_path = it.next().expect("--out PATH").clone();
+            }
+            other => panic!("unknown argument {other:?} (--quick | --out PATH)"),
+        }
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+    println!(
+        "{:<9} {:>6} {:<12} {:>7} {:>11} {:>10} {:>13} {:>9}",
+        "entities", "rows", "mode", "threads", "candidates", "wall ms", "pairs/s", "hit rate"
+    );
+    for &entities in &scales {
+        let ds = workload(entities);
+        let sources: Vec<&XRelation> = ds.relations.iter().collect();
+        let rows = ds.total_rows();
+        for &threads in &threads_list {
+            for (mode, cached) in [("plain", false), ("interned", true)] {
+                let pipeline =
+                    experiment_pipeline_cached(ReductionStrategy::Full, threads, cached);
+                let start = Instant::now();
+                let result = pipeline.run(&sources).expect("pipeline run");
+                let wall = start.elapsed().as_secs_f64();
+                runs.push(Run {
+                    entities,
+                    rows,
+                    mode,
+                    threads,
+                    candidates: result.candidates,
+                    wall_ms: wall * 1e3,
+                    pairs_per_sec: result.candidates as f64 / wall,
+                    cache_hits: result.stats.cache_hits,
+                    cache_misses: result.stats.cache_misses,
+                    cache_hit_rate: result.stats.hit_rate(),
+                    interned_values: result.stats.interned_values,
+                });
+                print_run(runs.last().expect("just pushed"));
+            }
+            // The pre-interning baseline: value-keyed memoization.
+            runs.push(value_cache_baseline(entities, rows, &sources, threads));
+            print_run(runs.last().expect("just pushed"));
+        }
+    }
+
+    let json = render_json(&runs);
+    std::fs::write(&out_path, json).expect("write BENCH_pipeline.json");
+    println!("\nwrote {out_path}");
+}
+
+fn print_run(r: &Run) {
+    println!(
+        "{:<9} {:>6} {:<12} {:>7} {:>11} {:>10.1} {:>13.0} {:>9.3}",
+        r.entities,
+        r.rows,
+        r.mode,
+        r.threads,
+        r.candidates,
+        r.wall_ms,
+        r.pairs_per_sec,
+        r.cache_hit_rate
+    );
+}
+
+/// Matching + decision over the full candidate set through the
+/// value-keyed [`CachedComparator`] (the design the interned path
+/// replaced), on the same work-stealing executor so only the hot path
+/// differs.
+fn value_cache_baseline(
+    entities: usize,
+    rows: usize,
+    sources: &[&XRelation],
+    threads: usize,
+) -> Run {
+    // Mirror the pipeline's combination + preparation steps.
+    let mut combined = XRelation::new(sources[0].schema().clone());
+    for src in sources {
+        for t in src.xtuples() {
+            combined.push(t.clone());
+        }
+    }
+    Preparation::standard_all(4).apply(&mut combined);
+    let tuples = combined.xtuples();
+    let comparators = AttributeComparators::uniform(combined.schema(), JaroWinkler::new());
+    let caches: Vec<CachedComparator> = comparators.to_cached();
+    let model = experiment_model();
+    let n = tuples.len();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+
+    let start = Instant::now();
+    let decisions = par_map_index(threads, pairs.len(), |idx| {
+        let (i, j) = pairs[idx];
+        let matrix = compare_xtuples_cached(&tuples[i], &tuples[j], &caches);
+        model.decide(&tuples[i], &tuples[j], &matrix).similarity
+    });
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(decisions.len(), pairs.len());
+    let (hits, misses) = caches
+        .iter()
+        .map(CachedComparator::stats)
+        .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm));
+    Run {
+        entities,
+        rows,
+        mode: "value-cache",
+        threads,
+        candidates: pairs.len(),
+        wall_ms: wall * 1e3,
+        pairs_per_sec: pairs.len() as f64 / wall,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        interned_values: 0,
+    }
+}
+
+/// Hand-rolled JSON (the offline build vendors no serde); all fields are
+/// numbers or fixed identifiers, so escaping is a non-issue.
+fn render_json(runs: &[Run]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"workload_seed\": {SEED},");
+    let _ = writeln!(s, "  \"reduction\": \"full\",");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"entities\": {}, \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \
+             \"candidates\": {}, \"wall_ms\": {:.3}, \"pairs_per_sec\": {:.1}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
+             \"interned_values\": {}}}",
+            r.entities,
+            r.rows,
+            r.mode,
+            r.threads,
+            r.candidates,
+            r.wall_ms,
+            r.pairs_per_sec,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_rate,
+            r.interned_values,
+        );
+        s.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -7,7 +7,10 @@
 //! 2. **Search-space reduction** ([`pipeline::ReductionStrategy`]) — any of
 //!    the paper's SNM/blocking adaptations, or the full quadratic scan.
 //! 3. **Attribute value matching** — comparison matrices via
-//!    `probdedup-matching` (Eq. 5 per attribute).
+//!    `probdedup-matching` (Eq. 5 per attribute), executed by the
+//!    work-stealing [`exec`] pair executor; with
+//!    `cache_similarities(true)` the relation is interned once and Eq. 5
+//!    runs over symbols through sharded similarity caches.
 //! 4. **Decision model** — any [`XTupleDecisionModel`] (similarity-based or
 //!    decision-based derivation, Fig. 6).
 //! 5. **Verification** — hooks into `probdedup-eval` (the
@@ -20,13 +23,15 @@
 //! [`XTupleDecisionModel`]: probdedup_decision::xmodel::XTupleDecisionModel
 
 pub mod cluster;
+pub mod exec;
 pub mod fusion;
 pub mod pipeline;
 pub mod prepare;
 pub mod prob_result;
 
 pub use cluster::UnionFind;
+pub use exec::par_map_index;
 pub use fusion::fuse_xtuples;
-pub use pipeline::{DedupPipeline, DedupResult, PairDecision, ReductionStrategy};
+pub use pipeline::{DedupPipeline, DedupResult, MatchingStats, PairDecision, ReductionStrategy};
 pub use prepare::Preparation;
 pub use prob_result::{probabilistic_result, ProbabilisticResult};

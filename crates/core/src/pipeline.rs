@@ -1,10 +1,33 @@
 //! The [`DedupPipeline`]: preparation → reduction → matching → decision →
 //! clustering, over one or more probabilistic source relations.
+//!
+//! The matching stage is the quadratic hot path and runs in one of two
+//! modes:
+//!
+//! * **plain** — comparison matrices straight off the [`XTuple`]s
+//!   (`cache_similarities(false)`, the default);
+//! * **interned** — with `cache_similarities(true)`, the prepared relation
+//!   is interned into a
+//!   [`ValuePool`](probdedup_model::intern::ValuePool) once, and all Eq. 5
+//!   evaluations run over dense symbols through sharded per-attribute
+//!   [`SymbolCache`](probdedup_matching::cache::SymbolCache)s with
+//!   upper-bound pruning (see `probdedup_matching::interned`).
+//!
+//! Either mode executes candidate pairs with the work-stealing
+//! [`par_map_index`](crate::exec::par_map_index) executor, so skewed block
+//! sizes no longer leave `threads(n)` workers idle. Results are
+//! reassembled in candidate order — output is byte-identical across thread
+//! counts.
+//!
+//! [`XTuple`]: probdedup_model::xtuple::XTuple
 
 use std::sync::Arc;
 
 use probdedup_decision::threshold::MatchClass;
 use probdedup_decision::xmodel::XTupleDecisionModel;
+use probdedup_matching::interned::{
+    compare_xtuples_interned, intern_tuples, InternedComparators, InternedXTuple,
+};
 use probdedup_matching::matrix::compare_xtuples;
 use probdedup_matching::vector::AttributeComparators;
 use probdedup_model::error::ModelError;
@@ -17,6 +40,7 @@ use probdedup_reduction::{
 };
 
 use crate::cluster::UnionFind;
+use crate::exec::par_map_index;
 use crate::prepare::Preparation;
 
 /// Which search-space reduction runs before matching.
@@ -155,6 +179,33 @@ pub struct PairDecision {
     pub class: MatchClass,
 }
 
+/// Counters describing the matching stage of one run (all zero when the
+/// similarity cache is disabled — the plain path keeps no counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchingStats {
+    /// Kernel evaluations answered by the sharded similarity cache.
+    pub cache_hits: u64,
+    /// Kernel evaluations that had to run (and were then memoized).
+    pub cache_misses: u64,
+    /// Distinct value pairs memoized across all attribute caches.
+    pub cached_pairs: usize,
+    /// Distinct values interned into the run's `ValuePool`.
+    pub interned_values: usize,
+}
+
+impl MatchingStats {
+    /// Fraction of kernel evaluations served from the cache (0 when no
+    /// lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of a pipeline run over the **combined** relation (all sources
 /// concatenated; [`DedupResult::handle`] maps rows back to sources).
 #[derive(Debug, Clone)]
@@ -169,6 +220,8 @@ pub struct DedupResult {
     pub decisions: Vec<PairDecision>,
     /// Duplicate clusters (transitive closure of matches), size ≥ 2.
     pub clusters: Vec<Vec<usize>>,
+    /// Matching-stage counters (cache effectiveness, interning).
+    pub stats: MatchingStats,
 }
 
 impl DedupResult {
@@ -253,6 +306,7 @@ impl DedupPipeline {
                     candidates: 0,
                     decisions: vec![],
                     clusters: vec![],
+                    stats: MatchingStats::default(),
                 })
             }
         };
@@ -273,33 +327,45 @@ impl DedupPipeline {
         // 2. Search-space reduction.
         let candidates = self.reduction.candidates(combined.xtuples());
 
-        // 3+4. Matching + decision, parallel over candidate chunks. The
-        // optional similarity cache is shared across threads (interior
-        // mutex; kernel evaluations dominate lock cost).
+        // 3+4. Matching + decision, work-stealing over candidate pairs.
+        // With the similarity cache enabled the relation is interned once
+        // and all Eq. 5 evaluations run over symbols through the sharded
+        // per-attribute caches; either way, workers claim chunks from a
+        // shared cursor, so skewed block sizes cannot strand a thread with
+        // all the expensive pairs.
         let tuples = combined.xtuples();
         let pairs = candidates.pairs();
-        let caches = self
-            .cache_similarities
-            .then(|| self.comparators.to_cached());
+        let interned: Option<(Vec<InternedXTuple>, InternedComparators)> =
+            self.cache_similarities.then(|| {
+                let (pool, interned) = intern_tuples(tuples);
+                let cmps = InternedComparators::new(Arc::new(pool), &self.comparators);
+                (interned, cmps)
+            });
         let threads = self.threads.clamp(1, pairs.len().max(1));
-        let decisions: Vec<PairDecision> = if threads == 1 || pairs.len() < 64 {
-            self.decide_chunk(tuples, pairs, caches.as_deref())
-        } else {
-            let chunk_size = pairs.len().div_ceil(threads);
-            let mut out: Vec<Vec<PairDecision>> = Vec::new();
-            let caches_ref = caches.as_deref();
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = pairs
-                    .chunks(chunk_size)
-                    .map(|chunk| scope.spawn(move |_| self.decide_chunk(tuples, chunk, caches_ref)))
-                    .collect();
-                out = handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect();
-            })
-            .expect("scope");
-            out.concat()
+        let decisions: Vec<PairDecision> = par_map_index(threads, pairs.len(), |idx| {
+            let (i, j) = pairs[idx];
+            let matrix = match &interned {
+                Some((itup, cmps)) => compare_xtuples_interned(&itup[i], &itup[j], cmps),
+                None => compare_xtuples(&tuples[i], &tuples[j], &self.comparators),
+            };
+            let d = self.model.decide(&tuples[i], &tuples[j], &matrix);
+            PairDecision {
+                pair: (i, j),
+                similarity: d.similarity,
+                class: d.class,
+            }
+        });
+        let stats = match &interned {
+            Some((_, cmps)) => {
+                let (cache_hits, cache_misses) = cmps.cache_stats();
+                MatchingStats {
+                    cache_hits,
+                    cache_misses,
+                    cached_pairs: cmps.cached_pairs(),
+                    interned_values: cmps.pool().len(),
+                }
+            }
+            None => MatchingStats::default(),
         };
 
         // 5. Transitive closure of matches.
@@ -315,34 +381,8 @@ impl DedupPipeline {
             candidates: pairs.len(),
             decisions,
             clusters,
+            stats,
         })
-    }
-
-    fn decide_chunk(
-        &self,
-        tuples: &[probdedup_model::xtuple::XTuple],
-        pairs: &[(usize, usize)],
-        caches: Option<&[probdedup_matching::cache::CachedComparator]>,
-    ) -> Vec<PairDecision> {
-        pairs
-            .iter()
-            .map(|&(i, j)| {
-                let matrix = match caches {
-                    Some(c) => {
-                        probdedup_matching::matrix::compare_xtuples_cached(
-                            &tuples[i], &tuples[j], c,
-                        )
-                    }
-                    None => compare_xtuples(&tuples[i], &tuples[j], &self.comparators),
-                };
-                let d = self.model.decide(&tuples[i], &tuples[j], &matrix);
-                PairDecision {
-                    pair: (i, j),
-                    similarity: d.similarity,
-                    class: d.class,
-                }
-            })
-            .collect()
     }
 }
 
@@ -585,9 +625,17 @@ mod tests {
         assert_eq!(base.decisions.len(), cached.decisions.len());
         for (x, y) in base.decisions.iter().zip(&cached.decisions) {
             assert_eq!(x.pair, y.pair);
-            assert!((x.similarity - y.similarity).abs() < 1e-15);
+            // The interned path sums Eq. 5 terms in descending-probability
+            // order (for pruning), so agreement is to rounding, not bitwise.
+            assert!((x.similarity - y.similarity).abs() < 1e-12);
             assert_eq!(x.class, y.class);
         }
+        // The cached run actually exercised the interned caches.
+        let (hits, misses) = (cached.stats.cache_hits, cached.stats.cache_misses);
+        assert!(hits > 0 && misses > 0, "hits {hits}, misses {misses}");
+        assert!(cached.stats.hit_rate() > 0.5, "hit rate {}", cached.stats.hit_rate());
+        assert!(cached.stats.interned_values > 1);
+        assert_eq!(base.stats, MatchingStats::default());
     }
 
     #[test]

@@ -2,27 +2,159 @@
 //!
 //! Eq. 5 evaluates the kernel on every pair of support values; across a
 //! relation the same string pairs recur constantly (domains are small
-//! relative to the number of tuples). [`CachedComparator`] wraps a
-//! [`ValueComparator`] with a thread-safe memo table keyed on the canonical
-//! (sorted) value pair — exploiting kernel symmetry to halve the table.
+//! relative to the number of tuples), so memoizing kernel results turns
+//! almost every evaluation into a lookup. Two cache layers live here:
+//!
+//! * [`SymbolCache`] — the hot-path cache of the pipeline's interned
+//!   matching mode: keyed on canonical `(Symbol, Symbol)` pairs packed into
+//!   one `u64`, sharded `SHARDS` ways with an `RwLock` per shard. Reads
+//!   (the overwhelmingly common case once the cache is warm) take a shared
+//!   lock on one shard only, so worker threads no longer serialize on a
+//!   single global mutex.
+//! * [`CachedComparator`] — the [`Value`]-keyed wrapper around a
+//!   [`ValueComparator`] for callers that have no interner at hand. Since
+//!   this PR it is lock-striped the same way (shard chosen by key hash)
+//!   instead of using one global `Mutex<FxHashMap>`.
+//!
+//! Both exploit kernel symmetry by canonicalizing the key pair, halving the
+//! table.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::RwLock;
 
-use probdedup_model::util::FxHashMap;
+use probdedup_model::intern::Symbol;
+use probdedup_model::util::{FxHashMap, FxHasher};
 use probdedup_model::value::Value;
 
 use crate::value_cmp::ValueComparator;
 
-/// A memoizing wrapper around [`ValueComparator`].
+/// Number of lock stripes. A power of two well above typical worker counts
+/// keeps the collision probability of two threads wanting the same stripe
+/// low while staying cache-friendly.
+const SHARDS: usize = 64;
+
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    // High bits: FxHash mixes least in the low bits.
+    (hash >> 58) as usize & (SHARDS - 1)
+}
+
+#[inline]
+fn hash_u64(key: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    h.finish()
+}
+
+/// Hit/miss counters shared by both cache flavours.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheCounters {
+    fn snapshot(&self) -> (u64, u64) {
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbol-keyed sharded cache (the interned hot path).
+// ---------------------------------------------------------------------
+
+/// A sharded, lock-striped similarity memo keyed on canonical
+/// `(Symbol, Symbol)` pairs.
 ///
-/// Thread-safe via an internal mutex; for the read-dominated access pattern
-/// of duplicate detection the contention is negligible compared to kernel
-/// cost, and sharding can be layered on top if ever needed.
+/// The key packs the smaller symbol into the high 32 bits — `(a, b)` and
+/// `(b, a)` share an entry, matching kernel symmetry. ⊥ symbols must be
+/// handled by the caller (they never reach the cache; the paper's ⊥
+/// conventions are constant-time).
+pub struct SymbolCache {
+    shards: Box<[RwLock<FxHashMap<u64, f64>>]>,
+    counters: CacheCounters,
+}
+
+impl Default for SymbolCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymbolCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Canonical packed key of an unordered symbol pair.
+    #[inline]
+    fn key(a: Symbol, b: Symbol) -> u64 {
+        let (lo, hi) = if a.raw() <= b.raw() {
+            (a.raw(), b.raw())
+        } else {
+            (b.raw(), a.raw())
+        };
+        (u64::from(lo) << 32) | u64::from(hi)
+    }
+
+    /// The memoized similarity of `(a, b)`, computing it with `kernel` on a
+    /// miss. `kernel` runs outside any lock, so a slow kernel never blocks
+    /// other shards (duplicate concurrent computation of the same pair is
+    /// possible and harmless — the kernel is pure).
+    #[inline]
+    pub fn get_or_compute(&self, a: Symbol, b: Symbol, kernel: impl FnOnce() -> f64) -> f64 {
+        let key = Self::key(a, b);
+        let shard = &self.shards[shard_of(hash_u64(key))];
+        if let Some(&s) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.counters.hits.fetch_add(1, Relaxed);
+            return s;
+        }
+        let s = kernel();
+        self.counters.misses.fetch_add(1, Relaxed);
+        shard.write().expect("cache shard poisoned").insert(key, s);
+        s
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        self.counters.snapshot()
+    }
+
+    /// Number of memoized pairs (sums all shards; takes each read lock
+    /// briefly — an inspection API, not a hot path).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value-keyed sharded comparator wrapper.
+// ---------------------------------------------------------------------
+
+/// One lock stripe of the value-keyed cache.
+type ValueShard = RwLock<FxHashMap<(Value, Value), f64>>;
+
+/// A memoizing wrapper around [`ValueComparator`], keyed on the canonical
+/// (sorted) value pair and lock-striped across [`SHARDS`] shards.
 pub struct CachedComparator {
     inner: ValueComparator,
-    memo: Mutex<FxHashMap<(Value, Value), f64>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    shards: Box<[ValueShard]>,
+    counters: CacheCounters,
 }
 
 impl CachedComparator {
@@ -30,16 +162,16 @@ impl CachedComparator {
     pub fn new(inner: ValueComparator) -> Self {
         Self {
             inner,
-            memo: Mutex::new(FxHashMap::default()),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            counters: CacheCounters::default(),
         }
     }
 
     /// Memoized similarity (same contract as
     /// [`ValueComparator::similarity`]).
     pub fn similarity(&self, a: &Value, b: &Value) -> f64 {
-        use std::sync::atomic::Ordering::Relaxed;
         // Nulls are trivial; don't pollute the cache.
         if a.is_null() || b.is_null() {
             return self.inner.similarity(a, b);
@@ -49,26 +181,34 @@ impl CachedComparator {
         } else {
             (b.clone(), a.clone())
         };
-        if let Some(&s) = self.memo.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Relaxed);
+        let shard = {
+            use std::hash::{Hash, Hasher};
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            &self.shards[shard_of(h.finish())]
+        };
+        if let Some(&s) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.counters.hits.fetch_add(1, Relaxed);
             return s;
         }
-        let s = self.inner.similarity(a, b);
-        self.misses.fetch_add(1, Relaxed);
-        self.memo.lock().expect("cache poisoned").insert(key, s);
+        let s = self.inner.similarity(&key.0, &key.1);
+        self.counters.misses.fetch_add(1, Relaxed);
+        shard.write().expect("cache shard poisoned").insert(key, s);
         s
     }
 
     /// `(hits, misses)` counters — used by benches to report cache
     /// effectiveness.
     pub fn stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+        self.counters.snapshot()
     }
 
     /// Number of memoized pairs.
     pub fn len(&self) -> usize {
-        self.memo.lock().expect("cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
     }
 
     /// Whether the memo table is empty.
@@ -144,5 +284,60 @@ mod tests {
             h.join().unwrap();
         }
         assert!(c.len() <= 7 * 5 + 7);
+    }
+
+    #[test]
+    fn symbol_cache_memoizes_canonical_pairs() {
+        use probdedup_model::intern::ValuePool;
+        let mut pool = ValuePool::new();
+        let a = pool.intern(&Value::from("machinist"));
+        let b = pool.intern(&Value::from("mechanic"));
+        let cache = SymbolCache::new();
+        let mut kernel_calls = 0;
+        let mut eval = |x: Symbol, y: Symbol| {
+            cache.get_or_compute(x, y, || {
+                kernel_calls += 1;
+                0.5
+            })
+        };
+        assert_eq!(eval(a, b), 0.5);
+        assert_eq!(eval(b, a), 0.5); // symmetric orientation hits
+        assert_eq!(kernel_calls, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (1, 1));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn symbol_cache_concurrent_access() {
+        use probdedup_model::intern::ValuePool;
+        use std::sync::Arc;
+        let mut pool = ValuePool::new();
+        let syms: Vec<Symbol> = (0..32)
+            .map(|i| pool.intern(&Value::from(format!("v{i}"))))
+            .collect();
+        let cache = Arc::new(SymbolCache::new());
+        let syms = Arc::new(syms);
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let syms = Arc::clone(&syms);
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        let a = syms[((t * 7 + i) % 32) as usize];
+                        let b = syms[((i * 13) % 32) as usize];
+                        let expected = f64::from(a.raw().min(b.raw()));
+                        let got = cache.get_or_compute(a, b, || expected);
+                        assert_eq!(got, expected);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 8 * 2000);
+        assert!(cache.len() <= 32 * 33 / 2);
     }
 }

@@ -1,0 +1,437 @@
+//! The interned matching hot path: Eq. 5 over [`Symbol`]s instead of
+//! [`Value`]s.
+//!
+//! The pipeline interns every distinct attribute value of the (prepared)
+//! relation once into a [`ValuePool`], converting each x-tuple into an
+//! [`InternedXTuple`] whose supports are `(Symbol, probability)` pairs held
+//! in **descending probability order**. From then on the quadratic matching
+//! stage touches no strings:
+//!
+//! * similarity-cache keys are one packed `u64` per symbol pair
+//!   ([`SymbolCache`]), probed through a sharded read-mostly table;
+//! * the ⊥ conventions are integer tests on [`Symbol::NULL`];
+//! * the original [`Value`] is resolved only on a cache miss, when the
+//!   kernel genuinely has to run.
+//!
+//! The descending-probability layout also enables the **upper-bound
+//! pruning** of [`interned_pvalue_similarity`]: because every kernel value
+//! is ≤ 1, the contribution of all unvisited terms is bounded by the
+//! remaining probability mass, and iteration stops as soon as that bound
+//! cannot move the accumulated sum by more than [`PRUNE_EPS`] (or the sum
+//! has already saturated at 1, where clamping makes further terms exactly
+//! irrelevant). The result differs from the exhaustive sum by less than
+//! `(|supp(a₁)| + 1) · PRUNE_EPS` — far below every tolerance the paper's
+//! figures are checked against (property-tested at 1e-12).
+
+use std::sync::Arc;
+
+use probdedup_model::intern::{Symbol, ValuePool};
+use probdedup_model::pvalue::PValue;
+use probdedup_model::xtuple::XTuple;
+
+use crate::cache::SymbolCache;
+use crate::matrix::ComparisonMatrix;
+use crate::value_cmp::ValueComparator;
+use crate::vector::{AttributeComparators, ComparisonVector};
+
+/// Mass threshold below which remaining Eq. 5 terms are pruned: their total
+/// contribution is bounded by this value, three orders of magnitude below
+/// the tightest tolerance (1e-12) any test or figure check uses.
+pub const PRUNE_EPS: f64 = 1e-15;
+
+/// An interned probabilistic attribute value: the support as symbols with
+/// probabilities in **descending probability order**, plus the precomputed
+/// ⊥ mass and existence mass Eq. 5's pruning bound needs.
+#[derive(Debug, Clone)]
+pub struct InternedPValue {
+    /// `(symbol, probability)`, sorted by descending probability (ties
+    /// broken by symbol for determinism).
+    alts: Vec<(Symbol, f64)>,
+    /// Implicit ⊥ mass (`1 − Σp`, clamped at 0).
+    null_prob: f64,
+    /// **Uncapped** probability sum `Σp` — the pruning budget (see
+    /// `pruned_expected_similarity`; a support may sum to `1 + ε` within
+    /// the model's tolerance and the budget must cover all of it).
+    mass: f64,
+}
+
+impl InternedPValue {
+    /// Intern one [`PValue`]'s support into `pool`.
+    pub fn from_pvalue(pool: &mut ValuePool, pv: &PValue) -> Self {
+        let mut alts: Vec<(Symbol, f64)> = pv
+            .alternatives()
+            .iter()
+            .map(|(v, p)| (pool.intern(v), *p))
+            .collect();
+        alts.sort_by(|(sa, pa), (sb, pb)| {
+            pb.partial_cmp(pa)
+                .expect("finite probabilities")
+                .then(sa.cmp(sb))
+        });
+        let mass = crate::pvalue_sim::support_mass(&alts);
+        Self {
+            alts,
+            null_prob: pv.null_prob(),
+            mass,
+        }
+    }
+
+    /// The support, descending by probability.
+    pub fn alternatives(&self) -> &[(Symbol, f64)] {
+        &self.alts
+    }
+
+    /// The ⊥ mass.
+    pub fn null_prob(&self) -> f64 {
+        self.null_prob
+    }
+}
+
+/// One interned x-tuple alternative: a full row of interned values with the
+/// alternative's probability.
+#[derive(Debug, Clone)]
+pub struct InternedRow {
+    values: Vec<InternedPValue>,
+    probability: f64,
+}
+
+impl InternedRow {
+    /// The interned value of attribute `i`.
+    pub fn value(&self, i: usize) -> &InternedPValue {
+        &self.values[i]
+    }
+
+    /// The alternative's probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+/// An interned x-tuple: the symbol-level mirror of [`XTuple`] the matching
+/// stage iterates instead of the original.
+#[derive(Debug, Clone)]
+pub struct InternedXTuple {
+    alternatives: Vec<InternedRow>,
+}
+
+impl InternedXTuple {
+    /// Intern every alternative of `t` into `pool`.
+    pub fn from_xtuple(pool: &mut ValuePool, t: &XTuple) -> Self {
+        Self {
+            alternatives: t
+                .alternatives()
+                .iter()
+                .map(|alt| InternedRow {
+                    values: alt
+                        .values()
+                        .iter()
+                        .map(|pv| InternedPValue::from_pvalue(pool, pv))
+                        .collect(),
+                    probability: alt.probability(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The interned alternatives.
+    pub fn alternatives(&self) -> &[InternedRow] {
+        &self.alternatives
+    }
+
+    /// Number of alternatives.
+    pub fn len(&self) -> usize {
+        self.alternatives.len()
+    }
+
+    /// Whether the x-tuple has no alternatives (never true for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.alternatives.is_empty()
+    }
+}
+
+/// Intern a whole relation; returns the frozen pool and the interned
+/// mirror of `tuples` (index-aligned).
+pub fn intern_tuples(tuples: &[XTuple]) -> (ValuePool, Vec<InternedXTuple>) {
+    let mut pool = ValuePool::new();
+    let interned = tuples
+        .iter()
+        .map(|t| InternedXTuple::from_xtuple(&mut pool, t))
+        .collect();
+    (pool, interned)
+}
+
+/// Per-attribute kernels + sharded symbol caches over a frozen pool: the
+/// read-only context worker threads share during interned matching.
+pub struct InternedComparators {
+    pool: Arc<ValuePool>,
+    per_attr: Vec<ValueComparator>,
+    caches: Vec<SymbolCache>,
+}
+
+impl InternedComparators {
+    /// Bind `comparators` to a frozen `pool`, with one fresh cache per
+    /// attribute (per-attribute caches keep entries disjoint when different
+    /// attributes use different kernels).
+    pub fn new(pool: Arc<ValuePool>, comparators: &AttributeComparators) -> Self {
+        let per_attr: Vec<ValueComparator> = (0..comparators.arity())
+            .map(|i| comparators.get(i).clone())
+            .collect();
+        let caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
+        Self {
+            pool,
+            per_attr,
+            caches,
+        }
+    }
+
+    /// Number of attributes covered.
+    pub fn arity(&self) -> usize {
+        self.per_attr.len()
+    }
+
+    /// The shared value pool.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Aggregate `(hits, misses)` over all attribute caches.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.caches.iter().map(SymbolCache::stats).fold(
+            (0, 0),
+            |(h, m), (sh, sm)| (h + sh, m + sm),
+        )
+    }
+
+    /// Total number of memoized symbol pairs across attributes.
+    pub fn cached_pairs(&self) -> usize {
+        self.caches.iter().map(SymbolCache::len).sum()
+    }
+
+    /// Memoized kernel similarity of two non-⊥ symbols for attribute
+    /// `attr`. ⊥ must be handled by the caller.
+    ///
+    /// The kernel is evaluated on the **canonical** (smaller-symbol-first)
+    /// orientation — the same one the cache key encodes — so that even a
+    /// non-symmetric user kernel yields one deterministic memoized value
+    /// regardless of which worker thread computes the pair first.
+    #[inline]
+    fn kernel(&self, attr: usize, a: Symbol, b: Symbol) -> f64 {
+        debug_assert!(!a.is_null() && !b.is_null());
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        self.caches[attr].get_or_compute(lo, hi, || {
+            self.per_attr[attr].similarity(self.pool.resolve(lo), self.pool.resolve(hi))
+        })
+    }
+}
+
+/// Eq. 5 over interned values with upper-bound pruning (the shared loop
+/// in `pvalue_sim::pruned_expected_similarity`; see the module docs for
+/// the error bound). Agrees with
+/// [`pvalue_similarity`](crate::pvalue_sim::pvalue_similarity) to well
+/// below 1e-12.
+pub fn interned_pvalue_similarity(
+    a: &InternedPValue,
+    b: &InternedPValue,
+    attr: usize,
+    cmps: &InternedComparators,
+) -> f64 {
+    crate::pvalue_sim::pruned_expected_similarity(
+        &a.alts,
+        a.mass,
+        a.null_prob,
+        &b.alts,
+        b.mass,
+        b.null_prob,
+        |&sa, &sb| cmps.kernel(attr, sa, sb),
+    )
+}
+
+/// [`compare_xtuples`](crate::matrix::compare_xtuples) over interned
+/// x-tuples: the k×l comparison matrix with every Eq. 5 evaluation going
+/// through the symbol caches and pruning.
+pub fn compare_xtuples_interned(
+    t1: &InternedXTuple,
+    t2: &InternedXTuple,
+    cmps: &InternedComparators,
+) -> ComparisonMatrix {
+    let k = t1.len();
+    let l = t2.len();
+    let mut vectors = Vec::with_capacity(k * l);
+    for a1 in &t1.alternatives {
+        for a2 in &t2.alternatives {
+            let v: ComparisonVector = (0..cmps.arity())
+                .map(|i| interned_pvalue_similarity(a1.value(i), a2.value(i), i, cmps))
+                .collect();
+            vectors.push(v);
+        }
+    }
+    ComparisonMatrix::from_vectors(k, l, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvalue_sim::pvalue_similarity;
+    use probdedup_model::schema::Schema;
+    use probdedup_model::value::Value;
+    use probdedup_textsim::NormalizedHamming;
+
+    fn comparators(schema: &Schema) -> AttributeComparators {
+        AttributeComparators::uniform(schema, NormalizedHamming::new())
+    }
+
+    #[test]
+    fn interned_similarity_matches_plain() {
+        let s = Schema::new(["name", "job"]);
+        let t11 = XTuple::builder(&s)
+            .alt_pvalues(
+                1.0,
+                [
+                    PValue::certain("Tim"),
+                    PValue::categorical([("machinist", 0.7), ("mechanic", 0.2)]).unwrap(),
+                ],
+            )
+            .build()
+            .unwrap();
+        let t22 = XTuple::builder(&s)
+            .alt_pvalues(
+                0.8,
+                [
+                    PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap(),
+                    PValue::certain("mechanic"),
+                ],
+            )
+            .build()
+            .unwrap();
+        let cmp = comparators(&s);
+        let (pool, interned) = intern_tuples(&[t11.clone(), t22.clone()]);
+        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let plain = crate::matrix::compare_xtuples(&t11, &t22, &cmp);
+        let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        assert_eq!((plain.k(), plain.l()), (fast.k(), fast.l()));
+        for (i, j, v) in plain.iter() {
+            let w = fast.vector(i, j);
+            for (x, y) in v.iter().zip(w) {
+                assert!((x - y).abs() < 1e-12, "({i},{j}): {x} vs {y}");
+            }
+        }
+        // Paper numbers survive the interned path.
+        assert!((fast.vector(0, 0)[0] - 0.9).abs() < 1e-12);
+        assert!((fast.vector(0, 0)[1] - 53.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeat_comparisons_hit_the_cache() {
+        let s = Schema::new(["name"]);
+        let a = XTuple::builder(&s).alt(1.0, ["machinist"]).build().unwrap();
+        let b = XTuple::builder(&s).alt(1.0, ["mechanic"]).build().unwrap();
+        let (pool, interned) = intern_tuples(&[a, b]);
+        let icmps = InternedComparators::new(Arc::new(pool), &comparators(&Schema::new(["name"])));
+        let first = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        let second = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        assert_eq!(first, second);
+        let (hits, misses) = icmps.cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 1);
+        assert_eq!(icmps.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn null_conventions_survive_interning() {
+        let s = Schema::new(["name"]);
+        let null_t = XTuple::builder(&s)
+            .alt_pvalues(1.0, [PValue::null()])
+            .build()
+            .unwrap();
+        let tim = XTuple::builder(&s).alt(1.0, ["Tim"]).build().unwrap();
+        let (pool, interned) = intern_tuples(&[null_t, tim]);
+        let icmps = InternedComparators::new(Arc::new(pool), &comparators(&s));
+        let m_null_null = compare_xtuples_interned(&interned[0], &interned[0], &icmps);
+        assert_eq!(m_null_null.vector(0, 0)[0], 1.0);
+        let m_null_tim = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        assert_eq!(m_null_tim.vector(0, 0)[0], 0.0);
+        // ⊥ comparisons never consult the kernel cache.
+        assert_eq!(icmps.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn descending_probability_layout() {
+        let mut pool = ValuePool::new();
+        let pv = PValue::categorical([("low", 0.1), ("high", 0.6), ("mid", 0.25)]).unwrap();
+        let ipv = InternedPValue::from_pvalue(&mut pool, &pv);
+        let probs: Vec<f64> = ipv.alternatives().iter().map(|(_, p)| *p).collect();
+        assert_eq!(probs, vec![0.6, 0.25, 0.1]);
+        assert!((ipv.null_prob() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_null_mass_contributes() {
+        // a = {x: .6, ⊥: .4}, b = {x: .5, ⊥: .5} → 0.5 (as in the plain
+        // path's unit test).
+        let s = Schema::new(["v"]);
+        let a = XTuple::builder(&s)
+            .alt_pvalues(1.0, [PValue::categorical([("x", 0.6)]).unwrap()])
+            .build()
+            .unwrap();
+        let b = XTuple::builder(&s)
+            .alt_pvalues(1.0, [PValue::categorical([("x", 0.5)]).unwrap()])
+            .build()
+            .unwrap();
+        let cmp = comparators(&s);
+        let (pool, interned) = intern_tuples(&[a.clone(), b.clone()]);
+        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        let plain = crate::matrix::compare_xtuples(&a, &b, &cmp);
+        assert!((fast.vector(0, 0)[0] - 0.5).abs() < 1e-12);
+        assert!((fast.vector(0, 0)[0] - plain.vector(0, 0)[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_supports_agree_with_plain_path() {
+        // Randomish wide supports with skewed masses exercise both pruning
+        // branches; results must agree with the exhaustive sum to 1e-12.
+        let s = Schema::new(["v"]);
+        let mk = |tag: char, n: usize, scale: f64| {
+            PValue::categorical((0..n).map(|i| {
+                let p = scale / f64::powi(2.0, i as i32 + 1);
+                (format!("{tag}{i:02}"), p)
+            }))
+            .unwrap()
+        };
+        let cmp = comparators(&s);
+        for (na, nb) in [(1usize, 8usize), (8, 8), (16, 3), (20, 20)] {
+            let pa = mk('a', na, 0.9);
+            let pb = mk('b', nb, 0.99);
+            let a = XTuple::builder(&s).alt_pvalues(1.0, [pa.clone()]).build().unwrap();
+            let b = XTuple::builder(&s).alt_pvalues(1.0, [pb.clone()]).build().unwrap();
+            let (pool, interned) = intern_tuples(&[a, b]);
+            let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+            let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps)
+                .vector(0, 0)[0];
+            let slow = pvalue_similarity(&pa, &pb, cmp.get(0));
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "supports {na}x{nb}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_variant_values_stay_distinct() {
+        // "30" (text) vs 30 (int) must not be conflated by interning.
+        let s = Schema::new(["v"]);
+        let a = XTuple::builder(&s)
+            .alt_pvalues(1.0, [PValue::certain(Value::from("30"))])
+            .build()
+            .unwrap();
+        let b = XTuple::builder(&s)
+            .alt_pvalues(1.0, [PValue::certain(Value::Int(30))])
+            .build()
+            .unwrap();
+        let (pool, interned) = intern_tuples(&[a, b]);
+        let icmps = InternedComparators::new(Arc::new(pool), &comparators(&s));
+        let m = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        // Mixed text/int compares as 0 under the default comparator.
+        assert_eq!(m.vector(0, 0)[0], 0.0);
+    }
+}

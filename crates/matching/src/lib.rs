@@ -18,15 +18,33 @@
 //! Comparing two tuples attribute by attribute yields the **comparison
 //! vector** `c⃗ ∈ [0,1]ⁿ` the decision models consume; comparing two
 //! x-tuples yields the k×l **comparison matrix** of Fig. 6.
+//!
+//! Two implementations of the quadratic hot path live here:
+//!
+//! * the **plain path** ([`pvalue_sim`], [`matrix`]) — Eq. 5 straight off
+//!   [`PValue`](probdedup_model::pvalue::PValue)s, the readable reference
+//!   everything else is tested against;
+//! * the **interned path** ([`interned`]) — values are interned once into
+//!   a [`ValuePool`](probdedup_model::intern::ValuePool), Eq. 5 runs over
+//!   dense symbols with alternatives in descending probability order
+//!   (enabling upper-bound pruning), and kernel results are memoized in
+//!   the sharded, lock-striped [`cache::SymbolCache`] keyed on packed
+//!   symbol pairs. This is what the pipeline's
+//!   `cache_similarities(true)` mode executes.
 
 pub mod cache;
+pub mod interned;
 pub mod matrix;
 pub mod pvalue_sim;
 pub mod value_cmp;
 pub mod vector;
 
-pub use cache::CachedComparator;
+pub use cache::{CachedComparator, SymbolCache};
+pub use interned::{
+    compare_xtuples_interned, intern_tuples, interned_pvalue_similarity, InternedComparators,
+    InternedPValue, InternedXTuple,
+};
 pub use matrix::{compare_xtuples, ComparisonMatrix};
-pub use pvalue_sim::pvalue_similarity;
+pub use pvalue_sim::{pvalue_similarity, pvalue_similarity_pruned};
 pub use value_cmp::ValueComparator;
 pub use vector::{compare_tuples, AttributeComparators, ComparisonVector};

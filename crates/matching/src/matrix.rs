@@ -19,6 +19,13 @@ pub struct ComparisonMatrix {
 }
 
 impl ComparisonMatrix {
+    /// Assemble a matrix from row-major vectors (used by the interned
+    /// comparison path; `vectors.len()` must equal `k · l`).
+    pub(crate) fn from_vectors(k: usize, l: usize, vectors: Vec<ComparisonVector>) -> Self {
+        debug_assert_eq!(vectors.len(), k * l);
+        Self { k, l, vectors }
+    }
+
     /// Number of alternatives of the first x-tuple.
     pub fn k(&self) -> usize {
         self.k

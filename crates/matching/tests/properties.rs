@@ -91,4 +91,61 @@ proptest! {
         let c2 = compare_tuples(&mk(&a, f64::from(q) / 100.0), &mk(&b, 0.5), &cmp);
         prop_assert_eq!(c1, c2);
     }
+
+    /// Upper-bound pruning (descending-probability traversal + early
+    /// break) never moves Eq. 5 by more than 1e-12.
+    #[test]
+    fn pruned_agrees_with_unpruned(a in arb_pvalue(), b in arb_pvalue()) {
+        use probdedup_matching::pvalue_similarity_pruned;
+        let cmp = ValueComparator::text(NormalizedHamming::new());
+        let slow = pvalue_similarity(&a, &b, &cmp);
+        let fast = pvalue_similarity_pruned(&a, &b, &cmp);
+        prop_assert!((slow - fast).abs() < 1e-12, "unpruned {slow} vs pruned {fast}");
+    }
+
+    /// The interned hot path (symbol pool + sharded similarity cache +
+    /// pruning) agrees with the uncached reference to 1e-12 — including on
+    /// repeat comparisons, where every kernel evaluation is a cache hit.
+    #[test]
+    fn interned_cached_agrees_with_uncached(
+        rows in proptest::collection::vec((arb_pvalue(), arb_pvalue()), 1..5)
+    ) {
+        use probdedup_matching::interned::{
+            compare_xtuples_interned, intern_tuples, InternedComparators,
+        };
+        use probdedup_model::xtuple::XTuple;
+        use std::sync::Arc;
+
+        let s = Schema::new(["x", "y"]);
+        let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
+        let tuples: Vec<XTuple> = rows
+            .iter()
+            .map(|(x, y)| {
+                XTuple::builder(&s)
+                    .alt_pvalues(1.0, [x.clone(), y.clone()])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let (pool, interned) = intern_tuples(&tuples);
+        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        for round in 0..2 {
+            for i in 0..tuples.len() {
+                for j in 0..tuples.len() {
+                    let reference =
+                        probdedup_matching::compare_xtuples(&tuples[i], &tuples[j], &cmp);
+                    let fast = compare_xtuples_interned(&interned[i], &interned[j], &icmps);
+                    for (ii, jj, v) in reference.iter() {
+                        let w = fast.vector(ii, jj);
+                        for (x, y) in v.iter().zip(w) {
+                            prop_assert!(
+                                (x - y).abs() < 1e-12,
+                                "round {round}, pair ({i},{j}): {x} vs {y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }

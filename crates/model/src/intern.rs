@@ -1,0 +1,187 @@
+//! Value interning: dense `u32` symbols for distinct [`Value`]s.
+//!
+//! The matching hot path evaluates Eq. 5 over the supports of two uncertain
+//! values — every term hashes, compares or clones a [`Value`] (usually a
+//! heap-allocated string). Across a relation the distinct values are few
+//! relative to the number of candidate pairs, so the pipeline interns every
+//! value once up front into a [`ValuePool`] and works with [`Symbol`]s from
+//! there on: similarity-cache keys become a single `u64`, equality becomes
+//! an integer compare, and no string is touched again until a cache miss
+//! actually needs the kernel.
+//!
+//! ⊥ ([`Value::Null`]) is special-cased as [`Symbol::NULL`] (symbol 0),
+//! reserved at construction so the paper's non-existence conventions
+//! (`sim(⊥,⊥) = 1`, `sim(⊥, v) = 0`) can be tested without resolving
+//! anything.
+
+use crate::util::FxHashMap;
+use crate::value::Value;
+
+/// A dense handle for one distinct [`Value`] in a [`ValuePool`].
+///
+/// Symbols are only meaningful relative to the pool that issued them; they
+/// are assigned contiguously from 0 in interning order, so they can index
+/// side tables directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The reserved symbol of the non-existence marker `⊥`
+    /// ([`Value::Null`]). Every pool assigns it at construction.
+    pub const NULL: Symbol = Symbol(0);
+
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` (for packing into cache keys).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the `⊥` symbol.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// An interner mapping each distinct [`Value`] to a dense [`Symbol`].
+///
+/// Interning is idempotent: the same value always yields the same symbol,
+/// and `resolve` returns a value equal to the one interned. Typical use is
+/// a single-threaded interning pass over a prepared relation followed by
+/// read-only shared access from worker threads (all query methods take
+/// `&self`).
+#[derive(Debug, Clone)]
+pub struct ValuePool {
+    map: FxHashMap<Value, Symbol>,
+    values: Vec<Value>,
+}
+
+impl Default for ValuePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValuePool {
+    /// An empty pool (containing only the reserved `⊥` entry).
+    pub fn new() -> Self {
+        let mut pool = Self {
+            map: FxHashMap::default(),
+            values: Vec::new(),
+        };
+        let null = pool.intern(&Value::Null);
+        debug_assert_eq!(null, Symbol::NULL);
+        pool
+    }
+
+    /// Intern `v`, returning its (new or existing) symbol.
+    pub fn intern(&mut self, v: &Value) -> Symbol {
+        if let Some(&sym) = self.map.get(v) {
+            return sym;
+        }
+        let sym = Symbol(
+            u32::try_from(self.values.len()).expect("more than u32::MAX distinct values interned"),
+        );
+        self.values.push(v.clone());
+        self.map.insert(v.clone(), sym);
+        sym
+    }
+
+    /// The symbol of `v`, if it has been interned.
+    pub fn lookup(&self, v: &Value) -> Option<Symbol> {
+        self.map.get(v).copied()
+    }
+
+    /// The value behind a symbol issued by this pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was issued by a different (larger) pool.
+    pub fn resolve(&self, sym: Symbol) -> &Value {
+        &self.values[sym.index()]
+    }
+
+    /// Number of distinct interned values (including the reserved `⊥`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pool holds only the reserved `⊥` entry.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut pool = ValuePool::new();
+        let a1 = pool.intern(&Value::from("Tim"));
+        let a2 = pool.intern(&Value::from("Tim"));
+        assert_eq!(a1, a2);
+        assert_eq!(pool.len(), 2); // ⊥ + "Tim"
+    }
+
+    #[test]
+    fn symbols_are_dense_and_stable() {
+        let mut pool = ValuePool::new();
+        let tim = pool.intern(&Value::from("Tim"));
+        let kim = pool.intern(&Value::from("Kim"));
+        let n30 = pool.intern(&Value::Int(30));
+        assert_eq!(tim.index(), 1);
+        assert_eq!(kim.index(), 2);
+        assert_eq!(n30.index(), 3);
+        // Re-interning earlier values does not disturb assignments.
+        assert_eq!(pool.intern(&Value::from("Tim")), tim);
+        assert_eq!(pool.resolve(kim), &Value::from("Kim"));
+        assert_eq!(pool.resolve(n30), &Value::Int(30));
+    }
+
+    #[test]
+    fn null_is_reserved_symbol_zero() {
+        let mut pool = ValuePool::new();
+        assert_eq!(pool.intern(&Value::Null), Symbol::NULL);
+        assert!(Symbol::NULL.is_null());
+        assert!(pool.lookup(&Value::Null).expect("⊥ preinterned").is_null());
+        assert_eq!(pool.resolve(Symbol::NULL), &Value::Null);
+        // A fresh pool is "empty" despite the reserved entry.
+        assert!(ValuePool::new().is_empty());
+        assert!(!pool.is_empty() || pool.len() == 1);
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_symbols() {
+        let mut pool = ValuePool::new();
+        // Cross-variant values that render identically must stay distinct.
+        let text = pool.intern(&Value::from("30"));
+        let int = pool.intern(&Value::Int(30));
+        let real = pool.intern(&Value::Real(30.0));
+        assert_ne!(text, int);
+        assert_ne!(int, real);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn lookup_misses_report_none() {
+        let pool = ValuePool::new();
+        assert_eq!(pool.lookup(&Value::from("absent")), None);
+    }
+
+    #[test]
+    fn float_canonicalization_is_respected() {
+        // Value's Eq unifies -0.0/0.0 and NaNs; interning must follow.
+        let mut pool = ValuePool::new();
+        let zero = pool.intern(&Value::Real(0.0));
+        let neg_zero = pool.intern(&Value::Real(-0.0));
+        assert_eq!(zero, neg_zero);
+    }
+}

@@ -23,6 +23,10 @@
 //! * **Possible worlds** — [`world`]: lazy enumeration of the worlds induced
 //!   by a set of x-tuples, their probabilities, and conditioning on the
 //!   event *B* that all considered tuples exist (Fig. 7).
+//! * **Value interning** — [`intern`]: a [`ValuePool`] mapping each distinct
+//!   [`Value`] to a dense `u32` [`Symbol`], so the matching hot path,
+//!   similarity caches and blocking keys can work with integer comparisons
+//!   instead of cloning and hashing strings.
 //!
 //! The model is deliberately self-contained (no external DB) and
 //! deterministic; everything needed by the matching, decision and reduction
@@ -34,6 +38,7 @@ pub mod domain;
 pub mod error;
 pub mod format;
 pub mod ids;
+pub mod intern;
 pub mod lineage;
 pub mod pvalue;
 pub mod relation;
@@ -50,6 +55,7 @@ pub use condition::{existence_event_probability, normalized_alternative_probs};
 pub use domain::Domain;
 pub use error::ModelError;
 pub use ids::{SourceId, TupleHandle};
+pub use intern::{Symbol, ValuePool};
 pub use lineage::{AlternativeSets, MutexGroups};
 pub use pvalue::PValue;
 pub use relation::{Relation, XRelation};

@@ -6,9 +6,21 @@
 //! (an x-tuple joins one block per alternative key; duplicate entries of
 //! the same tuple within one block are removed, and repeated matchings
 //! across blocks are suppressed — Fig. 14's walkthrough).
+//!
+//! Internally blocks are assembled in a [`BlockMap`]: an `FxHashMap` keyed
+//! on the **64-bit hash** of the key string (with an explicit collision
+//! chain, so unequal keys sharing a hash never merge), with per-block O(1)
+//! membership tracking — a small-vec scan that spills into an `FxHashSet`
+//! once a block grows past a handful of members. Insertion is therefore
+//! O(1) per alternative instead of the previous `BTreeMap` walk plus
+//! linear `members.contains` scan. The sorted `BTreeMap<String, Vec<usize>>`
+//! view that figures and tests consume is materialized once at the end,
+//! and candidate pairs are emitted in sorted-key order so results remain
+//! byte-for-byte deterministic.
 
 use std::collections::BTreeMap;
 
+use probdedup_model::util::{FxHashMap, FxHashSet, FxHasher};
 use probdedup_model::world::{full_worlds, top_k_worlds, World};
 use probdedup_model::xtuple::XTuple;
 
@@ -27,38 +39,106 @@ pub struct BlockingResult {
     pub blocks: BTreeMap<String, Vec<usize>>,
 }
 
-/// Emit all within-block pairs into `pairs`.
-fn pairs_from_blocks(blocks: &BTreeMap<String, Vec<usize>>, pairs: &mut CandidatePairs) {
-    for members in blocks.values() {
-        for (a, &i) in members.iter().enumerate() {
-            for &j in members.iter().skip(a + 1) {
-                pairs.insert(i, j);
+/// Members beyond which a block's membership test spills from a linear
+/// small-vec scan into a hash set.
+const SPILL_THRESHOLD: usize = 16;
+
+/// One block under construction: its key, members in first-insertion
+/// order, and (for large blocks) a spill set for O(1) membership tests.
+#[derive(Debug, Clone, Default)]
+struct Block {
+    key: String,
+    members: Vec<usize>,
+    spill: Option<FxHashSet<usize>>,
+}
+
+impl Block {
+    /// Insert `tuple` unless already present ("if an x-tuple is allocated
+    /// to a single block for multiple times, except for one, all entries of
+    /// this tuple are removed" — Fig. 14). O(1): small blocks scan ≤
+    /// [`SPILL_THRESHOLD`] entries, larger ones consult the spill set.
+    fn insert(&mut self, tuple: usize) {
+        match &mut self.spill {
+            Some(set) => {
+                if set.insert(tuple) {
+                    self.members.push(tuple);
+                }
+            }
+            None => {
+                if !self.members.contains(&tuple) {
+                    self.members.push(tuple);
+                    if self.members.len() > SPILL_THRESHOLD {
+                        self.spill = Some(self.members.iter().copied().collect());
+                    }
+                }
             }
         }
     }
 }
 
-/// Insert `tuple` into the block of `key`, dropping duplicate membership
-/// ("if an x-tuple is allocated to a single block for multiple times,
-/// except for one, all entries of this tuple are removed" — Fig. 14).
-fn insert_into_block(blocks: &mut BTreeMap<String, Vec<usize>>, key: String, tuple: usize) {
-    let members = blocks.entry(key).or_default();
-    if !members.contains(&tuple) {
-        members.push(tuple);
+/// Hash-keyed block accumulator (see the module docs).
+#[derive(Debug, Clone, Default)]
+struct BlockMap {
+    /// Key-hash → blocks with that hash (chain length is ~1; the chain
+    /// only exists so a 64-bit collision cannot merge two distinct keys).
+    slots: FxHashMap<u64, Vec<Block>>,
+}
+
+impl BlockMap {
+    fn hash_key(key: &str) -> u64 {
+        use std::hash::Hasher;
+        let mut h = FxHasher::default();
+        h.write(key.as_bytes());
+        h.finish()
+    }
+
+    /// Insert `tuple` into the block of `key` (creating the block on first
+    /// sight of the key).
+    fn insert(&mut self, key: String, tuple: usize) {
+        let chain = self.slots.entry(Self::hash_key(&key)).or_default();
+        match chain.iter_mut().find(|b| b.key == key) {
+            Some(block) => block.insert(tuple),
+            None => {
+                let mut block = Block {
+                    key,
+                    ..Block::default()
+                };
+                block.insert(tuple);
+                chain.push(block);
+            }
+        }
+    }
+
+    /// Materialize the deterministic sorted inspection view and emit all
+    /// within-block pairs (in sorted-key order, preserving the output the
+    /// previous `BTreeMap` implementation produced).
+    fn finish(self, pairs: &mut CandidatePairs) -> BTreeMap<String, Vec<usize>> {
+        let mut blocks: Vec<Block> = self.slots.into_values().flatten().collect();
+        blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        let mut sorted = BTreeMap::new();
+        for block in blocks {
+            for (a, &i) in block.members.iter().enumerate() {
+                for &j in block.members.iter().skip(a + 1) {
+                    pairs.insert(i, j);
+                }
+            }
+            sorted.insert(block.key, block.members);
+        }
+        sorted
     }
 }
 
 /// Blocking with **alternative key values** (Fig. 14): one block entry per
 /// alternative key of each x-tuple.
 pub fn block_alternatives(tuples: &[XTuple], spec: &KeySpec) -> BlockingResult {
-    let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut map = BlockMap::default();
     for (i, t) in tuples.iter().enumerate() {
         for key in spec.alternative_keys(t) {
-            insert_into_block(&mut blocks, key, i);
+            map.insert(key, i);
         }
     }
     let mut pairs = CandidatePairs::new(tuples.len());
-    pairs_from_blocks(&blocks, &mut pairs);
+    let blocks = map.finish(&mut pairs);
     BlockingResult { pairs, blocks }
 }
 
@@ -70,12 +150,12 @@ pub fn block_conflict_resolved(
     spec: &KeySpec,
     strategy: ConflictResolution,
 ) -> BlockingResult {
-    let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut map = BlockMap::default();
     for (i, t) in tuples.iter().enumerate() {
-        insert_into_block(&mut blocks, resolve_key(t, spec, strategy), i);
+        map.insert(resolve_key(t, spec, strategy), i);
     }
     let mut pairs = CandidatePairs::new(tuples.len());
-    pairs_from_blocks(&blocks, &mut pairs);
+    let blocks = map.finish(&mut pairs);
     BlockingResult { pairs, blocks }
 }
 
@@ -98,16 +178,18 @@ pub fn block_multipass(
             super::multipass::select_diverse_worlds(pool_worlds, k)
         }
     };
+    // Per-alternative keys are world-independent; compute them once per
+    // tuple instead of once per (world, tuple).
+    let alt_keys: Vec<Vec<String>> = tuples.iter().map(|t| spec.alternative_keys(t)).collect();
     let mut pairs = CandidatePairs::new(tuples.len());
     let mut first_blocks: Option<BTreeMap<String, Vec<usize>>> = None;
     for world in worlds {
-        let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        for (i, t) in tuples.iter().enumerate() {
+        let mut map = BlockMap::default();
+        for (i, keys) in alt_keys.iter().enumerate() {
             let alt = world.choices[i].expect("full world");
-            let key = spec.alternative_keys(t)[alt].clone();
-            insert_into_block(&mut blocks, key, i);
+            map.insert(keys[alt].clone(), i);
         }
-        pairs_from_blocks(&blocks, &mut pairs);
+        let blocks = map.finish(&mut pairs);
         if first_blocks.is_none() {
             first_blocks = Some(blocks);
         }
@@ -262,5 +344,30 @@ mod tests {
         let r = block_alternatives(&[], &fig14_spec());
         assert!(r.pairs.is_empty());
         assert!(r.blocks.is_empty());
+    }
+
+    #[test]
+    fn large_block_membership_spills_and_stays_deduped() {
+        // Enough same-key tuples to cross SPILL_THRESHOLD, each with two
+        // identical alternative keys (forcing a duplicate insertion per
+        // tuple): membership must stay deduped across the spill boundary
+        // and insertion order preserved.
+        let s = Schema::new(["name", "job"]);
+        let n = 3 * SPILL_THRESHOLD;
+        let tuples: Vec<XTuple> = (0..n)
+            .map(|_| {
+                XTuple::builder(&s)
+                    .alt(0.5, ["John", "pilot"])
+                    .alt(0.5, ["Johan", "pianist"]) // same "Jp" key
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let r = block_alternatives(&tuples, &fig14_spec());
+        assert_eq!(r.blocks.len(), 1);
+        let members = &r.blocks["Jp"];
+        assert_eq!(members.len(), n, "duplicates crept in: {members:?}");
+        assert_eq!(*members, (0..n).collect::<Vec<_>>());
+        assert_eq!(r.pairs.len(), n * (n - 1) / 2);
     }
 }

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its benches use under the same crate name:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The harness is intentionally simple: per benchmark it calibrates an
+//! iteration count targeting ~`TARGET_SAMPLE` of work, takes `sample_size`
+//! samples, and prints the median/min/max ns-per-iteration on stdout. No
+//! HTML reports, no statistical regression analysis — but numbers are
+//! stable enough to compare configurations of the same build on the same
+//! machine, which is what the workspace's before/after tables need.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget used for iteration-count calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(12);
+
+/// Hard cap on one benchmark's total measured wall time.
+const MAX_TOTAL: Duration = Duration::from_secs(3);
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(name, sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.unwrap_or(15);
+        run_benchmark(&label, samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.unwrap_or(15);
+        run_benchmark(&label, samples, |b| f(b));
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id carrying just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the measured closure (`b.iter(..)`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `iters` runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut routine: F) {
+    // Calibrate: grow the iteration count until one sample is ≥ the target
+    // (or a single iteration already exceeds it).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+            break;
+        }
+        // Aim directly for the target from the observed rate, growing at
+        // least 2x to escape timer-resolution noise.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let needed = if per_iter > 0.0 {
+            (TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64
+        } else {
+            iters * 4
+        };
+        iters = needed.clamp(iters * 2, iters.saturating_mul(100)).max(1);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    let total_start = Instant::now();
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if total_start.elapsed() > MAX_TOTAL {
+            break;
+        }
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let (min, max) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+    println!(
+        "bench {label:<48} median {} (min {}, max {}, {} iters x {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        iters,
+        per_iter_ns.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` may execute bench binaries with --test; running
+            // full benchmarks there would be wasteful, so mirror upstream
+            // criterion and exit immediately.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

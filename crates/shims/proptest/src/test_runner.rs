@@ -1,0 +1,99 @@
+//! Deterministic case runner support: the test RNG, config, and the
+//! fail/reject outcome type the assertion macros produce.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// The case was discarded by `prop_assume!` — draw a replacement.
+    Reject(&'static str),
+}
+
+impl TestCaseError {
+    /// A failure outcome.
+    pub fn fail(msg: String) -> Self {
+        Self::Fail(msg)
+    }
+
+    /// A rejection outcome.
+    pub fn reject(why: &'static str) -> Self {
+        Self::Reject(why)
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a over the test's full name — the deterministic seed base.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// The generator strategies draw from: xoshiro256++ seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Deterministic construction from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
