@@ -8,9 +8,7 @@ use probdedup_decision::combine::WeightedSum;
 use probdedup_decision::derive_decision::{ExpectedMatchingResult, MatchingWeightDerivation};
 use probdedup_decision::derive_sim::ExpectedSimilarity;
 use probdedup_decision::threshold::Thresholds;
-use probdedup_decision::xmodel::{
-    DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel,
-};
+use probdedup_decision::xmodel::{DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel};
 use probdedup_matching::matrix::compare_xtuples;
 use probdedup_matching::vector::AttributeComparators;
 use probdedup_model::schema::Schema;

@@ -23,7 +23,11 @@ fn em_fit(c: &mut Criterion) {
     for n in [1_000usize, 10_000, 100_000] {
         let patterns = sample_patterns(n, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, p| {
-            b.iter(|| fit_em(black_box(p), &EmConfig::default()).unwrap().iterations)
+            b.iter(|| {
+                fit_em(black_box(p), &EmConfig::default())
+                    .unwrap()
+                    .iterations
+            })
         });
     }
     group.finish();

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use probdedup_matching::interned::{
-    compare_xtuples_interned, intern_tuples, InternedComparators,
-};
+use probdedup_matching::interned::{compare_xtuples_interned, intern_tuples, InternedComparators};
 use probdedup_matching::matrix::compare_xtuples;
 use probdedup_matching::pvalue_sim::{pvalue_similarity, pvalue_similarity_pruned};
 use probdedup_matching::value_cmp::ValueComparator;

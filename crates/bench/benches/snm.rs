@@ -62,7 +62,11 @@ fn snm_variants(c: &mut Criterion) {
             BenchmarkId::new("sorting-alternatives", entities),
             tuples,
             |b, tuples| {
-                b.iter(|| sorting_alternatives(black_box(tuples), &spec, 6).pairs.len())
+                b.iter(|| {
+                    sorting_alternatives(black_box(tuples), &spec, 6)
+                        .pairs
+                        .len()
+                })
             },
         );
         group.bench_with_input(

@@ -2,9 +2,11 @@
 //! Eq. 5 — everything else multiplies its cost).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use probdedup_textsim::jaro::jaro_similarity_scalar;
 use probdedup_textsim::{
     DamerauLevenshtein, Jaro, JaroWinkler, Lcs, Levenshtein, MongeElkan, NormalizedHamming,
-    ProfileSimilarity, QGram, SoundexComparator, StringComparator, TokenJaccard,
+    PatternBits, PreparedText, ProfileSimilarity, QGram, SoundexComparator, StringComparator,
+    TokenJaccard,
 };
 
 fn kernel_throughput(c: &mut Criterion) {
@@ -13,7 +15,10 @@ fn kernel_throughput(c: &mut Criterion) {
         ("machinist", "mechanic"),
         ("Johannes", "Johanes"),
         ("confectioner", "confectionist"),
-        ("a longer string with several words", "another long string with words"),
+        (
+            "a longer string with several words",
+            "another long string with words",
+        ),
     ];
     let kernels: Vec<Box<dyn StringComparator>> = vec![
         Box::new(NormalizedHamming::new()),
@@ -43,5 +48,50 @@ fn kernel_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, kernel_throughput);
+/// Bit-parallel fast paths against their scalar oracles, on the input
+/// classes where each tier engages: short ASCII (single-word Myers, small
+/// Jaro scan), long ASCII (blocked Myers, Jaro position-mask table), and
+/// the prepared variants that skip per-comparison setup entirely.
+fn bitparallel_vs_scalar(c: &mut Criterion) {
+    let short = ("machinist", "mechanic");
+    let long_a: String = ('a'..='z').cycle().take(100).collect();
+    let long_b: String = ('b'..='z').cycle().take(96).collect();
+    let long = (long_a.as_str(), long_b.as_str());
+
+    let mut group = c.benchmark_group("textsim-bitparallel");
+    let lev = Levenshtein::new();
+    let ham = NormalizedHamming::new();
+    for (label, (a, b)) in [("short", short), ("long", long)] {
+        group.bench_function(BenchmarkId::new("lev-myers", label), |bench| {
+            bench.iter(|| lev.distance(black_box(a), black_box(b)))
+        });
+        group.bench_function(BenchmarkId::new("lev-scalar", label), |bench| {
+            bench.iter(|| lev.distance_scalar(black_box(a), black_box(b)))
+        });
+        group.bench_function(BenchmarkId::new("hamming-bytes", label), |bench| {
+            bench.iter(|| ham.distance(black_box(a), black_box(b)))
+        });
+        group.bench_function(BenchmarkId::new("hamming-scalar", label), |bench| {
+            bench.iter(|| ham.distance_scalar(black_box(a), black_box(b)))
+        });
+        group.bench_function(BenchmarkId::new("jaro-bitset", label), |bench| {
+            bench.iter(|| Jaro::new().similarity(black_box(a), black_box(b)))
+        });
+        group.bench_function(BenchmarkId::new("jaro-scalar", label), |bench| {
+            bench.iter(|| jaro_similarity_scalar(black_box(a), black_box(b)))
+        });
+        // The interned miss path: Peq tables prebuilt once per string.
+        let pa = PreparedText::new(a, true);
+        let pb = PreparedText::new(b, true);
+        group.bench_function(BenchmarkId::new("lev-prepared", label), |bench| {
+            bench.iter(|| lev.similarity_prepared(black_box(&pa), black_box(&pb)))
+        });
+        group.bench_function(BenchmarkId::new("peq-build", label), |bench| {
+            bench.iter(|| PatternBits::new(black_box(a)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_throughput, bitparallel_vs_scalar);
 criterion_main!(benches);

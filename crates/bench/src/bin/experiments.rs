@@ -18,9 +18,7 @@ use probdedup::decision::derive_sim::ExpectedSimilarity;
 use probdedup::decision::em::{binarize, fit_em, EmConfig};
 use probdedup::decision::rules::{Condition, Rule, RuleSet};
 use probdedup::decision::threshold::Thresholds;
-use probdedup::decision::xmodel::{
-    DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel,
-};
+use probdedup::decision::xmodel::{DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel};
 use probdedup::eval::sweep::{best_f1, grid, sweep_thresholds};
 use probdedup::eval::{ConfusionCounts, EffectivenessMetrics, ReductionMetrics, Table};
 use probdedup::matching::matrix::compare_xtuples;
@@ -128,8 +126,18 @@ fn fig1() {
     println!("[F1] Fig. 1 — identification rule (knowledge-based)");
     let rule = Rule::new(vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)], 0.8).unwrap();
     let rs = RuleSet::new().with_rule(rule);
-    check("certainty when both conditions hold", rs.certainty(&[0.9, 0.59]), 0.8, 0.0);
-    check("certainty when a condition fails", rs.certainty(&[0.9, 0.5]), 0.0, 0.0);
+    check(
+        "certainty when both conditions hold",
+        rs.certainty(&[0.9, 0.59]),
+        0.8,
+        0.0,
+    );
+    check(
+        "certainty when a condition fails",
+        rs.certainty(&[0.9, 0.5]),
+        0.0,
+        0.0,
+    );
 }
 
 /// Fig. 2: classification of tuple pairs into M, P, U by T_λ/T_μ.
@@ -163,7 +171,12 @@ fn fig4() {
     let cmp = ValueComparator::text(NormalizedHamming::new());
     let t11 = &r1.tuples()[0];
     let t22 = &r2.tuples()[1];
-    check("sim(Tim, Kim) (α)", NormalizedHamming::new().distance("Tim", "Kim") as f64, 1.0, 0.0);
+    check(
+        "sim(Tim, Kim) (α)",
+        NormalizedHamming::new().distance("Tim", "Kim") as f64,
+        1.0,
+        0.0,
+    );
     check(
         "sim(t11.name, t22.name)",
         pvalue_similarity(t11.value(0), t22.value(0), &cmp),
@@ -201,9 +214,24 @@ fn fig5() {
     for (i, t) in r34.xtuples().iter().enumerate() {
         println!("  {} = {}", LABELS[i], t);
     }
-    check("p(t32)", r34.get(rows::T32).unwrap().probability(), 0.9, 1e-12);
-    check("p(t42)", r34.get(rows::T42).unwrap().probability(), 0.8, 1e-12);
-    check("p(t43)", r34.get(rows::T43).unwrap().probability(), 0.8, 1e-12);
+    check(
+        "p(t32)",
+        r34.get(rows::T32).unwrap().probability(),
+        0.9,
+        1e-12,
+    );
+    check(
+        "p(t42)",
+        r34.get(rows::T42).unwrap().probability(),
+        0.8,
+        1e-12,
+    );
+    check(
+        "p(t43)",
+        r34.get(rows::T43).unwrap().probability(),
+        0.8,
+        1e-12,
+    );
     assert!(r34.get(rows::T42).unwrap().is_maybe());
     assert!(r34.get(rows::T43).unwrap().is_maybe());
     println!("  maybe markers (?): t42, t43 ✓");
@@ -230,9 +258,22 @@ fn fig6() {
         Thresholds::new(0.5, 2.0).unwrap(),
     )
     .decide(t32, t42, &matrix);
-    check("similarity-based sim(t32, t42)", sim_based.similarity, 7.0 / 15.0, 1e-12);
-    check("decision-based sim(t32, t42)", dec_based.similarity, 0.75, 1e-12);
-    println!("  classes: {} (similarity-based), {} (decision-based)", sim_based.class, dec_based.class);
+    check(
+        "similarity-based sim(t32, t42)",
+        sim_based.similarity,
+        7.0 / 15.0,
+        1e-12,
+    );
+    check(
+        "decision-based sim(t32, t42)",
+        dec_based.similarity,
+        0.75,
+        1e-12,
+    );
+    println!(
+        "  classes: {} (similarity-based), {} (decision-based)",
+        sim_based.class, dec_based.class
+    );
 }
 
 /// Fig. 7: the eight possible worlds and their probabilities.
@@ -263,9 +304,24 @@ fn fig7() {
     // The per-pair similarities behind Eq. 6.
     let matrix = compare_xtuples(&pair[0], &pair[1], &comparators());
     let phi = WeightedSum::new([0.8, 0.2]).unwrap();
-    check("sim(t32¹, t42)", phi.combine(matrix.vector(0, 0)), 11.0 / 15.0, 1e-12);
-    check("sim(t32², t42)", phi.combine(matrix.vector(1, 0)), 7.0 / 15.0, 1e-12);
-    check("sim(t32³, t42)", phi.combine(matrix.vector(2, 0)), 4.0 / 15.0, 1e-12);
+    check(
+        "sim(t32¹, t42)",
+        phi.combine(matrix.vector(0, 0)),
+        11.0 / 15.0,
+        1e-12,
+    );
+    check(
+        "sim(t32², t42)",
+        phi.combine(matrix.vector(1, 0)),
+        7.0 / 15.0,
+        1e-12,
+    );
+    check(
+        "sim(t32³, t42)",
+        phi.combine(matrix.vector(2, 0)),
+        4.0 / 15.0,
+        1e-12,
+    );
 }
 
 /// Fig. 8: two full worlds of ℛ34.
@@ -283,15 +339,26 @@ fn fig8() {
         .iter()
         .find(|w| w.choices == vec![Some(1), Some(1), Some(0), Some(0), Some(0)])
         .expect("Fig. 8's I2 exists");
-    println!("  I1 (John pilot | Tim mechanic | Johan pianist | Tom mechanic | Sean pilot): P = {:.4}", i1.probability);
-    println!("  I2 (Johan mu* | Jim mechanic | John pilot | Tom mechanic | John ⊥):        P = {:.4}", i2.probability);
+    println!(
+        "  I1 (John pilot | Tim mechanic | Johan pianist | Tom mechanic | Sean pilot): P = {:.4}",
+        i1.probability
+    );
+    println!(
+        "  I2 (Johan mu* | Jim mechanic | John pilot | Tom mechanic | John ⊥):        P = {:.4}",
+        i2.probability
+    );
 }
 
 /// Fig. 9: the sorted orders of the two worlds of Fig. 8.
 fn fig9() {
     println!("[F9] Fig. 9 — per-world sorted key orders (multi-pass SNM)");
     let r34 = paper::r34();
-    let mp = multipass_snm(r34.xtuples(), &paper::sorting_key(), 2, WorldSelection::All { limit: 100 });
+    let mp = multipass_snm(
+        r34.xtuples(),
+        &paper::sorting_key(),
+        2,
+        WorldSelection::All { limit: 100 },
+    );
     // Find the two worlds of Fig. 8 among the passes and print their orders.
     for (want, label) in [
         (vec![Some(0), Some(0), Some(1), Some(0), Some(1)], "I1"),
@@ -413,8 +480,14 @@ fn fig13() {
     }
     let (_, order) = ranked_snm(r34.xtuples(), &spec, 2, RankingFunction::MostProbableKey);
     let ranked: Vec<&str> = order.iter().map(|&i| LABELS[i]).collect();
-    println!("  ranked order: {} (paper: t32 t31 t41 t43 t42)", ranked.join(" "));
-    assert_eq!(order, vec![rows::T32, rows::T31, rows::T41, rows::T43, rows::T42]);
+    println!(
+        "  ranked order: {} (paper: t32 t31 t41 t43 t42)",
+        ranked.join(" ")
+    );
+    assert_eq!(
+        order,
+        vec![rows::T32, rows::T31, rows::T41, rows::T43, rows::T42]
+    );
 }
 
 /// Fig. 14: blocking with alternative keys.
@@ -483,10 +556,22 @@ fn exp_reduction() {
             multipass_snm(tuples, &spec, 6, WorldSelection::TopK(3)).pairs
         });
         run("snm multipass diverse-3/16", &mut || {
-            multipass_snm(tuples, &spec, 6, WorldSelection::DiverseTopK { k: 3, pool: 16 }).pairs
+            multipass_snm(
+                tuples,
+                &spec,
+                6,
+                WorldSelection::DiverseTopK { k: 3, pool: 16 },
+            )
+            .pairs
         });
         run("snm conflict-resolved", &mut || {
-            conflict_resolved_snm(tuples, &spec, 6, ConflictResolution::MostProbableAlternative).0
+            conflict_resolved_snm(
+                tuples,
+                &spec,
+                6,
+                ConflictResolution::MostProbableAlternative,
+            )
+            .0
         });
         run("snm sorting-alternatives", &mut || {
             sorting_alternatives(tuples, &spec, 6).pairs
@@ -529,7 +614,12 @@ fn exp_derivation() {
     let truth = ds.truth.true_pairs();
     let n = tuples.len();
     let cmp = AttributeComparators::uniform(&ds.schema, JaroWinkler::new());
-    let (candidates, _) = ranked_snm(tuples, &experiment_key(), 10, RankingFunction::ExpectedScore);
+    let (candidates, _) = ranked_snm(
+        tuples,
+        &experiment_key(),
+        10,
+        RankingFunction::ExpectedScore,
+    );
     let missed = truth
         .iter()
         .filter(|&&(i, j)| !candidates.contains(i, j))
@@ -641,8 +731,13 @@ fn exp_worlds() {
         let n = tuples.len();
         let spec = experiment_key();
         println!("\n  profile: {profile}, n = {n}");
-        let mut table =
-            Table::new(&["k", "top-k PC", "diverse PC", "top-k cands", "diverse cands"]);
+        let mut table = Table::new(&[
+            "k",
+            "top-k PC",
+            "diverse PC",
+            "top-k cands",
+            "diverse cands",
+        ]);
         for k in [1usize, 2, 3, 5, 8] {
             let top = multipass_snm(tuples, &spec, 6, WorldSelection::TopK(k));
             let div = multipass_snm(
@@ -676,7 +771,12 @@ fn exp_em() {
     let tuples = combined.xtuples();
     let truth = ds.truth.true_pairs();
     let cmp = AttributeComparators::uniform(&ds.schema, JaroWinkler::new());
-    let (candidates, _) = ranked_snm(tuples, &experiment_key(), 10, RankingFunction::ExpectedScore);
+    let (candidates, _) = ranked_snm(
+        tuples,
+        &experiment_key(),
+        10,
+        RankingFunction::ExpectedScore,
+    );
     let marginals: Vec<_> = tuples.iter().map(marginalize_xtuple).collect();
     let vectors: Vec<Vec<f64>> = candidates
         .pairs()

@@ -10,9 +10,11 @@
 //! cargo run -p probdedup-bench --bin pipeline_throughput --release
 //! cargo run -p probdedup-bench --bin pipeline_throughput --release -- --quick
 //! cargo run -p probdedup-bench --bin pipeline_throughput --release -- --out other.json
+//! cargo run -p probdedup-bench --bin pipeline_throughput --release -- \
+//!     --quick --baseline BENCH_pipeline.json   # CI perf-regression gate
 //! ```
 //!
-//! Three matching modes are measured:
+//! Four modes are measured:
 //!
 //! * `plain`       — no similarity memoization (`cache_similarities(false)`);
 //! * `value-cache` — the pre-interning design: Eq. 5 through a
@@ -20,7 +22,17 @@
 //!   pipeline's cached mode did before the interning layer existed) —
 //!   kept here as the before/after baseline for the interned path;
 //! * `interned`    — the pipeline's cached mode: symbols + sharded
-//!   `SymbolCache` + upper-bound pruning.
+//!   `SymbolCache` + upper-bound pruning;
+//! * `textsim`     — raw string-kernel throughput (Jaro-Winkler,
+//!   Levenshtein, Hamming over the workload's distinct attribute values):
+//!   isolates the cache-miss cost the bit-parallel kernels target, with
+//!   no cache, pruning or decision logic in the way.
+//!
+//! With `--baseline FILE`, every measured `(mode, entities, threads)`
+//! configuration also present in `FILE` (a previously committed
+//! `BENCH_pipeline.json`) is compared by `pairs_per_sec`; a drop beyond
+//! [`REGRESSION_TOLERANCE`] fails the run with exit code 1 — the CI
+//! perf-regression gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,7 +45,17 @@ use probdedup_matching::cache::CachedComparator;
 use probdedup_matching::matrix::compare_xtuples_cached;
 use probdedup_matching::vector::AttributeComparators;
 use probdedup_model::relation::XRelation;
-use probdedup_textsim::JaroWinkler;
+use probdedup_model::value::Value;
+use probdedup_model::ValuePool;
+use probdedup_textsim::{JaroWinkler, Levenshtein, NormalizedHamming, StringComparator};
+
+/// Maximum allowed throughput drop vs the baseline before the gate fails:
+/// current < (1 − 0.25) × baseline is a regression.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Cap on distinct text values fed to the `textsim` mode so its runtime
+/// stays bounded at large scales (all-pairs is quadratic in this).
+const TEXTSIM_VALUE_CAP: usize = 2000;
 
 /// One measured configuration.
 struct Run {
@@ -53,6 +75,7 @@ struct Run {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_pipeline.json");
+    let mut baseline_path: Option<String> = None;
     let mut scales: Vec<usize> = vec![100, 250, 500];
     let mut threads_list: Vec<usize> = vec![1, 4];
     let mut it = args.iter();
@@ -65,7 +88,12 @@ fn main() {
             "--out" => {
                 out_path = it.next().expect("--out PATH").clone();
             }
-            other => panic!("unknown argument {other:?} (--quick | --out PATH)"),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline PATH").clone());
+            }
+            other => {
+                panic!("unknown argument {other:?} (--quick | --out PATH | --baseline PATH)")
+            }
         }
     }
 
@@ -80,8 +108,7 @@ fn main() {
         let rows = ds.total_rows();
         for &threads in &threads_list {
             for (mode, cached) in [("plain", false), ("interned", true)] {
-                let pipeline =
-                    experiment_pipeline_cached(ReductionStrategy::Full, threads, cached);
+                let pipeline = experiment_pipeline_cached(ReductionStrategy::Full, threads, cached);
                 let start = Instant::now();
                 let result = pipeline.run(&sources).expect("pipeline run");
                 let wall = start.elapsed().as_secs_f64();
@@ -104,11 +131,184 @@ fn main() {
             runs.push(value_cache_baseline(entities, rows, &sources, threads));
             print_run(runs.last().expect("just pushed"));
         }
+        // Kernel-only throughput: sensitive to the textsim fast paths and
+        // nothing else (threads are irrelevant; measured single-threaded).
+        runs.push(textsim_mode(entities, rows, &sources));
+        print_run(runs.last().expect("just pushed"));
     }
 
     let json = render_json(&runs);
     std::fs::write(&out_path, json).expect("write BENCH_pipeline.json");
     println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {path:?}: {e}"));
+        let baseline_runs = parse_baseline_runs(&baseline);
+        // A baseline the parser cannot read is a broken gate, not a pass:
+        // fail loudly instead of silently comparing nothing.
+        assert!(
+            !baseline_runs.is_empty(),
+            "baseline {path:?} contains no parsable run records; \
+             was it written by this binary?"
+        );
+        if !gate_against_baseline(&runs, &baseline_runs, &path) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One `(mode, entities, threads) → pairs_per_sec` record parsed from a
+/// committed `BENCH_pipeline.json`.
+struct BaselineRun {
+    mode: String,
+    entities: usize,
+    threads: usize,
+    pairs_per_sec: f64,
+}
+
+/// Parse the run records out of the JSON this binary itself writes (one
+/// run object per line; the offline build vendors no serde, and the
+/// format is fully under our control — see [`render_json`]).
+fn parse_baseline_runs(json: &str) -> Vec<BaselineRun> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"entities\"") {
+                return None;
+            }
+            Some(BaselineRun {
+                mode: field(line, "mode")?.to_string(),
+                entities: field(line, "entities")?.parse().ok()?,
+                threads: field(line, "threads")?.parse().ok()?,
+                pairs_per_sec: field(line, "pairs_per_sec")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Compare the measured runs against the baseline; returns `false` (gate
+/// failed) if any shared configuration regressed by more than
+/// [`REGRESSION_TOLERANCE`]. Configurations present on only one side are
+/// skipped — new modes don't need a baseline entry, retired ones don't
+/// block.
+fn gate_against_baseline(runs: &[Run], baseline: &[BaselineRun], path: &str) -> bool {
+    let floor = 1.0 - REGRESSION_TOLERANCE;
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    println!(
+        "\nperf gate vs {path} (floor: {:.0}% of baseline)",
+        floor * 100.0
+    );
+    for r in runs {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.mode == r.mode && b.entities == r.entities && b.threads == r.threads)
+        else {
+            continue;
+        };
+        compared += 1;
+        let ratio = r.pairs_per_sec / b.pairs_per_sec;
+        let verdict = if ratio < floor { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:<12} entities={:<5} threads={}: {:>12.0} vs {:>12.0} pairs/s ({:>5.2}x) {}",
+            r.mode, r.entities, r.threads, r.pairs_per_sec, b.pairs_per_sec, ratio, verdict
+        );
+        if ratio < floor {
+            regressions.push(format!(
+                "{} entities={} threads={}: {:.2}x",
+                r.mode, r.entities, r.threads, ratio
+            ));
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf gate: no overlapping configurations with {path}; nothing compared");
+        return true;
+    }
+    if regressions.is_empty() {
+        println!("perf gate: {compared} configuration(s) within tolerance");
+        true
+    } else {
+        eprintln!(
+            "perf gate FAILED: {} of {compared} configuration(s) regressed >{:.0}%:",
+            regressions.len(),
+            REGRESSION_TOLERANCE * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        false
+    }
+}
+
+/// Raw kernel throughput over the workload's distinct prepared text
+/// values: every unordered pair through Jaro-Winkler (the pipeline
+/// kernel), Levenshtein and normalized Hamming. `candidates` counts
+/// kernel evaluations; no cache can hide kernel cost here.
+fn textsim_mode(entities: usize, rows: usize, sources: &[&XRelation]) -> Run {
+    let mut combined = XRelation::new(sources[0].schema().clone());
+    for src in sources {
+        for t in src.xtuples() {
+            combined.push(t.clone());
+        }
+    }
+    Preparation::standard_all(4).apply(&mut combined);
+    let mut pool = ValuePool::new();
+    for t in combined.xtuples() {
+        for alt in t.alternatives() {
+            for pv in alt.values() {
+                for (v, _) in pv.alternatives() {
+                    pool.intern(v);
+                }
+            }
+        }
+    }
+    let texts: Vec<&str> = pool
+        .iter()
+        .filter_map(|(_, v)| match v {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .take(TEXTSIM_VALUE_CAP)
+        .collect();
+    let kernels: [&dyn StringComparator; 3] = [
+        &JaroWinkler::new(),
+        &Levenshtein::new(),
+        &NormalizedHamming::new(),
+    ];
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    let mut evals = 0usize;
+    for (i, a) in texts.iter().enumerate() {
+        for b in &texts[i + 1..] {
+            for k in &kernels {
+                acc += k.similarity(a, b);
+                evals += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert!(acc.is_finite());
+    Run {
+        entities,
+        rows,
+        mode: "textsim",
+        threads: 1,
+        candidates: evals,
+        wall_ms: wall * 1e3,
+        pairs_per_sec: evals as f64 / wall,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_hit_rate: 0.0,
+        interned_values: texts.len(),
+    }
 }
 
 fn print_run(r: &Run) {

@@ -78,7 +78,10 @@ pub fn experiment_pipeline_cached(
     let ds = workload(1); // only for the schema
     DedupPipeline::builder()
         .preparation(Preparation::standard_all(4))
-        .comparators(AttributeComparators::uniform(&ds.schema, JaroWinkler::new()))
+        .comparators(AttributeComparators::uniform(
+            &ds.schema,
+            JaroWinkler::new(),
+        ))
         .model(experiment_model())
         .reduction(reduction)
         .threads(threads)
@@ -101,8 +104,7 @@ mod tests {
     #[test]
     fn pipeline_smoke() {
         let ds = workload(30);
-        let sources: Vec<&probdedup_model::relation::XRelation> =
-            ds.relations.iter().collect();
+        let sources: Vec<&probdedup_model::relation::XRelation> = ds.relations.iter().collect();
         let result = experiment_pipeline(ReductionStrategy::Full, 2)
             .run(&sources)
             .expect("run");

@@ -55,7 +55,9 @@ where
                 }
                 let end = (start + chunk).min(n);
                 let results: Vec<T> = (start..end).map(&f).collect();
-                out.lock().expect("worker panicked holding results").push((start, results));
+                out.lock()
+                    .expect("worker panicked holding results")
+                    .push((start, results));
             });
         }
     });
@@ -77,7 +79,11 @@ mod tests {
     fn results_are_in_index_order() {
         for threads in [1, 2, 4, 8] {
             let got = par_map_index(threads, 1000, |i| i * 3);
-            assert_eq!(got, (0..1000).map(|i| i * 3).collect::<Vec<_>>(), "{threads} threads");
+            assert_eq!(
+                got,
+                (0..1000).map(|i| i * 3).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
         }
     }
 

@@ -72,8 +72,14 @@ mod tests {
     #[test]
     fn membership_takes_the_maximum() {
         let s = schema();
-        let a = XTuple::builder(&s).alt(0.3, ["Tim", "baker"]).build().unwrap();
-        let b = XTuple::builder(&s).alt(0.8, ["Tim", "baker"]).build().unwrap();
+        let a = XTuple::builder(&s)
+            .alt(0.3, ["Tim", "baker"])
+            .build()
+            .unwrap();
+        let b = XTuple::builder(&s)
+            .alt(0.8, ["Tim", "baker"])
+            .build()
+            .unwrap();
         let fused = fuse_xtuples(&a, &b);
         assert!((fused.probability() - 0.8).abs() < 1e-12);
         // Identical alternative merged into one.

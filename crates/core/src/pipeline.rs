@@ -476,16 +476,36 @@ mod tests {
     fn r3() -> XRelation {
         let s = schema();
         let mut r = XRelation::new(s.clone());
-        r.push(XTuple::builder(&s).alt(1.0, ["John", "pilot"]).build().unwrap());
-        r.push(XTuple::builder(&s).alt(0.9, ["Tim", "mechanic"]).build().unwrap());
+        r.push(
+            XTuple::builder(&s)
+                .alt(1.0, ["John", "pilot"])
+                .build()
+                .unwrap(),
+        );
+        r.push(
+            XTuple::builder(&s)
+                .alt(0.9, ["Tim", "mechanic"])
+                .build()
+                .unwrap(),
+        );
         r
     }
 
     fn r4() -> XRelation {
         let s = schema();
         let mut r = XRelation::new(s.clone());
-        r.push(XTuple::builder(&s).alt(0.8, ["John", "pilot"]).build().unwrap());
-        r.push(XTuple::builder(&s).alt(1.0, ["Tom", "mechanic"]).build().unwrap());
+        r.push(
+            XTuple::builder(&s)
+                .alt(0.8, ["John", "pilot"])
+                .build()
+                .unwrap(),
+        );
+        r.push(
+            XTuple::builder(&s)
+                .alt(1.0, ["Tom", "mechanic"])
+                .build()
+                .unwrap(),
+        );
         r
     }
 
@@ -500,8 +520,7 @@ mod tests {
         let matches: Vec<(usize, usize)> = result.matches().map(|d| d.pair).collect();
         assert!(matches.contains(&(0, 2)));
         // Tim/Tom mechanic: sim = 0.8·(2/3) + 0.2·1 = 0.733 → possible.
-        let possibles: Vec<(usize, usize)> =
-            result.possible_matches().map(|d| d.pair).collect();
+        let possibles: Vec<(usize, usize)> = result.possible_matches().map(|d| d.pair).collect();
         assert!(possibles.contains(&(1, 3)));
         // Clusters: the John pair.
         assert_eq!(result.clusters, vec![vec![0, 2]]);
@@ -582,7 +601,9 @@ mod tests {
                 big_a.push(t.clone());
             }
         }
-        let seq = pipeline(ReductionStrategy::Full).run(&[&big_a, &b]).unwrap();
+        let seq = pipeline(ReductionStrategy::Full)
+            .run(&[&big_a, &b])
+            .unwrap();
         let par = DedupPipeline::builder()
             .comparators(AttributeComparators::uniform(
                 &schema(),
@@ -633,7 +654,11 @@ mod tests {
         // The cached run actually exercised the interned caches.
         let (hits, misses) = (cached.stats.cache_hits, cached.stats.cache_misses);
         assert!(hits > 0 && misses > 0, "hits {hits}, misses {misses}");
-        assert!(cached.stats.hit_rate() > 0.5, "hit rate {}", cached.stats.hit_rate());
+        assert!(
+            cached.stats.hit_rate() > 0.5,
+            "hit rate {}",
+            cached.stats.hit_rate()
+        );
         assert!(cached.stats.interned_values > 1);
         assert_eq!(base.stats, MatchingStats::default());
     }
@@ -662,14 +687,21 @@ mod tests {
     fn preparation_feeds_matching() {
         let s = schema();
         let mut a = XRelation::new(s.clone());
-        a.push(XTuple::builder(&s).alt(1.0, ["  JOHN ", "PILOT"]).build().unwrap());
+        a.push(
+            XTuple::builder(&s)
+                .alt(1.0, ["  JOHN ", "PILOT"])
+                .build()
+                .unwrap(),
+        );
         let mut b = XRelation::new(s.clone());
-        b.push(XTuple::builder(&s).alt(1.0, ["john", "pilot"]).build().unwrap());
+        b.push(
+            XTuple::builder(&s)
+                .alt(1.0, ["john", "pilot"])
+                .build()
+                .unwrap(),
+        );
         let with_prep = DedupPipeline::builder()
-            .comparators(AttributeComparators::uniform(
-                &s,
-                NormalizedHamming::new(),
-            ))
+            .comparators(AttributeComparators::uniform(&s, NormalizedHamming::new()))
             .model(model())
             .preparation(Preparation::standard_all(2))
             .build()

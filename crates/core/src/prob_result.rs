@@ -100,7 +100,8 @@ pub fn probabilistic_result(result: &DedupResult, normalized_scores: bool) -> Pr
             continue;
         }
         if let Some((j, c)) = best_possible[i] {
-            let mutual = best_possible[j] == Some((i, c)) || best_possible[j].map(|(p, _)| p) == Some(i);
+            let mutual =
+                best_possible[j] == Some((i, c)) || best_possible[j].map(|(p, _)| p) == Some(i);
             if mutual && !emitted[j] {
                 let ti = result.relation.get(i).expect("row").clone();
                 let tj = result.relation.get(j).expect("row").clone();
@@ -134,7 +135,10 @@ pub fn probabilistic_result(result: &DedupResult, normalized_scores: bool) -> Pr
 /// Scale an x-tuple's membership by `factor` (keeping the conditional
 /// alternative distribution). A factor of 0 would produce an invalid
 /// tuple; it is clamped to a tiny positive mass instead.
-fn scale_xtuple(t: &probdedup_model::xtuple::XTuple, factor: f64) -> probdedup_model::xtuple::XTuple {
+fn scale_xtuple(
+    t: &probdedup_model::xtuple::XTuple,
+    factor: f64,
+) -> probdedup_model::xtuple::XTuple {
     use probdedup_model::xtuple::{XAlternative, XTuple};
     let factor = factor.max(1e-9);
     let alts: Vec<XAlternative> = t

@@ -43,7 +43,12 @@ fn model() -> Arc<dyn XTupleDecisionModel> {
     ))
 }
 
-fn run(sources: &[&XRelation], schema: &probdedup_model::schema::Schema, threads: usize, cached: bool) -> DedupResult {
+fn run(
+    sources: &[&XRelation],
+    schema: &probdedup_model::schema::Schema,
+    threads: usize,
+    cached: bool,
+) -> DedupResult {
     DedupPipeline::builder()
         .preparation(Preparation::standard_all(4))
         .comparators(AttributeComparators::uniform(schema, JaroWinkler::new()))
@@ -59,7 +64,11 @@ fn run(sources: &[&XRelation], schema: &probdedup_model::schema::Schema, threads
 /// Bitwise equality of two runs' decision streams.
 fn assert_byte_identical(a: &DedupResult, b: &DedupResult, label: &str) {
     assert_eq!(a.candidates, b.candidates, "{label}: candidate counts");
-    assert_eq!(a.decisions.len(), b.decisions.len(), "{label}: decision counts");
+    assert_eq!(
+        a.decisions.len(),
+        b.decisions.len(),
+        "{label}: decision counts"
+    );
     for (x, y) in a.decisions.iter().zip(&b.decisions) {
         assert_eq!(x.pair, y.pair, "{label}: pair order diverged");
         assert_eq!(
@@ -81,7 +90,10 @@ fn threads8_is_byte_identical_to_threads1_plain() {
     let sources: Vec<&XRelation> = ds.relations.iter().collect();
     let one = run(&sources, &ds.schema, 1, false);
     let eight = run(&sources, &ds.schema, 8, false);
-    assert!(one.candidates > 1000, "workload too small to exercise stealing");
+    assert!(
+        one.candidates > 1000,
+        "workload too small to exercise stealing"
+    );
     assert_byte_identical(&one, &eight, "plain");
 }
 

@@ -171,7 +171,8 @@ impl Corruptor {
             }
         }
         let mut ops = 1;
-        while rng.random::<f64>() < (self.config.typo_ops - 1.0).clamp(0.0, 0.95) / self.config.typo_ops.max(1.0)
+        while rng.random::<f64>()
+            < (self.config.typo_ops - 1.0).clamp(0.0, 0.95) / self.config.typo_ops.max(1.0)
         {
             ops += 1;
             if ops >= 4 {
@@ -224,7 +225,10 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(7);
         let mut r2 = StdRng::seed_from_u64(7);
         for _ in 0..20 {
-            assert_eq!(c.corrupt("Johannes", &mut r1), c.corrupt("Johannes", &mut r2));
+            assert_eq!(
+                c.corrupt("Johannes", &mut r1),
+                c.corrupt("Johannes", &mut r2)
+            );
         }
     }
 

@@ -37,49 +37,145 @@ impl Dictionaries {
 /// First names: a mix of similar clusters (Tim/Tom/Jim/Kim, John/Johan/Jon)
 /// so that realistic near-duplicates occur, as in the paper's figures.
 pub const FIRST_NAMES: [&str; 96] = [
-    "Tim", "Tom", "Jim", "Kim", "Timothy", "Thomas", "James", "Jimmy",
-    "John", "Johan", "Jon", "Johannes", "Jonathan", "Johnny", "Jan", "Sean",
-    "Shaun", "Shane", "Ian", "Juan", "Maurice", "Morris", "Maureen", "Mauro",
-    "Fabian", "Fabio", "Fabrice", "Norbert", "Robert", "Rupert", "Roberta",
-    "Albert", "Alberta", "Gilbert", "Herbert", "Hubert", "Ander", "Anders",
-    "Andre", "Andrea", "Andreas", "Andrew", "Anna", "Anne", "Hanna",
-    "Hannah", "Johanna", "Joanna", "Joan", "Jane", "Janet", "Janine", "Nina",
-    "Tina", "Gina", "Lina", "Mina", "Maria", "Marie", "Mario", "Marion",
-    "Marian", "Martin", "Martina", "Marta", "Martha", "Matthew", "Matthias",
-    "Mathias", "Mia", "Lea", "Leah", "Lena", "Elena", "Helena", "Helene",
-    "Peter", "Petra", "Paul", "Paula", "Pablo", "Carl", "Karl", "Carla",
-    "Karla", "Clara", "Klara", "Laura", "Lara", "Sara", "Sarah", "Zara",
-    "Eric", "Erik", "Erika", "Erica",
+    "Tim", "Tom", "Jim", "Kim", "Timothy", "Thomas", "James", "Jimmy", "John", "Johan", "Jon",
+    "Johannes", "Jonathan", "Johnny", "Jan", "Sean", "Shaun", "Shane", "Ian", "Juan", "Maurice",
+    "Morris", "Maureen", "Mauro", "Fabian", "Fabio", "Fabrice", "Norbert", "Robert", "Rupert",
+    "Roberta", "Albert", "Alberta", "Gilbert", "Herbert", "Hubert", "Ander", "Anders", "Andre",
+    "Andrea", "Andreas", "Andrew", "Anna", "Anne", "Hanna", "Hannah", "Johanna", "Joanna", "Joan",
+    "Jane", "Janet", "Janine", "Nina", "Tina", "Gina", "Lina", "Mina", "Maria", "Marie", "Mario",
+    "Marion", "Marian", "Martin", "Martina", "Marta", "Martha", "Matthew", "Matthias", "Mathias",
+    "Mia", "Lea", "Leah", "Lena", "Elena", "Helena", "Helene", "Peter", "Petra", "Paul", "Paula",
+    "Pablo", "Carl", "Karl", "Carla", "Karla", "Clara", "Klara", "Laura", "Lara", "Sara", "Sarah",
+    "Zara", "Eric", "Erik", "Erika", "Erica",
 ];
 
 /// Occupations, again with confusable clusters (machinist/mechanic/
 /// mechanist, baker/banker, confectioner/confectionist).
 pub const OCCUPATIONS: [&str; 72] = [
-    "machinist", "mechanic", "mechanist", "engineer", "engraver", "baker",
-    "banker", "barber", "butcher", "confectioner", "confectionist", "pilot",
-    "pianist", "painter", "printer", "plumber", "carpenter", "cartographer",
-    "musician", "museum guide", "mustard maker", "teacher", "preacher",
-    "researcher", "astronomer", "astrologer", "gastronomer", "nurse",
-    "doctor", "docker", "driver", "diver", "designer", "miner", "milner",
-    "miller", "tailor", "sailor", "jailor", "farmer", "framer", "firefighter",
-    "lighthouse keeper", "bookkeeper", "beekeeper", "librarian", "veterinarian",
-    "electrician", "optician", "physician", "physicist", "chemist", "cellist",
-    "violinist", "machine operator", "crane operator", "radio operator",
-    "welder", "wielder", "winemaker", "watchmaker", "matchmaker", "shoemaker",
-    "glassblower", "glazier", "grazier", "potter", "porter", "waiter",
-    "writer", "rider", "roofer",
+    "machinist",
+    "mechanic",
+    "mechanist",
+    "engineer",
+    "engraver",
+    "baker",
+    "banker",
+    "barber",
+    "butcher",
+    "confectioner",
+    "confectionist",
+    "pilot",
+    "pianist",
+    "painter",
+    "printer",
+    "plumber",
+    "carpenter",
+    "cartographer",
+    "musician",
+    "museum guide",
+    "mustard maker",
+    "teacher",
+    "preacher",
+    "researcher",
+    "astronomer",
+    "astrologer",
+    "gastronomer",
+    "nurse",
+    "doctor",
+    "docker",
+    "driver",
+    "diver",
+    "designer",
+    "miner",
+    "milner",
+    "miller",
+    "tailor",
+    "sailor",
+    "jailor",
+    "farmer",
+    "framer",
+    "firefighter",
+    "lighthouse keeper",
+    "bookkeeper",
+    "beekeeper",
+    "librarian",
+    "veterinarian",
+    "electrician",
+    "optician",
+    "physician",
+    "physicist",
+    "chemist",
+    "cellist",
+    "violinist",
+    "machine operator",
+    "crane operator",
+    "radio operator",
+    "welder",
+    "wielder",
+    "winemaker",
+    "watchmaker",
+    "matchmaker",
+    "shoemaker",
+    "glassblower",
+    "glazier",
+    "grazier",
+    "potter",
+    "porter",
+    "waiter",
+    "writer",
+    "rider",
+    "roofer",
 ];
 
 /// City names with confusable pairs.
 pub const CITIES: [&str; 48] = [
-    "Hamburg", "Homburg", "Hamm", "Enschede", "Eindhoven", "Essen",
-    "Amsterdam", "Rotterdam", "Potsdam", "Berlin", "Bern", "Bremen",
-    "Dresden", "Dreden", "Leiden", "Leuven", "London", "Londonderry",
-    "Paris", "Pisa", "Prague", "Vienna", "Venice", "Verona", "Munich",
-    "Zurich", "Zwolle", "Utrecht", "Antwerp", "Ghent", "Groningen",
-    "Goettingen", "Tuebingen", "Heidelberg", "Freiburg", "Fribourg",
-    "Strasbourg", "Salzburg", "Stuttgart", "Frankfurt", "Dortmund",
-    "Duisburg", "Dusseldorf", "Cologne", "Bonn", "Basel", "Kassel", "Kiel",
+    "Hamburg",
+    "Homburg",
+    "Hamm",
+    "Enschede",
+    "Eindhoven",
+    "Essen",
+    "Amsterdam",
+    "Rotterdam",
+    "Potsdam",
+    "Berlin",
+    "Bern",
+    "Bremen",
+    "Dresden",
+    "Dreden",
+    "Leiden",
+    "Leuven",
+    "London",
+    "Londonderry",
+    "Paris",
+    "Pisa",
+    "Prague",
+    "Vienna",
+    "Venice",
+    "Verona",
+    "Munich",
+    "Zurich",
+    "Zwolle",
+    "Utrecht",
+    "Antwerp",
+    "Ghent",
+    "Groningen",
+    "Goettingen",
+    "Tuebingen",
+    "Heidelberg",
+    "Freiburg",
+    "Fribourg",
+    "Strasbourg",
+    "Salzburg",
+    "Stuttgart",
+    "Frankfurt",
+    "Dortmund",
+    "Duisburg",
+    "Dusseldorf",
+    "Cologne",
+    "Bonn",
+    "Basel",
+    "Kassel",
+    "Kiel",
 ];
 
 #[cfg(test)]

@@ -165,7 +165,9 @@ fn string_value(
         }
     }
     let total_mass = 0.85 + rng.random::<f64>() * 0.15; // in [0.85, 1)
-    let mut weights: Vec<f64> = (0..support.len()).map(|_| rng.random::<f64>() + 0.2).collect();
+    let mut weights: Vec<f64> = (0..support.len())
+        .map(|_| rng.random::<f64>() + 0.2)
+        .collect();
     let wsum: f64 = weights.iter().sum();
     for w in &mut weights {
         *w = *w / wsum * total_mass;
@@ -344,8 +346,7 @@ mod tests {
                 ..small_cfg()
             },
         );
-        let stats =
-            probdedup_model::stats::RelationStats::for_xrelation(&uncertain.combined());
+        let stats = probdedup_model::stats::RelationStats::for_xrelation(&uncertain.combined());
         assert!(stats.maybe_tuples > 0);
         assert!(stats.uncertain_values > 0);
         assert!(stats.max_alternatives >= 2);

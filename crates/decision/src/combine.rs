@@ -277,8 +277,7 @@ mod tests {
     fn trait_objects_delegate() {
         let phi: Box<dyn CombinationFunction> = Box::new(WeightedSum::new([1.0]).unwrap());
         assert_eq!(phi.combine(&[0.7]), 0.7);
-        let arc: std::sync::Arc<dyn CombinationFunction> =
-            std::sync::Arc::new(MinCombine);
+        let arc: std::sync::Arc<dyn CombinationFunction> = std::sync::Arc::new(MinCombine);
         assert_eq!(arc.combine(&[0.3, 0.6]), 0.3);
         assert_eq!(arc.name(), "min");
     }

@@ -216,9 +216,7 @@ mod tests {
             w2: &w2,
         };
         assert!((ExpectedMatchingResult::new().derive(&input) - 8.0 / 9.0).abs() < 1e-12);
-        assert!(
-            (ExpectedMatchingResult::normalized().derive(&input) - 4.0 / 9.0).abs() < 1e-12
-        );
+        assert!((ExpectedMatchingResult::normalized().derive(&input) - 4.0 / 9.0).abs() < 1e-12);
     }
 
     #[test]
@@ -231,7 +229,9 @@ mod tests {
             w1: &w1,
             w2: &w2,
         };
-        assert!(MatchingWeightDerivation::new().derive(&all_match).is_infinite());
+        assert!(MatchingWeightDerivation::new()
+            .derive(&all_match)
+            .is_infinite());
         assert_eq!(
             MatchingWeightDerivation::with_cap(100.0).derive(&all_match),
             100.0

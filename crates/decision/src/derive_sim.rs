@@ -71,11 +71,7 @@ pub struct MaxSimilarity;
 
 impl SimilarityDerivation for MaxSimilarity {
     fn derive(&self, input: &AlternativeSimilarities<'_>) -> f64 {
-        input
-            .sims
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+        input.sims.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     fn name(&self) -> &str {

@@ -99,10 +99,7 @@ pub fn fit_em(patterns: &[Vec<bool>], config: &EmConfig) -> Result<EmResult, Dec
     for v in patterns {
         *table.entry(v.clone()).or_insert(0) += 1;
     }
-    let rows: Vec<(Vec<bool>, f64)> = table
-        .into_iter()
-        .map(|(k, c)| (k, c as f64))
-        .collect();
+    let rows: Vec<(Vec<bool>, f64)> = table.into_iter().map(|(k, c)| (k, c as f64)).collect();
     let total: f64 = rows.iter().map(|(_, c)| c).sum();
 
     let mut p = config.init_p;
@@ -218,13 +215,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Sample patterns from a known FS model.
-    fn sample(
-        rng: &mut StdRng,
-        n: usize,
-        p: f64,
-        m: &[f64],
-        u: &[f64],
-    ) -> (Vec<Vec<bool>>, usize) {
+    fn sample(rng: &mut StdRng, n: usize, p: f64, m: &[f64], u: &[f64]) -> (Vec<Vec<bool>>, usize) {
         let mut out = Vec::with_capacity(n);
         let mut matches = 0;
         for _ in 0..n {
@@ -246,7 +237,11 @@ mod tests {
         let (patterns, _) = sample(&mut rng, 20_000, 0.15, &true_m, &true_u);
         let r = fit_em(&patterns, &EmConfig::default()).unwrap();
         assert!(r.converged, "EM did not converge in {} iters", r.iterations);
-        assert!((r.match_proportion - 0.15).abs() < 0.03, "p = {}", r.match_proportion);
+        assert!(
+            (r.match_proportion - 0.15).abs() < 0.03,
+            "p = {}",
+            r.match_proportion
+        );
         for i in 0..3 {
             assert!(
                 (r.model.m()[i] - true_m[i]).abs() < 0.05,

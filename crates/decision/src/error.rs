@@ -52,7 +52,10 @@ impl fmt::Display for DecisionError {
             }
             Self::EmptyTrainingData => write!(f, "estimation requires at least one observation"),
             Self::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: model arity {expected}, vector arity {got}")
+                write!(
+                    f,
+                    "dimension mismatch: model arity {expected}, vector arity {got}"
+                )
             }
             Self::TooManyAttributes { got, max } => {
                 write!(f, "{got} attributes exceed the supported maximum of {max}")
@@ -70,12 +73,33 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         let cases: Vec<(DecisionError, &str)> = vec![
-            (DecisionError::InvalidThresholds { lambda: 0.9, mu: 0.1 }, "T_λ"),
+            (
+                DecisionError::InvalidThresholds {
+                    lambda: 0.9,
+                    mu: 0.1,
+                },
+                "T_λ",
+            ),
             (DecisionError::InvalidWeights, "weights"),
-            (DecisionError::InvalidParameter { name: "m", value: 2.0 }, "parameter m"),
+            (
+                DecisionError::InvalidParameter {
+                    name: "m",
+                    value: 2.0,
+                },
+                "parameter m",
+            ),
             (DecisionError::EmptyTrainingData, "at least one"),
-            (DecisionError::DimensionMismatch { expected: 2, got: 3 }, "dimension"),
-            (DecisionError::TooManyAttributes { got: 40, max: 24 }, "maximum"),
+            (
+                DecisionError::DimensionMismatch {
+                    expected: 2,
+                    got: 3,
+                },
+                "dimension",
+            ),
+            (
+                DecisionError::TooManyAttributes { got: 40, max: 24 },
+                "maximum",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -164,10 +164,7 @@ impl FellegiSunter {
             }
         }
         let rate = |data: &[Vec<f64>], i: usize| -> f64 {
-            let agree = data
-                .iter()
-                .filter(|v| v[i] >= agreement_threshold)
-                .count() as f64;
+            let agree = data.iter().filter(|v| v[i] >= agreement_threshold).count() as f64;
             (agree + 1.0) / (data.len() as f64 + 2.0)
         };
         let m: Vec<f64> = (0..arity).map(|i| rate(matched, i)).collect();

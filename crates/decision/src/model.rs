@@ -162,9 +162,8 @@ mod tests {
 
     #[test]
     fn knowledge_model_uses_certainty_factor() {
-        let rules = RuleSet::new().with_rule(
-            Rule::new(vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)], 0.8).unwrap(),
-        );
+        let rules = RuleSet::new()
+            .with_rule(Rule::new(vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)], 0.8).unwrap());
         let model = KnowledgeModel::new(rules, Thresholds::single(0.75).unwrap());
         // Fig. 1 rule fires → certainty 0.8 ≥ 0.75 → match.
         let (sim, class) = model.decide(&[0.9, 0.59]);

@@ -148,7 +148,11 @@ impl RuleSet {
 
     /// The combined certainty factor of all rules firing on `c⃗`.
     pub fn certainty(&self, c: &[f64]) -> f64 {
-        let fired = self.rules.iter().filter(|r| r.fires(c)).map(Rule::certainty);
+        let fired = self
+            .rules
+            .iter()
+            .filter(|r| r.fires(c))
+            .map(Rule::certainty);
         match self.combination {
             CfCombination::Max => fired.fold(0.0, f64::max),
             CfCombination::ProbabilisticSum => fired.fold(0.0, |acc, cf| acc + cf * (1.0 - acc)),
@@ -162,11 +166,7 @@ mod tests {
 
     /// Fig. 1: IF name > th1 AND job > th2 THEN DUPLICATES, CERTAINTY 0.8.
     fn fig1_rule() -> Rule {
-        Rule::new(
-            vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)],
-            0.8,
-        )
-        .unwrap()
+        Rule::new(vec![Condition::gt(0, 0.7), Condition::gt(1, 0.5)], 0.8).unwrap()
     }
 
     #[test]

@@ -53,10 +53,7 @@ impl<T: XTupleDecisionModel + ?Sized> XTupleDecisionModel for Arc<T> {
 }
 
 /// Apply φ to every comparison vector of the matrix (step 1 / step 1.1).
-fn step1_similarities(
-    phi: &dyn CombinationFunction,
-    matrix: &ComparisonMatrix,
-) -> Vec<f64> {
+fn step1_similarities(phi: &dyn CombinationFunction, matrix: &ComparisonMatrix) -> Vec<f64> {
     matrix.iter().map(|(_, _, c)| phi.combine(c)).collect()
 }
 
@@ -172,8 +169,8 @@ mod tests {
     use crate::combine::WeightedSum;
     use crate::derive_decision::{ExpectedMatchingResult, MatchingWeightDerivation};
     use crate::derive_sim::ExpectedSimilarity;
-    use probdedup_matching::vector::AttributeComparators;
     use probdedup_matching::compare_xtuples;
+    use probdedup_matching::vector::AttributeComparators;
     use probdedup_model::schema::Schema;
     use probdedup_textsim::NormalizedHamming;
 
@@ -189,7 +186,10 @@ mod tests {
             .alt(0.4, ["Jim", "baker"])
             .build()
             .unwrap();
-        let t42 = XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap();
+        let t42 = XTuple::builder(&s)
+            .alt(0.8, ["Tom", "mechanic"])
+            .build()
+            .unwrap();
         let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
         let m = compare_xtuples(&t32, &t42, &cmp);
         (t32, t42, m)
@@ -210,7 +210,11 @@ mod tests {
             Thresholds::new(0.4, 0.7).unwrap(),
         );
         let d = model.decide(&t32, &t42, &m);
-        assert!((d.similarity - 7.0 / 15.0).abs() < 1e-12, "sim = {}", d.similarity);
+        assert!(
+            (d.similarity - 7.0 / 15.0).abs() < 1e-12,
+            "sim = {}",
+            d.similarity
+        );
         // 7/15 ≈ 0.467 lies in the possible band [0.4, 0.7).
         assert_eq!(d.class, MatchClass::Possible);
         assert_eq!(model.name(), "similarity-based");
@@ -228,7 +232,11 @@ mod tests {
             Thresholds::new(0.5, 2.0).unwrap(), // outer, weight scale
         );
         let d = model.decide(&t32, &t42, &m);
-        assert!((d.similarity - 0.75).abs() < 1e-12, "sim = {}", d.similarity);
+        assert!(
+            (d.similarity - 0.75).abs() < 1e-12,
+            "sim = {}",
+            d.similarity
+        );
         assert_eq!(d.class, MatchClass::Possible); // 0.75 ∈ [0.5, 2)
     }
 
@@ -262,7 +270,10 @@ mod tests {
             .alt(0.04, ["Jim", "baker"])
             .build()
             .unwrap();
-        let other = XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap();
+        let other = XTuple::builder(&s)
+            .alt(0.8, ["Tom", "mechanic"])
+            .build()
+            .unwrap();
         let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
         let model = SimilarityBasedModel::new(
             phi(),
@@ -279,7 +290,10 @@ mod tests {
     #[test]
     fn identical_tuples_match() {
         let s = schema();
-        let t = XTuple::builder(&s).alt(1.0, ["Tim", "mechanic"]).build().unwrap();
+        let t = XTuple::builder(&s)
+            .alt(1.0, ["Tim", "mechanic"])
+            .build()
+            .unwrap();
         let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
         let m = compare_xtuples(&t, &t, &cmp);
         let sim_model = SimilarityBasedModel::new(

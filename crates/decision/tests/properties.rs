@@ -10,8 +10,7 @@ use probdedup_decision::derive_decision::{
     AlternativeDecisions, DecisionDerivation, ExpectedMatchingResult, MatchingWeightDerivation,
 };
 use probdedup_decision::derive_sim::{
-    AlternativeSimilarities, ExpectedSimilarity, MaxSimilarity, MinSimilarity,
-    SimilarityDerivation,
+    AlternativeSimilarities, ExpectedSimilarity, MaxSimilarity, MinSimilarity, SimilarityDerivation,
 };
 use probdedup_decision::em::{fit_em, EmConfig};
 use probdedup_decision::fellegi_sunter::FellegiSunter;
@@ -27,7 +26,9 @@ use probdedup_textsim::NormalizedHamming;
 fn arb_weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(1u32..100, n).prop_map(|ws| {
         let total: u32 = ws.iter().sum();
-        ws.into_iter().map(|w| f64::from(w) / f64::from(total)).collect()
+        ws.into_iter()
+            .map(|w| f64::from(w) / f64::from(total))
+            .collect()
     })
 }
 

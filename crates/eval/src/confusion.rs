@@ -52,11 +52,8 @@ mod tests {
     #[test]
     fn counts_partition_the_pair_space() {
         // 5 rows → 10 pairs. Truth: {(0,1),(2,3)}. Predicted: {(0,1),(1,2)}.
-        let c = ConfusionCounts::from_pair_sets(
-            &set(&[(0, 1), (1, 2)]),
-            &set(&[(0, 1), (2, 3)]),
-            5,
-        );
+        let c =
+            ConfusionCounts::from_pair_sets(&set(&[(0, 1), (1, 2)]), &set(&[(0, 1), (2, 3)]), 5);
         assert_eq!(c.tp, 1);
         assert_eq!(c.fp, 1);
         assert_eq!(c.fn_, 1);

@@ -87,7 +87,12 @@ mod tests {
     #[test]
     fn f1_is_harmonic_mean_identity() {
         for (tp, fp, fn_) in [(5u64, 3u64, 2u64), (1, 0, 0), (0, 5, 5)] {
-            let c = ConfusionCounts { tp, fp, fn_, tn: 10 };
+            let c = ConfusionCounts {
+                tp,
+                fp,
+                fn_,
+                tn: 10,
+            };
             let m = EffectivenessMetrics::from_counts(&c);
             if m.precision + m.recall > 0.0 {
                 let hm = 2.0 / (1.0 / m.precision.max(1e-15) + 1.0 / m.recall.max(1e-15));

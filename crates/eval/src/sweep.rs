@@ -52,16 +52,13 @@ pub fn sweep_thresholds(
 
 /// The sweep point with the best F1 (ties: lower threshold).
 pub fn best_f1(points: &[SweepPoint]) -> Option<SweepPoint> {
-    points
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            a.metrics
-                .f1
-                .partial_cmp(&b.metrics.f1)
-                .expect("finite F1")
-                .then(b.threshold.partial_cmp(&a.threshold).expect("finite t"))
-        })
+    points.iter().copied().max_by(|a, b| {
+        a.metrics
+            .f1
+            .partial_cmp(&b.metrics.f1)
+            .expect("finite F1")
+            .then(b.threshold.partial_cmp(&a.threshold).expect("finite t"))
+    })
 }
 
 /// An evenly spaced threshold grid over `[lo, hi]` with `steps` points.
@@ -99,12 +96,7 @@ mod tests {
     /// thresholds give recall 1; the crossover has F1 = 1.
     #[test]
     fn separable_scores_have_perfect_point() {
-        let scored = vec![
-            (0.9, true),
-            (0.85, true),
-            (0.2, false),
-            (0.1, false),
-        ];
+        let scored = vec![(0.9, true), (0.85, true), (0.2, false), (0.1, false)];
         let points = sweep_thresholds(&scored, 0, 6, &grid(0.0, 1.0, 21));
         let best = best_f1(&points).unwrap();
         assert!((best.metrics.f1 - 1.0).abs() < 1e-12);
@@ -113,12 +105,7 @@ mod tests {
 
     #[test]
     fn recall_monotonically_falls_with_threshold() {
-        let scored = vec![
-            (0.9, true),
-            (0.6, true),
-            (0.5, false),
-            (0.3, true),
-        ];
+        let scored = vec![(0.9, true), (0.6, true), (0.5, false), (0.3, true)];
         let points = sweep_thresholds(&scored, 0, 6, &grid(0.0, 1.0, 11));
         for w in points.windows(2) {
             assert!(w[1].metrics.recall <= w[0].metrics.recall + 1e-12);
@@ -155,7 +142,11 @@ mod tests {
         // Perfect precision requires t > 0.7; the best such point keeps
         // the 0.8 and 0.9 duplicates → recall 2/3.
         let p = super::threshold_for_precision(&points, 1.0).unwrap();
-        assert!(p.threshold > 0.7 && p.threshold <= 0.8, "t = {}", p.threshold);
+        assert!(
+            p.threshold > 0.7 && p.threshold <= 0.8,
+            "t = {}",
+            p.threshold
+        );
         assert!((p.metrics.recall - 2.0 / 3.0).abs() < 1e-12);
         // An unreachable precision target yields None... here precision 1.0
         // is reachable, so ask beyond 1.0.

@@ -15,9 +15,8 @@ fn arb_pair_sets() -> impl Strategy<Value = PairSets> {
     (4usize..16).prop_flat_map(|n| {
         let pairs = move || {
             proptest::collection::hash_set(
-                (0..n, 0..n).prop_filter_map("self", |(a, b)| {
-                    (a != b).then(|| (a.min(b), a.max(b)))
-                }),
+                (0..n, 0..n)
+                    .prop_filter_map("self", |(a, b)| (a != b).then(|| (a.min(b), a.max(b)))),
                 0..(n * 2),
             )
         };

@@ -10,7 +10,12 @@
 //!   one `u64`, sharded `SHARDS` ways with an `RwLock` per shard. Reads
 //!   (the overwhelmingly common case once the cache is warm) take a shared
 //!   lock on one shard only, so worker threads no longer serialize on a
-//!   single global mutex.
+//!   single global mutex. The `kernel` closure a caller hands to
+//!   [`SymbolCache::get_or_compute`] is the **only** remaining place the
+//!   pipeline touches strings; the interned path points it at per-symbol
+//!   [`PreparedValue`](crate::value_cmp::PreparedValue)s so even that
+//!   miss evaluation skips the kernels' per-comparison setup (ASCII
+//!   scans, `Vec<char>` collects, Myers `Peq` builds).
 //! * [`CachedComparator`] — the [`Value`]-keyed wrapper around a
 //!   [`ValueComparator`] for callers that have no interner at hand. Since
 //!   this PR it is lock-striped the same way (shard chosen by key hash)

@@ -25,13 +25,13 @@
 
 use std::sync::Arc;
 
-use probdedup_model::intern::{Symbol, ValuePool};
+use probdedup_model::intern::{Symbol, SymbolMap, ValuePool};
 use probdedup_model::pvalue::PValue;
 use probdedup_model::xtuple::XTuple;
 
 use crate::cache::SymbolCache;
 use crate::matrix::ComparisonMatrix;
-use crate::value_cmp::ValueComparator;
+use crate::value_cmp::{PreparedValue, ValueComparator};
 use crate::vector::{AttributeComparators, ComparisonVector};
 
 /// Mass threshold below which remaining Eq. 5 terms are pruned: their total
@@ -162,25 +162,38 @@ pub fn intern_tuples(tuples: &[XTuple]) -> (ValuePool, Vec<InternedXTuple>) {
 
 /// Per-attribute kernels + sharded symbol caches over a frozen pool: the
 /// read-only context worker threads share during interned matching.
+///
+/// Alongside the caches, a per-symbol sidecar ([`SymbolMap`]) holds each
+/// distinct value's prepared comparison state ([`PreparedValue`]: ASCII
+/// class, character length, and — when a kernel asks for it — the Myers
+/// `Peq` pattern bitmasks). The cache-miss kernel evaluation therefore
+/// never re-scans a string it has seen before: interning pays a second
+/// time by hanging the precomputation off the dense symbol index.
 pub struct InternedComparators {
     pool: Arc<ValuePool>,
     per_attr: Vec<ValueComparator>,
     caches: Vec<SymbolCache>,
+    prepared: SymbolMap<PreparedValue>,
 }
 
 impl InternedComparators {
     /// Bind `comparators` to a frozen `pool`, with one fresh cache per
     /// attribute (per-attribute caches keep entries disjoint when different
-    /// attributes use different kernels).
+    /// attributes use different kernels), and precompute every symbol's
+    /// [`PreparedValue`] — including pattern bitmasks iff some attribute's
+    /// kernel exploits them.
     pub fn new(pool: Arc<ValuePool>, comparators: &AttributeComparators) -> Self {
         let per_attr: Vec<ValueComparator> = (0..comparators.arity())
             .map(|i| comparators.get(i).clone())
             .collect();
         let caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
+        let with_bits = per_attr.iter().any(ValueComparator::wants_pattern_bits);
+        let prepared = SymbolMap::build(&pool, |(_, v)| PreparedValue::of(v, with_bits));
         Self {
             pool,
             per_attr,
             caches,
+            prepared,
         }
     }
 
@@ -196,10 +209,10 @@ impl InternedComparators {
 
     /// Aggregate `(hits, misses)` over all attribute caches.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.caches.iter().map(SymbolCache::stats).fold(
-            (0, 0),
-            |(h, m), (sh, sm)| (h + sh, m + sm),
-        )
+        self.caches
+            .iter()
+            .map(SymbolCache::stats)
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
     }
 
     /// Total number of memoized symbol pairs across attributes.
@@ -213,13 +226,16 @@ impl InternedComparators {
     /// The kernel is evaluated on the **canonical** (smaller-symbol-first)
     /// orientation — the same one the cache key encodes — so that even a
     /// non-symmetric user kernel yields one deterministic memoized value
-    /// regardless of which worker thread computes the pair first.
+    /// regardless of which worker thread computes the pair first. The
+    /// miss path runs over the per-symbol [`PreparedValue`]s, so each
+    /// string's ASCII class / length / pattern bitmasks were computed
+    /// exactly once, at interning time.
     #[inline]
     fn kernel(&self, attr: usize, a: Symbol, b: Symbol) -> f64 {
         debug_assert!(!a.is_null() && !b.is_null());
         let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
         self.caches[attr].get_or_compute(lo, hi, || {
-            self.per_attr[attr].similarity(self.pool.resolve(lo), self.pool.resolve(hi))
+            self.per_attr[attr].similarity_prepared(self.prepared.get(lo), self.prepared.get(hi))
         })
     }
 }
@@ -337,6 +353,46 @@ mod tests {
     }
 
     #[test]
+    fn bits_wanting_kernel_agrees_with_plain_path() {
+        use probdedup_textsim::Levenshtein;
+        // Levenshtein asks for per-symbol Myers tables; the sidecar path
+        // must still match the plain (unprepared) evaluation bitwise.
+        let s = Schema::new(["name", "note"]);
+        let cmp = AttributeComparators::uniform(&s, Levenshtein::new());
+        let long: String = ('a'..='z').cycle().take(90).collect(); // multi-word Myers
+        let t1 = XTuple::builder(&s)
+            .alt_pvalues(
+                1.0,
+                [
+                    PValue::categorical([("machinist", 0.6), ("mechanic", 0.3)]).unwrap(),
+                    PValue::certain(long.as_str()),
+                ],
+            )
+            .build()
+            .unwrap();
+        let t2 = XTuple::builder(&s)
+            .alt_pvalues(
+                0.9,
+                [
+                    PValue::certain("machine operator"),
+                    PValue::categorical([(&long[5..], 0.5), ("café liégeois", 0.5)]).unwrap(),
+                ],
+            )
+            .build()
+            .unwrap();
+        let (pool, interned) = intern_tuples(&[t1.clone(), t2.clone()]);
+        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let plain = crate::matrix::compare_xtuples(&t1, &t2, &cmp);
+        let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
+        for (i, j, v) in plain.iter() {
+            let w = fast.vector(i, j);
+            for (x, y) in v.iter().zip(w) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({i},{j}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn null_conventions_survive_interning() {
         let s = Schema::new(["name"]);
         let null_t = XTuple::builder(&s)
@@ -402,12 +458,17 @@ mod tests {
         for (na, nb) in [(1usize, 8usize), (8, 8), (16, 3), (20, 20)] {
             let pa = mk('a', na, 0.9);
             let pb = mk('b', nb, 0.99);
-            let a = XTuple::builder(&s).alt_pvalues(1.0, [pa.clone()]).build().unwrap();
-            let b = XTuple::builder(&s).alt_pvalues(1.0, [pb.clone()]).build().unwrap();
+            let a = XTuple::builder(&s)
+                .alt_pvalues(1.0, [pa.clone()])
+                .build()
+                .unwrap();
+            let b = XTuple::builder(&s)
+                .alt_pvalues(1.0, [pb.clone()])
+                .build()
+                .unwrap();
             let (pool, interned) = intern_tuples(&[a, b]);
             let icmps = InternedComparators::new(Arc::new(pool), &cmp);
-            let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps)
-                .vector(0, 0)[0];
+            let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps).vector(0, 0)[0];
             let slow = pvalue_similarity(&pa, &pb, cmp.get(0));
             assert!(
                 (fast - slow).abs() < 1e-12,

@@ -29,7 +29,12 @@
 //!   dense symbols with alternatives in descending probability order
 //!   (enabling upper-bound pruning), and kernel results are memoized in
 //!   the sharded, lock-striped [`cache::SymbolCache`] keyed on packed
-//!   symbol pairs. This is what the pipeline's
+//!   symbol pairs. Cache **misses** — the only place strings are touched
+//!   at all — evaluate the kernel over per-symbol
+//!   [`PreparedValue`](value_cmp::PreparedValue)s (ASCII class, character
+//!   length, Myers pattern bitmasks) precomputed once at interning time,
+//!   so the bit-parallel kernels in `probdedup-textsim` skip their
+//!   per-comparison setup. This is what the pipeline's
 //!   `cache_similarities(true)` mode executes.
 
 pub mod cache;
@@ -46,5 +51,5 @@ pub use interned::{
 };
 pub use matrix::{compare_xtuples, ComparisonMatrix};
 pub use pvalue_sim::{pvalue_similarity, pvalue_similarity_pruned};
-pub use value_cmp::ValueComparator;
+pub use value_cmp::{PreparedValue, ValueComparator};
 pub use vector::{compare_tuples, AttributeComparators, ComparisonVector};

@@ -38,7 +38,12 @@ impl ComparisonMatrix {
 
     /// The comparison vector of alternative pair `(i, j)`.
     pub fn vector(&self, i: usize, j: usize) -> &ComparisonVector {
-        assert!(i < self.k && j < self.l, "({i},{j}) out of {0}×{1}", self.k, self.l);
+        assert!(
+            i < self.k && j < self.l,
+            "({i},{j}) out of {0}×{1}",
+            self.k,
+            self.l
+        );
         &self.vectors[i * self.l + j]
     }
 
@@ -137,7 +142,10 @@ mod tests {
             .alt(0.4, ["Jim", "baker"])
             .build()
             .unwrap();
-        let t42 = XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap();
+        let t42 = XTuple::builder(&s)
+            .alt(0.8, ["Tom", "mechanic"])
+            .build()
+            .unwrap();
         let m = compare_xtuples(&t32, &t42, &comparators());
         assert_eq!((m.k(), m.l()), (3, 1));
         assert_eq!(m.len(), 3);
@@ -159,11 +167,13 @@ mod tests {
             .alt_pvalues(1.0, [PValue::certain("Johan"), mu])
             .build()
             .unwrap();
-        let u = XTuple::builder(&s).alt(1.0, ["Johan", "musician"]).build().unwrap();
+        let u = XTuple::builder(&s)
+            .alt(1.0, ["Johan", "musician"])
+            .build()
+            .unwrap();
         let m = compare_xtuples(&t, &u, &comparators());
         // job: .5·sim(mud logger, musician) + .5·1.
-        let expected =
-            0.5 * NormalizedHamming::new().similarity("mud logger", "musician") + 0.5;
+        let expected = 0.5 * NormalizedHamming::new().similarity("mud logger", "musician") + 0.5;
         assert!((m.vector(0, 0)[1] - expected).abs() < 1e-12);
     }
 
@@ -209,7 +219,10 @@ mod tests {
             .alt(0.4, ["Jim", "baker"])
             .build()
             .unwrap();
-        let t42 = XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap();
+        let t42 = XTuple::builder(&s)
+            .alt(0.8, ["Tom", "mechanic"])
+            .build()
+            .unwrap();
         let caches: Vec<CachedComparator> = (0..2)
             .map(|_| CachedComparator::new(ValueComparator::text(NormalizedHamming::new())))
             .collect();

@@ -113,13 +113,11 @@ pub fn pvalue_similarity_pruned(a: &PValue, b: &PValue, cmp: &ValueComparator) -
     // Descending-probability views (ties by value order for determinism —
     // PValue stores alternatives value-sorted).
     fn desc(pv: &PValue) -> Vec<(&Value, f64)> {
-        let mut alts: Vec<(&Value, f64)> = pv
-            .alternatives()
-            .iter()
-            .map(|(v, p)| (v, *p))
-            .collect();
+        let mut alts: Vec<(&Value, f64)> = pv.alternatives().iter().map(|(v, p)| (v, *p)).collect();
         alts.sort_by(|(va, pa), (vb, pb)| {
-            pb.partial_cmp(pa).expect("finite probabilities").then(va.cmp(vb))
+            pb.partial_cmp(pa)
+                .expect("finite probabilities")
+                .then(va.cmp(vb))
         });
         alts
     }
@@ -216,9 +214,7 @@ mod tests {
         let a = PValue::categorical([("Tim", 0.6), ("Tom", 0.4)]).unwrap();
         let b = PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap();
         let exact = ValueComparator::text(Exact);
-        assert!(
-            (pvalue_similarity(&a, &b, &exact) - pvalue_equality(&a, &b)).abs() < 1e-12
-        );
+        assert!((pvalue_similarity(&a, &b, &exact) - pvalue_equality(&a, &b)).abs() < 1e-12);
     }
 
     #[test]
@@ -232,9 +228,7 @@ mod tests {
         let a = PValue::categorical([("machinist", 0.7), ("mechanic", 0.2)]).unwrap();
         let b = PValue::categorical([("mechanic", 0.5), ("baker", 0.3)]).unwrap();
         let c = hamming();
-        assert!(
-            (pvalue_similarity(&a, &b, &c) - pvalue_similarity(&b, &a, &c)).abs() < 1e-12
-        );
+        assert!((pvalue_similarity(&a, &b, &c) - pvalue_similarity(&b, &a, &c)).abs() < 1e-12);
     }
 
     #[test]
@@ -249,14 +243,20 @@ mod tests {
     #[test]
     fn pruned_matches_unpruned_on_paper_examples() {
         let cases = [
-            (PValue::certain("Tim"), PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap()),
+            (
+                PValue::certain("Tim"),
+                PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap(),
+            ),
             (
                 PValue::categorical([("machinist", 0.7), ("mechanic", 0.2)]).unwrap(),
                 PValue::certain("mechanic"),
             ),
             (PValue::null(), PValue::certain("Tim")),
             (PValue::null(), PValue::null()),
-            (PValue::categorical([("x", 0.6)]).unwrap(), PValue::categorical([("x", 0.5)]).unwrap()),
+            (
+                PValue::categorical([("x", 0.6)]).unwrap(),
+                PValue::categorical([("x", 0.5)]).unwrap(),
+            ),
         ];
         let c = hamming();
         for (a, b) in &cases {
@@ -271,9 +271,9 @@ mod tests {
         // Geometric tail: most of the mass in the first few alternatives,
         // so pruning breaks early — the result must still agree.
         let mk = |tag: char, n: i32| {
-            PValue::categorical((0..n).map(|i| {
-                (format!("{tag}{i:03}"), 0.5_f64.powi(i + 1).max(1e-18))
-            }))
+            PValue::categorical(
+                (0..n).map(|i| (format!("{tag}{i:03}"), 0.5_f64.powi(i + 1).max(1e-18))),
+            )
             .unwrap()
         };
         let c = hamming();

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use probdedup_model::value::Value;
 use probdedup_textsim::numeric::{AbsoluteScaled, NumericComparator};
-use probdedup_textsim::{SharedComparator, StringComparator};
+use probdedup_textsim::{PreparedText, SharedComparator, StringComparator};
 
 /// Compares two concrete domain values, routing by type:
 ///
@@ -84,6 +84,62 @@ impl ValueComparator {
             (Some(x), Some(y)) => self.similarity(x, y),
         }
     }
+
+    /// Whether this comparator's text kernel exploits precomputed Myers
+    /// pattern bitmasks (see [`PreparedValue::of`]).
+    pub fn wants_pattern_bits(&self) -> bool {
+        self.text.wants_pattern_bits()
+    }
+
+    /// [`similarity`](Self::similarity) over [`PreparedValue`]s: identical
+    /// routing and results, but text pairs reuse the per-value
+    /// precomputation instead of re-scanning the strings.
+    pub fn similarity_prepared(&self, a: &PreparedValue, b: &PreparedValue) -> f64 {
+        use PreparedValue::*;
+        match (a, b) {
+            (Null, Null) => 1.0,
+            (Null, _) | (_, Null) => 0.0,
+            (Text(x), Text(y)) => self.text.similarity_prepared(x, y),
+            (Other(x), Other(y)) => self.similarity(x, y),
+            // Mixed text/non-text, same convention as `similarity`'s
+            // fallthrough arms (a Text's render is the string itself).
+            (Text(x), Other(y)) if self.mixed_as_text => {
+                self.text.similarity(x.text(), &y.render())
+            }
+            (Other(x), Text(y)) if self.mixed_as_text => {
+                self.text.similarity(&x.render(), y.text())
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// A [`Value`] with its per-value comparison state precomputed: the
+/// symbol-sidecar entry of the interned matching path (built once per
+/// distinct value, reused by every cache-miss kernel evaluation).
+#[derive(Debug, Clone)]
+pub enum PreparedValue {
+    /// `⊥` — the constant-time conventions never reach a kernel.
+    Null,
+    /// A text value with its [`PreparedText`] (ASCII class, character
+    /// length, and — when `with_bits` — the Myers `Peq` table).
+    Text(PreparedText),
+    /// Any non-text value; compared through the unprepared routing.
+    Other(Value),
+}
+
+impl PreparedValue {
+    /// Prepare `v`. `with_bits` controls whether text values also build
+    /// their Myers pattern bitmasks
+    /// ([`ValueComparator::wants_pattern_bits`] says if the kernel pays
+    /// that off).
+    pub fn of(v: &Value, with_bits: bool) -> Self {
+        match v {
+            Value::Null => Self::Null,
+            Value::Text(s) => Self::Text(PreparedText::new(s, with_bits)),
+            other => Self::Other(other.clone()),
+        }
+    }
 }
 
 impl std::fmt::Debug for ValueComparator {
@@ -154,5 +210,42 @@ mod tests {
     fn debug_formatting_names_kernels() {
         let s = format!("{:?}", cmp());
         assert!(s.contains("hamming"), "{s}");
+    }
+
+    #[test]
+    fn prepared_similarity_matches_unprepared() {
+        let values = [
+            Value::Null,
+            Value::from("Tim"),
+            Value::from("machinist"),
+            Value::from("30"),
+            Value::Int(30),
+            Value::Real(35.0),
+            Value::Bool(true),
+        ];
+        for c in [cmp(), cmp().coerce_mixed_to_text()] {
+            for with_bits in [false, true] {
+                let prepared: Vec<PreparedValue> = values
+                    .iter()
+                    .map(|v| PreparedValue::of(v, with_bits))
+                    .collect();
+                for (v1, p1) in values.iter().zip(&prepared) {
+                    for (v2, p2) in values.iter().zip(&prepared) {
+                        assert_eq!(
+                            c.similarity_prepared(p1, p2).to_bits(),
+                            c.similarity(v1, v2).to_bits(),
+                            "{v1:?} vs {v2:?} (bits: {with_bits})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wants_pattern_bits_follows_text_kernel() {
+        use probdedup_textsim::Levenshtein;
+        assert!(!cmp().wants_pattern_bits());
+        assert!(ValueComparator::text(Levenshtein::new()).wants_pattern_bits());
     }
 }

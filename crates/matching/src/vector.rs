@@ -168,7 +168,10 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_mismatch_panics() {
         let one = Schema::new(["only"]);
-        let t = ProbTuple::builder(&one).certain("only", "x").build().unwrap();
+        let t = ProbTuple::builder(&one)
+            .certain("only", "x")
+            .build()
+            .unwrap();
         let _ = compare_tuples(&t, &t, &comparators());
     }
 

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use probdedup_matching::{compare_tuples, pvalue_similarity, AttributeComparators, ValueComparator};
+use probdedup_matching::{
+    compare_tuples, pvalue_similarity, AttributeComparators, ValueComparator,
+};
 use probdedup_model::pvalue::PValue;
 use probdedup_model::schema::Schema;
 use probdedup_model::tuple::ProbTuple;

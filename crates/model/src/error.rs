@@ -63,26 +63,41 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidProbability { value, context } => {
-                write!(f, "invalid probability {value} for {context}: must be in [0, 1]")
+                write!(
+                    f,
+                    "invalid probability {value} for {context}: must be in [0, 1]"
+                )
             }
             Self::MassExceeded { sum, context } => {
                 write!(f, "probability mass {sum} exceeds 1 for {context}")
             }
             Self::SchemaMismatch { expected, got } => {
-                write!(f, "schema mismatch: expected {expected} attributes, got {got}")
+                write!(
+                    f,
+                    "schema mismatch: expected {expected} attributes, got {got}"
+                )
             }
             Self::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
             Self::IncompatibleSchemas => write!(f, "relations have incompatible schemas"),
             Self::PatternNoMatch { pattern, domain } => {
-                write!(f, "pattern {pattern:?} matches nothing in domain {domain:?}")
+                write!(
+                    f,
+                    "pattern {pattern:?} matches nothing in domain {domain:?}"
+                )
             }
             Self::EmptyXTuple => write!(f, "x-tuple must have at least one alternative"),
             Self::EmptyDistribution => write!(f, "distribution must not be empty"),
             Self::WorldLimitExceeded { count, limit } => {
-                write!(f, "possible-world enumeration of {count} worlds exceeds limit {limit}")
+                write!(
+                    f,
+                    "possible-world enumeration of {count} worlds exceeds limit {limit}"
+                )
             }
             Self::ExpansionLimitExceeded { count, limit } => {
-                write!(f, "expansion into {count} alternatives exceeds limit {limit}")
+                write!(
+                    f,
+                    "expansion into {count} alternatives exceeds limit {limit}"
+                )
             }
         }
     }
@@ -106,21 +121,54 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(ModelError, &str)> = vec![
             (
-                ModelError::InvalidProbability { value: -0.2, context: "tuple" },
+                ModelError::InvalidProbability {
+                    value: -0.2,
+                    context: "tuple",
+                },
                 "invalid probability",
             ),
-            (ModelError::MassExceeded { sum: 1.4, context: "pvalue" }, "exceeds 1"),
-            (ModelError::SchemaMismatch { expected: 2, got: 3 }, "schema mismatch"),
-            (ModelError::UnknownAttribute("x".into()), "unknown attribute"),
+            (
+                ModelError::MassExceeded {
+                    sum: 1.4,
+                    context: "pvalue",
+                },
+                "exceeds 1",
+            ),
+            (
+                ModelError::SchemaMismatch {
+                    expected: 2,
+                    got: 3,
+                },
+                "schema mismatch",
+            ),
+            (
+                ModelError::UnknownAttribute("x".into()),
+                "unknown attribute",
+            ),
             (ModelError::IncompatibleSchemas, "incompatible"),
             (
-                ModelError::PatternNoMatch { pattern: "mu*".into(), domain: "jobs".into() },
+                ModelError::PatternNoMatch {
+                    pattern: "mu*".into(),
+                    domain: "jobs".into(),
+                },
                 "matches nothing",
             ),
             (ModelError::EmptyXTuple, "at least one alternative"),
             (ModelError::EmptyDistribution, "must not be empty"),
-            (ModelError::WorldLimitExceeded { count: 10, limit: 5 }, "exceeds limit"),
-            (ModelError::ExpansionLimitExceeded { count: 10, limit: 5 }, "exceeds limit"),
+            (
+                ModelError::WorldLimitExceeded {
+                    count: 10,
+                    limit: 5,
+                },
+                "exceeds limit",
+            ),
+            (
+                ModelError::ExpansionLimitExceeded {
+                    count: 10,
+                    limit: 5,
+                },
+                "exceeds limit",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

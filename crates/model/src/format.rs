@@ -124,8 +124,8 @@ pub fn parse_xrelation(input: &str) -> Result<XRelation, ParseError> {
                         .map_err(|e| ParseError::new(line, e.to_string()))?,
                 );
             }
-            let mut t = XTuple::new(builder_alts)
-                .map_err(|e| ParseError::new(line, e.to_string()))?;
+            let mut t =
+                XTuple::new(builder_alts).map_err(|e| ParseError::new(line, e.to_string()))?;
             if let Some(l) = label {
                 t = t.with_label(l);
             }
@@ -165,7 +165,10 @@ pub fn parse_xrelation(input: &str) -> Result<XRelation, ParseError> {
                 defs.push((name.to_string(), ty));
             }
             if defs.is_empty() {
-                return Err(ParseError::new(lineno, "schema needs at least one attribute"));
+                return Err(ParseError::new(
+                    lineno,
+                    "schema needs at least one attribute",
+                ));
             }
             let s = Schema::with_types(defs);
             relation = Some(XRelation::new(s.clone()));
@@ -176,10 +179,7 @@ pub fn parse_xrelation(input: &str) -> Result<XRelation, ParseError> {
             }
             flush(&mut relation, &mut pending, lineno)?;
             let label = rest.trim();
-            pending = Some((
-                (!label.is_empty()).then(|| label.to_string()),
-                Vec::new(),
-            ));
+            pending = Some(((!label.is_empty()).then(|| label.to_string()), Vec::new()));
         } else if let Some(rest) = line.strip_prefix("alt") {
             let schema = schema
                 .as_ref()
@@ -258,9 +258,9 @@ fn parse_pvalue(cell: &str, ty: AttrType, line: usize) -> Result<PValue, ParseEr
             if part.is_empty() {
                 continue;
             }
-            let (val, p) = part
-                .rsplit_once(':')
-                .ok_or_else(|| ParseError::new(line, format!("entry {part:?} needs value: prob")))?;
+            let (val, p) = part.rsplit_once(':').ok_or_else(|| {
+                ParseError::new(line, format!("entry {part:?} needs value: prob"))
+            })?;
             let p: f64 = p
                 .trim()
                 .parse()
@@ -286,8 +286,18 @@ mod tests {
         let mu = PValue::categorical([("musician", 0.5), ("museum guide", 0.5)]).unwrap();
         r.push(
             XTuple::builder(&s)
-                .alt(0.7, [Value::from("John"), Value::from("pilot"), Value::Int(34)])
-                .alt_pvalues(0.3, [PValue::certain("Johan"), mu, PValue::certain(Value::Int(34))])
+                .alt(
+                    0.7,
+                    [Value::from("John"), Value::from("pilot"), Value::Int(34)],
+                )
+                .alt_pvalues(
+                    0.3,
+                    [
+                        PValue::certain("Johan"),
+                        mu,
+                        PValue::certain(Value::Int(34)),
+                    ],
+                )
                 .label("t31")
                 .build()
                 .unwrap(),
@@ -358,11 +368,27 @@ xtuple
             ("schema a:text\nnonsense", 2, "unrecognized"),
             ("schema a:wat", 1, "unknown attribute type"),
             ("schema a:text\nalt 1.0 | x", 2, "outside an xtuple"),
-            ("schema a:text\nxtuple\n  alt 1.0 | x | y", 3, "expected 1 value cells"),
-            ("schema a:text\nxtuple\n  alt oops | x", 3, "invalid probability"),
+            (
+                "schema a:text\nxtuple\n  alt 1.0 | x | y",
+                3,
+                "expected 1 value cells",
+            ),
+            (
+                "schema a:text\nxtuple\n  alt oops | x",
+                3,
+                "invalid probability",
+            ),
             ("schema a:int\nxtuple\n  alt 1.0 | xyz", 3, "invalid int"),
-            ("schema a:text\nxtuple\n  alt 1.0 | {x: 0.5", 3, "unterminated"),
-            ("schema a:text\nxtuple t\nxtuple u\n  alt 1 | x", 3, "without alternatives"),
+            (
+                "schema a:text\nxtuple\n  alt 1.0 | {x: 0.5",
+                3,
+                "unterminated",
+            ),
+            (
+                "schema a:text\nxtuple t\nxtuple u\n  alt 1 | x",
+                3,
+                "without alternatives",
+            ),
             ("schema a:text\nschema b:text", 2, "duplicate schema"),
             ("", 1, "no schema"),
         ];
@@ -387,7 +413,10 @@ xtuple
         let r = parse_xrelation(doc).unwrap();
         let v = r.get(0).unwrap().alternatives()[0].value(0);
         assert_eq!(v.support_len(), 2);
-        assert!(v.alternatives().iter().any(|(val, _)| val.render() == "NGC:1976"));
+        assert!(v
+            .alternatives()
+            .iter()
+            .any(|(val, _)| val.render() == "NGC:1976"));
     }
 
     #[test]
@@ -395,6 +424,9 @@ xtuple
         let r = fig5_style_relation();
         let text = write_xrelation(&r);
         assert!(text.contains("alt 0.8 | Tom | _ | 51"), "{text}");
-        assert!(text.contains("{museum guide: 0.5; musician: 0.5}"), "{text}");
+        assert!(
+            text.contains("{museum guide: 0.5; musician: 0.5}"),
+            "{text}"
+        );
     }
 }

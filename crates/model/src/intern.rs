@@ -116,6 +116,57 @@ impl ValuePool {
     pub fn is_empty(&self) -> bool {
         self.values.len() <= 1
     }
+
+    /// All interned `(Symbol, Value)` entries in symbol order (starting at
+    /// the reserved `⊥`).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Symbol(i as u32), v))
+    }
+}
+
+/// Dense per-symbol side storage over a frozen [`ValuePool`].
+///
+/// Symbols are assigned contiguously from 0, so a sidecar is just a slab
+/// indexed by [`Symbol::index`] — this is where derived per-value state
+/// (e.g. the precomputed text-kernel tables of `probdedup-matching`'s
+/// interned miss path) hangs off the interner without touching the pool
+/// itself. Built once single-threaded, then shared read-only.
+#[derive(Debug, Clone)]
+pub struct SymbolMap<T> {
+    slots: Box<[T]>,
+}
+
+impl<T> SymbolMap<T> {
+    /// Build one entry per interned symbol of `pool` (including `⊥`).
+    pub fn build(pool: &ValuePool, f: impl FnMut((Symbol, &Value)) -> T) -> Self {
+        Self {
+            slots: pool.iter().map(f).collect(),
+        }
+    }
+
+    /// The entry of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was issued by a different (larger) pool.
+    #[inline]
+    pub fn get(&self, sym: Symbol) -> &T {
+        &self.slots[sym.index()]
+    }
+
+    /// Number of entries (== the pool's [`ValuePool::len`] at build time).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the map has no entries (only for maps built off a
+    /// non-standard empty pool).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +225,38 @@ mod tests {
     fn lookup_misses_report_none() {
         let pool = ValuePool::new();
         assert_eq!(pool.lookup(&Value::from("absent")), None);
+    }
+
+    #[test]
+    fn iter_yields_symbols_in_order() {
+        let mut pool = ValuePool::new();
+        let tim = pool.intern(&Value::from("Tim"));
+        let n30 = pool.intern(&Value::Int(30));
+        let entries: Vec<(Symbol, Value)> = pool.iter().map(|(s, v)| (s, v.clone())).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (Symbol::NULL, Value::Null),
+                (tim, Value::from("Tim")),
+                (n30, Value::Int(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn symbol_map_is_dense_per_symbol_storage() {
+        let mut pool = ValuePool::new();
+        let tim = pool.intern(&Value::from("Tim"));
+        let kim = pool.intern(&Value::from("Kimberly"));
+        let map = SymbolMap::build(&pool, |(_, v)| match v {
+            Value::Text(s) => s.len(),
+            _ => 0,
+        });
+        assert_eq!(map.len(), pool.len());
+        assert!(!map.is_empty());
+        assert_eq!(*map.get(Symbol::NULL), 0);
+        assert_eq!(*map.get(tim), 3);
+        assert_eq!(*map.get(kim), 8);
     }
 
     #[test]

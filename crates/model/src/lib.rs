@@ -55,7 +55,7 @@ pub use condition::{existence_event_probability, normalized_alternative_probs};
 pub use domain::Domain;
 pub use error::ModelError;
 pub use ids::{SourceId, TupleHandle};
-pub use intern::{Symbol, ValuePool};
+pub use intern::{Symbol, SymbolMap, ValuePool};
 pub use lineage::{AlternativeSets, MutexGroups};
 pub use pvalue::PValue;
 pub use relation::{Relation, XRelation};

@@ -32,7 +32,9 @@ impl PValue {
         if v.is_null() {
             Self::null()
         } else {
-            Self { alts: vec![(v, 1.0)] }
+            Self {
+                alts: vec![(v, 1.0)],
+            }
         }
     }
 
@@ -301,11 +303,7 @@ mod tests {
 
     #[test]
     fn explicit_null_mass_joins_implicit() {
-        let v = PValue::categorical([
-            (Value::from("a"), 0.5),
-            (Value::Null, 0.3),
-        ])
-        .unwrap();
+        let v = PValue::categorical([(Value::from("a"), 0.5), (Value::Null, 0.3)]).unwrap();
         assert_eq!(v.support_len(), 1);
         assert!((v.null_prob() - 0.5).abs() < 1e-12);
     }

@@ -232,10 +232,25 @@ mod tests {
     fn union_concatenates_with_offset() {
         let s = schema();
         let mut r3 = XRelation::new(s.clone());
-        r3.push(XTuple::builder(&s).alt(1.0, ["John", "pilot"]).build().unwrap());
-        r3.push(XTuple::builder(&s).alt(0.9, ["Tim", "mechanic"]).build().unwrap());
+        r3.push(
+            XTuple::builder(&s)
+                .alt(1.0, ["John", "pilot"])
+                .build()
+                .unwrap(),
+        );
+        r3.push(
+            XTuple::builder(&s)
+                .alt(0.9, ["Tim", "mechanic"])
+                .build()
+                .unwrap(),
+        );
         let mut r4 = XRelation::new(s.clone());
-        r4.push(XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap());
+        r4.push(
+            XTuple::builder(&s)
+                .alt(0.8, ["Tom", "mechanic"])
+                .build()
+                .unwrap(),
+        );
         let (r34, offset) = r3.union(&r4).unwrap();
         assert_eq!(r34.len(), 3);
         assert_eq!(offset, 2);

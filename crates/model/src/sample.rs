@@ -174,7 +174,10 @@ mod tests {
         let sims = [11.0 / 15.0, 7.0 / 15.0, 4.0 / 15.0];
         let mut sampler = WorldSampler::new(&ts, 99);
         let estimate = sampler.estimate_full(40_000, |w| sims[w.choices[0].unwrap()]);
-        assert!((estimate - 7.0 / 15.0).abs() < 0.005, "estimate = {estimate}");
+        assert!(
+            (estimate - 7.0 / 15.0).abs() < 0.005,
+            "estimate = {estimate}"
+        );
     }
 
     #[test]

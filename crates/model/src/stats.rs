@@ -96,7 +96,11 @@ impl std::fmt::Display for RelationStats {
         writeln!(f, "maybe tuples (?):    {}", self.maybe_tuples)?;
         writeln!(f, "uncertain values:    {}", self.uncertain_values)?;
         writeln!(f, "null (⊥) values:     {}", self.null_values)?;
-        writeln!(f, "mean value entropy:  {:.4} nats", self.mean_value_entropy)?;
+        writeln!(
+            f,
+            "mean value entropy:  {:.4} nats",
+            self.mean_value_entropy
+        )?;
         write!(f, "log10(|worlds|):     {:.2}", self.log10_worlds)
     }
 }
@@ -121,7 +125,12 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        r.push(XTuple::builder(&s).alt(0.8, ["Tom", "mechanic"]).build().unwrap());
+        r.push(
+            XTuple::builder(&s)
+                .alt(0.8, ["Tom", "mechanic"])
+                .build()
+                .unwrap(),
+        );
         r.push(
             XTuple::builder(&s)
                 .alt(0.2, [Value::from("John"), Value::Null])

@@ -250,7 +250,10 @@ mod tests {
             .build()
             .unwrap();
         let s = t.to_string();
-        assert!(s.contains("Tim") && s.contains('⊥') && s.contains("p=0.5"), "{s}");
+        assert!(
+            s.contains("Tim") && s.contains('⊥') && s.contains("p=0.5"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -219,7 +219,10 @@ mod tests {
         assert_eq!(Value::Real(0.0), Value::Real(-0.0));
         assert_ne!(Value::Real(1.0), Value::Real(2.0));
         assert_eq!(hash_of(&Value::Real(0.0)), hash_of(&Value::Real(-0.0)));
-        assert_eq!(hash_of(&Value::Real(f64::NAN)), hash_of(&Value::Real(f64::NAN)));
+        assert_eq!(
+            hash_of(&Value::Real(f64::NAN)),
+            hash_of(&Value::Real(f64::NAN))
+        );
     }
 
     #[test]

@@ -342,7 +342,7 @@ mod tests {
         assert!((top3[0].probability - 0.32).abs() < 1e-12); // I3
         assert!((top3[1].probability - 0.24).abs() < 1e-12); // I1
         assert!((top3[2].probability - 0.16).abs() < 1e-12); // I2
-        // Against full enumeration.
+                                                             // Against full enumeration.
         let mut all = enumerate_worlds(&ts, 100).unwrap();
         all.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
         for (t, a) in top3.iter().zip(all.iter()) {
@@ -379,9 +379,15 @@ mod tests {
         let worlds = enumerate_worlds(&ts, 100).unwrap();
         let i1 = &worlds[0]; // (0, 0)
         assert_eq!(i1.distance(i1), 0.0);
-        let other = worlds.iter().find(|w| w.choices == vec![Some(1), None]).unwrap();
+        let other = worlds
+            .iter()
+            .find(|w| w.choices == vec![Some(1), None])
+            .unwrap();
         assert_eq!(i1.distance(other), 1.0);
-        let half = worlds.iter().find(|w| w.choices == vec![Some(1), Some(0)]).unwrap();
+        let half = worlds
+            .iter()
+            .find(|w| w.choices == vec![Some(1), Some(0)])
+            .unwrap();
         assert_eq!(i1.distance(half), 0.5);
     }
 

@@ -19,10 +19,17 @@ fn sample_relation() -> XRelation {
     let mu = PValue::categorical([("musician", 0.5), ("museum guide", 0.5)]).unwrap();
     r.push(
         XTuple::builder(&s)
-            .alt(0.7, [Value::from("John"), Value::from("pilot"), Value::Int(34)])
+            .alt(
+                0.7,
+                [Value::from("John"), Value::from("pilot"), Value::Int(34)],
+            )
             .alt_pvalues(
                 0.3,
-                [PValue::certain("Johan"), mu, PValue::certain(Value::Int(34))],
+                [
+                    PValue::certain("Johan"),
+                    mu,
+                    PValue::certain(Value::Int(34)),
+                ],
             )
             .label("t31")
             .build()

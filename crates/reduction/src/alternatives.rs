@@ -124,7 +124,8 @@ mod tests {
         let tuples = r34();
         let spec = KeySpec::paper_example(0, 1);
         let r = sorting_alternatives(&tuples, &spec, 2);
-        let listed: Vec<(&str, usize)> = r.order.iter().map(|e| (e.key.as_str(), e.tuple)).collect();
+        let listed: Vec<(&str, usize)> =
+            r.order.iter().map(|e| (e.key.as_str(), e.tuple)).collect();
         // Fig. 11 strikes out Jimme(t32) and Johpi(t31) as adjacent
         // duplicates; our keying additionally collapses t41's second
         // (identical) Johpi entry, leaving the figure's effective list.

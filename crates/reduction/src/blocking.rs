@@ -262,12 +262,12 @@ mod tests {
         // (case matters: "Jp" from (Johan, pianist) vs "JP"? — both render
         // "Jp"/"Jp": first char of "John"='J', of "pilot"='p' → "Jp".)
         let expect_blocks: Vec<(&str, Vec<usize>)> = vec![
-            ("J", vec![4]),        // (John, ⊥)
-            ("Jb", vec![1]),       // (Jim, baker)
-            ("Jm", vec![0, 1]),    // (Johan, mu*), (Jim, mechanic)
-            ("Jp", vec![0, 2]),    // (John, pilot) of t31 and t41
-            ("Sp", vec![4]),       // (Sean, pilot)
-            ("Tm", vec![1, 3]),    // (Tim, mechanic), (Tom, mechanic)
+            ("J", vec![4]),     // (John, ⊥)
+            ("Jb", vec![1]),    // (Jim, baker)
+            ("Jm", vec![0, 1]), // (Johan, mu*), (Jim, mechanic)
+            ("Jp", vec![0, 2]), // (John, pilot) of t31 and t41
+            ("Sp", vec![4]),    // (Sean, pilot)
+            ("Tm", vec![1, 3]), // (Tim, mechanic), (Tom, mechanic)
         ];
         let got: Vec<(&str, Vec<usize>)> = r
             .blocks

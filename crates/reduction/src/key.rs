@@ -376,13 +376,16 @@ mod tests {
     fn full_part_takes_whole_value() {
         let spec = KeySpec::new(vec![KeyPart::full(0)]);
         let values = vec![PValue::certain("Johannes"), PValue::certain("x")];
-        assert_eq!(spec.key_distribution(&values), vec![("Johannes".into(), 1.0)]);
+        assert_eq!(
+            spec.key_distribution(&values),
+            vec![("Johannes".into(), 1.0)]
+        );
     }
 
     #[test]
     fn expansion_guard_truncates() {
-        let spec = KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(1, 3)])
-            .with_max_expansion(2);
+        let spec =
+            KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(1, 3)]).with_max_expansion(2);
         let a = PValue::categorical([("aaa", 0.3), ("bbb", 0.3), ("ccc", 0.4)]).unwrap();
         let b = PValue::categorical([("xxx", 0.5), ("yyy", 0.5)]).unwrap();
         let dist = spec.key_distribution(&[a, b]);

@@ -89,7 +89,10 @@ pub(crate) fn select_diverse_worlds(mut pool: Vec<World>, k: usize) -> Vec<World
 /// (uncertain values inside the alternative resolve to their most probable
 /// rendered prefix).
 fn world_entries(tuples: &[XTuple], world: &World, spec: &KeySpec) -> Vec<SnmEntry> {
-    debug_assert!(world.is_full(), "multi-pass uses worlds containing all tuples");
+    debug_assert!(
+        world.is_full(),
+        "multi-pass uses worlds containing all tuples"
+    );
     tuples
         .iter()
         .enumerate()
@@ -216,8 +219,7 @@ mod tests {
         };
         let entries2 = world_entries(&tuples, &world2, &spec());
         let (_, order2) = sorted_neighborhood(entries2, 2, 5, false);
-        let keys2: Vec<(&str, usize)> =
-            order2.iter().map(|e| (e.key.as_str(), e.tuple)).collect();
+        let keys2: Vec<(&str, usize)> = order2.iter().map(|e| (e.key.as_str(), e.tuple)).collect();
         assert_eq!(
             keys2,
             vec![
@@ -275,8 +277,14 @@ mod tests {
     fn single_certain_world() {
         let s = Schema::new(["name", "job"]);
         let tuples = vec![
-            XTuple::builder(&s).alt(1.0, ["John", "pilot"]).build().unwrap(),
-            XTuple::builder(&s).alt(1.0, ["Johan", "pilot"]).build().unwrap(),
+            XTuple::builder(&s)
+                .alt(1.0, ["John", "pilot"])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(1.0, ["Johan", "pilot"])
+                .build()
+                .unwrap(),
         ];
         let r = multipass_snm(&tuples, &spec(), 2, WorldSelection::All { limit: 100 });
         assert_eq!(r.passes.len(), 1);

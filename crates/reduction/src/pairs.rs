@@ -33,7 +33,11 @@ impl PairMatrix {
     /// Linear index of the unordered pair `(i, j)`, `i ≠ j`.
     fn index(&self, i: usize, j: usize) -> usize {
         assert!(i != j, "self-pairs are meaningless in duplicate detection");
-        assert!(i < self.n && j < self.n, "pair ({i},{j}) out of range {0}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "pair ({i},{j}) out of range {0}",
+            self.n
+        );
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
         // Row-wise triangular layout: row `lo` starts after all previous rows.
         lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1)

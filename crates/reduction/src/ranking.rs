@@ -67,7 +67,11 @@ fn rank_score(t: &XTuple, spec: &KeySpec, f: RankingFunction) -> (f64, String) {
             sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
             (
                 expected,
-                sorted.into_iter().next().map(|(k, _)| k).unwrap_or_default(),
+                sorted
+                    .into_iter()
+                    .next()
+                    .map(|(k, _)| k)
+                    .unwrap_or_default(),
             )
         }
     }
@@ -196,7 +200,11 @@ mod tests {
             .unwrap();
         let low = XTuple::builder(&s).alt(1.0, ["Abb", "bb"]).build().unwrap();
         let high = XTuple::builder(&s).alt(1.0, ["Zaa", "aa"]).build().unwrap();
-        let order = rank_tuples(&[torn.clone(), low.clone(), high.clone()], &spec, RankingFunction::ExpectedScore);
+        let order = rank_tuples(
+            &[torn.clone(), low.clone(), high.clone()],
+            &spec,
+            RankingFunction::ExpectedScore,
+        );
         assert_eq!(order, vec![1, 0, 2], "torn tuple ranks between the two");
         // Under most-probable-key ranking, the torn tuple commits to "Aaaaa"
         // (lexicographically smaller tie-break) and ranks first.

@@ -83,8 +83,7 @@ mod tests {
             ("Seapi", 4), // t43
         ]);
         let (pairs, order) = sorted_neighborhood(input, 2, 5, false);
-        let sorted: Vec<(String, usize)> =
-            order.iter().map(|e| (e.key.clone(), e.tuple)).collect();
+        let sorted: Vec<(String, usize)> = order.iter().map(|e| (e.key.clone(), e.tuple)).collect();
         assert_eq!(
             sorted,
             vec![
@@ -107,7 +106,10 @@ mod tests {
         assert_eq!(w2.len(), 3);
         assert_eq!(w3.len(), 5); // (0,1),(0,2),(1,2),(1,3),(2,3)
         for &p in w2.pairs() {
-            assert!(w3.contains(p.0, p.1), "window-3 must contain window-2 pairs");
+            assert!(
+                w3.contains(p.0, p.1),
+                "window-3 must contain window-2 pairs"
+            );
         }
     }
 

@@ -87,7 +87,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a plain closure within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.label);
         let samples = self.sample_size.unwrap_or(15);
         run_benchmark(&label, samples, |b| f(b));

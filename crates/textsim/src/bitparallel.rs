@@ -1,0 +1,498 @@
+//! Bit-parallel building blocks for the hot string kernels.
+//!
+//! The similarity-cache miss path is the only place the matching pipeline
+//! still touches strings, so the per-miss cost is dominated by the inner
+//! loops of the comparison kernels. This module provides the word-level
+//! primitives those kernels dispatch to:
+//!
+//! * [`PatternBits`] + [`myers_distance`] — Myers' 1999 bit-vector
+//!   Levenshtein: the `O(⌈m/64⌉·n)` dynamic program over machine words,
+//!   with a single-`u64` fast path for patterns of at most 64 characters
+//!   and Hyyrö's blocked multi-word formulation above that.
+//! * [`hamming_bytes`] — byte-chunked XOR + popcount Hamming distance for
+//!   ASCII inputs: eight positions per `u64` step.
+//! * [`jaro_ascii`] — the Jaro matching scan over byte strings with a
+//!   `u128` matched-position bitset (and a per-character position-mask
+//!   table for longer inputs) instead of heap-allocated `Vec<char>` /
+//!   `Vec<bool>` scratch.
+//! * [`PreparedText`] — per-string precomputation (ASCII class, character
+//!   length, optional [`PatternBits`]) that callers with a value interner
+//!   compute **once per distinct string** and reuse across every
+//!   comparison (see `probdedup_matching`'s interned miss path).
+//!
+//! All primitives are exact: they compute the same integers (and hence
+//! bitwise-identical normalized similarities) as the scalar reference
+//! implementations they replace, which the `bitparallel_oracle` property
+//! tests assert on arbitrary Unicode inputs either side of the 64/65-char
+//! word boundary.
+
+/// Precomputed pattern bitmasks (the Myers `Peq` table) for one string.
+///
+/// `Peq[c]` holds a bit for every position of the pattern where character
+/// `c` occurs, split across `⌈m/64⌉` words. ASCII characters index a dense
+/// table; other characters go through a sorted side table (rare in
+/// practice — patterns are attribute values, mostly ASCII after
+/// preparation).
+#[derive(Debug, Clone)]
+pub struct PatternBits {
+    /// Pattern length in characters.
+    len: usize,
+    /// Number of 64-bit words covering the pattern.
+    words: usize,
+    /// Dense `Peq` for ASCII: `ascii[c * words + w]`.
+    ascii: Box<[u64]>,
+    /// Sparse `Peq` for non-ASCII pattern characters, sorted by char.
+    other: Box<[(char, Box<[u64]>)]>,
+}
+
+impl PatternBits {
+    /// Build the `Peq` table of `pattern`.
+    pub fn new(pattern: &str) -> Self {
+        let len = pattern.chars().count();
+        let words = len.div_ceil(64).max(1);
+        let mut ascii = vec![0u64; 128 * words];
+        let mut other: Vec<(char, Box<[u64]>)> = Vec::new();
+        for (i, c) in pattern.chars().enumerate() {
+            let (w, bit) = (i / 64, 1u64 << (i % 64));
+            if (c as u32) < 128 {
+                ascii[c as usize * words + w] |= bit;
+            } else {
+                match other.binary_search_by_key(&c, |(k, _)| *k) {
+                    Ok(pos) => other[pos].1[w] |= bit,
+                    Err(pos) => {
+                        let mut masks = vec![0u64; words].into_boxed_slice();
+                        masks[w] = bit;
+                        other.insert(pos, (c, masks));
+                    }
+                }
+            }
+        }
+        Self {
+            len,
+            words,
+            ascii: ascii.into_boxed_slice(),
+            other: other.into_boxed_slice(),
+        }
+    }
+
+    /// Pattern length in characters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pattern is the empty string.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Word `w` of `Peq[c]`.
+    #[inline]
+    fn peq(&self, c: char, w: usize) -> u64 {
+        if (c as u32) < 128 {
+            self.ascii[c as usize * self.words + w]
+        } else {
+            match self.other.binary_search_by_key(&c, |(k, _)| *k) {
+                Ok(pos) => self.other[pos].1[w],
+                Err(_) => 0,
+            }
+        }
+    }
+}
+
+/// Levenshtein distance between the precomputed pattern and `text`,
+/// via Myers' bit-vector algorithm (Hyyrö's formulation).
+///
+/// Exactly equal to the classical DP distance for all inputs; cost is
+/// `O(⌈m/64⌉ · n)` with word-sized constants.
+pub fn myers_distance(pat: &PatternBits, text: &str) -> usize {
+    if pat.len == 0 {
+        return text.chars().count();
+    }
+    if pat.words == 1 {
+        myers_1w(|c| pat.peq(c, 0), pat.len, text.chars())
+    } else {
+        myers_block(pat, text)
+    }
+}
+
+/// Single-word Myers over ASCII byte strings, building the 128-entry `Peq`
+/// on the stack — the zero-allocation fast path of
+/// [`Levenshtein::distance`](crate::Levenshtein::distance) for patterns of
+/// at most 64 bytes.
+pub(crate) fn myers_ascii_64(pattern: &[u8], text: &[u8]) -> usize {
+    debug_assert!(!pattern.is_empty() && pattern.len() <= 64);
+    let mut peq = [0u64; 128];
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1 << i;
+    }
+    myers_1w(
+        |c| peq[c as usize],
+        pattern.len(),
+        text.iter().map(|&b| b as char),
+    )
+}
+
+/// The single-word Myers column loop: `peq` maps a text character to the
+/// pattern's occurrence mask, `m` is the pattern length (1..=64).
+#[inline]
+fn myers_1w(peq: impl Fn(char) -> u64, m: usize, text: impl Iterator<Item = char>) -> usize {
+    debug_assert!((1..=64).contains(&m));
+    let mut vp = !0u64;
+    let mut vn = 0u64;
+    let mut dist = m;
+    let mask = 1u64 << (m - 1);
+    for c in text {
+        let eq = peq(c);
+        let d0 = (((eq & vp).wrapping_add(vp)) ^ vp) | eq | vn;
+        let hp = vn | !(d0 | vp);
+        let hn = d0 & vp;
+        dist += usize::from(hp & mask != 0);
+        dist -= usize::from(hn & mask != 0);
+        let hp = (hp << 1) | 1;
+        let hn = hn << 1;
+        vp = hn | !(d0 | hp);
+        vn = hp & d0;
+    }
+    dist
+}
+
+/// Blocked multi-word Myers (Hyyrö 2003): horizontal ±1 deltas carry
+/// across word boundaries through `hp_carry`/`hn_carry`; the distance is
+/// tracked at the pattern's last bit in the last word.
+fn myers_block(pat: &PatternBits, text: &str) -> usize {
+    let words = pat.words;
+    let mut vp = vec![!0u64; words];
+    let mut vn = vec![0u64; words];
+    let mut dist = pat.len;
+    let last = words - 1;
+    let mask = 1u64 << ((pat.len - 1) % 64);
+    for c in text.chars() {
+        // The boundary row D[0][j] grows by one per column: a positive
+        // horizontal carry enters word 0.
+        let mut hp_carry = 1u64;
+        let mut hn_carry = 0u64;
+        for w in 0..words {
+            let vpw = vp[w];
+            let vnw = vn[w];
+            let eq = pat.peq(c, w) | hn_carry;
+            let d0 = (((eq & vpw).wrapping_add(vpw)) ^ vpw) | eq | vnw;
+            let hp = vnw | !(d0 | vpw);
+            let hn = d0 & vpw;
+            if w == last {
+                dist += usize::from(hp & mask != 0);
+                dist -= usize::from(hn & mask != 0);
+            }
+            let hp_out = hp >> 63;
+            let hn_out = hn >> 63;
+            let hp = (hp << 1) | hp_carry;
+            let hn = (hn << 1) | hn_carry;
+            hp_carry = hp_out;
+            hn_carry = hn_out;
+            vp[w] = hn | !(d0 | hp);
+            vn[w] = hp & d0;
+        }
+    }
+    dist
+}
+
+/// Number of bytes of `x` that are non-zero (SWAR, no per-byte branch).
+#[inline]
+fn nonzero_bytes(x: u64) -> u32 {
+    const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    // Bit 7 of each byte ends up set iff the byte had any bit set: the
+    // add saturates the low seven bits into bit 7, the OR catches bit 7
+    // itself.
+    ((((x & LO7) + LO7) | x) & HI).count_ones()
+}
+
+/// Hamming distance over byte strings, counting the length difference as
+/// mismatches: XOR eight positions at a time and popcount the differing
+/// bytes. Exact for ASCII (one byte per character).
+pub fn hamming_bytes(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut dist = a.len().max(b.len()) - n;
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        let xa = u64::from_ne_bytes(ca.try_into().expect("8-byte chunk"));
+        let xb = u64::from_ne_bytes(cb.try_into().expect("8-byte chunk"));
+        dist += nonzero_bytes(xa ^ xb) as usize;
+    }
+    for (&pa, &pb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        dist += usize::from(pa != pb);
+    }
+    dist
+}
+
+/// Case-insensitive ASCII Hamming distance over byte strings (byte loop —
+/// still allocation- and `char`-free, which is where the scalar path
+/// spends its time).
+pub(crate) fn hamming_bytes_ci(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut dist = a.len().max(b.len()) - n;
+    for (pa, pb) in a[..n].iter().zip(&b[..n]) {
+        dist += usize::from(!pa.eq_ignore_ascii_case(pb));
+    }
+    dist
+}
+
+/// Maximum byte length [`jaro_ascii`] accepts (positions must fit a
+/// `u128` matched-set).
+pub(crate) const JARO_ASCII_MAX: usize = 128;
+
+/// Inputs longer than this get a per-character position-mask table so the
+/// window scan is a constant number of bit operations; below it, the
+/// table build (zeroing 2 KiB) would cost more than the naive byte scan.
+const JARO_TABLE_MIN: usize = 16;
+
+/// Jaro similarity over ASCII byte strings of at most [`JARO_ASCII_MAX`]
+/// bytes, using a `u128` bitset of matched `b`-positions and a stack
+/// buffer of matched `a`-characters — no heap allocation.
+///
+/// Produces bitwise-identical results to the scalar reference: the same
+/// match set (first unmatched window position wins), the same
+/// transposition count, and the same final expression.
+pub(crate) fn jaro_ascii(av: &[u8], bv: &[u8]) -> f64 {
+    let (n, m) = (av.len(), bv.len());
+    debug_assert!(n <= JARO_ASCII_MAX && m <= JARO_ASCII_MAX);
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_matched: u128 = 0;
+    let mut a_matches = [0u8; JARO_ASCII_MAX];
+    let mut matches = 0usize;
+    if m >= JARO_TABLE_MIN {
+        // Position masks of b: peq[c] has bit j set iff bv[j] == c. One
+        // AND + trailing_zeros replaces the inner window scan.
+        let mut peq = [0u128; 128];
+        for (j, &cb) in bv.iter().enumerate() {
+            peq[cb as usize] |= 1 << j;
+        }
+        for (i, &ca) in av.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(m);
+            let hi_mask = if hi >= 128 { !0u128 } else { (1u128 << hi) - 1 };
+            let window_mask = hi_mask & !((1u128 << lo) - 1);
+            let cand = peq[ca as usize] & window_mask & !b_matched;
+            if cand != 0 {
+                b_matched |= cand & cand.wrapping_neg(); // lowest candidate
+                a_matches[matches] = ca;
+                matches += 1;
+            }
+        }
+    } else {
+        for (i, &ca) in av.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(m);
+            if lo >= hi {
+                continue; // window entirely past the end of b
+            }
+            for (j, &cb) in bv[lo..hi].iter().enumerate() {
+                let bit = 1u128 << (lo + j);
+                if b_matched & bit == 0 && cb == ca {
+                    b_matched |= bit;
+                    a_matches[matches] = ca;
+                    matches += 1;
+                    break;
+                }
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    let mut transpositions = 0usize;
+    let mut k = 0usize;
+    let mut rest = b_matched;
+    while rest != 0 {
+        let j = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        transpositions += usize::from(bv[j] != a_matches[k]);
+        k += 1;
+    }
+    let m_f = matches as f64;
+    (m_f / n as f64 + m_f / m as f64 + (m_f - transpositions as f64 / 2.0) / m_f) / 3.0
+}
+
+/// Per-string precomputation for repeated comparisons.
+///
+/// Built once per distinct string (the interned matching path keys these
+/// off the `ValuePool`'s dense symbol index) and consumed by
+/// [`StringComparator::similarity_prepared`](crate::StringComparator::similarity_prepared):
+/// the ASCII class and character length replace the per-comparison
+/// `is_ascii`/`chars().count()` scans, and the optional [`PatternBits`]
+/// lets Myers' algorithm skip its per-comparison `Peq` build entirely.
+#[derive(Debug, Clone)]
+pub struct PreparedText {
+    text: Box<str>,
+    char_len: usize,
+    ascii: bool,
+    bits: Option<PatternBits>,
+}
+
+impl PreparedText {
+    /// Prepare `s`. `with_bits` additionally precomputes the Myers `Peq`
+    /// table — worthwhile only when the kernel consuming this asks for it
+    /// ([`StringComparator::wants_pattern_bits`](crate::StringComparator::wants_pattern_bits)).
+    pub fn new(s: &str, with_bits: bool) -> Self {
+        let ascii = s.is_ascii();
+        Self {
+            text: s.into(),
+            char_len: if ascii { s.len() } else { s.chars().count() },
+            ascii,
+            bits: with_bits.then(|| PatternBits::new(s)),
+        }
+    }
+
+    /// The underlying string.
+    #[inline]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Length in characters (== bytes when [`is_ascii`](Self::is_ascii)).
+    #[inline]
+    pub fn char_len(&self) -> usize {
+        self.char_len
+    }
+
+    /// Whether the string is pure ASCII.
+    #[inline]
+    pub fn is_ascii(&self) -> bool {
+        self.ascii
+    }
+
+    /// The precomputed Myers table, if requested at construction.
+    #[inline]
+    pub fn bits(&self) -> Option<&PatternBits> {
+        self.bits.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn myers_matches_known_distances() {
+        for (a, b, d) in [
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abc", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("日本語", "日本", 1),
+            ("café", "cafe", 1),
+        ] {
+            assert_eq!(myers_distance(&PatternBits::new(a), b), d, "{a:?} vs {b:?}");
+            assert_eq!(myers_distance(&PatternBits::new(b), a), d, "{b:?} vs {a:?}");
+        }
+    }
+
+    #[test]
+    fn myers_single_word_stack_path() {
+        assert_eq!(myers_ascii_64(b"kitten", b"sitting"), 3);
+        assert_eq!(myers_ascii_64(b"a", b"a"), 0);
+        let p64 = "ab".repeat(32);
+        assert_eq!(myers_ascii_64(p64.as_bytes(), p64.as_bytes()), 0);
+    }
+
+    #[test]
+    fn myers_block_crosses_word_boundary() {
+        // 65-char pattern forces the 2-word blocked path.
+        let a: String = ('a'..='z').cycle().take(65).collect();
+        let mut b = a.clone();
+        b.replace_range(62..65, "XY"); // edits straddling bit 63/64
+        let bits = PatternBits::new(&a);
+        assert_eq!(bits.len(), 65);
+        let naive = naive_levenshtein(&a, &b);
+        assert_eq!(myers_distance(&bits, &b), naive);
+    }
+
+    #[test]
+    fn hamming_bytes_counts_differing_positions() {
+        assert_eq!(hamming_bytes(b"Tim", b"Kim"), 1);
+        assert_eq!(hamming_bytes(b"machinist", b"mechanic"), 4);
+        assert_eq!(hamming_bytes(b"", b"abcd"), 4);
+        assert_eq!(hamming_bytes(b"same-long-string!", b"same-long-string!"), 0);
+        // > 8 bytes exercises the chunked path + remainder.
+        assert_eq!(hamming_bytes(b"abcdefghijk", b"abcdeXghiYk"), 2);
+    }
+
+    #[test]
+    fn hamming_bytes_ci_folds_case() {
+        assert_eq!(hamming_bytes_ci(b"TIM", b"tim"), 0);
+        assert_eq!(hamming_bytes_ci(b"TIM", b"tom"), 1);
+    }
+
+    #[test]
+    fn nonzero_bytes_counts() {
+        assert_eq!(nonzero_bytes(0), 0);
+        assert_eq!(nonzero_bytes(u64::MAX), 8);
+        assert_eq!(nonzero_bytes(0x0000_0100_0000_8001), 3);
+        assert_eq!(nonzero_bytes(0x8000_0000_0000_0000), 1);
+    }
+
+    #[test]
+    fn jaro_ascii_classic_values() {
+        let j = |a: &str, b: &str| jaro_ascii(a.as_bytes(), b.as_bytes());
+        assert!((j("MARTHA", "MARHTA") - 0.944).abs() < 1e-3);
+        assert!((j("DWAYNE", "DUANE") - 0.822).abs() < 1e-3);
+        assert!((j("DIXON", "DICKSONX") - 0.767).abs() < 1e-3);
+        assert_eq!(j("", ""), 1.0);
+        assert_eq!(j("", "abc"), 0.0);
+        assert_eq!(j("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_ascii_table_and_scan_paths_agree() {
+        // Straddle JARO_TABLE_MIN so both inner-loop strategies run.
+        let long_a = "a quarter of longer text with repeats: aabbccdd";
+        let long_b = "a quartet of longish text with repeats: abcdabcd";
+        let got = jaro_ascii(long_a.as_bytes(), long_b.as_bytes());
+        assert!((0.0..=1.0).contains(&got));
+        // Short side < JARO_TABLE_MIN against long side.
+        let mixed = jaro_ascii(b"short one", long_b.as_bytes());
+        assert!((0.0..=1.0).contains(&mixed));
+    }
+
+    #[test]
+    fn prepared_text_classifies() {
+        let p = PreparedText::new("machinist", false);
+        assert!(p.is_ascii());
+        assert_eq!(p.char_len(), 9);
+        assert_eq!(p.text(), "machinist");
+        assert!(p.bits().is_none());
+        let q = PreparedText::new("café", true);
+        assert!(!q.is_ascii());
+        assert_eq!(q.char_len(), 4);
+        assert_eq!(q.bits().expect("bits requested").len(), 4);
+    }
+
+    /// Textbook two-row DP, used as an in-module oracle (the crate-level
+    /// scalar oracle lives in `levenshtein.rs`).
+    fn naive_levenshtein(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=bv.len()).collect();
+        let mut curr = vec![0usize; bv.len() + 1];
+        for (i, ca) in av.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, cb) in bv.iter().enumerate() {
+                curr[j + 1] = (prev[j] + usize::from(ca != cb))
+                    .min(prev[j + 1] + 1)
+                    .min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[bv.len()]
+    }
+}

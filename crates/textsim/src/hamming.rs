@@ -1,5 +1,6 @@
 //! Normalized Hamming similarity — the kernel of the paper's worked examples.
 
+use crate::bitparallel::{hamming_bytes, hamming_bytes_ci, PreparedText};
 use crate::traits::StringComparator;
 
 /// Normalized Hamming similarity.
@@ -37,7 +38,26 @@ impl NormalizedHamming {
 
     /// Raw Hamming distance: number of differing positions, counting the
     /// length difference as mismatches.
+    ///
+    /// ASCII pairs take a byte-sliced path (XOR + popcount, eight
+    /// positions per `u64` step); anything else falls back to the scalar
+    /// character walk of [`distance_scalar`](Self::distance_scalar).
     pub fn distance(&self, a: &str, b: &str) -> usize {
+        if a.is_ascii() && b.is_ascii() {
+            if self.case_insensitive {
+                hamming_bytes_ci(a.as_bytes(), b.as_bytes())
+            } else {
+                hamming_bytes(a.as_bytes(), b.as_bytes())
+            }
+        } else {
+            self.distance_scalar(a, b)
+        }
+    }
+
+    /// The scalar character-by-character walk: the non-ASCII path of
+    /// [`distance`](Self::distance) and the exactness oracle its byte-
+    /// sliced fast path is property-tested against.
+    pub fn distance_scalar(&self, a: &str, b: &str) -> usize {
         let (mut dist, mut len_a, mut len_b) = (0usize, 0usize, 0usize);
         let mut ita = a.chars();
         let mut itb = b.chars();
@@ -85,6 +105,25 @@ impl StringComparator for NormalizedHamming {
 
     fn name(&self) -> &str {
         "hamming"
+    }
+
+    fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        let max_len = a.char_len().max(b.char_len());
+        if max_len == 0 {
+            return 1.0;
+        }
+        // The prepared ASCII class replaces the per-comparison is_ascii
+        // scans of `distance`.
+        let d = if a.is_ascii() && b.is_ascii() {
+            if self.case_insensitive {
+                hamming_bytes_ci(a.text().as_bytes(), b.text().as_bytes())
+            } else {
+                hamming_bytes(a.text().as_bytes(), b.text().as_bytes())
+            }
+        } else {
+            self.distance_scalar(a.text(), b.text())
+        };
+        1.0 - d as f64 / max_len as f64
     }
 }
 
@@ -134,7 +173,10 @@ mod tests {
     fn distance_is_symmetric() {
         let h = NormalizedHamming::new();
         assert_eq!(h.distance("abc", "abcdef"), h.distance("abcdef", "abc"));
-        assert_eq!(h.distance("kitten", "sitting"), h.distance("sitting", "kitten"));
+        assert_eq!(
+            h.distance("kitten", "sitting"),
+            h.distance("sitting", "kitten")
+        );
     }
 
     #[test]
@@ -150,5 +192,39 @@ mod tests {
         let h = NormalizedHamming::new();
         // "né" vs "ne": one of two positions differs.
         assert!((h.similarity("né", "ne") - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn byte_sliced_path_agrees_with_scalar_oracle() {
+        let long_a = "a fairly long ascii string, enough for two u64 chunks";
+        let long_b = "a fairly long ASCII string; enough for two u64 chunks!";
+        for h in [
+            NormalizedHamming::new(),
+            NormalizedHamming::case_insensitive(),
+        ] {
+            for (a, b) in [
+                ("Tim", "Kim"),
+                ("machinist", "mechanic"),
+                ("", "abcd"),
+                (long_a, long_b),
+            ] {
+                assert_eq!(h.distance(a, b), h.distance_scalar(a, b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_similarity_matches_unprepared() {
+        use crate::bitparallel::PreparedText;
+        let h = NormalizedHamming::new();
+        for (a, b) in [("Tim", "Kim"), ("né", "ne"), ("", ""), ("ab", "abcd")] {
+            let pa = PreparedText::new(a, false);
+            let pb = PreparedText::new(b, false);
+            assert_eq!(
+                h.similarity_prepared(&pa, &pb).to_bits(),
+                h.similarity(a, b).to_bits(),
+                "{a:?} vs {b:?}"
+            );
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Jaro and Jaro-Winkler similarity, the record-linkage standards cited by
 //! the paper ("edit- or jaro distance", Section III-C).
 
+use crate::bitparallel::{jaro_ascii, PreparedText, JARO_ASCII_MAX};
 use crate::traits::StringComparator;
 
 /// Jaro similarity.
@@ -22,8 +23,23 @@ impl Jaro {
     }
 }
 
-/// Core Jaro computation shared by [`Jaro`] and [`JaroWinkler`].
+/// Core Jaro computation shared by [`Jaro`] and [`JaroWinkler`]: ASCII
+/// pairs short enough for a `u128` matched-set go through the
+/// allocation-free bitset scan of [`jaro_ascii`]; everything else takes
+/// the scalar path.
 fn jaro_similarity(a: &str, b: &str) -> f64 {
+    if a.len() <= JARO_ASCII_MAX && b.len() <= JARO_ASCII_MAX && a.is_ascii() && b.is_ascii() {
+        jaro_ascii(a.as_bytes(), b.as_bytes())
+    } else {
+        jaro_similarity_scalar(a, b)
+    }
+}
+
+/// The scalar `Vec<char>`-based Jaro: the general-input path and the
+/// exactness oracle the bitset scan is property-tested against (both
+/// produce the same match set, transposition count and final expression,
+/// so results are bitwise identical).
+pub fn jaro_similarity_scalar(a: &str, b: &str) -> f64 {
     let av: Vec<char> = a.chars().collect();
     let bv: Vec<char> = b.chars().collect();
     let (n, m) = (av.len(), bv.len());
@@ -65,6 +81,20 @@ fn jaro_similarity(a: &str, b: &str) -> f64 {
     (m_f / n as f64 + m_f / m as f64 + (m_f - transpositions as f64 / 2.0) / m_f) / 3.0
 }
 
+/// [`jaro_similarity`] over prepared strings: the precomputed ASCII class
+/// replaces the per-comparison `is_ascii` scans.
+fn jaro_prepared(a: &PreparedText, b: &PreparedText) -> f64 {
+    if a.is_ascii()
+        && b.is_ascii()
+        && a.char_len() <= JARO_ASCII_MAX
+        && b.char_len() <= JARO_ASCII_MAX
+    {
+        jaro_ascii(a.text().as_bytes(), b.text().as_bytes())
+    } else {
+        jaro_similarity_scalar(a.text(), b.text())
+    }
+}
+
 impl StringComparator for Jaro {
     fn similarity(&self, a: &str, b: &str) -> f64 {
         jaro_similarity(a, b)
@@ -72,6 +102,10 @@ impl StringComparator for Jaro {
 
     fn name(&self) -> &str {
         "jaro"
+    }
+
+    fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        jaro_prepared(a, b)
     }
 }
 
@@ -127,9 +161,9 @@ impl JaroWinkler {
     }
 }
 
-impl StringComparator for JaroWinkler {
-    fn similarity(&self, a: &str, b: &str) -> f64 {
-        let j = jaro_similarity(a, b);
+impl JaroWinkler {
+    /// The common-prefix boost applied on top of a Jaro similarity `j`.
+    fn boost(&self, j: f64, a: &str, b: &str) -> f64 {
         if j < self.boost_threshold {
             return j;
         }
@@ -141,9 +175,19 @@ impl StringComparator for JaroWinkler {
             .count();
         (j + prefix as f64 * self.prefix_scale * (1.0 - j)).min(1.0)
     }
+}
+
+impl StringComparator for JaroWinkler {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.boost(jaro_similarity(a, b), a, b)
+    }
 
     fn name(&self) -> &str {
         "jaro-winkler"
+    }
+
+    fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        self.boost(jaro_prepared(a, b), a.text(), b.text())
     }
 }
 
@@ -200,7 +244,10 @@ mod tests {
     fn boost_threshold_suppresses_bonus() {
         let no_boost = JaroWinkler::new().with_boost_threshold(1.0);
         let j = Jaro::new();
-        assert!((no_boost.similarity("MARTHA", "MARHTA") - j.similarity("MARTHA", "MARHTA")).abs() < 1e-12);
+        assert!(
+            (no_boost.similarity("MARTHA", "MARHTA") - j.similarity("MARTHA", "MARHTA")).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -217,6 +264,59 @@ mod tests {
         let jw = JaroWinkler::new();
         for (a, b) in [("DWAYNE", "DUANE"), ("Tim", "Timothy"), ("x", "")] {
             assert!((jw.similarity(a, b) - jw.similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bitset_path_agrees_with_scalar_oracle() {
+        let long: String = "the quick brown fox jumps over the lazy dog ".repeat(3);
+        let cases = [
+            ("MARTHA", "MARHTA"),
+            ("DIXON", "DICKSONX"),
+            ("", "abc"),
+            ("aaaa", "aaaa"),
+            (long.trim_end(), "the quick brown fox"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                Jaro::new().similarity(a, b).to_bits(),
+                jaro_similarity_scalar(a, b).to_bits(),
+                "{a:?} vs {b:?}"
+            );
+        }
+        // Non-ASCII and over-long inputs route to the scalar path.
+        let over = "x".repeat(200);
+        assert_eq!(
+            Jaro::new().similarity(&over, "x").to_bits(),
+            jaro_similarity_scalar(&over, "x").to_bits()
+        );
+        assert_eq!(
+            Jaro::new().similarity("café", "cafe").to_bits(),
+            jaro_similarity_scalar("café", "cafe").to_bits()
+        );
+    }
+
+    #[test]
+    fn prepared_similarity_matches_unprepared() {
+        use crate::bitparallel::PreparedText;
+        let jw = JaroWinkler::new();
+        let j = Jaro::new();
+        for (a, b) in [
+            ("MARTHA", "MARHTA"),
+            ("café", "cafe"),
+            ("", ""),
+            ("pref", "prefix"),
+        ] {
+            let pa = PreparedText::new(a, false);
+            let pb = PreparedText::new(b, false);
+            assert_eq!(
+                j.similarity_prepared(&pa, &pb).to_bits(),
+                j.similarity(a, b).to_bits()
+            );
+            assert_eq!(
+                jw.similarity_prepared(&pa, &pb).to_bits(),
+                jw.similarity(a, b).to_bits()
+            );
         }
     }
 }

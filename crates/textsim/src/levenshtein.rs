@@ -1,13 +1,17 @@
 //! Levenshtein and Damerau-Levenshtein edit distances, normalized to `[0,1]`.
 
+use crate::bitparallel::{myers_ascii_64, myers_distance, PatternBits, PreparedText};
 use crate::traits::StringComparator;
 
 /// Normalized Levenshtein similarity: `1 − d(a,b) / max(|a|, |b|)` where `d`
 /// is the classical edit distance (insertions, deletions, substitutions, all
 /// of cost 1).
 ///
-/// The implementation uses the two-row dynamic program: `O(|a|·|b|)` time and
-/// `O(min(|a|,|b|))` space, comparing Unicode scalar values.
+/// The distance runs Myers' 1999 bit-vector algorithm: `O(⌈m/64⌉·n)` with
+/// word-sized constants, a zero-allocation single-`u64` path for ASCII
+/// pairs whose shorter side fits 64 bytes, and Hyyrö's blocked multi-word
+/// form above that. [`Levenshtein::distance_scalar`] keeps the classical
+/// two-row dynamic program as the property-tested oracle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Levenshtein {
     _priv: (),
@@ -21,6 +25,30 @@ impl Levenshtein {
 
     /// Raw edit distance between `a` and `b`.
     pub fn distance(&self, a: &str, b: &str) -> usize {
+        // Empty sides short-circuit before any table build or allocation.
+        if a.is_empty() {
+            return b.chars().count();
+        }
+        if b.is_empty() {
+            return a.chars().count();
+        }
+        if a.is_ascii() && b.is_ascii() {
+            let (pat, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            if pat.len() <= 64 {
+                return myers_ascii_64(pat.as_bytes(), text.as_bytes());
+            }
+        }
+        // Unicode or > 64-char pattern: heap-built Peq, multi-word as needed
+        // (the shorter side as pattern minimizes words).
+        let (ca, cb) = (a.chars().count(), b.chars().count());
+        let (pat, text) = if ca <= cb { (a, b) } else { (b, a) };
+        myers_distance(&PatternBits::new(pat), text)
+    }
+
+    /// The classical two-row dynamic program (`O(|a|·|b|)` time): retained
+    /// as the exactness oracle for [`distance`](Self::distance) — the
+    /// property tests assert both agree on arbitrary Unicode inputs.
+    pub fn distance_scalar(&self, a: &str, b: &str) -> usize {
         let (short, long): (Vec<char>, Vec<char>) = {
             let av: Vec<char> = a.chars().collect();
             let bv: Vec<char> = b.chars().collect();
@@ -47,12 +75,15 @@ impl Levenshtein {
     }
 
     /// Edit distance with an early-exit bound: returns `None` if the distance
-    /// exceeds `bound`. Useful for cheap candidate filtering: the band of the
-    /// DP matrix explored is `O(bound)` wide.
+    /// exceeds `bound`. The length-difference lower bound is checked before
+    /// the distance is computed (byte lengths suffice for ASCII pairs).
     pub fn distance_within(&self, a: &str, b: &str, bound: usize) -> Option<usize> {
-        let av: Vec<char> = a.chars().collect();
-        let bv: Vec<char> = b.chars().collect();
-        if av.len().abs_diff(bv.len()) > bound {
+        let len_gap = if a.is_ascii() && b.is_ascii() {
+            a.len().abs_diff(b.len())
+        } else {
+            a.chars().count().abs_diff(b.chars().count())
+        };
+        if len_gap > bound {
             return None;
         }
         let d = self.distance(a, b);
@@ -71,6 +102,32 @@ impl StringComparator for Levenshtein {
 
     fn name(&self) -> &str {
         "levenshtein"
+    }
+
+    fn wants_pattern_bits(&self) -> bool {
+        true
+    }
+
+    fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        let max_len = a.char_len().max(b.char_len());
+        if max_len == 0 {
+            return 1.0;
+        }
+        let d = if a.char_len() == 0 || b.char_len() == 0 {
+            max_len
+        } else {
+            let (pat, text) = if a.char_len() <= b.char_len() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            match (pat.bits(), text.bits()) {
+                (Some(bits), _) => myers_distance(bits, text.text()),
+                (None, Some(bits)) => myers_distance(bits, pat.text()),
+                (None, None) => self.distance(pat.text(), text.text()),
+            }
+        };
+        1.0 - d as f64 / max_len as f64
     }
 }
 
@@ -95,15 +152,16 @@ impl DamerauLevenshtein {
 
     /// Raw optimal-string-alignment distance.
     pub fn distance(&self, a: &str, b: &str) -> usize {
+        // Empty sides short-circuit before the char collections.
+        if a.is_empty() {
+            return b.chars().count();
+        }
+        if b.is_empty() {
+            return a.chars().count();
+        }
         let av: Vec<char> = a.chars().collect();
         let bv: Vec<char> = b.chars().collect();
         let (n, m) = (av.len(), bv.len());
-        if n == 0 {
-            return m;
-        }
-        if m == 0 {
-            return n;
-        }
         // Three rows are enough for the OSA recurrence (needs i-2).
         let mut row0: Vec<usize> = vec![0; m + 1]; // i-2
         let mut row1: Vec<usize> = (0..=m).collect(); // i-1
@@ -112,9 +170,7 @@ impl DamerauLevenshtein {
             row2[0] = i;
             for j in 1..=m {
                 let cost = usize::from(av[i - 1] != bv[j - 1]);
-                let mut d = (row1[j - 1] + cost)
-                    .min(row1[j] + 1)
-                    .min(row2[j - 1] + 1);
+                let mut d = (row1[j - 1] + cost).min(row1[j] + 1).min(row2[j - 1] + 1);
                 if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
                     d = d.min(row0[j - 2] + 1);
                 }
@@ -153,6 +209,39 @@ mod tests {
         assert_eq!(l.distance("", "abc"), 3);
         assert_eq!(l.distance("abc", ""), 3);
         assert_eq!(l.distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn bit_parallel_agrees_with_scalar_oracle() {
+        let l = Levenshtein::new();
+        let long: String = ('a'..='z').cycle().take(100).collect();
+        let cases = [
+            ("kitten", "sitting"),
+            ("", ""),
+            ("日本語です", "日本語"),
+            ("café au lait", "cafe au lait"),
+            (long.as_str(), "kitten"),
+            (long.as_str(), &long[3..]),
+        ];
+        for (a, b) in cases {
+            assert_eq!(l.distance(a, b), l.distance_scalar(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn prepared_similarity_matches_unprepared() {
+        use crate::bitparallel::PreparedText;
+        let l = Levenshtein::new();
+        assert!(l.wants_pattern_bits());
+        for (a, b) in [("kitten", "sitting"), ("", "x"), ("café", "cafe"), ("", "")] {
+            let pa = PreparedText::new(a, true);
+            let pb = PreparedText::new(b, true);
+            assert_eq!(
+                l.similarity_prepared(&pa, &pb).to_bits(),
+                l.similarity(a, b).to_bits(),
+                "{a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

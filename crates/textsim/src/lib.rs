@@ -26,6 +26,31 @@
 //!   ontologies (Section III-C "semantic means").
 //! * [`combine`] — weighted ensembles, max/min combinators and gates.
 //!
+//! # Kernel tiers
+//!
+//! The hot kernels are layered so every input gets the fastest exact
+//! implementation available (see [`bitparallel`]):
+//!
+//! 1. **Bit-parallel fast path** — chosen automatically when the inputs
+//!    allow it: Myers' 1999 bit-vector algorithm for [`Levenshtein`]
+//!    (single-`u64` for patterns ≤ 64 chars, Hyyrö's blocked multi-word
+//!    form above), byte-chunked XOR + popcount for [`NormalizedHamming`]
+//!    on ASCII, and a `u128`-bitset matching scan for [`Jaro`] /
+//!    [`JaroWinkler`] on ASCII inputs up to 128 bytes.
+//! 2. **Scalar fallback** — the classical character-level loops, taken for
+//!    non-ASCII or oversized inputs and retained as the exactness oracle:
+//!    the fast path must produce bitwise-identical results, which the
+//!    `bitparallel_oracle` property tests enforce on arbitrary Unicode
+//!    strings across the 64/65-char word boundary.
+//!
+//! Callers that compare the same strings many times (the interned matching
+//! path in `probdedup-matching`) can additionally precompute a
+//! [`PreparedText`] per distinct string —
+//! [`StringComparator::similarity_prepared`] then skips the per-comparison
+//! ASCII scans, length counts and Myers `Peq` table builds. The
+//! [`Normalizer`] has a matching single-allocation fast path for ASCII
+//! inputs on the preparation side.
+//!
 //! # Example
 //!
 //! ```
@@ -37,6 +62,7 @@
 //! ```
 
 pub mod alignment;
+pub mod bitparallel;
 pub mod combine;
 pub mod hamming;
 pub mod jaro;
@@ -51,6 +77,7 @@ pub mod token;
 pub mod traits;
 
 pub use alignment::SmithWaterman;
+pub use bitparallel::{hamming_bytes, myers_distance, PatternBits, PreparedText};
 pub use combine::{MaxOf, MinOf, ThresholdGate, WeightedEnsemble};
 pub use hamming::NormalizedHamming;
 pub use jaro::{Jaro, JaroWinkler};

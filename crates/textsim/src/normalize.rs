@@ -70,8 +70,63 @@ impl Normalizer {
     }
 
     /// Apply the configured transformations to `s`.
+    ///
+    /// ASCII inputs (the common case after source-convention cleanup) take
+    /// a single-pass path that builds exactly one output allocation; the
+    /// general path below applies the same steps with per-step buffers.
+    /// Both produce identical output for ASCII inputs (property-tested).
     pub fn apply(&self, s: &str) -> String {
-        let mut out: String = if self.trim { s.trim().to_string() } else { s.to_string() };
+        let mut out = if s.is_ascii() {
+            self.apply_ascii(s)
+        } else {
+            self.apply_general(s)
+        };
+        for (from, to) in &self.replacements {
+            out = out.replace(from.as_str(), to);
+        }
+        out
+    }
+
+    /// Single-pass ASCII pipeline: trim → case fold → strip punctuation →
+    /// collapse whitespace, one output `String`, no intermediate buffers.
+    /// Diacritic folding is the identity on ASCII and is skipped.
+    fn apply_ascii(&self, s: &str) -> String {
+        let s = if self.trim { s.trim() } else { s };
+        let mut out = String::with_capacity(s.len());
+        let mut pending_space = false;
+        for &b in s.as_bytes() {
+            let b = if self.lowercase {
+                b.to_ascii_lowercase()
+            } else {
+                b
+            };
+            let c = b as char;
+            if self.strip_punctuation && c.is_ascii_punctuation() {
+                continue;
+            }
+            if self.collapse_whitespace {
+                if c.is_whitespace() {
+                    pending_space = true;
+                    continue;
+                }
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// The general (Unicode) pipeline, also the oracle the ASCII path is
+    /// tested against. Replacements are applied by [`apply`](Self::apply).
+    fn apply_general(&self, s: &str) -> String {
+        let mut out: String = if self.trim {
+            s.trim().to_string()
+        } else {
+            s.to_string()
+        };
         if self.lowercase {
             out = out.to_lowercase();
         }
@@ -99,9 +154,6 @@ impl Normalizer {
                 collapsed.pop();
             }
             out = collapsed;
-        }
-        for (from, to) in &self.replacements {
-            out = out.replace(from.as_str(), to);
         }
         out
     }
@@ -138,7 +190,10 @@ mod tests {
 
     #[test]
     fn identity_by_default() {
-        assert_eq!(Normalizer::new().apply("  MiXed,  Case! "), "  MiXed,  Case! ");
+        assert_eq!(
+            Normalizer::new().apply("  MiXed,  Case! "),
+            "  MiXed,  Case! "
+        );
     }
 
     #[test]
@@ -175,5 +230,43 @@ mod tests {
     fn empty_input() {
         assert_eq!(Normalizer::standard().apply(""), "");
         assert_eq!(Normalizer::standard().apply("   "), "");
+    }
+
+    /// Every configuration subset: the single-pass ASCII path must produce
+    /// the same output as the general pipeline.
+    #[test]
+    fn ascii_fast_path_matches_general() {
+        let inputs = [
+            "",
+            "   ",
+            "  MiXed,  Case! ",
+            "a \t b\n\nc",
+            "trailing space  ",
+            "\x0bvertical\x0btab",
+            "A.B,C;D:E!F?G",
+            "double  space,  and CAPS",
+        ];
+        for bits in 0u8..16 {
+            let mut n = Normalizer::new();
+            if bits & 1 != 0 {
+                n = n.trim();
+            }
+            if bits & 2 != 0 {
+                n = n.lowercase();
+            }
+            if bits & 4 != 0 {
+                n = n.strip_punctuation();
+            }
+            if bits & 8 != 0 {
+                n = n.collapse_whitespace();
+            }
+            for s in inputs {
+                assert_eq!(
+                    n.apply_ascii(s),
+                    n.apply_general(s),
+                    "config {bits:#06b} on {s:?}"
+                );
+            }
+        }
     }
 }

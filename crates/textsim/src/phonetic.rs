@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn smith_smyth_match() {
         assert_eq!(soundex("Smith"), soundex("Smyth"));
-        assert_eq!(SoundexComparator::strict().similarity("Smith", "Smyth"), 1.0);
+        assert_eq!(
+            SoundexComparator::strict().similarity("Smith", "Smyth"),
+            1.0
+        );
     }
 
     #[test]

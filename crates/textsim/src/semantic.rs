@@ -99,10 +99,7 @@ impl StringComparator for Glossary {
                     self.across_groups
                 }
             }
-            _ => self
-                .fallback
-                .as_ref()
-                .map_or(0.0, |f| f.similarity(a, b)),
+            _ => self.fallback.as_ref().map_or(0.0, |f| f.similarity(a, b)),
         }
     }
 
@@ -150,11 +147,7 @@ impl Taxonomy {
             .unwrap_or_else(|| panic!("unknown taxonomy parent {parent:?}"));
         let depth = self.nodes[p].1 + 1;
         let id = self.nodes.len();
-        if self
-            .index
-            .insert(child.to_lowercase(), id)
-            .is_none()
-        {
+        if self.index.insert(child.to_lowercase(), id).is_none() {
             self.nodes.push((p, depth));
         }
         self
@@ -201,10 +194,7 @@ impl StringComparator for Taxonomy {
                 let (da, db) = (self.nodes[ia].1, self.nodes[ib].1);
                 2.0 * f64::from(lca) / f64::from(da + db)
             }
-            _ => self
-                .fallback
-                .as_ref()
-                .map_or(0.0, |f| f.similarity(a, b)),
+            _ => self.fallback.as_ref().map_or(0.0, |f| f.similarity(a, b)),
         }
     }
 
@@ -302,7 +292,9 @@ mod tests {
     #[test]
     fn symmetry() {
         let t = job_taxonomy();
-        assert!((t.similarity("baker", "engineer") - t.similarity("engineer", "baker")).abs() < 1e-12);
+        assert!(
+            (t.similarity("baker", "engineer") - t.similarity("engineer", "baker")).abs() < 1e-12
+        );
         let g = Glossary::new().add_group(["x", "y"]);
         assert!((g.similarity("x", "y") - g.similarity("y", "x")).abs() < 1e-12);
     }

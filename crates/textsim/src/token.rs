@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn tokenize_splits_and_lowercases() {
-        assert_eq!(tokenize("van Keulen, Maurice"), vec!["van", "keulen", "maurice"]);
+        assert_eq!(
+            tokenize("van Keulen, Maurice"),
+            vec!["van", "keulen", "maurice"]
+        );
         assert_eq!(tokenize("  "), Vec::<String>::new());
         assert_eq!(tokenize("a-b_c"), vec!["a", "b", "c"]);
     }

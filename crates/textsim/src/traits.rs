@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use crate::bitparallel::PreparedText;
+
 /// A normalized comparison function on strings.
 ///
 /// Implementations must guarantee, for all inputs `a`, `b`:
@@ -21,37 +23,50 @@ pub trait StringComparator: Send + Sync {
     fn name(&self) -> &str {
         "comparator"
     }
+
+    /// Whether [`similarity_prepared`](Self::similarity_prepared) benefits
+    /// from the Myers `Peq` table in [`PreparedText`]. Callers that prepare
+    /// strings once and compare many times (the interned matching path)
+    /// only pay for the table when the kernel will use it.
+    fn wants_pattern_bits(&self) -> bool {
+        false
+    }
+
+    /// Similarity of two [`PreparedText`]s.
+    ///
+    /// Must return the **same value** as `similarity(a.text(), b.text())`
+    /// — preparation is a performance contract, not a semantic one. The
+    /// default delegates; kernels with a bit-parallel fast path override it
+    /// to reuse the precomputed ASCII class, character length and pattern
+    /// bitmasks.
+    fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+        self.similarity(a.text(), b.text())
+    }
 }
 
 /// A cheaply cloneable, shareable comparator handle.
 pub type SharedComparator = Arc<dyn StringComparator>;
 
-impl<T: StringComparator + ?Sized> StringComparator for Arc<T> {
-    fn similarity(&self, a: &str, b: &str) -> f64 {
-        (**self).similarity(a, b)
-    }
-    fn name(&self) -> &str {
-        (**self).name()
-    }
+macro_rules! impl_delegating_comparator {
+    ($($ptr:ty),*) => {$(
+        impl<T: StringComparator + ?Sized> StringComparator for $ptr {
+            fn similarity(&self, a: &str, b: &str) -> f64 {
+                (**self).similarity(a, b)
+            }
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn wants_pattern_bits(&self) -> bool {
+                (**self).wants_pattern_bits()
+            }
+            fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
+                (**self).similarity_prepared(a, b)
+            }
+        }
+    )*};
 }
 
-impl<T: StringComparator + ?Sized> StringComparator for &T {
-    fn similarity(&self, a: &str, b: &str) -> f64 {
-        (**self).similarity(a, b)
-    }
-    fn name(&self) -> &str {
-        (**self).name()
-    }
-}
-
-impl<T: StringComparator + ?Sized> StringComparator for Box<T> {
-    fn similarity(&self, a: &str, b: &str) -> f64 {
-        (**self).similarity(a, b)
-    }
-    fn name(&self) -> &str {
-        (**self).name()
-    }
-}
+impl_delegating_comparator!(Arc<T>, &T, Box<T>);
 
 /// Exact equality: `1.0` iff the strings are identical, else `0.0`.
 ///

@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 
 use probdedup_textsim::{
-    DamerauLevenshtein, SmithWaterman, Exact, Jaro, JaroWinkler, Lcs, Levenshtein, MongeElkan, NormalizedHamming,
-    ProfileSimilarity, QGram, SoundexComparator, StringComparator, TokenJaccard, TokenSort,
+    DamerauLevenshtein, Exact, Jaro, JaroWinkler, Lcs, Levenshtein, MongeElkan, NormalizedHamming,
+    ProfileSimilarity, QGram, SmithWaterman, SoundexComparator, StringComparator, TokenJaccard,
+    TokenSort,
 };
 
 fn all_comparators() -> Vec<Box<dyn StringComparator>> {

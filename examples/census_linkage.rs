@@ -19,18 +19,18 @@ use probdedup::core::pipeline::{DedupPipeline, ReductionStrategy};
 use probdedup::core::prepare::Preparation;
 use probdedup::core::prob_result::probabilistic_result;
 use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_decision::ExpectedMatchingResult;
 use probdedup::decision::em::{binarize, fit_em, EmConfig};
 use probdedup::decision::model::{DecisionModel, FsModel};
 use probdedup::decision::threshold::MatchClass;
-use probdedup::decision::derive_decision::ExpectedMatchingResult;
-use probdedup::decision::combine::WeightedSum;
-use probdedup::decision::xmodel::DecisionBasedModel;
 use probdedup::decision::threshold::Thresholds;
+use probdedup::decision::xmodel::DecisionBasedModel;
 use probdedup::eval::{ConfusionCounts, EffectivenessMetrics, Table};
 use probdedup::matching::matrix::compare_xtuples;
+use probdedup::matching::vector::compare_tuples;
 use probdedup::matching::vector::AttributeComparators;
 use probdedup::model::convert::marginalize_xtuple;
-use probdedup::matching::vector::compare_tuples;
 use probdedup::reduction::{ranked_snm, KeyPart, KeySpec, RankingFunction};
 use probdedup::textsim::JaroWinkler;
 
@@ -59,18 +59,19 @@ fn main() {
     // --- Candidate generation: ranked SNM over uncertain keys. ----------
     let spec = KeySpec::new(vec![KeyPart::prefix(0, 4), KeyPart::prefix(2, 2)]);
     let comparators = AttributeComparators::uniform(&ds.schema, JaroWinkler::new());
-    let (candidates, _) =
-        ranked_snm(combined.xtuples(), &spec, 12, RankingFunction::ExpectedScore);
+    let (candidates, _) = ranked_snm(
+        combined.xtuples(),
+        &spec,
+        12,
+        RankingFunction::ExpectedScore,
+    );
     println!("candidate pairs after reduction: {}", candidates.len());
 
     // --- Unsupervised Fellegi–Sunter fit on the candidates. -------------
     // Comparison vectors of candidate pairs via per-attribute expected
     // similarity of the *marginalized* tuples (the classical FS view).
-    let marginals: Vec<probdedup::model::tuple::ProbTuple> = combined
-        .xtuples()
-        .iter()
-        .map(marginalize_xtuple)
-        .collect();
+    let marginals: Vec<probdedup::model::tuple::ProbTuple> =
+        combined.xtuples().iter().map(marginalize_xtuple).collect();
     let vectors: Vec<Vec<f64>> = candidates
         .pairs()
         .iter()
@@ -124,9 +125,8 @@ fn main() {
             MatchClass::NonMatch => {}
         }
     }
-    let fs_metrics = EffectivenessMetrics::from_counts(&ConfusionCounts::from_pair_sets(
-        &predicted, &truth, n,
-    ));
+    let fs_metrics =
+        EffectivenessMetrics::from_counts(&ConfusionCounts::from_pair_sets(&predicted, &truth, n));
     let review_metrics = EffectivenessMetrics::from_counts(&ConfusionCounts::from_pair_sets(
         &with_review,
         &truth,

@@ -16,9 +16,7 @@ use probdedup::decision::combine::{CombinationFunction, WeightedSum};
 use probdedup::decision::derive_decision::MatchingWeightDerivation;
 use probdedup::decision::derive_sim::ExpectedSimilarity;
 use probdedup::decision::threshold::Thresholds;
-use probdedup::decision::xmodel::{
-    DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel,
-};
+use probdedup::decision::xmodel::{DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel};
 use probdedup::matching::matrix::compare_xtuples;
 use probdedup::matching::pvalue_sim::pvalue_similarity;
 use probdedup::matching::value_cmp::ValueComparator;
@@ -85,7 +83,12 @@ fn fig7_worlds_and_derivations() {
                 None => format!("{l}=∅"),
             })
             .collect();
-        println!("  I{} [{}]  P = {:.2}", i + 1, desc.join(", "), w.probability);
+        println!(
+            "  I{} [{}]  P = {:.2}",
+            i + 1,
+            desc.join(", "),
+            w.probability
+        );
     }
     let pb = probdedup::model::condition::existence_event_probability(&pair);
     println!("P(B) = {pb:.2}   (paper: 0.72)");
@@ -173,19 +176,15 @@ fn fig9_to_13_snm() {
     println!("=== Fig. 13 / Section V-A.4: uncertain keys + ranking ===");
     for t in tuples {
         let keys = spec.xtuple_keys(t);
-        let rendered: Vec<String> = keys
-            .iter()
-            .map(|(k, p)| format!("{k} ({p:.1})"))
-            .collect();
-        println!(
-            "  {}: {}",
-            t.label().unwrap_or("?"),
-            rendered.join(", ")
-        );
+        let rendered: Vec<String> = keys.iter().map(|(k, p)| format!("{k} ({p:.1})")).collect();
+        println!("  {}: {}", t.label().unwrap_or("?"), rendered.join(", "));
     }
     let (pairs, order) = ranked_snm(tuples, &spec, 2, RankingFunction::MostProbableKey);
     let ranked: Vec<&str> = order.iter().map(|&i| labels[i]).collect();
-    println!("  ranked order: {}   (paper: t32, t31, t41, t43, t42)", ranked.join(", "));
+    println!(
+        "  ranked order: {}   (paper: t32, t31, t41, t43, t42)",
+        ranked.join(", ")
+    );
     println!("  matchings: {}", show(pairs.pairs()));
     println!();
 }
@@ -205,5 +204,8 @@ fn fig14_blocking() {
         .iter()
         .map(|&(i, j)| format!("({}, {})", labels[i], labels[j]))
         .collect();
-    println!("  matchings: {}   (paper: three matchings)", shown.join(", "));
+    println!(
+        "  matchings: {}   (paper: three matchings)",
+        shown.join(", ")
+    );
 }

@@ -65,7 +65,11 @@ fn main() {
 
     println!("\nmatches:");
     for d in result.matches() {
-        println!("  {} ↔ {}", result.handle(d.pair.0), result.handle(d.pair.1));
+        println!(
+            "  {} ↔ {}",
+            result.handle(d.pair.0),
+            result.handle(d.pair.1)
+        );
     }
     println!("\npossible matches (clerical review):");
     for d in result.possible_matches() {
@@ -78,7 +82,10 @@ fn main() {
     }
     println!("\nduplicate clusters:");
     for cluster in &result.clusters {
-        let members: Vec<String> = cluster.iter().map(|&r| result.handle(r).to_string()).collect();
+        let members: Vec<String> = cluster
+            .iter()
+            .map(|&r| result.handle(r).to_string())
+            .collect();
         println!("  {{{}}}", members.join(", "));
     }
 

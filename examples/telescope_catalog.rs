@@ -52,8 +52,19 @@ fn star_dictionaries() -> Dictionaries {
         "red giant",
     ];
     let regions = [
-        "Andromeda", "Orion", "Cygnus", "Lyra", "Draco", "Perseus", "Cassiopeia",
-        "Sagittarius", "Scorpius", "Centaurus", "Carina", "Vela", "Pegasus",
+        "Andromeda",
+        "Orion",
+        "Cygnus",
+        "Lyra",
+        "Draco",
+        "Perseus",
+        "Cassiopeia",
+        "Sagittarius",
+        "Scorpius",
+        "Centaurus",
+        "Carina",
+        "Vela",
+        "Pegasus",
     ];
     Dictionaries::new(
         &designations.iter().map(String::as_str).collect::<Vec<_>>(),

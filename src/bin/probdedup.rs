@@ -70,9 +70,7 @@ impl Args {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             items.push((name.to_string(), value.clone()));
         }
         Ok(Self { items })

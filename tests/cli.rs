@@ -33,7 +33,11 @@ fn generate_stats_dedup_roundtrip() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("wrote"), "{stdout}");
     let src0 = format!("{prefix_str}.source0.pxr");
@@ -48,7 +52,10 @@ fn generate_stats_dedup_roundtrip() {
     assert!(!parsed.is_empty());
 
     // stats
-    let out = bin().args(["stats", "--input", &src0]).output().expect("run stats");
+    let out = bin()
+        .args(["stats", "--input", &src0])
+        .output()
+        .expect("run stats");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("tuples:"), "{stdout}");
@@ -71,7 +78,11 @@ fn generate_stats_dedup_roundtrip() {
         ])
         .output()
         .expect("run dedup");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("candidate pairs compared"), "{stdout}");
     assert!(stdout.contains("duplicate clusters:"), "{stdout}");

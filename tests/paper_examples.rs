@@ -7,9 +7,7 @@ use probdedup::decision::combine::{CombinationFunction, WeightedSum};
 use probdedup::decision::derive_decision::{ExpectedMatchingResult, MatchingWeightDerivation};
 use probdedup::decision::derive_sim::ExpectedSimilarity;
 use probdedup::decision::threshold::{MatchClass, Thresholds};
-use probdedup::decision::xmodel::{
-    DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel,
-};
+use probdedup::decision::xmodel::{DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel};
 use probdedup::matching::matrix::compare_xtuples;
 use probdedup::matching::pvalue_sim::pvalue_similarity;
 use probdedup::matching::value_cmp::ValueComparator;

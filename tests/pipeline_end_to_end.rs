@@ -12,9 +12,7 @@ use probdedup::decision::combine::WeightedSum;
 use probdedup::decision::derive_decision::MatchingWeightDerivation;
 use probdedup::decision::derive_sim::ExpectedSimilarity;
 use probdedup::decision::threshold::Thresholds;
-use probdedup::decision::xmodel::{
-    DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel,
-};
+use probdedup::decision::xmodel::{DecisionBasedModel, SimilarityBasedModel, XTupleDecisionModel};
 use probdedup::eval::{ConfusionCounts, EffectivenessMetrics};
 use probdedup::matching::vector::AttributeComparators;
 use probdedup::reduction::{KeyPart, KeySpec, RankingFunction, WorldSelection};
@@ -60,7 +58,10 @@ fn run(reduction: ReductionStrategy, model: Arc<dyn XTupleDecisionModel>) -> (us
     let sources: Vec<&probdedup::model::relation::XRelation> = ds.relations.iter().collect();
     let result = DedupPipeline::builder()
         .preparation(Preparation::standard_all(4))
-        .comparators(AttributeComparators::uniform(&ds.schema, JaroWinkler::new()))
+        .comparators(AttributeComparators::uniform(
+            &ds.schema,
+            JaroWinkler::new(),
+        ))
         .model(model)
         .reduction(reduction)
         .threads(2)
@@ -139,7 +140,10 @@ fn probabilistic_result_is_valid() {
     let ds = dataset();
     let sources: Vec<&probdedup::model::relation::XRelation> = ds.relations.iter().collect();
     let result = DedupPipeline::builder()
-        .comparators(AttributeComparators::uniform(&ds.schema, JaroWinkler::new()))
+        .comparators(AttributeComparators::uniform(
+            &ds.schema,
+            JaroWinkler::new(),
+        ))
         .model(similarity_model())
         .reduction(ReductionStrategy::Full)
         .build()

@@ -19,18 +19,16 @@ use probdedup::paper;
 use probdedup::textsim::NormalizedHamming;
 
 fn arb_xtuple() -> impl Strategy<Value = XTuple> {
-    proptest::collection::vec(("[A-C][a-b]{1,2}", "[x-z]{1,2}", 1u32..40), 1..4).prop_map(
-        |alts| {
-            let total: u32 = alts.iter().map(|(_, _, w)| *w).sum();
-            let denom = f64::from(total) * 1.2;
-            let s = Schema::new(["name", "job"]);
-            let mut b = XTuple::builder(&s);
-            for (n, j, w) in alts {
-                b = b.alt(f64::from(w) / denom, [n, j]);
-            }
-            b.build().unwrap()
-        },
-    )
+    proptest::collection::vec(("[A-C][a-b]{1,2}", "[x-z]{1,2}", 1u32..40), 1..4).prop_map(|alts| {
+        let total: u32 = alts.iter().map(|(_, _, w)| *w).sum();
+        let denom = f64::from(total) * 1.2;
+        let s = Schema::new(["name", "job"]);
+        let mut b = XTuple::builder(&s);
+        for (n, j, w) in alts {
+            b = b.alt(f64::from(w) / denom, [n, j]);
+        }
+        b.build().unwrap()
+    })
 }
 
 fn comparators() -> AttributeComparators {

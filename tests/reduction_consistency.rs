@@ -5,9 +5,8 @@
 use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
 use probdedup::eval::ReductionMetrics;
 use probdedup::reduction::{
-    block_alternatives, block_conflict_resolved, conflict_resolved_snm, multipass_snm,
-    ranked_snm, sorting_alternatives, ConflictResolution, KeyPart, KeySpec, RankingFunction,
-    WorldSelection,
+    block_alternatives, block_conflict_resolved, conflict_resolved_snm, multipass_snm, ranked_snm,
+    sorting_alternatives, ConflictResolution, KeyPart, KeySpec, RankingFunction, WorldSelection,
 };
 
 fn dataset() -> probdedup::datagen::SyntheticDataset {
@@ -64,8 +63,7 @@ fn completeness_monotonicity() {
     let mut last_pc = -1.0;
     for k in [1usize, 2, 4, 8] {
         let r = multipass_snm(tuples, &key(), 4, WorldSelection::TopK(k));
-        let pc = ReductionMetrics::evaluate(&to_set(r.pairs.pairs()), &truth, n)
-            .pairs_completeness;
+        let pc = ReductionMetrics::evaluate(&to_set(r.pairs.pairs()), &truth, n).pairs_completeness;
         assert!(pc >= last_pc - 1e-12, "k = {k}: {pc} < {last_pc}");
         last_pc = pc;
     }
@@ -73,8 +71,7 @@ fn completeness_monotonicity() {
     let mut last_pc = -1.0;
     for w in [2usize, 4, 8, 16] {
         let r = sorting_alternatives(tuples, &key(), w);
-        let pc = ReductionMetrics::evaluate(&to_set(r.pairs.pairs()), &truth, n)
-            .pairs_completeness;
+        let pc = ReductionMetrics::evaluate(&to_set(r.pairs.pairs()), &truth, n).pairs_completeness;
         assert!(pc >= last_pc - 1e-12, "w = {w}: {pc} < {last_pc}");
         last_pc = pc;
     }
@@ -111,14 +108,21 @@ fn all_methods_actually_reduce() {
     let total = n * (n - 1) / 2;
     let spec = key();
     let counts = vec![
-        multipass_snm(tuples, &spec, 4, WorldSelection::DiverseTopK { k: 3, pool: 16 })
-            .pairs
-            .len(),
+        multipass_snm(
+            tuples,
+            &spec,
+            4,
+            WorldSelection::DiverseTopK { k: 3, pool: 16 },
+        )
+        .pairs
+        .len(),
         conflict_resolved_snm(tuples, &spec, 4, ConflictResolution::MostProbableKey)
             .0
             .len(),
         sorting_alternatives(tuples, &spec, 4).pairs.len(),
-        ranked_snm(tuples, &spec, 4, RankingFunction::ExpectedScore).0.len(),
+        ranked_snm(tuples, &spec, 4, RankingFunction::ExpectedScore)
+            .0
+            .len(),
         block_alternatives(tuples, &spec).pairs.len(),
     ];
     for c in counts {
