@@ -14,7 +14,7 @@
 //!     --quick --baseline BENCH_pipeline.json   # CI perf-regression gate
 //! ```
 //!
-//! Four modes are measured:
+//! The measured modes:
 //!
 //! * `plain`       — no similarity memoization (`cache_similarities(false)`);
 //! * `value-cache` — the pre-interning design: Eq. 5 through a
@@ -26,7 +26,20 @@
 //! * `textsim`     — raw string-kernel throughput (Jaro-Winkler,
 //!   Levenshtein, Hamming over the workload's distinct attribute values):
 //!   isolates the cache-miss cost the bit-parallel kernels target, with
-//!   no cache, pruning or decision logic in the way.
+//!   no cache, pruning or decision logic in the way;
+//! * `snm-multipass` / `snm-multipass-strkey` — reduction-phase
+//!   throughput of multi-pass SNM (8 possible-world passes, window 6)
+//!   with interned key symbols vs the string-key oracle that re-renders
+//!   keys every pass: candidate pairs generated per second;
+//! * `blocking-multipass` / `blocking-multipass-strkey` — multi-pass
+//!   blocking over the same 8 worlds: the interned path buckets each
+//!   pass on the key table's symbols; the oracle (like the pre-interning
+//!   implementation) renders the key strings once but still clones and
+//!   hashes them per pass;
+//! * `blocking-alt` / `blocking-alt-strkey` — single-pass per-alternative
+//!   blocking (Fig. 14), symbols vs strings. With every key seen exactly
+//!   once there is no reuse to win on — this mode tracks the interning
+//!   overhead floor rather than a speedup.
 //!
 //! With `--baseline FILE`, every measured `(mode, entities, threads)`
 //! configuration also present in `FILE` (a previously committed
@@ -37,7 +50,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use probdedup_bench::{experiment_model, experiment_pipeline_cached, workload, SEED};
+use probdedup_bench::{
+    experiment_key, experiment_model, experiment_pipeline_cached, workload, SEED,
+};
 use probdedup_core::exec::par_map_index;
 use probdedup_core::pipeline::ReductionStrategy;
 use probdedup_core::prepare::Preparation;
@@ -47,6 +62,10 @@ use probdedup_matching::vector::AttributeComparators;
 use probdedup_model::relation::XRelation;
 use probdedup_model::value::Value;
 use probdedup_model::ValuePool;
+use probdedup_reduction::{
+    block_alternatives, block_alternatives_oracle, block_multipass, block_multipass_oracle,
+    multipass_snm_oracle, multipass_snm_pairs, WorldSelection,
+};
 use probdedup_textsim::{JaroWinkler, Levenshtein, NormalizedHamming, StringComparator};
 
 /// Maximum allowed throughput drop vs the baseline before the gate fails:
@@ -135,6 +154,12 @@ fn main() {
         // nothing else (threads are irrelevant; measured single-threaded).
         runs.push(textsim_mode(entities, rows, &sources));
         print_run(runs.last().expect("just pushed"));
+        // Reduction-phase throughput: interned keys vs the string-key
+        // oracle (threads are irrelevant; measured single-threaded).
+        for run in reduction_modes(entities, rows, &sources) {
+            print_run(&run);
+            runs.push(run);
+        }
     }
 
     let json = render_json(&runs);
@@ -248,11 +273,9 @@ fn gate_against_baseline(runs: &[Run], baseline: &[BaselineRun], path: &str) -> 
     }
 }
 
-/// Raw kernel throughput over the workload's distinct prepared text
-/// values: every unordered pair through Jaro-Winkler (the pipeline
-/// kernel), Levenshtein and normalized Hamming. `candidates` counts
-/// kernel evaluations; no cache can hide kernel cost here.
-fn textsim_mode(entities: usize, rows: usize, sources: &[&XRelation]) -> Run {
+/// The pipeline's combination + preparation steps, shared by the
+/// reduction and kernel modes.
+fn prepared_combined(sources: &[&XRelation]) -> XRelation {
     let mut combined = XRelation::new(sources[0].schema().clone());
     for src in sources {
         for t in src.xtuples() {
@@ -260,6 +283,81 @@ fn textsim_mode(entities: usize, rows: usize, sources: &[&XRelation]) -> Run {
         }
     }
     Preparation::standard_all(4).apply(&mut combined);
+    combined
+}
+
+/// Reduction-phase throughput: multi-pass SNM (8 top-probability worlds,
+/// window 6) and per-alternative blocking over the prepared combined
+/// relation, each in its interned-key and string-key-oracle variant.
+/// `candidates` counts the candidate pairs one run generates;
+/// `pairs_per_sec` is candidate pairs generated per second across
+/// repeated runs (the whole phase, including key-table construction, is
+/// inside the timed region). Each mode repeats until it has accumulated
+/// at least `REDUCTION_MIN_WALL` (250 ms) of measured time, so
+/// sub-millisecond phases don't feed scheduler noise into the ±25%
+/// regression gate.
+fn reduction_modes(entities: usize, rows: usize, sources: &[&XRelation]) -> Vec<Run> {
+    const SNM_WINDOW: usize = 6;
+    const SNM_PASSES: usize = 8;
+    /// Minimum accumulated measurement window per mode.
+    const REDUCTION_MIN_WALL: f64 = 0.25;
+    let combined = prepared_combined(sources);
+    let tuples = combined.xtuples();
+    let spec = experiment_key();
+    let selection = WorldSelection::TopK(SNM_PASSES);
+    let mut runs = Vec::new();
+    let mut measure = |mode: &'static str, f: &dyn Fn() -> usize| {
+        let start = Instant::now();
+        let mut pairs = f();
+        let mut reps = 1usize;
+        while start.elapsed().as_secs_f64() < REDUCTION_MIN_WALL {
+            pairs = f();
+            reps += 1;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        runs.push(Run {
+            entities,
+            rows,
+            mode,
+            threads: 1,
+            candidates: pairs,
+            wall_ms: wall * 1e3 / reps as f64,
+            pairs_per_sec: (pairs * reps) as f64 / wall,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_hit_rate: 0.0,
+            interned_values: 0,
+        });
+    };
+    measure("snm-multipass", &|| {
+        multipass_snm_pairs(tuples, &spec, SNM_WINDOW, selection).len()
+    });
+    measure("snm-multipass-strkey", &|| {
+        multipass_snm_oracle(tuples, &spec, SNM_WINDOW, selection)
+            .pairs
+            .len()
+    });
+    measure("blocking-multipass", &|| {
+        block_multipass(tuples, &spec, selection).pairs.len()
+    });
+    measure("blocking-multipass-strkey", &|| {
+        block_multipass_oracle(tuples, &spec, selection).pairs.len()
+    });
+    measure("blocking-alt", &|| {
+        block_alternatives(tuples, &spec).pairs.len()
+    });
+    measure("blocking-alt-strkey", &|| {
+        block_alternatives_oracle(tuples, &spec).pairs.len()
+    });
+    runs
+}
+
+/// Raw kernel throughput over the workload's distinct prepared text
+/// values: every unordered pair through Jaro-Winkler (the pipeline
+/// kernel), Levenshtein and normalized Hamming. `candidates` counts
+/// kernel evaluations; no cache can hide kernel cost here.
+fn textsim_mode(entities: usize, rows: usize, sources: &[&XRelation]) -> Run {
+    let combined = prepared_combined(sources);
     let mut pool = ValuePool::new();
     for t in combined.xtuples() {
         for alt in t.alternatives() {

@@ -5,6 +5,17 @@
 //! `probdedup::paper`; this crate adds the synthetic workloads used by the
 //! quantitative experiments E1–E6 of DESIGN.md, with fixed seeds so bench
 //! and experiment outputs are reproducible run to run.
+//!
+//! # Example
+//!
+//! ```
+//! use probdedup_bench::{experiment_key, workload};
+//!
+//! let ds = workload(25); // 25 entities across two sources, fixed seed
+//! assert_eq!(ds.relations.len(), 2);
+//! assert!(ds.total_rows() >= 25);
+//! assert_eq!(experiment_key().parts().len(), 2); // name[..3] + city[..2]
+//! ```
 
 use std::sync::Arc;
 

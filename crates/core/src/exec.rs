@@ -31,7 +31,7 @@ const INLINE_THRESHOLD: usize = 64;
 
 /// Map `f` over `0..n` with `threads` workers stealing chunks from a shared
 /// cursor; returns results in index order. `threads <= 1` (or an `n` below
-/// [`INLINE_THRESHOLD`]) runs inline without spawning.
+/// the inline threshold of 64) runs inline without spawning.
 pub fn par_map_index<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,

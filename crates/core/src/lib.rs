@@ -20,6 +20,45 @@
 //! conclusion's outlook: emitting the *uncertainty of the dedup decision
 //! itself* as probabilistic data (mutually exclusive sets of tuples).
 //!
+//! # Example
+//!
+//! A minimal end-to-end run over one two-tuple relation:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use probdedup_core::pipeline::{DedupPipeline, ReductionStrategy};
+//! use probdedup_decision::combine::WeightedSum;
+//! use probdedup_decision::derive_sim::ExpectedSimilarity;
+//! use probdedup_decision::threshold::Thresholds;
+//! use probdedup_decision::xmodel::SimilarityBasedModel;
+//! use probdedup_matching::vector::AttributeComparators;
+//! use probdedup_model::relation::XRelation;
+//! use probdedup_model::schema::Schema;
+//! use probdedup_model::xtuple::XTuple;
+//! use probdedup_textsim::NormalizedHamming;
+//!
+//! let schema = Schema::new(["name", "job"]);
+//! let mut r = XRelation::new(schema.clone());
+//! r.push(XTuple::builder(&schema).alt(1.0, ["John", "pilot"]).build().unwrap());
+//! r.push(XTuple::builder(&schema).alt(0.8, ["John", "pilot"]).build().unwrap());
+//!
+//! let pipeline = DedupPipeline::builder()
+//!     .comparators(AttributeComparators::uniform(&schema, NormalizedHamming::new()))
+//!     .model(Arc::new(SimilarityBasedModel::new(
+//!         Arc::new(WeightedSum::new([0.8, 0.2]).unwrap()),
+//!         Arc::new(ExpectedSimilarity),
+//!         Thresholds::new(0.6, 0.8).unwrap(),
+//!     )))
+//!     .reduction(ReductionStrategy::Full)
+//!     .build();
+//! let result = pipeline.run(&[&r]).unwrap();
+//! assert_eq!(result.candidates, 1);
+//! // Identical value distributions match despite the differing
+//! // membership probabilities (Section IV: membership must not
+//! // influence dedup).
+//! assert_eq!(result.clusters, vec![vec![0, 1]]);
+//! ```
+//!
 //! [`XTupleDecisionModel`]: probdedup_decision::xmodel::XTupleDecisionModel
 
 pub mod cluster;

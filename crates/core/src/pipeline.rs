@@ -14,10 +14,18 @@
 //!   upper-bound pruning (see `probdedup_matching::interned`).
 //!
 //! Either mode executes candidate pairs with the work-stealing
-//! [`par_map_index`](crate::exec::par_map_index) executor, so skewed block
+//! [`par_map_index`] pair executor, so skewed block
 //! sizes no longer leave `threads(n)` workers idle. Results are
 //! reassembled in candidate order — output is byte-identical across thread
 //! counts.
+//!
+//! The reduction stage runs on **interned keys** throughout: every
+//! [`ReductionStrategy`] variant builds a
+//! [`KeyTable`](probdedup_reduction::KeyTable) once (all key-prefix
+//! rendering happens there), then buckets blocks on
+//! [`KeySymbol`](probdedup_model::intern::KeySymbol)s and sorts SNM
+//! entries by precomputed lexicographic rank — multi-pass SNM and blocking
+//! are sort-only from the second pass on.
 //!
 //! [`XTuple`]: probdedup_model::xtuple::XTuple
 
@@ -35,7 +43,7 @@ use probdedup_model::ids::{SourceId, TupleHandle};
 use probdedup_model::relation::XRelation;
 use probdedup_reduction::{
     block_alternatives, block_conflict_resolved, block_multipass, cluster_blocking,
-    conflict_resolved_snm, multipass_snm, ranked_snm, sorting_alternatives, CandidatePairs,
+    conflict_resolved_snm, multipass_snm_pairs, ranked_snm, sorting_alternatives, CandidatePairs,
     ClusterBlockingConfig, ConflictResolution, KeySpec, RankingFunction, WorldSelection,
 };
 
@@ -114,20 +122,12 @@ pub enum ReductionStrategy {
 impl ReductionStrategy {
     fn candidates(&self, tuples: &[probdedup_model::xtuple::XTuple]) -> CandidatePairs {
         match self {
-            Self::Full => {
-                let mut pairs = CandidatePairs::new(tuples.len());
-                for i in 0..tuples.len() {
-                    for j in (i + 1)..tuples.len() {
-                        pairs.insert(i, j);
-                    }
-                }
-                pairs
-            }
+            Self::Full => CandidatePairs::full(tuples.len()),
             Self::MultipassWorlds {
                 spec,
                 window,
                 selection,
-            } => multipass_snm(tuples, spec, *window, *selection).pairs,
+            } => multipass_snm_pairs(tuples, spec, *window, *selection),
             Self::ConflictResolved {
                 spec,
                 window,

@@ -25,6 +25,24 @@
 //!   then derive from the matching values η ∈ {m,p,u}^{k×l}
 //!   ([`derive_decision`]); the canonical ϑ is the matching weight
 //!   `P(m)/P(u)` over world masses (Eqs. 7–9).
+//!
+//! # Example
+//!
+//! The certain-data two-step scheme (Fig. 3): combine a comparison vector
+//! with φ, classify with thresholds `T_λ`, `T_μ`:
+//!
+//! ```
+//! use probdedup_decision::combine::{CombinationFunction, WeightedSum};
+//! use probdedup_decision::threshold::{MatchClass, Thresholds};
+//!
+//! // The paper's φ(c⃗) = 0.8·c_name + 0.2·c_job.
+//! let phi = WeightedSum::new([0.8, 0.2]).unwrap();
+//! let sim = phi.combine(&[0.9, 53.0 / 90.0]); // sim(t11, t22), Section IV-A
+//! let thresholds = Thresholds::new(0.6, 0.8).unwrap();
+//! assert_eq!(thresholds.classify(sim), MatchClass::Match);
+//! assert_eq!(thresholds.classify(0.7), MatchClass::Possible);
+//! assert_eq!(thresholds.classify(0.2), MatchClass::NonMatch);
+//! ```
 
 pub mod combine;
 pub mod derive_decision;

@@ -155,7 +155,7 @@ impl SymbolCache {
 type ValueShard = RwLock<FxHashMap<(Value, Value), f64>>;
 
 /// A memoizing wrapper around [`ValueComparator`], keyed on the canonical
-/// (sorted) value pair and lock-striped across [`SHARDS`] shards.
+/// (sorted) value pair and lock-striped across 64 shards.
 pub struct CachedComparator {
     inner: ValueComparator,
     shards: Box<[ValueShard]>,

@@ -1,5 +1,5 @@
 //! The interned matching hot path: Eq. 5 over [`Symbol`]s instead of
-//! [`Value`]s.
+//! [`Value`](probdedup_model::value::Value)s.
 //!
 //! The pipeline interns every distinct attribute value of the (prepared)
 //! relation once into a [`ValuePool`], converting each x-tuple into an
@@ -10,7 +10,8 @@
 //! * similarity-cache keys are one packed `u64` per symbol pair
 //!   ([`SymbolCache`]), probed through a sharded read-mostly table;
 //! * the ⊥ conventions are integer tests on [`Symbol::NULL`];
-//! * the original [`Value`] is resolved only on a cache miss, when the
+//! * the original [`Value`](probdedup_model::value::Value) is resolved
+//!   only on a cache miss, when the
 //!   kernel genuinely has to run.
 //!
 //! The descending-probability layout also enables the **upper-bound

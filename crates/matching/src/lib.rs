@@ -31,11 +31,29 @@
 //!   the sharded, lock-striped [`cache::SymbolCache`] keyed on packed
 //!   symbol pairs. Cache **misses** — the only place strings are touched
 //!   at all — evaluate the kernel over per-symbol
-//!   [`PreparedValue`](value_cmp::PreparedValue)s (ASCII class, character
+//!   [`PreparedValue`]s (ASCII class, character
 //!   length, Myers pattern bitmasks) precomputed once at interning time,
 //!   so the bit-parallel kernels in `probdedup-textsim` skip their
 //!   per-comparison setup. This is what the pipeline's
 //!   `cache_similarities(true)` mode executes.
+//!
+//! # Example
+//!
+//! The paper's Section IV-A worked example — `sim(t11.name, t22.name)` —
+//! on both paths (the interned one prunes but must agree to rounding):
+//!
+//! ```
+//! use probdedup_matching::{pvalue_similarity, pvalue_similarity_pruned, ValueComparator};
+//! use probdedup_model::pvalue::PValue;
+//! use probdedup_textsim::NormalizedHamming;
+//!
+//! let a = PValue::certain("Tim");
+//! let b = PValue::categorical([("Tim", 0.7), ("Kim", 0.3)]).unwrap();
+//! let cmp = ValueComparator::text(NormalizedHamming::new());
+//! let plain = pvalue_similarity(&a, &b, &cmp);
+//! assert!((plain - 0.9).abs() < 1e-12); // 0.7·1 + 0.3·(2/3)
+//! assert!((pvalue_similarity_pruned(&a, &b, &cmp) - plain).abs() < 1e-12);
+//! ```
 
 pub mod cache;
 pub mod interned;

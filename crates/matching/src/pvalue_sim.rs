@@ -106,7 +106,7 @@ pub(crate) fn support_mass(alts: &[(impl Sized, f64)]) -> f64 {
 /// [`pvalue_similarity`] with **upper-bound pruning**: alternatives are
 /// traversed in descending probability order and the double sum breaks
 /// early once the remaining probability mass cannot contribute (see
-/// [`pruned_expected_similarity`] for the exact bound). Skewed
+/// `pruned_expected_similarity` for the exact bound). Skewed
 /// distributions with long low-mass tails skip most kernel evaluations;
 /// certain values skip none.
 pub fn pvalue_similarity_pruned(a: &PValue, b: &PValue, cmp: &ValueComparator) -> f64 {

@@ -13,6 +13,13 @@
 //! reserved at construction so the paper's non-existence conventions
 //! (`sim(⊥,⊥) = 1`, `sim(⊥, v) = 0`) can be tested without resolving
 //! anything.
+//!
+//! The reduction layer gets the same treatment through the [`KeyPool`]
+//! sidecar: sorting/blocking **key prefixes** are rendered once per
+//! distinct `(value, prefix length)` at intern time and handled as dense
+//! [`KeySymbol`]s from there on, so multi-pass sorted-neighborhood and
+//! blocking never allocate key strings in their passes (see
+//! `probdedup_reduction::key::KeyTable`).
 
 use crate::util::FxHashMap;
 use crate::value::Value;
@@ -169,6 +176,277 @@ impl<T> SymbolMap<T> {
     }
 }
 
+/// A dense handle for one distinct **rendered key string** in a [`KeyPool`].
+///
+/// Key symbols are the reduction layer's analogue of [`Symbol`]: blocking
+/// buckets and sorted-neighborhood entries carry a `KeySymbol` instead of an
+/// owned `String`, so multi-pass methods never re-render or re-hash key
+/// text. Like value symbols they are dense (assigned contiguously from 0 in
+/// interning order) and only meaningful relative to the pool that issued
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeySymbol(u32);
+
+impl KeySymbol {
+    /// The reserved symbol of the empty key `""` — the key a `⊥` value
+    /// contributes (the paper's `(John, ⊥) → "Joh"` convention renders ⊥
+    /// as the empty string). Every pool assigns it at construction.
+    pub const EMPTY: KeySymbol = KeySymbol(0);
+
+    /// The raw dense index (usable against side tables such as
+    /// [`KeyRanks`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32`.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the empty-key symbol.
+    #[inline]
+    pub fn is_empty_key(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// An interner for **rendered key prefixes**: the sidecar that makes
+/// blocking and sorted-neighborhood keys allocation-free after the first
+/// sight of a value.
+///
+/// Sorting/blocking keys are concatenations of per-attribute value prefixes
+/// (e.g. the paper's `(John, pilot) → "Johpi"`). The string-rendering path
+/// re-renders those prefixes for every pass of every multi-pass method; a
+/// `KeyPool` instead renders each distinct `(value, prefix length)`
+/// combination **once** ([`KeyPool::prefix_of`]), interns the result, and
+/// memoizes part concatenations ([`KeyPool::concat`]), so later passes are
+/// pure integer work. [`KeyPool::render_count`] counts prefix-cache
+/// misses — the only events that read a value's text (via
+/// [`Value::render`] or the in-place text fast path) — and the reduction
+/// property tests assert it stays flat across SNM passes ≥ 2.
+///
+/// Lexicographic order (what SNM sorts by) is recovered without touching
+/// strings via [`KeyPool::lexicographic_ranks`].
+#[derive(Debug, Clone)]
+pub struct KeyPool {
+    map: FxHashMap<Box<str>, KeySymbol>,
+    keys: Vec<Box<str>>,
+    /// `(value symbol, prefix length) → key symbol` memo; the only place
+    /// values are rendered.
+    prefix_cache: FxHashMap<u64, KeySymbol>,
+    /// `(left, right) key symbols → concatenated key symbol` memo, packed
+    /// into one `u64` so a cache hit allocates nothing.
+    concat_cache: FxHashMap<u64, KeySymbol>,
+    renders: u64,
+}
+
+impl Default for KeyPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyPool {
+    /// An empty pool (containing only the reserved `""` entry).
+    pub fn new() -> Self {
+        let mut pool = Self {
+            map: FxHashMap::default(),
+            keys: Vec::new(),
+            prefix_cache: FxHashMap::default(),
+            concat_cache: FxHashMap::default(),
+            renders: 0,
+        };
+        let empty = pool.intern_str("");
+        debug_assert_eq!(empty, KeySymbol::EMPTY);
+        pool
+    }
+
+    /// Intern an already-rendered key string (idempotent).
+    pub fn intern_str(&mut self, s: &str) -> KeySymbol {
+        if let Some(&k) = self.map.get(s) {
+            return k;
+        }
+        let k = KeySymbol(
+            u32::try_from(self.keys.len()).expect("more than u32::MAX distinct keys interned"),
+        );
+        self.keys.push(s.into());
+        self.map.insert(s.into(), k);
+        k
+    }
+
+    /// The key symbol of the first `prefix_len` characters of `sym`'s
+    /// rendered value (`0` = the whole value). The value is rendered **at
+    /// most once per distinct `(sym, prefix_len)`**; `⊥` short-circuits to
+    /// [`KeySymbol::EMPTY`] without rendering anything.
+    ///
+    /// The prefix memo is keyed on the symbol's raw index, so a `KeyPool`
+    /// must only ever be used with **one** `ValuePool`: feeding symbols
+    /// from a second pool would alias its indices onto the first pool's
+    /// cached prefixes and silently return wrong keys. Debug builds assert
+    /// this by re-deriving cached prefixes.
+    pub fn prefix_of(&mut self, pool: &ValuePool, sym: Symbol, prefix_len: usize) -> KeySymbol {
+        if sym.is_null() {
+            return KeySymbol::EMPTY;
+        }
+        let len32 = u32::try_from(prefix_len).unwrap_or(u32::MAX);
+        let cache_key = (u64::from(sym.raw()) << 32) | u64::from(len32);
+        if let Some(&k) = self.prefix_cache.get(&cache_key) {
+            debug_assert_eq!(
+                self.resolve(k),
+                str_prefix(&pool.resolve(sym).render(), prefix_len),
+                "KeyPool used with a second ValuePool: symbol {} aliases a cached prefix",
+                sym.raw(),
+            );
+            return k;
+        }
+        self.renders += 1;
+        let value = pool.resolve(sym);
+        // Text values (the typical key attribute) are sliced in place —
+        // a miss allocates only inside `intern_str`, nothing transient.
+        let k = match value.as_text() {
+            Some(s) => self.intern_str(str_prefix(s, prefix_len)),
+            None => {
+                let rendered = value.render();
+                self.intern_str(str_prefix(&rendered, prefix_len))
+            }
+        };
+        self.prefix_cache.insert(cache_key, k);
+        k
+    }
+
+    /// The key symbol of `a` followed by `b` (memoized under the packed
+    /// `(a, b)` pair — a hit is one hash probe, no allocation). Empty
+    /// operands short-circuit.
+    pub fn concat2(&mut self, a: KeySymbol, b: KeySymbol) -> KeySymbol {
+        if a.is_empty_key() {
+            return b;
+        }
+        if b.is_empty_key() {
+            return a;
+        }
+        let cache_key = (u64::from(a.raw()) << 32) | u64::from(b.raw());
+        if let Some(&k) = self.concat_cache.get(&cache_key) {
+            return k;
+        }
+        let mut s = String::with_capacity(self.resolve(a).len() + self.resolve(b).len());
+        s.push_str(self.resolve(a));
+        s.push_str(self.resolve(b));
+        let k = self.intern_str(&s);
+        self.concat_cache.insert(cache_key, k);
+        k
+    }
+
+    /// The key symbol of the concatenation of `parts`: a left fold over
+    /// [`KeyPool::concat2`], so every prefix of the part sequence is
+    /// memoized too. Zero parts yield [`KeySymbol::EMPTY`].
+    pub fn concat(&mut self, parts: &[KeySymbol]) -> KeySymbol {
+        parts
+            .iter()
+            .fold(KeySymbol::EMPTY, |acc, &p| self.concat2(acc, p))
+    }
+
+    /// The rendered key string behind a symbol issued by this pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was issued by a different (larger) pool.
+    #[inline]
+    pub fn resolve(&self, k: KeySymbol) -> &str {
+        &self.keys[k.index()]
+    }
+
+    /// Number of distinct interned keys (including the reserved `""`).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the pool holds only the reserved `""` entry.
+    pub fn is_empty(&self) -> bool {
+        self.keys.len() <= 1
+    }
+
+    /// How many prefix-cache misses have occurred — i.e. how many times a
+    /// [`Value`]'s text was actually read to extract a key prefix (text
+    /// values are sliced in place; other variants go through
+    /// [`Value::render`]). Flat counts across repeated key extraction
+    /// prove the caching works — the reduction layer's multi-pass tests
+    /// assert passes ≥ 2 add **zero**.
+    pub fn render_count(&self) -> u64 {
+        self.renders
+    }
+
+    /// All interned `(KeySymbol, &str)` entries in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeySymbol, &str)> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (KeySymbol(i as u32), s.as_ref()))
+    }
+
+    /// Freeze the pool's current contents into a rank table:
+    /// `rank(a) < rank(b) ⟺ resolve(a) < resolve(b)`. Sorting entries by
+    /// rank is byte-identical to sorting by key string, in `O(1)` integer
+    /// compares — this is what makes SNM passes ≥ 2 sort-only.
+    ///
+    /// Ranks cover the keys interned so far; symbols interned later are out
+    /// of range for the returned table.
+    pub fn lexicographic_ranks(&self) -> KeyRanks {
+        let mut order: Vec<u32> = (0..self.keys.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| self.keys[a as usize].cmp(&self.keys[b as usize]));
+        let mut ranks = vec![0u32; self.keys.len()].into_boxed_slice();
+        for (rank, &sym) in order.iter().enumerate() {
+            ranks[sym as usize] = rank as u32;
+        }
+        KeyRanks { ranks }
+    }
+}
+
+/// The first `prefix_len` characters of `s` as a subslice (`0` = all of
+/// `s`), without allocating.
+fn str_prefix(s: &str, prefix_len: usize) -> &str {
+    if prefix_len == 0 {
+        return s;
+    }
+    match s.char_indices().nth(prefix_len) {
+        Some((end, _)) => &s[..end],
+        None => s,
+    }
+}
+
+/// Lexicographic ranks of a frozen [`KeyPool`] (see
+/// [`KeyPool::lexicographic_ranks`]): a dense `KeySymbol → u32` table whose
+/// order agrees with the key strings' byte order.
+#[derive(Debug, Clone)]
+pub struct KeyRanks {
+    ranks: Box<[u32]>,
+}
+
+impl KeyRanks {
+    /// The rank of `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` was interned after this table was built (or by a
+    /// different pool).
+    #[inline]
+    pub fn rank(&self, k: KeySymbol) -> u32 {
+        self.ranks[k.index()]
+    }
+
+    /// Number of ranked keys.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the table is empty (built off a non-standard empty pool).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +544,84 @@ mod tests {
         let zero = pool.intern(&Value::Real(0.0));
         let neg_zero = pool.intern(&Value::Real(-0.0));
         assert_eq!(zero, neg_zero);
+    }
+
+    #[test]
+    fn key_pool_renders_each_prefix_once() {
+        let mut vp = ValuePool::new();
+        let john = vp.intern(&Value::from("John"));
+        let mut kp = KeyPool::new();
+        let k1 = kp.prefix_of(&vp, john, 3);
+        assert_eq!(kp.resolve(k1), "Joh");
+        assert_eq!(kp.render_count(), 1);
+        // Same (symbol, len): cached, no new render.
+        assert_eq!(kp.prefix_of(&vp, john, 3), k1);
+        assert_eq!(kp.render_count(), 1);
+        // Different len: one more render, distinct key.
+        let k2 = kp.prefix_of(&vp, john, 2);
+        assert_eq!(kp.resolve(k2), "Jo");
+        assert_eq!(kp.render_count(), 2);
+    }
+
+    #[test]
+    fn key_pool_null_is_empty_without_render() {
+        let vp = ValuePool::new();
+        let mut kp = KeyPool::new();
+        assert_eq!(kp.prefix_of(&vp, Symbol::NULL, 3), KeySymbol::EMPTY);
+        assert!(KeySymbol::EMPTY.is_empty_key());
+        assert_eq!(kp.resolve(KeySymbol::EMPTY), "");
+        assert_eq!(kp.render_count(), 0);
+    }
+
+    #[test]
+    fn key_pool_prefix_len_zero_takes_whole_value() {
+        let mut vp = ValuePool::new();
+        let sym = vp.intern(&Value::from("Johannes"));
+        let mut kp = KeyPool::new();
+        let k = kp.prefix_of(&vp, sym, 0);
+        assert_eq!(kp.resolve(k), "Johannes");
+    }
+
+    #[test]
+    fn key_pool_prefix_counts_chars_not_bytes() {
+        let mut vp = ValuePool::new();
+        let sym = vp.intern(&Value::from("Łukasz"));
+        let mut kp = KeyPool::new();
+        let k = kp.prefix_of(&vp, sym, 3);
+        assert_eq!(kp.resolve(k), "Łuk");
+    }
+
+    #[test]
+    fn key_pool_concat_memoizes() {
+        let mut kp = KeyPool::new();
+        let a = kp.intern_str("Joh");
+        let b = kp.intern_str("pi");
+        let ab = kp.concat(&[a, b]);
+        assert_eq!(kp.resolve(ab), "Johpi");
+        assert_eq!(kp.concat(&[a, b]), ab);
+        // Degenerate shapes.
+        assert_eq!(kp.concat(&[]), KeySymbol::EMPTY);
+        assert_eq!(kp.concat(&[a]), a);
+        assert_eq!(kp.concat(&[KeySymbol::EMPTY, a]), a); // "" + "Joh" = "Joh"
+    }
+
+    #[test]
+    fn key_ranks_agree_with_string_order() {
+        let mut kp = KeyPool::new();
+        let strings = ["Johpi", "Jimba", "", "Tomme", "Joh", "Łuk", "Seapi"];
+        let syms: Vec<KeySymbol> = strings.iter().map(|s| kp.intern_str(s)).collect();
+        let ranks = kp.lexicographic_ranks();
+        assert_eq!(ranks.len(), kp.len());
+        for (i, &a) in syms.iter().enumerate() {
+            for &b in &syms[i + 1..] {
+                assert_eq!(
+                    ranks.rank(a).cmp(&ranks.rank(b)),
+                    kp.resolve(a).cmp(kp.resolve(b)),
+                    "{:?} vs {:?}",
+                    kp.resolve(a),
+                    kp.resolve(b)
+                );
+            }
+        }
     }
 }

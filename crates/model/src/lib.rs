@@ -31,6 +31,27 @@
 //! The model is deliberately self-contained (no external DB) and
 //! deterministic; everything needed by the matching, decision and reduction
 //! layers lives here.
+//!
+//! # Example
+//!
+//! Interning gives every distinct value a dense [`Symbol`]; the
+//! [`KeyPool`] sidecar does the same for rendered key prefixes:
+//!
+//! ```
+//! use probdedup_model::{KeyPool, Value, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let tim = pool.intern(&Value::from("Tim"));
+//! assert_eq!(pool.intern(&Value::from("Tim")), tim); // idempotent
+//! assert_eq!(pool.resolve(tim), &Value::from("Tim"));
+//!
+//! let mut keys = KeyPool::new();
+//! let prefix = keys.prefix_of(&pool, tim, 2); // rendered once, cached
+//! assert_eq!(keys.resolve(prefix), "Ti");
+//! assert_eq!(keys.render_count(), 1);
+//! keys.prefix_of(&pool, tim, 2);
+//! assert_eq!(keys.render_count(), 1); // cache hit: no second render
+//! ```
 
 pub mod condition;
 pub mod convert;
@@ -55,7 +76,7 @@ pub use condition::{existence_event_probability, normalized_alternative_probs};
 pub use domain::Domain;
 pub use error::ModelError;
 pub use ids::{SourceId, TupleHandle};
-pub use intern::{Symbol, SymbolMap, ValuePool};
+pub use intern::{KeyPool, KeyRanks, KeySymbol, Symbol, SymbolMap, ValuePool};
 pub use lineage::{AlternativeSets, MutexGroups};
 pub use pvalue::PValue;
 pub use relation::{Relation, XRelation};

@@ -66,7 +66,11 @@ impl Value {
             Value::Null => String::new(),
             Value::Bool(b) => b.to_string(),
             Value::Int(i) => i.to_string(),
-            Value::Real(r) => format!("{r}"),
+            // Render through the same canonicalization as Eq/Hash
+            // (`-0.0` ⇒ `0.0`, one NaN), so equal values always render
+            // equally — interned keys resolve symbols to one
+            // representative per equality class and rely on this.
+            Value::Real(r) => format!("{}", f64::from_bits(Self::real_bits(*r))),
             Value::Text(s) => s.clone(),
         }
     }
@@ -203,6 +207,19 @@ mod tests {
         let mut h = DefaultHasher::new();
         v.hash(&mut h);
         h.finish()
+    }
+
+    #[test]
+    fn equal_values_render_equally() {
+        // Eq unifies -0.0/0.0 and NaNs; render must follow, or equal
+        // values would produce different sorting/blocking keys.
+        assert_eq!(Value::Real(0.0), Value::Real(-0.0));
+        assert_eq!(Value::Real(-0.0).render(), Value::Real(0.0).render());
+        assert_eq!(Value::Real(-0.0).render(), "0");
+        assert_eq!(
+            Value::Real(f64::NAN).render(),
+            Value::Real(-f64::NAN).render()
+        );
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //!   several windows; a [`crate::pairs::PairMatrix`] (Fig. 12) executes each
 //!   matching exactly once.
 
+//!
+//! Keys are interned once into a [`KeyTable`](crate::key::KeyTable) and
+//! the sort runs over lexicographic ranks; [`sorting_alternatives_oracle`]
+//! keeps the string-rendering implementation for property testing.
+
 use probdedup_model::xtuple::XTuple;
 
 use crate::key::KeySpec;
 use crate::pairs::CandidatePairs;
-use crate::snm::{sorted_neighborhood, SnmEntry};
+use crate::snm::{sorted_neighborhood, sorted_neighborhood_interned, InternedSnmEntry, SnmEntry};
 
 /// Result of the sorting-alternatives method.
 #[derive(Debug, Clone)]
@@ -28,8 +33,37 @@ pub struct SortingAlternativesResult {
     pub raw_entries: usize,
 }
 
-/// Run sorting-alternatives over the x-tuples.
+/// Run sorting-alternatives over the x-tuples (interned keys; the
+/// returned [`SnmEntry`] strings are resolved from the pool for display).
 pub fn sorting_alternatives(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    window: usize,
+) -> SortingAlternativesResult {
+    let table = spec.key_table(tuples);
+    let mut entries: Vec<InternedSnmEntry> = Vec::new();
+    for i in 0..table.len() {
+        for &key in table.alternative_keys(i) {
+            entries.push(InternedSnmEntry::new(key, i));
+        }
+    }
+    let raw_entries = entries.len();
+    let (pairs, order) =
+        sorted_neighborhood_interned(entries, table.ranks(), window, tuples.len(), true);
+    let order = order
+        .iter()
+        .map(|e| SnmEntry::new(table.resolve(e.key), e.tuple))
+        .collect();
+    SortingAlternativesResult {
+        pairs,
+        order,
+        raw_entries,
+    }
+}
+
+/// String-path oracle of [`sorting_alternatives`] (property-tested to be
+/// identical).
+pub fn sorting_alternatives_oracle(
     tuples: &[XTuple],
     spec: &KeySpec,
     window: usize,

@@ -7,26 +7,30 @@
 //! the same tuple within one block are removed, and repeated matchings
 //! across blocks are suppressed — Fig. 14's walkthrough).
 //!
-//! Internally blocks are assembled in a [`BlockMap`]: an `FxHashMap` keyed
-//! on the **64-bit hash** of the key string (with an explicit collision
-//! chain, so unequal keys sharing a hash never merge), with per-block O(1)
-//! membership tracking — a small-vec scan that spills into an `FxHashSet`
-//! once a block grows past a handful of members. Insertion is therefore
-//! O(1) per alternative instead of the previous `BTreeMap` walk plus
-//! linear `members.contains` scan. The sorted `BTreeMap<String, Vec<usize>>`
-//! view that figures and tests consume is materialized once at the end,
-//! and candidate pairs are emitted in sorted-key order so results remain
-//! byte-for-byte deterministic.
+//! Blocks are assembled in a `BlockMap` keyed on **interned key
+//! symbols** ([`KeySymbol`]): the [`KeyTable`](crate::key::KeyTable)
+//! built up front renders each
+//! distinct `(value, prefix)` once, and every insertion afterwards is a
+//! single integer-keyed hash probe — no key string is rendered, hashed or
+//! compared on the hot path, and no collision chain is needed because
+//! symbol equality *is* key equality. Per-block membership stays O(1) via
+//! a small-vec scan that spills into an `FxHashSet` past a handful of
+//! members. The sorted `BTreeMap<String, Vec<usize>>` inspection view that
+//! figures and tests consume is materialized once at the end by resolving
+//! symbols, and candidate pairs are emitted in sorted-key order, so
+//! results remain byte-for-byte identical to the string-keyed
+//! implementation — which is retained below as the property-tested oracle
+//! ([`block_alternatives_oracle`] and friends).
 
 use std::collections::BTreeMap;
 
-use probdedup_model::util::{FxHashMap, FxHashSet, FxHasher};
-use probdedup_model::world::{full_worlds, top_k_worlds, World};
+use probdedup_model::intern::{KeyPool, KeySymbol};
+use probdedup_model::util::FxHashSet;
 use probdedup_model::xtuple::XTuple;
 
-use crate::conflict::{resolve_key, ConflictResolution};
+use crate::conflict::{resolve_key, resolved_key_symbols, ConflictResolution};
 use crate::key::KeySpec;
-use crate::multipass::WorldSelection;
+use crate::multipass::{select_worlds, WorldSelection};
 use crate::pairs::CandidatePairs;
 
 /// Result of a blocking run: candidate pairs plus the blocks themselves
@@ -43,11 +47,10 @@ pub struct BlockingResult {
 /// small-vec scan into a hash set.
 const SPILL_THRESHOLD: usize = 16;
 
-/// One block under construction: its key, members in first-insertion
-/// order, and (for large blocks) a spill set for O(1) membership tests.
+/// One block under construction: members in first-insertion order and
+/// (for large blocks) a spill set for O(1) membership tests.
 #[derive(Debug, Clone, Default)]
 struct Block {
-    key: String,
     members: Vec<usize>,
     spill: Option<FxHashSet<usize>>,
 }
@@ -76,69 +79,73 @@ impl Block {
     }
 }
 
-/// Hash-keyed block accumulator (see the module docs).
+/// Symbol-keyed block accumulator (see the module docs). Insertion is one
+/// integer hash probe; key strings only appear when a sorted inspection
+/// view is materialized.
 #[derive(Debug, Clone, Default)]
 struct BlockMap {
-    /// Key-hash → blocks with that hash (chain length is ~1; the chain
-    /// only exists so a 64-bit collision cannot merge two distinct keys).
-    slots: FxHashMap<u64, Vec<Block>>,
+    slots: probdedup_model::util::FxHashMap<KeySymbol, Block>,
 }
 
 impl BlockMap {
-    fn hash_key(key: &str) -> u64 {
-        use std::hash::Hasher;
-        let mut h = FxHasher::default();
-        h.write(key.as_bytes());
-        h.finish()
+    /// Insert `tuple` into the block of `key` (creating the block on first
+    /// sight of the key symbol).
+    fn insert(&mut self, key: KeySymbol, tuple: usize) {
+        self.slots.entry(key).or_default().insert(tuple);
     }
 
-    /// Insert `tuple` into the block of `key` (creating the block on first
-    /// sight of the key).
-    fn insert(&mut self, key: String, tuple: usize) {
-        let chain = self.slots.entry(Self::hash_key(&key)).or_default();
-        match chain.iter_mut().find(|b| b.key == key) {
-            Some(block) => block.insert(tuple),
-            None => {
-                let mut block = Block {
-                    key,
-                    ..Block::default()
-                };
-                block.insert(tuple);
-                chain.push(block);
-            }
+    /// The blocks in deterministic sorted-key order (resolving symbols for
+    /// the comparison only — no rendering, no allocation).
+    fn sorted_blocks(self, keys: &KeyPool) -> Vec<(KeySymbol, Block)> {
+        let mut blocks: Vec<(KeySymbol, Block)> = self.slots.into_iter().collect();
+        blocks.sort_unstable_by(|a, b| keys.resolve(a.0).cmp(keys.resolve(b.0)));
+        blocks
+    }
+
+    /// Emit all within-block pairs in sorted-key order (matching the
+    /// string implementation's output order exactly) without building the
+    /// string view.
+    fn finish_pairs(self, keys: &KeyPool, pairs: &mut CandidatePairs) {
+        for (_, block) in self.sorted_blocks(keys) {
+            emit_block_pairs(&block.members, pairs);
         }
     }
 
-    /// Materialize the deterministic sorted inspection view and emit all
-    /// within-block pairs (in sorted-key order, preserving the output the
-    /// previous `BTreeMap` implementation produced).
-    fn finish(self, pairs: &mut CandidatePairs) -> BTreeMap<String, Vec<usize>> {
-        let mut blocks: Vec<Block> = self.slots.into_values().flatten().collect();
-        blocks.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+    /// Emit pairs **and** materialize the sorted `BTreeMap` inspection
+    /// view (one `String` per distinct block key).
+    fn finish(self, keys: &KeyPool, pairs: &mut CandidatePairs) -> BTreeMap<String, Vec<usize>> {
         let mut sorted = BTreeMap::new();
-        for block in blocks {
-            for (a, &i) in block.members.iter().enumerate() {
-                for &j in block.members.iter().skip(a + 1) {
-                    pairs.insert(i, j);
-                }
-            }
-            sorted.insert(block.key, block.members);
+        for (key, block) in self.sorted_blocks(keys) {
+            emit_block_pairs(&block.members, pairs);
+            sorted.insert(keys.resolve(key).to_string(), block.members);
         }
         sorted
     }
 }
 
+fn emit_block_pairs(members: &[usize], pairs: &mut CandidatePairs) {
+    for (a, &i) in members.iter().enumerate() {
+        for &j in members.iter().skip(a + 1) {
+            pairs.insert(i, j);
+        }
+    }
+}
+
 /// Blocking with **alternative key values** (Fig. 14): one block entry per
-/// alternative key of each x-tuple.
+/// alternative key of each x-tuple. Keys are interned on the fly
+/// ([`KeySpec::alternative_key_symbols`]); insertion is a symbol-keyed
+/// hash probe, never a string.
 pub fn block_alternatives(tuples: &[XTuple], spec: &KeySpec) -> BlockingResult {
+    let mut values = probdedup_model::intern::ValuePool::new();
+    let mut keys = KeyPool::new();
     let mut map = BlockMap::default();
     for (i, t) in tuples.iter().enumerate() {
-        for key in spec.alternative_keys(t) {
+        for key in spec.alternative_key_symbols(t, &mut values, &mut keys) {
             map.insert(key, i);
         }
     }
     let mut pairs = CandidatePairs::new(tuples.len());
-    let blocks = map.finish(&mut pairs);
+    let blocks = map.finish(&keys, &mut pairs);
     BlockingResult { pairs, blocks }
 }
 
@@ -150,54 +157,131 @@ pub fn block_conflict_resolved(
     spec: &KeySpec,
     strategy: ConflictResolution,
 ) -> BlockingResult {
+    let (keys, syms) = resolved_key_symbols(tuples, spec, strategy);
     let mut map = BlockMap::default();
-    for (i, t) in tuples.iter().enumerate() {
-        map.insert(resolve_key(t, spec, strategy), i);
+    for (i, &key) in syms.iter().enumerate() {
+        map.insert(key, i);
     }
     let mut pairs = CandidatePairs::new(tuples.len());
-    let blocks = map.finish(&mut pairs);
+    let blocks = map.finish(&keys, &mut pairs);
     BlockingResult { pairs, blocks }
 }
 
 /// Multi-pass blocking over selected possible worlds ("a multi-pass over
 /// some finely chosen worlds seems to be an option"). Pairs are unioned;
 /// the returned blocks are those of the **first** pass (for inspection).
+///
+/// The [`KeyTable`](crate::key::KeyTable) is built once; every pass after
+/// the first is pure integer work (bucket by symbol, emit pairs) — zero
+/// key renders, which the reduction property tests assert via
+/// [`KeyTable::render_count`](crate::key::KeyTable::render_count).
 pub fn block_multipass(
     tuples: &[XTuple],
     spec: &KeySpec,
     selection: WorldSelection,
 ) -> BlockingResult {
-    let worlds: Vec<World> = match selection {
-        WorldSelection::All { limit } => full_worlds(tuples).take(limit).collect(),
-        WorldSelection::TopK(k) => top_k_worlds(tuples, k, true),
-        WorldSelection::DiverseTopK { k, pool } => {
-            // Reuse the SNM diverse policy via multipass's selection by
-            // going through top-k then greedy: delegate to multipass_snm's
-            // internals would duplicate; select here.
-            let pool_worlds = top_k_worlds(tuples, pool.max(k), true);
-            super::multipass::select_diverse_worlds(pool_worlds, k)
-        }
-    };
-    // Per-alternative keys are world-independent; compute them once per
-    // tuple instead of once per (world, tuple).
-    let alt_keys: Vec<Vec<String>> = tuples.iter().map(|t| spec.alternative_keys(t)).collect();
+    let worlds = select_worlds(tuples, selection);
+    // Per-alternative keys are world-independent; intern them once instead
+    // of once per (world, tuple).
+    let table = spec.key_table(tuples);
     let mut pairs = CandidatePairs::new(tuples.len());
     let mut first_blocks: Option<BTreeMap<String, Vec<usize>>> = None;
     for world in worlds {
         let mut map = BlockMap::default();
-        for (i, keys) in alt_keys.iter().enumerate() {
+        for i in 0..table.len() {
             let alt = world.choices[i].expect("full world");
-            map.insert(keys[alt].clone(), i);
+            map.insert(table.alternative_keys(i)[alt], i);
         }
-        let blocks = map.finish(&mut pairs);
         if first_blocks.is_none() {
-            first_blocks = Some(blocks);
+            first_blocks = Some(map.finish(table.key_pool(), &mut pairs));
+        } else {
+            map.finish_pairs(table.key_pool(), &mut pairs);
         }
     }
     BlockingResult {
         pairs,
         blocks: first_blocks.unwrap_or_default(),
     }
+}
+
+// ----------------------------------------------------------------------
+// String-key oracles: the rendering path the interned implementation is
+// property-tested against (`tests/properties.rs` asserts identical pair
+// sets and identical block views on generated schemas).
+// ----------------------------------------------------------------------
+
+/// String-path oracle of [`block_alternatives`]: renders one key `String`
+/// per alternative per call and buckets in a `BTreeMap`. Kept for
+/// property-testing the interned path, not for production use.
+pub fn block_alternatives_oracle(tuples: &[XTuple], spec: &KeySpec) -> BlockingResult {
+    let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, t) in tuples.iter().enumerate() {
+        for key in spec.alternative_keys(t) {
+            oracle_insert(&mut map, key, i);
+        }
+    }
+    oracle_finish(map, tuples.len())
+}
+
+/// String-path oracle of [`block_conflict_resolved`].
+pub fn block_conflict_resolved_oracle(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    strategy: ConflictResolution,
+) -> BlockingResult {
+    let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, t) in tuples.iter().enumerate() {
+        oracle_insert(&mut map, resolve_key(t, spec, strategy), i);
+    }
+    oracle_finish(map, tuples.len())
+}
+
+/// String-path oracle of [`block_multipass`]. Like the pre-interning
+/// production implementation, the per-alternative key strings are rendered
+/// **once** before the world loop (they are world-independent); what each
+/// pass still pays — and the interned path removes — is the per-(world,
+/// tuple) `String` clone plus string hashing/comparison in the block map.
+pub fn block_multipass_oracle(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    selection: WorldSelection,
+) -> BlockingResult {
+    let worlds = select_worlds(tuples, selection);
+    let alt_keys: Vec<Vec<String>> = tuples.iter().map(|t| spec.alternative_keys(t)).collect();
+    let mut pairs = CandidatePairs::new(tuples.len());
+    let mut first_blocks: Option<BTreeMap<String, Vec<usize>>> = None;
+    for world in worlds {
+        let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, keys) in alt_keys.iter().enumerate() {
+            let alt = world.choices[i].expect("full world");
+            oracle_insert(&mut map, keys[alt].clone(), i);
+        }
+        for members in map.values() {
+            emit_block_pairs(members, &mut pairs);
+        }
+        if first_blocks.is_none() {
+            first_blocks = Some(map);
+        }
+    }
+    BlockingResult {
+        pairs,
+        blocks: first_blocks.unwrap_or_default(),
+    }
+}
+
+fn oracle_insert(map: &mut BTreeMap<String, Vec<usize>>, key: String, tuple: usize) {
+    let members = map.entry(key).or_default();
+    if !members.contains(&tuple) {
+        members.push(tuple);
+    }
+}
+
+fn oracle_finish(map: BTreeMap<String, Vec<usize>>, n: usize) -> BlockingResult {
+    let mut pairs = CandidatePairs::new(n);
+    for members in map.values() {
+        emit_block_pairs(members, &mut pairs);
+    }
+    BlockingResult { pairs, blocks: map }
 }
 
 #[cfg(test)]
@@ -369,5 +453,43 @@ mod tests {
         assert_eq!(members.len(), n, "duplicates crept in: {members:?}");
         assert_eq!(*members, (0..n).collect::<Vec<_>>());
         assert_eq!(r.pairs.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn interned_blocking_matches_oracles() {
+        let tuples = r34();
+        let spec = fig14_spec();
+        let (a, b) = (
+            block_alternatives(&tuples, &spec),
+            block_alternatives_oracle(&tuples, &spec),
+        );
+        assert_eq!(a.pairs.pairs(), b.pairs.pairs());
+        assert_eq!(a.blocks, b.blocks);
+        for strategy in [
+            ConflictResolution::MostProbableAlternative,
+            ConflictResolution::MostProbableKey,
+            ConflictResolution::FirstAlternative,
+        ] {
+            let (a, b) = (
+                block_conflict_resolved(&tuples, &spec, strategy),
+                block_conflict_resolved_oracle(&tuples, &spec, strategy),
+            );
+            assert_eq!(a.pairs.pairs(), b.pairs.pairs(), "{strategy:?}");
+            assert_eq!(a.blocks, b.blocks, "{strategy:?}");
+        }
+        for selection in [
+            WorldSelection::All { limit: 100 },
+            WorldSelection::TopK(3),
+            WorldSelection::DiverseTopK { k: 3, pool: 24 },
+        ] {
+            let (a, b) = (
+                block_multipass(&tuples, &spec, selection),
+                block_multipass_oracle(&tuples, &spec, selection),
+            );
+            // Both emit per-world pairs in sorted-key order, so even the
+            // first-insertion order agrees.
+            assert_eq!(a.pairs.pairs(), b.pairs.pairs(), "{selection:?}");
+            assert_eq!(a.blocks, b.blocks, "{selection:?}");
+        }
     }
 }

@@ -8,11 +8,12 @@
 //! a **subset** of the multi-pass matchings — proven as a test here and as
 //! a property test in `tests/properties.rs`.
 
+use probdedup_model::intern::{KeyPool, KeySymbol, ValuePool};
 use probdedup_model::xtuple::XTuple;
 
 use crate::key::KeySpec;
 use crate::pairs::CandidatePairs;
-use crate::snm::{sorted_neighborhood, SnmEntry};
+use crate::snm::{sorted_neighborhood, sorted_neighborhood_interned, InternedSnmEntry, SnmEntry};
 
 /// Strategy unifying an x-tuple's alternatives into one certain key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,32 +30,97 @@ pub enum ConflictResolution {
     FirstAlternative,
 }
 
-/// The certain key of one x-tuple under a strategy.
+/// Index of the most probable alternative (ties toward the earlier one).
+fn most_probable_alternative(t: &XTuple) -> usize {
+    t.alternatives()
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            a.probability()
+                .partial_cmp(&b.probability())
+                .expect("finite probabilities")
+                .then(ib.cmp(ia)) // tie → earlier alternative
+        })
+        .map(|(i, _)| i)
+        .expect("x-tuples are non-empty")
+}
+
+/// The certain key of one x-tuple under a strategy (string path — the
+/// oracle the interned [`resolve_key_symbol`] is tested against).
 pub fn resolve_key(t: &XTuple, spec: &KeySpec, strategy: ConflictResolution) -> String {
     match strategy {
         ConflictResolution::MostProbableAlternative => {
-            let best = t
-                .alternatives()
-                .iter()
-                .enumerate()
-                .max_by(|(ia, a), (ib, b)| {
-                    a.probability()
-                        .partial_cmp(&b.probability())
-                        .expect("finite probabilities")
-                        .then(ib.cmp(ia)) // tie → earlier alternative
-                })
-                .map(|(i, _)| i)
-                .expect("x-tuples are non-empty");
-            spec.alternative_keys(t)[best].clone()
+            spec.alternative_keys(t)[most_probable_alternative(t)].clone()
         }
         ConflictResolution::MostProbableKey => spec.most_probable_key(t),
         ConflictResolution::FirstAlternative => spec.alternative_keys(t)[0].clone(),
     }
 }
 
+/// Interned twin of [`resolve_key`]: the certain key as a [`KeySymbol`],
+/// rendering each distinct value prefix at most once across all tuples.
+pub fn resolve_key_symbol(
+    t: &XTuple,
+    spec: &KeySpec,
+    strategy: ConflictResolution,
+    values: &mut ValuePool,
+    keys: &mut KeyPool,
+) -> KeySymbol {
+    match strategy {
+        ConflictResolution::MostProbableAlternative => {
+            spec.alternative_key_symbols(t, values, keys)[most_probable_alternative(t)]
+        }
+        ConflictResolution::MostProbableKey => spec.most_probable_key_symbol(t, values, keys),
+        ConflictResolution::FirstAlternative => spec.alternative_key_symbols(t, values, keys)[0],
+    }
+}
+
+/// The conflict-resolved key symbols of all tuples plus the issuing pool —
+/// the shared front half of interned conflict-resolved SNM and blocking.
+pub(crate) fn resolved_key_symbols(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    strategy: ConflictResolution,
+) -> (KeyPool, Vec<KeySymbol>) {
+    let mut values = ValuePool::new();
+    let mut keys = KeyPool::new();
+    let syms = tuples
+        .iter()
+        .map(|t| resolve_key_symbol(t, spec, strategy, &mut values, &mut keys))
+        .collect();
+    (keys, syms)
+}
+
 /// SNM over conflict-resolved certain keys: one key per x-tuple, one pass.
 /// Returns the pairs and the sorted key list (Fig. 10 prints it).
+///
+/// Keys are interned ([`resolve_key_symbol`]) and the sort runs over
+/// lexicographic ranks; the strings in the returned [`SnmEntry`] list are
+/// resolved from the pool for display only.
 pub fn conflict_resolved_snm(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    window: usize,
+    strategy: ConflictResolution,
+) -> (CandidatePairs, Vec<SnmEntry>) {
+    let (keys, syms) = resolved_key_symbols(tuples, spec, strategy);
+    let ranks = keys.lexicographic_ranks();
+    let entries: Vec<InternedSnmEntry> = syms
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| InternedSnmEntry::new(k, i))
+        .collect();
+    let (pairs, order) = sorted_neighborhood_interned(entries, &ranks, window, tuples.len(), false);
+    let order = order
+        .iter()
+        .map(|e| SnmEntry::new(keys.resolve(e.key), e.tuple))
+        .collect();
+    (pairs, order)
+}
+
+/// String-path oracle of [`conflict_resolved_snm`] (property-tested to be
+/// identical; renders one key per tuple per call).
+pub fn conflict_resolved_snm_oracle(
     tuples: &[XTuple],
     spec: &KeySpec,
     window: usize,

@@ -6,7 +6,21 @@
 //! distribution: [`KeySpec::key_distribution`] (over a value row) and
 //! [`KeySpec::xtuple_keys`] (over a whole x-tuple, reproducing the
 //! probabilistic key values of Fig. 13).
+//!
+//! Two representations coexist:
+//!
+//! * the **string path** ([`KeySpec::alternative_keys`],
+//!   [`KeySpec::xtuple_keys`], …) renders owned `String` keys — the
+//!   readable reference, retained as the property-tested oracle of the
+//!   interned path;
+//! * the **interned path** ([`KeyTable`], built by [`KeySpec::key_table`])
+//!   renders each distinct `(value, prefix length)` once into a
+//!   [`KeyPool`] and hands out dense
+//!   [`KeySymbol`]s plus a lexicographic rank table, so blocking buckets
+//!   and SNM sorts are pure integer work — multi-pass methods become
+//!   sort-only after the table is built.
 
+use probdedup_model::intern::{KeyPool, KeyRanks, KeySymbol, ValuePool};
 use probdedup_model::pvalue::PValue;
 use probdedup_model::util::PROB_EPS;
 use probdedup_model::value::Value;
@@ -214,6 +228,185 @@ impl KeySpec {
             .collect()
     }
 
+    // ------------------------------------------------------------------
+    // Interned path: the same key semantics over dense `KeySymbol`s.
+    // Every method below is oracle-tested against its string twin above.
+    // ------------------------------------------------------------------
+
+    /// Build the cached key table of this spec over `tuples`: every
+    /// alternative's key as a [`KeySymbol`], with all prefix rendering done
+    /// **here, once** — consumers (blocking buckets, SNM passes) never
+    /// touch key strings again. See [`KeyTable`].
+    pub fn key_table(&self, tuples: &[XTuple]) -> KeyTable {
+        let mut values = ValuePool::new();
+        let mut keys = KeyPool::new();
+        let alt_keys: Vec<Vec<KeySymbol>> = tuples
+            .iter()
+            .map(|t| self.alternative_key_symbols(t, &mut values, &mut keys))
+            .collect();
+        let ranks = keys.lexicographic_ranks();
+        KeyTable {
+            values,
+            keys,
+            alt_keys,
+            ranks,
+        }
+    }
+
+    /// Interned twin of [`KeySpec::alternative_keys`]: one key symbol per
+    /// alternative, resolving uncertain values inside an alternative to
+    /// their most probable rendered prefix.
+    pub fn alternative_key_symbols(
+        &self,
+        t: &XTuple,
+        values: &mut ValuePool,
+        keys: &mut KeyPool,
+    ) -> Vec<KeySymbol> {
+        t.alternatives()
+            .iter()
+            .map(|alt| {
+                // Fold over memoized pairwise concatenation: when every
+                // cache hits, an alternative's key costs a few hash probes
+                // and zero allocations.
+                self.parts.iter().fold(KeySymbol::EMPTY, |acc, part| {
+                    let piece = self.part_symbol(part, alt.value(part.attr), values, keys);
+                    keys.concat2(acc, piece)
+                })
+            })
+            .collect()
+    }
+
+    /// Interned twin of [`KeySpec::key_distribution`]: the cartesian
+    /// product of the referenced attributes' outcome distributions with
+    /// equal keys merged, as symbols. Identical ordering and
+    /// `max_expansion` truncation behaviour as the string path.
+    pub fn key_symbol_distribution(
+        &self,
+        pvalues: &[PValue],
+        values: &mut ValuePool,
+        keys: &mut KeyPool,
+    ) -> Vec<(KeySymbol, f64)> {
+        let lists: Vec<Vec<(KeySymbol, f64)>> = self
+            .parts
+            .iter()
+            .map(|part| self.part_symbol_distribution(part, &pvalues[part.attr], values, keys))
+            .collect();
+        let mut dist: Vec<(KeySymbol, f64)> = vec![(KeySymbol::EMPTY, 1.0)];
+        for list in lists {
+            let mut next = Vec::with_capacity(dist.len() * list.len());
+            for (prefix, p) in &dist {
+                for (piece, q) in &list {
+                    next.push((keys.concat2(*prefix, *piece), p * q));
+                    if next.len() > self.max_expansion {
+                        break;
+                    }
+                }
+            }
+            dist = next;
+            if dist.len() > self.max_expansion {
+                dist.truncate(self.max_expansion);
+            }
+        }
+        merge_equal_symbols(&mut dist, keys);
+        dist
+    }
+
+    /// Interned twin of [`KeySpec::xtuple_keys`]: the probabilistic key
+    /// values of an x-tuple (Fig. 13) as symbols, masses summing to `p(t)`.
+    pub fn xtuple_key_symbols(
+        &self,
+        t: &XTuple,
+        values: &mut ValuePool,
+        keys: &mut KeyPool,
+    ) -> Vec<(KeySymbol, f64)> {
+        let mut dist: Vec<(KeySymbol, f64)> = Vec::new();
+        for alt in t.alternatives() {
+            for (key, p) in self.key_symbol_distribution(alt.values(), values, keys) {
+                match dist.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, q)) => *q += p * alt.probability(),
+                    None => dist.push((key, p * alt.probability())),
+                }
+            }
+        }
+        dist
+    }
+
+    /// Interned twin of [`KeySpec::most_probable_key`] (ties break toward
+    /// the lexicographically smaller key).
+    pub fn most_probable_key_symbol(
+        &self,
+        t: &XTuple,
+        values: &mut ValuePool,
+        keys: &mut KeyPool,
+    ) -> KeySymbol {
+        let dist = self.xtuple_key_symbols(t, values, keys);
+        dist.into_iter()
+            .max_by(|(ka, pa), (kb, pb)| {
+                pa.partial_cmp(pb)
+                    .expect("finite probabilities")
+                    .then_with(|| keys.resolve(*kb).cmp(keys.resolve(*ka)))
+            })
+            .map(|(k, _)| k)
+            .unwrap_or(KeySymbol::EMPTY)
+    }
+
+    /// The most probable rendered prefix of one part over one value, as a
+    /// symbol — the interned analogue of `part_distribution(..).first()`.
+    fn part_symbol(
+        &self,
+        part: &KeyPart,
+        pv: &PValue,
+        values: &mut ValuePool,
+        keys: &mut KeyPool,
+    ) -> KeySymbol {
+        // Fast path: a certain value has exactly one rendered prefix — no
+        // distribution to build, no sort, no allocation.
+        if pv.null_prob() <= PROB_EPS {
+            if let [(v, _)] = pv.alternatives() {
+                let sym = values.intern(v);
+                return keys.prefix_of(values, sym, part.prefix_len);
+            }
+        }
+        let outcomes = self.part_symbol_distribution(part, pv, values, keys);
+        // Argmax by probability, ties toward the smaller string; the list
+        // arrives string-sorted, so a strict-greater scan implements the
+        // oracle's (prob desc, string asc) ordering.
+        let mut best: Option<(KeySymbol, f64)> = None;
+        for (k, p) in outcomes {
+            match best {
+                Some((_, bp)) if p <= bp => {}
+                _ => best = Some((k, p)),
+            }
+        }
+        best.map(|(k, _)| k).unwrap_or(KeySymbol::EMPTY)
+    }
+
+    /// Outcome distribution of one part as symbols, string-sorted with
+    /// equal renders merged — mirrors the per-part lists of
+    /// [`KeySpec::key_distribution`] exactly (including ordering, which the
+    /// `max_expansion` truncation depends on).
+    fn part_symbol_distribution(
+        &self,
+        part: &KeyPart,
+        pv: &PValue,
+        values: &mut ValuePool,
+        keys: &mut KeyPool,
+    ) -> Vec<(KeySymbol, f64)> {
+        let mut outcomes: Vec<(KeySymbol, f64)> = pv
+            .alternatives()
+            .iter()
+            .map(|(v, p)| {
+                let sym = values.intern(v);
+                (keys.prefix_of(values, sym, part.prefix_len), *p)
+            })
+            .collect();
+        if pv.null_prob() > PROB_EPS {
+            outcomes.push((KeySymbol::EMPTY, pv.null_prob()));
+        }
+        merge_equal_symbols(&mut outcomes, keys);
+        outcomes
+    }
+
     /// Rendered-prefix distribution of one part over one value, most
     /// probable first (ties toward the smaller string).
     fn part_distribution(&self, part: &KeyPart, pv: &PValue) -> Vec<(String, f64)> {
@@ -240,6 +433,96 @@ impl KeySpec {
                 .then(a.0.cmp(&b.0))
         });
         outcomes
+    }
+}
+
+/// Sort a symbol distribution by rendered string and merge entries whose
+/// symbols are equal (equal strings ⟺ equal symbols, so this mirrors the
+/// string path's sort-and-dedup merge byte for byte).
+fn merge_equal_symbols(dist: &mut Vec<(KeySymbol, f64)>, keys: &KeyPool) {
+    dist.sort_by(|a, b| keys.resolve(a.0).cmp(keys.resolve(b.0)));
+    dist.dedup_by(|b, a| {
+        if a.0 == b.0 {
+            a.1 += b.1;
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// The frozen, interned key table of one `(KeySpec, tuples)` pair: every
+/// alternative's key as a [`KeySymbol`], the issuing [`KeyPool`], and a
+/// lexicographic rank table.
+///
+/// Built once by [`KeySpec::key_table`] — this is where **all** key
+/// rendering happens. Afterwards the table is read-only: blocking buckets
+/// on `KeySymbol`s directly, SNM sorts by [`KeyTable::rank`] (integer
+/// compares, byte-identical order to string sorting), and multi-pass
+/// methods reuse the same table across passes, so passes ≥ 2 perform zero
+/// renders and zero allocations — the property tests assert this via
+/// [`KeyTable::render_count`].
+#[derive(Debug, Clone)]
+pub struct KeyTable {
+    values: ValuePool,
+    keys: KeyPool,
+    alt_keys: Vec<Vec<KeySymbol>>,
+    ranks: KeyRanks,
+}
+
+impl KeyTable {
+    /// Number of tuples the table covers.
+    pub fn len(&self) -> usize {
+        self.alt_keys.len()
+    }
+
+    /// Whether the table covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.alt_keys.is_empty()
+    }
+
+    /// The per-alternative key symbols of tuple `i` (interned twin of
+    /// [`KeySpec::alternative_keys`]).
+    #[inline]
+    pub fn alternative_keys(&self, i: usize) -> &[KeySymbol] {
+        &self.alt_keys[i]
+    }
+
+    /// The lexicographic rank of `k`: sorting entries by rank is
+    /// byte-identical to sorting by key string.
+    #[inline]
+    pub fn rank(&self, k: KeySymbol) -> u32 {
+        self.ranks.rank(k)
+    }
+
+    /// The rank table itself.
+    pub fn ranks(&self) -> &KeyRanks {
+        &self.ranks
+    }
+
+    /// The rendered key string behind a symbol (inspection views only —
+    /// the hot paths never call this).
+    #[inline]
+    pub fn resolve(&self, k: KeySymbol) -> &str {
+        self.keys.resolve(k)
+    }
+
+    /// The key pool backing this table.
+    pub fn key_pool(&self) -> &KeyPool {
+        &self.keys
+    }
+
+    /// The value pool backing this table (key-attribute values only).
+    pub fn value_pool(&self) -> &ValuePool {
+        &self.values
+    }
+
+    /// How many key-prefix renders (prefix-cache misses reading a value's
+    /// text — see [`KeyPool::render_count`]) building this table has cost.
+    /// Frozen after construction: multi-pass consumers assert it stays
+    /// flat across passes.
+    pub fn render_count(&self) -> u64 {
+        self.keys.render_count()
     }
 }
 
@@ -390,6 +673,83 @@ mod tests {
         let b = PValue::categorical([("xxx", 0.5), ("yyy", 0.5)]).unwrap();
         let dist = spec.key_distribution(&[a, b]);
         assert!(dist.len() <= 2);
+    }
+
+    #[test]
+    fn key_table_matches_string_alternative_keys() {
+        let s = schema();
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let tuples = vec![
+            XTuple::builder(&s)
+                .alt(0.7, ["John", "pilot"])
+                .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.2, [Value::from("John"), Value::Null])
+                .alt(0.6, ["Sean", "pilot"])
+                .build()
+                .unwrap(),
+        ];
+        let spec = spec();
+        let table = spec.key_table(&tuples);
+        for (i, t) in tuples.iter().enumerate() {
+            let strings = spec.alternative_keys(t);
+            let resolved: Vec<&str> = table
+                .alternative_keys(i)
+                .iter()
+                .map(|&k| table.resolve(k))
+                .collect();
+            assert_eq!(resolved, strings);
+        }
+        // Rendering happened at build time and is bounded by distinct
+        // (value, len) pairs, not by tuples × parts.
+        assert!(table.render_count() > 0);
+        let before = table.render_count();
+        let _ = table.alternative_keys(0);
+        let _ = table.rank(table.alternative_keys(1)[0]);
+        assert_eq!(table.render_count(), before, "reads must not render");
+    }
+
+    #[test]
+    fn xtuple_key_symbols_match_string_path() {
+        let s = schema();
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let t31 = XTuple::builder(&s)
+            .alt(0.7, ["John", "pilot"])
+            .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+            .build()
+            .unwrap();
+        let spec = spec();
+        let mut vp = ValuePool::new();
+        let mut kp = KeyPool::new();
+        let symbolic = spec.xtuple_key_symbols(&t31, &mut vp, &mut kp);
+        let strings = spec.xtuple_keys(&t31);
+        assert_eq!(symbolic.len(), strings.len());
+        for ((k, p), (sk, sp)) in symbolic.iter().zip(&strings) {
+            assert_eq!(kp.resolve(*k), sk);
+            assert!((p - sp).abs() < 1e-15);
+        }
+        let mpk = spec.most_probable_key_symbol(&t31, &mut vp, &mut kp);
+        assert_eq!(kp.resolve(mpk), spec.most_probable_key(&t31));
+    }
+
+    #[test]
+    fn rank_order_matches_string_order_on_table() {
+        let s = schema();
+        let tuples: Vec<XTuple> = [("John", "pilot"), ("Jim", "baker"), ("Łukasz", "pilot")]
+            .iter()
+            .map(|(n, j)| XTuple::builder(&s).alt(1.0, [*n, *j]).build().unwrap())
+            .collect();
+        let spec = spec();
+        let table = spec.key_table(&tuples);
+        let mut syms: Vec<KeySymbol> = (0..tuples.len())
+            .flat_map(|i| table.alternative_keys(i).to_vec())
+            .collect();
+        let mut by_rank = syms.clone();
+        by_rank.sort_by_key(|&k| table.rank(k));
+        syms.sort_by(|&a, &b| table.resolve(a).cmp(table.resolve(b)));
+        assert_eq!(by_rank, syms);
     }
 
     #[test]

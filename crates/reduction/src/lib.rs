@@ -20,6 +20,46 @@
 //! All methods emit deterministic, deduplicated [`CandidatePairs`] over
 //! tuple indices of one (combined) x-relation, ready for the matching and
 //! decision layers.
+//!
+//! # Interned keys
+//!
+//! Every SNM/blocking entry point runs over **interned keys**: a
+//! [`key::KeyTable`] built once per call renders each distinct
+//! `(value, prefix length)` exactly once into a
+//! [`KeyPool`](probdedup_model::intern::KeyPool), and from there blocking
+//! buckets on dense [`KeySymbol`](probdedup_model::intern::KeySymbol)s
+//! while SNM sorts by precomputed lexicographic rank — so multi-pass
+//! methods are sort-only from pass 2 on (zero renders, asserted by the
+//! property tests). The string-rendering implementations are retained as
+//! `*_oracle` functions and property-tested to produce identical
+//! candidate-pair sets and inspection views.
+//!
+//! # Example
+//!
+//! The paper's running key over an uncertain tuple (Fig. 13):
+//!
+//! ```
+//! use probdedup_model::pvalue::PValue;
+//! use probdedup_model::schema::Schema;
+//! use probdedup_model::xtuple::XTuple;
+//! use probdedup_reduction::KeySpec;
+//!
+//! let schema = Schema::new(["name", "job"]);
+//! // t31: (John, pilot) with p=0.7 | (Johan, mu*) with p=0.3.
+//! let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+//! let t31 = XTuple::builder(&schema)
+//!     .alt(0.7, ["John", "pilot"])
+//!     .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+//!     .build()
+//!     .unwrap();
+//!
+//! // First 3 characters of the name + first 2 of the job.
+//! let spec = KeySpec::paper_example(0, 1);
+//! let mut keys = spec.xtuple_keys(&t31);
+//! keys.sort_by(|a, b| a.0.cmp(&b.0));
+//! assert_eq!(keys[0].0, "Johmu"); // both mu* outcomes render "mu"
+//! assert_eq!(keys[1].0, "Johpi");
+//! ```
 
 pub mod alternatives;
 pub mod blocking;
@@ -31,12 +71,23 @@ pub mod pairs;
 pub mod ranking;
 pub mod snm;
 
-pub use alternatives::{sorting_alternatives, SortingAlternativesResult};
-pub use blocking::{block_alternatives, block_conflict_resolved, block_multipass, BlockingResult};
+pub use alternatives::{
+    sorting_alternatives, sorting_alternatives_oracle, SortingAlternativesResult,
+};
+pub use blocking::{
+    block_alternatives, block_alternatives_oracle, block_conflict_resolved,
+    block_conflict_resolved_oracle, block_multipass, block_multipass_oracle, BlockingResult,
+};
 pub use cluster::{cluster_blocking, ClusterBlockingConfig};
-pub use conflict::{conflict_resolved_snm, ConflictResolution};
-pub use key::{KeyPart, KeySpec};
-pub use multipass::{multipass_snm, MultipassResult, WorldSelection};
+pub use conflict::{
+    conflict_resolved_snm, conflict_resolved_snm_oracle, resolve_key, resolve_key_symbol,
+    ConflictResolution,
+};
+pub use key::{KeyPart, KeySpec, KeyTable};
+pub use multipass::{
+    multipass_snm, multipass_snm_oracle, multipass_snm_pairs, multipass_snm_with_table,
+    MultipassResult, WorldSelection,
+};
 pub use pairs::{CandidatePairs, PairMatrix};
 pub use ranking::{ranked_snm, RankingFunction};
-pub use snm::{sorted_neighborhood, SnmEntry};
+pub use snm::{sorted_neighborhood, sorted_neighborhood_interned, InternedSnmEntry, SnmEntry};

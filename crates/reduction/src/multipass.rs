@@ -10,13 +10,20 @@
 //! the top-probability worlds tend to be near-identical and yield redundant
 //! passes. [`WorldSelection`] offers all three policies; the E3 experiment
 //! measures their trade-off.
+//!
+//! Keys are computed **once** into an interned [`KeyTable`] before the
+//! first pass: every later pass only picks each tuple's chosen-alternative
+//! key symbol and sorts by precomputed lexicographic rank — sort-only,
+//! zero key renders, zero allocation per entry. The string-rendering
+//! implementation is retained as [`multipass_snm_oracle`] and
+//! property-tested to produce identical candidate pairs and pass orders.
 
 use probdedup_model::world::{full_worlds, top_k_worlds, World};
 use probdedup_model::xtuple::XTuple;
 
-use crate::key::KeySpec;
+use crate::key::{KeySpec, KeyTable};
 use crate::pairs::CandidatePairs;
-use crate::snm::{sorted_neighborhood, SnmEntry};
+use crate::snm::{sorted_neighborhood, sorted_neighborhood_interned, InternedSnmEntry, SnmEntry};
 
 /// Which possible worlds the passes run over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +94,7 @@ pub(crate) fn select_diverse_worlds(mut pool: Vec<World>, k: usize) -> Vec<World
 
 /// Key entries of one world: each tuple's key from its chosen alternative
 /// (uncertain values inside the alternative resolve to their most probable
-/// rendered prefix).
+/// rendered prefix). String path — used by the oracle.
 fn world_entries(tuples: &[XTuple], world: &World, spec: &KeySpec) -> Vec<SnmEntry> {
     debug_assert!(
         world.is_full(),
@@ -105,20 +112,107 @@ fn world_entries(tuples: &[XTuple], world: &World, spec: &KeySpec) -> Vec<SnmEnt
         .collect()
 }
 
+/// Interned key entries of one world off a prebuilt [`KeyTable`]: a table
+/// lookup per tuple, no rendering.
+fn world_entries_interned(table: &KeyTable, world: &World) -> Vec<InternedSnmEntry> {
+    debug_assert!(
+        world.is_full(),
+        "multi-pass uses worlds containing all tuples"
+    );
+    (0..table.len())
+        .map(|i| {
+            let alt = world.choices[i].expect("full world");
+            InternedSnmEntry::new(table.alternative_keys(i)[alt], i)
+        })
+        .collect()
+}
+
+/// Resolve a [`WorldSelection`] to concrete worlds (shared with the
+/// blocking module so SNM and blocking can never drift apart on policy).
+pub(crate) fn select_worlds(tuples: &[XTuple], selection: WorldSelection) -> Vec<World> {
+    match selection {
+        WorldSelection::All { limit } => full_worlds(tuples).take(limit).collect(),
+        WorldSelection::TopK(k) => top_k_worlds(tuples, k, true),
+        WorldSelection::DiverseTopK { k, pool } => {
+            select_diverse_worlds(top_k_worlds(tuples, pool.max(k), true), k)
+        }
+    }
+}
+
 /// Multi-pass SNM over possible worlds of `tuples`.
+///
+/// The key table is interned once up front; each pass is then a rank sort
+/// plus windowing ([`sorted_neighborhood_interned`]) — passes ≥ 2 perform
+/// **zero** key renders (asserted by the property tests via
+/// [`KeyTable::render_count`]). The per-pass [`SnmEntry`] strings in the
+/// result are resolved from the pool for figures and tests; use
+/// [`multipass_snm_pairs`] when only the candidate set matters.
 pub fn multipass_snm(
     tuples: &[XTuple],
     spec: &KeySpec,
     window: usize,
     selection: WorldSelection,
 ) -> MultipassResult {
-    let worlds: Vec<World> = match selection {
-        WorldSelection::All { limit } => full_worlds(tuples).take(limit).collect(),
-        WorldSelection::TopK(k) => top_k_worlds(tuples, k, true),
-        WorldSelection::DiverseTopK { k, pool } => {
-            select_diverse_worlds(top_k_worlds(tuples, pool.max(k), true), k)
-        }
-    };
+    let worlds = select_worlds(tuples, selection);
+    let table = spec.key_table(tuples);
+    let mut pairs = CandidatePairs::new(tuples.len());
+    let mut passes = Vec::with_capacity(worlds.len());
+    for world in worlds {
+        let entries = world_entries_interned(&table, &world);
+        let (pass_pairs, order) =
+            sorted_neighborhood_interned(entries, table.ranks(), window, tuples.len(), false);
+        pairs.absorb(&pass_pairs);
+        let order: Vec<SnmEntry> = order
+            .iter()
+            .map(|e| SnmEntry::new(table.resolve(e.key), e.tuple))
+            .collect();
+        passes.push((world, order));
+    }
+    MultipassResult { pairs, passes }
+}
+
+/// [`multipass_snm`] without materializing the per-pass inspection views:
+/// the lean path the pipeline and benchmarks use — after the key table is
+/// built, each pass allocates nothing but its entry vector.
+pub fn multipass_snm_pairs(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    window: usize,
+    selection: WorldSelection,
+) -> CandidatePairs {
+    multipass_snm_with_table(tuples, &spec.key_table(tuples), window, selection)
+}
+
+/// Multi-pass SNM with a caller-supplied [`KeyTable`] — lets callers reuse
+/// one table across several window sizes or selections, and lets tests
+/// observe the render counter across passes.
+pub fn multipass_snm_with_table(
+    tuples: &[XTuple],
+    table: &KeyTable,
+    window: usize,
+    selection: WorldSelection,
+) -> CandidatePairs {
+    let worlds = select_worlds(tuples, selection);
+    let mut pairs = CandidatePairs::new(tuples.len());
+    for world in worlds {
+        let entries = world_entries_interned(table, &world);
+        let (pass_pairs, _) =
+            sorted_neighborhood_interned(entries, table.ranks(), window, tuples.len(), false);
+        pairs.absorb(&pass_pairs);
+    }
+    pairs
+}
+
+/// String-path oracle of [`multipass_snm`]: renders every tuple's key in
+/// **every pass** — exactly the per-pass allocation the interned path
+/// removes. Retained for property testing.
+pub fn multipass_snm_oracle(
+    tuples: &[XTuple],
+    spec: &KeySpec,
+    window: usize,
+    selection: WorldSelection,
+) -> MultipassResult {
+    let worlds = select_worlds(tuples, selection);
     let mut pairs = CandidatePairs::new(tuples.len());
     let mut passes = Vec::with_capacity(worlds.len());
     for world in worlds {

@@ -83,6 +83,23 @@ impl CandidatePairs {
         }
     }
 
+    /// The complete candidate set: all `n·(n−1)/2` unordered pairs in
+    /// canonical `(lo, hi)` row order — the quadratic baseline the paper
+    /// calls "mostly too inefficient", used by the pipeline's `Full`
+    /// strategy and as the reference set for reduction metrics.
+    pub fn full(n: usize) -> Self {
+        let mut pairs = Self::new(n);
+        pairs
+            .pairs
+            .reserve(n.saturating_mul(n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.insert(i, j);
+            }
+        }
+        pairs
+    }
+
     /// Insert the unordered pair `(i, j)`; returns `true` if it was new.
     /// Self-pairs are ignored (returns `false`).
     pub fn insert(&mut self, i: usize, j: usize) -> bool {

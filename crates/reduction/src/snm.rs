@@ -1,5 +1,14 @@
 //! The core sorted-neighborhood method (Hernández & Stolfo 1995): sort key
 //! entries, slide a window, emit candidate pairs.
+//!
+//! Two entry representations share the windowing logic:
+//! [`sorted_neighborhood`] sorts owned key `String`s (the oracle path) and
+//! [`sorted_neighborhood_interned`] sorts [`KeySymbol`]s by a precomputed
+//! lexicographic rank — integer compares, zero allocation, byte-identical
+//! order. Multi-pass methods build the key table once and call the interned
+//! variant per pass, which makes passes ≥ 2 sort-only.
+
+use probdedup_model::intern::{KeyRanks, KeySymbol};
 
 use crate::pairs::CandidatePairs;
 
@@ -48,6 +57,54 @@ pub fn sorted_neighborhood(
 ) -> (CandidatePairs, Vec<SnmEntry>) {
     let window = window.max(2);
     entries.sort_by(|a, b| a.key.cmp(&b.key).then(a.tuple.cmp(&b.tuple)));
+    if skip_adjacent_same_tuple {
+        entries.dedup_by(|next, prev| next.tuple == prev.tuple);
+    }
+    let mut pairs = CandidatePairs::new(n_tuples);
+    for (i, e) in entries.iter().enumerate() {
+        for f in entries.iter().skip(i + 1).take(window - 1) {
+            pairs.insert(e.tuple, f.tuple);
+        }
+    }
+    (pairs, entries)
+}
+
+/// One sortable **interned** entry: a key symbol and the tuple it
+/// references — the allocation-free twin of [`SnmEntry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternedSnmEntry {
+    /// The key symbol (resolve against the issuing
+    /// [`KeyPool`](probdedup_model::intern::KeyPool) for display).
+    pub key: KeySymbol,
+    /// Index of the referenced tuple.
+    pub tuple: usize,
+}
+
+impl InternedSnmEntry {
+    /// A new entry.
+    pub fn new(key: KeySymbol, tuple: usize) -> Self {
+        Self { key, tuple }
+    }
+}
+
+/// [`sorted_neighborhood`] over interned entries: sort by `(rank(key),
+/// tuple)` — byte-identical order to the string path, since `ranks` agrees
+/// with the key strings' lexicographic order — then window identically.
+/// No string is touched.
+pub fn sorted_neighborhood_interned(
+    mut entries: Vec<InternedSnmEntry>,
+    ranks: &KeyRanks,
+    window: usize,
+    n_tuples: usize,
+    skip_adjacent_same_tuple: bool,
+) -> (CandidatePairs, Vec<InternedSnmEntry>) {
+    let window = window.max(2);
+    entries.sort_by(|a, b| {
+        ranks
+            .rank(a.key)
+            .cmp(&ranks.rank(b.key))
+            .then(a.tuple.cmp(&b.tuple))
+    });
     if skip_adjacent_same_tuple {
         entries.dedup_by(|next, prev| next.tuple == prev.tuple);
     }
@@ -152,6 +209,40 @@ mod tests {
         assert!(order.is_empty());
         let (pairs, _) = sorted_neighborhood(entries(&[("a", 0)]), 2, 1, false);
         assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn interned_windowing_matches_string_path() {
+        use probdedup_model::intern::KeyPool;
+        let list: &[(&str, usize)] = &[
+            ("Johpi", 0),
+            ("Timme", 1),
+            ("Johpi", 2),
+            ("", 3), // empty key sorts first
+            ("Łukme", 4),
+            ("Johpi", 0), // duplicate entry of tuple 0
+        ];
+        let mut kp = KeyPool::new();
+        let interned: Vec<InternedSnmEntry> = list
+            .iter()
+            .map(|&(k, t)| InternedSnmEntry::new(kp.intern_str(k), t))
+            .collect();
+        let ranks = kp.lexicographic_ranks();
+        for window in [2, 3, 4] {
+            for skip in [false, true] {
+                let (sp, so) = sorted_neighborhood(entries(list), window, 5, skip);
+                let (ip, io) =
+                    sorted_neighborhood_interned(interned.clone(), &ranks, window, 5, skip);
+                assert_eq!(sp.pairs(), ip.pairs(), "window {window} skip {skip}");
+                let resolved: Vec<(String, usize)> = io
+                    .iter()
+                    .map(|e| (kp.resolve(e.key).to_string(), e.tuple))
+                    .collect();
+                let strings: Vec<(String, usize)> =
+                    so.iter().map(|e| (e.key.clone(), e.tuple)).collect();
+                assert_eq!(resolved, strings, "window {window} skip {skip}");
+            }
+        }
     }
 
     #[test]

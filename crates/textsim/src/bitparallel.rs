@@ -11,7 +11,7 @@
 //!   and Hyyrö's blocked multi-word formulation above that.
 //! * [`hamming_bytes`] — byte-chunked XOR + popcount Hamming distance for
 //!   ASCII inputs: eight positions per `u64` step.
-//! * [`jaro_ascii`] — the Jaro matching scan over byte strings with a
+//! * `jaro_ascii` — the Jaro matching scan over byte strings with a
 //!   `u128` matched-position bitset (and a per-character position-mask
 //!   table for longer inputs) instead of heap-allocated `Vec<char>` /
 //!   `Vec<bool>` scratch.

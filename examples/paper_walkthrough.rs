@@ -9,6 +9,12 @@
 //! and both derivations (Eqs. 6–9), Figs. 9–13 SNM adaptations, Fig. 14
 //! blocking. The same computations back the `experiments` binary and the
 //! integration tests; this example narrates them.
+//!
+//! All SNM/blocking calls below run on the **interned key path**: keys are
+//! rendered once into a `KeyPool` (`Symbol`-backed, see
+//! `probdedup::reduction::key::KeyTable`), multi-pass methods sort by
+//! precomputed rank from the second pass on, and the key strings printed
+//! here are resolved from the pool for display only.
 
 use std::sync::Arc;
 
@@ -135,6 +141,8 @@ fn fig9_to_13_snm() {
     };
 
     println!("=== Fig. 9 / Section V-A.1: multi-pass over possible worlds ===");
+    // Keys are interned once before the first pass; pass 2 is sort-only
+    // (zero key renders — see reduction's interned_oracle tests).
     let mp = multipass_snm(tuples, &spec, 2, WorldSelection::TopK(2));
     for (world, order) in &mp.passes {
         let keys: Vec<String> = order
