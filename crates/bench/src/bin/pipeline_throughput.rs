@@ -23,6 +23,15 @@
 //!   kept here as the before/after baseline for the interned path;
 //! * `interned`    — the pipeline's cached mode: symbols + sharded
 //!   `SymbolCache` + upper-bound pruning;
+//! * `bounded`     — the classify-only (bounded) matching mode on plain
+//!   values: thresholds decompose into attribute budgets, Eq. 5 runs
+//!   against cut intervals, kernels run bounded, and no comparison matrix
+//!   is allocated. Classification is identical to `plain`
+//!   (property-tested); only which side of the thresholds each pair falls
+//!   on is computed. The JSON records the fraction of pairs disposed by
+//!   each bound tier;
+//! * `bounded-interned` — the same bounded path over interned symbols,
+//!   with exact values *and* below-cut verdicts memoized per symbol pair;
 //! * `textsim`     — raw string-kernel throughput (Jaro-Winkler,
 //!   Levenshtein, Hamming over the workload's distinct attribute values):
 //!   isolates the cache-miss cost the bit-parallel kernels target, with
@@ -51,7 +60,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use probdedup_bench::{
-    experiment_key, experiment_model, experiment_pipeline_cached, workload, SEED,
+    experiment_key, experiment_model, experiment_pipeline_bounded, experiment_pipeline_cached,
+    workload, SEED,
 };
 use probdedup_core::exec::par_map_index;
 use probdedup_core::pipeline::ReductionStrategy;
@@ -77,6 +87,7 @@ const REGRESSION_TOLERANCE: f64 = 0.25;
 const TEXTSIM_VALUE_CAP: usize = 2000;
 
 /// One measured configuration.
+#[derive(Default)]
 struct Run {
     entities: usize,
     rows: usize,
@@ -89,6 +100,14 @@ struct Run {
     cache_misses: u64,
     cache_hit_rate: f64,
     interned_values: usize,
+    /// Fraction of pairs certified ≥ T_μ early (bounded modes only).
+    early_match_frac: f64,
+    /// Fraction of pairs certified < T_λ early (bounded modes only).
+    early_nonmatch_frac: f64,
+    /// Fraction of pairs pinned in the possible band early (bounded only).
+    early_possible_frac: f64,
+    /// Kernel evaluations disposed by below-bound certificates.
+    kernel_bound_certs: u64,
 }
 
 fn main() {
@@ -143,6 +162,37 @@ fn main() {
                     cache_misses: result.stats.cache_misses,
                     cache_hit_rate: result.stats.hit_rate(),
                     interned_values: result.stats.interned_values,
+                    ..Run::default()
+                });
+                print_run(runs.last().expect("just pushed"));
+            }
+            // Classify-only (bounded) matching: same workload, same
+            // classification, evaluation stops once a pair's band is
+            // certified. Compared by the gate against its own committed
+            // baselines; the exact `plain` path is the speedup reference.
+            for (mode, cached) in [("bounded", false), ("bounded-interned", true)] {
+                let pipeline =
+                    experiment_pipeline_bounded(ReductionStrategy::Full, threads, cached);
+                let start = Instant::now();
+                let result = pipeline.run(&sources).expect("bounded pipeline run");
+                let wall = start.elapsed().as_secs_f64();
+                let (fm, fu, fp) = result.stats.disposal_fractions();
+                runs.push(Run {
+                    entities,
+                    rows,
+                    mode,
+                    threads,
+                    candidates: result.candidates,
+                    wall_ms: wall * 1e3,
+                    pairs_per_sec: result.candidates as f64 / wall,
+                    cache_hits: result.stats.cache_hits,
+                    cache_misses: result.stats.cache_misses,
+                    cache_hit_rate: result.stats.hit_rate(),
+                    interned_values: result.stats.interned_values,
+                    early_match_frac: fm,
+                    early_nonmatch_frac: fu,
+                    early_possible_frac: fp,
+                    kernel_bound_certs: result.stats.kernel_bound_certs,
                 });
                 print_run(runs.last().expect("just pushed"));
             }
@@ -327,6 +377,7 @@ fn reduction_modes(entities: usize, rows: usize, sources: &[&XRelation]) -> Vec<
             cache_misses: 0,
             cache_hit_rate: 0.0,
             interned_values: 0,
+            ..Run::default()
         });
     };
     measure("snm-multipass", &|| {
@@ -406,6 +457,7 @@ fn textsim_mode(entities: usize, rows: usize, sources: &[&XRelation]) -> Run {
         cache_misses: 0,
         cache_hit_rate: 0.0,
         interned_values: texts.len(),
+        ..Run::default()
     }
 }
 
@@ -478,6 +530,7 @@ fn value_cache_baseline(
             hits as f64 / (hits + misses) as f64
         },
         interned_values: 0,
+        ..Run::default()
     }
 }
 
@@ -496,7 +549,7 @@ fn render_json(runs: &[Run]) -> String {
             "    {{\"entities\": {}, \"rows\": {}, \"mode\": \"{}\", \"threads\": {}, \
              \"candidates\": {}, \"wall_ms\": {:.3}, \"pairs_per_sec\": {:.1}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
-             \"interned_values\": {}}}",
+             \"interned_values\": {}",
             r.entities,
             r.rows,
             r.mode,
@@ -509,6 +562,20 @@ fn render_json(runs: &[Run]) -> String {
             r.cache_hit_rate,
             r.interned_values,
         );
+        if r.mode.starts_with("bounded") {
+            // Per-tier disposal fractions of the bounded path (they sum
+            // with the exhausted remainder to 1).
+            let _ = write!(
+                s,
+                ", \"early_match_frac\": {:.6}, \"early_nonmatch_frac\": {:.6}, \
+                 \"early_possible_frac\": {:.6}, \"kernel_bound_certs\": {}",
+                r.early_match_frac,
+                r.early_nonmatch_frac,
+                r.early_possible_frac,
+                r.kernel_bound_certs,
+            );
+        }
+        s.push('}');
         s.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");

@@ -64,13 +64,18 @@ pub fn experiment_weights() -> WeightedSum {
     WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).expect("static weights")
 }
 
+/// The experiments' classification thresholds (tuned on the workload).
+pub fn experiment_thresholds() -> Thresholds {
+    Thresholds::new(0.72, 0.82).expect("static thresholds")
+}
+
 /// The standard similarity-based decision model (thresholds tuned on the
 /// workload; see tests/pipeline_end_to_end.rs).
 pub fn experiment_model() -> Arc<dyn XTupleDecisionModel> {
     Arc::new(SimilarityBasedModel::new(
         Arc::new(experiment_weights()),
         Arc::new(ExpectedSimilarity),
-        Thresholds::new(0.72, 0.82).expect("static thresholds"),
+        experiment_thresholds(),
     ))
 }
 
@@ -100,6 +105,29 @@ pub fn experiment_pipeline_cached(
         .build()
 }
 
+/// [`experiment_pipeline_cached`]'s classify-only twin: the bounded
+/// matching mode under the same weights and thresholds (identical
+/// classification — property-tested), with the similarity cache toggling
+/// between the plain and interned bounded paths.
+pub fn experiment_pipeline_bounded(
+    reduction: ReductionStrategy,
+    threads: usize,
+    cache: bool,
+) -> DedupPipeline {
+    let ds = workload(1); // only for the schema
+    DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(
+            &ds.schema,
+            JaroWinkler::new(),
+        ))
+        .classify_only(experiment_weights(), experiment_thresholds())
+        .reduction(reduction)
+        .threads(threads)
+        .cache_similarities(cache)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +148,37 @@ mod tests {
             .run(&sources)
             .expect("run");
         assert!(result.candidates > 0);
+    }
+
+    #[test]
+    fn bounded_pipeline_matches_exact_classes_on_workload() {
+        let ds = workload(40);
+        let sources: Vec<&probdedup_model::relation::XRelation> = ds.relations.iter().collect();
+        let exact = experiment_pipeline(ReductionStrategy::Full, 2)
+            .run(&sources)
+            .expect("exact run");
+        for cache in [false, true] {
+            let bounded = experiment_pipeline_bounded(ReductionStrategy::Full, 2, cache)
+                .run(&sources)
+                .expect("bounded run");
+            assert_eq!(exact.decisions.len(), bounded.decisions.len());
+            for (x, y) in exact.decisions.iter().zip(&bounded.decisions) {
+                assert_eq!(x.pair, y.pair);
+                assert_eq!(x.class, y.class, "cache {cache}, pair {:?}", x.pair);
+            }
+            assert_eq!(exact.clusters, bounded.clusters);
+            let s = &bounded.stats;
+            assert_eq!(
+                s.pairs_early_match
+                    + s.pairs_early_nonmatch
+                    + s.pairs_early_possible
+                    + s.pairs_exhausted,
+                bounded.candidates as u64
+            );
+            // The typo-heavy workload is dominated by clear non-matches:
+            // the whole point of the bounded path is that they settle
+            // early.
+            assert!(s.pairs_early_nonmatch > bounded.candidates as u64 / 2);
+        }
     }
 }

@@ -71,6 +71,9 @@ pub mod prob_result;
 pub use cluster::UnionFind;
 pub use exec::par_map_index;
 pub use fusion::fuse_xtuples;
-pub use pipeline::{DedupPipeline, DedupResult, MatchingStats, PairDecision, ReductionStrategy};
+pub use pipeline::{
+    BoundedClassifyConfig, DedupPipeline, DedupResult, MatchingStats, PairDecision,
+    ReductionStrategy,
+};
 pub use prepare::Preparation;
 pub use prob_result::{probabilistic_result, ProbabilisticResult};

@@ -1,7 +1,7 @@
 //! The [`DedupPipeline`]: preparation → reduction → matching → decision →
 //! clustering, over one or more probabilistic source relations.
 //!
-//! The matching stage is the quadratic hot path and runs in one of two
+//! The matching stage is the quadratic hot path and runs in one of three
 //! modes:
 //!
 //! * **plain** — comparison matrices straight off the [`XTuple`]s
@@ -11,7 +11,23 @@
 //!   [`ValuePool`](probdedup_model::intern::ValuePool) once, and all Eq. 5
 //!   evaluations run over dense symbols through sharded per-attribute
 //!   [`SymbolCache`](probdedup_matching::cache::SymbolCache)s with
-//!   upper-bound pruning (see `probdedup_matching::interned`).
+//!   upper-bound pruning (see `probdedup_matching::interned`);
+//! * **classify-only (bounded)** — with
+//!   [`classify_only`](DedupPipelineBuilder::classify_only), evaluation of
+//!   a pair stops the moment its classification is certified: the decision
+//!   thresholds decompose into running attribute budgets
+//!   ([`AttributeBudgets`]), each attribute evaluates Eq. 5 against a cut
+//!   interval with certified interval tracking
+//!   ([`interned_pvalue_similarity_bounded`] /
+//!   [`pvalue_similarity_bounded`]), and the kernels themselves run
+//!   bounded (banded Myers, length/class prefilters) — no comparison
+//!   matrix is ever materialized. [`PairDecision::similarity`] then holds
+//!   a certified representative (a bound that classifies identically),
+//!   not the exact degree; the match/possible/non-match partition is
+//!   identical to the exact path's away from a 1e-9 threshold margin
+//!   (property-tested). Combine with `cache_similarities(true)` to run
+//!   the bounded path over interned symbols with verdict-memoizing
+//!   caches.
 //!
 //! Either mode executes candidate pairs with the work-stealing
 //! [`par_map_index`] pair executor, so skewed block
@@ -31,13 +47,18 @@
 
 use std::sync::Arc;
 
-use probdedup_decision::threshold::MatchClass;
+use probdedup_decision::budget::{classify_comparison_bounded, AttributeBudgets, BoundedTier};
+use probdedup_decision::combine::WeightedSum;
+use probdedup_decision::threshold::{MatchClass, Thresholds};
 use probdedup_decision::xmodel::XTupleDecisionModel;
+use probdedup_matching::bounded::pvalue_similarity_bounded;
 use probdedup_matching::interned::{
-    compare_xtuples_interned, intern_tuples, InternedComparators, InternedXTuple,
+    compare_xtuples_interned, intern_tuples, intern_tuples_tracked,
+    interned_pvalue_similarity_bounded, InternedComparators, InternedXTuple,
 };
 use probdedup_matching::matrix::compare_xtuples;
 use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::condition::normalized_alternative_probs;
 use probdedup_model::error::ModelError;
 use probdedup_model::ids::{SourceId, TupleHandle};
 use probdedup_model::relation::XRelation;
@@ -181,6 +202,13 @@ pub struct PairDecision {
 
 /// Counters describing the matching stage of one run (all zero when the
 /// similarity cache is disabled — the plain path keeps no counters).
+///
+/// The `pairs_*` tier counters are populated only by the classify-only
+/// (bounded) mode: they partition the candidate pairs by which bound
+/// settled them. In bounded runs `cache_misses` counts probes the exact
+/// cache could not answer; `kernel_bound_certs` says how many kernel
+/// evaluations among those were disposed by a below-bound certificate
+/// (prefilters / banded Myers) instead of a full kernel run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MatchingStats {
     /// Kernel evaluations answered by the sharded similarity cache.
@@ -191,6 +219,16 @@ pub struct MatchingStats {
     pub cached_pairs: usize,
     /// Distinct values interned into the run's `ValuePool`.
     pub interned_values: usize,
+    /// Pairs certified `≥ T_μ` before evaluation finished (bounded mode).
+    pub pairs_early_match: u64,
+    /// Pairs certified `< T_λ` before evaluation finished (bounded mode).
+    pub pairs_early_nonmatch: u64,
+    /// Pairs pinned inside the possible band early (bounded mode).
+    pub pairs_early_possible: u64,
+    /// Pairs whose bounded evaluation ran to completion (bounded mode).
+    pub pairs_exhausted: u64,
+    /// Kernel evaluations disposed by a below-bound certificate.
+    pub kernel_bound_certs: u64,
 }
 
 impl MatchingStats {
@@ -203,6 +241,25 @@ impl MatchingStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Fraction of pairs disposed before exhaustive evaluation, per tier:
+    /// `(early_match, early_nonmatch, early_possible)` over all counted
+    /// pairs. All zero outside bounded runs.
+    pub fn disposal_fractions(&self) -> (f64, f64, f64) {
+        let total = self.pairs_early_match
+            + self.pairs_early_nonmatch
+            + self.pairs_early_possible
+            + self.pairs_exhausted;
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.pairs_early_match as f64 / t,
+            self.pairs_early_nonmatch as f64 / t,
+            self.pairs_early_possible as f64 / t,
+        )
     }
 }
 
@@ -257,13 +314,25 @@ impl DedupResult {
     }
 }
 
+/// Configuration of the classify-only (bounded) matching mode: the linear
+/// similarity-based model — weighted-sum φ, Eq. 6 expectation, thresholds —
+/// in the decomposed form the bounded path needs.
+#[derive(Clone)]
+pub struct BoundedClassifyConfig {
+    /// Attribute combination weights (the φ of the exact model).
+    pub phi: WeightedSum,
+    /// The classification thresholds `(T_λ, T_μ)`.
+    pub thresholds: Thresholds,
+}
+
 /// The configured pipeline. Build with [`DedupPipeline::builder`].
 #[derive(Clone)]
 pub struct DedupPipeline {
     preparation: Preparation,
     reduction: ReductionStrategy,
     comparators: AttributeComparators,
-    model: Arc<dyn XTupleDecisionModel>,
+    model: Option<Arc<dyn XTupleDecisionModel>>,
+    bounded: Option<BoundedClassifyConfig>,
     threads: usize,
     cache_similarities: bool,
 }
@@ -274,6 +343,7 @@ pub struct DedupPipelineBuilder {
     reduction: ReductionStrategy,
     comparators: Option<AttributeComparators>,
     model: Option<Arc<dyn XTupleDecisionModel>>,
+    bounded: Option<BoundedClassifyConfig>,
     threads: usize,
     cache_similarities: bool,
 }
@@ -286,6 +356,7 @@ impl DedupPipeline {
             reduction: ReductionStrategy::Full,
             comparators: None,
             model: None,
+            bounded: None,
             threads: 1,
             cache_similarities: false,
         }
@@ -330,42 +401,16 @@ impl DedupPipeline {
         // 3+4. Matching + decision, work-stealing over candidate pairs.
         // With the similarity cache enabled the relation is interned once
         // and all Eq. 5 evaluations run over symbols through the sharded
-        // per-attribute caches; either way, workers claim chunks from a
-        // shared cursor, so skewed block sizes cannot strand a thread with
-        // all the expensive pairs.
+        // per-attribute caches; in classify-only mode evaluation is
+        // bounded end-to-end instead. Either way, workers claim chunks
+        // from a shared cursor, so skewed block sizes cannot strand a
+        // thread with all the expensive pairs.
         let tuples = combined.xtuples();
         let pairs = candidates.pairs();
-        let interned: Option<(Vec<InternedXTuple>, InternedComparators)> =
-            self.cache_similarities.then(|| {
-                let (pool, interned) = intern_tuples(tuples);
-                let cmps = InternedComparators::new(Arc::new(pool), &self.comparators);
-                (interned, cmps)
-            });
         let threads = self.threads.clamp(1, pairs.len().max(1));
-        let decisions: Vec<PairDecision> = par_map_index(threads, pairs.len(), |idx| {
-            let (i, j) = pairs[idx];
-            let matrix = match &interned {
-                Some((itup, cmps)) => compare_xtuples_interned(&itup[i], &itup[j], cmps),
-                None => compare_xtuples(&tuples[i], &tuples[j], &self.comparators),
-            };
-            let d = self.model.decide(&tuples[i], &tuples[j], &matrix);
-            PairDecision {
-                pair: (i, j),
-                similarity: d.similarity,
-                class: d.class,
-            }
-        });
-        let stats = match &interned {
-            Some((_, cmps)) => {
-                let (cache_hits, cache_misses) = cmps.cache_stats();
-                MatchingStats {
-                    cache_hits,
-                    cache_misses,
-                    cached_pairs: cmps.cached_pairs(),
-                    interned_values: cmps.pool().len(),
-                }
-            }
-            None => MatchingStats::default(),
+        let (decisions, stats) = match &self.bounded {
+            Some(config) => self.run_bounded_matching(tuples, pairs, threads, config),
+            None => self.run_exact_matching(tuples, pairs, threads),
         };
 
         // 5. Transitive closure of matches.
@@ -383,6 +428,155 @@ impl DedupPipeline {
             clusters,
             stats,
         })
+    }
+
+    /// The exact matching stage: full comparison matrices + the decision
+    /// model, plain or interned.
+    fn run_exact_matching(
+        &self,
+        tuples: &[probdedup_model::xtuple::XTuple],
+        pairs: &[(usize, usize)],
+        threads: usize,
+    ) -> (Vec<PairDecision>, MatchingStats) {
+        let model = self
+            .model
+            .as_ref()
+            .expect("exact matching requires a decision model");
+        let interned: Option<(Vec<InternedXTuple>, InternedComparators)> =
+            self.cache_similarities.then(|| {
+                let (pool, interned) = intern_tuples(tuples);
+                let cmps = InternedComparators::new(Arc::new(pool), &self.comparators);
+                (interned, cmps)
+            });
+        let decisions: Vec<PairDecision> = par_map_index(threads, pairs.len(), |idx| {
+            let (i, j) = pairs[idx];
+            let matrix = match &interned {
+                Some((itup, cmps)) => compare_xtuples_interned(&itup[i], &itup[j], cmps),
+                None => compare_xtuples(&tuples[i], &tuples[j], &self.comparators),
+            };
+            let d = model.decide(&tuples[i], &tuples[j], &matrix);
+            PairDecision {
+                pair: (i, j),
+                similarity: d.similarity,
+                class: d.class,
+            }
+        });
+        let stats = match &interned {
+            Some((_, cmps)) => {
+                let (cache_hits, cache_misses) = cmps.cache_stats();
+                MatchingStats {
+                    cache_hits,
+                    cache_misses,
+                    cached_pairs: cmps.cached_pairs(),
+                    interned_values: cmps.pool().len(),
+                    ..MatchingStats::default()
+                }
+            }
+            None => MatchingStats::default(),
+        };
+        (decisions, stats)
+    }
+
+    /// The classify-only (bounded) matching stage: thresholds decompose
+    /// into attribute budgets, every Eq. 5 evaluation runs against a cut
+    /// interval, and no comparison matrix is allocated. Conditioned
+    /// alternative weights are precomputed **once per tuple** (the exact
+    /// path re-derives them per pair inside the model).
+    fn run_bounded_matching(
+        &self,
+        tuples: &[probdedup_model::xtuple::XTuple],
+        pairs: &[(usize, usize)],
+        threads: usize,
+        config: &BoundedClassifyConfig,
+    ) -> (Vec<PairDecision>, MatchingStats) {
+        assert_eq!(
+            config.phi.weights().len(),
+            self.comparators.arity(),
+            "classify-only weights must cover every attribute"
+        );
+        let budgets = AttributeBudgets::new(&config.phi, config.thresholds);
+        let weights: Vec<Vec<f64>> = tuples.iter().map(normalized_alternative_probs).collect();
+        let interned: Option<(Vec<InternedXTuple>, InternedComparators)> =
+            self.cache_similarities.then(|| {
+                let (pool, interned, usage) = intern_tuples_tracked(tuples);
+                let cmps =
+                    InternedComparators::with_usage(Arc::new(pool), &self.comparators, &usage);
+                (interned, cmps)
+            });
+        let outcomes: Vec<(PairDecision, BoundedTier)> =
+            par_map_index(threads, pairs.len(), |idx| {
+                let (i, j) = pairs[idx];
+                let d = match &interned {
+                    Some((itup, cmps)) => {
+                        let (t1, t2) = (&itup[i], &itup[j]);
+                        classify_comparison_bounded(
+                            &weights[i],
+                            &weights[j],
+                            &budgets,
+                            |ai, aj, attr, lo, hi| {
+                                interned_pvalue_similarity_bounded(
+                                    t1.alternatives()[ai].value(attr),
+                                    t2.alternatives()[aj].value(attr),
+                                    attr,
+                                    cmps,
+                                    lo,
+                                    hi,
+                                )
+                            },
+                        )
+                    }
+                    None => {
+                        let (t1, t2) = (&tuples[i], &tuples[j]);
+                        classify_comparison_bounded(
+                            &weights[i],
+                            &weights[j],
+                            &budgets,
+                            |ai, aj, attr, lo, hi| {
+                                pvalue_similarity_bounded(
+                                    t1.alternatives()[ai].value(attr),
+                                    t2.alternatives()[aj].value(attr),
+                                    self.comparators.get(attr),
+                                    lo,
+                                    hi,
+                                )
+                            },
+                        )
+                    }
+                };
+                (
+                    PairDecision {
+                        pair: (i, j),
+                        similarity: d.similarity,
+                        class: d.class,
+                    },
+                    d.tier,
+                )
+            });
+        let mut stats = match &interned {
+            Some((_, cmps)) => {
+                let (cache_hits, cache_misses) = cmps.cache_stats();
+                MatchingStats {
+                    cache_hits,
+                    cache_misses,
+                    cached_pairs: cmps.cached_pairs(),
+                    interned_values: cmps.pool().len(),
+                    kernel_bound_certs: cmps.bound_certs(),
+                    ..MatchingStats::default()
+                }
+            }
+            None => MatchingStats::default(),
+        };
+        let mut decisions = Vec::with_capacity(outcomes.len());
+        for (d, tier) in outcomes {
+            match tier {
+                BoundedTier::EarlyMatch => stats.pairs_early_match += 1,
+                BoundedTier::EarlyNonMatch => stats.pairs_early_nonmatch += 1,
+                BoundedTier::EarlyPossible => stats.pairs_early_possible += 1,
+                BoundedTier::Exhausted => stats.pairs_exhausted += 1,
+            }
+            decisions.push(d);
+        }
+        (decisions, stats)
     }
 }
 
@@ -405,9 +599,25 @@ impl DedupPipelineBuilder {
         self
     }
 
-    /// Set the x-tuple decision model (required).
+    /// Set the x-tuple decision model (required unless
+    /// [`classify_only`](Self::classify_only) is configured).
     pub fn model(mut self, m: Arc<dyn XTupleDecisionModel>) -> Self {
         self.model = Some(m);
+        self
+    }
+
+    /// Run the matching stage in **classify-only (bounded)** mode: the
+    /// given weighted-sum φ and thresholds — the linear similarity-based
+    /// model — are decomposed into running budgets and every pair is
+    /// evaluated only far enough to certify its class. Equivalent, in
+    /// classification, to
+    /// `model(SimilarityBasedModel::new(phi, ExpectedSimilarity, thresholds))`
+    /// — but [`PairDecision::similarity`] holds a certified representative
+    /// rather than the exact degree. Combine with
+    /// [`cache_similarities(true)`](Self::cache_similarities) for the
+    /// interned bounded path (verdict-memoizing symbol caches).
+    pub fn classify_only(mut self, phi: WeightedSum, thresholds: Thresholds) -> Self {
+        self.bounded = Some(BoundedClassifyConfig { phi, thresholds });
         self
     }
 
@@ -425,14 +635,26 @@ impl DedupPipelineBuilder {
         self
     }
 
-    /// Finish; panics if comparators or model are missing (programming
-    /// error, not data error).
+    /// Finish; panics if comparators are missing, or if the decision-model
+    /// configuration is not exactly one of `model` / `classify_only`
+    /// (programming error, not data error — setting both would silently
+    /// ignore the model and change what `PairDecision::similarity` means).
     pub fn build(self) -> DedupPipeline {
+        assert!(
+            self.model.is_some() || self.bounded.is_some(),
+            "a decision model (or a classify_only config) is required"
+        );
+        assert!(
+            !(self.model.is_some() && self.bounded.is_some()),
+            "model and classify_only are mutually exclusive: classify-only \
+             decides with its own thresholds and would ignore the model"
+        );
         DedupPipeline {
             preparation: self.preparation,
             reduction: self.reduction,
             comparators: self.comparators.expect("comparators are required"),
-            model: self.model.expect("a decision model is required"),
+            model: self.model,
+            bounded: self.bounded,
             threads: self.threads,
             cache_similarities: self.cache_similarities,
         }
@@ -661,6 +883,104 @@ mod tests {
         );
         assert!(cached.stats.interned_values > 1);
         assert_eq!(base.stats, MatchingStats::default());
+    }
+
+    #[test]
+    fn bounded_classification_matches_exact_model() {
+        let (a, b) = (r3(), r4());
+        let mut big = XRelation::new(schema());
+        for _ in 0..40 {
+            for t in a.xtuples() {
+                big.push(t.clone());
+            }
+        }
+        let phi = WeightedSum::new([0.8, 0.2]).unwrap();
+        let thresholds = Thresholds::new(0.6, 0.8).unwrap();
+        let exact = pipeline(ReductionStrategy::Full).run(&[&big, &b]).unwrap();
+        for cache in [false, true] {
+            let bounded = DedupPipeline::builder()
+                .comparators(AttributeComparators::uniform(
+                    &schema(),
+                    NormalizedHamming::new(),
+                ))
+                .classify_only(phi.clone(), thresholds)
+                .cache_similarities(cache)
+                .threads(4)
+                .build()
+                .run(&[&big, &b])
+                .unwrap();
+            assert_eq!(exact.decisions.len(), bounded.decisions.len());
+            for (x, y) in exact.decisions.iter().zip(&bounded.decisions) {
+                assert_eq!(x.pair, y.pair, "cache {cache}");
+                // Identical partition; the bounded similarity is only a
+                // certified representative, but it must classify the same.
+                assert_eq!(x.class, y.class, "cache {cache}, pair {:?}", x.pair);
+                assert_eq!(thresholds.classify(y.similarity), y.class);
+            }
+            assert_eq!(exact.clusters, bounded.clusters, "cache {cache}");
+            // Tier counters partition the candidate set, and on this
+            // duplicate-heavy workload most pairs settle early.
+            let s = &bounded.stats;
+            assert_eq!(
+                s.pairs_early_match
+                    + s.pairs_early_nonmatch
+                    + s.pairs_early_possible
+                    + s.pairs_exhausted,
+                bounded.candidates as u64,
+                "cache {cache}"
+            );
+            assert!(
+                s.pairs_early_match + s.pairs_early_nonmatch > 0,
+                "cache {cache}: nothing settled early"
+            );
+            let (fm, fn_, fp) = s.disposal_fractions();
+            assert!((0.0..=1.0).contains(&(fm + fn_ + fp)));
+        }
+    }
+
+    #[test]
+    fn bounded_mode_needs_no_model() {
+        let (a, b) = (r3(), r4());
+        let result = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .classify_only(
+                WeightedSum::new([0.8, 0.2]).unwrap(),
+                Thresholds::new(0.6, 0.8).unwrap(),
+            )
+            .build()
+            .run(&[&a, &b])
+            .unwrap();
+        assert_eq!(result.candidates, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "decision model")]
+    fn missing_model_and_bounded_config_panics() {
+        let _ = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn model_and_bounded_config_together_panics() {
+        let _ = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .model(model())
+            .classify_only(
+                WeightedSum::new([0.8, 0.2]).unwrap(),
+                Thresholds::new(0.6, 0.8).unwrap(),
+            )
+            .build();
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! assert_eq!(thresholds.classify(0.2), MatchClass::NonMatch);
 //! ```
 
+pub mod budget;
 pub mod combine;
 pub mod derive_decision;
 pub mod derive_sim;
@@ -55,6 +56,9 @@ pub mod rules;
 pub mod threshold;
 pub mod xmodel;
 
+pub use budget::{
+    classify_comparison_bounded, AttributeBudgets, BoundedDecision, BoundedTier, CERT_MARGIN,
+};
 pub use combine::{CombinationFunction, WeightedProduct, WeightedSum};
 pub use derive_decision::{DecisionDerivation, ExpectedMatchingResult, MatchingWeightDerivation};
 pub use derive_sim::{ExpectedSimilarity, MaxSimilarity, MinSimilarity, SimilarityDerivation};

@@ -127,6 +127,68 @@ impl SymbolCache {
         s
     }
 
+    /// The memoized value of `(a, b)`, if present (counts as a hit/miss).
+    /// Used by the bounded path to probe the exact cache before consulting
+    /// verdicts or running a kernel.
+    #[inline]
+    pub fn get(&self, a: Symbol, b: Symbol) -> Option<f64> {
+        let key = Self::key(a, b);
+        let shard = &self.shards[shard_of(hash_u64(key))];
+        let found = shard
+            .read()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(_) => self.counters.hits.fetch_add(1, Relaxed),
+            None => self.counters.misses.fetch_add(1, Relaxed),
+        };
+        found
+    }
+
+    /// Counter-free variant of [`get`](Self::get): no hit/miss accounting.
+    /// This is the verdict-table probe of the bounded path — verdict
+    /// tables keep their own certificate counter, and a shared atomic RMW
+    /// per probe is exactly the kind of cross-thread traffic the hot path
+    /// avoids.
+    #[inline]
+    pub fn peek(&self, a: Symbol, b: Symbol) -> Option<f64> {
+        let key = Self::key(a, b);
+        let shard = &self.shards[shard_of(hash_u64(key))];
+        shard
+            .read()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    /// Memoize `(a, b) → v` unconditionally (no counter updates — the probe
+    /// that preceded the computation already counted).
+    #[inline]
+    pub fn insert(&self, a: Symbol, b: Symbol, v: f64) {
+        let key = Self::key(a, b);
+        let shard = &self.shards[shard_of(hash_u64(key))];
+        shard.write().expect("cache shard poisoned").insert(key, v);
+    }
+
+    /// Memoize `(a, b) → v` keeping the **smaller** value on collision.
+    ///
+    /// This is the verdict-cache update: entries are certified *upper
+    /// bounds* ("the kernel similarity is `< v`"), so a tighter certificate
+    /// must win over a looser one regardless of which worker thread stores
+    /// first.
+    #[inline]
+    pub fn insert_min(&self, a: Symbol, b: Symbol, v: f64) {
+        let key = Self::key(a, b);
+        let shard = &self.shards[shard_of(hash_u64(key))];
+        shard
+            .write()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .and_modify(|old| *old = old.min(v))
+            .or_insert(v);
+    }
+
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         self.counters.snapshot()
@@ -156,10 +218,19 @@ type ValueShard = RwLock<FxHashMap<(Value, Value), f64>>;
 
 /// A memoizing wrapper around [`ValueComparator`], keyed on the canonical
 /// (sorted) value pair and lock-striped across 64 shards.
+///
+/// Alongside the exact memo table it keeps a **verdict table**: when the
+/// bounded path ([`CachedComparator::similarity_within`]) certifies a pair
+/// below some cut without computing the exact similarity, the certified
+/// upper bound is stored, and any later query with an equal-or-looser cut
+/// is answered without touching a kernel again.
 pub struct CachedComparator {
     inner: ValueComparator,
     shards: Box<[ValueShard]>,
+    /// Certified upper bounds ("similarity < v") from bounded evaluations.
+    bounds: Box<[ValueShard]>,
     counters: CacheCounters,
+    bound_certs: AtomicU64,
 }
 
 impl CachedComparator {
@@ -170,8 +241,30 @@ impl CachedComparator {
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
+            bounds: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
             counters: CacheCounters::default(),
+            bound_certs: AtomicU64::new(0),
         }
+    }
+
+    /// Canonical (sorted) key pair of `(a, b)` with its shard index — the
+    /// one place the cache's addressing scheme lives; both the exact and
+    /// the bounded lookup go through it.
+    fn canonical_key_and_shard(a: &Value, b: &Value) -> ((Value, Value), usize) {
+        let key = if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        let shard_idx = {
+            use std::hash::{Hash, Hasher};
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            shard_of(h.finish())
+        };
+        (key, shard_idx)
     }
 
     /// Memoized similarity (same contract as
@@ -181,17 +274,8 @@ impl CachedComparator {
         if a.is_null() || b.is_null() {
             return self.inner.similarity(a, b);
         }
-        let key = if a <= b {
-            (a.clone(), b.clone())
-        } else {
-            (b.clone(), a.clone())
-        };
-        let shard = {
-            use std::hash::{Hash, Hasher};
-            let mut h = FxHasher::default();
-            key.hash(&mut h);
-            &self.shards[shard_of(h.finish())]
-        };
+        let (key, shard_idx) = Self::canonical_key_and_shard(a, b);
+        let shard = &self.shards[shard_idx];
         if let Some(&s) = shard.read().expect("cache shard poisoned").get(&key) {
             self.counters.hits.fetch_add(1, Relaxed);
             return s;
@@ -200,6 +284,55 @@ impl CachedComparator {
         self.counters.misses.fetch_add(1, Relaxed);
         shard.write().expect("cache shard poisoned").insert(key, s);
         s
+    }
+
+    /// Bounded memoized similarity: `Some(exact)` or a certificate that
+    /// the similarity is `< bound` (same contract as
+    /// [`StringComparator::similarity_within`][w]). Certificates are
+    /// memoized as upper bounds, so a bound-certified pair never re-runs a
+    /// kernel for any equal-or-looser cut.
+    ///
+    /// [w]: probdedup_textsim::StringComparator::similarity_within
+    pub fn similarity_within(&self, a: &Value, b: &Value, bound: f64) -> Option<f64> {
+        if a.is_null() || b.is_null() {
+            return Some(self.inner.similarity(a, b));
+        }
+        let (key, shard_idx) = Self::canonical_key_and_shard(a, b);
+        let exact = &self.shards[shard_idx];
+        if let Some(&s) = exact.read().expect("cache shard poisoned").get(&key) {
+            self.counters.hits.fetch_add(1, Relaxed);
+            return Some(s);
+        }
+        self.counters.misses.fetch_add(1, Relaxed);
+        let verdicts = &self.bounds[shard_idx];
+        if let Some(&ub) = verdicts.read().expect("cache shard poisoned").get(&key) {
+            if ub <= bound {
+                self.bound_certs.fetch_add(1, Relaxed);
+                return None; // similarity < ub ≤ bound
+            }
+        }
+        match self.inner.similarity_within(&key.0, &key.1, bound) {
+            Some(s) => {
+                exact.write().expect("cache shard poisoned").insert(key, s);
+                Some(s)
+            }
+            None => {
+                self.bound_certs.fetch_add(1, Relaxed);
+                verdicts
+                    .write()
+                    .expect("cache shard poisoned")
+                    .entry(key)
+                    .and_modify(|old| *old = old.min(bound))
+                    .or_insert(bound);
+                None
+            }
+        }
+    }
+
+    /// Number of kernel evaluations disposed by a below-bound certificate
+    /// (cached or freshly computed) instead of an exact value.
+    pub fn bound_certs(&self) -> u64 {
+        self.bound_certs.load(Relaxed)
     }
 
     /// `(hits, misses)` counters — used by benches to report cache

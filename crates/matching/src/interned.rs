@@ -24,12 +24,14 @@
 //! `(|supp(a₁)| + 1) · PRUNE_EPS` — far below every tolerance the paper's
 //! figures are checked against (property-tested at 1e-12).
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use probdedup_model::intern::{Symbol, SymbolMap, ValuePool};
 use probdedup_model::pvalue::PValue;
 use probdedup_model::xtuple::XTuple;
 
+use crate::bounded::BoundedSim;
 use crate::cache::SymbolCache;
 use crate::matrix::ComparisonMatrix;
 use crate::value_cmp::{PreparedValue, ValueComparator};
@@ -54,6 +56,49 @@ pub struct InternedPValue {
     /// `pruned_expected_similarity`; a support may sum to `1 + ε` within
     /// the model's tolerance and the budget must cover all of it).
     mass: f64,
+}
+
+/// Which attributes each interned symbol occurs in, as a dense per-symbol
+/// bitmask sidecar (attributes ≥ 63 share the top bit, conservatively).
+///
+/// Recorded during [`intern_tuples_tracked`] and consumed by
+/// [`InternedComparators::with_usage`]: Myers `Peq` tables (~1 KiB per
+/// string) are built **only** for symbols that actually appear in an
+/// attribute whose kernel asks for pattern bits — on mixed-kernel schemas
+/// the shared pool no longer pays for every symbol because one attribute's
+/// kernel is bit-parallel.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeUsage {
+    masks: Vec<u64>,
+}
+
+impl AttributeUsage {
+    /// The bit representing `attr` (attributes ≥ 63 are conflated onto the
+    /// top bit — they can only cause over-building, never under-building).
+    #[inline]
+    fn bit(attr: usize) -> u64 {
+        1u64 << attr.min(63)
+    }
+
+    /// Record that `sym` occurs in attribute `attr`.
+    fn record(&mut self, sym: Symbol, attr: usize) {
+        let idx = sym.index();
+        if idx >= self.masks.len() {
+            self.masks.resize(idx + 1, 0);
+        }
+        self.masks[idx] |= Self::bit(attr);
+    }
+
+    /// Whether `sym` occurs in any attribute of `attr_mask`.
+    #[inline]
+    fn intersects(&self, sym: Symbol, attr_mask: u64) -> bool {
+        self.masks.get(sym.index()).copied().unwrap_or(0) & attr_mask != 0
+    }
+
+    /// The combined bit mask of `attrs` (see [`AttributeUsage::bit`]).
+    fn mask_of(attrs: impl Iterator<Item = usize>) -> u64 {
+        attrs.fold(0u64, |m, a| m | Self::bit(a))
+    }
 }
 
 impl InternedPValue {
@@ -118,6 +163,21 @@ pub struct InternedXTuple {
 impl InternedXTuple {
     /// Intern every alternative of `t` into `pool`.
     pub fn from_xtuple(pool: &mut ValuePool, t: &XTuple) -> Self {
+        Self::build(pool, t, None)
+    }
+
+    /// [`from_xtuple`](Self::from_xtuple) while recording which attribute
+    /// each symbol occurs in (for the lazy per-attribute `Peq` sidecars of
+    /// [`InternedComparators::with_usage`]).
+    pub fn from_xtuple_tracked(
+        pool: &mut ValuePool,
+        t: &XTuple,
+        usage: &mut AttributeUsage,
+    ) -> Self {
+        Self::build(pool, t, Some(usage))
+    }
+
+    fn build(pool: &mut ValuePool, t: &XTuple, mut usage: Option<&mut AttributeUsage>) -> Self {
         Self {
             alternatives: t
                 .alternatives()
@@ -126,7 +186,16 @@ impl InternedXTuple {
                     values: alt
                         .values()
                         .iter()
-                        .map(|pv| InternedPValue::from_pvalue(pool, pv))
+                        .enumerate()
+                        .map(|(attr, pv)| {
+                            let ipv = InternedPValue::from_pvalue(pool, pv);
+                            if let Some(usage) = usage.as_deref_mut() {
+                                for &(sym, _) in &ipv.alts {
+                                    usage.record(sym, attr);
+                                }
+                            }
+                            ipv
+                        })
                         .collect(),
                     probability: alt.probability(),
                 })
@@ -161,6 +230,21 @@ pub fn intern_tuples(tuples: &[XTuple]) -> (ValuePool, Vec<InternedXTuple>) {
     (pool, interned)
 }
 
+/// [`intern_tuples`] with per-attribute symbol-usage tracking — feed the
+/// returned [`AttributeUsage`] to [`InternedComparators::with_usage`] so
+/// Myers tables are only built where a kernel will read them.
+pub fn intern_tuples_tracked(
+    tuples: &[XTuple],
+) -> (ValuePool, Vec<InternedXTuple>, AttributeUsage) {
+    let mut pool = ValuePool::new();
+    let mut usage = AttributeUsage::default();
+    let interned = tuples
+        .iter()
+        .map(|t| InternedXTuple::from_xtuple_tracked(&mut pool, t, &mut usage))
+        .collect();
+    (pool, interned, usage)
+}
+
 /// Per-attribute kernels + sharded symbol caches over a frozen pool: the
 /// read-only context worker threads share during interned matching.
 ///
@@ -174,6 +258,13 @@ pub struct InternedComparators {
     pool: Arc<ValuePool>,
     per_attr: Vec<ValueComparator>,
     caches: Vec<SymbolCache>,
+    /// Certified below-cut upper bounds per symbol pair, one table per
+    /// attribute — the bounded path's verdict memo (entries mean "kernel
+    /// similarity < stored value"). Disjoint from the exact caches.
+    bound_caches: Vec<SymbolCache>,
+    /// Kernel evaluations disposed by a below-bound certificate (cached or
+    /// fresh) instead of an exact value.
+    bound_certs: AtomicU64,
     prepared: SymbolMap<PreparedValue>,
 }
 
@@ -184,18 +275,58 @@ impl InternedComparators {
     /// [`PreparedValue`] — including pattern bitmasks iff some attribute's
     /// kernel exploits them.
     pub fn new(pool: Arc<ValuePool>, comparators: &AttributeComparators) -> Self {
+        let with_bits = (0..comparators.arity()).any(|i| comparators.get(i).wants_pattern_bits());
+        Self::build(pool, comparators, |_| with_bits)
+    }
+
+    /// [`new`](Self::new) with **lazy per-attribute `Peq` sidecars**: a
+    /// symbol's Myers table is built only if the symbol occurs (per
+    /// `usage`) in an attribute whose kernel reports
+    /// [`wants_pattern_bits`](ValueComparator::wants_pattern_bits). On
+    /// mixed-kernel schemas with large shared domains this skips the ~1 KiB
+    /// table for every symbol the bit-parallel kernel never sees.
+    pub fn with_usage(
+        pool: Arc<ValuePool>,
+        comparators: &AttributeComparators,
+        usage: &AttributeUsage,
+    ) -> Self {
+        let bits_mask = AttributeUsage::mask_of(
+            (0..comparators.arity()).filter(|&i| comparators.get(i).wants_pattern_bits()),
+        );
+        Self::build(pool, comparators, |sym| usage.intersects(sym, bits_mask))
+    }
+
+    fn build(
+        pool: Arc<ValuePool>,
+        comparators: &AttributeComparators,
+        mut wants_bits: impl FnMut(Symbol) -> bool,
+    ) -> Self {
         let per_attr: Vec<ValueComparator> = (0..comparators.arity())
             .map(|i| comparators.get(i).clone())
             .collect();
         let caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
-        let with_bits = per_attr.iter().any(ValueComparator::wants_pattern_bits);
-        let prepared = SymbolMap::build(&pool, |(_, v)| PreparedValue::of(v, with_bits));
+        let bound_caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
+        let prepared = SymbolMap::build(&pool, |(sym, v)| PreparedValue::of(v, wants_bits(sym)));
         Self {
             pool,
             per_attr,
             caches,
+            bound_caches,
+            bound_certs: AtomicU64::new(0),
             prepared,
         }
+    }
+
+    /// The prepared comparison state of `sym` (inspection/testing — the hot
+    /// paths read it internally).
+    pub fn prepared(&self, sym: Symbol) -> &PreparedValue {
+        self.prepared.get(sym)
+    }
+
+    /// Kernel evaluations disposed by a below-bound certificate instead of
+    /// an exact value (see the bounded kernel probe `kernel_within`).
+    pub fn bound_certs(&self) -> u64 {
+        self.bound_certs.load(Relaxed)
     }
 
     /// Number of attributes covered.
@@ -239,6 +370,51 @@ impl InternedComparators {
             self.per_attr[attr].similarity_prepared(self.prepared.get(lo), self.prepared.get(hi))
         })
     }
+
+    /// **Bounded** memoized kernel similarity of two non-⊥ symbols:
+    /// `Some(exact)` or a certificate that the similarity is `< bound`.
+    ///
+    /// Probe order: identical symbols (reflexivity, free) → the exact cache
+    /// → the verdict cache (a stored upper bound `≤ bound` answers without
+    /// any kernel) → the bounded kernel itself, whose outcome is memoized
+    /// on the matching side (exact value or improved verdict). A pair the
+    /// bounds ever certified is never kernel-evaluated again for an
+    /// equal-or-looser cut. In bounded runs the exact cache's `misses`
+    /// count probes the exact table could not answer — `bound_certs` says
+    /// how many of those were disposed by a certificate instead of a full
+    /// kernel evaluation.
+    #[inline]
+    fn kernel_within(&self, attr: usize, a: Symbol, b: Symbol, bound: f64) -> Option<f64> {
+        debug_assert!(!a.is_null() && !b.is_null());
+        if a == b {
+            return Some(1.0); // kernel reflexivity (a trait invariant)
+        }
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(v) = self.caches[attr].get(lo, hi) {
+            return Some(v);
+        }
+        if let Some(ub) = self.bound_caches[attr].peek(lo, hi) {
+            if ub <= bound {
+                self.bound_certs.fetch_add(1, Relaxed);
+                return None; // similarity < ub ≤ bound
+            }
+        }
+        match self.per_attr[attr].similarity_prepared_within(
+            self.prepared.get(lo),
+            self.prepared.get(hi),
+            bound,
+        ) {
+            Some(v) => {
+                self.caches[attr].insert(lo, hi, v);
+                Some(v)
+            }
+            None => {
+                self.bound_certs.fetch_add(1, Relaxed);
+                self.bound_caches[attr].insert_min(lo, hi, bound);
+                None
+            }
+        }
+    }
 }
 
 /// Eq. 5 over interned values with upper-bound pruning (the shared loop
@@ -259,6 +435,35 @@ pub fn interned_pvalue_similarity(
         &b.alts,
         b.mass,
         b.null_prob,
+        |&sa, &sb| cmps.kernel(attr, sa, sb),
+    )
+}
+
+/// **Bounded** Eq. 5 over interned values: certified `Above`/`Below`
+/// against the cut interval `[lo, hi)`, or the exact value (see
+/// [`bounded_expected_similarity`](crate::bounded) for the interval
+/// tracking). Kernel evaluations go through
+/// `InternedComparators`' bounded kernel probe, so both exact values and
+/// below-cut verdicts are memoized per symbol pair — a bound-certified
+/// pair never re-runs a kernel anywhere in the relation.
+pub fn interned_pvalue_similarity_bounded(
+    a: &InternedPValue,
+    b: &InternedPValue,
+    attr: usize,
+    cmps: &InternedComparators,
+    lo: f64,
+    hi: f64,
+) -> BoundedSim {
+    crate::bounded::bounded_expected_similarity(
+        &a.alts,
+        a.mass,
+        a.null_prob,
+        &b.alts,
+        b.mass,
+        b.null_prob,
+        lo,
+        hi,
+        |&sa, &sb, cut| cmps.kernel_within(attr, sa, sb, cut),
         |&sa, &sb| cmps.kernel(attr, sa, sb),
     )
 }
@@ -476,6 +681,118 @@ mod tests {
                 "supports {na}x{nb}: {fast} vs {slow}"
             );
         }
+    }
+
+    #[test]
+    fn bounded_interned_agrees_with_exact() {
+        use probdedup_textsim::Levenshtein;
+        let s = Schema::new(["name"]);
+        let cmp = AttributeComparators::uniform(&s, Levenshtein::new());
+        let pvs = [
+            PValue::certain("smith"),
+            PValue::certain("garcia"),
+            PValue::categorical([("smith", 0.6), ("smyth", 0.3)]).unwrap(),
+            PValue::categorical([("garcia", 0.5), ("garzia", 0.5)]).unwrap(),
+            PValue::null(),
+        ];
+        let tuples: Vec<XTuple> = pvs
+            .iter()
+            .map(|pv| {
+                XTuple::builder(&s)
+                    .alt_pvalues(1.0, [pv.clone()])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let (pool, interned, usage) = intern_tuples_tracked(&tuples);
+        let icmps = InternedComparators::with_usage(Arc::new(pool), &cmp, &usage);
+        for i in 0..interned.len() {
+            for j in 0..interned.len() {
+                let a = interned[i].alternatives()[0].value(0);
+                let b = interned[j].alternatives()[0].value(0);
+                let exact = interned_pvalue_similarity(a, b, 0, &icmps);
+                for lo10 in 0..=10 {
+                    for hi10 in lo10..=10 {
+                        let (lo, hi) = (f64::from(lo10) / 10.0, f64::from(hi10) / 10.0);
+                        match interned_pvalue_similarity_bounded(a, b, 0, &icmps, lo, hi) {
+                            crate::bounded::BoundedSim::Above => {
+                                assert!(exact >= hi - 1e-9, "({i},{j}): {exact} < {hi}")
+                            }
+                            crate::bounded::BoundedSim::Below => {
+                                assert!(exact < lo + 1e-9, "({i},{j}): {exact} >= {lo}")
+                            }
+                            crate::bounded::BoundedSim::Exact(v) => {
+                                assert!((v - exact).abs() < 1e-12, "({i},{j}): {v} != {exact}")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // On a cold cache the disjoint smith/garcia pair certifies without
+        // an exact kernel run (the sweep above warmed `icmps`'s exact
+        // caches first, so probe a fresh set).
+        let cold = InternedComparators::new(Arc::clone(&icmps.pool), &cmp);
+        let a = interned[0].alternatives()[0].value(0);
+        let b = interned[1].alternatives()[0].value(0);
+        assert_eq!(
+            interned_pvalue_similarity_bounded(a, b, 0, &cold, 0.8, 1.1),
+            crate::bounded::BoundedSim::Below
+        );
+        assert!(cold.bound_certs() > 0);
+        // With the low cut disabled nothing can certify: the re-query
+        // resolves exactly and agrees with the unbounded path.
+        match interned_pvalue_similarity_bounded(a, b, 0, &cold, 0.0, 1.1) {
+            crate::bounded::BoundedSim::Exact(v) => {
+                let exact = interned_pvalue_similarity(a, b, 0, &icmps);
+                assert!((v - exact).abs() < 1e-12);
+            }
+            other => panic!("expected exact resolution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_peq_sidecars_follow_attribute_usage() {
+        use probdedup_textsim::{Levenshtein, NormalizedHamming};
+        // Attribute 0 wants pattern bits (Levenshtein), attribute 1 does
+        // not (Hamming): symbols appearing only in attribute 1 must not pay
+        // for a Myers table.
+        let s = Schema::new(["name", "job"]);
+        let cmp = AttributeComparators::per_attribute(vec![
+            ValueComparator::text(Levenshtein::new()),
+            ValueComparator::text(NormalizedHamming::new()),
+        ]);
+        let t = XTuple::builder(&s)
+            .alt(1.0, ["OnlyInName", "OnlyInJob"])
+            .build()
+            .unwrap();
+        let shared = XTuple::builder(&s)
+            .alt(1.0, ["Shared", "Shared"])
+            .build()
+            .unwrap();
+        let (pool, _, usage) = intern_tuples_tracked(&[t, shared]);
+        let pool = Arc::new(pool);
+        let lookup = |icmps: &InternedComparators, text: &str| -> bool {
+            let sym = icmps.pool().lookup(&Value::from(text)).expect("interned");
+            match icmps.prepared(sym) {
+                PreparedValue::Text(p) => p.bits().is_some(),
+                other => panic!("expected text, got {other:?}"),
+            }
+        };
+        let lazy = InternedComparators::with_usage(Arc::clone(&pool), &cmp, &usage);
+        assert!(lookup(&lazy, "OnlyInName"), "bits-wanting attribute symbol");
+        assert!(!lookup(&lazy, "OnlyInJob"), "hamming-only symbol got bits");
+        assert!(lookup(&lazy, "Shared"), "shared symbol must keep bits");
+        // The eager constructor still builds bits for the whole pool.
+        let eager = InternedComparators::new(Arc::clone(&pool), &cmp);
+        assert!(lookup(&eager, "OnlyInJob"));
+        // Both produce identical kernel values.
+        let a = pool.lookup(&Value::from("OnlyInName")).unwrap();
+        let b = pool.lookup(&Value::from("Shared")).unwrap();
+        assert_eq!(
+            lazy.kernel(0, a, b).to_bits(),
+            eager.kernel(0, a, b).to_bits()
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! assert!((pvalue_similarity_pruned(&a, &b, &cmp) - plain).abs() < 1e-12);
 //! ```
 
+pub mod bounded;
 pub mod cache;
 pub mod interned;
 pub mod matrix;
@@ -62,10 +63,12 @@ pub mod pvalue_sim;
 pub mod value_cmp;
 pub mod vector;
 
+pub use bounded::{pvalue_similarity_bounded, pvalue_similarity_bounded_cached, BoundedSim};
 pub use cache::{CachedComparator, SymbolCache};
 pub use interned::{
-    compare_xtuples_interned, intern_tuples, interned_pvalue_similarity, InternedComparators,
-    InternedPValue, InternedXTuple,
+    compare_xtuples_interned, intern_tuples, intern_tuples_tracked, interned_pvalue_similarity,
+    interned_pvalue_similarity_bounded, AttributeUsage, InternedComparators, InternedPValue,
+    InternedXTuple,
 };
 pub use matrix::{compare_xtuples, ComparisonMatrix};
 pub use pvalue_sim::{pvalue_similarity, pvalue_similarity_pruned};

@@ -91,6 +91,35 @@ impl ValueComparator {
         self.text.wants_pattern_bits()
     }
 
+    /// Bounded similarity: `Some(exact)` or a certificate that the
+    /// similarity is `< bound` (the contract of
+    /// [`StringComparator::similarity_within`]). Only text pairs have
+    /// bounded kernels; every other routing arm is constant-time anyway
+    /// and returns its exact value.
+    pub fn similarity_within(&self, a: &Value, b: &Value, bound: f64) -> Option<f64> {
+        match (a, b) {
+            (Value::Text(x), Value::Text(y)) => self.text.similarity_within(x, y, bound),
+            _ => Some(self.similarity(a, b)),
+        }
+    }
+
+    /// [`similarity_within`](Self::similarity_within) over
+    /// [`PreparedValue`]s: the prefilters read the precomputed lengths and
+    /// class masks instead of re-scanning the strings.
+    pub fn similarity_prepared_within(
+        &self,
+        a: &PreparedValue,
+        b: &PreparedValue,
+        bound: f64,
+    ) -> Option<f64> {
+        match (a, b) {
+            (PreparedValue::Text(x), PreparedValue::Text(y)) => {
+                self.text.similarity_prepared_within(x, y, bound)
+            }
+            _ => Some(self.similarity_prepared(a, b)),
+        }
+    }
+
     /// [`similarity`](Self::similarity) over [`PreparedValue`]s: identical
     /// routing and results, but text pairs reuse the per-value
     /// precomputation instead of re-scanning the strings.

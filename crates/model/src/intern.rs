@@ -232,7 +232,13 @@ impl KeySymbol {
 /// strings via [`KeyPool::lexicographic_ranks`].
 #[derive(Debug, Clone)]
 pub struct KeyPool {
-    map: FxHashMap<Box<str>, KeySymbol>,
+    /// Hash-bucketed dedup index: `FxHash(key) → symbols with that hash`
+    /// (almost always exactly one — collisions chain through
+    /// [`KeyBucket`]). Keying on the hash instead of an owned string means
+    /// interning a **new** key stores its text exactly once, in `keys`;
+    /// the old `FxHashMap<Box<str>, _>` design paid a second allocation
+    /// per distinct key for the map's own copy.
+    map: FxHashMap<u64, KeyBucket>,
     keys: Vec<Box<str>>,
     /// `(value symbol, prefix length) → key symbol` memo; the only place
     /// values are rendered.
@@ -264,16 +270,26 @@ impl KeyPool {
         pool
     }
 
-    /// Intern an already-rendered key string (idempotent).
+    /// Intern an already-rendered key string (idempotent). A distinct key
+    /// costs exactly **one** allocation — the `Box<str>` in the symbol
+    /// table; the dedup index stores only its hash.
     pub fn intern_str(&mut self, s: &str) -> KeySymbol {
-        if let Some(&k) = self.map.get(s) {
-            return k;
+        let h = hash_key_str(s);
+        if let Some(bucket) = self.map.get(&h) {
+            for k in bucket.iter() {
+                if &*self.keys[k.index()] == s {
+                    return k;
+                }
+            }
         }
         let k = KeySymbol(
             u32::try_from(self.keys.len()).expect("more than u32::MAX distinct keys interned"),
         );
         self.keys.push(s.into());
-        self.map.insert(s.into(), k);
+        self.map
+            .entry(h)
+            .and_modify(|bucket| bucket.push(k))
+            .or_insert(KeyBucket::One(k));
         k
     }
 
@@ -402,6 +418,39 @@ impl KeyPool {
         }
         KeyRanks { ranks }
     }
+}
+
+/// One hash bucket of the [`KeyPool`] dedup index: the symbols whose key
+/// strings share an `FxHash` value. Inline for the overwhelmingly common
+/// singleton case (no allocation), spilling into a `Vec` on collision.
+#[derive(Debug, Clone)]
+enum KeyBucket {
+    One(KeySymbol),
+    Many(Vec<KeySymbol>),
+}
+
+impl KeyBucket {
+    fn iter(&self) -> impl Iterator<Item = KeySymbol> + '_ {
+        match self {
+            KeyBucket::One(k) => std::slice::from_ref(k).iter().copied(),
+            KeyBucket::Many(ks) => ks.iter().copied(),
+        }
+    }
+
+    fn push(&mut self, k: KeySymbol) {
+        match self {
+            KeyBucket::One(first) => *self = KeyBucket::Many(vec![*first, k]),
+            KeyBucket::Many(ks) => ks.push(k),
+        }
+    }
+}
+
+/// The `FxHash` of a key string (the [`KeyPool`] dedup index key).
+fn hash_key_str(s: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::util::FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
 }
 
 /// The first `prefix_len` characters of `s` as a subslice (`0` = all of
@@ -603,6 +652,36 @@ mod tests {
         assert_eq!(kp.concat(&[]), KeySymbol::EMPTY);
         assert_eq!(kp.concat(&[a]), a);
         assert_eq!(kp.concat(&[KeySymbol::EMPTY, a]), a); // "" + "Joh" = "Joh"
+    }
+
+    #[test]
+    fn key_bucket_collision_chain_stays_ordered() {
+        let mut b = KeyBucket::One(KeySymbol(1));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![KeySymbol(1)]);
+        b.push(KeySymbol(7));
+        b.push(KeySymbol(3));
+        assert_eq!(
+            b.iter().collect::<Vec<_>>(),
+            vec![KeySymbol(1), KeySymbol(7), KeySymbol(3)]
+        );
+    }
+
+    #[test]
+    fn intern_str_dedups_across_many_keys() {
+        let mut kp = KeyPool::new();
+        let syms: Vec<KeySymbol> = (0..500)
+            .map(|i| kp.intern_str(&format!("k{i:03}")))
+            .collect();
+        assert_eq!(kp.len(), 501); // + reserved ""
+        for (i, &k) in syms.iter().enumerate() {
+            assert_eq!(kp.resolve(k), format!("k{i:03}"));
+            assert_eq!(
+                kp.intern_str(&format!("k{i:03}")),
+                k,
+                "re-intern changed symbol"
+            );
+        }
+        assert_eq!(kp.len(), 501);
     }
 
     #[test]

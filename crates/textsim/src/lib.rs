@@ -77,7 +77,10 @@ pub mod token;
 pub mod traits;
 
 pub use alignment::SmithWaterman;
-pub use bitparallel::{hamming_bytes, myers_distance, PatternBits, PreparedText};
+pub use bitparallel::{
+    class_absent_bound, class_mask, hamming_bytes, myers_distance, myers_distance_within,
+    PatternBits, PreparedText,
+};
 pub use combine::{MaxOf, MinOf, ThresholdGate, WeightedEnsemble};
 pub use hamming::NormalizedHamming;
 pub use jaro::{Jaro, JaroWinkler};

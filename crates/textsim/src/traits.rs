@@ -42,10 +42,47 @@ pub trait StringComparator: Send + Sync {
     fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
         self.similarity(a.text(), b.text())
     }
+
+    /// **Bounded** similarity: either the exact similarity, or a
+    /// certificate that it falls below `bound`.
+    ///
+    /// Contract: `Some(s)` means `s == similarity(a, b)` exactly (bitwise);
+    /// `None` **certifies** `similarity(a, b) < bound`. A kernel may always
+    /// return `Some` (the default does), but kernels with a cheap bounded
+    /// evaluation — banded Myers for [`Levenshtein`](crate::Levenshtein),
+    /// length-difference and ASCII-class prefilters — override this to
+    /// stop as soon as the verdict is certain. Callers that only need to
+    /// know which side of a threshold the similarity falls on (the
+    /// bounded-classification path of `probdedup-matching`) pay for a full
+    /// kernel evaluation only when the answer is genuinely close.
+    fn similarity_within(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+        let _ = bound;
+        Some(self.similarity(a, b))
+    }
+
+    /// [`similarity_within`](Self::similarity_within) over prepared
+    /// strings: the same contract, with prefilters reading the precomputed
+    /// lengths and class masks instead of re-scanning the text.
+    fn similarity_prepared_within(
+        &self,
+        a: &PreparedText,
+        b: &PreparedText,
+        bound: f64,
+    ) -> Option<f64> {
+        let _ = bound;
+        Some(self.similarity_prepared(a, b))
+    }
 }
 
 /// A cheaply cloneable, shareable comparator handle.
 pub type SharedComparator = Arc<dyn StringComparator>;
+
+/// Slack added to upper-bound comparisons in
+/// [`StringComparator::similarity_within`] implementations so float
+/// rounding in the bound arithmetic can never produce a spurious
+/// below-`bound` certificate. One shared constant: every bounded kernel
+/// must certify against the same slack.
+pub(crate) const BOUND_SLACK: f64 = 1e-12;
 
 macro_rules! impl_delegating_comparator {
     ($($ptr:ty),*) => {$(
@@ -61,6 +98,17 @@ macro_rules! impl_delegating_comparator {
             }
             fn similarity_prepared(&self, a: &PreparedText, b: &PreparedText) -> f64 {
                 (**self).similarity_prepared(a, b)
+            }
+            fn similarity_within(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+                (**self).similarity_within(a, b, bound)
+            }
+            fn similarity_prepared_within(
+                &self,
+                a: &PreparedText,
+                b: &PreparedText,
+                bound: f64,
+            ) -> Option<f64> {
+                (**self).similarity_prepared_within(a, b, bound)
             }
         }
     )*};

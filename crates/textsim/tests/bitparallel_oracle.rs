@@ -75,6 +75,95 @@ proptest! {
         );
     }
 
+    /// `distance_within(a, b, k)` agrees with `distance(a, b)` clamped at
+    /// `k + 1`: `Some(d)` exactly when `d ≤ k`, `None` otherwise — across
+    /// mixed Unicode strings and the whole bound range around the true
+    /// distance.
+    #[test]
+    fn distance_within_matches_clamped_distance(a in MIXED, b in MIXED, extra in 0usize..6) {
+        let l = Levenshtein::new();
+        let d = l.distance_scalar(&a, &b);
+        for k in [0, d.saturating_sub(2), d.saturating_sub(1), d, d + 1, d + extra] {
+            let got = l.distance_within(&a, &b, k);
+            prop_assert_eq!(got, (d <= k).then_some(d), "{:?} vs {:?} at k={}", a, b, k);
+        }
+        // Prepared twin, with and without precomputed pattern bits.
+        for bits in [false, true] {
+            let pa = PreparedText::new(&a, bits);
+            let pb = PreparedText::new(&b, bits);
+            for k in [0, d.saturating_sub(1), d, d + extra] {
+                prop_assert_eq!(
+                    l.distance_prepared_within(&pa, &pb, k),
+                    (d <= k).then_some(d),
+                    "prepared {:?} vs {:?} at k={} (bits {})", a, b, k, bits
+                );
+            }
+        }
+    }
+
+    /// `similarity_within` certificates are sound and `Some` values exact,
+    /// for every bounded kernel, on arbitrary bounds.
+    #[test]
+    fn similarity_within_certificates_sound(a in MIXED, b in MIXED, cut in 0u32..=100) {
+        let bound = f64::from(cut) / 100.0;
+        let kernels: [&dyn StringComparator; 5] = [
+            &Levenshtein::new(),
+            &Jaro::new(),
+            &JaroWinkler::new(),
+            &NormalizedHamming::new(),
+            &NormalizedHamming::case_insensitive(),
+        ];
+        for k in kernels {
+            let exact = k.similarity(&a, &b);
+            match k.similarity_within(&a, &b, bound) {
+                Some(s) => prop_assert_eq!(
+                    s.to_bits(), exact.to_bits(),
+                    "{}: inexact Some on {:?} vs {:?}", k.name(), a, b
+                ),
+                None => prop_assert!(
+                    exact < bound,
+                    "{}: bad certificate on {:?} vs {:?}: {} >= {}",
+                    k.name(), a, b, exact, bound
+                ),
+            }
+            let pa = PreparedText::new(&a, k.wants_pattern_bits());
+            let pb = PreparedText::new(&b, k.wants_pattern_bits());
+            match k.similarity_prepared_within(&pa, &pb, bound) {
+                Some(s) => prop_assert_eq!(s.to_bits(), exact.to_bits(), "{} prepared", k.name()),
+                None => prop_assert!(exact < bound, "{} prepared certificate", k.name()),
+            }
+        }
+    }
+
+    /// Bounded Myers around the 64/65-char word boundary: the banded
+    /// multi-word path must agree with the clamped scalar distance.
+    #[test]
+    fn distance_within_word_boundary(
+        pat_len in 60usize..=68,
+        text in ".{0,200}",
+        seed in any::<u64>(),
+        k in 0usize..100,
+    ) {
+        let pattern: String = (0..pat_len)
+            .map(|i| char::from(b'a' + ((seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) % 26) as u8))
+            .collect();
+        let l = Levenshtein::new();
+        let d = l.distance_scalar(&pattern, &text);
+        prop_assert_eq!(
+            l.distance_within(&pattern, &text, k),
+            (d <= k).then_some(d),
+            "len {} pattern vs {:?} at k={}", pat_len, text, k
+        );
+        // Drive the banded kernel directly (no pattern/text swap) so the
+        // multi-word band runs even when the text is the shorter side.
+        if pattern.chars().count().abs_diff(text.chars().count()) <= k {
+            prop_assert_eq!(
+                probdedup_textsim::myers_distance_within(&PatternBits::new(&pattern), &text, k),
+                (d <= k).then_some(d)
+            );
+        }
+    }
+
     /// The single-word / multi-word Myers hand-off: patterns drawn right
     /// around 64 characters against texts of any length.
     #[test]
