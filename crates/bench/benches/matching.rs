@@ -1,8 +1,6 @@
 //! E4: cost of probabilistic attribute matching — Eq. 5 vs support size,
 //! and the k×l comparison matrix vs alternative counts.
 
-use std::sync::Arc;
-
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use probdedup_matching::interned::{compare_xtuples_interned, intern_tuples, InternedComparators};
 use probdedup_matching::matrix::compare_xtuples;
@@ -96,7 +94,7 @@ fn matrix_interned_vs_plain(c: &mut Criterion) {
         let t1 = xtuple_with_alts(k, 'x');
         let t2 = xtuple_with_alts(k, 'y');
         let (pool, interned) = intern_tuples(&[t1.clone(), t2.clone()]);
-        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let icmps = InternedComparators::new(&pool, &cmp);
         // Warm the caches so the steady state is measured.
         let _ = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         group.bench_with_input(BenchmarkId::new("plain", k), &k, |bench, _| {

@@ -20,6 +20,16 @@
 //! conclusion's outlook: emitting the *uncertainty of the dedup decision
 //! itself* as probabilistic data (mutually exclusive sets of tuples).
 //!
+//! The paper's process is batch; realistic deployments re-deduplicate a
+//! mostly-unchanged corpus as new tuples arrive. The [`session`] module
+//! provides the persistent front door: a
+//! [`session::DedupSession`] owns the warm state (interner
+//! pools, key tables, similarity/verdict caches) across runs and supports
+//! [`ingest`](session::DedupSession::ingest)-style incremental
+//! deduplication — only new-vs-resident candidate pairs are classified,
+//! and the merged result is split-invariant (property-tested equal to a
+//! one-shot batch run).
+//!
 //! # Example
 //!
 //! A minimal end-to-end run over one two-tuple relation:
@@ -67,6 +77,7 @@ pub mod fusion;
 pub mod pipeline;
 pub mod prepare;
 pub mod prob_result;
+pub mod session;
 
 pub use cluster::UnionFind;
 pub use exec::par_map_index;
@@ -77,3 +88,4 @@ pub use pipeline::{
 };
 pub use prepare::Preparation;
 pub use prob_result::{probabilistic_result, ProbabilisticResult};
+pub use session::{DedupSession, IncrementalResult};

@@ -1,6 +1,14 @@
 //! The [`DedupPipeline`]: preparation → reduction → matching → decision →
 //! clustering, over one or more probabilistic source relations.
 //!
+//! This is the **one-shot** front door — stateless per invocation, as the
+//! paper describes the process. Since the session redesign it is a thin
+//! wrapper over [`DedupSession`](crate::session::DedupSession): `run`
+//! spins up a fresh session and drops it. Build a session instead
+//! ([`DedupPipelineBuilder::build_session`]) to keep interner pools, key
+//! tables and similarity caches warm across runs and to **ingest** new
+//! batches incrementally.
+//!
 //! The matching stage is the quadratic hot path and runs in one of three
 //! modes:
 //!
@@ -53,12 +61,11 @@ use probdedup_decision::threshold::{MatchClass, Thresholds};
 use probdedup_decision::xmodel::XTupleDecisionModel;
 use probdedup_matching::bounded::pvalue_similarity_bounded;
 use probdedup_matching::interned::{
-    compare_xtuples_interned, intern_tuples, intern_tuples_tracked,
-    interned_pvalue_similarity_bounded, InternedComparators, InternedXTuple,
+    compare_xtuples_interned, interned_pvalue_similarity_bounded, InternedComparators,
+    InternedXTuple,
 };
 use probdedup_matching::matrix::compare_xtuples;
 use probdedup_matching::vector::AttributeComparators;
-use probdedup_model::condition::normalized_alternative_probs;
 use probdedup_model::error::ModelError;
 use probdedup_model::ids::{SourceId, TupleHandle};
 use probdedup_model::relation::XRelation;
@@ -68,7 +75,6 @@ use probdedup_reduction::{
     ClusterBlockingConfig, ConflictResolution, KeySpec, RankingFunction, WorldSelection,
 };
 
-use crate::cluster::UnionFind;
 use crate::exec::par_map_index;
 use crate::prepare::Preparation;
 
@@ -141,7 +147,10 @@ pub enum ReductionStrategy {
 }
 
 impl ReductionStrategy {
-    fn candidates(&self, tuples: &[probdedup_model::xtuple::XTuple]) -> CandidatePairs {
+    /// One-shot candidate generation over a whole corpus (the session
+    /// keeps warm incremental state instead where the strategy allows it;
+    /// see `crate::session`).
+    pub(crate) fn candidates(&self, tuples: &[probdedup_model::xtuple::XTuple]) -> CandidatePairs {
         match self {
             Self::Full => CandidatePairs::full(tuples.len()),
             Self::MultipassWorlds {
@@ -198,6 +207,18 @@ pub struct PairDecision {
     pub similarity: f64,
     /// The matching value η.
     pub class: MatchClass,
+}
+
+impl std::fmt::Display for PairDecision {
+    /// `(i, j)  sim 0.842  → match` — combined-relation row indices (map
+    /// them back to sources with [`DedupResult::handle`] when needed).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {})  sim {:.3}  → {}",
+            self.pair.0, self.pair.1, self.similarity, self.class
+        )
+    }
 }
 
 /// Counters describing the matching stage of one run (all zero when the
@@ -301,6 +322,40 @@ impl DedupResult {
         self.matches().map(|d| d.pair).collect()
     }
 
+    /// One-line report of the run, e.g. `4 rows, 6 candidate pairs
+    /// compared: 1 match, 1 possible, 4 non-matches, 1 duplicate cluster`
+    /// — the shared formatting the CLI and examples print instead of
+    /// ad-hoc strings.
+    pub fn summary(&self) -> String {
+        let matches = self.matches().count();
+        let possible = self.possible_matches().count();
+        let non = self.decisions.len() - matches - possible;
+        format!(
+            "{} rows, {} candidate pairs compared: {} match{}, {} possible, {} non-match{}, {} duplicate cluster{}",
+            self.relation.len(),
+            self.candidates,
+            matches,
+            if matches == 1 { "" } else { "es" },
+            possible,
+            non,
+            if non == 1 { "" } else { "es" },
+            self.clusters.len(),
+            if self.clusters.len() == 1 { "" } else { "s" },
+        )
+    }
+
+    /// The empty result (what running over zero sources yields).
+    pub(crate) fn empty() -> Self {
+        DedupResult {
+            relation: XRelation::new(probdedup_model::schema::Schema::new(Vec::<String>::new())),
+            source_offsets: vec![],
+            candidates: 0,
+            decisions: vec![],
+            clusters: vec![],
+            stats: MatchingStats::default(),
+        }
+    }
+
     /// Map a combined row index back to its source handle.
     pub fn handle(&self, row: usize) -> TupleHandle {
         let source = self
@@ -325,16 +380,35 @@ pub struct BoundedClassifyConfig {
     pub thresholds: Thresholds,
 }
 
-/// The configured pipeline. Build with [`DedupPipeline::builder`].
+/// The full configuration of a pipeline or session — everything the
+/// builder collects, shared between the one-shot front door
+/// ([`DedupPipeline`]) and the persistent one
+/// ([`DedupSession`](crate::session::DedupSession)).
+#[derive(Clone)]
+pub(crate) struct PipelineConfig {
+    pub(crate) preparation: Preparation,
+    pub(crate) reduction: ReductionStrategy,
+    pub(crate) comparators: AttributeComparators,
+    pub(crate) model: Option<Arc<dyn XTupleDecisionModel>>,
+    pub(crate) bounded: Option<BoundedClassifyConfig>,
+    pub(crate) threads: usize,
+    pub(crate) cache_similarities: bool,
+}
+
+/// The configured **one-shot** pipeline. Build with
+/// [`DedupPipeline::builder`].
+///
+/// Since the session redesign this is a thin wrapper: every
+/// [`run`](DedupPipeline::run) spins up a fresh
+/// [`DedupSession`](crate::session::DedupSession), runs it once, and drops
+/// it — stateless per invocation, exactly the paper's batch process. Use
+/// [`DedupPipelineBuilder::build_session`] (or
+/// [`DedupPipeline::session`]) when state should persist: warm interner
+/// pools, key tables and similarity/verdict caches across runs, and
+/// incremental ingest of new batches against the resident corpus.
 #[derive(Clone)]
 pub struct DedupPipeline {
-    preparation: Preparation,
-    reduction: ReductionStrategy,
-    comparators: AttributeComparators,
-    model: Option<Arc<dyn XTupleDecisionModel>>,
-    bounded: Option<BoundedClassifyConfig>,
-    threads: usize,
-    cache_similarities: bool,
+    config: PipelineConfig,
 }
 
 /// Builder for [`DedupPipeline`].
@@ -363,221 +437,121 @@ impl DedupPipeline {
     }
 
     /// Run over one or more source relations (schemas must be
-    /// structurally compatible).
+    /// structurally compatible). Stateless: a fresh
+    /// [`DedupSession`](crate::session::DedupSession) is created, run once
+    /// and dropped — nothing warm survives into the next call.
     pub fn run(&self, sources: &[&XRelation]) -> Result<DedupResult, ModelError> {
-        // 0. Combine sources.
-        let mut combined = match sources.first() {
-            Some(first) => XRelation::new(first.schema().clone()),
-            None => {
-                return Ok(DedupResult {
-                    relation: XRelation::new(probdedup_model::schema::Schema::new(
-                        Vec::<String>::new(),
-                    )),
-                    source_offsets: vec![],
-                    candidates: 0,
-                    decisions: vec![],
-                    clusters: vec![],
-                    stats: MatchingStats::default(),
-                })
-            }
-        };
-        let mut source_offsets = Vec::with_capacity(sources.len());
-        for src in sources {
-            if !combined.schema().compatible_with(src.schema()) {
-                return Err(ModelError::IncompatibleSchemas);
-            }
-            source_offsets.push(combined.len());
-            for t in src.xtuples() {
-                combined.push(t.clone());
-            }
-        }
-
-        // 1. Preparation.
-        self.preparation.apply(&mut combined);
-
-        // 2. Search-space reduction.
-        let candidates = self.reduction.candidates(combined.xtuples());
-
-        // 3+4. Matching + decision, work-stealing over candidate pairs.
-        // With the similarity cache enabled the relation is interned once
-        // and all Eq. 5 evaluations run over symbols through the sharded
-        // per-attribute caches; in classify-only mode evaluation is
-        // bounded end-to-end instead. Either way, workers claim chunks
-        // from a shared cursor, so skewed block sizes cannot strand a
-        // thread with all the expensive pairs.
-        let tuples = combined.xtuples();
-        let pairs = candidates.pairs();
-        let threads = self.threads.clamp(1, pairs.len().max(1));
-        let (decisions, stats) = match &self.bounded {
-            Some(config) => self.run_bounded_matching(tuples, pairs, threads, config),
-            None => self.run_exact_matching(tuples, pairs, threads),
-        };
-
-        // 5. Transitive closure of matches.
-        let mut uf = UnionFind::new(combined.len());
-        for d in decisions.iter().filter(|d| d.class == MatchClass::Match) {
-            uf.union(d.pair.0, d.pair.1);
-        }
-        let clusters = uf.clusters(2);
-
-        Ok(DedupResult {
-            relation: combined,
-            source_offsets,
-            candidates: pairs.len(),
-            decisions,
-            clusters,
-            stats,
-        })
+        self.session().run(sources)
     }
 
-    /// The exact matching stage: full comparison matrices + the decision
-    /// model, plain or interned.
-    fn run_exact_matching(
-        &self,
-        tuples: &[probdedup_model::xtuple::XTuple],
-        pairs: &[(usize, usize)],
-        threads: usize,
-    ) -> (Vec<PairDecision>, MatchingStats) {
-        let model = self
-            .model
-            .as_ref()
-            .expect("exact matching requires a decision model");
-        let interned: Option<(Vec<InternedXTuple>, InternedComparators)> =
-            self.cache_similarities.then(|| {
-                let (pool, interned) = intern_tuples(tuples);
-                let cmps = InternedComparators::new(Arc::new(pool), &self.comparators);
-                (interned, cmps)
-            });
-        let decisions: Vec<PairDecision> = par_map_index(threads, pairs.len(), |idx| {
-            let (i, j) = pairs[idx];
-            let matrix = match &interned {
-                Some((itup, cmps)) => compare_xtuples_interned(&itup[i], &itup[j], cmps),
-                None => compare_xtuples(&tuples[i], &tuples[j], &self.comparators),
-            };
-            let d = model.decide(&tuples[i], &tuples[j], &matrix);
+    /// A fresh persistent session over this pipeline's configuration: the
+    /// stateful front door that keeps interner pools, key tables and
+    /// similarity/verdict caches warm across
+    /// [`run`](crate::session::DedupSession::run)s and supports
+    /// [`ingest`](crate::session::DedupSession::ingest)-style incremental
+    /// deduplication.
+    pub fn session(&self) -> crate::session::DedupSession {
+        crate::session::DedupSession::new(self.config.clone())
+    }
+}
+
+/// The exact matching stage over an explicit pair list: full comparison
+/// matrices + the decision model, plain or interned. Shared by the
+/// one-shot pipeline (fresh state) and the session (warm state).
+pub(crate) fn classify_pairs_exact(
+    model: &dyn XTupleDecisionModel,
+    comparators: &AttributeComparators,
+    tuples: &[probdedup_model::xtuple::XTuple],
+    interned: Option<(&[InternedXTuple], &InternedComparators)>,
+    pairs: &[(usize, usize)],
+    threads: usize,
+) -> Vec<PairDecision> {
+    let threads = threads.clamp(1, pairs.len().max(1));
+    par_map_index(threads, pairs.len(), |idx| {
+        let (i, j) = pairs[idx];
+        let matrix = match &interned {
+            Some((itup, cmps)) => compare_xtuples_interned(&itup[i], &itup[j], cmps),
+            None => compare_xtuples(&tuples[i], &tuples[j], comparators),
+        };
+        let d = model.decide(&tuples[i], &tuples[j], &matrix);
+        PairDecision {
+            pair: (i, j),
+            similarity: d.similarity,
+            class: d.class,
+        }
+    })
+}
+
+/// The classify-only (bounded) matching stage over an explicit pair list:
+/// thresholds decompose into attribute budgets, every Eq. 5 evaluation
+/// runs against a cut interval, and no comparison matrix is allocated.
+/// Conditioned alternative weights arrive precomputed **per tuple**
+/// (`weights[i]` for row `i` — the session keeps them resident; the exact
+/// path re-derives them per pair inside the model).
+pub(crate) fn classify_pairs_bounded(
+    config: &BoundedClassifyConfig,
+    comparators: &AttributeComparators,
+    tuples: &[probdedup_model::xtuple::XTuple],
+    weights: &[Vec<f64>],
+    interned: Option<(&[InternedXTuple], &InternedComparators)>,
+    pairs: &[(usize, usize)],
+    threads: usize,
+) -> Vec<(PairDecision, BoundedTier)> {
+    assert_eq!(
+        config.phi.weights().len(),
+        comparators.arity(),
+        "classify-only weights must cover every attribute"
+    );
+    let budgets = AttributeBudgets::new(&config.phi, config.thresholds);
+    let threads = threads.clamp(1, pairs.len().max(1));
+    par_map_index(threads, pairs.len(), |idx| {
+        let (i, j) = pairs[idx];
+        let d = match &interned {
+            Some((itup, cmps)) => {
+                let (t1, t2) = (&itup[i], &itup[j]);
+                classify_comparison_bounded(
+                    &weights[i],
+                    &weights[j],
+                    &budgets,
+                    |ai, aj, attr, lo, hi| {
+                        interned_pvalue_similarity_bounded(
+                            t1.alternatives()[ai].value(attr),
+                            t2.alternatives()[aj].value(attr),
+                            attr,
+                            cmps,
+                            lo,
+                            hi,
+                        )
+                    },
+                )
+            }
+            None => {
+                let (t1, t2) = (&tuples[i], &tuples[j]);
+                classify_comparison_bounded(
+                    &weights[i],
+                    &weights[j],
+                    &budgets,
+                    |ai, aj, attr, lo, hi| {
+                        pvalue_similarity_bounded(
+                            t1.alternatives()[ai].value(attr),
+                            t2.alternatives()[aj].value(attr),
+                            comparators.get(attr),
+                            lo,
+                            hi,
+                        )
+                    },
+                )
+            }
+        };
+        (
             PairDecision {
                 pair: (i, j),
                 similarity: d.similarity,
                 class: d.class,
-            }
-        });
-        let stats = match &interned {
-            Some((_, cmps)) => {
-                let (cache_hits, cache_misses) = cmps.cache_stats();
-                MatchingStats {
-                    cache_hits,
-                    cache_misses,
-                    cached_pairs: cmps.cached_pairs(),
-                    interned_values: cmps.pool().len(),
-                    ..MatchingStats::default()
-                }
-            }
-            None => MatchingStats::default(),
-        };
-        (decisions, stats)
-    }
-
-    /// The classify-only (bounded) matching stage: thresholds decompose
-    /// into attribute budgets, every Eq. 5 evaluation runs against a cut
-    /// interval, and no comparison matrix is allocated. Conditioned
-    /// alternative weights are precomputed **once per tuple** (the exact
-    /// path re-derives them per pair inside the model).
-    fn run_bounded_matching(
-        &self,
-        tuples: &[probdedup_model::xtuple::XTuple],
-        pairs: &[(usize, usize)],
-        threads: usize,
-        config: &BoundedClassifyConfig,
-    ) -> (Vec<PairDecision>, MatchingStats) {
-        assert_eq!(
-            config.phi.weights().len(),
-            self.comparators.arity(),
-            "classify-only weights must cover every attribute"
-        );
-        let budgets = AttributeBudgets::new(&config.phi, config.thresholds);
-        let weights: Vec<Vec<f64>> = tuples.iter().map(normalized_alternative_probs).collect();
-        let interned: Option<(Vec<InternedXTuple>, InternedComparators)> =
-            self.cache_similarities.then(|| {
-                let (pool, interned, usage) = intern_tuples_tracked(tuples);
-                let cmps =
-                    InternedComparators::with_usage(Arc::new(pool), &self.comparators, &usage);
-                (interned, cmps)
-            });
-        let outcomes: Vec<(PairDecision, BoundedTier)> =
-            par_map_index(threads, pairs.len(), |idx| {
-                let (i, j) = pairs[idx];
-                let d = match &interned {
-                    Some((itup, cmps)) => {
-                        let (t1, t2) = (&itup[i], &itup[j]);
-                        classify_comparison_bounded(
-                            &weights[i],
-                            &weights[j],
-                            &budgets,
-                            |ai, aj, attr, lo, hi| {
-                                interned_pvalue_similarity_bounded(
-                                    t1.alternatives()[ai].value(attr),
-                                    t2.alternatives()[aj].value(attr),
-                                    attr,
-                                    cmps,
-                                    lo,
-                                    hi,
-                                )
-                            },
-                        )
-                    }
-                    None => {
-                        let (t1, t2) = (&tuples[i], &tuples[j]);
-                        classify_comparison_bounded(
-                            &weights[i],
-                            &weights[j],
-                            &budgets,
-                            |ai, aj, attr, lo, hi| {
-                                pvalue_similarity_bounded(
-                                    t1.alternatives()[ai].value(attr),
-                                    t2.alternatives()[aj].value(attr),
-                                    self.comparators.get(attr),
-                                    lo,
-                                    hi,
-                                )
-                            },
-                        )
-                    }
-                };
-                (
-                    PairDecision {
-                        pair: (i, j),
-                        similarity: d.similarity,
-                        class: d.class,
-                    },
-                    d.tier,
-                )
-            });
-        let mut stats = match &interned {
-            Some((_, cmps)) => {
-                let (cache_hits, cache_misses) = cmps.cache_stats();
-                MatchingStats {
-                    cache_hits,
-                    cache_misses,
-                    cached_pairs: cmps.cached_pairs(),
-                    interned_values: cmps.pool().len(),
-                    kernel_bound_certs: cmps.bound_certs(),
-                    ..MatchingStats::default()
-                }
-            }
-            None => MatchingStats::default(),
-        };
-        let mut decisions = Vec::with_capacity(outcomes.len());
-        for (d, tier) in outcomes {
-            match tier {
-                BoundedTier::EarlyMatch => stats.pairs_early_match += 1,
-                BoundedTier::EarlyNonMatch => stats.pairs_early_nonmatch += 1,
-                BoundedTier::EarlyPossible => stats.pairs_early_possible += 1,
-                BoundedTier::Exhausted => stats.pairs_exhausted += 1,
-            }
-            decisions.push(d);
-        }
-        (decisions, stats)
-    }
+            },
+            d.tier,
+        )
+    })
 }
 
 impl DedupPipelineBuilder {
@@ -650,14 +624,23 @@ impl DedupPipelineBuilder {
              decides with its own thresholds and would ignore the model"
         );
         DedupPipeline {
-            preparation: self.preparation,
-            reduction: self.reduction,
-            comparators: self.comparators.expect("comparators are required"),
-            model: self.model,
-            bounded: self.bounded,
-            threads: self.threads,
-            cache_similarities: self.cache_similarities,
+            config: PipelineConfig {
+                preparation: self.preparation,
+                reduction: self.reduction,
+                comparators: self.comparators.expect("comparators are required"),
+                model: self.model,
+                bounded: self.bounded,
+                threads: self.threads,
+                cache_similarities: self.cache_similarities,
+            },
         }
+    }
+
+    /// Finish straight into a persistent
+    /// [`DedupSession`](crate::session::DedupSession) — the stateful front
+    /// door. Same validation as [`build`](Self::build).
+    pub fn build_session(self) -> crate::session::DedupSession {
+        self.build().session()
     }
 }
 

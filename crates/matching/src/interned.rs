@@ -25,7 +25,6 @@
 //! figures are checked against (property-tested at 1e-12).
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
 
 use probdedup_model::intern::{Symbol, SymbolMap, ValuePool};
 use probdedup_model::pvalue::PValue;
@@ -98,6 +97,17 @@ impl AttributeUsage {
     /// The combined bit mask of `attrs` (see [`AttributeUsage::bit`]).
     fn mask_of(attrs: impl Iterator<Item = usize>) -> u64 {
         attrs.fold(0u64, |m, a| m | Self::bit(a))
+    }
+}
+
+/// Whether `sym`'s sidecar should carry Myers pattern bits under the
+/// given policy: usage-tracked (lazy) when `usage` is supplied, otherwise
+/// eager for every symbol whenever any kernel wants bits.
+#[inline]
+fn wants_bits(sym: Symbol, bits_mask: u64, usage: Option<&AttributeUsage>) -> bool {
+    match usage {
+        Some(u) => u.intersects(sym, bits_mask),
+        None => bits_mask != 0,
     }
 }
 
@@ -238,14 +248,28 @@ pub fn intern_tuples_tracked(
 ) -> (ValuePool, Vec<InternedXTuple>, AttributeUsage) {
     let mut pool = ValuePool::new();
     let mut usage = AttributeUsage::default();
-    let interned = tuples
-        .iter()
-        .map(|t| InternedXTuple::from_xtuple_tracked(&mut pool, t, &mut usage))
-        .collect();
+    let interned = intern_tuples_into(&mut pool, &mut usage, tuples);
     (pool, interned, usage)
 }
 
-/// Per-attribute kernels + sharded symbol caches over a frozen pool: the
+/// Intern `tuples` into an **existing** pool (growing it append-only) with
+/// usage tracking — the incremental-ingest path of persistent sessions:
+/// values already in the pool cost one hash probe, new tuples' interned
+/// mirrors are returned, and symbols issued earlier stay valid (so warm
+/// [`SymbolCache`]s and [`PreparedValue`] sidecars carry over; catch the
+/// sidecars up with [`InternedComparators::sync_pool`] afterwards).
+pub fn intern_tuples_into(
+    pool: &mut ValuePool,
+    usage: &mut AttributeUsage,
+    tuples: &[XTuple],
+) -> Vec<InternedXTuple> {
+    tuples
+        .iter()
+        .map(|t| InternedXTuple::from_xtuple_tracked(pool, t, usage))
+        .collect()
+}
+
+/// Per-attribute kernels + sharded symbol caches over a pool: the
 /// read-only context worker threads share during interned matching.
 ///
 /// Alongside the caches, a per-symbol sidecar ([`SymbolMap`]) holds each
@@ -254,8 +278,15 @@ pub fn intern_tuples_tracked(
 /// `Peq` pattern bitmasks). The cache-miss kernel evaluation therefore
 /// never re-scans a string it has seen before: interning pays a second
 /// time by hanging the precomputation off the dense symbol index.
+///
+/// The comparators do **not** own the pool: symbols are dense indices, so
+/// the sidecar and caches only need the pool's contents at build time. A
+/// persistent session that grows its pool append-only (incremental
+/// ingest) calls [`InternedComparators::sync_pool`] to extend the sidecar
+/// over the new symbols — every memoized similarity and verdict keyed on
+/// old symbols stays valid, which is exactly the warm state sessions
+/// carry across runs.
 pub struct InternedComparators {
-    pool: Arc<ValuePool>,
     per_attr: Vec<ValueComparator>,
     caches: Vec<SymbolCache>,
     /// Certified below-cut upper bounds per symbol pair, one table per
@@ -266,17 +297,19 @@ pub struct InternedComparators {
     /// fresh) instead of an exact value.
     bound_certs: AtomicU64,
     prepared: SymbolMap<PreparedValue>,
+    /// Attribute bit mask of kernels that want Myers pattern bits (see
+    /// [`AttributeUsage`]); drives sidecar builds in `sync_pool`.
+    bits_mask: u64,
 }
 
 impl InternedComparators {
-    /// Bind `comparators` to a frozen `pool`, with one fresh cache per
-    /// attribute (per-attribute caches keep entries disjoint when different
+    /// Bind `comparators` to `pool`, with one fresh cache per attribute
+    /// (per-attribute caches keep entries disjoint when different
     /// attributes use different kernels), and precompute every symbol's
     /// [`PreparedValue`] — including pattern bitmasks iff some attribute's
     /// kernel exploits them.
-    pub fn new(pool: Arc<ValuePool>, comparators: &AttributeComparators) -> Self {
-        let with_bits = (0..comparators.arity()).any(|i| comparators.get(i).wants_pattern_bits());
-        Self::build(pool, comparators, |_| with_bits)
+    pub fn new(pool: &ValuePool, comparators: &AttributeComparators) -> Self {
+        Self::build(pool, comparators, None)
     }
 
     /// [`new`](Self::new) with **lazy per-attribute `Peq` sidecars**: a
@@ -286,35 +319,55 @@ impl InternedComparators {
     /// mixed-kernel schemas with large shared domains this skips the ~1 KiB
     /// table for every symbol the bit-parallel kernel never sees.
     pub fn with_usage(
-        pool: Arc<ValuePool>,
+        pool: &ValuePool,
         comparators: &AttributeComparators,
         usage: &AttributeUsage,
     ) -> Self {
-        let bits_mask = AttributeUsage::mask_of(
-            (0..comparators.arity()).filter(|&i| comparators.get(i).wants_pattern_bits()),
-        );
-        Self::build(pool, comparators, |sym| usage.intersects(sym, bits_mask))
+        Self::build(pool, comparators, Some(usage))
     }
 
     fn build(
-        pool: Arc<ValuePool>,
+        pool: &ValuePool,
         comparators: &AttributeComparators,
-        mut wants_bits: impl FnMut(Symbol) -> bool,
+        usage: Option<&AttributeUsage>,
     ) -> Self {
         let per_attr: Vec<ValueComparator> = (0..comparators.arity())
             .map(|i| comparators.get(i).clone())
             .collect();
         let caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
         let bound_caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
-        let prepared = SymbolMap::build(&pool, |(sym, v)| PreparedValue::of(v, wants_bits(sym)));
+        let bits_mask = AttributeUsage::mask_of(
+            (0..comparators.arity()).filter(|&i| comparators.get(i).wants_pattern_bits()),
+        );
+        let prepared = SymbolMap::build(pool, |(sym, v)| {
+            PreparedValue::of(v, wants_bits(sym, bits_mask, usage))
+        });
         Self {
-            pool,
             per_attr,
             caches,
             bound_caches,
             bound_certs: AtomicU64::new(0),
             prepared,
+            bits_mask,
         }
+    }
+
+    /// Catch the per-symbol sidecar up with a pool that has **grown
+    /// append-only** since this value was built (or last synced): prepared
+    /// state is built for the new symbols only, existing entries — and
+    /// every cache entry keyed on them — are untouched. Pass the
+    /// accumulated `usage` to keep the lazy-`Peq` policy; `None` builds
+    /// bits for every new symbol whenever any kernel wants them.
+    ///
+    /// The pool must be the same one (or an equal-prefix successor of the
+    /// one) the comparators were built over: symbols are dense indices,
+    /// and aliasing a different pool onto them would silently corrupt
+    /// every cache.
+    pub fn sync_pool(&mut self, pool: &ValuePool, usage: Option<&AttributeUsage>) {
+        let bits_mask = self.bits_mask;
+        self.prepared.extend(pool, |(sym, v)| {
+            PreparedValue::of(v, wants_bits(sym, bits_mask, usage))
+        });
     }
 
     /// The prepared comparison state of `sym` (inspection/testing — the hot
@@ -334,9 +387,10 @@ impl InternedComparators {
         self.per_attr.len()
     }
 
-    /// The shared value pool.
-    pub fn pool(&self) -> &ValuePool {
-        &self.pool
+    /// Number of distinct symbols the sidecar covers (== the pool's length
+    /// at the last build/[`sync_pool`](Self::sync_pool)).
+    pub fn interned_values(&self) -> usize {
+        self.prepared.len()
     }
 
     /// Aggregate `(hits, misses)` over all attribute caches.
@@ -527,7 +581,7 @@ mod tests {
             .unwrap();
         let cmp = comparators(&s);
         let (pool, interned) = intern_tuples(&[t11.clone(), t22.clone()]);
-        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let icmps = InternedComparators::new(&pool, &cmp);
         let plain = crate::matrix::compare_xtuples(&t11, &t22, &cmp);
         let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         assert_eq!((plain.k(), plain.l()), (fast.k(), fast.l()));
@@ -548,7 +602,7 @@ mod tests {
         let a = XTuple::builder(&s).alt(1.0, ["machinist"]).build().unwrap();
         let b = XTuple::builder(&s).alt(1.0, ["mechanic"]).build().unwrap();
         let (pool, interned) = intern_tuples(&[a, b]);
-        let icmps = InternedComparators::new(Arc::new(pool), &comparators(&Schema::new(["name"])));
+        let icmps = InternedComparators::new(&pool, &comparators(&Schema::new(["name"])));
         let first = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         let second = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         assert_eq!(first, second);
@@ -587,7 +641,7 @@ mod tests {
             .build()
             .unwrap();
         let (pool, interned) = intern_tuples(&[t1.clone(), t2.clone()]);
-        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let icmps = InternedComparators::new(&pool, &cmp);
         let plain = crate::matrix::compare_xtuples(&t1, &t2, &cmp);
         let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         for (i, j, v) in plain.iter() {
@@ -607,7 +661,7 @@ mod tests {
             .unwrap();
         let tim = XTuple::builder(&s).alt(1.0, ["Tim"]).build().unwrap();
         let (pool, interned) = intern_tuples(&[null_t, tim]);
-        let icmps = InternedComparators::new(Arc::new(pool), &comparators(&s));
+        let icmps = InternedComparators::new(&pool, &comparators(&s));
         let m_null_null = compare_xtuples_interned(&interned[0], &interned[0], &icmps);
         assert_eq!(m_null_null.vector(0, 0)[0], 1.0);
         let m_null_tim = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
@@ -641,7 +695,7 @@ mod tests {
             .unwrap();
         let cmp = comparators(&s);
         let (pool, interned) = intern_tuples(&[a.clone(), b.clone()]);
-        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let icmps = InternedComparators::new(&pool, &cmp);
         let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         let plain = crate::matrix::compare_xtuples(&a, &b, &cmp);
         assert!((fast.vector(0, 0)[0] - 0.5).abs() < 1e-12);
@@ -673,7 +727,7 @@ mod tests {
                 .build()
                 .unwrap();
             let (pool, interned) = intern_tuples(&[a, b]);
-            let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+            let icmps = InternedComparators::new(&pool, &cmp);
             let fast = compare_xtuples_interned(&interned[0], &interned[1], &icmps).vector(0, 0)[0];
             let slow = pvalue_similarity(&pa, &pb, cmp.get(0));
             assert!(
@@ -705,7 +759,7 @@ mod tests {
             })
             .collect();
         let (pool, interned, usage) = intern_tuples_tracked(&tuples);
-        let icmps = InternedComparators::with_usage(Arc::new(pool), &cmp, &usage);
+        let icmps = InternedComparators::with_usage(&pool, &cmp, &usage);
         for i in 0..interned.len() {
             for j in 0..interned.len() {
                 let a = interned[i].alternatives()[0].value(0);
@@ -732,7 +786,7 @@ mod tests {
         // On a cold cache the disjoint smith/garcia pair certifies without
         // an exact kernel run (the sweep above warmed `icmps`'s exact
         // caches first, so probe a fresh set).
-        let cold = InternedComparators::new(Arc::clone(&icmps.pool), &cmp);
+        let cold = InternedComparators::new(&pool, &cmp);
         let a = interned[0].alternatives()[0].value(0);
         let b = interned[1].alternatives()[0].value(0);
         assert_eq!(
@@ -771,20 +825,19 @@ mod tests {
             .build()
             .unwrap();
         let (pool, _, usage) = intern_tuples_tracked(&[t, shared]);
-        let pool = Arc::new(pool);
         let lookup = |icmps: &InternedComparators, text: &str| -> bool {
-            let sym = icmps.pool().lookup(&Value::from(text)).expect("interned");
+            let sym = pool.lookup(&Value::from(text)).expect("interned");
             match icmps.prepared(sym) {
                 PreparedValue::Text(p) => p.bits().is_some(),
                 other => panic!("expected text, got {other:?}"),
             }
         };
-        let lazy = InternedComparators::with_usage(Arc::clone(&pool), &cmp, &usage);
+        let lazy = InternedComparators::with_usage(&pool, &cmp, &usage);
         assert!(lookup(&lazy, "OnlyInName"), "bits-wanting attribute symbol");
         assert!(!lookup(&lazy, "OnlyInJob"), "hamming-only symbol got bits");
         assert!(lookup(&lazy, "Shared"), "shared symbol must keep bits");
         // The eager constructor still builds bits for the whole pool.
-        let eager = InternedComparators::new(Arc::clone(&pool), &cmp);
+        let eager = InternedComparators::new(&pool, &cmp);
         assert!(lookup(&eager, "OnlyInJob"));
         // Both produce identical kernel values.
         let a = pool.lookup(&Value::from("OnlyInName")).unwrap();
@@ -793,6 +846,46 @@ mod tests {
             lazy.kernel(0, a, b).to_bits(),
             eager.kernel(0, a, b).to_bits()
         );
+    }
+
+    #[test]
+    fn sync_pool_extends_sidecars_and_keeps_caches_warm() {
+        use probdedup_textsim::Levenshtein;
+        let s = Schema::new(["name"]);
+        let cmp = AttributeComparators::uniform(&s, Levenshtein::new());
+        let batch1: Vec<XTuple> = ["machinist", "mechanic"]
+            .iter()
+            .map(|v| XTuple::builder(&s).alt(1.0, [*v]).build().unwrap())
+            .collect();
+        let mut pool = ValuePool::new();
+        let mut usage = AttributeUsage::default();
+        let interned1 = intern_tuples_into(&mut pool, &mut usage, &batch1);
+        let mut icmps = InternedComparators::with_usage(&pool, &cmp, &usage);
+        let first = compare_xtuples_interned(&interned1[0], &interned1[1], &icmps);
+        let (_, misses_before) = icmps.cache_stats();
+        assert!(misses_before > 0);
+
+        // Grow the pool with a second batch, sync, and compare across the
+        // old/new symbol boundary.
+        let batch2: Vec<XTuple> = ["machine operator", "mechanic"]
+            .iter()
+            .map(|v| XTuple::builder(&s).alt(1.0, [*v]).build().unwrap())
+            .collect();
+        let interned2 = intern_tuples_into(&mut pool, &mut usage, &batch2);
+        icmps.sync_pool(&pool, Some(&usage));
+        assert_eq!(icmps.interned_values(), pool.len());
+        let cross = compare_xtuples_interned(&interned1[0], &interned2[0], &icmps);
+        // A cold build over the full pool agrees bitwise.
+        let cold = InternedComparators::with_usage(&pool, &cmp, &usage);
+        let cross_cold = compare_xtuples_interned(&interned1[0], &interned2[0], &cold);
+        assert_eq!(cross, cross_cold);
+        // The old pair's memo survived the sync: re-evaluating is a pure
+        // cache hit, no new miss.
+        let (_, misses_mid) = icmps.cache_stats();
+        let again = compare_xtuples_interned(&interned1[0], &interned1[1], &icmps);
+        assert_eq!(first, again);
+        let (_, misses_after) = icmps.cache_stats();
+        assert_eq!(misses_mid, misses_after, "warm pair re-ran a kernel");
     }
 
     #[test]
@@ -808,7 +901,7 @@ mod tests {
             .build()
             .unwrap();
         let (pool, interned) = intern_tuples(&[a, b]);
-        let icmps = InternedComparators::new(Arc::new(pool), &comparators(&s));
+        let icmps = InternedComparators::new(&pool, &comparators(&s));
         let m = compare_xtuples_interned(&interned[0], &interned[1], &icmps);
         // Mixed text/int compares as 0 under the default comparator.
         assert_eq!(m.vector(0, 0)[0], 0.0);

@@ -66,9 +66,9 @@ pub mod vector;
 pub use bounded::{pvalue_similarity_bounded, pvalue_similarity_bounded_cached, BoundedSim};
 pub use cache::{CachedComparator, SymbolCache};
 pub use interned::{
-    compare_xtuples_interned, intern_tuples, intern_tuples_tracked, interned_pvalue_similarity,
-    interned_pvalue_similarity_bounded, AttributeUsage, InternedComparators, InternedPValue,
-    InternedXTuple,
+    compare_xtuples_interned, intern_tuples, intern_tuples_into, intern_tuples_tracked,
+    interned_pvalue_similarity, interned_pvalue_similarity_bounded, AttributeUsage,
+    InternedComparators, InternedPValue, InternedXTuple,
 };
 pub use matrix::{compare_xtuples, ComparisonMatrix};
 pub use pvalue_sim::{pvalue_similarity, pvalue_similarity_pruned};

@@ -116,7 +116,6 @@ proptest! {
             compare_xtuples_interned, intern_tuples, InternedComparators,
         };
         use probdedup_model::xtuple::XTuple;
-        use std::sync::Arc;
 
         let s = Schema::new(["x", "y"]);
         let cmp = AttributeComparators::uniform(&s, NormalizedHamming::new());
@@ -130,7 +129,7 @@ proptest! {
             })
             .collect();
         let (pool, interned) = intern_tuples(&tuples);
-        let icmps = InternedComparators::new(Arc::new(pool), &cmp);
+        let icmps = InternedComparators::new(&pool, &cmp);
         for round in 0..2 {
             for i in 0..tuples.len() {
                 for j in 0..tuples.len() {

@@ -134,16 +134,18 @@ impl ValuePool {
     }
 }
 
-/// Dense per-symbol side storage over a frozen [`ValuePool`].
+/// Dense per-symbol side storage over a [`ValuePool`].
 ///
 /// Symbols are assigned contiguously from 0, so a sidecar is just a slab
 /// indexed by [`Symbol::index`] — this is where derived per-value state
 /// (e.g. the precomputed text-kernel tables of `probdedup-matching`'s
 /// interned miss path) hangs off the interner without touching the pool
-/// itself. Built once single-threaded, then shared read-only.
+/// itself. Built once single-threaded, then shared read-only; a persistent
+/// session that grows its pool append-only catches the map up with
+/// [`SymbolMap::extend`] between (not during) read phases.
 #[derive(Debug, Clone)]
 pub struct SymbolMap<T> {
-    slots: Box<[T]>,
+    slots: Vec<T>,
 }
 
 impl<T> SymbolMap<T> {
@@ -152,6 +154,17 @@ impl<T> SymbolMap<T> {
         Self {
             slots: pool.iter().map(f).collect(),
         }
+    }
+
+    /// Grow the map to cover symbols interned into `pool` after this map
+    /// was built (or last extended): `f` runs once for each symbol in
+    /// `self.len()..pool.len()`, in symbol order. A no-op when the pool
+    /// has not grown. Existing entries are untouched, so side state keyed
+    /// on old symbols (caches, tables) stays valid — this is how warm
+    /// sessions carry per-symbol state across incremental ingests.
+    pub fn extend(&mut self, pool: &ValuePool, f: impl FnMut((Symbol, &Value)) -> T) {
+        debug_assert!(pool.len() >= self.slots.len(), "pools only grow");
+        self.slots.extend(pool.iter().skip(self.slots.len()).map(f));
     }
 
     /// The entry of `sym`.
@@ -173,6 +186,46 @@ impl<T> SymbolMap<T> {
     /// non-standard empty pool).
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
+    }
+}
+
+/// A point-in-time view of a pool's size and render counter.
+///
+/// Persistent sessions take one before and one after an operation to
+/// **certify reuse**: a warm rerun over already-seen data must show zero
+/// growth (`len` unchanged) and zero renders (`renders` unchanged), and an
+/// incremental ingest's growth is exactly the new data's distinct values.
+/// See [`ValuePool::snapshot`] and [`KeyPool::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolSnapshot {
+    /// Distinct interned entries at snapshot time (including the reserved
+    /// `⊥` / `""` entry).
+    pub len: usize,
+    /// Render counter at snapshot time (always 0 for [`ValuePool`]s, which
+    /// never render).
+    pub renders: u64,
+}
+
+impl PoolSnapshot {
+    /// Entries added between `self` and the `later` snapshot.
+    pub fn grown_by(&self, later: PoolSnapshot) -> usize {
+        later.len.saturating_sub(self.len)
+    }
+
+    /// Renders performed between `self` and the `later` snapshot.
+    pub fn rendered_by(&self, later: PoolSnapshot) -> u64 {
+        later.renders.saturating_sub(self.renders)
+    }
+}
+
+impl ValuePool {
+    /// The pool's current [`PoolSnapshot`] (growth counter; value pools
+    /// never render, so `renders` is always 0).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            len: self.values.len(),
+            renders: 0,
+        }
     }
 }
 
@@ -394,6 +447,14 @@ impl KeyPool {
         self.renders
     }
 
+    /// The pool's current [`PoolSnapshot`] (size + render counter).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            len: self.keys.len(),
+            renders: self.renders,
+        }
+    }
+
     /// All interned `(KeySymbol, &str)` entries in symbol order.
     pub fn iter(&self) -> impl Iterator<Item = (KeySymbol, &str)> + '_ {
         self.keys
@@ -474,6 +535,21 @@ pub struct KeyRanks {
 }
 
 impl KeyRanks {
+    /// Build a rank table from a **complete sorted order** of a pool's
+    /// symbols: `order[i]` is the symbol with rank `i`, and every symbol
+    /// of the pool appears exactly once. This is the incremental-growth
+    /// companion of [`KeyPool::lexicographic_ranks`]: a session that keeps
+    /// the sorted symbol order resident only has to *insert* newly
+    /// interned keys into it (no re-sort) and rebuild the dense rank array
+    /// in `O(len)`.
+    pub fn from_sorted(order: &[KeySymbol]) -> Self {
+        let mut ranks = vec![0u32; order.len()].into_boxed_slice();
+        for (rank, &sym) in order.iter().enumerate() {
+            ranks[sym.index()] = rank as u32;
+        }
+        Self { ranks }
+    }
+
     /// The rank of `k`.
     ///
     /// # Panics
@@ -682,6 +758,59 @@ mod tests {
             );
         }
         assert_eq!(kp.len(), 501);
+    }
+
+    #[test]
+    fn symbol_map_extend_covers_pool_growth() {
+        let mut pool = ValuePool::new();
+        let tim = pool.intern(&Value::from("Tim"));
+        let mut map = SymbolMap::build(&pool, |(_, v)| v.render().len());
+        assert_eq!(map.len(), 2);
+        let kim = pool.intern(&Value::from("Kimberly"));
+        map.extend(&pool, |(_, v)| v.render().len());
+        assert_eq!(map.len(), pool.len());
+        assert_eq!(*map.get(tim), 3); // untouched
+        assert_eq!(*map.get(kim), 8);
+        // No growth → no-op (the closure must not run).
+        map.extend(&pool, |_| panic!("no new symbols"));
+    }
+
+    #[test]
+    fn pool_snapshots_certify_reuse() {
+        let mut vp = ValuePool::new();
+        let before = vp.snapshot();
+        let tim = vp.intern(&Value::from("Tim"));
+        let after = vp.snapshot();
+        assert_eq!(before.grown_by(after), 1);
+        assert_eq!(before.rendered_by(after), 0);
+        // Re-interning is growth-free.
+        vp.intern(&Value::from("Tim"));
+        assert_eq!(vp.snapshot(), after);
+
+        let mut kp = KeyPool::new();
+        let kbefore = kp.snapshot();
+        kp.prefix_of(&vp, tim, 2);
+        let kafter = kp.snapshot();
+        assert_eq!(kbefore.grown_by(kafter), 1);
+        assert_eq!(kbefore.rendered_by(kafter), 1);
+        // A warm repeat neither grows nor renders.
+        kp.prefix_of(&vp, tim, 2);
+        assert_eq!(kp.snapshot(), kafter);
+    }
+
+    #[test]
+    fn key_ranks_from_sorted_matches_full_rebuild() {
+        let mut kp = KeyPool::new();
+        for s in ["Johpi", "Jimba", "Tomme", "Łuk"] {
+            kp.intern_str(s);
+        }
+        let full = kp.lexicographic_ranks();
+        let mut order: Vec<KeySymbol> = kp.iter().map(|(k, _)| k).collect();
+        order.sort_by(|&a, &b| kp.resolve(a).cmp(kp.resolve(b)));
+        let incremental = KeyRanks::from_sorted(&order);
+        for (k, _) in kp.iter() {
+            assert_eq!(incremental.rank(k), full.rank(k));
+        }
     }
 
     #[test]

@@ -53,19 +53,25 @@ pub struct BlockingResult {
 const SPILL_THRESHOLD: usize = 16;
 
 /// One block under construction: members in first-insertion order and
-/// (for large blocks) a spill set for O(1) membership tests.
+/// (for large blocks) a spill set for O(1) membership tests. Shared with
+/// the incremental blocking state of [`crate::incremental`].
 #[derive(Debug, Clone, Default)]
-struct Block {
+pub(crate) struct Block {
     members: Vec<usize>,
     spill: Option<FxHashSet<usize>>,
 }
 
 impl Block {
+    /// The members in first-insertion order.
+    pub(crate) fn members(&self) -> &[usize] {
+        &self.members
+    }
+
     /// Insert `tuple` unless already present ("if an x-tuple is allocated
     /// to a single block for multiple times, except for one, all entries of
     /// this tuple are removed" — Fig. 14). O(1): small blocks scan ≤
     /// [`SPILL_THRESHOLD`] entries, larger ones consult the spill set.
-    fn insert(&mut self, tuple: usize) {
+    pub(crate) fn insert(&mut self, tuple: usize) {
         match &mut self.spill {
             Some(set) => {
                 if set.insert(tuple) {
@@ -128,7 +134,7 @@ impl BlockMap {
     }
 }
 
-fn emit_block_pairs(members: &[usize], pairs: &mut CandidatePairs) {
+pub(crate) fn emit_block_pairs(members: &[usize], pairs: &mut CandidatePairs) {
     for (a, &i) in members.iter().enumerate() {
         for &j in members.iter().skip(a + 1) {
             pairs.insert(i, j);
@@ -255,6 +261,31 @@ pub fn block_multipass(
         pairs,
         blocks: first_blocks.unwrap_or_default(),
     }
+}
+
+/// [`block_multipass`] with a caller-supplied [`KeyTable`](crate::key::KeyTable)
+/// and without the first-pass inspection view — the lean path persistent
+/// sessions use: the table (extended incrementally as tuples arrive)
+/// already holds every alternative's key symbol, so each pass is pure
+/// integer bucketing plus one sorted emission. Pair output is identical to
+/// [`block_multipass`] (per-world sorted-key order).
+pub fn block_multipass_with_table(
+    tuples: &[XTuple],
+    table: &crate::key::KeyTable,
+    selection: WorldSelection,
+) -> CandidatePairs {
+    debug_assert_eq!(tuples.len(), table.len(), "table must cover the corpus");
+    let worlds = select_worlds(tuples, selection);
+    let mut pairs = CandidatePairs::new(tuples.len());
+    for world in worlds {
+        let mut map = BlockMap::default();
+        for i in 0..table.len() {
+            let alt = world.choices[i].expect("full world");
+            map.insert(table.alternative_keys(i)[alt], i);
+        }
+        map.finish_pairs(table.key_pool(), &mut pairs);
+    }
+    pairs
 }
 
 // ----------------------------------------------------------------------

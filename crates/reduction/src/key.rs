@@ -238,19 +238,9 @@ impl KeySpec {
     /// **here, once** — consumers (blocking buckets, SNM passes) never
     /// touch key strings again. See [`KeyTable`].
     pub fn key_table(&self, tuples: &[XTuple]) -> KeyTable {
-        let mut values = ValuePool::new();
-        let mut keys = KeyPool::new();
-        let alt_keys: Vec<Vec<KeySymbol>> = tuples
-            .iter()
-            .map(|t| self.alternative_key_symbols(t, &mut values, &mut keys))
-            .collect();
-        let ranks = keys.lexicographic_ranks();
-        KeyTable {
-            values,
-            keys,
-            alt_keys,
-            ranks,
-        }
+        let mut table = KeyTable::empty(self.clone());
+        table.extend(tuples);
+        table
     }
 
     /// Interned twin of [`KeySpec::alternative_keys`]: one key symbol per
@@ -451,26 +441,120 @@ fn merge_equal_symbols(dist: &mut Vec<(KeySymbol, f64)>, keys: &KeyPool) {
     });
 }
 
-/// The frozen, interned key table of one `(KeySpec, tuples)` pair: every
+/// The interned key table of one `(KeySpec, tuples)` pair: every
 /// alternative's key as a [`KeySymbol`], the issuing [`KeyPool`], and a
 /// lexicographic rank table.
 ///
-/// Built once by [`KeySpec::key_table`] — this is where **all** key
-/// rendering happens. Afterwards the table is read-only: blocking buckets
-/// on `KeySymbol`s directly, SNM sorts by [`KeyTable::rank`] (integer
-/// compares, byte-identical order to string sorting), and multi-pass
-/// methods reuse the same table across passes, so passes ≥ 2 perform zero
-/// renders and zero allocations — the property tests assert this via
-/// [`KeyTable::render_count`].
+/// Built by [`KeySpec::key_table`] — this is where **all** key rendering
+/// happens. Between growth operations the table is read-only: blocking
+/// buckets on `KeySymbol`s directly, SNM sorts by [`KeyTable::rank`]
+/// (integer compares, byte-identical order to string sorting), and
+/// multi-pass methods reuse the same table across passes, so passes ≥ 2
+/// perform zero renders and zero allocations — the property tests assert
+/// this via [`KeyTable::render_count`].
+///
+/// A persistent session grows the table instead of rebuilding it:
+/// [`KeyTable::extend`] interns only the **new** tuples' keys (re-using
+/// every cached prefix render) and rank-**inserts** the newly distinct key
+/// strings into the resident sorted order — no full re-sort, and zero
+/// renders for values already seen. [`KeyTable::clear_rows`] drops the
+/// per-tuple rows while keeping the warm pools, for re-keying a changed
+/// corpus.
 #[derive(Debug, Clone)]
 pub struct KeyTable {
+    spec: KeySpec,
     values: ValuePool,
     keys: KeyPool,
     alt_keys: Vec<Vec<KeySymbol>>,
+    /// Every interned key symbol in lexicographic order of its string
+    /// (`sorted[rank] = symbol`); kept resident so growth can rank-insert.
+    sorted: Vec<KeySymbol>,
     ranks: KeyRanks,
 }
 
 impl KeyTable {
+    /// An empty table for `spec` (no tuples yet); grow with
+    /// [`KeyTable::extend`].
+    pub fn empty(spec: KeySpec) -> Self {
+        let keys = KeyPool::new();
+        let sorted: Vec<KeySymbol> = keys.iter().map(|(k, _)| k).collect(); // [""]
+        let ranks = KeyRanks::from_sorted(&sorted);
+        Self {
+            spec,
+            values: ValuePool::new(),
+            keys,
+            alt_keys: Vec::new(),
+            sorted,
+            ranks,
+        }
+    }
+
+    /// The key spec the table renders.
+    pub fn spec(&self) -> &KeySpec {
+        &self.spec
+    }
+
+    /// Append the per-alternative key rows of `tuples` (they become tuples
+    /// `self.len()..self.len() + tuples.len()`), interning only what has
+    /// not been seen: prefixes of already-interned values are cache hits
+    /// (zero renders), and only newly **distinct** key strings are
+    /// rank-inserted into the resident sorted order — a merge, never a
+    /// full re-sort.
+    pub fn extend(&mut self, tuples: &[XTuple]) {
+        let spec = self.spec.clone();
+        for t in tuples {
+            let row = spec.alternative_key_symbols(t, &mut self.values, &mut self.keys);
+            self.alt_keys.push(row);
+        }
+        self.absorb_new_keys();
+    }
+
+    /// Run `f` with mutable access to the table's pools (for interning
+    /// keys outside the per-alternative rows — e.g. conflict-resolved or
+    /// most-probable keys), then absorb whatever new key symbols `f`
+    /// interned into the sorted order and rank table.
+    pub fn intern_with<R>(&mut self, f: impl FnOnce(&mut ValuePool, &mut KeyPool) -> R) -> R {
+        let out = f(&mut self.values, &mut self.keys);
+        self.absorb_new_keys();
+        out
+    }
+
+    /// Drop the per-tuple rows but keep the warm pools, sorted order and
+    /// rank table — re-keying a different corpus over the same spec then
+    /// renders only values never seen before.
+    pub fn clear_rows(&mut self) {
+        self.alt_keys.clear();
+    }
+
+    /// Rank-insert every key symbol interned since the last absorb:
+    /// the new symbols are sorted among themselves and merged with the
+    /// resident order (distinct strings — no ties), then the dense rank
+    /// array is rebuilt in `O(len)`.
+    fn absorb_new_keys(&mut self) {
+        let known = self.sorted.len();
+        if known == self.keys.len() {
+            return;
+        }
+        let mut fresh: Vec<KeySymbol> = self.keys.iter().skip(known).map(|(k, _)| k).collect();
+        fresh.sort_unstable_by(|&a, &b| self.keys.resolve(a).cmp(self.keys.resolve(b)));
+        let old = std::mem::take(&mut self.sorted);
+        let mut merged = Vec::with_capacity(old.len() + fresh.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < fresh.len() {
+            if self.keys.resolve(old[i]) <= self.keys.resolve(fresh[j]) {
+                merged.push(old[i]);
+                i += 1;
+            } else {
+                merged.push(fresh[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&old[i..]);
+        merged.extend_from_slice(&fresh[j..]);
+        self.sorted = merged;
+        self.ranks = KeyRanks::from_sorted(&self.sorted);
+    }
+
     /// Number of tuples the table covers.
     pub fn len(&self) -> usize {
         self.alt_keys.len()
@@ -519,8 +603,9 @@ impl KeyTable {
 
     /// How many key-prefix renders (prefix-cache misses reading a value's
     /// text — see [`KeyPool::render_count`]) building this table has cost.
-    /// Frozen after construction: multi-pass consumers assert it stays
-    /// flat across passes.
+    /// Flat outside growth operations: multi-pass consumers assert it
+    /// stays put across passes, and sessions assert a warm rerun (or an
+    /// [`extend`](Self::extend) over already-seen values) adds zero.
     pub fn render_count(&self) -> u64 {
         self.keys.render_count()
     }
@@ -732,6 +817,97 @@ mod tests {
         }
         let mpk = spec.most_probable_key_symbol(&t31, &mut vp, &mut kp);
         assert_eq!(kp.resolve(mpk), spec.most_probable_key(&t31));
+    }
+
+    #[test]
+    fn extended_table_matches_batch_build() {
+        let s = schema();
+        let mu = PValue::uniform(["musician", "museum guide"]).unwrap();
+        let tuples: Vec<XTuple> = vec![
+            XTuple::builder(&s)
+                .alt(0.7, ["John", "pilot"])
+                .alt_pvalues(0.3, [PValue::certain("Johan"), mu])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(0.2, [Value::from("John"), Value::Null])
+                .alt(0.6, ["Sean", "pilot"])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(1.0, ["Tim", "mechanic"])
+                .build()
+                .unwrap(),
+            XTuple::builder(&s)
+                .alt(1.0, ["John", "pianist"])
+                .build()
+                .unwrap(),
+        ];
+        let spec = spec();
+        let batch = spec.key_table(&tuples);
+        // Grow in three uneven steps; keys, rank order and resolved
+        // strings must match the one-shot build exactly.
+        let mut grown = KeyTable::empty(spec.clone());
+        grown.extend(&tuples[..1]);
+        grown.extend(&tuples[1..3]);
+        grown.extend(&tuples[3..]);
+        assert_eq!(grown.len(), batch.len());
+        for i in 0..tuples.len() {
+            let b: Vec<&str> = batch
+                .alternative_keys(i)
+                .iter()
+                .map(|&k| batch.resolve(k))
+                .collect();
+            let g: Vec<&str> = grown
+                .alternative_keys(i)
+                .iter()
+                .map(|&k| grown.resolve(k))
+                .collect();
+            assert_eq!(b, g, "tuple {i}");
+        }
+        // Rank order agrees with string order after growth.
+        let mut syms: Vec<KeySymbol> = (0..tuples.len())
+            .flat_map(|i| grown.alternative_keys(i).to_vec())
+            .collect();
+        let mut by_rank = syms.clone();
+        by_rank.sort_by_key(|&k| grown.rank(k));
+        syms.sort_by(|&a, &b| grown.resolve(a).cmp(grown.resolve(b)));
+        assert_eq!(by_rank, syms);
+        // Extending with already-seen values renders nothing new.
+        let before = grown.render_count();
+        grown.extend(&tuples[2..3]);
+        assert_eq!(grown.render_count(), before, "warm extend must not render");
+        assert_eq!(grown.len(), tuples.len() + 1);
+    }
+
+    #[test]
+    fn clear_rows_keeps_warm_pools() {
+        let s = schema();
+        let tuples: Vec<XTuple> = [("John", "pilot"), ("Tim", "mechanic")]
+            .iter()
+            .map(|(n, j)| XTuple::builder(&s).alt(1.0, [*n, *j]).build().unwrap())
+            .collect();
+        let mut table = spec().key_table(&tuples);
+        let renders = table.render_count();
+        table.clear_rows();
+        assert_eq!(table.len(), 0);
+        table.extend(&tuples);
+        assert_eq!(table.len(), 2);
+        assert_eq!(
+            table.render_count(),
+            renders,
+            "re-keying seen values is free"
+        );
+    }
+
+    #[test]
+    fn intern_with_ranks_external_keys() {
+        let mut table = spec().key_table(&[]);
+        let k = table.intern_with(|_, keys| keys.intern_str("Zzz"));
+        assert_eq!(table.resolve(k), "Zzz");
+        // The externally interned key participates in the rank order.
+        let k2 = table.intern_with(|_, keys| keys.intern_str("Aaa"));
+        assert!(table.rank(k2) < table.rank(k));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod alternatives;
 pub mod blocking;
 pub mod cluster;
 pub mod conflict;
+pub mod incremental;
 pub mod key;
 pub mod multipass;
 pub mod pairs;
@@ -77,12 +78,15 @@ pub use alternatives::{
 pub use blocking::{
     block_alternatives, block_alternatives_interned, block_alternatives_oracle,
     block_conflict_resolved, block_conflict_resolved_oracle, block_multipass,
-    block_multipass_oracle, BlockingResult,
+    block_multipass_oracle, block_multipass_with_table, BlockingResult,
 };
 pub use cluster::{cluster_blocking, ClusterBlockingConfig};
 pub use conflict::{
     conflict_resolved_snm, conflict_resolved_snm_oracle, resolve_key, resolve_key_symbol,
     ConflictResolution,
+};
+pub use incremental::{
+    BlockKeying, IncrementalBlocks, IncrementalRankedSnm, IncrementalSnm, SnmKeying,
 };
 pub use key::{KeyPart, KeySpec, KeyTable};
 pub use multipass::{
@@ -90,5 +94,7 @@ pub use multipass::{
     MultipassResult, WorldSelection,
 };
 pub use pairs::{CandidatePairs, PairMatrix};
-pub use ranking::{ranked_snm, RankingFunction};
-pub use snm::{sorted_neighborhood, sorted_neighborhood_interned, InternedSnmEntry, SnmEntry};
+pub use ranking::{rank_score, ranked_snm, RankingFunction};
+pub use snm::{
+    sorted_neighborhood, sorted_neighborhood_interned, windowed_pairs, InternedSnmEntry, SnmEntry,
+};

@@ -44,8 +44,12 @@ pub fn lexicographic_score(key: &str) -> f64 {
     score
 }
 
-/// The rank score of one x-tuple's key distribution.
-fn rank_score(t: &XTuple, spec: &KeySpec, f: RankingFunction) -> (f64, String) {
+/// The rank score of one x-tuple's key distribution: the sort score plus
+/// the display key the ranked order carries. Per-tuple and
+/// corpus-independent, which is what lets the incremental SNM state
+/// ([`crate::incremental`]) rank-insert newly ingested tuples into a
+/// resident order.
+pub fn rank_score(t: &XTuple, spec: &KeySpec, f: RankingFunction) -> (f64, String) {
     match f {
         RankingFunction::MostProbableKey => {
             let key = spec.most_probable_key(t);

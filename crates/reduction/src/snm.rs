@@ -98,7 +98,6 @@ pub fn sorted_neighborhood_interned(
     n_tuples: usize,
     skip_adjacent_same_tuple: bool,
 ) -> (CandidatePairs, Vec<InternedSnmEntry>) {
-    let window = window.max(2);
     entries.sort_by(|a, b| {
         ranks
             .rank(a.key)
@@ -109,12 +108,41 @@ pub fn sorted_neighborhood_interned(
         entries.dedup_by(|next, prev| next.tuple == prev.tuple);
     }
     let mut pairs = CandidatePairs::new(n_tuples);
+    emit_window_pairs(&entries, window, &mut pairs);
+    (pairs, entries)
+}
+
+/// The window scan over an **already sorted** entry list — the shared back
+/// half of [`sorted_neighborhood_interned`] and the incremental SNM state
+/// (which keeps its entry list resident and rank-**inserts** new entries
+/// instead of re-sorting). Emits every pair of tuples whose entries fall
+/// within `window` consecutive entries, in window order, deduplicated.
+pub fn windowed_pairs(
+    entries: &[InternedSnmEntry],
+    window: usize,
+    n_tuples: usize,
+    skip_adjacent_same_tuple: bool,
+) -> CandidatePairs {
+    let mut pairs = CandidatePairs::new(n_tuples);
+    if skip_adjacent_same_tuple {
+        let mut collapsed = entries.to_vec();
+        collapsed.dedup_by(|next, prev| next.tuple == prev.tuple);
+        emit_window_pairs(&collapsed, window, &mut pairs);
+    } else {
+        emit_window_pairs(entries, window, &mut pairs);
+    }
+    pairs
+}
+
+/// Emit all window pairs of a sorted entry list into `pairs` (`window`
+/// clamped to ≥ 2; self-pairs and repeats suppressed by the pair set).
+fn emit_window_pairs(entries: &[InternedSnmEntry], window: usize, pairs: &mut CandidatePairs) {
+    let window = window.max(2);
     for (i, e) in entries.iter().enumerate() {
         for f in entries.iter().skip(i + 1).take(window - 1) {
             pairs.insert(e.tuple, f.tuple);
         }
     }
-    (pairs, entries)
 }
 
 #[cfg(test)]

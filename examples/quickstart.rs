@@ -50,17 +50,12 @@ fn main() {
 
     let result = pipeline.run(&[&r1, &r2]).expect("compatible schemas");
 
-    println!("\ncompared {} candidate pairs", result.candidates);
+    println!("\n{}", result.summary());
     println!("\ndecisions (m = match, p = possible, u = non-match):");
     for d in &result.decisions {
-        let (i, j) = d.pair;
-        println!(
-            "  ({} , {})  sim = {:.3}  → {}",
-            result.handle(i),
-            result.handle(j),
-            d.similarity,
-            d.class
-        );
+        // `PairDecision` displays combined-relation row indices; map them
+        // back to sources with `result.handle(row)` when needed.
+        println!("  {d}");
     }
 
     println!("\nmatches:");
@@ -99,4 +94,29 @@ fn main() {
         "\npaper spot check: sim(t11, t22) = {:.4} (paper: 0.838 with rounded job similarity)",
         spot.similarity
     );
+
+    // The same dedup through the **persistent front door**: a session
+    // ingests the sources one at a time — only new-vs-resident candidate
+    // pairs are classified per batch, warm interner pools and similarity
+    // caches persist — and the merged view equals the one-shot run.
+    let mut session = DedupPipeline::builder()
+        .comparators(AttributeComparators::uniform(
+            &paper::schema(),
+            NormalizedHamming::new(),
+        ))
+        .model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(WeightedSum::new([0.8, 0.2]).expect("weights")),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.6, 0.8).expect("thresholds"),
+        )))
+        .cache_similarities(true)
+        .build_session();
+    println!("\nincremental ingest through a DedupSession:");
+    for (label, r) in [("ℛ1", &r1), ("ℛ2", &r2)] {
+        let step = session.ingest(r).expect("compatible schemas");
+        println!("  {label}: {}", step.summary());
+    }
+    let merged = session.result();
+    println!("  merged: {}", merged.summary());
+    assert_eq!(merged.clusters, result.clusters, "session == one-shot");
 }

@@ -43,7 +43,14 @@ USAGE:
       [--reduction full|snm-alternatives|snm-ranked|snm-multipass|blocking]
       [--key attr:len[,attr:len...]] [--window W]
       [--lambda T] [--mu T] [--threads N]
-      Run the pipeline and print decisions and duplicate clusters.
+      Run the one-shot pipeline and print decisions and duplicate clusters.
+
+  probdedup ingest --input FILE.pxr [--input FILE2.pxr ...]
+      (same options as dedup; plus --cache true|false, default true here)
+      Feed the inputs one at a time through a persistent DedupSession:
+      each batch is interned incrementally, only new-vs-resident candidate
+      pairs are classified, and the merged result is printed at the end
+      (identical partition to a one-shot dedup over the same inputs).
 ";
 
 fn main() -> ExitCode {
@@ -108,6 +115,7 @@ fn run() -> Result<(), String> {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "dedup" => cmd_dedup(&args),
+        "ingest" => cmd_ingest(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -179,8 +187,16 @@ fn parse_key(spec: &str, schema: &probdedup::model::schema::Schema) -> Result<Ke
     Ok(KeySpec::new(parts))
 }
 
-fn cmd_dedup(args: &Args) -> Result<(), String> {
-    let inputs = args.all("input");
+/// Shared option parsing of `dedup` / `ingest`: load the inputs and build
+/// the configured pipeline over their schema. `--cache true|false`
+/// toggles the interned similarity cache (default: `default_cache` —
+/// off for one-shot dedup, on for sessions, where the warm caches are
+/// the point).
+fn parse_pipeline(
+    args: &Args,
+    default_cache: bool,
+) -> Result<(Vec<String>, Vec<XRelation>, DedupPipeline), String> {
+    let inputs: Vec<String> = args.all("input").iter().map(|s| s.to_string()).collect();
     if inputs.is_empty() {
         return Err("at least one --input is required".into());
     }
@@ -235,15 +251,14 @@ fn cmd_dedup(args: &Args) -> Result<(), String> {
         )))
         .reduction(reduction)
         .threads(threads)
+        .cache_similarities(args.get_parsed("cache", default_cache)?)
         .build();
+    Ok((inputs, relations, pipeline))
+}
 
-    let refs: Vec<&XRelation> = relations.iter().collect();
-    let result = pipeline.run(&refs).map_err(|e| e.to_string())?;
-    println!(
-        "{} rows, {} candidate pairs compared",
-        result.relation.len(),
-        result.candidates
-    );
+/// Print a [`DedupResult`]: summary, matches, possibles, clusters.
+fn print_result(result: &probdedup::core::pipeline::DedupResult) {
+    println!("{}", result.summary());
     println!("matches:");
     for d in result.matches() {
         println!(
@@ -270,5 +285,33 @@ fn cmd_dedup(args: &Args) -> Result<(), String> {
             .collect();
         println!("  {{{}}}", members.join(", "));
     }
+}
+
+fn cmd_dedup(args: &Args) -> Result<(), String> {
+    let (_, relations, pipeline) = parse_pipeline(args, false)?;
+    let refs: Vec<&XRelation> = relations.iter().collect();
+    let result = pipeline.run(&refs).map_err(|e| e.to_string())?;
+    print_result(&result);
+    Ok(())
+}
+
+/// The session front door: ingest the input files one at a time, printing
+/// what each batch added, then the merged resident result. The final
+/// partition is identical to `dedup` over the same inputs (the session's
+/// split-invariance contract).
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let (inputs, relations, pipeline) = parse_pipeline(args, true)?;
+    let mut session = pipeline.session();
+    for (path, rel) in inputs.iter().zip(&relations) {
+        let step = session.ingest(rel).map_err(|e| e.to_string())?;
+        println!("ingested {path}: {}", step.summary());
+    }
+    println!(
+        "session: {} key renders, {} interned values, {} pairs classified",
+        session.key_render_count(),
+        session.interned_value_count(),
+        session.decided_count(),
+    );
+    print_result(&session.result());
     Ok(())
 }

@@ -91,6 +91,75 @@ fn generate_stats_dedup_roundtrip() {
 }
 
 #[test]
+fn ingest_matches_one_shot_dedup() {
+    let dir = temp_dir("ingest");
+    let prefix = dir.join("inc");
+    let prefix_str = prefix.to_str().unwrap();
+    let out = bin()
+        .args([
+            "generate",
+            "--out-prefix",
+            prefix_str,
+            "--entities",
+            "35",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let src0 = format!("{prefix_str}.source0.pxr");
+    let src1 = format!("{prefix_str}.source1.pxr");
+
+    let shared = [
+        "--input",
+        src0.as_str(),
+        "--input",
+        src1.as_str(),
+        "--reduction",
+        "snm-alternatives",
+        "--key",
+        "name:3,city:2",
+        "--window",
+        "5",
+    ];
+    let dedup = bin().arg("dedup").args(shared).output().expect("run dedup");
+    assert!(
+        dedup.status.success(),
+        "{}",
+        String::from_utf8_lossy(&dedup.stderr)
+    );
+    let ingest = bin()
+        .arg("ingest")
+        .args(shared)
+        .output()
+        .expect("run ingest");
+    assert!(
+        ingest.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ingest.stderr)
+    );
+
+    let dedup_out = String::from_utf8_lossy(&dedup.stdout);
+    let ingest_out = String::from_utf8_lossy(&ingest.stdout);
+    // The session narrates its incremental steps...
+    assert_eq!(ingest_out.matches("ingested ").count(), 2, "{ingest_out}");
+    assert!(ingest_out.contains("pairs classified"), "{ingest_out}");
+    assert!(ingest_out.contains("candidates resident"), "{ingest_out}");
+    // ...but the merged result — summary, matches, possibles, clusters —
+    // is identical to the one-shot pipeline over the same inputs (the
+    // split-invariance contract).
+    let tail = |s: &str| -> String {
+        let from = s.find("candidate pairs compared").expect("summary line");
+        let start = s[..from].rfind('\n').map_or(0, |i| i + 1);
+        s[start..].to_string()
+    };
+    assert_eq!(tail(&dedup_out), tail(&ingest_out));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn determinism_across_invocations() {
     let dir = temp_dir("determinism");
     let p1 = dir.join("a");

@@ -1,0 +1,274 @@
+//! The session's **split-invariance** contract, end to end: ingesting a
+//! generated corpus through a [`DedupSession`] in *any* batch split yields
+//! the same match / possible / non-match partition (and the same duplicate
+//! clusters) as one batch [`DedupPipeline::run`] over the concatenated
+//! sources — under the exact decision model and the classify-only
+//! (bounded) mode, with and without the similarity cache, across thread
+//! counts. Plus the warm-rerun certificate: re-running an unchanged corpus
+//! performs **zero** key renders and interns zero new values.
+//!
+//! [`DedupSession`]: probdedup::core::session::DedupSession
+//! [`DedupPipeline::run`]: probdedup::core::pipeline::DedupPipeline::run
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup::core::pipeline::{DedupPipeline, DedupResult, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::core::session::DedupSession;
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::{MatchClass, Thresholds};
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::relation::XRelation;
+use probdedup::model::xtuple::XTuple;
+use probdedup::reduction::{ConflictResolution, KeyPart, KeySpec, WorldSelection};
+use probdedup::textsim::JaroWinkler;
+
+/// The workload corpus: two small dirty sources, concatenated (we re-split
+/// them ourselves).
+fn corpus() -> Vec<XTuple> {
+    let ds = generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 14,
+            sources: 2,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed: 0xC0FFEE,
+            ..DatasetConfig::default()
+        },
+    );
+    ds.combined().xtuples().to_vec()
+}
+
+fn key() -> KeySpec {
+    KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)])
+}
+
+fn strategies() -> Vec<ReductionStrategy> {
+    vec![
+        ReductionStrategy::Full,
+        ReductionStrategy::SortingAlternatives {
+            spec: key(),
+            window: 4,
+        },
+        ReductionStrategy::ConflictResolved {
+            spec: key(),
+            window: 4,
+            strategy: ConflictResolution::MostProbableAlternative,
+        },
+        ReductionStrategy::BlockingAlternatives { spec: key() },
+        ReductionStrategy::MultipassWorlds {
+            spec: key(),
+            window: 3,
+            selection: WorldSelection::TopK(3),
+        },
+    ]
+}
+
+/// Build the configured front door (exact model or bounded classify-only).
+fn pipeline(
+    strategy: ReductionStrategy,
+    bounded: bool,
+    cache: bool,
+    threads: usize,
+) -> DedupPipeline {
+    let schema = corpus_schema();
+    let phi = WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap();
+    let thresholds = Thresholds::new(0.72, 0.82).unwrap();
+    let b = DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .reduction(strategy)
+        .threads(threads)
+        .cache_similarities(cache);
+    if bounded {
+        b.classify_only(phi, thresholds).build()
+    } else {
+        b.model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(phi),
+            Arc::new(ExpectedSimilarity),
+            thresholds,
+        )))
+        .build()
+    }
+}
+
+fn corpus_schema() -> probdedup::model::schema::Schema {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 1,
+            ..DatasetConfig::default()
+        },
+    )
+    .schema
+}
+
+/// Split `tuples` into 1..=4 batches at the given relative cut points.
+fn split_sources(tuples: &[XTuple], cuts: &[usize]) -> Vec<XRelation> {
+    let schema = corpus_schema();
+    let n = tuples.len();
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (n + 1)).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .map(|w| {
+            let mut r = XRelation::new(schema.clone());
+            for t in &tuples[w[0]..w[1]] {
+                r.push(t.clone());
+            }
+            r
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+fn class_map(result: &DedupResult) -> HashMap<(usize, usize), MatchClass> {
+    result.decisions.iter().map(|d| (d.pair, d.class)).collect()
+}
+
+/// Assert the session's merged view equals the one-shot run.
+fn assert_equivalent(one_shot: &DedupResult, merged: &DedupResult, label: &str) {
+    assert_eq!(
+        one_shot.decisions.len(),
+        merged.decisions.len(),
+        "{label}: candidate counts differ"
+    );
+    let by_pair = class_map(merged);
+    for d in &one_shot.decisions {
+        assert_eq!(
+            by_pair.get(&d.pair),
+            Some(&d.class),
+            "{label}: pair {:?} classified differently",
+            d.pair
+        );
+    }
+    assert_eq!(one_shot.clusters, merged.clusters, "{label}: clusters");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any random split of the corpus into 1..=4 ingest batches reproduces
+    /// the one-shot batch partition — exact and bounded modes, cached and
+    /// uncached, 1 and 4 threads, across reduction strategies (including a
+    /// world-dependent one).
+    #[test]
+    fn ingest_split_invariance(
+        cuts in proptest::collection::vec(0usize..10_000, 0..3),
+        strat_idx in 0usize..5,
+        four_threads in any::<bool>(),
+        bounded in any::<bool>(),
+        cache in any::<bool>(),
+    ) {
+        let threads = if four_threads { 4 } else { 1 };
+        let tuples = corpus();
+        let sources = split_sources(&tuples, &cuts);
+        let refs: Vec<&XRelation> = sources.iter().collect();
+        let strategy = strategies().swap_remove(strat_idx);
+        let label = format!(
+            "{} bounded={bounded} cache={cache} threads={threads} batches={}",
+            strategy.name(),
+            sources.len()
+        );
+
+        let one_shot = pipeline(strategy.clone(), bounded, cache, threads)
+            .run(&refs)
+            .unwrap();
+        let mut session: DedupSession =
+            pipeline(strategy, bounded, cache, threads).session();
+        for src in &sources {
+            session.ingest(src).unwrap();
+        }
+        assert_equivalent(&one_shot, &session.result(), &label);
+    }
+}
+
+/// The warm-rerun certificate: running the same sources again performs
+/// zero key renders, interns zero new values, and returns the identical
+/// result — asserted through the session's pool counters
+/// ([`KeyPool::render_count`] under the hood).
+///
+/// [`KeyPool::render_count`]: probdedup::model::intern::KeyPool::render_count
+#[test]
+fn warm_rerun_performs_zero_key_renders() {
+    let tuples = corpus();
+    let sources = split_sources(&tuples, &[tuples.len() / 2]);
+    let refs: Vec<&XRelation> = sources.iter().collect();
+    for (bounded, strategy) in [
+        (
+            false,
+            ReductionStrategy::SortingAlternatives {
+                spec: key(),
+                window: 4,
+            },
+        ),
+        (
+            true,
+            ReductionStrategy::BlockingAlternatives { spec: key() },
+        ),
+        (
+            false,
+            ReductionStrategy::MultipassWorlds {
+                spec: key(),
+                window: 3,
+                selection: WorldSelection::TopK(3),
+            },
+        ),
+    ] {
+        let mut session = pipeline(strategy, bounded, true, 2).session();
+        let first = session.run(&refs).unwrap();
+        let renders = session.key_render_count();
+        let interned = session.interned_value_count();
+        assert!(renders > 0, "key table never built");
+        assert!(interned > 0, "nothing interned");
+        let again = session.run(&refs).unwrap();
+        assert_eq!(
+            session.key_render_count(),
+            renders,
+            "warm rerun rendered keys"
+        );
+        assert_eq!(
+            session.interned_value_count(),
+            interned,
+            "warm rerun interned new values"
+        );
+        assert_eq!(first.decisions, again.decisions);
+        assert_eq!(first.clusters, again.clusters);
+    }
+}
+
+/// Ingest after `run`: the session extends the corpus it ran, and the
+/// merged view equals a one-shot run over all three batches.
+#[test]
+fn run_then_ingest_composes() {
+    let tuples = corpus();
+    let sources = split_sources(&tuples, &[tuples.len() / 3, 2 * tuples.len() / 3]);
+    if sources.len() < 3 {
+        return; // degenerate corpus; nothing to compose
+    }
+    let refs_all: Vec<&XRelation> = sources.iter().collect();
+    let strategy = ReductionStrategy::SortingAlternatives {
+        spec: key(),
+        window: 4,
+    };
+    let one_shot = pipeline(strategy.clone(), false, true, 2)
+        .run(&refs_all)
+        .unwrap();
+    let mut session = pipeline(strategy, false, true, 2).session();
+    session.run(&[&sources[0], &sources[1]]).unwrap();
+    let step = session.ingest(&sources[2]).unwrap();
+    assert!(step.rows_added() > 0);
+    assert_equivalent(&one_shot, &session.result(), "run-then-ingest");
+}
