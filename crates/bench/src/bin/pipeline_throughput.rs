@@ -38,6 +38,12 @@
 //!   (reduction + interning skipped, matching answered from the warm
 //!   caches), and a 10%-increment ingest against a resident 90% base
 //!   (`candidates` counts only the newly classified pairs);
+//! * `session-snapshot` — the durability round-trip: the warmed session
+//!   is `save`d to disk (atomic write + fsync) and re-`open`ed
+//!   (checksum + structural validation, pool restore, decision replay),
+//!   repeated to the measurement window. `candidates` counts decided
+//!   pairs restored per round-trip, so `pairs_per_sec` is the restore
+//!   rate with no matching work in the timed region;
 //! * `textsim`     — raw string-kernel throughput (Jaro-Winkler,
 //!   Levenshtein, Hamming over the workload's distinct attribute values):
 //!   isolates the cache-miss cost the bit-parallel kernels target, with
@@ -72,6 +78,7 @@ use probdedup_bench::{
 use probdedup_core::exec::par_map_index;
 use probdedup_core::pipeline::ReductionStrategy;
 use probdedup_core::prepare::Preparation;
+use probdedup_core::session::DedupSession;
 use probdedup_matching::cache::CachedComparator;
 use probdedup_matching::matrix::compare_xtuples_cached;
 use probdedup_matching::vector::AttributeComparators;
@@ -430,10 +437,15 @@ fn reduction_modes(entities: usize, rows: usize, sources: &[&XRelation]) -> Vec<
 ///   base: `candidates` counts only the newly classified pairs
 ///   (new-vs-resident + new-vs-new) and `pairs_per_sec` is their
 ///   classification rate — the cost of absorbing new data without a full
-///   re-run. Each repetition rebuilds the base session untimed.
+///   re-run. Each repetition rebuilds the base session untimed;
+/// * `session-snapshot` — [`save`] + [`open`] of the warmed session
+///   through a real temp file: serialization, the atomic-write fsync
+///   dance, checksum + structural validation and the warm-state rebuild
+///   are all inside the timed region, and no matching runs at all.
 ///
-/// [`DedupSession`]: probdedup_core::session::DedupSession
-/// [`ingest`]: probdedup_core::session::DedupSession::ingest
+/// [`ingest`]: DedupSession::ingest
+/// [`save`]: DedupSession::save
+/// [`open`]: DedupSession::open
 fn session_modes(entities: usize, rows: usize, sources: &[&XRelation], threads: usize) -> Vec<Run> {
     /// Minimum accumulated measurement window for the repeated modes.
     const SESSION_MIN_WALL: f64 = 0.25;
@@ -538,6 +550,36 @@ fn session_modes(entities: usize, rows: usize, sources: &[&XRelation], threads: 
         );
     }
     runs.push(inc_run);
+
+    // Snapshot: the durability round-trip of the (still warm) cold-run
+    // session. Each repetition saves to the same temp path and re-opens
+    // it; the reopened session is dropped untimed. `session.stats()` is
+    // unchanged by the loop (the round-trip does no matching), so the
+    // cache-delta fields are zero by construction.
+    let snap_path = std::env::temp_dir().join(format!(
+        "probdedup-bench-{}-{entities}-{threads}.snap",
+        std::process::id()
+    ));
+    let snap_before = session.stats();
+    let start = Instant::now();
+    let mut reps = 0usize;
+    let mut restored = 0usize;
+    while reps == 0 || start.elapsed().as_secs_f64() < SESSION_MIN_WALL {
+        session.save(&snap_path).expect("snapshot save");
+        let reopened = DedupSession::open(&snap_path, &pipeline).expect("snapshot open");
+        restored = reopened.result().candidates;
+        reps += 1;
+    }
+    let snap_wall = start.elapsed().as_secs_f64();
+    std::fs::remove_file(&snap_path).ok();
+    runs.push(run_of(
+        "session-snapshot",
+        snap_before,
+        session.stats(),
+        restored,
+        snap_wall,
+        reps,
+    ));
     runs
 }
 

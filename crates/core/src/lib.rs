@@ -78,6 +78,7 @@ pub mod pipeline;
 pub mod prepare;
 pub mod prob_result;
 pub mod session;
+pub mod snapshot;
 
 pub use cluster::UnionFind;
 pub use exec::par_map_index;

@@ -250,6 +250,9 @@ pub struct MatchingStats {
     pub pairs_exhausted: u64,
     /// Kernel evaluations disposed by a below-bound certificate.
     pub kernel_bound_certs: u64,
+    /// Memoized entries evicted to honour a cache capacity ceiling
+    /// (always 0 with unbounded caches — the default).
+    pub cache_evictions: u64,
 }
 
 impl MatchingStats {
@@ -393,6 +396,7 @@ pub(crate) struct PipelineConfig {
     pub(crate) bounded: Option<BoundedClassifyConfig>,
     pub(crate) threads: usize,
     pub(crate) cache_similarities: bool,
+    pub(crate) cache_capacity: Option<usize>,
 }
 
 /// The configured **one-shot** pipeline. Build with
@@ -420,6 +424,7 @@ pub struct DedupPipelineBuilder {
     bounded: Option<BoundedClassifyConfig>,
     threads: usize,
     cache_similarities: bool,
+    cache_capacity: Option<usize>,
 }
 
 impl DedupPipeline {
@@ -433,6 +438,7 @@ impl DedupPipeline {
             bounded: None,
             threads: 1,
             cache_similarities: false,
+            cache_capacity: None,
         }
     }
 
@@ -609,6 +615,17 @@ impl DedupPipelineBuilder {
         self
     }
 
+    /// Bound the total number of memoized pairs each per-attribute
+    /// similarity (and verdict) cache may hold; beyond the ceiling, cold
+    /// entries are evicted second-chance style and counted in
+    /// [`MatchingStats::cache_evictions`]. `None` (the default) keeps the
+    /// caches unbounded. Only meaningful together with
+    /// [`cache_similarities(true)`](Self::cache_similarities).
+    pub fn cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
     /// Finish; panics if comparators are missing, or if the decision-model
     /// configuration is not exactly one of `model` / `classify_only`
     /// (programming error, not data error — setting both would silently
@@ -632,6 +649,7 @@ impl DedupPipelineBuilder {
                 bounded: self.bounded,
                 threads: self.threads,
                 cache_similarities: self.cache_similarities,
+                cache_capacity: self.cache_capacity,
             },
         }
     }

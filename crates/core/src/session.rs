@@ -4,7 +4,7 @@
 //! The paper's pipeline is stateless per invocation, but every realistic
 //! deployment re-deduplicates a mostly-unchanged corpus as new uncertain
 //! tuples arrive (registries accumulating records over time). The
-//! one-shot [`DedupPipeline`](crate::pipeline::DedupPipeline) throws away
+//! one-shot [`DedupPipeline`] throws away
 //! exactly the state PRs 1–4 made reusable; a session keeps it resident:
 //!
 //! * the **interner pools** — the matching [`ValuePool`] and the reduction
@@ -97,6 +97,8 @@
 //! assert_eq!(merged.clusters, vec![vec![0, 1]]); // the duplicate John
 //! ```
 
+use std::path::Path;
+
 use probdedup_decision::budget::BoundedTier;
 use probdedup_decision::threshold::MatchClass;
 use probdedup_matching::interned::{intern_tuples_into, AttributeUsage, InternedComparators};
@@ -104,8 +106,12 @@ use probdedup_matching::InternedXTuple;
 use probdedup_model::condition::normalized_alternative_probs;
 use probdedup_model::error::ModelError;
 use probdedup_model::ids::SourceId;
-use probdedup_model::intern::ValuePool;
+use probdedup_model::intern::{KeyPool, ValuePool};
 use probdedup_model::relation::XRelation;
+use probdedup_model::snapshot::{
+    read_key_pool, read_value_pool, read_xrelation, write_key_pool, write_value_pool,
+    write_xrelation, SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use probdedup_model::util::FxHashMap;
 use probdedup_model::xtuple::XTuple;
 use probdedup_reduction::{
@@ -115,8 +121,12 @@ use probdedup_reduction::{
 
 use crate::cluster::UnionFind;
 use crate::pipeline::{
-    classify_pairs_bounded, classify_pairs_exact, DedupResult, MatchingStats, PairDecision,
-    PipelineConfig, ReductionStrategy,
+    classify_pairs_bounded, classify_pairs_exact, DedupPipeline, DedupResult, MatchingStats,
+    PairDecision, PipelineConfig, ReductionStrategy,
+};
+use crate::snapshot::{
+    atomic_write, read_file, TAG_CACHES, TAG_CONFIG, TAG_DECIDED, TAG_MATCH_POOL, TAG_OFFSETS,
+    TAG_REDUCTION, TAG_RELATION,
 };
 
 /// What one [`DedupSession::ingest`] call did: the rows it appended, the
@@ -266,6 +276,83 @@ impl WarmReduction {
         }
     }
 
+    /// The warm key table, if this strategy keeps one (the snapshot
+    /// persists its pools; `Full`, ranked SNM and cluster blocking carry
+    /// no poolable state).
+    fn table(&self) -> Option<&KeyTable> {
+        match self {
+            Self::Full | Self::Ranked(_) | Self::Stateless => None,
+            Self::Snm(s) => Some(s.table()),
+            Self::Blocks(b) => Some(b.table()),
+            Self::Worlds(table) => Some(table),
+        }
+    }
+
+    /// Rebuild the warm state of `strategy` around snapshot-restored key
+    /// pools. `pools` must be present exactly for the table-keeping
+    /// strategies ([`table`](Self::table)); a mismatch means the snapshot
+    /// was written under a different configuration than the one it is
+    /// being opened with.
+    fn restore(
+        strategy: &ReductionStrategy,
+        pools: Option<(ValuePool, KeyPool)>,
+    ) -> Result<Self, SnapshotError> {
+        let expects_table = !matches!(
+            strategy,
+            ReductionStrategy::Full
+                | ReductionStrategy::RankedKeys { .. }
+                | ReductionStrategy::ClusterBlocking { .. }
+        );
+        if expects_table != pools.is_some() {
+            return Err(SnapshotError::Malformed {
+                context: "reduction table presence",
+            });
+        }
+        let Some((values, keys)) = pools else {
+            return Ok(Self::for_strategy(strategy));
+        };
+        Ok(match strategy {
+            ReductionStrategy::SortingAlternatives { spec, window } => {
+                Self::Snm(IncrementalSnm::with_table(
+                    KeyTable::from_pools(spec.clone(), values, keys),
+                    SnmKeying::PerAlternative,
+                    *window,
+                ))
+            }
+            ReductionStrategy::ConflictResolved {
+                spec,
+                window,
+                strategy: resolution,
+            } => Self::Snm(IncrementalSnm::with_table(
+                KeyTable::from_pools(spec.clone(), values, keys),
+                SnmKeying::Resolved(*resolution),
+                *window,
+            )),
+            ReductionStrategy::BlockingAlternatives { spec } => {
+                Self::Blocks(IncrementalBlocks::with_table(
+                    KeyTable::from_pools(spec.clone(), values, keys),
+                    BlockKeying::PerAlternative,
+                ))
+            }
+            ReductionStrategy::BlockingConflictResolved {
+                spec,
+                strategy: resolution,
+            } => Self::Blocks(IncrementalBlocks::with_table(
+                KeyTable::from_pools(spec.clone(), values, keys),
+                BlockKeying::Resolved(*resolution),
+            )),
+            ReductionStrategy::MultipassWorlds { spec, .. }
+            | ReductionStrategy::BlockingMultipass { spec, .. } => {
+                Self::Worlds(KeyTable::from_pools(spec.clone(), values, keys))
+            }
+            ReductionStrategy::Full
+            | ReductionStrategy::RankedKeys { .. }
+            | ReductionStrategy::ClusterBlocking { .. } => {
+                unreachable!("table-less strategies return above")
+            }
+        })
+    }
+
     /// Key renders the warm state has performed (0 for stateless modes).
     fn render_count(&self) -> u64 {
         match self {
@@ -311,10 +398,11 @@ impl WarmMatching {
             ));
             match &mut self.cmps {
                 None => {
-                    self.cmps = Some(InternedComparators::with_usage(
+                    self.cmps = Some(InternedComparators::with_usage_and_capacity(
                         &self.pool,
                         &config.comparators,
                         &self.usage,
+                        config.cache_capacity,
                     ))
                 }
                 Some(cmps) => cmps.sync_pool(&self.pool, Some(&self.usage)),
@@ -510,7 +598,9 @@ impl DedupSession {
             rel.push(t.clone());
         }
 
-        // Grow the warm state over the new rows only.
+        // Grow the warm state over the new rows only. (The expect is an
+        // invariant, not input validation: `get_or_insert_with` above
+        // guarantees the relation is set.)
         let rel = self.relation.as_ref().expect("resident relation set");
         let new_tuples = &rel.xtuples()[start..];
         self.reduction.ingest_rows(new_tuples, start);
@@ -571,6 +661,7 @@ impl DedupSession {
             stats.cached_pairs = cmps.cached_pairs();
             stats.interned_values = cmps.interned_values();
             stats.kernel_bound_certs = cmps.bound_certs();
+            stats.cache_evictions = cmps.cache_evictions();
         }
         stats
     }
@@ -616,6 +707,9 @@ impl DedupSession {
                 decisions
             }
             None => {
+                // Invariant, not input validation: the pipeline builder
+                // rejects a configuration with neither a model nor a
+                // bounded classify config at build time.
                 let model = self
                     .config
                     .model
@@ -653,6 +747,431 @@ impl DedupSession {
             clusters,
             stats: self.stats(),
         }
+    }
+
+    // -- Crash-safe persistence (see `crate::snapshot` for the layout) ----
+
+    /// Serialize the session's warm state to the versioned snapshot format
+    /// (see the [`crate::snapshot`] module docs for the section layout).
+    ///
+    /// The bytes capture everything value-keyed — the prepared resident
+    /// relation, the matching [`ValuePool`], every memoized similarity /
+    /// verdict cache entry, the reduction key pools with their prefix
+    /// memos, the decision memo and the bounded-tier counters. Row-keyed
+    /// mirrors are rebuilt on [`open`](Self::open) from the restored pools
+    /// (pure warm work: zero key renders, zero new symbols).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut snap = SnapshotWriter::new();
+
+        let mut w = SectionWriter::new();
+        w.put_u32(self.config.comparators.arity() as u32);
+        w.put_str(self.config.reduction.name());
+        w.put_u8(u8::from(self.config.cache_similarities));
+        w.put_u8(u8::from(self.config.bounded.is_some()));
+        snap.section(TAG_CONFIG, w);
+
+        let mut w = SectionWriter::new();
+        match &self.relation {
+            Some(rel) => {
+                w.put_u8(1);
+                write_xrelation(&mut w, rel);
+            }
+            None => w.put_u8(0),
+        }
+        snap.section(TAG_RELATION, w);
+
+        let mut w = SectionWriter::new();
+        w.put_len(self.source_offsets.len());
+        for &off in &self.source_offsets {
+            w.put_u64(off as u64);
+        }
+        snap.section(TAG_OFFSETS, w);
+
+        let mut w = SectionWriter::new();
+        if self.config.cache_similarities {
+            w.put_u8(1);
+            write_value_pool(&mut w, &self.matching.pool);
+        } else {
+            w.put_u8(0);
+        }
+        snap.section(TAG_MATCH_POOL, w);
+
+        let mut w = SectionWriter::new();
+        match &self.matching.cmps {
+            Some(cmps) => {
+                let dumps = cmps.export_cache_entries();
+                w.put_u32(dumps.len() as u32);
+                for (exact, bound) in &dumps {
+                    for entries in [exact, bound] {
+                        w.put_len(entries.len());
+                        for &(key, sim) in entries {
+                            w.put_u64(key);
+                            w.put_f64(sim);
+                        }
+                    }
+                }
+            }
+            None => w.put_u32(0),
+        }
+        snap.section(TAG_CACHES, w);
+
+        let mut w = SectionWriter::new();
+        match self.reduction.table() {
+            Some(table) => {
+                w.put_u8(1);
+                write_value_pool(&mut w, table.value_pool());
+                write_key_pool(&mut w, table.key_pool());
+            }
+            None => w.put_u8(0),
+        }
+        snap.section(TAG_REDUCTION, w);
+
+        let mut w = SectionWriter::new();
+        let mut entries: Vec<&PairDecision> = self.decided.values().collect();
+        entries.sort_unstable_by_key(|d| d.pair);
+        w.put_len(entries.len());
+        for d in entries {
+            w.put_u64(d.pair.0 as u64);
+            w.put_u64(d.pair.1 as u64);
+            w.put_f64(d.similarity);
+            w.put_u8(class_to_byte(d.class));
+        }
+        for t in self.tiers {
+            w.put_u64(t);
+        }
+        snap.section(TAG_DECIDED, w);
+
+        snap.finish()
+    }
+
+    /// Durably persist the session to `path` via the atomic write-temp →
+    /// fsync → rename protocol ([`crate::snapshot::atomic_write`]): a crash
+    /// at any point leaves either the previous snapshot or the new one at
+    /// `path`, never a torn file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        atomic_write(path.as_ref(), &self.to_snapshot_bytes())
+    }
+
+    /// Re-open a snapshot written by [`save`](Self::save) as a warm session
+    /// of `pipeline`.
+    ///
+    /// The pipeline's configuration must agree with the one the snapshot
+    /// was written under (schema arity, reduction strategy, similarity
+    /// cache and bounded-mode flags) — a disagreement is reported as
+    /// [`SnapshotError::ConfigMismatch`]. Every corruption mode
+    /// (truncation, bit flips, version or checksum disagreement,
+    /// out-of-range symbols, inconsistent cross-section state) is a typed
+    /// [`SnapshotError`]; the session is never partially constructed. The
+    /// reopened session answers an identical-corpus [`run`](Self::run)
+    /// entirely from warm state: **zero** key renders and no re-keying —
+    /// property-tested in `tests/snapshot.rs`.
+    pub fn open(path: impl AsRef<Path>, pipeline: &DedupPipeline) -> Result<Self, SnapshotError> {
+        Self::from_snapshot_bytes(&read_file(path.as_ref())?, pipeline)
+    }
+
+    /// [`open`](Self::open) over in-memory bytes (the fault-injection
+    /// harness corrupts buffers without touching disk).
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        pipeline: &DedupPipeline,
+    ) -> Result<Self, SnapshotError> {
+        let mut session = pipeline.session();
+        session.restore_from_bytes(bytes)?;
+        Ok(session)
+    }
+
+    /// Decode, validate and adopt a snapshot. All parsing and cross-section
+    /// validation happens into locals first; `self` is only mutated once
+    /// the whole snapshot has been proven coherent.
+    fn restore_from_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut reader = SnapshotReader::open(bytes)?;
+
+        // Section 1: configuration fingerprint.
+        let mut r = reader.section(TAG_CONFIG, "config section")?;
+        let arity = r.take_u32()? as usize;
+        let strategy_name = r.take_str()?.to_string();
+        let cached = read_bool(&mut r, "config cache flag")?;
+        let bounded = read_bool(&mut r, "config bounded flag")?;
+        r.finish()?;
+        let own_arity = self.config.comparators.arity();
+        if arity != own_arity {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: format!("snapshot arity {arity}, pipeline arity {own_arity}"),
+            });
+        }
+        if strategy_name != self.config.reduction.name() {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "snapshot reduction '{strategy_name}', pipeline reduction '{}'",
+                    self.config.reduction.name()
+                ),
+            });
+        }
+        if cached != self.config.cache_similarities {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "snapshot similarity cache {}, pipeline {}",
+                    on_off(cached),
+                    on_off(self.config.cache_similarities)
+                ),
+            });
+        }
+        if bounded != self.config.bounded.is_some() {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "snapshot bounded mode {}, pipeline {}",
+                    on_off(bounded),
+                    on_off(self.config.bounded.is_some())
+                ),
+            });
+        }
+
+        // Section 2: the prepared resident relation.
+        let mut r = reader.section(TAG_RELATION, "relation section")?;
+        let relation = if read_bool(&mut r, "relation presence flag")? {
+            Some(read_xrelation(&mut r)?)
+        } else {
+            None
+        };
+        r.finish()?;
+        if let Some(rel) = &relation {
+            if rel.schema().arity() != own_arity {
+                return Err(SnapshotError::ConfigMismatch {
+                    detail: format!(
+                        "snapshot relation arity {}, pipeline arity {own_arity}",
+                        rel.schema().arity()
+                    ),
+                });
+            }
+        }
+        let rows = relation.as_ref().map_or(0, XRelation::len);
+
+        // Section 3: source offsets.
+        let mut r = reader.section(TAG_OFFSETS, "offsets section")?;
+        let n = r.take_len(8)?;
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let off = r.take_u64()?;
+            let off = usize::try_from(off).ok().filter(|&o| o <= rows).ok_or(
+                SnapshotError::Malformed {
+                    context: "source offset out of range",
+                },
+            )?;
+            if offsets.last().is_some_and(|&prev| off < prev) {
+                return Err(SnapshotError::Malformed {
+                    context: "source offsets not monotone",
+                });
+            }
+            offsets.push(off);
+        }
+        r.finish()?;
+        let offsets_coherent = match relation {
+            Some(_) => offsets.first() == Some(&0),
+            None => offsets.is_empty(),
+        };
+        if !offsets_coherent {
+            return Err(SnapshotError::Malformed {
+                context: "source offsets disagree with relation",
+            });
+        }
+
+        // Section 4: the matching value pool.
+        let mut r = reader.section(TAG_MATCH_POOL, "match pool section")?;
+        let pool_present = read_bool(&mut r, "match pool flag")?;
+        if pool_present != self.config.cache_similarities {
+            return Err(SnapshotError::Malformed {
+                context: "match pool flag disagrees with config",
+            });
+        }
+        let match_pool = if pool_present {
+            Some(read_value_pool(&mut r)?)
+        } else {
+            None
+        };
+        r.finish()?;
+
+        // Section 5: memoized similarity / verdict cache entries.
+        let mut r = reader.section(TAG_CACHES, "caches section")?;
+        let n_attr = r.take_u32()? as usize;
+        if n_attr != 0 && n_attr != own_arity {
+            return Err(SnapshotError::Malformed {
+                context: "cache dump attribute count",
+            });
+        }
+        if n_attr != 0 && !self.config.cache_similarities {
+            return Err(SnapshotError::Malformed {
+                context: "cache dump without similarity cache",
+            });
+        }
+        let mut cache_dumps = Vec::with_capacity(n_attr);
+        for _ in 0..n_attr {
+            let mut both = [Vec::new(), Vec::new()];
+            for entries in &mut both {
+                let n = r.take_len(16)?;
+                entries.reserve(n);
+                for _ in 0..n {
+                    let key = r.take_u64()?;
+                    let sim = r.take_f64()?;
+                    if !sim.is_finite() {
+                        return Err(SnapshotError::Malformed {
+                            context: "non-finite cached similarity",
+                        });
+                    }
+                    entries.push((key, sim));
+                }
+            }
+            let [exact, bound] = both;
+            cache_dumps.push((exact, bound));
+        }
+        r.finish()?;
+
+        // Section 6: warm reduction key pools.
+        let mut r = reader.section(TAG_REDUCTION, "reduction section")?;
+        let reduction_pools = if read_bool(&mut r, "reduction table flag")? {
+            let values = read_value_pool(&mut r)?;
+            let keys = read_key_pool(&mut r, values.len())?;
+            Some((values, keys))
+        } else {
+            None
+        };
+        r.finish()?;
+
+        // Section 7: the decision memo and tier counters.
+        let mut r = reader.section(TAG_DECIDED, "decisions section")?;
+        let n = r.take_len(25)?;
+        let mut decided: FxHashMap<(usize, usize), PairDecision> = FxHashMap::default();
+        decided.reserve(n);
+        for _ in 0..n {
+            let i = usize::try_from(r.take_u64()?).map_err(|_| SnapshotError::Malformed {
+                context: "decision row index",
+            })?;
+            let j = usize::try_from(r.take_u64()?).map_err(|_| SnapshotError::Malformed {
+                context: "decision row index",
+            })?;
+            if i >= j || j >= rows {
+                return Err(SnapshotError::Malformed {
+                    context: "decision pair out of range",
+                });
+            }
+            let similarity = r.take_f64()?;
+            if !similarity.is_finite() {
+                return Err(SnapshotError::Malformed {
+                    context: "non-finite decision similarity",
+                });
+            }
+            let class = class_from_byte(r.take_u8()?)?;
+            let decision = PairDecision {
+                pair: (i, j),
+                similarity,
+                class,
+            };
+            if decided.insert((i, j), decision).is_some() {
+                return Err(SnapshotError::Malformed {
+                    context: "duplicate decision pair",
+                });
+            }
+        }
+        let mut tiers = [0u64; 4];
+        for t in &mut tiers {
+            *t = r.take_u64()?;
+        }
+        r.finish()?;
+        reader.finish()?;
+
+        // Rebuild the row-keyed warm state from the restored pools —
+        // fresh locals first, so a failure never leaves `self` half-set.
+        let mut reduction = WarmReduction::restore(&self.config.reduction, reduction_pools)?;
+        let mut matching = WarmMatching::new();
+        if let Some(pool) = match_pool {
+            matching.pool = pool;
+        }
+        let mut candidates = CandidatePairs::new(0);
+        if let Some(rel) = &relation {
+            // Re-key and re-intern the resident tuples through the warm
+            // pools: every prefix render and symbol lookup is a memo hit.
+            reduction.ingest_rows(rel.xtuples(), 0);
+            matching.ingest(&self.config, rel.xtuples());
+            candidates = reduction.current(rel.xtuples(), &self.config.reduction);
+            // The memo must cover the regenerated candidate set, or
+            // `result()` on the reopened session would have to classify —
+            // a coherent snapshot always decided its own candidates.
+            for pair in candidates.pairs() {
+                if !decided.contains_key(pair) {
+                    return Err(SnapshotError::Malformed {
+                        context: "decision memo incomplete",
+                    });
+                }
+            }
+        }
+        if !cache_dumps.is_empty() {
+            match &matching.cmps {
+                Some(cmps) => cmps.import_cache_entries(&cache_dumps)?,
+                None => {
+                    // Warm caches but no resident tuples (a session saved
+                    // after its corpus was emptied): materialize the
+                    // comparators directly over the restored pool.
+                    let cmps = InternedComparators::with_capacity(
+                        &matching.pool,
+                        &self.config.comparators,
+                        self.config.cache_capacity,
+                    );
+                    cmps.import_cache_entries(&cache_dumps)?;
+                    matching.cmps = Some(cmps);
+                }
+            }
+        }
+
+        self.relation = relation;
+        self.source_offsets = offsets;
+        self.reduction = reduction;
+        self.matching = matching;
+        self.candidates = candidates;
+        self.decided = decided;
+        self.tiers = tiers;
+        Ok(())
+    }
+}
+
+/// Snapshot byte for a [`MatchClass`] (`Match`=0, `Possible`=1,
+/// `NonMatch`=2 — part of format version 1).
+fn class_to_byte(class: MatchClass) -> u8 {
+    match class {
+        MatchClass::Match => 0,
+        MatchClass::Possible => 1,
+        MatchClass::NonMatch => 2,
+    }
+}
+
+/// Inverse of [`class_to_byte`]; any other byte is a corrupt snapshot.
+fn class_from_byte(byte: u8) -> Result<MatchClass, SnapshotError> {
+    match byte {
+        0 => Ok(MatchClass::Match),
+        1 => Ok(MatchClass::Possible),
+        2 => Ok(MatchClass::NonMatch),
+        _ => Err(SnapshotError::Malformed {
+            context: "decision class byte",
+        }),
+    }
+}
+
+/// Read a strict boolean byte (anything but 0/1 is corruption, not data).
+fn read_bool(
+    r: &mut probdedup_model::snapshot::SectionReader<'_>,
+    context: &'static str,
+) -> Result<bool, SnapshotError> {
+    match r.take_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(SnapshotError::Malformed { context }),
+    }
+}
+
+/// `"on"` / `"off"` for config-mismatch messages.
+fn on_off(flag: bool) -> &'static str {
+    if flag {
+        "on"
+    } else {
+        "off"
     }
 }
 
@@ -848,6 +1367,95 @@ mod tests {
         let snap = session.result();
         assert_eq!(snap.candidates, 0);
         assert!(snap.decisions.is_empty());
+    }
+
+    fn temp_snap(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "probdedup-session-snap-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("session.snap")
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_partition_and_memos() {
+        let sources = corpus();
+        let refs: Vec<&XRelation> = sources.iter().collect();
+        for strategy in strategies() {
+            let pipeline = builder(strategy.clone(), true);
+            let mut session = pipeline.session();
+            let before = session.run(&refs).unwrap();
+            let renders = session.key_render_count();
+            let path = temp_snap(strategy.name());
+            session.save(&path).unwrap();
+
+            let mut reopened = DedupSession::open(&path, &pipeline).unwrap();
+            assert_eq!(reopened.rows(), session.rows(), "{}", strategy.name());
+            assert_eq!(reopened.decided_count(), session.decided_count());
+            assert_eq!(
+                reopened.key_render_count(),
+                renders,
+                "open re-rendered keys ({})",
+                strategy.name()
+            );
+            // The resident view needs no classification at all.
+            let restored = reopened.result();
+            assert_eq!(before.decisions, restored.decisions, "{}", strategy.name());
+            assert_eq!(before.clusters, restored.clusters);
+            assert_eq!(before.source_offsets, restored.source_offsets);
+            // An identical-corpus rerun stays fully warm: zero key renders.
+            let again = reopened.run(&refs).unwrap();
+            assert_eq!(reopened.key_render_count(), renders, "{}", strategy.name());
+            assert_eq!(before.decisions, again.decisions);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn open_rejects_mismatched_configuration() {
+        let sources = corpus();
+        let refs: Vec<&XRelation> = sources.iter().collect();
+        let spec = KeySpec::paper_example(0, 1);
+        let pipeline = builder(
+            ReductionStrategy::SortingAlternatives {
+                spec: spec.clone(),
+                window: 3,
+            },
+            true,
+        );
+        let mut session = pipeline.session();
+        session.run(&refs).unwrap();
+        let bytes = session.to_snapshot_bytes();
+
+        // Different reduction strategy.
+        let other = builder(ReductionStrategy::BlockingAlternatives { spec }, true);
+        let err = DedupSession::from_snapshot_bytes(&bytes, &other)
+            .err()
+            .expect("mismatched strategy must be rejected");
+        assert!(matches!(err, SnapshotError::ConfigMismatch { .. }), "{err}");
+        // Similarity cache off vs. the snapshot's on.
+        let uncached = builder(
+            ReductionStrategy::SortingAlternatives {
+                spec: KeySpec::paper_example(0, 1),
+                window: 3,
+            },
+            false,
+        );
+        let err = DedupSession::from_snapshot_bytes(&bytes, &uncached)
+            .err()
+            .expect("cache-flag mismatch must be rejected");
+        assert!(matches!(err, SnapshotError::ConfigMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_session_snapshot_roundtrips() {
+        let pipeline = builder(ReductionStrategy::Full, true);
+        let session = pipeline.session();
+        let bytes = session.to_snapshot_bytes();
+        let reopened = DedupSession::from_snapshot_bytes(&bytes, &pipeline).unwrap();
+        assert!(reopened.is_empty());
+        assert_eq!(reopened.decided_count(), 0);
     }
 
     #[test]

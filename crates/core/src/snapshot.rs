@@ -1,0 +1,148 @@
+//! Crash-safe session persistence: the file-level layout and atomic-write
+//! protocol of [`DedupSession::save`](crate::session::DedupSession::save) /
+//! [`open`](crate::session::DedupSession::open).
+//!
+//! The byte-level primitives (framed checksummed sections, model codecs)
+//! live in [`probdedup_model::snapshot`]; this module owns what is
+//! *session-specific*: which sections a session file contains, in which
+//! order, and how the file reaches disk without a crash window.
+//!
+//! # Section layout (format version 1)
+//!
+//! Sections appear in exactly this order, each framed as
+//! `tag · len · payload · checksum` by the model-layer writer:
+//!
+//! | tag | section    | contents                                              |
+//! |-----|------------|-------------------------------------------------------|
+//! | 1   | config     | arity, reduction-strategy name, cache + bounded flags |
+//! | 2   | relation   | the **prepared** resident [`XRelation`] (or absent)   |
+//! | 3   | offsets    | per-source row offsets into the combined relation     |
+//! | 4   | match pool | the matching [`ValuePool`] in dense symbol order      |
+//! | 5   | caches     | per-attribute similarity + verdict memo entries       |
+//! | 6   | reduction  | the warm [`KeyTable`] pools (values, keys, memos)     |
+//! | 7   | decisions  | every classified pair + the bounded-tier counters     |
+//!
+//! The relation is stored *post-preparation*, so opening never re-runs the
+//! preparation plan; pools are stored in dense symbol order, so re-interning
+//! on open reproduces identical symbols and every memoized cache entry keyed
+//! on them stays valid. Everything row-indexed but cheap (interned tuple
+//! mirrors, `PreparedValue` sidecars, candidate pairs, conditioned
+//! alternative weights) is **rebuilt** from the restored pools on open —
+//! pure warm-pool work with zero key renders, verified by the round-trip
+//! property tests.
+//!
+//! # Atomic-write protocol
+//!
+//! [`atomic_write`] never exposes a torn file:
+//!
+//! 1. serialize to `<path>.tmp` (truncating any stale temp file),
+//! 2. `fsync` the temp file,
+//! 3. `rename` it over `<path>` (atomic on POSIX),
+//! 4. `fsync` the containing directory so the rename itself is durable.
+//!
+//! A crash before step 3 leaves the previous snapshot untouched; a crash
+//! after leaves the new one fully in place. There is no intermediate state
+//! in which `<path>` holds a partial file — property-tested by the
+//! kill-point suite in `tests/snapshot.rs`, which stops the protocol at
+//! every step and asserts the last good snapshot still loads.
+//!
+//! [`XRelation`]: probdedup_model::relation::XRelation
+//! [`ValuePool`]: probdedup_model::intern::ValuePool
+//! [`KeyTable`]: probdedup_reduction::KeyTable
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use probdedup_model::snapshot::SnapshotError;
+
+/// Section tag: configuration fingerprint.
+pub const TAG_CONFIG: u32 = 1;
+/// Section tag: prepared resident relation.
+pub const TAG_RELATION: u32 = 2;
+/// Section tag: source row offsets.
+pub const TAG_OFFSETS: u32 = 3;
+/// Section tag: matching value pool.
+pub const TAG_MATCH_POOL: u32 = 4;
+/// Section tag: per-attribute similarity/verdict cache entries.
+pub const TAG_CACHES: u32 = 5;
+/// Section tag: warm reduction key-table pools.
+pub const TAG_REDUCTION: u32 = 6;
+/// Section tag: classified pairs and tier counters.
+pub const TAG_DECIDED: u32 = 7;
+
+/// The temp-file path the atomic protocol stages into: `<path>.tmp` in the
+/// same directory (same filesystem, so the rename is atomic).
+pub fn staging_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durably replace `path` with `bytes` via write-temp → fsync → rename →
+/// fsync-dir (see the module docs). On any error the previous contents of
+/// `path`, if any, are left untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = staging_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable: fsync the containing directory.
+    // Directories cannot be fsynced on all platforms; failure to open one
+    // for syncing is not a correctness problem (the data is already
+    // renamed), so only propagate errors from an actual sync attempt.
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            d.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a snapshot file fully into memory (decoding is done by the
+/// model-layer [`SnapshotReader`](probdedup_model::snapshot::SnapshotReader)
+/// over the returned bytes).
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    Ok(fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("probdedup-core-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("state.snap");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!staging_path(&path).exists(), "temp file left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_failure_preserves_previous_file() {
+        let dir = temp_dir("fail");
+        let path = dir.join("state.snap");
+        atomic_write(&path, b"good").unwrap();
+        // Writing into a missing directory fails before any rename.
+        let bad = dir.join("missing-subdir").join("state.snap");
+        assert!(atomic_write(&bad, b"broken").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"good");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

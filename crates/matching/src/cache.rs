@@ -52,11 +52,12 @@ fn hash_u64(key: u64) -> u64 {
     h.finish()
 }
 
-/// Hit/miss counters shared by both cache flavours.
+/// Hit/miss/eviction counters shared by both cache flavours.
 #[derive(Debug, Default)]
 struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CacheCounters {
@@ -69,6 +70,36 @@ impl CacheCounters {
 // Symbol-keyed sharded cache (the interned hot path).
 // ---------------------------------------------------------------------
 
+/// One memoized similarity with its second-chance reference bit.
+///
+/// The bit is an [`AtomicBool`](std::sync::atomic::AtomicBool) so the read
+/// paths — which only hold a *shared* shard lock — can mark an entry as
+/// recently used without upgrading to a write lock.
+#[derive(Debug)]
+struct Slot {
+    value: f64,
+    referenced: std::sync::atomic::AtomicBool,
+}
+
+impl Slot {
+    /// A fresh slot starts with a **clear** reference bit: it must prove
+    /// itself with a hit before it can claim a second chance, so streaming
+    /// cold pairs cannot flush entries that are actively re-used.
+    #[inline]
+    fn new(value: f64) -> Self {
+        Self {
+            value,
+            referenced: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Mark recently-used through a shared reference (read-lock paths).
+    #[inline]
+    fn touch(&self) {
+        self.referenced.store(true, Relaxed);
+    }
+}
+
 /// A sharded, lock-striped similarity memo keyed on canonical
 /// `(Symbol, Symbol)` pairs.
 ///
@@ -76,9 +107,24 @@ impl CacheCounters {
 /// `(b, a)` share an entry, matching kernel symmetry. ⊥ symbols must be
 /// handled by the caller (they never reach the cache; the paper's ⊥
 /// conventions are constant-time).
+///
+/// # Bounded mode
+///
+/// [`SymbolCache::with_capacity`] caps the number of memoized pairs. The
+/// cap is split evenly across the shards, and a full shard evicts with an
+/// approximate **second-chance** (clock) policy: every lookup hit sets the
+/// entry's reference bit; when an insert finds the shard full, it sweeps
+/// the shard's entries demoting set bits and evicts the first entry whose
+/// bit was already clear (falling back to an arbitrary entry if the sweep
+/// demoted everything). Recently re-used pairs therefore survive one full
+/// sweep longer than cold ones — close enough to LRU for a memo table,
+/// with no per-entry list links and no write traffic on hits. Evictions
+/// are counted (see [`SymbolCache::evictions`]).
 pub struct SymbolCache {
-    shards: Box<[RwLock<FxHashMap<u64, f64>>]>,
+    shards: Box<[RwLock<FxHashMap<u64, Slot>>]>,
     counters: CacheCounters,
+    /// Per-shard entry cap; `None` = unbounded (the default).
+    shard_cap: Option<usize>,
 }
 
 impl Default for SymbolCache {
@@ -88,13 +134,63 @@ impl Default for SymbolCache {
 }
 
 impl SymbolCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// An empty cache holding at most `capacity` memoized pairs
+    /// (approximately: the cap is enforced per shard as
+    /// `ceil(capacity / SHARDS)`, at least one entry per shard).
+    /// `None` means unbounded.
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
             counters: CacheCounters::default(),
+            shard_cap: capacity.map(|c| c.div_ceil(SHARDS).max(1)),
+        }
+    }
+
+    /// Store `key → v` under the shard's write lock, enforcing the
+    /// capacity ceiling. `keep_min` selects the verdict-table collision
+    /// rule (smaller value wins) over plain replacement.
+    fn store(&self, key: u64, v: f64, keep_min: bool) {
+        let shard = &self.shards[shard_of(hash_u64(key))];
+        let mut map = shard.write().expect("cache shard poisoned");
+        if let Some(slot) = map.get_mut(&key) {
+            if !keep_min || v < slot.value {
+                slot.value = v;
+            }
+            *slot.referenced.get_mut() = true;
+            return;
+        }
+        if let Some(cap) = self.shard_cap {
+            if map.len() >= cap {
+                Self::evict_one(&mut map);
+                self.counters.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        map.insert(key, Slot::new(v));
+    }
+
+    /// Second-chance sweep: demote set reference bits in iteration order
+    /// and evict the first entry whose bit was already clear; if every
+    /// entry had its bit set (all demoted now), evict an arbitrary one.
+    fn evict_one(map: &mut FxHashMap<u64, Slot>) {
+        let mut victim = None;
+        for (k, slot) in map.iter_mut() {
+            if *slot.referenced.get_mut() {
+                *slot.referenced.get_mut() = false;
+            } else {
+                victim = Some(*k);
+                break;
+            }
+        }
+        let victim = victim.or_else(|| map.keys().next().copied());
+        if let Some(k) = victim {
+            map.remove(&k);
         }
     }
 
@@ -117,13 +213,14 @@ impl SymbolCache {
     pub fn get_or_compute(&self, a: Symbol, b: Symbol, kernel: impl FnOnce() -> f64) -> f64 {
         let key = Self::key(a, b);
         let shard = &self.shards[shard_of(hash_u64(key))];
-        if let Some(&s) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(slot) = shard.read().expect("cache shard poisoned").get(&key) {
+            slot.touch();
             self.counters.hits.fetch_add(1, Relaxed);
-            return s;
+            return slot.value;
         }
         let s = kernel();
         self.counters.misses.fetch_add(1, Relaxed);
-        shard.write().expect("cache shard poisoned").insert(key, s);
+        self.store(key, s, false);
         s
     }
 
@@ -138,7 +235,10 @@ impl SymbolCache {
             .read()
             .expect("cache shard poisoned")
             .get(&key)
-            .copied();
+            .map(|slot| {
+                slot.touch();
+                slot.value
+            });
         match found {
             Some(_) => self.counters.hits.fetch_add(1, Relaxed),
             None => self.counters.misses.fetch_add(1, Relaxed),
@@ -159,16 +259,17 @@ impl SymbolCache {
             .read()
             .expect("cache shard poisoned")
             .get(&key)
-            .copied()
+            .map(|slot| {
+                slot.touch();
+                slot.value
+            })
     }
 
     /// Memoize `(a, b) → v` unconditionally (no counter updates — the probe
     /// that preceded the computation already counted).
     #[inline]
     pub fn insert(&self, a: Symbol, b: Symbol, v: f64) {
-        let key = Self::key(a, b);
-        let shard = &self.shards[shard_of(hash_u64(key))];
-        shard.write().expect("cache shard poisoned").insert(key, v);
+        self.store(Self::key(a, b), v, false);
     }
 
     /// Memoize `(a, b) → v` keeping the **smaller** value on collision.
@@ -179,19 +280,54 @@ impl SymbolCache {
     /// first.
     #[inline]
     pub fn insert_min(&self, a: Symbol, b: Symbol, v: f64) {
-        let key = Self::key(a, b);
-        let shard = &self.shards[shard_of(hash_u64(key))];
-        shard
-            .write()
-            .expect("cache shard poisoned")
-            .entry(key)
-            .and_modify(|old| *old = old.min(v))
-            .or_insert(v);
+        self.store(Self::key(a, b), v, true);
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         self.counters.snapshot()
+    }
+
+    /// Number of entries evicted to honour the capacity ceiling (always 0
+    /// for unbounded caches).
+    pub fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Relaxed)
+    }
+
+    /// The configured capacity ceiling, if any (total across shards, as
+    /// passed to [`with_capacity`](Self::with_capacity) rounded up to a
+    /// whole number of per-shard entries).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard_cap.map(|c| c * SHARDS)
+    }
+
+    /// Every memoized `(packed key, value)` pair, sorted by key — the
+    /// deterministic dump the snapshot writer serializes. Takes each
+    /// shard's read lock briefly; an inspection API, not a hot path.
+    pub fn export_entries(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(&k, slot)| (k, slot.value))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Re-insert previously exported `(packed key, value)` pairs (snapshot
+    /// restore). Entries go through the normal bounded-insert path, so a
+    /// capacity ceiling is honoured; callers are responsible for validating
+    /// that the packed symbols are in range for the owning pool.
+    pub fn import_entries(&self, entries: impl IntoIterator<Item = (u64, f64)>) {
+        for (key, v) in entries {
+            self.store(key, v, false);
+        }
     }
 
     /// Number of memoized pairs (sums all shards; takes each read lock
@@ -477,5 +613,92 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(hits + misses, 8 * 2000);
         assert!(cache.len() <= 32 * 33 / 2);
+    }
+
+    #[test]
+    fn bounded_cache_respects_capacity_and_counts_evictions() {
+        use probdedup_model::intern::ValuePool;
+        let mut pool = ValuePool::new();
+        let syms: Vec<Symbol> = (0..600)
+            .map(|i| pool.intern(&Value::from(format!("v{i}"))))
+            .collect();
+        // Capacity 64 → one entry per shard.
+        let cache = SymbolCache::with_capacity(Some(64));
+        assert_eq!(cache.capacity(), Some(64));
+        for (i, w) in syms.windows(2).enumerate() {
+            cache.insert(w[0], w[1], i as f64);
+        }
+        assert!(
+            cache.len() <= 64,
+            "bounded cache grew to {} entries",
+            cache.len()
+        );
+        let inserted = (syms.len() - 1) as u64;
+        assert_eq!(cache.evictions(), inserted - cache.len() as u64);
+        // Unbounded caches never evict.
+        let unbounded = SymbolCache::new();
+        assert_eq!(unbounded.capacity(), None);
+        for (i, w) in syms.windows(2).enumerate() {
+            unbounded.insert(w[0], w[1], i as f64);
+        }
+        assert_eq!(unbounded.len(), syms.len() - 1);
+        assert_eq!(unbounded.evictions(), 0);
+    }
+
+    #[test]
+    fn second_chance_prefers_evicting_cold_entries() {
+        use probdedup_model::intern::ValuePool;
+        let mut pool = ValuePool::new();
+        let syms: Vec<Symbol> = (0..200)
+            .map(|i| pool.intern(&Value::from(format!("v{i}"))))
+            .collect();
+        // All shards capped at 2 entries; repeatedly touch one hot pair
+        // while streaming cold pairs through. The hot pair's reference bit
+        // is re-set on every probe, so the sweeps evict cold entries.
+        let cache = SymbolCache::with_capacity(Some(2 * 64));
+        let (hot_a, hot_b) = (syms[0], syms[1]);
+        cache.insert(hot_a, hot_b, 0.75);
+        for w in syms[2..].windows(2) {
+            assert_eq!(cache.peek(hot_a, hot_b), Some(0.75), "hot entry evicted");
+            cache.insert(w[0], w[1], 0.25);
+        }
+        assert_eq!(cache.peek(hot_a, hot_b), Some(0.75));
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn export_import_roundtrips_entries() {
+        use probdedup_model::intern::ValuePool;
+        let mut pool = ValuePool::new();
+        let syms: Vec<Symbol> = (0..40)
+            .map(|i| pool.intern(&Value::from(format!("v{i}"))))
+            .collect();
+        let cache = SymbolCache::new();
+        for (i, w) in syms.windows(2).enumerate() {
+            cache.insert(w[0], w[1], i as f64 / 40.0);
+        }
+        let dump = cache.export_entries();
+        assert_eq!(dump.len(), cache.len());
+        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0), "dump not sorted");
+        let restored = SymbolCache::new();
+        restored.import_entries(dump.iter().copied());
+        assert_eq!(restored.export_entries(), dump);
+        // Every restored pair answers without recomputation.
+        for (i, w) in syms.windows(2).enumerate() {
+            assert_eq!(restored.peek(w[0], w[1]), Some(i as f64 / 40.0));
+        }
+    }
+
+    #[test]
+    fn insert_min_keeps_tighter_bound_under_capacity() {
+        use probdedup_model::intern::ValuePool;
+        let mut pool = ValuePool::new();
+        let a = pool.intern(&Value::from("a"));
+        let b = pool.intern(&Value::from("b"));
+        let cache = SymbolCache::with_capacity(Some(64));
+        cache.insert_min(a, b, 0.8);
+        cache.insert_min(a, b, 0.6);
+        cache.insert_min(a, b, 0.9); // looser: must not overwrite
+        assert_eq!(cache.peek(a, b), Some(0.6));
     }
 }

@@ -269,6 +269,12 @@ pub fn intern_tuples_into(
         .collect()
 }
 
+/// One attribute's memo dump — `(exact entries, verdict entries)`, each a
+/// `(packed symbol pair, value)` list sorted by key. Produced by
+/// [`InternedComparators::export_cache_entries`], consumed by
+/// [`InternedComparators::import_cache_entries`].
+pub type AttrCacheDump = (Vec<(u64, f64)>, Vec<(u64, f64)>);
+
 /// Per-attribute kernels + sharded symbol caches over a pool: the
 /// read-only context worker threads share during interned matching.
 ///
@@ -309,7 +315,7 @@ impl InternedComparators {
     /// [`PreparedValue`] — including pattern bitmasks iff some attribute's
     /// kernel exploits them.
     pub fn new(pool: &ValuePool, comparators: &AttributeComparators) -> Self {
-        Self::build(pool, comparators, None)
+        Self::build(pool, comparators, None, None)
     }
 
     /// [`new`](Self::new) with **lazy per-attribute `Peq` sidecars**: a
@@ -323,19 +329,51 @@ impl InternedComparators {
         comparators: &AttributeComparators,
         usage: &AttributeUsage,
     ) -> Self {
-        Self::build(pool, comparators, Some(usage))
+        Self::build(pool, comparators, Some(usage), None)
+    }
+
+    /// [`with_usage`](Self::with_usage) with a **memory ceiling**: each
+    /// per-attribute cache (exact and verdict alike) holds at most
+    /// `capacity` memoized pairs, evicting second-chance style beyond that
+    /// (see [`SymbolCache::with_capacity`]). `None` keeps the caches
+    /// unbounded — the default everywhere else.
+    pub fn with_usage_and_capacity(
+        pool: &ValuePool,
+        comparators: &AttributeComparators,
+        usage: &AttributeUsage,
+        capacity: Option<usize>,
+    ) -> Self {
+        Self::build(pool, comparators, Some(usage), capacity)
+    }
+
+    /// [`new`](Self::new) with a memory ceiling but **no** usage tracking:
+    /// pattern-bit sidecars are built eagerly for every pool symbol.
+    /// Used when comparators must be materialized over a restored pool
+    /// with no resident tuples to derive usage from (eager bits can only
+    /// over-build, never under-build).
+    pub fn with_capacity(
+        pool: &ValuePool,
+        comparators: &AttributeComparators,
+        capacity: Option<usize>,
+    ) -> Self {
+        Self::build(pool, comparators, None, capacity)
     }
 
     fn build(
         pool: &ValuePool,
         comparators: &AttributeComparators,
         usage: Option<&AttributeUsage>,
+        capacity: Option<usize>,
     ) -> Self {
         let per_attr: Vec<ValueComparator> = (0..comparators.arity())
             .map(|i| comparators.get(i).clone())
             .collect();
-        let caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
-        let bound_caches = (0..per_attr.len()).map(|_| SymbolCache::new()).collect();
+        let caches = (0..per_attr.len())
+            .map(|_| SymbolCache::with_capacity(capacity))
+            .collect();
+        let bound_caches = (0..per_attr.len())
+            .map(|_| SymbolCache::with_capacity(capacity))
+            .collect();
         let bits_mask = AttributeUsage::mask_of(
             (0..comparators.arity()).filter(|&i| comparators.get(i).wants_pattern_bits()),
         );
@@ -404,6 +442,72 @@ impl InternedComparators {
     /// Total number of memoized symbol pairs across attributes.
     pub fn cached_pairs(&self) -> usize {
         self.caches.iter().map(SymbolCache::len).sum()
+    }
+
+    /// Total entries evicted across all caches (exact and verdict) to
+    /// honour a capacity ceiling; 0 for unbounded comparators.
+    pub fn cache_evictions(&self) -> u64 {
+        self.caches
+            .iter()
+            .chain(self.bound_caches.iter())
+            .map(SymbolCache::evictions)
+            .sum()
+    }
+
+    /// Deterministic per-attribute dump of both memo tables —
+    /// `(exact entries, verdict entries)` per attribute, each sorted by
+    /// packed key (see [`SymbolCache::export_entries`]). This is the warm
+    /// state a session snapshot serializes.
+    pub fn export_cache_entries(&self) -> Vec<AttrCacheDump> {
+        self.caches
+            .iter()
+            .zip(&self.bound_caches)
+            .map(|(exact, bound)| (exact.export_entries(), bound.export_entries()))
+            .collect()
+    }
+
+    /// Restore a dump made by
+    /// [`export_cache_entries`](Self::export_cache_entries), validating
+    /// every packed key against the sidecar's symbol range: both packed
+    /// symbols must be non-⊥, in canonical (smaller-first) order, and
+    /// within the pool the comparators were built over. A dump whose
+    /// attribute count disagrees with this arity is rejected outright.
+    pub fn import_cache_entries(
+        &self,
+        per_attr: &[AttrCacheDump],
+    ) -> Result<(), probdedup_model::SnapshotError> {
+        use probdedup_model::SnapshotError;
+        if per_attr.len() != self.per_attr.len() {
+            return Err(SnapshotError::Malformed {
+                context: "cache dump attribute count",
+            });
+        }
+        let limit = self.prepared.len() as u64;
+        let check = |entries: &[(u64, f64)], context: &'static str| {
+            for &(key, _) in entries {
+                let lo = key >> 32;
+                let hi = key & 0xffff_ffff;
+                if lo == 0 || lo > hi || hi >= limit {
+                    return Err(SnapshotError::InvalidSymbol {
+                        context,
+                        raw: key,
+                        limit,
+                    });
+                }
+            }
+            Ok(())
+        };
+        for (entries, _) in per_attr {
+            check(entries, "similarity cache symbol pair")?;
+        }
+        for (_, entries) in per_attr {
+            check(entries, "verdict cache symbol pair")?;
+        }
+        for (attr, (exact, bound)) in per_attr.iter().enumerate() {
+            self.caches[attr].import_entries(exact.iter().copied());
+            self.bound_caches[attr].import_entries(bound.iter().copied());
+        }
+        Ok(())
     }
 
     /// Memoized kernel similarity of two non-⊥ symbols for attribute
@@ -886,6 +990,58 @@ mod tests {
         assert_eq!(first, again);
         let (_, misses_after) = icmps.cache_stats();
         assert_eq!(misses_mid, misses_after, "warm pair re-ran a kernel");
+    }
+
+    #[test]
+    fn cache_dump_restores_warm_and_rejects_forged_symbols() {
+        let s = Schema::new(["name", "job"]);
+        let cmp = comparators(&s);
+        let tuples: Vec<XTuple> = [
+            ("machinist", "smith"),
+            ("mechanic", "smyth"),
+            ("tim", "kim"),
+        ]
+        .iter()
+        .map(|(a, b)| XTuple::builder(&s).alt(1.0, [*a, *b]).build().unwrap())
+        .collect();
+        let (pool, interned, usage) = intern_tuples_tracked(&tuples);
+        let warm = InternedComparators::with_usage(&pool, &cmp, &usage);
+        for i in 0..interned.len() {
+            for j in i + 1..interned.len() {
+                compare_xtuples_interned(&interned[i], &interned[j], &warm);
+            }
+        }
+        assert!(warm.cached_pairs() > 0);
+        let dump = warm.export_cache_entries();
+        // Restore into a cold set: every warmed pair answers without a miss.
+        let cold = InternedComparators::with_usage(&pool, &cmp, &usage);
+        cold.import_cache_entries(&dump).unwrap();
+        assert_eq!(cold.cached_pairs(), warm.cached_pairs());
+        let (_, misses_before) = cold.cache_stats();
+        for i in 0..interned.len() {
+            for j in i + 1..interned.len() {
+                let a = compare_xtuples_interned(&interned[i], &interned[j], &warm);
+                let b = compare_xtuples_interned(&interned[i], &interned[j], &cold);
+                assert_eq!(a, b);
+            }
+        }
+        let (_, misses_after) = cold.cache_stats();
+        assert_eq!(misses_before, misses_after, "restored pair re-ran a kernel");
+        // Forged dumps are rejected: out-of-range symbol, ⊥, wrong arity.
+        let fresh = || InternedComparators::with_usage(&pool, &cmp, &usage);
+        let mut forged = dump.clone();
+        forged[0]
+            .0
+            .push((u64::from(u32::MAX) << 32 | u64::from(u32::MAX), 0.5));
+        assert!(fresh().import_cache_entries(&forged).is_err());
+        let mut nulled = dump.clone();
+        nulled[0].0.push((1, 0.5)); // lo = ⊥
+        assert!(fresh().import_cache_entries(&nulled).is_err());
+        assert!(fresh().import_cache_entries(&dump[..1]).is_err());
+        // A capacity-bounded restore still honours the ceiling.
+        let bounded = InternedComparators::with_usage_and_capacity(&pool, &cmp, &usage, Some(64));
+        bounded.import_cache_entries(&dump).unwrap();
+        assert!(bounded.cached_pairs() <= 2 * 64);
     }
 
     #[test]

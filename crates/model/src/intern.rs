@@ -264,6 +264,13 @@ impl KeySymbol {
     pub fn is_empty_key(self) -> bool {
         self.0 == 0
     }
+
+    /// Rebuild a symbol from its raw index (snapshot restore only — the
+    /// caller is responsible for range-checking against the owning pool).
+    #[inline]
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        KeySymbol(raw)
+    }
 }
 
 /// An interner for **rendered key prefixes**: the sidecar that makes
@@ -478,6 +485,37 @@ impl KeyPool {
             ranks[sym as usize] = rank as u32;
         }
         KeyRanks { ranks }
+    }
+
+    /// The prefix-memo entries `(packed (value symbol, prefix len) key,
+    /// key symbol)` — exported by the snapshot codec so a restored pool
+    /// renders nothing on its first warm pass.
+    pub(crate) fn prefix_cache_entries(&self) -> impl Iterator<Item = (u64, KeySymbol)> + '_ {
+        self.prefix_cache.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The concat-memo entries `(packed (left, right) key, key symbol)`.
+    pub(crate) fn concat_cache_entries(&self) -> impl Iterator<Item = (u64, KeySymbol)> + '_ {
+        self.concat_cache.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Re-seed one prefix-memo entry (snapshot restore; the codec has
+    /// already range-checked `sym` against this pool).
+    pub(crate) fn restore_prefix_entry(&mut self, cache_key: u64, sym: KeySymbol) {
+        self.prefix_cache.insert(cache_key, sym);
+    }
+
+    /// Re-seed one concat-memo entry (snapshot restore).
+    pub(crate) fn restore_concat_entry(&mut self, cache_key: u64, sym: KeySymbol) {
+        self.concat_cache.insert(cache_key, sym);
+    }
+
+    /// Restore the render counter (snapshot restore): a reopened session
+    /// reports the same lifetime render count it had when saved, so the
+    /// "warm reruns render nothing" delta assertions keep working across
+    /// a save/open boundary.
+    pub(crate) fn set_render_count(&mut self, renders: u64) {
+        self.renders = renders;
     }
 }
 

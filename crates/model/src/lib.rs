@@ -65,6 +65,7 @@ pub mod pvalue;
 pub mod relation;
 pub mod sample;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod tuple;
 pub mod util;
@@ -82,6 +83,7 @@ pub use pvalue::PValue;
 pub use relation::{Relation, XRelation};
 pub use sample::WorldSampler;
 pub use schema::{AttrType, Schema};
+pub use snapshot::SnapshotError;
 pub use tuple::ProbTuple;
 pub use value::Value;
 pub use world::{World, WorldIter};

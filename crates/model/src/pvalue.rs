@@ -143,6 +143,9 @@ impl PValue {
     /// (Section V-A.2).
     pub fn most_probable(&self) -> (Option<&Value>, f64) {
         let null_p = self.null_prob();
+        // Invariant, not input validation: every constructor routes
+        // probabilities through `check_probability`, which rejects NaN
+        // before a `PValue` can exist.
         let best = self
             .alts
             .iter()
@@ -180,6 +183,9 @@ impl PValue {
     /// distribution may unify spellings). `f` returning `Value::Null` moves
     /// that alternative's mass to ⊥.
     pub fn map_values(&self, f: impl Fn(&Value) -> Value) -> Self {
+        // Invariant, not input validation: the probabilities fed back in
+        // are this value's own (already validated at construction), and
+        // merging collisions can only keep the total mass equal.
         Self::categorical(self.alts.iter().map(|(v, p)| (f(v), *p)))
             .expect("mass is preserved by mapping")
     }

@@ -75,6 +75,24 @@ impl IncrementalSnm {
         }
     }
 
+    /// Rebuild state around a warm table restored from a snapshot (no
+    /// rows yet — the caller re-ingests the resident corpus, which is
+    /// render-free against the restored pools).
+    pub fn with_table(table: KeyTable, keying: SnmKeying, window: usize) -> Self {
+        Self {
+            table,
+            keying,
+            window,
+            entries: Vec::new(),
+            n_tuples: 0,
+        }
+    }
+
+    /// The warm key table (snapshot export).
+    pub fn table(&self) -> &KeyTable {
+        &self.table
+    }
+
     /// Number of tuples ingested so far.
     pub fn len(&self) -> usize {
         self.n_tuples
@@ -269,6 +287,22 @@ impl IncrementalBlocks {
             blocks: FxHashMap::default(),
             n_tuples: 0,
         }
+    }
+
+    /// Rebuild state around a warm table restored from a snapshot (no
+    /// rows yet — the caller re-ingests the resident corpus render-free).
+    pub fn with_table(table: KeyTable, keying: BlockKeying) -> Self {
+        Self {
+            table,
+            keying,
+            blocks: FxHashMap::default(),
+            n_tuples: 0,
+        }
+    }
+
+    /// The warm key table (snapshot export).
+    pub fn table(&self) -> &KeyTable {
+        &self.table
     }
 
     /// Number of tuples ingested so far.

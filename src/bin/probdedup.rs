@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use probdedup::core::pipeline::{DedupPipeline, ReductionStrategy};
 use probdedup::core::prepare::Preparation;
+use probdedup::core::session::DedupSession;
 use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
 use probdedup::decision::combine::WeightedSum;
 use probdedup::decision::derive_sim::ExpectedSimilarity;
@@ -24,6 +25,7 @@ use probdedup::decision::xmodel::SimilarityBasedModel;
 use probdedup::matching::vector::AttributeComparators;
 use probdedup::model::format::{parse_xrelation, write_xrelation};
 use probdedup::model::relation::XRelation;
+use probdedup::model::snapshot::SnapshotError;
 use probdedup::model::stats::RelationStats;
 use probdedup::reduction::{KeyPart, KeySpec, RankingFunction, WorldSelection};
 use probdedup::textsim::JaroWinkler;
@@ -51,15 +53,73 @@ USAGE:
       each batch is interned incrementally, only new-vs-resident candidate
       pairs are classified, and the merged result is printed at the end
       (identical partition to a one-shot dedup over the same inputs).
+
+  probdedup snapshot save --out FILE.snap --input FILE.pxr [...]
+      (same pipeline options as ingest)
+      Run a session over the inputs and persist its warm state —
+      interner pools, similarity caches, key memos, decisions — to
+      FILE.snap via an atomic crash-safe write.
+
+  probdedup snapshot load --snapshot FILE.snap --input FILE.pxr [...]
+      (same pipeline options as the save that wrote the snapshot)
+      Re-open the session warm and rerun over the inputs: an unchanged
+      corpus replays entirely from the snapshot (zero key renders).
+
+EXIT CODES:
+  0 success   2 usage error   3 I/O error   4 data parse error
+  5 corrupt or mismatched snapshot
 ";
+
+/// A CLI failure with its exit code: distinct codes let scripts tell a
+/// typo (2) from a missing file (3), a malformed relation (4) or a
+/// corrupt/mismatched snapshot (5).
+enum CliError {
+    /// Bad flags, unknown subcommand, invalid option values.
+    Usage(String),
+    /// The operating system said no (missing file, permissions, disk).
+    Io(String),
+    /// An input file exists but does not parse as probabilistic data.
+    Parse(String),
+    /// A snapshot failed validation (corruption, version or config
+    /// mismatch) — the file was not silently misread.
+    Snapshot(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Self::Usage(_) => 2,
+            Self::Io(_) => 3,
+            Self::Parse(_) => 4,
+            Self::Snapshot(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Self::Usage(m) | Self::Io(m) | Self::Parse(m) | Self::Snapshot(m) => m,
+        }
+    }
+}
+
+/// Classify a [`SnapshotError`]: the I/O layer failing to read the file is
+/// an I/O error; everything else means the bytes themselves are bad.
+fn snapshot_error(path: &str, e: SnapshotError) -> CliError {
+    match e {
+        SnapshotError::Io(io) => CliError::Io(format!("{path}: {io}")),
+        other => CliError::Snapshot(format!("{path}: {other}")),
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {}", err.message());
+            if matches!(err, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -70,14 +130,16 @@ struct Args {
 }
 
 impl Args {
-    fn parse(raw: &[String]) -> Result<Self, String> {
+    fn parse(raw: &[String]) -> Result<Self, CliError> {
         let mut items = Vec::new();
         let mut it = raw.iter();
         while let Some(flag) = it.next() {
             let name = flag
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got {flag:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
             items.push((name.to_string(), value.clone()));
         }
         Ok(Self { items })
@@ -95,35 +157,38 @@ impl Args {
         self.all(name).into_iter().next_back()
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {v:?}"))),
             None => Ok(default),
         }
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = raw
         .split_first()
-        .ok_or_else(|| "missing subcommand".to_string())?;
+        .ok_or_else(|| CliError::Usage("missing subcommand".to_string()))?;
+    if cmd == "snapshot" {
+        return cmd_snapshot(rest);
+    }
     let args = Args::parse(rest)?;
     match cmd.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "dedup" => cmd_dedup(&args),
         "ingest" => cmd_ingest(&args),
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     let prefix = args
         .get("out-prefix")
-        .ok_or_else(|| "--out-prefix is required".to_string())?;
+        .ok_or_else(|| CliError::Usage("--out-prefix is required".to_string()))?;
     let cfg = DatasetConfig {
         entities: args.get_parsed("entities", 500usize)?,
         sources: args.get_parsed("sources", 2usize)?,
@@ -133,7 +198,8 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let ds = generate(&Dictionaries::people(), &cfg);
     for (i, rel) in ds.relations.iter().enumerate() {
         let path = format!("{prefix}.source{i}.pxr");
-        std::fs::write(&path, write_xrelation(rel)).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(&path, write_xrelation(rel))
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         println!("wrote {path} ({} x-tuples)", rel.len());
     }
     let truth_path = format!("{prefix}.truth");
@@ -141,7 +207,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         .map(|row| format!("{row} {}", ds.truth.entity_of(row)))
         .collect();
     std::fs::write(&truth_path, truth_lines.join("\n") + "\n")
-        .map_err(|e| format!("{truth_path}: {e}"))?;
+        .map_err(|e| CliError::Io(format!("{truth_path}: {e}")))?;
     println!(
         "wrote {truth_path} ({} rows, {} entities, {} true duplicate pairs)",
         ds.truth.len(),
@@ -151,38 +217,38 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_relation(path: &str) -> Result<XRelation, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_xrelation(&text).map_err(|e| format!("{path}: {e}"))
+fn load_relation(path: &str) -> Result<XRelation, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    parse_xrelation(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     let path = args
         .get("input")
-        .ok_or_else(|| "--input is required".to_string())?;
+        .ok_or_else(|| CliError::Usage("--input is required".to_string()))?;
     let rel = load_relation(path)?;
     println!("{path}:");
     println!("{}", RelationStats::for_xrelation(&rel));
     Ok(())
 }
 
-fn parse_key(spec: &str, schema: &probdedup::model::schema::Schema) -> Result<KeySpec, String> {
+fn parse_key(spec: &str, schema: &probdedup::model::schema::Schema) -> Result<KeySpec, CliError> {
     let mut parts = Vec::new();
     for item in spec.split(',') {
         let (attr, len) = item
             .split_once(':')
-            .ok_or_else(|| format!("key part {item:?} needs attr:len"))?;
+            .ok_or_else(|| CliError::Usage(format!("key part {item:?} needs attr:len")))?;
         let idx = schema
             .index_of(attr.trim())
-            .ok_or_else(|| format!("unknown key attribute {attr:?}"))?;
+            .ok_or_else(|| CliError::Usage(format!("unknown key attribute {attr:?}")))?;
         let len: usize = len
             .trim()
             .parse()
-            .map_err(|_| format!("invalid prefix length in {item:?}"))?;
+            .map_err(|_| CliError::Usage(format!("invalid prefix length in {item:?}")))?;
         parts.push(KeyPart::prefix(idx, len));
     }
     if parts.is_empty() {
-        return Err("key must have at least one part".into());
+        return Err(CliError::Usage("key must have at least one part".into()));
     }
     Ok(KeySpec::new(parts))
 }
@@ -195,10 +261,10 @@ fn parse_key(spec: &str, schema: &probdedup::model::schema::Schema) -> Result<Ke
 fn parse_pipeline(
     args: &Args,
     default_cache: bool,
-) -> Result<(Vec<String>, Vec<XRelation>, DedupPipeline), String> {
+) -> Result<(Vec<String>, Vec<XRelation>, DedupPipeline), CliError> {
     let inputs: Vec<String> = args.all("input").iter().map(|s| s.to_string()).collect();
     if inputs.is_empty() {
-        return Err("at least one --input is required".into());
+        return Err(CliError::Usage("at least one --input is required".into()));
     }
     let relations: Vec<XRelation> = inputs
         .iter()
@@ -232,7 +298,7 @@ fn parse_pipeline(
             selection: WorldSelection::DiverseTopK { k: 3, pool: 32 },
         },
         "blocking" => ReductionStrategy::BlockingAlternatives { spec: key },
-        other => return Err(format!("unknown reduction {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown reduction {other:?}"))),
     };
 
     let lambda = args.get_parsed("lambda", 0.72f64)?;
@@ -245,9 +311,9 @@ fn parse_pipeline(
         .preparation(Preparation::standard_all(schema.arity()))
         .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
         .model(Arc::new(SimilarityBasedModel::new(
-            Arc::new(WeightedSum::normalized(weights).map_err(|e| e.to_string())?),
+            Arc::new(WeightedSum::normalized(weights).map_err(|e| CliError::Usage(e.to_string()))?),
             Arc::new(ExpectedSimilarity),
-            Thresholds::new(lambda, mu).map_err(|e| e.to_string())?,
+            Thresholds::new(lambda, mu).map_err(|e| CliError::Usage(e.to_string()))?,
         )))
         .reduction(reduction)
         .threads(threads)
@@ -287,10 +353,12 @@ fn print_result(result: &probdedup::core::pipeline::DedupResult) {
     }
 }
 
-fn cmd_dedup(args: &Args) -> Result<(), String> {
+fn cmd_dedup(args: &Args) -> Result<(), CliError> {
     let (_, relations, pipeline) = parse_pipeline(args, false)?;
     let refs: Vec<&XRelation> = relations.iter().collect();
-    let result = pipeline.run(&refs).map_err(|e| e.to_string())?;
+    let result = pipeline
+        .run(&refs)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
     print_result(&result);
     Ok(())
 }
@@ -299,11 +367,13 @@ fn cmd_dedup(args: &Args) -> Result<(), String> {
 /// what each batch added, then the merged resident result. The final
 /// partition is identical to `dedup` over the same inputs (the session's
 /// split-invariance contract).
-fn cmd_ingest(args: &Args) -> Result<(), String> {
+fn cmd_ingest(args: &Args) -> Result<(), CliError> {
     let (inputs, relations, pipeline) = parse_pipeline(args, true)?;
     let mut session = pipeline.session();
     for (path, rel) in inputs.iter().zip(&relations) {
-        let step = session.ingest(rel).map_err(|e| e.to_string())?;
+        let step = session
+            .ingest(rel)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
         println!("ingested {path}: {}", step.summary());
     }
     println!(
@@ -313,5 +383,75 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
         session.decided_count(),
     );
     print_result(&session.result());
+    Ok(())
+}
+
+/// Dispatch `snapshot save` / `snapshot load` — session persistence from
+/// the command line.
+fn cmd_snapshot(rest: &[String]) -> Result<(), CliError> {
+    let (verb, rest) = rest.split_first().ok_or_else(|| {
+        CliError::Usage("snapshot needs a verb: snapshot save | snapshot load".to_string())
+    })?;
+    let args = Args::parse(rest)?;
+    match verb.as_str() {
+        "save" => cmd_snapshot_save(&args),
+        "load" => cmd_snapshot_load(&args),
+        other => Err(CliError::Usage(format!(
+            "unknown snapshot verb {other:?} (expected save or load)"
+        ))),
+    }
+}
+
+/// `snapshot save`: run a session over the inputs, then persist its warm
+/// state atomically to `--out`.
+fn cmd_snapshot_save(args: &Args) -> Result<(), CliError> {
+    let out = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out is required".to_string()))?
+        .to_string();
+    let (_, relations, pipeline) = parse_pipeline(args, true)?;
+    let refs: Vec<&XRelation> = relations.iter().collect();
+    let mut session = pipeline.session();
+    let result = session
+        .run(&refs)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    session.save(&out).map_err(|e| snapshot_error(&out, e))?;
+    println!(
+        "saved {out}: {} rows, {} decided pairs, {} interned values, {} key renders",
+        session.rows(),
+        session.decided_count(),
+        session.interned_value_count(),
+        session.key_render_count(),
+    );
+    print_result(&result);
+    Ok(())
+}
+
+/// `snapshot load`: re-open a saved session warm (the pipeline options
+/// must match the save) and rerun over the inputs — an unchanged corpus
+/// replays with zero key renders.
+fn cmd_snapshot_load(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .get("snapshot")
+        .ok_or_else(|| CliError::Usage("--snapshot is required".to_string()))?
+        .to_string();
+    let (_, relations, pipeline) = parse_pipeline(args, true)?;
+    let mut session = DedupSession::open(&path, &pipeline).map_err(|e| snapshot_error(&path, e))?;
+    let renders_at_open = session.key_render_count();
+    println!(
+        "loaded {path}: {} rows, {} decided pairs, {} interned values",
+        session.rows(),
+        session.decided_count(),
+        session.interned_value_count(),
+    );
+    let refs: Vec<&XRelation> = relations.iter().collect();
+    let result = session
+        .run(&refs)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    println!(
+        "warm rerun: {} key renders",
+        session.key_render_count() - renders_at_open
+    );
+    print_result(&result);
     Ok(())
 }

@@ -186,6 +186,159 @@ fn determinism_across_invocations() {
 }
 
 #[test]
+fn snapshot_save_load_roundtrip() {
+    let dir = temp_dir("snapshot");
+    let prefix = dir.join("snap");
+    let prefix_str = prefix.to_str().unwrap();
+    let out = bin()
+        .args([
+            "generate",
+            "--out-prefix",
+            prefix_str,
+            "--entities",
+            "30",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let src0 = format!("{prefix_str}.source0.pxr");
+    let src1 = format!("{prefix_str}.source1.pxr");
+    let snap = format!("{prefix_str}.session.snap");
+
+    let shared = [
+        "--input",
+        src0.as_str(),
+        "--input",
+        src1.as_str(),
+        "--reduction",
+        "snm-alternatives",
+        "--key",
+        "name:3,city:2",
+        "--window",
+        "5",
+    ];
+    let save = bin()
+        .args(["snapshot", "save", "--out", &snap])
+        .args(shared)
+        .output()
+        .expect("run snapshot save");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+    let save_out = String::from_utf8_lossy(&save.stdout);
+    assert!(save_out.contains("saved "), "{save_out}");
+    assert!(std::path::Path::new(&snap).exists());
+
+    let load = bin()
+        .args(["snapshot", "load", "--snapshot", &snap])
+        .args(shared)
+        .output()
+        .expect("run snapshot load");
+    assert!(
+        load.status.success(),
+        "{}",
+        String::from_utf8_lossy(&load.stderr)
+    );
+    let load_out = String::from_utf8_lossy(&load.stdout);
+    // The reopened session replays the unchanged corpus fully warm.
+    assert!(load_out.contains("warm rerun: 0 key renders"), "{load_out}");
+    // And the restored partition equals the save-time one.
+    let tail = |s: &str| -> String {
+        let from = s.find("candidate pairs compared").expect("summary line");
+        let start = s[..from].rfind('\n').map_or(0, |i| i + 1);
+        s[start..].to_string()
+    };
+    assert_eq!(tail(&save_out), tail(&load_out));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distinct_exit_codes_per_error_kind() {
+    let dir = temp_dir("exitcodes");
+
+    // Usage error (unknown subcommand) → 2, with the usage text.
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+
+    // I/O error (missing input file) → 3, no usage dump.
+    let out = bin()
+        .args(["stats", "--input", "/nonexistent/nope.pxr"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "{stderr}");
+
+    // Data parse error (exists, but not a .pxr relation) → 4.
+    let garbage = dir.join("garbage.pxr");
+    std::fs::write(&garbage, "this is not a relation\n").unwrap();
+    let out = bin()
+        .args(["stats", "--input", garbage.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(4));
+
+    // Snapshot corruption → 5. The inputs must parse (they are loaded
+    // before the snapshot opens), so generate a real relation first.
+    let fake = dir.join("fake.snap");
+    std::fs::write(&fake, b"PXDSNAP\0garbage that is not a session").unwrap();
+    let real = dir.join("real");
+    let gen = bin()
+        .args([
+            "generate",
+            "--out-prefix",
+            real.to_str().unwrap(),
+            "--entities",
+            "10",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(gen.status.success());
+    let src = format!("{}.source0.pxr", real.display());
+    let out = bin()
+        .args([
+            "snapshot",
+            "load",
+            "--snapshot",
+            fake.to_str().unwrap(),
+            "--input",
+            &src,
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Missing snapshot file → I/O (3), not corruption.
+    let out = bin()
+        .args([
+            "snapshot",
+            "load",
+            "--snapshot",
+            dir.join("absent.snap").to_str().unwrap(),
+            "--input",
+            &src,
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors() {
     // Unknown subcommand.
     let out = bin().arg("frobnicate").output().expect("run");

@@ -1,0 +1,310 @@
+//! The crash-safety contract of session snapshots, end to end:
+//!
+//! * **Round trip** (property): save → open reproduces the warm session —
+//!   identical match / possible / non-match partition, identical clusters,
+//!   and an identical-corpus rerun performs **zero** key renders, across
+//!   exact/bounded modes, cache on/off and reduction strategies.
+//! * **Corruption matrix** (property): flipping or truncating arbitrary
+//!   bytes of a valid snapshot always yields a typed
+//!   [`SnapshotError`] — never a panic, never a silently misread session.
+//! * **Kill points**: a crash at any step of the atomic write-temp →
+//!   fsync → rename protocol leaves the previous snapshot loadable.
+//! * **Golden fixture**: a committed format-version-1 snapshot still
+//!   loads — the canary that format changes bump the version instead of
+//!   silently breaking old files.
+//!
+//! [`SnapshotError`]: probdedup::model::snapshot::SnapshotError
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup::core::pipeline::{DedupPipeline, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::core::session::DedupSession;
+use probdedup::core::snapshot::staging_path;
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::Thresholds;
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::relation::XRelation;
+use probdedup::model::snapshot::SnapshotError;
+use probdedup::reduction::{KeyPart, KeySpec, WorldSelection};
+use probdedup::textsim::JaroWinkler;
+
+/// The workload: one seeded dirty corpus split into two sources.
+fn sources() -> Vec<XRelation> {
+    let ds = generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 12,
+            sources: 2,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed: 0xD15C,
+            ..DatasetConfig::default()
+        },
+    );
+    ds.relations
+}
+
+fn key() -> KeySpec {
+    KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)])
+}
+
+fn strategies() -> Vec<ReductionStrategy> {
+    vec![
+        ReductionStrategy::Full,
+        ReductionStrategy::SortingAlternatives {
+            spec: key(),
+            window: 4,
+        },
+        ReductionStrategy::BlockingAlternatives { spec: key() },
+        ReductionStrategy::MultipassWorlds {
+            spec: key(),
+            window: 3,
+            selection: WorldSelection::TopK(3),
+        },
+    ]
+}
+
+/// Build the configured front door (exact model or bounded classify-only).
+fn pipeline(strategy: ReductionStrategy, bounded: bool, cache: bool) -> DedupPipeline {
+    let schema = sources()[0].schema().clone();
+    let phi = WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap();
+    let thresholds = Thresholds::new(0.72, 0.82).unwrap();
+    let b = DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .reduction(strategy)
+        .threads(2)
+        .cache_similarities(cache);
+    if bounded {
+        b.classify_only(phi, thresholds).build()
+    } else {
+        b.model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(phi),
+            Arc::new(ExpectedSimilarity),
+            thresholds,
+        )))
+        .build()
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("probdedup-snap-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// One canonical warm session + its snapshot bytes, for the corruption
+/// matrix (built once per property run — the bytes are deterministic).
+fn canonical_snapshot() -> (DedupPipeline, Vec<u8>) {
+    let srcs = sources();
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let strategy = ReductionStrategy::SortingAlternatives {
+        spec: key(),
+        window: 4,
+    };
+    let pipe = pipeline(strategy.clone(), false, true);
+    let mut session = pipe.session();
+    session.run(&refs).unwrap();
+    let bytes = session.to_snapshot_bytes();
+    (pipeline(strategy, false, true), bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// save → open over any strategy/mode reproduces the session: same
+    /// partition, same clusters, and the reopened session's
+    /// identical-corpus rerun renders **zero** keys.
+    #[test]
+    fn snapshot_roundtrip_reproduces_warm_session(
+        strat_idx in 0usize..4,
+        bounded in any::<bool>(),
+        cache in any::<bool>(),
+    ) {
+        let srcs = sources();
+        let refs: Vec<&XRelation> = srcs.iter().collect();
+        let strategy = strategies().swap_remove(strat_idx);
+        let label = format!("{} bounded={bounded} cache={cache}", strategy.name());
+
+        let pipe = pipeline(strategy.clone(), bounded, cache);
+        let mut session = pipe.session();
+        let before = session.run(&refs).unwrap();
+        let renders = session.key_render_count();
+        let bytes = session.to_snapshot_bytes();
+
+        let mut reopened = DedupSession::from_snapshot_bytes(&bytes, &pipe)
+            .unwrap_or_else(|e| panic!("{label}: reopen failed: {e}"));
+        // Opening replays the resident corpus through the restored pools:
+        // zero key renders, and the decision memo answers `result()`
+        // without classifying anything.
+        prop_assert_eq!(reopened.key_render_count(), renders, "{}: open rendered", label);
+        let restored = reopened.result();
+        prop_assert_eq!(&before.decisions, &restored.decisions, "{}: partition", label);
+        prop_assert_eq!(&before.clusters, &restored.clusters, "{}: clusters", label);
+        prop_assert_eq!(&before.source_offsets, &restored.source_offsets, "{}", label);
+
+        // An identical-corpus rerun on the reopened session stays fully
+        // warm — the tentpole's zero-render acceptance criterion.
+        let again = reopened.run(&refs).unwrap();
+        prop_assert_eq!(reopened.key_render_count(), renders, "{}: rerun rendered", label);
+        prop_assert_eq!(&before.decisions, &again.decisions, "{}: rerun partition", label);
+    }
+
+    /// Corruption matrix: flip 1–8 arbitrary bytes of a valid snapshot —
+    /// loading must return a typed error (the checksums catch every flip)
+    /// and must never panic or silently misread.
+    #[test]
+    fn corrupted_snapshot_always_errors(
+        flips in proptest::collection::vec((0usize..1_000_000, 1u8..=255), 1..8),
+    ) {
+        let (pipe, bytes) = canonical_snapshot();
+        let mut corrupt = bytes.clone();
+        let mut changed = false;
+        for (pos, xor) in flips {
+            let pos = pos % corrupt.len();
+            corrupt[pos] ^= xor;
+            changed = true;
+        }
+        prop_assert!(changed);
+        match DedupSession::from_snapshot_bytes(&corrupt, &pipe) {
+            Err(_) => {} // every corruption is a typed error
+            Ok(_) => prop_assert!(false, "corrupted snapshot loaded silently"),
+        }
+    }
+
+    /// Truncation at any length — including 0 and mid-header — is a typed
+    /// error, never a panic.
+    #[test]
+    fn truncated_snapshot_always_errors(cut in 0usize..1_000_000) {
+        let (pipe, bytes) = canonical_snapshot();
+        let cut = cut % bytes.len(); // strictly shorter than the file
+        let truncated = &bytes[..cut];
+        match DedupSession::from_snapshot_bytes(truncated, &pipe) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "truncated snapshot loaded silently"),
+        }
+    }
+}
+
+/// A snapshot opened under a different pipeline configuration is refused
+/// up front with [`SnapshotError::ConfigMismatch`] — not misinterpreted.
+#[test]
+fn mismatched_pipeline_is_refused() {
+    let (_, bytes) = canonical_snapshot();
+    let other = pipeline(ReductionStrategy::Full, false, true);
+    match DedupSession::from_snapshot_bytes(&bytes, &other) {
+        Err(SnapshotError::ConfigMismatch { detail }) => {
+            assert!(detail.contains("reduction"), "{detail}");
+        }
+        Err(other) => panic!("expected ConfigMismatch, got {other}"),
+        Ok(_) => panic!("mismatched configuration accepted"),
+    }
+}
+
+/// An unsupported future format version is refused by its header, before
+/// any payload is interpreted.
+#[test]
+fn future_format_version_is_refused() {
+    let (pipe, mut bytes) = canonical_snapshot();
+    // The version little-endian u32 sits right after the 8-byte magic.
+    bytes[8] = 0xFF;
+    match DedupSession::from_snapshot_bytes(&bytes, &pipe) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_ne!(found, supported);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other}"),
+        Ok(_) => panic!("future version accepted"),
+    }
+}
+
+/// Kill-point matrix for the atomic-write protocol: simulate a crash at
+/// each step and assert the previous snapshot stays loadable.
+///
+/// The protocol is write `<path>.tmp` → fsync → rename. A crash *before*
+/// the rename leaves `<path>` untouched (whatever junk is in the staging
+/// file is invisible); a crash *after* is indistinguishable from success.
+/// We reconstruct each intermediate on-disk state by hand.
+#[test]
+fn crash_mid_save_preserves_previous_snapshot() {
+    let dir = temp_dir("killpoints");
+    let path = dir.join("session.snap");
+    let srcs = sources();
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let strategy = ReductionStrategy::SortingAlternatives {
+        spec: key(),
+        window: 4,
+    };
+    let pipe = pipeline(strategy, false, true);
+    let mut session = pipe.session();
+    session.run(&refs).unwrap();
+    session.save(&path).expect("initial save");
+    let good = std::fs::read(&path).unwrap();
+    let next = session.to_snapshot_bytes();
+
+    // Kill point 1: crashed after creating an empty staging file.
+    // Kill point 2: crashed mid-write (truncated staging contents).
+    // Kill point 3: crashed after the full write but before the rename.
+    let staged: [&[u8]; 3] = [b"", &next[..next.len() / 2], &next];
+    for (i, partial) in staged.iter().enumerate() {
+        std::fs::write(staging_path(&path), partial).unwrap();
+        let reopened = DedupSession::open(&path, &pipe)
+            .unwrap_or_else(|e| panic!("kill point {i}: previous snapshot unloadable: {e}"));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            good,
+            "kill point {i}: snapshot bytes changed without a rename"
+        );
+        assert_eq!(reopened.decided_count(), session.decided_count());
+        // Recovery: the next save replaces the stale staging file and
+        // lands atomically.
+        session.save(&path).expect("save over stale staging file");
+        assert!(!staging_path(&path).exists(), "stale temp left behind");
+        assert_eq!(std::fs::read(&path).unwrap(), next);
+        std::fs::write(&path, &good).unwrap(); // reset for the next kill point
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed format-version-1 fixture still loads and reproduces its
+/// partition — the canary that format changes bump
+/// [`FORMAT_VERSION`](probdedup::model::snapshot::FORMAT_VERSION) instead
+/// of silently reinterpreting old files. Regenerate (after a deliberate
+/// version bump) with:
+/// `cargo test --test snapshot regenerate_golden_fixture -- --ignored`.
+#[test]
+fn golden_fixture_still_loads() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden-v1.snap");
+    let bytes =
+        std::fs::read(path).expect("committed golden fixture tests/fixtures/golden-v1.snap");
+    let (pipe, _) = canonical_snapshot();
+    let reopened =
+        DedupSession::from_snapshot_bytes(&bytes, &pipe).expect("golden fixture must load");
+    // Its decisions agree with a fresh run of the same seeded corpus.
+    let srcs = sources();
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let mut fresh = pipe.session();
+    let fresh_result = fresh.run(&refs).unwrap();
+    let restored = reopened.result();
+    assert_eq!(fresh_result.decisions, restored.decisions);
+    assert_eq!(fresh_result.clusters, restored.clusters);
+}
+
+/// Writes `tests/fixtures/golden-v1.snap`. Ignored in normal runs — the
+/// fixture is committed; rerun explicitly only after a deliberate format
+/// change (which must also bump `FORMAT_VERSION`).
+#[test]
+#[ignore = "regenerates the committed golden fixture"]
+fn regenerate_golden_fixture() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::create_dir_all(dir).unwrap();
+    let (_, bytes) = canonical_snapshot();
+    std::fs::write(format!("{dir}/golden-v1.snap"), bytes).unwrap();
+}
