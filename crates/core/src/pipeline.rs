@@ -253,6 +253,10 @@ pub struct MatchingStats {
     /// Memoized entries evicted to honour a cache capacity ceiling
     /// (always 0 with unbounded caches — the default).
     pub cache_evictions: u64,
+    /// Pair decisions evicted from the session's decision memo to honour
+    /// [`decision_memo_capacity`](DedupPipelineBuilder::decision_memo_capacity)
+    /// (always 0 with an unbounded memo — the default).
+    pub memo_evictions: u64,
 }
 
 impl MatchingStats {
@@ -397,6 +401,7 @@ pub(crate) struct PipelineConfig {
     pub(crate) threads: usize,
     pub(crate) cache_similarities: bool,
     pub(crate) cache_capacity: Option<usize>,
+    pub(crate) memo_capacity: Option<usize>,
 }
 
 /// The configured **one-shot** pipeline. Build with
@@ -425,6 +430,7 @@ pub struct DedupPipelineBuilder {
     threads: usize,
     cache_similarities: bool,
     cache_capacity: Option<usize>,
+    memo_capacity: Option<usize>,
 }
 
 impl DedupPipeline {
@@ -439,6 +445,7 @@ impl DedupPipeline {
             threads: 1,
             cache_similarities: false,
             cache_capacity: None,
+            memo_capacity: None,
         }
     }
 
@@ -458,6 +465,13 @@ impl DedupPipeline {
     /// deduplication.
     pub fn session(&self) -> crate::session::DedupSession {
         crate::session::DedupSession::new(self.config.clone())
+    }
+
+    /// Arity of the relations this pipeline was configured for (the
+    /// number of per-attribute comparators) — lets front doors reject a
+    /// mismatched relation up front instead of failing mid-matching.
+    pub fn arity(&self) -> usize {
+        self.config.comparators.arity()
     }
 }
 
@@ -626,6 +640,22 @@ impl DedupPipelineBuilder {
         self
     }
 
+    /// Bound the session's pair-decision memo (the map of every classified
+    /// pair a [`DedupSession`](crate::session::DedupSession) keeps so
+    /// reruns and overlapping ingests never re-classify). Beyond the
+    /// ceiling, cold entries are evicted second-chance style — pairs in
+    /// the **current candidate set are pinned** (the resident view needs
+    /// them), so the memo may transiently exceed the ceiling when the
+    /// candidate set itself is larger. Evicted pairs that re-enter a later
+    /// candidate set are simply re-classified (deterministic, so results
+    /// are unchanged). Evictions are counted in
+    /// [`MatchingStats::memo_evictions`]. `None` (the default) keeps the
+    /// memo unbounded.
+    pub fn decision_memo_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.memo_capacity = capacity;
+        self
+    }
+
     /// Finish; panics if comparators are missing, or if the decision-model
     /// configuration is not exactly one of `model` / `classify_only`
     /// (programming error, not data error — setting both would silently
@@ -650,6 +680,7 @@ impl DedupPipelineBuilder {
                 threads: self.threads,
                 cache_similarities: self.cache_similarities,
                 cache_capacity: self.cache_capacity,
+                memo_capacity: self.memo_capacity,
             },
         }
     }

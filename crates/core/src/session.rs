@@ -97,7 +97,9 @@
 //! assert_eq!(merged.clusters, vec![vec![0, 1]]); // the duplicate John
 //! ```
 
+use std::collections::VecDeque;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 
 use probdedup_decision::budget::BoundedTier;
 use probdedup_decision::threshold::MatchClass;
@@ -112,7 +114,7 @@ use probdedup_model::snapshot::{
     read_key_pool, read_value_pool, read_xrelation, write_key_pool, write_value_pool,
     write_xrelation, SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter,
 };
-use probdedup_model::util::FxHashMap;
+use probdedup_model::util::{FxHashMap, FxHashSet};
 use probdedup_model::xtuple::XTuple;
 use probdedup_reduction::{
     block_multipass_with_table, multipass_snm_with_table, BlockKeying, CandidatePairs,
@@ -364,6 +366,129 @@ impl WarmReduction {
     }
 }
 
+/// One memoized pair decision with its second-chance reference bit. The
+/// bit is atomic so the session's **read paths** (`&self` — see
+/// [`DedupSession::classify_pair`]) can mark an entry as recently used
+/// without any lock.
+struct MemoSlot {
+    decision: PairDecision,
+    referenced: AtomicBool,
+}
+
+/// The session's pair-decision memo: every classified pair keyed on
+/// `(lo, hi)` row indices, optionally **bounded**.
+///
+/// Under long-running ingest the memo is the one piece of warm state that
+/// grows with *pairs*, not values — SNM windows slide past old rows and
+/// their decisions would otherwise accumulate forever. With a capacity
+/// ([`DedupPipelineBuilder::decision_memo_capacity`](crate::pipeline::DedupPipelineBuilder::decision_memo_capacity))
+/// the memo evicts second-chance (clock) style, the same machinery the
+/// PR 6 bounded `SymbolCache` uses: a FIFO queue of pairs, each with a
+/// reference bit set on every hit; the sweep clears bits on the first
+/// encounter and evicts on the second. Pairs in the **current candidate
+/// set are pinned** — [`DedupSession::result`] needs their decisions — so
+/// the memo can transiently exceed the ceiling when the candidate set
+/// itself is larger. An evicted pair that re-enters a later candidate set
+/// is re-classified (deterministic, so the partition is unchanged).
+struct DecisionMemo {
+    map: FxHashMap<(usize, usize), MemoSlot>,
+    /// Clock order: exactly one entry per memoized pair.
+    queue: VecDeque<(usize, usize)>,
+    evictions: u64,
+}
+
+impl DecisionMemo {
+    fn new() -> Self {
+        Self {
+            map: FxHashMap::default(),
+            queue: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look a pair up, marking it recently used (`&self`: the reference
+    /// bit is atomic, so read paths share this safely).
+    fn get(&self, pair: &(usize, usize)) -> Option<PairDecision> {
+        self.map.get(pair).map(|slot| {
+            slot.referenced.store(true, Relaxed);
+            slot.decision
+        })
+    }
+
+    /// Insert (or refresh) a decision. Returns `true` if the pair was
+    /// already memoized.
+    fn insert(&mut self, decision: PairDecision) -> bool {
+        match self.map.entry(decision.pair) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                slot.decision = decision;
+                slot.referenced.store(true, Relaxed);
+                true
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(MemoSlot {
+                    decision,
+                    referenced: AtomicBool::new(false),
+                });
+                self.queue.push_back(decision.pair);
+                false
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.queue.clear();
+    }
+
+    /// Second-chance sweep down to `capacity`, never evicting `pinned`
+    /// pairs. Bounded at two full rotations: after that every unpinned
+    /// entry has had its bit cleared once and been revisited once, so the
+    /// memo is either at capacity or everything left is pinned.
+    fn enforce(&mut self, capacity: usize, pinned: &FxHashSet<(usize, usize)>) {
+        let mut scans = self.queue.len().saturating_mul(2);
+        while self.map.len() > capacity && scans > 0 {
+            scans -= 1;
+            let Some(pair) = self.queue.pop_front() else {
+                break;
+            };
+            let Some(slot) = self.map.get(&pair) else {
+                continue;
+            };
+            if pinned.contains(&pair) || slot.referenced.swap(false, Relaxed) {
+                self.queue.push_back(pair);
+            } else {
+                self.map.remove(&pair);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Decisions in sorted pair order (the snapshot codec's canonical
+    /// order).
+    fn sorted_decisions(&self) -> Vec<PairDecision> {
+        let mut entries: Vec<PairDecision> = self.map.values().map(|s| s.decision).collect();
+        entries.sort_unstable_by_key(|d| d.pair);
+        entries
+    }
+
+    /// Rebuild from restored decisions (sorted pair order becomes the
+    /// clock order).
+    fn from_decisions(decisions: Vec<PairDecision>) -> Self {
+        let mut memo = Self::new();
+        memo.map.reserve(decisions.len());
+        memo.queue.reserve(decisions.len());
+        for d in decisions {
+            memo.insert(d);
+        }
+        memo
+    }
+}
+
 /// Warm matching state: the value pool, interned tuple mirrors, the
 /// long-lived comparators (caches + sidecars) and the bounded mode's
 /// per-tuple conditioned weights.
@@ -436,8 +561,9 @@ pub struct DedupSession {
     matching: WarmMatching,
     /// Current candidate set over the resident corpus.
     candidates: CandidatePairs,
-    /// Every pair ever classified, keyed on `(lo, hi)` row indices.
-    decided: FxHashMap<(usize, usize), PairDecision>,
+    /// Every pair ever classified, keyed on `(lo, hi)` row indices —
+    /// optionally bounded (see [`DecisionMemo`]).
+    decided: DecisionMemo,
     /// Accumulated bounded-tier counters (match, nonmatch, possible,
     /// exhausted) across the session's classifications.
     tiers: [u64; 4],
@@ -453,7 +579,7 @@ impl DedupSession {
             reduction,
             matching: WarmMatching::new(),
             candidates: CandidatePairs::new(0),
-            decided: FxHashMap::default(),
+            decided: DecisionMemo::new(),
             tiers: [0; 4],
         }
     }
@@ -561,8 +687,9 @@ impl DedupSession {
         let pairs: Vec<(usize, usize)> = self.candidates.pairs().to_vec();
         let decisions = self.classify(&pairs);
         for d in &decisions {
-            self.decided.insert(d.pair, *d);
+            self.decided.insert(*d);
         }
+        self.enforce_memo_capacity();
         Ok(self.snapshot(decisions))
     }
 
@@ -614,13 +741,14 @@ impl DedupSession {
             .pairs()
             .iter()
             .copied()
-            .filter(|p| !self.decided.contains_key(p))
+            .filter(|p| self.decided.get(p).is_none())
             .collect();
         let new_decisions = self.classify(&todo);
         for d in &new_decisions {
-            self.decided.insert(d.pair, *d);
+            self.decided.insert(*d);
         }
         self.candidates = candidates;
+        self.enforce_memo_capacity();
         Ok(IncrementalResult {
             source: source_id,
             new_rows: start..self.rows(),
@@ -638,7 +766,13 @@ impl DedupSession {
             .candidates
             .pairs()
             .iter()
-            .map(|p| self.decided[p])
+            .map(|p| {
+                // Invariant: eviction pins the current candidate set, and
+                // every candidate was classified when it entered it.
+                self.decided
+                    .get(p)
+                    .expect("current candidates are pinned in the decision memo")
+            })
             .collect();
         self.snapshot(decisions)
     }
@@ -663,15 +797,69 @@ impl DedupSession {
             stats.kernel_bound_certs = cmps.bound_certs();
             stats.cache_evictions = cmps.cache_evictions();
         }
+        stats.memo_evictions = self.decided.evictions;
         stats
     }
 
+    /// Classify one resident pair through **`&self`** — the session's
+    /// read path, built for concurrent callers sharing one warm session
+    /// (the serving front door multiplexes readers over it while ingest
+    /// takes the write path).
+    ///
+    /// Answers from the decision memo when the pair was already
+    /// classified; otherwise the pair is classified on the spot through
+    /// the warm state — the sharded similarity/verdict caches use
+    /// interior mutability (lock-striped shards, atomic counters), so
+    /// computed kernel values are still memoized for everyone, but the
+    /// decision memo and the bounded-tier counters are **not** touched
+    /// (those belong to the write path). Row order is irrelevant;
+    /// `None` for out-of-range rows or `i == j`.
+    pub fn classify_pair(&self, i: usize, j: usize) -> Option<PairDecision> {
+        let rows = self.rows();
+        if i == j || i >= rows || j >= rows {
+            return None;
+        }
+        let pair = (i.min(j), i.max(j));
+        if let Some(d) = self.decided.get(&pair) {
+            return Some(d);
+        }
+        let (mut decisions, _tiers) = self.classify_shared(&[pair]);
+        decisions.pop()
+    }
+
+    /// Sweep the decision memo down to the configured capacity (no-op
+    /// when unbounded or under it); the current candidate set is pinned.
+    fn enforce_memo_capacity(&mut self) {
+        let Some(cap) = self.config.memo_capacity else {
+            return;
+        };
+        if self.decided.len() <= cap {
+            return;
+        }
+        let pinned: FxHashSet<(usize, usize)> = self.candidates.pairs().iter().copied().collect();
+        self.decided.enforce(cap, &pinned);
+    }
+
     /// Classify `pairs` through the configured matching mode over the
-    /// warm state, accumulating bounded-tier counters.
+    /// warm state, accumulating bounded-tier counters (the write path;
+    /// [`classify_shared`](Self::classify_shared) is the `&self` core).
     fn classify(&mut self, pairs: &[(usize, usize)]) -> Vec<PairDecision> {
+        let (decisions, tiers) = self.classify_shared(pairs);
+        for (acc, t) in self.tiers.iter_mut().zip(tiers) {
+            *acc += t;
+        }
+        decisions
+    }
+
+    /// The matching stage over the warm state through `&self`: safe for
+    /// concurrent readers (the caches are sharded with interior
+    /// mutability). Returns the decisions plus this call's bounded-tier
+    /// counts — callers on the write path accumulate them, read paths
+    /// drop them.
+    fn classify_shared(&self, pairs: &[(usize, usize)]) -> (Vec<PairDecision>, [u64; 4]) {
         let rel = match &self.relation {
             Some(rel) => rel,
-            None => return Vec::new(),
+            None => return (Vec::new(), [0; 4]),
         };
         let tuples = rel.xtuples();
         let interned = self
@@ -701,10 +889,7 @@ impl DedupSession {
                     }] += 1;
                     decisions.push(d);
                 }
-                for (acc, t) in self.tiers.iter_mut().zip(tiers) {
-                    *acc += t;
-                }
-                decisions
+                (decisions, tiers)
             }
             None => {
                 // Invariant, not input validation: the pipeline builder
@@ -715,14 +900,15 @@ impl DedupSession {
                     .model
                     .as_ref()
                     .expect("exact matching requires a decision model");
-                classify_pairs_exact(
+                let decisions = classify_pairs_exact(
                     model.as_ref(),
                     &self.config.comparators,
                     tuples,
                     interned,
                     pairs,
                     self.config.threads,
-                )
+                );
+                (decisions, [0; 4])
             }
         }
     }
@@ -827,10 +1013,9 @@ impl DedupSession {
         snap.section(TAG_REDUCTION, w);
 
         let mut w = SectionWriter::new();
-        let mut entries: Vec<&PairDecision> = self.decided.values().collect();
-        entries.sort_unstable_by_key(|d| d.pair);
+        let entries = self.decided.sorted_decisions();
         w.put_len(entries.len());
-        for d in entries {
+        for d in &entries {
             w.put_u64(d.pair.0 as u64);
             w.put_u64(d.pair.1 as u64);
             w.put_f64(d.similarity);
@@ -1126,7 +1311,12 @@ impl DedupSession {
         self.reduction = reduction;
         self.matching = matching;
         self.candidates = candidates;
-        self.decided = decided;
+        // Sorted pair order becomes the restored memo's clock order; a
+        // configured capacity ceiling is re-applied on the next
+        // run/ingest (the restored candidate set stays pinned).
+        let mut sorted: Vec<PairDecision> = decided.into_values().collect();
+        sorted.sort_unstable_by_key(|d| d.pair);
+        self.decided = DecisionMemo::from_decisions(sorted);
         self.tiers = tiers;
         Ok(())
     }
@@ -1456,6 +1646,101 @@ mod tests {
         let reopened = DedupSession::from_snapshot_bytes(&bytes, &pipeline).unwrap();
         assert!(reopened.is_empty());
         assert_eq!(reopened.decided_count(), 0);
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        // The serving front door shares one warm session across reader
+        // threads (RwLock<DedupSession>); this is the compile-time
+        // certificate that everything inside is thread-safe.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DedupSession>();
+    }
+
+    #[test]
+    fn classify_pair_reads_match_write_path() {
+        let sources = corpus();
+        let refs: Vec<&XRelation> = sources.iter().collect();
+        for cache in [false, true] {
+            let mut session = builder(ReductionStrategy::Full, cache).session();
+            let result = session.run(&refs).unwrap();
+            let session = &session; // read path only from here on
+            for d in &result.decisions {
+                let q = session.classify_pair(d.pair.0, d.pair.1).unwrap();
+                assert_eq!(q.class, d.class, "cache {cache}");
+                assert!((q.similarity - d.similarity).abs() < 1e-12);
+                // Row order is irrelevant.
+                let swapped = session.classify_pair(d.pair.1, d.pair.0).unwrap();
+                assert_eq!(swapped.pair, d.pair);
+            }
+            assert!(session.classify_pair(0, 0).is_none());
+            assert!(session.classify_pair(0, session.rows()).is_none());
+        }
+    }
+
+    #[test]
+    fn classify_pair_computes_undecided_pairs_readonly() {
+        // A windowed strategy leaves some pairs out of the candidate set;
+        // the read path classifies them on the fly without mutating the
+        // memo, and agrees with what full comparison decides.
+        let sources = corpus();
+        let refs: Vec<&XRelation> = sources.iter().collect();
+        let spec = KeySpec::paper_example(0, 1);
+        let mut session = builder(
+            ReductionStrategy::SortingAlternatives { spec, window: 2 },
+            true,
+        )
+        .session();
+        session.run(&refs).unwrap();
+        let full = builder(ReductionStrategy::Full, false).run(&refs).unwrap();
+        let decided_before = session.decided_count();
+        for d in &full.decisions {
+            let q = session.classify_pair(d.pair.0, d.pair.1).unwrap();
+            assert_eq!(q.class, d.class, "pair {:?}", d.pair);
+        }
+        assert_eq!(
+            session.decided_count(),
+            decided_before,
+            "read path must not grow the decision memo"
+        );
+    }
+
+    #[test]
+    fn bounded_memo_evicts_but_partition_survives() {
+        let sources = corpus();
+        let spec = KeySpec::paper_example(0, 1);
+        let strategy = ReductionStrategy::SortingAlternatives { spec, window: 2 };
+        let unbounded = {
+            let mut s = builder(strategy.clone(), true).session();
+            for src in &sources {
+                s.ingest(src).unwrap();
+            }
+            s.result()
+        };
+        let mut bounded = DedupPipeline::builder()
+            .comparators(AttributeComparators::uniform(
+                &schema(),
+                NormalizedHamming::new(),
+            ))
+            .model(model())
+            .reduction(strategy)
+            .cache_similarities(true)
+            .decision_memo_capacity(Some(2))
+            .build_session();
+        for src in &sources {
+            bounded.ingest(src).unwrap();
+        }
+        let merged = bounded.result();
+        assert_eq!(unbounded.decisions, merged.decisions);
+        assert_eq!(unbounded.clusters, merged.clusters);
+        // The ceiling is honoured up to pinned current candidates.
+        assert!(bounded.decided_count() <= bounded.candidate_count().max(2));
+        let stats = bounded.stats();
+        assert!(
+            stats.memo_evictions > 0,
+            "expected evictions with capacity 2, memo holds {}",
+            bounded.decided_count()
+        );
     }
 
     #[test]

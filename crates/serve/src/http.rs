@@ -1,0 +1,292 @@
+//! A deliberately small HTTP/1.1 implementation over [`std::net`].
+//!
+//! The offline-shims policy (no crates.io) rules out hyper/axum; the
+//! daemon's protocol needs are tiny — method + path + query, a few
+//! headers, `Content-Length` bodies, keep-alive — so this module
+//! hand-rolls exactly that and nothing more. Every parse failure is a
+//! typed [`HttpError`] carrying the status code the connection loop
+//! should answer with; nothing panics on wire input.
+//!
+//! Out of scope on purpose: chunked transfer encoding, multipart,
+//! compression, TLS, percent-decoding (session names are restricted to
+//! URL-safe characters by the router, and `.pxr` bodies are plain text).
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + each header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body (a `.pxr` corpus posted to `ingest`).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// A parse/protocol failure with the HTTP status the server answers.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or length (→ 400).
+    BadRequest(&'static str),
+    /// Body larger than [`MAX_BODY`] (→ 413).
+    TooLarge,
+    /// The socket failed mid-request.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status code this failure is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::BadRequest(_) => 400,
+            Self::TooLarge => 413,
+            Self::Io(_) => 500,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> String {
+        match self {
+            Self::BadRequest(m) => (*m).to_string(),
+            Self::TooLarge => format!("body exceeds {MAX_BODY} bytes"),
+            Self::Io(e) => e.to_string(),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// The path component, query string stripped (`/sessions/a/query`).
+    pub path: String,
+    /// Parsed `k=v` query pairs, in order (no percent-decoding).
+    pub query: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one line up to CRLF (or bare LF), enforcing [`MAX_LINE`]. Returns
+/// `None` on clean EOF before any byte (idle keep-alive close).
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated request line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 request line"));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::BadRequest("request line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Parse one request off the connection. `Ok(None)` means the peer closed
+/// cleanly between requests (the keep-alive loop's exit).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::BadRequest("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?.ok_or(HttpError::BadRequest("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest("malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length"))?;
+            if content_length > MAX_BODY {
+                return Err(HttpError::TooLarge);
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest("chunked bodies are not supported"));
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Some(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+/// A response about to be written.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error body `{"error": detail}`.
+    pub fn error(status: u16, detail: &str) -> Self {
+        Self::json(status, format!("{{\"error\": {}}}\n", json_string(detail)))
+    }
+}
+
+/// The reason phrase for the handful of statuses the daemon uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serialize `response` onto the stream (one write syscall via a local
+/// buffer; `Connection: close` is advertised when the loop will close).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(response.body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            response.status,
+            reason(response.status),
+            response.content_type,
+            response.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(&response.body);
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// JSON-escape `s` into a quoted string literal (the subset of escapes
+/// the daemon's payloads can contain: quotes, backslash, control bytes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn reason_phrases_cover_used_statuses() {
+        for status in [200, 400, 404, 405, 409, 413, 503, 500] {
+            assert!(!reason(status).is_empty());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # probdedup-serve — the serving front door
+//!
+//! A std-only HTTP/1.1 daemon that keeps warm
+//! [`DedupSession`](probdedup_core::session::DedupSession)s resident and
+//! exposes them to clients over named sessions: `dedup`, `ingest`,
+//! `query`, `partition` and `snapshot` endpoints, plus `/stats`,
+//! `/health`, `/sessions` and `/shutdown`. No async runtime and no HTTP
+//! crate — the build environment is offline, and the protocol surface is
+//! small enough that [`http`] hand-rolls it over
+//! [`std::net::TcpListener`] with a thread per connection.
+//!
+//! ## Concurrency model
+//!
+//! Each named session is an `Arc<RwLock<DedupSession>>` inside a
+//! registry. `query` and `partition` are **read** endpoints: they take
+//! the session's read lock and classify through
+//! [`classify_pair`](probdedup_core::session::DedupSession::classify_pair)
+//! / [`result`](probdedup_core::session::DedupSession::result), both
+//! `&self` — concurrent readers share the warm sharded caches (interior
+//! mutability: lock-striped shards, atomic counters). `ingest`, `dedup`
+//! and `snapshot`-restore take the write lock. A reader therefore
+//! observes either the pre-ingest or the post-ingest partition, never a
+//! torn one.
+//!
+//! ## Snapshot lifecycle
+//!
+//! With a snapshot directory configured, boot scans it for `NAME.snap`
+//! files and re-opens each as warm session `NAME` (a corrupt or
+//! config-mismatched file fails the boot loudly — the daemon never
+//! silently discards persisted state). Sessions autosave on graceful
+//! shutdown (`/shutdown`, SIGTERM, SIGINT) and on a configurable
+//! interval, through the same atomic temp+fsync+rename writes the
+//! snapshot codec always uses.
+//!
+//! ```
+//! use probdedup_serve::server::{ServeConfig, Server};
+//! use probdedup_serve::client::Client;
+//!
+//! // A default pipeline over 2-attribute relations, bound to an
+//! // ephemeral port:
+//! let config = ServeConfig::new("127.0.0.1:0", ServeConfig::default_pipeline(2));
+//! let running = Server::bind(config).unwrap().spawn();
+//! let client = Client::new(running.addr());
+//!
+//! let (status, body) = client.get("/health").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"status\": \"ok\""));
+//!
+//! let summary = running.shutdown().unwrap();
+//! assert_eq!(summary.requests, 1);
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::Client;
+pub use server::{RunningServer, ServeConfig, ServeError, ServeSummary, Server};

@@ -1,0 +1,943 @@
+//! The daemon: named warm sessions behind a thread-per-connection
+//! HTTP/1.1 accept loop, with snapshot autoload/autosave and request
+//! accounting. See the crate docs for the concurrency model and the
+//! snapshot lifecycle; the endpoint table lives in `ARCHITECTURE.md`.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+use probdedup_core::pipeline::{DedupPipeline, DedupResult, MatchingStats, ReductionStrategy};
+use probdedup_core::prepare::Preparation;
+use probdedup_core::session::DedupSession;
+use probdedup_decision::combine::WeightedSum;
+use probdedup_decision::derive_sim::ExpectedSimilarity;
+use probdedup_decision::threshold::{MatchClass, Thresholds};
+use probdedup_decision::xmodel::SimilarityBasedModel;
+use probdedup_matching::vector::AttributeComparators;
+use probdedup_model::format::parse_xrelation;
+use probdedup_model::schema::Schema;
+use probdedup_model::snapshot::SnapshotError;
+use probdedup_reduction::{KeyPart, KeySpec};
+use probdedup_textsim::JaroWinkler;
+
+use crate::http::{json_string, read_request, write_response, HttpError, Request, Response};
+
+/// How a server failed to start or persist.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound.
+    Bind(String, std::io::Error),
+    /// The snapshot directory could not be created or scanned.
+    SnapshotDir(PathBuf, std::io::Error),
+    /// A snapshot in the autoload directory is corrupt or was written by
+    /// a different pipeline configuration — boot fails loudly rather
+    /// than silently dropping persisted state.
+    Snapshot(PathBuf, SnapshotError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Bind(addr, e) => write!(f, "cannot bind {addr}: {e}"),
+            Self::SnapshotDir(p, e) => write!(f, "snapshot dir {}: {e}", p.display()),
+            Self::Snapshot(p, e) => write!(f, "snapshot {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Configuration of one daemon instance.
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:7878`; port 0 for an ephemeral port).
+    pub addr: String,
+    /// The pipeline every session is built from (also validates the
+    /// arity of posted relations).
+    pub pipeline: DedupPipeline,
+    /// Directory for `NAME.snap` files: autoloaded on boot, autosaved on
+    /// shutdown/interval and by `POST .../snapshot`. `None` disables
+    /// persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Autosave every this often (requires `snapshot_dir`).
+    pub autosave_interval: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// A daemon on `addr` over `pipeline`, without persistence.
+    pub fn new(addr: impl Into<String>, pipeline: DedupPipeline) -> Self {
+        Self {
+            addr: addr.into(),
+            pipeline,
+            snapshot_dir: None,
+            autosave_interval: None,
+        }
+    }
+
+    /// Enable snapshot autoload/autosave under `dir`.
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Autosave all sessions every `interval`.
+    pub fn autosave_interval(mut self, interval: Duration) -> Self {
+        self.autosave_interval = Some(interval);
+        self
+    }
+
+    /// The CLI-equivalent default pipeline over `arity`-attribute
+    /// relations: standard preparation, Jaro-Winkler comparators,
+    /// similarity-based decision model (λ 0.72, μ 0.82, first attribute
+    /// weighted 3×), sorted-neighborhood reduction over a prefix key,
+    /// warm similarity caches on. Attribute *names* never matter to the
+    /// pipeline — only arity — so sessions accept any text relation of
+    /// this width.
+    pub fn default_pipeline(arity: usize) -> DedupPipeline {
+        let arity = arity.max(1);
+        let schema = Schema::new((0..arity).map(|i| format!("attr{i}")));
+        let mut key_parts = vec![KeyPart::prefix(0, 3)];
+        if arity >= 2 {
+            key_parts.push(KeyPart::prefix(arity.saturating_sub(2).max(1), 2));
+        }
+        let weights: Vec<f64> = std::iter::once(3.0)
+            .chain(std::iter::repeat_n(1.0, arity - 1))
+            .collect();
+        DedupPipeline::builder()
+            .preparation(Preparation::standard_all(arity))
+            .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+            .model(Arc::new(SimilarityBasedModel::new(
+                Arc::new(WeightedSum::normalized(weights).expect("weights are positive")),
+                Arc::new(ExpectedSimilarity),
+                Thresholds::new(0.72, 0.82).expect("static thresholds are ordered"),
+            )))
+            .reduction(ReductionStrategy::SortingAlternatives {
+                spec: KeySpec::new(key_parts),
+                window: 6,
+            })
+            .threads(4)
+            .cache_similarities(true)
+            .build()
+    }
+}
+
+/// What one finished server run did (returned by [`Server::run`] /
+/// [`RunningServer::shutdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests handled over the server's lifetime.
+    pub requests: u64,
+    /// Sessions persisted by the shutdown autosave.
+    pub sessions_saved: usize,
+}
+
+/// Counters the session carried when it was opened/created — `/stats`
+/// reports deltas against these, so a freshly restored session showing
+/// `key_renders_since_open: 0` after a warm replay is the daemon-level
+/// reuse certificate.
+struct Baseline {
+    stats: MatchingStats,
+    key_renders: u64,
+}
+
+/// One named resident session.
+struct SessionEntry {
+    session: RwLock<DedupSession>,
+    opened: Instant,
+    /// Restored from a snapshot at boot (vs. created by a request).
+    restored: bool,
+    base: Baseline,
+}
+
+impl SessionEntry {
+    fn new(session: DedupSession, restored: bool) -> Self {
+        let base = Baseline {
+            stats: session.stats(),
+            key_renders: session.key_render_count(),
+        };
+        Self {
+            session: RwLock::new(session),
+            opened: Instant::now(),
+            restored,
+            base,
+        }
+    }
+}
+
+/// Per-endpoint request counters (reported by `/stats`).
+#[derive(Default)]
+struct EndpointCounters {
+    dedup: AtomicU64,
+    ingest: AtomicU64,
+    query: AtomicU64,
+    partition: AtomicU64,
+    snapshot: AtomicU64,
+}
+
+struct ServerState {
+    pipeline: DedupPipeline,
+    snapshot_dir: Option<PathBuf>,
+    sessions: RwLock<BTreeMap<String, Arc<SessionEntry>>>,
+    started: Instant,
+    shutting_down: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    pairs_classified: AtomicU64,
+    autosaves: AtomicU64,
+    endpoints: EndpointCounters,
+}
+
+/// Read-lock tolerating poisoning: a panicking handler thread must not
+/// wedge every later request (the session data itself is only mutated
+/// under panic-free pure-Rust code paths).
+fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Session names double as snapshot file stems: URL- and filesystem-safe,
+/// no dotfiles / path tricks.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn class_name(class: MatchClass) -> &'static str {
+    match class {
+        MatchClass::Match => "match",
+        MatchClass::Possible => "possible",
+        MatchClass::NonMatch => "non-match",
+    }
+}
+
+fn clusters_json(clusters: &[Vec<usize>]) -> String {
+    let inner: Vec<String> = clusters
+        .iter()
+        .map(|c| {
+            let rows: Vec<String> = c.iter().map(usize::to_string).collect();
+            format!("[{}]", rows.join(", "))
+        })
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
+impl ServerState {
+    fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn snapshot_path(&self, name: &str) -> Option<PathBuf> {
+        self.snapshot_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.snap")))
+    }
+
+    /// Get or create the named session (creation is what `ingest` and
+    /// `dedup` do on first contact; read endpoints 404 instead).
+    fn entry_or_create(&self, name: &str) -> Arc<SessionEntry> {
+        if let Some(e) = rlock(&self.sessions).get(name) {
+            return e.clone();
+        }
+        wlock(&self.sessions)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(SessionEntry::new(self.pipeline.session(), false)))
+            .clone()
+    }
+
+    fn entry(&self, name: &str) -> Option<Arc<SessionEntry>> {
+        rlock(&self.sessions).get(name).cloned()
+    }
+
+    /// Persist every non-empty session to the snapshot directory.
+    /// Returns how many were saved; failures are reported but do not
+    /// abort the sweep (one bad disk sector must not lose the rest).
+    fn save_all(&self) -> usize {
+        let Some(_) = self.snapshot_dir else { return 0 };
+        let entries: Vec<(String, Arc<SessionEntry>)> = rlock(&self.sessions)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut saved = 0;
+        for (name, entry) in entries {
+            let path = self
+                .snapshot_path(&name)
+                .expect("snapshot_dir checked above");
+            let session = rlock(&entry.session);
+            if session.is_empty() {
+                continue;
+            }
+            match session.save(&path) {
+                Ok(()) => saved += 1,
+                Err(e) => eprintln!("probdedup-serve: autosave {}: {e}", path.display()),
+            }
+        }
+        saved
+    }
+
+    /// Flip into shutdown and unblock the accept loop with a self-connect
+    /// (the listener is blocking; without a nudge it would only notice on
+    /// the next external connection).
+    fn begin_shutdown(&self, addr: SocketAddr) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request handlers
+// ---------------------------------------------------------------------
+
+fn handle_request(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => handle_health(state),
+        ("GET", "/stats") => handle_stats(state),
+        ("GET", "/sessions") => handle_sessions(state),
+        ("POST", "/shutdown") => {
+            Response::json(200, "{\"status\": \"shutting down\"}\n".to_string())
+        }
+        (_, "/health" | "/stats" | "/sessions" | "/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => handle_session_route(state, req),
+    }
+}
+
+fn handle_health(state: &ServerState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"sessions\": {}, \"uptime_secs\": {:.3}}}\n",
+            rlock(&state.sessions).len(),
+            state.uptime_secs(),
+        ),
+    )
+}
+
+fn handle_sessions(state: &ServerState) -> Response {
+    let rows: Vec<String> = rlock(&state.sessions)
+        .iter()
+        .map(|(name, e)| {
+            let s = rlock(&e.session);
+            format!(
+                "{{\"name\": {}, \"rows\": {}, \"sources\": {}, \"restored\": {}}}",
+                json_string(name),
+                s.rows(),
+                s.source_count(),
+                e.restored,
+            )
+        })
+        .collect();
+    Response::json(200, format!("{{\"sessions\": [{}]}}\n", rows.join(", ")))
+}
+
+fn handle_stats(state: &ServerState) -> Response {
+    let session_rows: Vec<String> = rlock(&state.sessions)
+        .iter()
+        .map(|(name, e)| (name.clone(), e.clone()))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|(name, e)| {
+            let s = rlock(&e.session);
+            let stats = s.stats();
+            format!(
+                concat!(
+                    "{{\"name\": {}, \"rows\": {}, \"sources\": {}, \"candidates\": {}, ",
+                    "\"decided_pairs\": {}, \"interned_values\": {}, \"uptime_secs\": {:.3}, ",
+                    "\"restored\": {}, \"key_renders\": {}, \"key_renders_since_open\": {}, ",
+                    "\"cache_hits_since_open\": {}, \"cache_misses_since_open\": {}, ",
+                    "\"cache_evictions_since_open\": {}, \"memo_evictions_since_open\": {}}}"
+                ),
+                json_string(&name),
+                s.rows(),
+                s.source_count(),
+                s.candidate_count(),
+                s.decided_count(),
+                s.interned_value_count(),
+                e.opened.elapsed().as_secs_f64(),
+                e.restored,
+                s.key_render_count(),
+                s.key_render_count() - e.base.key_renders,
+                stats.cache_hits - e.base.stats.cache_hits,
+                stats.cache_misses - e.base.stats.cache_misses,
+                stats.cache_evictions - e.base.stats.cache_evictions,
+                stats.memo_evictions - e.base.stats.memo_evictions,
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            concat!(
+                "{{\"status\": \"ok\", \"uptime_secs\": {:.3}, \"requests\": {}, ",
+                "\"errors\": {}, \"pairs_classified\": {}, \"autosaves\": {}, ",
+                "\"requests_dedup\": {}, \"requests_ingest\": {}, \"requests_query\": {}, ",
+                "\"requests_partition\": {}, \"requests_snapshot\": {}, ",
+                "\"sessions\": [{}]}}\n"
+            ),
+            state.uptime_secs(),
+            state.requests.load(Ordering::Relaxed),
+            state.errors.load(Ordering::Relaxed),
+            state.pairs_classified.load(Ordering::Relaxed),
+            state.autosaves.load(Ordering::Relaxed),
+            state.endpoints.dedup.load(Ordering::Relaxed),
+            state.endpoints.ingest.load(Ordering::Relaxed),
+            state.endpoints.query.load(Ordering::Relaxed),
+            state.endpoints.partition.load(Ordering::Relaxed),
+            state.endpoints.snapshot.load(Ordering::Relaxed),
+            session_rows.join(", "),
+        ),
+    )
+}
+
+/// Routes of the shape `/sessions/{name}/{action}`.
+fn handle_session_route(state: &ServerState, req: &Request) -> Response {
+    let Some(rest) = req.path.strip_prefix("/sessions/") else {
+        return Response::error(404, "no such endpoint");
+    };
+    let Some((name, action)) = rest.split_once('/') else {
+        return Response::error(404, "expected /sessions/{name}/{action}");
+    };
+    if !valid_name(name) {
+        return Response::error(
+            400,
+            "session names are 1-64 chars of [A-Za-z0-9._-], starting alphanumeric",
+        );
+    }
+    match (req.method.as_str(), action) {
+        ("POST", "ingest") => handle_ingest(state, name, &req.body),
+        ("POST", "dedup") => handle_dedup(state, name, &req.body),
+        ("GET", "query") => handle_query(state, name, req),
+        ("GET", "partition") => handle_partition(state, name, req),
+        ("POST", "snapshot") => handle_snapshot(state, name),
+        (_, "ingest" | "dedup" | "query" | "partition" | "snapshot") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "unknown session action"),
+    }
+}
+
+/// Parse a `.pxr` body and check its arity against the pipeline.
+fn parse_body_relation(
+    state: &ServerState,
+    body: &[u8],
+) -> Result<probdedup_model::relation::XRelation, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "body must be UTF-8 .pxr text"))?;
+    let rel = parse_xrelation(text).map_err(|e| Response::error(400, &format!("parse: {e}")))?;
+    let want = state.pipeline.arity();
+    if rel.schema().arity() != want {
+        return Err(Response::error(
+            409,
+            &format!(
+                "relation arity {} does not match the serving pipeline arity {want}",
+                rel.schema().arity()
+            ),
+        ));
+    }
+    Ok(rel)
+}
+
+fn handle_ingest(state: &ServerState, name: &str, body: &[u8]) -> Response {
+    state.endpoints.ingest.fetch_add(1, Ordering::Relaxed);
+    let rel = match parse_body_relation(state, body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let entry = state.entry_or_create(name);
+    let mut session = wlock(&entry.session);
+    match session.ingest(&rel) {
+        Ok(step) => {
+            state
+                .pairs_classified
+                .fetch_add(step.new_decisions.len() as u64, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    concat!(
+                        "{{\"session\": {}, \"rows_added\": {}, \"new_pairs\": {}, ",
+                        "\"new_matches\": {}, \"candidates\": {}, \"rows\": {}, ",
+                        "\"decided_pairs\": {}}}\n"
+                    ),
+                    json_string(name),
+                    step.rows_added(),
+                    step.new_decisions.len(),
+                    step.matches().count(),
+                    step.candidates,
+                    session.rows(),
+                    session.decided_count(),
+                ),
+            )
+        }
+        Err(e) => Response::error(409, &format!("ingest: {e}")),
+    }
+}
+
+fn result_json(name: &str, result: &DedupResult, full: bool) -> String {
+    let decisions = if full {
+        let rows: Vec<String> = result
+            .decisions
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"i\": {}, \"j\": {}, \"similarity\": {:.6}, \"class\": \"{}\"}}",
+                    d.pair.0,
+                    d.pair.1,
+                    d.similarity,
+                    class_name(d.class),
+                )
+            })
+            .collect();
+        format!(", \"decisions\": [{}]", rows.join(", "))
+    } else {
+        String::new()
+    };
+    format!(
+        concat!(
+            "{{\"session\": {}, \"rows\": {}, \"candidates\": {}, \"matches\": {}, ",
+            "\"possible\": {}, \"clusters\": {}, \"summary\": {}{}}}\n"
+        ),
+        json_string(name),
+        result.relation.len(),
+        result.candidates,
+        result.matches().count(),
+        result.possible_matches().count(),
+        clusters_json(&result.clusters),
+        json_string(&result.summary()),
+        decisions,
+    )
+}
+
+/// `POST /sessions/{name}/dedup`: (re)run the session over the posted
+/// relation as the whole corpus — warm state carries over, so re-posting
+/// an unchanged corpus replays from the caches (zero key renders).
+fn handle_dedup(state: &ServerState, name: &str, body: &[u8]) -> Response {
+    state.endpoints.dedup.fetch_add(1, Ordering::Relaxed);
+    let rel = match parse_body_relation(state, body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let entry = state.entry_or_create(name);
+    let mut session = wlock(&entry.session);
+    match session.run(&[&rel]) {
+        Ok(result) => {
+            state
+                .pairs_classified
+                .fetch_add(result.decisions.len() as u64, Ordering::Relaxed);
+            Response::json(200, result_json(name, &result, false))
+        }
+        Err(e) => Response::error(409, &format!("dedup: {e}")),
+    }
+}
+
+/// `GET /sessions/{name}/query?i=..&j=..`: classify one resident pair
+/// through the session's `&self` read path — concurrent with other
+/// readers and blocked only by an in-flight ingest.
+fn handle_query(state: &ServerState, name: &str, req: &Request) -> Response {
+    state.endpoints.query.fetch_add(1, Ordering::Relaxed);
+    let Some(entry) = state.entry(name) else {
+        return Response::error(404, "no such session");
+    };
+    let parse = |key: &str| -> Result<usize, Response> {
+        req.query_value(key)
+            .ok_or_else(|| Response::error(400, &format!("query needs ?{key}=ROW")))?
+            .parse()
+            .map_err(|_| Response::error(400, &format!("?{key} must be a row index")))
+    };
+    let (i, j) = match (parse("i"), parse("j")) {
+        (Ok(i), Ok(j)) => (i, j),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let session = rlock(&entry.session);
+    match session.classify_pair(i, j) {
+        Some(d) => {
+            state.pairs_classified.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"session\": {}, \"i\": {}, \"j\": {}, \"similarity\": {:.6}, \"class\": \"{}\"}}\n",
+                    json_string(name),
+                    d.pair.0,
+                    d.pair.1,
+                    d.similarity,
+                    class_name(d.class),
+                ),
+            )
+        }
+        None => Response::error(
+            400,
+            &format!(
+                "rows ({i}, {j}) out of range for {} resident rows",
+                session.rows()
+            ),
+        ),
+    }
+}
+
+/// `GET /sessions/{name}/partition[?full=1]`: the merged resident view.
+fn handle_partition(state: &ServerState, name: &str, req: &Request) -> Response {
+    state.endpoints.partition.fetch_add(1, Ordering::Relaxed);
+    let Some(entry) = state.entry(name) else {
+        return Response::error(404, "no such session");
+    };
+    let full = req
+        .query_value("full")
+        .is_some_and(|v| v == "1" || v == "true");
+    let session = rlock(&entry.session);
+    let result = session.result();
+    Response::json(200, result_json(name, &result, full))
+}
+
+fn handle_snapshot(state: &ServerState, name: &str) -> Response {
+    state.endpoints.snapshot.fetch_add(1, Ordering::Relaxed);
+    let Some(entry) = state.entry(name) else {
+        return Response::error(404, "no such session");
+    };
+    let Some(path) = state.snapshot_path(name) else {
+        return Response::error(400, "no snapshot directory configured (--snapshot-dir)");
+    };
+    let session = rlock(&entry.session);
+    match session.save(&path) {
+        Ok(()) => {
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            Response::json(
+                200,
+                format!(
+                    "{{\"session\": {}, \"path\": {}, \"bytes\": {}, \"rows\": {}, \"decided_pairs\": {}}}\n",
+                    json_string(name),
+                    json_string(&path.display().to_string()),
+                    bytes,
+                    session.rows(),
+                    session.decided_count(),
+                ),
+            )
+        }
+        Err(e) => Response::error(500, &format!("snapshot: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection loop
+// ---------------------------------------------------------------------
+
+fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut peer = stream.try_clone();
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                if let Ok(ref mut out) = peer {
+                    let resp = Response::error(e.status(), &e.detail());
+                    let _ = write_response(out, &resp, false);
+                }
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+
+        let shutdown_request = req.method == "POST" && req.path == "/shutdown";
+        let resp = if state.shutting_down.load(Ordering::SeqCst) && !shutdown_request {
+            Response::error(503, "shutting down")
+        } else {
+            handle_request(&state, &req)
+        };
+        if resp.status >= 400 {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let keep = req.keep_alive && !shutdown_request;
+        let Ok(ref mut out) = peer else { return };
+        if write_response(out, &resp, keep).is_err() {
+            return;
+        }
+        if shutdown_request {
+            // Respond first, then trip the accept loop.
+            if let Ok(addr) = out.local_addr() {
+                state.begin_shutdown(addr);
+            }
+            return;
+        }
+        if !keep {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signals (unix): a raw libc `signal` registration — std links libc
+// already, and the handler only flips an atomic, which is async-signal
+// safe. The watcher thread translates the flag into a graceful shutdown.
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn pending() -> bool {
+        SIGNALED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A bound (not yet serving) daemon. [`Server::bind`] performs the
+/// snapshot autoload; [`Server::run`] blocks on the accept loop until a
+/// graceful shutdown, [`Server::spawn`] does the same on a background
+/// thread.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    autosave_interval: Option<Duration>,
+}
+
+/// A server running on a background thread (see [`Server::spawn`]).
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl RunningServer {
+    /// The bound address (the actual port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful shutdown and wait for the accept loop to
+    /// drain and autosave.
+    pub fn shutdown(self) -> std::thread::Result<ServeSummary> {
+        self.state.begin_shutdown(self.addr);
+        self.thread.join()
+    }
+}
+
+impl Server {
+    /// Bind the listener and autoload any snapshots in the configured
+    /// directory. Fails loudly on an unbindable address or a corrupt /
+    /// config-mismatched snapshot.
+    pub fn bind(config: ServeConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Bind(config.addr.clone(), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind(config.addr.clone(), e))?;
+
+        let mut sessions = BTreeMap::new();
+        if let Some(dir) = &config.snapshot_dir {
+            std::fs::create_dir_all(dir).map_err(|e| ServeError::SnapshotDir(dir.clone(), e))?;
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| ServeError::SnapshotDir(dir.clone(), e))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "snap"))
+                .collect();
+            paths.sort();
+            for path in paths {
+                let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                    continue;
+                };
+                if !valid_name(name) {
+                    continue;
+                }
+                let session = DedupSession::open(&path, &config.pipeline)
+                    .map_err(|e| ServeError::Snapshot(path.clone(), e))?;
+                sessions.insert(name.to_string(), Arc::new(SessionEntry::new(session, true)));
+            }
+        }
+
+        let state = Arc::new(ServerState {
+            pipeline: config.pipeline,
+            snapshot_dir: config.snapshot_dir,
+            sessions: RwLock::new(sessions),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            pairs_classified: AtomicU64::new(0),
+            autosaves: AtomicU64::new(0),
+            endpoints: EndpointCounters::default(),
+        });
+        Ok(Self {
+            listener,
+            addr,
+            state,
+            autosave_interval: config.autosave_interval,
+        })
+    }
+
+    /// The bound address (the actual port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Names of the sessions restored by the boot autoload.
+    pub fn restored_sessions(&self) -> Vec<String> {
+        rlock(&self.state.sessions).keys().cloned().collect()
+    }
+
+    /// Serve until graceful shutdown (`POST /shutdown`, SIGTERM or
+    /// SIGINT), then autosave every session and return the summary.
+    pub fn run(self) -> ServeSummary {
+        signals::install();
+        let state = self.state.clone();
+        let addr = self.addr;
+
+        // Watcher: translate a signal into the same graceful path as
+        // POST /shutdown (flag + accept-loop nudge).
+        let watcher = {
+            let state = state.clone();
+            std::thread::spawn(move || loop {
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                if signals::pending() {
+                    state.begin_shutdown(addr);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+        };
+
+        // Interval autosave (only with a snapshot dir).
+        let autosaver = self
+            .autosave_interval
+            .filter(|_| state.snapshot_dir.is_some())
+            .map(|interval| {
+                let state = state.clone();
+                std::thread::spawn(move || {
+                    let mut last = Instant::now();
+                    loop {
+                        if state.shutting_down.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(interval.min(Duration::from_millis(200)));
+                        if last.elapsed() >= interval {
+                            state.save_all();
+                            state.autosaves.fetch_add(1, Ordering::Relaxed);
+                            last = Instant::now();
+                        }
+                    }
+                })
+            });
+
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = state.clone();
+            workers.push(std::thread::spawn(move || handle_connection(state, stream)));
+            workers.retain(|w| !w.is_finished());
+        }
+        drop(self.listener);
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = watcher.join();
+        if let Some(a) = autosaver {
+            let _ = a.join();
+        }
+
+        let sessions_saved = state.save_all();
+        ServeSummary {
+            requests: state.requests.load(Ordering::Relaxed),
+            sessions_saved,
+        }
+    }
+
+    /// Run on a background thread; shut down via
+    /// [`RunningServer::shutdown`] (or a client `POST /shutdown`).
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.addr;
+        let state = self.state.clone();
+        let thread = std::thread::spawn(move || self.run());
+        RunningServer {
+            addr,
+            state,
+            thread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_names_are_validated() {
+        assert!(valid_name("census"));
+        assert!(valid_name("a"));
+        assert!(valid_name("run-2.v1_final"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("has/slash"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(&"x".repeat(65)));
+        assert!(!valid_name("-leading-dash"));
+    }
+
+    #[test]
+    fn default_pipeline_matches_requested_arity() {
+        for arity in [1, 2, 4, 7] {
+            assert_eq!(ServeConfig::default_pipeline(arity).arity(), arity);
+        }
+    }
+
+    #[test]
+    fn clusters_render_as_nested_arrays() {
+        assert_eq!(clusters_json(&[]), "[]");
+        assert_eq!(
+            clusters_json(&[vec![0, 3], vec![5, 6, 9]]),
+            "[[0, 3], [5, 6, 9]]"
+        );
+    }
+}

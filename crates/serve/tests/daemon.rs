@@ -1,0 +1,446 @@
+//! End-to-end tests of the serving front door: an in-process daemon on
+//! an ephemeral loopback port, driven through the real HTTP client.
+//!
+//! The contracts under test:
+//! * endpoint responses equal what the library (`DedupSession`) computes
+//!   over the same corpus;
+//! * a daemon restarted over its autosaved snapshots reports the
+//!   identical partition with **zero** key renders since open (the warm
+//!   restart certificate);
+//! * concurrent readers during an ingest observe either the pre- or the
+//!   post-ingest partition, never a torn one, and the final merged
+//!   result equals a serial one-shot run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use probdedup_datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup_model::format::write_xrelation;
+use probdedup_model::relation::XRelation;
+use probdedup_serve::client::{json_field, Client};
+use probdedup_serve::server::{RunningServer, ServeConfig, Server};
+
+/// Two small sources with overlapping entities (people schema, arity 4).
+fn sources() -> Vec<XRelation> {
+    let cfg = DatasetConfig {
+        entities: 40,
+        sources: 2,
+        seed: 20100301,
+        ..DatasetConfig::default()
+    };
+    generate(&Dictionaries::people(), &cfg).relations
+}
+
+fn boot(config: ServeConfig) -> (RunningServer, Client) {
+    let running = Server::bind(config).expect("bind").spawn();
+    let client = Client::new(running.addr());
+    (running, client)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::new("127.0.0.1:0", ServeConfig::default_pipeline(4))
+}
+
+/// The `"clusters": [...]` token of a partition/dedup response body.
+fn clusters_of(body: &str) -> String {
+    let at = body.find("\"clusters\":").expect("clusters field");
+    let start = body[at..].find('[').unwrap() + at;
+    let mut depth = 0usize;
+    for (i, c) in body[start..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return body[start..=start + i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated clusters array in {body}");
+}
+
+/// Render library clusters in the daemon's JSON shape.
+fn clusters_json(clusters: &[Vec<usize>]) -> String {
+    let inner: Vec<String> = clusters
+        .iter()
+        .map(|c| {
+            let rows: Vec<String> = c.iter().map(usize::to_string).collect();
+            format!("[{}]", rows.join(", "))
+        })
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[test]
+fn health_sessions_and_unknown_routes() {
+    let (running, client) = boot(config());
+
+    let (status, body) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&body, "status").as_deref(), Some("ok"));
+    assert_eq!(json_field(&body, "sessions").as_deref(), Some("0"));
+
+    let (status, _) = client.get("/no-such").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.post("/health", b"").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(status, 404, "read endpoints never create sessions");
+    let (status, body) = client.get("/sessions/..%2Fevil/partition").unwrap();
+    assert_eq!(status, 400, "bad session name must be rejected: {body}");
+    let (status, _) = client
+        .post("/sessions/census/ingest", b"not a relation")
+        .unwrap();
+    assert_eq!(status, 400);
+
+    let summary = running.shutdown().unwrap();
+    assert_eq!(summary.requests, 6);
+}
+
+#[test]
+fn endpoints_match_the_library_session() {
+    let srcs = sources();
+    let (running, client) = boot(config());
+
+    // Drive the daemon: ingest both sources into one named session.
+    for (i, src) in srcs.iter().enumerate() {
+        let (status, body) = client
+            .post("/sessions/census/ingest", write_xrelation(src).as_bytes())
+            .unwrap();
+        assert_eq!(status, 200, "ingest {i}: {body}");
+        assert_eq!(
+            json_field(&body, "rows_added").as_deref(),
+            Some(src.len().to_string().as_str())
+        );
+    }
+
+    // The library ground truth over the same pipeline and corpus.
+    let mut session = ServeConfig::default_pipeline(4).session();
+    for src in &srcs {
+        session.ingest(src).unwrap();
+    }
+    let expected = session.result();
+
+    let (status, body) = client.get("/sessions/census/partition?full=1").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(clusters_of(&body), clusters_json(&expected.clusters));
+    assert_eq!(
+        json_field(&body, "candidates").as_deref(),
+        Some(expected.candidates.to_string().as_str())
+    );
+    assert_eq!(
+        json_field(&body, "matches").as_deref(),
+        Some(expected.matches().count().to_string().as_str())
+    );
+
+    // Query endpoint ≡ classify_pair, including a non-candidate pair
+    // classified on the spot through the read path.
+    let mut checked = 0;
+    for d in expected.decisions.iter().take(5) {
+        let (status, body) = client
+            .get(&format!(
+                "/sessions/census/query?i={}&j={}",
+                d.pair.0, d.pair.1
+            ))
+            .unwrap();
+        assert_eq!(status, 200);
+        let class = json_field(&body, "class").unwrap();
+        let lib = session.classify_pair(d.pair.0, d.pair.1).unwrap();
+        assert_eq!(lib.pair, d.pair);
+        let lib_class = format!("{}", lib.class);
+        let want = match lib_class.as_str() {
+            "m" => "match",
+            "p" => "possible",
+            _ => "non-match",
+        };
+        assert_eq!(class, want, "pair {:?}", d.pair);
+        checked += 1;
+    }
+    assert!(checked > 0, "dataset produced no decisions to check");
+
+    let (status, body) = client.get("/sessions/census/query?i=0&j=0").unwrap();
+    assert_eq!(status, 400, "i == j is not a pair: {body}");
+    let (status, _) = client.get("/sessions/census/query?i=0&j=999999").unwrap();
+    assert_eq!(status, 400);
+
+    // /stats sees the session and the classified pairs.
+    let (status, body) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        json_field(&body, "decided_pairs").as_deref(),
+        Some(session.decided_count().to_string().as_str())
+    );
+    assert_eq!(json_field(&body, "requests_ingest").as_deref(), Some("2"));
+    assert!(
+        json_field(&body, "pairs_classified")
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+            > 0
+    );
+
+    running.shutdown().unwrap();
+}
+
+#[test]
+fn restart_from_autosaved_snapshots_is_warm() {
+    let srcs = sources();
+    let dir = std::env::temp_dir().join(format!("probdedup-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: ingest everything, autosave via graceful shutdown.
+    let (running, client) = boot(config().snapshot_dir(&dir));
+    for src in &srcs {
+        let (status, _) = client
+            .post("/sessions/census/ingest", write_xrelation(src).as_bytes())
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (_, first_partition) = client.get("/sessions/census/partition").unwrap();
+    let summary = running.shutdown().unwrap();
+    assert_eq!(summary.sessions_saved, 1);
+    assert!(dir.join("census.snap").is_file());
+
+    // Second life: boot over the same directory — the session must come
+    // back by name with the identical partition.
+    let (running, client) = boot(config().snapshot_dir(&dir));
+    let (status, body) = client.get("/sessions").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&body, "name").as_deref(), Some("census"));
+    assert_eq!(json_field(&body, "restored").as_deref(), Some("true"));
+
+    let (status, body) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(clusters_of(&body), clusters_of(&first_partition));
+
+    // Re-running the full corpus through the warm session renders zero
+    // keys: everything replays from the restored pools and caches.
+    let mut combined = XRelation::new(srcs[0].schema().clone());
+    for src in &srcs {
+        for t in src.xtuples() {
+            combined.push(t.clone());
+        }
+    }
+    let (status, body) = client
+        .post(
+            "/sessions/census/dedup",
+            write_xrelation(&combined).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "warm dedup: {body}");
+    assert_eq!(clusters_of(&body), clusters_of(&first_partition));
+
+    let (status, body) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        json_field(&body, "key_renders_since_open").as_deref(),
+        Some("0"),
+        "warm restart must not re-render keys: {body}"
+    );
+
+    running.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_fails_boot_loudly() {
+    let dir = std::env::temp_dir().join(format!("probdedup-serve-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("bad.snap"), b"PXDSNAP\0garbage").unwrap();
+    let err = Server::bind(config().snapshot_dir(&dir)).err();
+    assert!(
+        matches!(err, Some(probdedup_serve::ServeError::Snapshot(_, _))),
+        "boot over a corrupt snapshot must fail, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interval_autosave_persists_without_shutdown() {
+    let srcs = sources();
+    let dir = std::env::temp_dir().join(format!("probdedup-serve-autosave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (running, client) = boot(
+        config()
+            .snapshot_dir(&dir)
+            .autosave_interval(Duration::from_millis(150)),
+    );
+    client
+        .post(
+            "/sessions/census/ingest",
+            write_xrelation(&srcs[0]).as_bytes(),
+        )
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !dir.join("census.snap").is_file() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "interval autosave never wrote census.snap"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (_, body) = client.get("/stats").unwrap();
+    assert!(
+        json_field(&body, "autosaves")
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+            >= 1,
+        "stats must count autosaves: {body}"
+    );
+    running.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: N reader threads hammer `partition` while one `ingest`
+/// runs. Every observed partition must be exactly the pre-ingest or the
+/// post-ingest one (the session RwLock forbids torn reads), and the
+/// final merged result equals a serial one-shot run.
+#[test]
+fn concurrent_readers_observe_pre_or_post_ingest_only() {
+    let srcs = sources();
+    let (running, client) = boot(config());
+
+    let (status, _) = client
+        .post(
+            "/sessions/census/ingest",
+            write_xrelation(&srcs[0]).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (_, pre_body) = client.get("/sessions/census/partition").unwrap();
+    let pre = clusters_of(&pre_body);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let addr = running.addr();
+    let readers: Vec<_> = (0..8)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let client = Client::new(addr);
+                let mut seen = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (status, body) = client.get("/sessions/census/partition").unwrap();
+                    assert_eq!(status, 200);
+                    seen.push(clusters_of(&body));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Let the readers spin up, then ingest the second source.
+    std::thread::sleep(Duration::from_millis(30));
+    let (status, _) = client
+        .post(
+            "/sessions/census/ingest",
+            write_xrelation(&srcs[1]).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (_, post_body) = client.get("/sessions/census/partition").unwrap();
+    let post = clusters_of(&post_body);
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    let mut observations = 0usize;
+    for r in readers {
+        for seen in r.join().unwrap() {
+            assert!(
+                seen == pre || seen == post,
+                "torn partition observed:\n  seen {seen}\n  pre  {pre}\n  post {post}"
+            );
+            observations += 1;
+        }
+    }
+    assert!(observations > 0, "readers never observed a partition");
+
+    // Split-invariance through the front door: the merged result equals
+    // a serial one-shot run over both sources.
+    let expected = ServeConfig::default_pipeline(4)
+        .run(&srcs.iter().collect::<Vec<_>>())
+        .unwrap();
+    assert_eq!(post, clusters_json(&expected.clusters));
+
+    running.shutdown().unwrap();
+}
+
+/// Satellite: the decision-memo ceiling holds through the front door —
+/// evictions are reported in `/stats` and the partition is unaffected.
+#[test]
+fn bounded_memo_reports_evictions_in_stats() {
+    let srcs = sources();
+    // Unbounded ground truth.
+    let (unbounded, client) = boot(config());
+    for src in &srcs {
+        client
+            .post("/sessions/census/ingest", write_xrelation(src).as_bytes())
+            .unwrap();
+    }
+    let (_, truth) = client.get("/sessions/census/partition").unwrap();
+    let truth = clusters_of(&truth);
+    unbounded.shutdown().unwrap();
+
+    // Same corpus through a memo capped far below the decided-pair count.
+    let (running, client) = boot(ServeConfig::new("127.0.0.1:0", capped_pipeline()));
+    for src in &srcs {
+        let (status, body) = client
+            .post("/sessions/census/ingest", write_xrelation(src).as_bytes())
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    let (_, body) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(
+        clusters_of(&body),
+        truth,
+        "bounded memo changed the partition"
+    );
+    let (_, stats) = client.get("/stats").unwrap();
+    let evictions: u64 = json_field(&stats, "memo_evictions_since_open")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        evictions > 0,
+        "capacity 8 over this corpus must evict: {stats}"
+    );
+    running.shutdown().unwrap();
+}
+
+/// `default_pipeline(4)` with the decision memo capped at 8 entries.
+fn capped_pipeline() -> probdedup_core::pipeline::DedupPipeline {
+    // Rebuild the default pipeline shape with the memo knob set; the
+    // serve crate has no "rebuild with capacity" shortcut on purpose —
+    // the knob belongs to the core builder.
+    use probdedup_core::pipeline::{DedupPipeline, ReductionStrategy};
+    use probdedup_core::prepare::Preparation;
+    use probdedup_decision::combine::WeightedSum;
+    use probdedup_decision::derive_sim::ExpectedSimilarity;
+    use probdedup_decision::threshold::Thresholds;
+    use probdedup_decision::xmodel::SimilarityBasedModel;
+    use probdedup_matching::vector::AttributeComparators;
+    use probdedup_model::schema::Schema;
+    use probdedup_reduction::{KeyPart, KeySpec};
+    use probdedup_textsim::JaroWinkler;
+
+    let schema = Schema::new((0..4).map(|i| format!("attr{i}")));
+    DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(WeightedSum::normalized(vec![3.0, 1.0, 1.0, 1.0]).unwrap()),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.72, 0.82).unwrap(),
+        )))
+        .reduction(ReductionStrategy::SortingAlternatives {
+            spec: KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)]),
+            window: 6,
+        })
+        .threads(4)
+        .cache_similarities(true)
+        .decision_memo_capacity(Some(8))
+        .build()
+}

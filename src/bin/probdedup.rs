@@ -25,9 +25,11 @@ use probdedup::decision::xmodel::SimilarityBasedModel;
 use probdedup::matching::vector::AttributeComparators;
 use probdedup::model::format::{parse_xrelation, write_xrelation};
 use probdedup::model::relation::XRelation;
+use probdedup::model::schema::Schema;
 use probdedup::model::snapshot::SnapshotError;
 use probdedup::model::stats::RelationStats;
 use probdedup::reduction::{KeyPart, KeySpec, RankingFunction, WorldSelection};
+use probdedup::serve::server::{ServeConfig, Server};
 use probdedup::textsim::JaroWinkler;
 
 const USAGE: &str = "\
@@ -64,6 +66,25 @@ USAGE:
       (same pipeline options as the save that wrote the snapshot)
       Re-open the session warm and rerun over the inputs: an unchanged
       corpus replays entirely from the snapshot (zero key renders).
+
+  probdedup serve [--addr HOST:PORT] [--arity N]
+      [--snapshot-dir DIR] [--autosave-secs S]
+      (same pipeline options as ingest; --arity fixes the relation width,
+      default 4, since the daemon builds its pipeline before any input)
+      Run the HTTP serving front door: named warm sessions with dedup /
+      ingest / query / partition / snapshot endpoints plus /stats,
+      /health, /sessions and /shutdown. With --snapshot-dir, sessions
+      autoload on boot and autosave on graceful shutdown (SIGTERM,
+      ctrl-c, POST /shutdown) and every --autosave-secs. Prints
+      `listening on HOST:PORT` once ready (use port 0 for an ephemeral
+      port).
+
+COMMON PIPELINE OPTIONS (dedup / ingest / snapshot / serve):
+  --reduction full|snm-alternatives|snm-ranked|snm-multipass|blocking
+  --key attr:len[,attr:len...]   --window W
+  --lambda T  --mu T  --threads N  --cache true|false
+  --memo-capacity N   bound the session's pair-decision memo to N
+                      entries (second-chance eviction; unbounded default)
 
 EXIT CODES:
   0 success   2 usage error   3 I/O error   4 data parse error
@@ -181,6 +202,7 @@ fn run() -> Result<(), CliError> {
         "stats" => cmd_stats(&args),
         "dedup" => cmd_dedup(&args),
         "ingest" => cmd_ingest(&args),
+        "serve" => cmd_serve(&args),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -271,10 +293,22 @@ fn parse_pipeline(
         .map(|p| load_relation(p))
         .collect::<Result<_, _>>()?;
     let schema = relations[0].schema().clone();
+    let pipeline = build_pipeline(args, &schema, default_cache)?;
+    Ok((inputs, relations, pipeline))
+}
 
+/// Build the configured pipeline over `schema` from the shared flags —
+/// the input-driven commands pass the schema of their first input,
+/// `serve` a placeholder schema of `--arity` width (only arity and
+/// attribute names for `--key` matter to the pipeline).
+fn build_pipeline(
+    args: &Args,
+    schema: &probdedup::model::schema::Schema,
+    default_cache: bool,
+) -> Result<DedupPipeline, CliError> {
     let window = args.get_parsed("window", 6usize)?;
     let key = match args.get("key") {
-        Some(spec) => parse_key(spec, &schema)?,
+        Some(spec) => parse_key(spec, schema)?,
         None => {
             // Default: 3-prefix of the first attribute + 2-prefix of the
             // last text attribute.
@@ -307,9 +341,16 @@ fn parse_pipeline(
     let weights: Vec<f64> = std::iter::once(3.0)
         .chain(std::iter::repeat_n(1.0, schema.arity() - 1))
         .collect();
+    let memo_capacity = match args.get("memo-capacity") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("--memo-capacity: cannot parse {v:?}")))?,
+        ),
+        None => None,
+    };
     let pipeline = DedupPipeline::builder()
         .preparation(Preparation::standard_all(schema.arity()))
-        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .comparators(AttributeComparators::uniform(schema, JaroWinkler::new()))
         .model(Arc::new(SimilarityBasedModel::new(
             Arc::new(WeightedSum::normalized(weights).map_err(|e| CliError::Usage(e.to_string()))?),
             Arc::new(ExpectedSimilarity),
@@ -318,8 +359,9 @@ fn parse_pipeline(
         .reduction(reduction)
         .threads(threads)
         .cache_similarities(args.get_parsed("cache", default_cache)?)
+        .decision_memo_capacity(memo_capacity)
         .build();
-    Ok((inputs, relations, pipeline))
+    Ok(pipeline)
 }
 
 /// Print a [`DedupResult`]: summary, matches, possibles, clusters.
@@ -383,6 +425,63 @@ fn cmd_ingest(args: &Args) -> Result<(), CliError> {
         session.decided_count(),
     );
     print_result(&session.result());
+    Ok(())
+}
+
+/// `serve`: run the HTTP serving front door until a graceful shutdown
+/// (SIGTERM, ctrl-c, or a client `POST /shutdown`). The pipeline is
+/// built up front over a placeholder schema of `--arity` width — the
+/// daemon has no inputs at boot; clients post relations — so `--key`
+/// refers to attributes as `attr0..attrN-1`.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let arity = args.get_parsed("arity", 4usize)?;
+    if arity == 0 {
+        return Err(CliError::Usage("--arity must be at least 1".into()));
+    }
+    let schema = Schema::new((0..arity).map(|i| format!("attr{i}")));
+    let pipeline = build_pipeline(args, &schema, true)?;
+
+    let mut config = ServeConfig::new(&addr, pipeline);
+    if let Some(dir) = args.get("snapshot-dir") {
+        config = config.snapshot_dir(dir);
+    }
+    if let Some(secs) = args.get("autosave-secs") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--autosave-secs: cannot parse {secs:?}")))?;
+        if secs <= 0.0 {
+            return Err(CliError::Usage("--autosave-secs must be positive".into()));
+        }
+        if config.snapshot_dir.is_none() {
+            return Err(CliError::Usage(
+                "--autosave-secs requires --snapshot-dir".into(),
+            ));
+        }
+        config = config.autosave_interval(std::time::Duration::from_secs_f64(secs));
+    }
+
+    let server = Server::bind(config).map_err(|e| match e {
+        probdedup::serve::ServeError::Snapshot(path, err) => {
+            snapshot_error(&path.display().to_string(), err)
+        }
+        other => CliError::Io(other.to_string()),
+    })?;
+    let restored = server.restored_sessions();
+    if !restored.is_empty() {
+        println!(
+            "restored {} session(s): {}",
+            restored.len(),
+            restored.join(", ")
+        );
+    }
+    // Scripts (the CI smoke test) scrape this line for the bound port.
+    println!("listening on {}", server.local_addr());
+    let summary = server.run();
+    println!(
+        "shut down: {} requests served, {} session(s) saved",
+        summary.requests, summary.sessions_saved
+    );
     Ok(())
 }
 

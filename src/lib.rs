@@ -72,6 +72,7 @@ pub use probdedup_eval as eval;
 pub use probdedup_matching as matching;
 pub use probdedup_model as model;
 pub use probdedup_reduction as reduction;
+pub use probdedup_serve as serve;
 pub use probdedup_textsim as textsim;
 
 /// Convenience re-exports of the most commonly used items.
