@@ -67,7 +67,24 @@
 //! * `blocking-alt` / `blocking-alt-strkey` — single-pass per-alternative
 //!   blocking (Fig. 14), symbols vs strings. With every key seen exactly
 //!   once there is no reuse to win on — this mode tracks the interning
-//!   overhead floor rather than a speedup.
+//!   overhead floor rather than a speedup;
+//! * `sharded` — the out-of-core front door over the same interned full
+//!   comparison: candidates identical to `interned`, with shard routing,
+//!   per-shard classification and the deterministic merge inside the
+//!   timed region (4 shards). The JSON adds `peak_rss_bytes` (process
+//!   `VmHWM`);
+//! * `snm-external` — the sorting-alternatives scan through the external
+//!   merge sort with a deliberately tiny run buffer (512 entries), so
+//!   every sorted run spills to disk and the k-way merge + streaming
+//!   re-windowing dominate; `candidates` counts the deduplicated pairs.
+//!   Also reports `peak_rss_bytes`;
+//! * `scale-sharded` (only with `--entities N`) — the 10⁵-class scale
+//!   probe: a sharded, budgeted, bounded-matching run over SNM
+//!   candidates. `--entities 100000 --shards 8 --memory-budget 256m`
+//!   completes under a budget the unsharded in-memory reduction cannot
+//!   honor (its triangular `PairMatrix` alone is `n²/2` bits ≈ 2 GB at
+//!   ~190k rows), and `peak_rss_bytes` records what the sharded run
+//!   actually used.
 //!
 //! With `--baseline FILE`, every measured `(mode, entities, threads)`
 //! configuration also present in `FILE` (a previously committed
@@ -80,7 +97,7 @@ use std::time::Instant;
 
 use probdedup_bench::{
     experiment_key, experiment_model, experiment_pipeline_bounded, experiment_pipeline_cached,
-    workload, SEED,
+    experiment_pipeline_scale, peak_rss_bytes, workload, SEED,
 };
 use probdedup_core::exec::par_map_index;
 use probdedup_core::pipeline::ReductionStrategy;
@@ -94,7 +111,8 @@ use probdedup_model::value::Value;
 use probdedup_model::ValuePool;
 use probdedup_reduction::{
     block_alternatives, block_alternatives_oracle, block_multipass, block_multipass_oracle,
-    multipass_snm_oracle, multipass_snm_pairs, WorldSelection,
+    multipass_snm_oracle, multipass_snm_pairs, sorting_alternatives_external_scan,
+    ExternalSortConfig, SparsePairSet, WorldSelection,
 };
 use probdedup_serve::client::{json_field, Client};
 use probdedup_serve::server::{ServeConfig, Server};
@@ -133,6 +151,9 @@ struct Run {
     /// HTTP requests per second through the loopback socket (serve modes
     /// only; 0 elsewhere).
     requests_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) right after the measured region, bytes
+    /// (out-of-core modes only; 0 elsewhere).
+    peak_rss_bytes: u64,
 }
 
 fn main() {
@@ -141,6 +162,9 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut scales: Vec<usize> = vec![100, 250, 500];
     let mut threads_list: Vec<usize> = vec![1, 4];
+    let mut scale_entities: Option<usize> = None;
+    let mut scale_shards = 8usize;
+    let mut scale_budget: u64 = 256 << 20;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -154,8 +178,25 @@ fn main() {
             "--baseline" => {
                 baseline_path = Some(it.next().expect("--baseline PATH").clone());
             }
+            "--entities" => {
+                scale_entities = Some(
+                    it.next()
+                        .expect("--entities N")
+                        .parse()
+                        .expect("entity count"),
+                );
+            }
+            "--shards" => {
+                scale_shards = it.next().expect("--shards K").parse().expect("shard count");
+            }
+            "--memory-budget" => {
+                scale_budget = parse_bytes(it.next().expect("--memory-budget BYTES"));
+            }
             other => {
-                panic!("unknown argument {other:?} (--quick | --out PATH | --baseline PATH)")
+                panic!(
+                    "unknown argument {other:?} (--quick | --out PATH | --baseline PATH | \
+                     --entities N | --shards K | --memory-budget BYTES[k|m|g])"
+                )
             }
         }
     }
@@ -225,6 +266,36 @@ fn main() {
             // The pre-interning baseline: value-keyed memoization.
             runs.push(value_cache_baseline(entities, rows, &sources, threads));
             print_run(runs.last().expect("just pushed"));
+            // The sharded out-of-core front door over the interned full
+            // comparison: same candidate set as `interned`, plus shard
+            // routing, per-shard classification and the merge.
+            {
+                let pipeline = experiment_pipeline_cached(ReductionStrategy::Full, threads, true);
+                let sharded = pipeline.sharded(4);
+                let start = Instant::now();
+                let (result, shard_stats) = sharded.run_with_stats(&sources).expect("sharded run");
+                let wall = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    shard_stats.shard_candidates.iter().sum::<usize>(),
+                    result.candidates
+                );
+                runs.push(Run {
+                    entities,
+                    rows,
+                    mode: "sharded",
+                    threads,
+                    candidates: result.candidates,
+                    wall_ms: wall * 1e3,
+                    pairs_per_sec: result.candidates as f64 / wall,
+                    cache_hits: result.stats.cache_hits,
+                    cache_misses: result.stats.cache_misses,
+                    cache_hit_rate: result.stats.hit_rate(),
+                    interned_values: result.stats.interned_values,
+                    peak_rss_bytes: peak_rss_bytes(),
+                    ..Run::default()
+                });
+                print_run(runs.last().expect("just pushed"));
+            }
             // Session modes: cold first run, warm-rerun amortization, and
             // a 10%-increment ingest against a resident 90% base.
             for run in session_modes(entities, rows, &sources, threads) {
@@ -247,6 +318,14 @@ fn main() {
             print_run(&run);
             runs.push(run);
         }
+    }
+
+    // The 10⁵-class scale probe: a single sharded, budgeted run at a
+    // scale the in-memory quadratic modes cannot reach.
+    if let Some(entities) = scale_entities {
+        let run = scale_mode(entities, scale_shards, scale_budget);
+        print_run(&run);
+        runs.push(run);
     }
 
     let json = render_json(&runs);
@@ -437,7 +516,99 @@ fn reduction_modes(entities: usize, rows: usize, sources: &[&XRelation]) -> Vec<
     measure("blocking-alt-strkey", &|| {
         block_alternatives_oracle(tuples, &spec).pairs.len()
     });
+    // Out-of-core SNM: the same sorting-alternatives candidates through
+    // the external merge sort, with a deliberately tiny run buffer so
+    // every sorted run spills to a temp file and the k-way merge +
+    // streaming re-windowing are what's measured. Dedup through the
+    // sparse pair set mirrors the sharded pipeline's routing path.
+    {
+        let cfg = ExternalSortConfig {
+            run_entries: 512,
+            dir: None,
+        };
+        let start = Instant::now();
+        let mut pairs = 0usize;
+        let mut reps = 0usize;
+        while reps == 0 || start.elapsed().as_secs_f64() < REDUCTION_MIN_WALL {
+            let mut seen = SparsePairSet::new();
+            sorting_alternatives_external_scan(tuples, &spec, SNM_WINDOW, &cfg, &mut |a, b| {
+                if a.1 != b.1 {
+                    seen.insert(a.1, b.1);
+                }
+            })
+            .expect("external SNM scan");
+            pairs = seen.len();
+            reps += 1;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        runs.push(Run {
+            entities,
+            rows,
+            mode: "snm-external",
+            threads: 1,
+            candidates: pairs,
+            wall_ms: wall * 1e3 / reps as f64,
+            pairs_per_sec: (pairs * reps) as f64 / wall,
+            peak_rss_bytes: peak_rss_bytes(),
+            ..Run::default()
+        });
+    }
     runs
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` binary suffix.
+fn parse_bytes(v: &str) -> u64 {
+    let (num, mult) = match v.as_bytes().last() {
+        Some(b'k' | b'K') => (&v[..v.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&v[..v.len() - 1], 1 << 20),
+        Some(b'g' | b'G') => (&v[..v.len() - 1], 1 << 30),
+        _ => (v, 1),
+    };
+    num.parse::<u64>().expect("byte count") * mult
+}
+
+/// The `--entities N` scale probe: one sharded, budgeted run of the
+/// bounded-matching configuration over sorting-alternatives SNM
+/// candidates (window 8). At 10⁵ entities the unsharded in-memory
+/// reduction cannot honor any such budget — its triangular `PairMatrix`
+/// alone is `n²/2` bits ≈ 2 GB at ~190k rows — while the sharded path
+/// streams candidates through the external sort and a sparse pair set.
+/// Workload generation is untimed; `peak_rss_bytes` is read right after
+/// the run so it reflects the pipeline's actual footprint.
+fn scale_mode(entities: usize, shards: usize, budget: u64) -> Run {
+    const SCALE_WINDOW: usize = 8;
+    const SCALE_THREADS: usize = 4;
+    let ds = workload(entities);
+    let sources: Vec<&XRelation> = ds.relations.iter().collect();
+    let rows = ds.total_rows();
+    let pipeline = experiment_pipeline_scale(SCALE_WINDOW, SCALE_THREADS, budget);
+    let start = Instant::now();
+    let (result, stats) = pipeline
+        .sharded(shards)
+        .run_with_stats(&sources)
+        .expect("scale run");
+    let wall = start.elapsed().as_secs_f64();
+    let (max, min) = stats.skew();
+    println!(
+        "scale: {shards} shards over {rows} rows under {budget} bytes: \
+         skew max {max} / min {min}, {} sort entries in {} spilled runs ({} bytes)",
+        stats.sort.entries, stats.sort.runs_spilled, stats.sort.spilled_bytes
+    );
+    Run {
+        entities,
+        rows,
+        mode: "scale-sharded",
+        threads: SCALE_THREADS,
+        candidates: result.candidates,
+        wall_ms: wall * 1e3,
+        pairs_per_sec: result.candidates as f64 / wall,
+        cache_hits: result.stats.cache_hits,
+        cache_misses: result.stats.cache_misses,
+        cache_hit_rate: result.stats.hit_rate(),
+        interned_values: result.stats.interned_values,
+        peak_rss_bytes: peak_rss_bytes(),
+        ..Run::default()
+    }
 }
 
 /// Session-oriented throughput over the interned full-comparison
@@ -864,6 +1035,10 @@ fn render_json(runs: &[Run]) -> String {
         );
         if r.mode.starts_with("serve") {
             let _ = write!(s, ", \"requests_per_sec\": {:.1}", r.requests_per_sec);
+        }
+        if r.peak_rss_bytes > 0 {
+            // Out-of-core modes: process VmHWM after the measured region.
+            let _ = write!(s, ", \"peak_rss_bytes\": {}", r.peak_rss_bytes);
         }
         if r.mode.starts_with("bounded") {
             // Per-tier disposal fractions of the bounded path (they sum

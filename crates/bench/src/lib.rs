@@ -128,9 +128,70 @@ pub fn experiment_pipeline_bounded(
         .build()
 }
 
+/// The scale-probe configuration: bounded (classify-only) matching over
+/// sorting-alternatives SNM candidates with interned caches and an
+/// explicit [`memory_budget`] — what the sharded out-of-core bench mode
+/// runs at 10⁵-entity scale, where the unsharded in-memory reduction
+/// cannot honor the budget (its triangular `PairMatrix` alone is
+/// `n²/2` bits ≈ 2 GB at ~190k rows).
+///
+/// [`memory_budget`]: probdedup_core::pipeline::DedupPipelineBuilder::memory_budget
+pub fn experiment_pipeline_scale(
+    window: usize,
+    threads: usize,
+    memory_budget: u64,
+) -> DedupPipeline {
+    let ds = workload(1); // only for the schema
+    DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(
+            &ds.schema,
+            JaroWinkler::new(),
+        ))
+        .classify_only(experiment_weights(), experiment_thresholds())
+        .reduction(ReductionStrategy::SortingAlternatives {
+            spec: experiment_key(),
+            window,
+        })
+        .threads(threads)
+        .cache_similarities(true)
+        .memory_budget(Some(memory_budget))
+        .build()
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc interface is unavailable.
+/// The high-water mark is process-wide and monotone: it reports the
+/// largest footprint since process start, not the current usage — read
+/// it right after the measured region so the region's allocations are
+/// what it reflects.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_reported_on_linux() {
+        assert!(peak_rss_bytes() > 0);
+    }
 
     #[test]
     fn workload_is_reproducible() {

@@ -78,6 +78,7 @@ pub mod pipeline;
 pub mod prepare;
 pub mod prob_result;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 
 pub use cluster::UnionFind;
@@ -90,3 +91,4 @@ pub use pipeline::{
 pub use prepare::Preparation;
 pub use prob_result::{probabilistic_result, ProbabilisticResult};
 pub use session::{DedupSession, IncrementalResult};
+pub use shard::{BudgetPlan, ShardError, ShardStats, ShardedPipeline};

@@ -402,6 +402,7 @@ pub(crate) struct PipelineConfig {
     pub(crate) cache_similarities: bool,
     pub(crate) cache_capacity: Option<usize>,
     pub(crate) memo_capacity: Option<usize>,
+    pub(crate) memory_budget: Option<u64>,
 }
 
 /// The configured **one-shot** pipeline. Build with
@@ -431,6 +432,7 @@ pub struct DedupPipelineBuilder {
     cache_similarities: bool,
     cache_capacity: Option<usize>,
     memo_capacity: Option<usize>,
+    memory_budget: Option<u64>,
 }
 
 impl DedupPipeline {
@@ -446,6 +448,7 @@ impl DedupPipeline {
             cache_similarities: false,
             cache_capacity: None,
             memo_capacity: None,
+            memory_budget: None,
         }
     }
 
@@ -455,6 +458,16 @@ impl DedupPipeline {
     /// and dropped — nothing warm survives into the next call.
     pub fn run(&self, sources: &[&XRelation]) -> Result<DedupResult, ModelError> {
         self.session().run(sources)
+    }
+
+    /// A sharded out-of-core front door over this pipeline's
+    /// configuration: the corpus is partitioned into `shards` by
+    /// blocking-key hash (or key-rank stripes for SNM strategies), each
+    /// shard is matched independently, and the per-shard partitions merge
+    /// into one [`DedupResult`] byte-identical to [`run`](Self::run)'s.
+    /// See [`ShardedPipeline`](crate::shard::ShardedPipeline).
+    pub fn sharded(&self, shards: usize) -> crate::shard::ShardedPipeline {
+        crate::shard::ShardedPipeline::new(self.config.clone(), shards)
     }
 
     /// A fresh persistent session over this pipeline's configuration: the
@@ -656,6 +669,20 @@ impl DedupPipelineBuilder {
         self
     }
 
+    /// Bound the pipeline's total memory appetite to roughly `budget`
+    /// bytes: a [`BudgetPlan`](crate::shard::BudgetPlan) decomposes the
+    /// budget into a similarity-cache capacity, a decision-memo capacity,
+    /// an external-sort run size and a block-spill threshold. Capacities
+    /// set explicitly via [`cache_capacity`](Self::cache_capacity) /
+    /// [`decision_memo_capacity`](Self::decision_memo_capacity) win over
+    /// the derived ones; the sort/spill ceilings are consumed by the
+    /// sharded front door ([`DedupPipeline::sharded`]). `None` (the
+    /// default) leaves everything unbounded.
+    pub fn memory_budget(mut self, budget: Option<u64>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
     /// Finish; panics if comparators are missing, or if the decision-model
     /// configuration is not exactly one of `model` / `classify_only`
     /// (programming error, not data error — setting both would silently
@@ -670,6 +697,13 @@ impl DedupPipelineBuilder {
             "model and classify_only are mutually exclusive: classify-only \
              decides with its own thresholds and would ignore the model"
         );
+        let plan = self.memory_budget.map(crate::shard::BudgetPlan::for_budget);
+        let cache_capacity = self
+            .cache_capacity
+            .or(plan.as_ref().map(|p| p.cache_capacity));
+        let memo_capacity = self
+            .memo_capacity
+            .or(plan.as_ref().map(|p| p.memo_capacity));
         DedupPipeline {
             config: PipelineConfig {
                 preparation: self.preparation,
@@ -679,8 +713,9 @@ impl DedupPipelineBuilder {
                 bounded: self.bounded,
                 threads: self.threads,
                 cache_similarities: self.cache_similarities,
-                cache_capacity: self.cache_capacity,
-                memo_capacity: self.memo_capacity,
+                cache_capacity,
+                memo_capacity,
+                memory_budget: self.memory_budget,
             },
         }
     }

@@ -491,17 +491,19 @@ impl DecisionMemo {
 
 /// Warm matching state: the value pool, interned tuple mirrors, the
 /// long-lived comparators (caches + sidecars) and the bounded mode's
-/// per-tuple conditioned weights.
-struct WarmMatching {
-    pool: ValuePool,
-    usage: AttributeUsage,
-    interned: Vec<InternedXTuple>,
-    cmps: Option<InternedComparators>,
-    weights: Vec<Vec<f64>>,
+/// per-tuple conditioned weights. Crate-visible: the sharded pipeline
+/// ([`crate::shard`]) builds the identical state for its one-shot run so
+/// classification is byte-compatible with the session's.
+pub(crate) struct WarmMatching {
+    pub(crate) pool: ValuePool,
+    pub(crate) usage: AttributeUsage,
+    pub(crate) interned: Vec<InternedXTuple>,
+    pub(crate) cmps: Option<InternedComparators>,
+    pub(crate) weights: Vec<Vec<f64>>,
 }
 
 impl WarmMatching {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             pool: ValuePool::new(),
             usage: AttributeUsage::default(),
@@ -514,7 +516,7 @@ impl WarmMatching {
     /// Grow with newly appended (already prepared) tuples: intern only
     /// them, extend the sidecars over any new symbols, and cache their
     /// conditioned alternative weights (bounded mode).
-    fn ingest(&mut self, config: &PipelineConfig, new_tuples: &[XTuple]) {
+    pub(crate) fn ingest(&mut self, config: &PipelineConfig, new_tuples: &[XTuple]) {
         if config.cache_similarities {
             self.interned.extend(intern_tuples_into(
                 &mut self.pool,

@@ -65,6 +65,7 @@ pub mod alternatives;
 pub mod blocking;
 pub mod cluster;
 pub mod conflict;
+pub mod external;
 pub mod incremental;
 pub mod key;
 pub mod multipass;
@@ -78,12 +79,19 @@ pub use alternatives::{
 pub use blocking::{
     block_alternatives, block_alternatives_interned, block_alternatives_oracle,
     block_conflict_resolved, block_conflict_resolved_oracle, block_multipass,
-    block_multipass_oracle, block_multipass_with_table, BlockingResult,
+    block_multipass_oracle, block_multipass_with_table, scan_alternative_blocks,
+    scan_conflict_resolved_blocks, scan_multipass_blocks, BlockScanConfig, BlockScanStats,
+    BlockingResult, SpillableBlockMap,
 };
 pub use cluster::{cluster_blocking, ClusterBlockingConfig};
 pub use conflict::{
     conflict_resolved_snm, conflict_resolved_snm_oracle, resolve_key, resolve_key_symbol,
     ConflictResolution,
+};
+pub use external::{
+    conflict_resolved_snm_external_scan, multipass_snm_external_scan, sorted_neighborhood_external,
+    sorting_alternatives_external_scan, ExternalEntryStream, ExternalSortConfig, ExternalSortStats,
+    ExternalSorter, StreamWindower,
 };
 pub use incremental::{
     BlockKeying, IncrementalBlocks, IncrementalRankedSnm, IncrementalSnm, SnmKeying,
@@ -93,8 +101,8 @@ pub use multipass::{
     multipass_snm, multipass_snm_oracle, multipass_snm_pairs, multipass_snm_with_table,
     MultipassResult, WorldSelection,
 };
-pub use pairs::{CandidatePairs, PairMatrix};
-pub use ranking::{rank_score, ranked_snm, RankingFunction};
+pub use pairs::{CandidatePairs, PairMatrix, SparsePairSet};
+pub use ranking::{rank_score, rank_tuples, ranked_snm, RankingFunction};
 pub use snm::{
     sorted_neighborhood, sorted_neighborhood_interned, windowed_pairs, InternedSnmEntry, SnmEntry,
 };

@@ -1,5 +1,7 @@
 //! Candidate pairs and the executed-matching matrix of Fig. 12.
 
+use probdedup_model::util::FxHashSet;
+
 /// A triangular bit matrix over `n` tuples recording which matchings have
 /// already been executed — the paper's Fig. 12 device for avoiding repeated
 /// comparisons when the same tuple pair meets in several windows, blocks or
@@ -161,6 +163,63 @@ impl CandidatePairs {
     }
 }
 
+/// A sparse executed-matching set: the out-of-core replacement for
+/// [`PairMatrix`].
+///
+/// The triangular bit matrix is the right tool while `n·(n−1)/2` bits fit
+/// in RAM, but at 10⁵–10⁶ tuples it costs gigabytes even when reduction
+/// leaves only millions of candidates. `SparsePairSet` stores each seen
+/// pair as one packed `u64` (`lo` in the high 32 bits, `hi` in the low
+/// 32), so memory scales with the number of **distinct pairs actually
+/// emitted**, not with the universe. Semantics match [`PairMatrix`]:
+/// unordered pairs, self-pairs rejected, `insert` reports newness.
+///
+/// The `u32` packing caps the universe at `u32::MAX` tuples — comfortably
+/// above the 10⁶-class corpora the sharded pipeline targets; `insert`
+/// asserts the bound.
+#[derive(Debug, Default, Clone)]
+pub struct SparsePairSet {
+    seen: FxHashSet<u64>,
+}
+
+impl SparsePairSet {
+    /// An empty set. No universe size is needed up front — that is the
+    /// point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pack(i: usize, j: usize) -> u64 {
+        assert!(i != j, "self-pairs are meaningless in duplicate detection");
+        assert!(
+            i <= u32::MAX as usize && j <= u32::MAX as usize,
+            "SparsePairSet packs indices into u32s; ({i},{j}) out of range"
+        );
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        (lo as u64) << 32 | hi as u64
+    }
+
+    /// Record the unordered pair; returns `true` if it was new.
+    pub fn insert(&mut self, i: usize, j: usize) -> bool {
+        self.seen.insert(Self::pack(i, j))
+    }
+
+    /// Whether the pair has been recorded.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.seen.contains(&Self::pack(i, j))
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no pairs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +305,32 @@ mod tests {
         let m = PairMatrix::new(0);
         assert!(m.is_empty());
         assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn sparse_set_agrees_with_matrix() {
+        let n = 17;
+        let mut matrix = PairMatrix::new(n);
+        let mut sparse = SparsePairSet::new();
+        // A deterministic scatter of insertions in mixed orientations.
+        let mut x = 7usize;
+        for _ in 0..200 {
+            x = (x * 31 + 11) % (n * n);
+            let (i, j) = (x / n, x % n);
+            if i == j {
+                continue;
+            }
+            assert_eq!(sparse.insert(i, j), matrix.insert(i, j), "({i},{j})");
+            assert!(sparse.contains(j, i));
+        }
+        assert_eq!(sparse.len(), matrix.count());
+        assert!(!sparse.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pairs")]
+    fn sparse_self_pair_panics() {
+        let mut s = SparsePairSet::new();
+        s.insert(4, 4);
     }
 }

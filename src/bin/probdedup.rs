@@ -47,7 +47,13 @@ USAGE:
       [--reduction full|snm-alternatives|snm-ranked|snm-multipass|blocking]
       [--key attr:len[,attr:len...]] [--window W]
       [--lambda T] [--mu T] [--threads N]
+      [--shards K] [--memory-budget BYTES[k|m|g]]
       Run the one-shot pipeline and print decisions and duplicate clusters.
+      With --shards > 1 the sharded out-of-core front door partitions the
+      corpus by blocking-key hash / key-rank stripe, matches each shard
+      independently, and merges — same result, bounded memory. A
+      --memory-budget decomposes into cache/memo capacities and the
+      external-sort and block-spill ceilings.
 
   probdedup ingest --input FILE.pxr [--input FILE2.pxr ...]
       (same options as dedup; plus --cache true|false, default true here)
@@ -85,6 +91,9 @@ COMMON PIPELINE OPTIONS (dedup / ingest / snapshot / serve):
   --lambda T  --mu T  --threads N  --cache true|false
   --memo-capacity N   bound the session's pair-decision memo to N
                       entries (second-chance eviction; unbounded default)
+  --memory-budget B   bound the pipeline's memory appetite to ~B bytes
+                      (suffixes k/m/g; derives cache, memo and spill
+                      ceilings — see dedup --shards)
 
 EXIT CODES:
   0 success   2 usage error   3 I/O error   4 data parse error
@@ -348,6 +357,10 @@ fn build_pipeline(
         ),
         None => None,
     };
+    let memory_budget = match args.get("memory-budget") {
+        Some(v) => Some(parse_bytes(v)?),
+        None => None,
+    };
     let pipeline = DedupPipeline::builder()
         .preparation(Preparation::standard_all(schema.arity()))
         .comparators(AttributeComparators::uniform(schema, JaroWinkler::new()))
@@ -360,8 +373,26 @@ fn build_pipeline(
         .threads(threads)
         .cache_similarities(args.get_parsed("cache", default_cache)?)
         .decision_memo_capacity(memo_capacity)
+        .memory_budget(memory_budget)
         .build();
     Ok(pipeline)
+}
+
+/// Parse a byte count with optional `k`/`m`/`g` suffix (`64m`, `2g`,
+/// `100000`).
+fn parse_bytes(v: &str) -> Result<u64, CliError> {
+    let v = v.trim();
+    let (digits, factor) = match v.char_indices().last() {
+        Some((i, 'k') | (i, 'K')) => (&v[..i], 1u64 << 10),
+        Some((i, 'm') | (i, 'M')) => (&v[..i], 1u64 << 20),
+        Some((i, 'g') | (i, 'G')) => (&v[..i], 1u64 << 30),
+        _ => (v, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--memory-budget: cannot parse {v:?}")))?;
+    n.checked_mul(factor)
+        .ok_or_else(|| CliError::Usage(format!("--memory-budget: {v:?} overflows")))
 }
 
 /// Print a [`DedupResult`]: summary, matches, possibles, clusters.
@@ -398,9 +429,33 @@ fn print_result(result: &probdedup::core::pipeline::DedupResult) {
 fn cmd_dedup(args: &Args) -> Result<(), CliError> {
     let (_, relations, pipeline) = parse_pipeline(args, false)?;
     let refs: Vec<&XRelation> = relations.iter().collect();
-    let result = pipeline
-        .run(&refs)
-        .map_err(|e| CliError::Parse(e.to_string()))?;
+    let shards = args.get_parsed("shards", 1usize)?;
+    let result = if shards > 1 {
+        let (result, stats) =
+            pipeline
+                .sharded(shards)
+                .run_with_stats(&refs)
+                .map_err(|e| match e {
+                    probdedup::core::shard::ShardError::Io(io) => CliError::Io(io.to_string()),
+                    probdedup::core::shard::ShardError::Model(m) => CliError::Parse(m.to_string()),
+                })?;
+        let (max, min) = stats.skew();
+        println!(
+            "sharded over {} shards: {} candidates (skew max {max} / min {min}), \
+             {} sort runs spilled ({} bytes), {} blocks ({} spilled)",
+            stats.shards,
+            result.candidates,
+            stats.sort.runs_spilled,
+            stats.sort.spilled_bytes,
+            stats.blocks.blocks,
+            stats.blocks.spilled_blocks,
+        );
+        result
+    } else {
+        pipeline
+            .run(&refs)
+            .map_err(|e| CliError::Parse(e.to_string()))?
+    };
     print_result(&result);
     Ok(())
 }

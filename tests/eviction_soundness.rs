@@ -1,0 +1,115 @@
+//! Cache-eviction soundness: a bounded similarity cache (the PR 6 clock
+//! eviction) may forget whatever it likes — recomputation is always
+//! correct, so capacity only moves work, never answers. Asserted at the
+//! pipeline level for brutal capacities (1, 2, 7 memoized pairs per
+//! attribute): the cached bounded run classifies every pair exactly as
+//! the uncached exact reference does, the cached exact run is even
+//! byte-identical, and the stats prove eviction actually happened
+//! (`cache_evictions > 0` — the capacities are far below the workload's
+//! distinct symbol pairs).
+
+use std::sync::Arc;
+
+use probdedup::core::pipeline::{DedupPipeline, DedupResult, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::Thresholds;
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::relation::XRelation;
+use probdedup::textsim::JaroWinkler;
+
+fn source() -> XRelation {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 30,
+            sources: 1,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed: 0xE71C7,
+            ..DatasetConfig::default()
+        },
+    )
+    .combined()
+}
+
+fn pipeline(bounded: bool, cache: bool, capacity: Option<usize>) -> DedupPipeline {
+    let r = source();
+    let phi = WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap();
+    let thresholds = Thresholds::new(0.72, 0.82).unwrap();
+    let b = DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(
+            r.schema(),
+            JaroWinkler::new(),
+        ))
+        .reduction(ReductionStrategy::Full)
+        .threads(2)
+        .cache_similarities(cache)
+        .cache_capacity(capacity);
+    if bounded {
+        b.classify_only(phi, thresholds).build()
+    } else {
+        b.model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(phi),
+            Arc::new(ExpectedSimilarity),
+            thresholds,
+        )))
+        .build()
+    }
+}
+
+fn assert_same_partition(reference: &DedupResult, got: &DedupResult, label: &str) {
+    assert_eq!(reference.candidates, got.candidates, "{label}: candidates");
+    for (a, b) in reference.decisions.iter().zip(&got.decisions) {
+        assert_eq!(a.pair, b.pair, "{label}");
+        assert_eq!(a.class, b.class, "{label}: pair {:?}", a.pair);
+    }
+    assert_eq!(reference.clusters, got.clusters, "{label}: clusters");
+}
+
+#[test]
+fn bounded_partition_survives_brutal_eviction() {
+    let r = source();
+    // The uncached exact run is the ground truth the bounded modes are
+    // property-tested against elsewhere; eviction must not change it.
+    let reference = pipeline(false, false, None).run(&[&r]).unwrap();
+    for capacity in [1usize, 2, 7] {
+        let result = pipeline(true, true, Some(capacity)).run(&[&r]).unwrap();
+        let label = format!("bounded capacity={capacity}");
+        assert_same_partition(&reference, &result, &label);
+        assert!(
+            result.stats.cache_evictions > 0,
+            "{label}: expected evictions, got stats {:?}",
+            result.stats
+        );
+    }
+}
+
+#[test]
+fn exact_decisions_are_byte_identical_under_eviction() {
+    let r = source();
+    // Reference: the interned exact path with an unbounded cache — the
+    // same arithmetic as the capped runs (the plain path may differ in
+    // the last ulp through its different accumulation order).
+    let reference = pipeline(false, true, None).run(&[&r]).unwrap();
+    for capacity in [1usize, 2, 7] {
+        let result = pipeline(false, true, Some(capacity)).run(&[&r]).unwrap();
+        // Exact mode certifies exact similarities no matter what the
+        // cache remembers: full byte equality, not just the partition.
+        assert_eq!(
+            reference.decisions, result.decisions,
+            "exact capacity={capacity}"
+        );
+        assert_eq!(reference.clusters, result.clusters);
+        assert!(
+            result.stats.cache_evictions > 0,
+            "exact capacity={capacity}: expected evictions"
+        );
+    }
+}

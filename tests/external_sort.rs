@@ -1,0 +1,156 @@
+//! The external merge sort's contract: for **any** corpus and **any**
+//! spill threshold — including run size 1 (every entry its own spilled
+//! run) and thresholds larger than the corpus (never spills) — the
+//! spill-file path produces byte-identical SNM candidates to the
+//! in-memory [`sorted_neighborhood_interned`], and its temp files are
+//! gone afterwards, whether the k-way merge ran to completion or was
+//! dropped mid-stream (a simulated failure).
+//!
+//! [`sorted_neighborhood_interned`]: probdedup::reduction::sorted_neighborhood_interned
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::model::xtuple::XTuple;
+use probdedup::reduction::{
+    sorted_neighborhood_external, sorted_neighborhood_interned, ExternalSortConfig, ExternalSorter,
+    InternedSnmEntry, KeyPart, KeySpec, KeyTable,
+};
+
+fn corpus(entities: usize, seed: u64) -> Vec<XTuple> {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities,
+            sources: 2,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed,
+            ..DatasetConfig::default()
+        },
+    )
+    .combined()
+    .xtuples()
+    .to_vec()
+}
+
+/// One SNM entry per key alternative — the sorting-alternatives entry
+/// list (Section V-A.3).
+fn entries_for(tuples: &[XTuple], spec: &KeySpec) -> (Vec<InternedSnmEntry>, KeyTable) {
+    let table = spec.key_table(tuples);
+    let mut entries = Vec::new();
+    for i in 0..tuples.len() {
+        for &key in table.alternative_keys(i) {
+            entries.push(InternedSnmEntry::new(key, i));
+        }
+    }
+    (entries, table)
+}
+
+/// A fresh, empty spill directory unique to this process + call.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "probdedup-extsort-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn files_in(dir: &PathBuf) -> usize {
+    std::fs::read_dir(dir).expect("read scratch dir").count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any corpus, any run size (1 ⇒ every entry spills as its own run;
+    /// > corpus ⇒ nothing spills), any window, with and without the
+    /// adjacent-duplicate skip: the external path's candidate pairs are
+    /// byte-identical to the in-memory sort, and the spill directory is
+    /// empty once the scan returns.
+    #[test]
+    fn external_sort_matches_in_memory(
+        entities in 2usize..16,
+        seed in 0u64..1_000_000,
+        run_idx in 0usize..5,
+        window in 2usize..6,
+        skip in any::<bool>(),
+    ) {
+        let tuples = corpus(entities, seed);
+        let spec = KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)]);
+        let (entries, table) = entries_for(&tuples, &spec);
+        // Run sizes spanning the degenerate ends: 1 (maximal spilling)
+        // through larger-than-corpus (pure in-memory, zero files).
+        let run_entries = [1, 2, 3, 7, entries.len() + 1][run_idx];
+
+        let (in_memory, _) = sorted_neighborhood_interned(
+            entries.clone(),
+            table.ranks(),
+            window,
+            tuples.len(),
+            skip,
+        );
+
+        let dir = scratch_dir("match");
+        let cfg = ExternalSortConfig {
+            run_entries,
+            dir: Some(dir.clone()),
+        };
+        let (external, stats) =
+            sorted_neighborhood_external(&entries, table.ranks(), window, tuples.len(), skip, &cfg)
+                .expect("external sort");
+
+        prop_assert_eq!(external.pairs(), in_memory.pairs());
+        prop_assert_eq!(stats.entries, entries.len());
+        if run_entries == 1 && entries.len() > 1 {
+            prop_assert!(stats.runs_spilled > 0, "run size 1 must spill");
+        }
+        if run_entries > entries.len() {
+            prop_assert_eq!(stats.runs_spilled, 0, "oversized buffer must not spill");
+            prop_assert_eq!(stats.spilled_bytes, 0);
+        }
+        // Success path: every spilled run is removed with its stream.
+        prop_assert_eq!(files_in(&dir), 0, "spill files left behind");
+        std::fs::remove_dir(&dir).expect("remove scratch dir");
+    }
+
+    /// A consumer that dies mid-merge (stream dropped after one record)
+    /// still leaves no spill files behind — the RAII run handles clean
+    /// up on drop, not on successful exhaustion.
+    #[test]
+    fn early_drop_cleans_spill_files(
+        entities in 2usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let tuples = corpus(entities, seed);
+        let spec = KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)]);
+        let (entries, table) = entries_for(&tuples, &spec);
+
+        let dir = scratch_dir("drop");
+        let cfg = ExternalSortConfig {
+            run_entries: 1, // every entry its own spilled run
+            dir: Some(dir.clone()),
+        };
+        let mut sorter = ExternalSorter::new(cfg);
+        for e in &entries {
+            sorter.push(table.ranks().rank(e.key), e.tuple).expect("push");
+        }
+        let (mut stream, stats) = sorter.finish().expect("finish");
+        prop_assert!(stats.runs_spilled >= entries.len().min(2));
+        prop_assert!(files_in(&dir) > 0, "runs must be on disk mid-merge");
+        // Simulated mid-merge failure: consume one record, then drop.
+        let first = stream.next();
+        prop_assert!(first.is_some());
+        drop(stream);
+        prop_assert_eq!(files_in(&dir), 0, "spill files leaked on early drop");
+        std::fs::remove_dir(&dir).expect("remove scratch dir");
+    }
+}

@@ -1,0 +1,281 @@
+//! The sharded pipeline's **shard-invariance** contract: for every
+//! reduction strategy and every shard count `k ∈ 1..=8`, the merged
+//! [`ShardedPipeline`] result equals the one-shot [`DedupPipeline::run`]
+//! over the same sources.
+//!
+//! Equality is tiered by mode:
+//!
+//! * **exact** (cached or not) and **bounded uncached** — full byte
+//!   equality of the decision list (pairs, classes *and* certified
+//!   similarities), the candidate count, the combined relation, the
+//!   source offsets and the clusters;
+//! * **bounded + cached** — identical match / possible / non-match
+//!   partition (pairs, classes, clusters, candidates). The certified
+//!   representative similarity of a pair may differ: per-shard
+//!   classification order warms the symbol caches differently, and a
+//!   warm hit can certify a pair through a `Below`-bound verdict where
+//!   the cold run computed the exact value (or vice versa). The
+//!   *decision* each certificate proves is the same either way.
+//!
+//! Stats are excluded everywhere — cache traffic legitimately differs
+//! between one sweep and `k` per-shard sweeps.
+//!
+//! [`ShardedPipeline`]: probdedup::core::shard::ShardedPipeline
+//! [`DedupPipeline::run`]: probdedup::core::pipeline::DedupPipeline::run
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup::core::pipeline::{DedupPipeline, DedupResult, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::{MatchClass, Thresholds};
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::relation::XRelation;
+use probdedup::reduction::{
+    ClusterBlockingConfig, ConflictResolution, KeyPart, KeySpec, RankingFunction, WorldSelection,
+};
+use probdedup::textsim::JaroWinkler;
+
+/// Two small dirty sources (kept separate: the sharded run must also
+/// reproduce the one-shot source combination and offsets).
+fn sources(entities: usize, seed: u64) -> Vec<XRelation> {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities,
+            sources: 2,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed,
+            ..DatasetConfig::default()
+        },
+    )
+    .relations
+}
+
+fn key() -> KeySpec {
+    KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)])
+}
+
+/// Every reduction variant the pipeline offers — the streaming SNM
+/// scans, the spillable blocking scans, the positional stripes (full,
+/// ranked) and the in-memory cluster-blocking fallback.
+fn strategies() -> Vec<ReductionStrategy> {
+    vec![
+        ReductionStrategy::Full,
+        ReductionStrategy::SortingAlternatives {
+            spec: key(),
+            window: 4,
+        },
+        ReductionStrategy::ConflictResolved {
+            spec: key(),
+            window: 4,
+            strategy: ConflictResolution::MostProbableAlternative,
+        },
+        ReductionStrategy::MultipassWorlds {
+            spec: key(),
+            window: 3,
+            selection: WorldSelection::TopK(3),
+        },
+        ReductionStrategy::RankedKeys {
+            spec: key(),
+            window: 4,
+            ranking: RankingFunction::MostProbableKey,
+        },
+        ReductionStrategy::BlockingAlternatives { spec: key() },
+        ReductionStrategy::BlockingConflictResolved {
+            spec: key(),
+            strategy: ConflictResolution::MostProbableAlternative,
+        },
+        ReductionStrategy::BlockingMultipass {
+            spec: key(),
+            selection: WorldSelection::TopK(3),
+        },
+        ReductionStrategy::ClusterBlocking {
+            spec: key(),
+            config: ClusterBlockingConfig::default(),
+        },
+    ]
+}
+
+fn pipeline(
+    strategy: ReductionStrategy,
+    bounded: bool,
+    cache: bool,
+    threads: usize,
+) -> DedupPipeline {
+    let schema = sources(1, 7).remove(0).schema().clone();
+    let phi = WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap();
+    let thresholds = Thresholds::new(0.72, 0.82).unwrap();
+    let b = DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .reduction(strategy)
+        .threads(threads)
+        .cache_similarities(cache);
+    if bounded {
+        b.classify_only(phi, thresholds).build()
+    } else {
+        b.model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(phi),
+            Arc::new(ExpectedSimilarity),
+            thresholds,
+        )))
+        .build()
+    }
+}
+
+/// Byte equality: everything but the stats.
+fn assert_identical(reference: &DedupResult, sharded: &DedupResult, label: &str) {
+    assert_eq!(
+        reference.candidates, sharded.candidates,
+        "{label}: candidates"
+    );
+    assert_eq!(reference.decisions, sharded.decisions, "{label}: decisions");
+    assert_eq!(reference.clusters, sharded.clusters, "{label}: clusters");
+    assert_eq!(
+        reference.source_offsets, sharded.source_offsets,
+        "{label}: offsets"
+    );
+    assert_eq!(
+        reference.relation.xtuples(),
+        sharded.relation.xtuples(),
+        "{label}: combined relation"
+    );
+}
+
+/// Partition equality: same pairs with the same classes, same clusters —
+/// certified similarities are allowed to differ (bounded + cached mode).
+fn assert_same_partition(reference: &DedupResult, sharded: &DedupResult, label: &str) {
+    assert_eq!(
+        reference.candidates, sharded.candidates,
+        "{label}: candidates"
+    );
+    let classes: HashMap<(usize, usize), MatchClass> = sharded
+        .decisions
+        .iter()
+        .map(|d| (d.pair, d.class))
+        .collect();
+    assert_eq!(classes.len(), sharded.decisions.len(), "{label}: dup pairs");
+    for d in &reference.decisions {
+        assert_eq!(
+            classes.get(&d.pair),
+            Some(&d.class),
+            "{label}: pair {:?}",
+            d.pair
+        );
+    }
+    assert_eq!(reference.clusters, sharded.clusters, "{label}: clusters");
+    assert_eq!(
+        reference.source_offsets, sharded.source_offsets,
+        "{label}: offsets"
+    );
+}
+
+/// Exhaustive sweep: every strategy × k ∈ 1..=8 × exact/bounded ×
+/// cached/uncached against the one-shot reference.
+#[test]
+fn shard_invariance_across_strategies() {
+    let srcs = sources(16, 0xC0FFEE);
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    for strategy in strategies() {
+        let name = strategy.name();
+        for bounded in [false, true] {
+            for cache in [false, true] {
+                let p = pipeline(strategy.clone(), bounded, cache, 2);
+                let reference = p.run(&refs).unwrap();
+                for k in 1..=8usize {
+                    let (merged, stats) = p.sharded(k).run_with_stats(&refs).unwrap();
+                    let label = format!("{name} bounded={bounded} cache={cache} k={k}");
+                    assert_eq!(stats.shards, k, "{label}");
+                    assert_eq!(
+                        stats.shard_candidates.iter().sum::<usize>(),
+                        merged.candidates,
+                        "{label}: shard counts"
+                    );
+                    if bounded && cache {
+                        // Warm caches may certify a different (equally
+                        // valid) representative similarity per pair; the
+                        // partition itself is invariant.
+                        assert_same_partition(&reference, &merged, &label);
+                    } else {
+                        assert_identical(&reference, &merged, &label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A tight memory budget changes *where* the work happens (spill files,
+/// evictions), never *what* comes out.
+#[test]
+fn shard_invariance_under_tight_budget() {
+    let srcs = sources(16, 0xBEEF);
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let strategy = ReductionStrategy::SortingAlternatives {
+        spec: key(),
+        window: 4,
+    };
+    let reference = pipeline(strategy.clone(), false, true, 2)
+        .run(&refs)
+        .unwrap();
+    let schema = srcs[0].schema().clone();
+    let phi = WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap();
+    let thresholds = Thresholds::new(0.72, 0.82).unwrap();
+    let tight = DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(phi),
+            Arc::new(ExpectedSimilarity),
+            thresholds,
+        )))
+        .reduction(strategy)
+        .threads(2)
+        .cache_similarities(true)
+        .memory_budget(Some(1 << 12)) // 4 KiB: everything tiny
+        .build();
+    for k in [1, 3, 8] {
+        let merged = tight.sharded(k).run(&refs).unwrap();
+        // Exact matching certifies exact similarities regardless of
+        // cache capacity, so even the budgeted run is byte-identical.
+        assert_identical(&reference, &merged, &format!("tight budget k={k}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random corpora: any seed/size, any strategy, any shard count,
+    /// exact or bounded — the merged result matches the one-shot run.
+    #[test]
+    fn shard_invariance_on_random_corpora(
+        seed in 0u64..1_000_000,
+        entities in 4usize..20,
+        strat_idx in 0usize..9,
+        k in 1usize..=8,
+        bounded in any::<bool>(),
+    ) {
+        let srcs = sources(entities, seed);
+        let refs: Vec<&XRelation> = srcs.iter().collect();
+        let strategy = strategies().swap_remove(strat_idx);
+        let label = format!(
+            "{} seed={seed} entities={entities} k={k} bounded={bounded}",
+            strategy.name()
+        );
+        let p = pipeline(strategy, bounded, false, 2);
+        let reference = p.run(&refs).unwrap();
+        let merged = p.sharded(k).run(&refs).unwrap();
+        // Uncached in both modes: full byte equality applies.
+        assert_identical(&reference, &merged, &label);
+    }
+}
