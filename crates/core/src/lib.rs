@@ -80,6 +80,7 @@ pub mod prob_result;
 pub mod session;
 pub mod shard;
 pub mod snapshot;
+pub mod wal;
 
 pub use cluster::UnionFind;
 pub use exec::par_map_index;
@@ -92,3 +93,4 @@ pub use prepare::Preparation;
 pub use prob_result::{probabilistic_result, ProbabilisticResult};
 pub use session::{DedupSession, IncrementalResult};
 pub use shard::{BudgetPlan, ShardError, ShardStats, ShardedPipeline};
+pub use wal::{SessionJournal, WalReplay};

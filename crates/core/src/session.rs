@@ -127,8 +127,8 @@ use crate::pipeline::{
     PairDecision, PipelineConfig, ReductionStrategy,
 };
 use crate::snapshot::{
-    atomic_write, read_file, TAG_CACHES, TAG_CONFIG, TAG_DECIDED, TAG_MATCH_POOL, TAG_OFFSETS,
-    TAG_REDUCTION, TAG_RELATION,
+    atomic_write, read_file, TAG_CACHES, TAG_CONFIG, TAG_DECIDED, TAG_JOURNAL, TAG_MATCH_POOL,
+    TAG_OFFSETS, TAG_REDUCTION, TAG_RELATION,
 };
 
 /// What one [`DedupSession::ingest`] call did: the rows it appended, the
@@ -569,6 +569,11 @@ pub struct DedupSession {
     /// Accumulated bounded-tier counters (match, nonmatch, possible,
     /// exhausted) across the session's classifications.
     tiers: [u64; 4],
+    /// Highest write-ahead-journal sequence number applied to this state
+    /// (0 when the session is not journaled). Maintained by
+    /// [`crate::wal::SessionJournal`], persisted in snapshot section 8 so
+    /// boot-time replay can skip records a snapshot already covers.
+    journal_seq: u64,
 }
 
 impl DedupSession {
@@ -583,7 +588,20 @@ impl DedupSession {
             candidates: CandidatePairs::new(0),
             decided: DecisionMemo::new(),
             tiers: [0; 4],
+            journal_seq: 0,
         }
+    }
+
+    /// Highest journal sequence number this state covers (0 when the
+    /// session has never been journaled — see [`crate::wal`]).
+    pub fn journal_seq(&self) -> u64 {
+        self.journal_seq
+    }
+
+    /// Record that journal record `seq` is now reflected in this state
+    /// (called by [`crate::wal::SessionJournal`] on replay and append).
+    pub(crate) fn set_journal_seq(&mut self, seq: u64) {
+        self.journal_seq = seq;
     }
 
     /// Number of resident combined rows.
@@ -705,11 +723,7 @@ impl DedupSession {
     /// after the last ingest, [`result`](Self::result) equals what one
     /// batch [`run`](Self::run) over the concatenated sources returns.
     pub fn ingest(&mut self, source: &XRelation) -> Result<IncrementalResult, ModelError> {
-        if let Some(rel) = &self.relation {
-            if !rel.schema().compatible_with(source.schema()) {
-                return Err(ModelError::IncompatibleSchemas);
-            }
-        }
+        self.validate_ingest(source)?;
         // Prepare the batch in isolation (preparation is per-tuple).
         let mut batch = XRelation::new(source.schema().clone());
         for t in source.xtuples() {
@@ -757,6 +771,25 @@ impl DedupSession {
             new_decisions,
             candidates: self.candidates.len(),
         })
+    }
+
+    /// Check that `source` would be accepted by [`ingest`](Self::ingest)
+    /// without mutating anything — [`ingest`]'s only failure mode is this
+    /// schema gate, so a batch that passes here cannot fail to apply.
+    ///
+    /// This split is what keeps the write-ahead journal sound: the serving
+    /// daemon validates first, appends the batch to the journal, and only
+    /// then mutates the session, so every journaled record is guaranteed
+    /// to replay cleanly on recovery.
+    ///
+    /// [`ingest`]: Self::ingest
+    pub fn validate_ingest(&self, source: &XRelation) -> Result<(), ModelError> {
+        if let Some(rel) = &self.relation {
+            if !rel.schema().compatible_with(source.schema()) {
+                return Err(ModelError::IncompatibleSchemas);
+            }
+        }
+        Ok(())
     }
 
     /// The merged resident view: every current candidate pair with its
@@ -1028,6 +1061,10 @@ impl DedupSession {
         }
         snap.section(TAG_DECIDED, w);
 
+        let mut w = SectionWriter::new();
+        w.put_u64(self.journal_seq);
+        snap.section(TAG_JOURNAL, w);
+
         snap.finish()
     }
 
@@ -1263,6 +1300,18 @@ impl DedupSession {
             *t = r.take_u64()?;
         }
         r.finish()?;
+
+        // Section 8 (optional, trailing): the highest journal sequence
+        // number this snapshot covers. Pre-WAL files end at section 7 and
+        // read as 0 — the reason the format version did not change.
+        let journal_seq = if reader.has_more() {
+            let mut r = reader.section(TAG_JOURNAL, "journal section")?;
+            let seq = r.take_u64()?;
+            r.finish()?;
+            seq
+        } else {
+            0
+        };
         reader.finish()?;
 
         // Rebuild the row-keyed warm state from the restored pools —
@@ -1320,6 +1369,7 @@ impl DedupSession {
         sorted.sort_unstable_by_key(|d| d.pair);
         self.decided = DecisionMemo::from_decisions(sorted);
         self.tiers = tiers;
+        self.journal_seq = journal_seq;
         Ok(())
     }
 }

@@ -21,6 +21,16 @@
 //! | 5   | caches     | per-attribute similarity + verdict memo entries       |
 //! | 6   | reduction  | the warm [`KeyTable`] pools (values, keys, memos)     |
 //! | 7   | decisions  | every classified pair + the bounded-tier counters     |
+//! | 8   | journal    | *(optional)* highest applied WAL sequence number      |
+//!
+//! Section 8 couples a snapshot to the write-ahead ingest journal
+//! ([`crate::wal`]): it records the journal sequence number the snapshot's
+//! state already covers, so boot-time replay can skip journal records that
+//! are baked into the snapshot (the crash window between snapshot rename
+//! and journal compaction would otherwise double-apply them). The section
+//! is *trailing and optional* — files written before it existed (including
+//! the committed golden v1 fixture) read as "journal seq 0" and keep
+//! loading, which is why the format version did not change.
 //!
 //! The relation is stored *post-preparation*, so opening never re-runs the
 //! preparation plan; pools are stored in dense symbol order, so re-interning
@@ -70,6 +80,9 @@ pub const TAG_CACHES: u32 = 5;
 pub const TAG_REDUCTION: u32 = 6;
 /// Section tag: classified pairs and tier counters.
 pub const TAG_DECIDED: u32 = 7;
+/// Section tag (optional, trailing): highest applied write-ahead-journal
+/// sequence number (see [`crate::wal`]). Absent in pre-WAL snapshots.
+pub const TAG_JOURNAL: u32 = 8;
 
 /// The temp-file path the atomic protocol stages into: `<path>.tmp` in the
 /// same directory (same filesystem, so the rename is atomic).

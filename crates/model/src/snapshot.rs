@@ -461,6 +461,14 @@ impl<'a> SnapshotReader<'a> {
         Ok(SectionReader::new(payload, context))
     }
 
+    /// Whether any section frames remain unread. Lets a caller accept an
+    /// *optional trailing section* (e.g. a newer writer appending state an
+    /// older file lacks) without bumping the format version: peek, read the
+    /// section if present, then [`finish`](Self::finish) as usual.
+    pub fn has_more(&self) -> bool {
+        self.pos != self.buf.len()
+    }
+
     /// Assert all sections have been consumed.
     pub fn finish(&self) -> Result<(), SnapshotError> {
         if self.pos != self.buf.len() {

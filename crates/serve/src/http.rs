@@ -12,7 +12,6 @@
 //! URL-safe characters by the router, and `.pxr` bodies are plain text).
 
 use std::io::{BufReader, Read, Write};
-use std::net::TcpStream;
 
 /// Upper bound on the request line + each header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -85,7 +84,7 @@ impl Request {
 
 /// Read one line up to CRLF (or bare LF), enforcing [`MAX_LINE`]. Returns
 /// `None` on clean EOF before any byte (idle keep-alive close).
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
+fn read_line<R: Read>(reader: &mut BufReader<R>) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     let mut byte = [0u8; 1];
     loop {
@@ -116,8 +115,9 @@ fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpEr
 }
 
 /// Parse one request off the connection. `Ok(None)` means the peer closed
-/// cleanly between requests (the keep-alive loop's exit).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+/// cleanly between requests (the keep-alive loop's exit). Generic over the
+/// byte source so the framing tests can drive it from in-memory buffers.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Option<Request>, HttpError> {
     let Some(request_line) = read_line(reader)? else {
         return Ok(None);
     };
@@ -162,8 +162,22 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
         }
     }
 
+    // Read exactly `Content-Length` bytes, treating a premature EOF as a
+    // protocol violation (→ 400), not an I/O failure: a client that closes
+    // mid-body sent a frame that disagrees with its own declared length,
+    // and the truncated bytes must never be parsed as a complete body.
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest("body shorter than Content-Length"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
 
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -195,6 +209,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body bytes.
     pub body: Vec<u8>,
+    /// `Retry-After` header value in seconds (load-shedding responses).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -204,12 +220,21 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
     /// A JSON error body `{"error": detail}`.
     pub fn error(status: u16, detail: &str) -> Self {
         Self::json(status, format!("{{\"error\": {}}}\n", json_string(detail)))
+    }
+
+    /// A load-shedding `503` carrying `Retry-After: {seconds}` — the
+    /// overload answer: refuse now, tell the client when to come back.
+    pub fn shed(detail: &str, seconds: u32) -> Self {
+        let mut resp = Self::error(503, detail);
+        resp.retry_after = Some(seconds);
+        resp
     }
 }
 
@@ -229,19 +254,24 @@ fn reason(status: u16) -> &'static str {
 
 /// Serialize `response` onto the stream (one write syscall via a local
 /// buffer; `Connection: close` is advertised when the loop will close).
-pub fn write_response(
-    stream: &mut TcpStream,
+pub fn write_response<W: Write>(
+    stream: &mut W,
     response: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let mut out = Vec::with_capacity(response.body.len() + 128);
+    let retry_after = response
+        .retry_after
+        .map(|s| format!("Retry-After: {s}\r\n"))
+        .unwrap_or_default();
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
             response.status,
             reason(response.status),
             response.content_type,
             response.body.len(),
+            retry_after,
             if keep_alive { "keep-alive" } else { "close" },
         )
         .as_bytes(),
@@ -288,5 +318,93 @@ mod tests {
         for status in [200, 400, 404, 405, 409, 413, 503, 500] {
             assert!(!reason(status).is_empty());
         }
+    }
+
+    /// Drive the parser from an in-memory buffer, as a socket would.
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn well_framed_request_parses() {
+        let req = parse(b"POST /sessions/a/ingest?x=1 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/a/ingest");
+        assert_eq!(req.query_value("x"), Some("1"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn body_shorter_than_content_length_is_a_bad_request() {
+        // The client declared 100 bytes and hung up after 9: the truncated
+        // body must never surface as a parsed request (it would be handed
+        // to the ingest parser as a truncated corpus).
+        let err =
+            parse(b"POST /sessions/a/ingest HTTP/1.1\r\nContent-Length: 100\r\n\r\ntruncated")
+                .unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn eof_immediately_after_headers_is_a_bad_request() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn zero_length_body_needs_no_bytes() {
+        let req = parse(b"GET /health HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        for (raw, label) in [
+            (b"GET /x\r\n\r\n".as_slice(), "missing version"),
+            (b"GET /x SMTP/1.0\r\n\r\n".as_slice(), "bad protocol"),
+            (
+                b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n".as_slice(),
+                "header without colon",
+            ),
+            (
+                b"GET /x HTTP/1.1\r\nContent-Length: many\r\n\r\n".as_slice(),
+                "non-numeric length",
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".as_slice(),
+                "chunked body",
+            ),
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert!(matches!(err, HttpError::BadRequest(_)), "{label}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge), "{err:?}");
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::shed("overloaded", 1), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        // Plain responses must not grow the header.
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 }

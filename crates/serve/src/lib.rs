@@ -32,6 +32,38 @@
 //! interval, through the same atomic temp+fsync+rename writes the
 //! snapshot codec always uses.
 //!
+//! ## Durability: the write-ahead journal
+//!
+//! With a WAL directory configured
+//! ([`wal_dir`](server::ServeConfig::wal_dir)), every accepted `ingest`
+//! and `dedup` batch is appended to `NAME.wal` and fsynced *before* it
+//! mutates the session
+//! ([`SessionJournal`](probdedup_core::wal::SessionJournal)). Boot then
+//! recovers `snapshot + journal tail` — a `kill -9` at any instant loses
+//! no acknowledged batch. Each durable snapshot compacts the journal it
+//! covers; a torn trailing record (crash mid-append) is truncated away on
+//! the next open. The record format and the compaction protocol live in
+//! `ARCHITECTURE.md` under *Durability & degradation*.
+//!
+//! ## Degradation under overload and panics
+//!
+//! Three hardening layers keep one bad client or one bug from taking the
+//! daemon down: a per-connection read/write deadline
+//! ([`request_timeout`](server::ServeConfig::request_timeout)) disconnects
+//! stalled peers; an admission gate
+//! ([`max_inflight`](server::ServeConfig::max_inflight)) sheds session
+//! requests past the bound with `503` + `Retry-After` instead of queueing
+//! unboundedly (the ops surface — `/health`, `/stats` — stays exempt);
+//! and a `catch_unwind` boundary per request turns a handler panic into a
+//! `500` while the process keeps serving. A session whose lock was
+//! poisoned by such a panic is *quarantined*: it answers `503` and is
+//! skipped by autosave (its durable `snapshot + journal` state is intact,
+//! because journaling precedes mutation) until a restart replays it back.
+//! `/health` reports `"degraded"` while any session is quarantined, and
+//! `/stats` carries the full counter set (`wal_appends`,
+//! `wal_replayed_records`, `requests_shed`, `panics_caught`,
+//! `sessions_degraded`, `inflight_peak`).
+//!
 //! ```
 //! use probdedup_serve::server::{ServeConfig, Server};
 //! use probdedup_serve::client::Client;

@@ -5,14 +5,16 @@
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use probdedup_core::pipeline::{DedupPipeline, DedupResult, MatchingStats, ReductionStrategy};
 use probdedup_core::prepare::Preparation;
 use probdedup_core::session::DedupSession;
+use probdedup_core::wal::SessionJournal;
 use probdedup_decision::combine::WeightedSum;
 use probdedup_decision::derive_sim::ExpectedSimilarity;
 use probdedup_decision::threshold::{MatchClass, Thresholds};
@@ -37,6 +39,12 @@ pub enum ServeError {
     /// a different pipeline configuration — boot fails loudly rather
     /// than silently dropping persisted state.
     Snapshot(PathBuf, SnapshotError),
+    /// The write-ahead-journal directory could not be created or is not
+    /// writable (probed at boot, before any ingest can be accepted).
+    WalDir(PathBuf, std::io::Error),
+    /// A journal failed to open or replay at boot — recovery refuses to
+    /// guess rather than serve a corpus with holes.
+    Wal(PathBuf, SnapshotError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -45,6 +53,8 @@ impl std::fmt::Display for ServeError {
             Self::Bind(addr, e) => write!(f, "cannot bind {addr}: {e}"),
             Self::SnapshotDir(p, e) => write!(f, "snapshot dir {}: {e}", p.display()),
             Self::Snapshot(p, e) => write!(f, "snapshot {}: {e}", p.display()),
+            Self::WalDir(p, e) => write!(f, "wal dir {}: {e}", p.display()),
+            Self::Wal(p, e) => write!(f, "journal {}: {e}", p.display()),
         }
     }
 }
@@ -64,7 +74,26 @@ pub struct ServeConfig {
     pub snapshot_dir: Option<PathBuf>,
     /// Autosave every this often (requires `snapshot_dir`).
     pub autosave_interval: Option<Duration>,
+    /// Directory for `NAME.wal` write-ahead journals: every accepted
+    /// ingest/dedup is fsynced here *before* it mutates the session, and
+    /// boot replays `snapshot + journal tail` so a `kill -9` loses
+    /// nothing. `None` disables journaling (PR 7 behavior).
+    pub wal_dir: Option<PathBuf>,
+    /// Bound on concurrently executing session requests; past it the
+    /// daemon sheds with `503 Retry-After` instead of queueing
+    /// unboundedly. `None` leaves admission unbounded.
+    pub max_inflight: Option<u64>,
+    /// Per-connection read **and** write deadline: a client that stalls
+    /// mid-request or stops draining its response is disconnected rather
+    /// than holding a worker thread forever.
+    pub request_timeout: Duration,
+    /// Enable `/sessions/{name}/debug-*` chaos endpoints (panic and sleep
+    /// injection). Test-only: never exposed through the CLI.
+    pub debug_endpoints: bool,
 }
+
+/// Default per-connection read/write deadline.
+const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(60);
 
 impl ServeConfig {
     /// A daemon on `addr` over `pipeline`, without persistence.
@@ -74,6 +103,10 @@ impl ServeConfig {
             pipeline,
             snapshot_dir: None,
             autosave_interval: None,
+            wal_dir: None,
+            max_inflight: None,
+            request_timeout: DEFAULT_REQUEST_TIMEOUT,
+            debug_endpoints: false,
         }
     }
 
@@ -86,6 +119,30 @@ impl ServeConfig {
     /// Autosave all sessions every `interval`.
     pub fn autosave_interval(mut self, interval: Duration) -> Self {
         self.autosave_interval = Some(interval);
+        self
+    }
+
+    /// Enable write-ahead journaling under `dir`.
+    pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Shed session requests beyond `bound` concurrently in flight.
+    pub fn max_inflight(mut self, bound: u64) -> Self {
+        self.max_inflight = Some(bound);
+        self
+    }
+
+    /// Set the per-connection read/write deadline.
+    pub fn request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Enable the chaos-injection debug endpoints (tests only).
+    pub fn debug_endpoints(mut self, enabled: bool) -> Self {
+        self.debug_endpoints = enabled;
         self
     }
 
@@ -146,23 +203,107 @@ struct Baseline {
 /// One named resident session.
 struct SessionEntry {
     session: RwLock<DedupSession>,
+    /// The session's write-ahead journal (when the daemon runs with
+    /// `--wal-dir`). Lock order: session lock first, journal second.
+    journal: Option<Mutex<SessionJournal>>,
+    /// Quarantined after a panic poisoned its lock: the in-memory state
+    /// may be inconsistent, so the session answers 503 until a restart
+    /// recovers it from `snapshot + journal` (the durable state is
+    /// untouched — journaling happens before mutation).
+    degraded: AtomicBool,
     opened: Instant,
-    /// Restored from a snapshot at boot (vs. created by a request).
+    /// Restored from a snapshot/journal at boot (vs. created by a request).
     restored: bool,
     base: Baseline,
 }
 
+/// The quarantine answer for a degraded session.
+fn degraded_response() -> Response {
+    Response::error(
+        503,
+        "session degraded by an earlier panic; restart the daemon to recover it from snapshot + journal",
+    )
+}
+
 impl SessionEntry {
-    fn new(session: DedupSession, restored: bool) -> Self {
+    fn new(session: DedupSession, restored: bool, journal: Option<SessionJournal>) -> Self {
         let base = Baseline {
             stats: session.stats(),
             key_renders: session.key_render_count(),
         };
         Self {
             session: RwLock::new(session),
+            journal: journal.map(Mutex::new),
+            degraded: AtomicBool::new(false),
             opened: Instant::now(),
             restored,
             base,
+        }
+    }
+
+    /// Mark the session degraded (idempotent; bumps the gauge once).
+    fn mark_degraded(&self, state: &ServerState) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            state.sessions_degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Read access honoring the quarantine: a poisoned lock (a handler
+    /// panicked mid-mutation) degrades the session *here*, instead of
+    /// recovering possibly-inconsistent state and serving it as truth.
+    fn read_guard(
+        &self,
+        state: &ServerState,
+    ) -> Result<RwLockReadGuard<'_, DedupSession>, Response> {
+        if self.is_degraded() {
+            return Err(degraded_response());
+        }
+        match self.session.read() {
+            Ok(g) => Ok(g),
+            Err(_) => {
+                self.mark_degraded(state);
+                Err(degraded_response())
+            }
+        }
+    }
+
+    /// Write access honoring the quarantine (see [`read_guard`](Self::read_guard)).
+    fn write_guard(
+        &self,
+        state: &ServerState,
+    ) -> Result<RwLockWriteGuard<'_, DedupSession>, Response> {
+        if self.is_degraded() {
+            return Err(degraded_response());
+        }
+        match self.session.write() {
+            Ok(g) => Ok(g),
+            Err(_) => {
+                self.mark_degraded(state);
+                Err(degraded_response())
+            }
+        }
+    }
+
+    /// The journal guard; a poisoned journal mutex (a panic mid-append)
+    /// also quarantines — the file tail may be torn, and recovery's
+    /// truncation is the only safe repair.
+    fn journal_guard(
+        &self,
+        state: &ServerState,
+    ) -> Result<Option<MutexGuard<'_, SessionJournal>>, Response> {
+        match &self.journal {
+            None => Ok(None),
+            Some(m) => match m.lock() {
+                Ok(g) => Ok(Some(g)),
+                Err(_) => {
+                    self.mark_degraded(state);
+                    Err(degraded_response())
+                }
+            },
         }
     }
 }
@@ -180,6 +321,7 @@ struct EndpointCounters {
 struct ServerState {
     pipeline: DedupPipeline,
     snapshot_dir: Option<PathBuf>,
+    wal_dir: Option<PathBuf>,
     sessions: RwLock<BTreeMap<String, Arc<SessionEntry>>>,
     started: Instant,
     shutting_down: AtomicBool,
@@ -188,6 +330,46 @@ struct ServerState {
     pairs_classified: AtomicU64,
     autosaves: AtomicU64,
     endpoints: EndpointCounters,
+    /// Admission control: session requests currently executing, the bound
+    /// past which new ones are shed, and the high-water mark (the proof
+    /// the bound was never exceeded).
+    max_inflight: Option<u64>,
+    inflight: AtomicU64,
+    inflight_peak: AtomicU64,
+    requests_shed: AtomicU64,
+    /// Handler panics caught at the connection boundary (the process
+    /// lives; the affected session is quarantined on next touch).
+    panics_caught: AtomicU64,
+    sessions_degraded: AtomicU64,
+    /// Journal records appended / replayed since open.
+    wal_appends: AtomicU64,
+    wal_replayed: AtomicU64,
+    request_timeout: Duration,
+    debug_endpoints: bool,
+}
+
+/// RAII slot in the in-flight gate (released even when the handler
+/// panics — the guard lives outside the `catch_unwind`).
+struct InflightSlot<'a>(&'a ServerState);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl ServerState {
+    /// Try to enter the in-flight gate; `None` means shed this request.
+    fn try_acquire_slot(&self) -> Option<InflightSlot<'_>> {
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.max_inflight.is_some_and(|bound| now > bound) {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.requests_shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.inflight_peak.fetch_max(now, Ordering::SeqCst);
+        Some(InflightSlot(self))
+    }
 }
 
 /// Read-lock tolerating poisoning: a panicking handler thread must not
@@ -213,6 +395,26 @@ fn valid_name(name: &str) -> bool {
         && name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Collect the valid session names of every `*.{ext}` file in `dir`.
+fn collect_stems(
+    dir: &std::path::Path,
+    ext: &str,
+    out: &mut std::collections::BTreeSet<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_none_or(|e| e != ext) {
+            continue;
+        }
+        if let Some(name) = path.file_stem().and_then(|s| s.to_str()) {
+            if valid_name(name) {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    Ok(())
 }
 
 fn class_name(class: MatchClass) -> &'static str {
@@ -245,25 +447,55 @@ impl ServerState {
             .map(|d| d.join(format!("{name}.snap")))
     }
 
+    fn wal_path(&self, name: &str) -> Option<PathBuf> {
+        self.wal_dir.as_ref().map(|d| d.join(format!("{name}.wal")))
+    }
+
     /// Get or create the named session (creation is what `ingest` and
-    /// `dedup` do on first contact; read endpoints 404 instead).
-    fn entry_or_create(&self, name: &str) -> Arc<SessionEntry> {
+    /// `dedup` do on first contact; read endpoints 404 instead). With
+    /// journaling on, creation opens the session's journal *before* the
+    /// entry becomes visible — a session the registry serves always has a
+    /// durable append path.
+    fn entry_or_create(&self, name: &str) -> Result<Arc<SessionEntry>, Response> {
         if let Some(e) = rlock(&self.sessions).get(name) {
-            return e.clone();
+            return Ok(e.clone());
         }
-        wlock(&self.sessions)
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(SessionEntry::new(self.pipeline.session(), false)))
-            .clone()
+        let mut registry = wlock(&self.sessions);
+        if let Some(e) = registry.get(name) {
+            return Ok(e.clone());
+        }
+        let mut session = self.pipeline.session();
+        let journal = match self.wal_path(name) {
+            None => None,
+            Some(path) => match SessionJournal::open_and_replay(&path, &mut session) {
+                Ok((journal, replay)) => {
+                    self.wal_replayed
+                        .fetch_add(replay.replayed, Ordering::Relaxed);
+                    Some(journal)
+                }
+                Err(e) => {
+                    return Err(Response::error(
+                        500,
+                        &format!("cannot open journal {}: {e}", path.display()),
+                    ));
+                }
+            },
+        };
+        let entry = Arc::new(SessionEntry::new(session, false, journal));
+        registry.insert(name.to_string(), entry.clone());
+        Ok(entry)
     }
 
     fn entry(&self, name: &str) -> Option<Arc<SessionEntry>> {
         rlock(&self.sessions).get(name).cloned()
     }
 
-    /// Persist every non-empty session to the snapshot directory.
-    /// Returns how many were saved; failures are reported but do not
-    /// abort the sweep (one bad disk sector must not lose the rest).
+    /// Persist every non-empty session to the snapshot directory and
+    /// compact its journal. Returns how many were saved; failures are
+    /// reported but do not abort the sweep (one bad disk sector must not
+    /// lose the rest). Degraded sessions are skipped — their in-memory
+    /// state is suspect, and their durable `snapshot + journal` is intact
+    /// precisely because nothing overwrites it after the quarantine.
     fn save_all(&self) -> usize {
         let Some(_) = self.snapshot_dir else { return 0 };
         let entries: Vec<(String, Arc<SessionEntry>)> = rlock(&self.sessions)
@@ -275,12 +507,39 @@ impl ServerState {
             let path = self
                 .snapshot_path(&name)
                 .expect("snapshot_dir checked above");
-            let session = rlock(&entry.session);
+            // The read guard is held across save *and* compaction: an
+            // append cannot interleave (it needs the write lock), so the
+            // snapshot provably covers every sequence the compaction
+            // truncates.
+            let Ok(session) = entry.read_guard(self) else {
+                eprintln!(
+                    "probdedup-serve: autosave {}: session degraded, keeping last durable state",
+                    path.display()
+                );
+                continue;
+            };
             if session.is_empty() {
                 continue;
             }
             match session.save(&path) {
-                Ok(()) => saved += 1,
+                Ok(()) => {
+                    saved += 1;
+                    match entry.journal_guard(self) {
+                        Ok(Some(mut journal)) => {
+                            if let Err(e) = journal.compact(session.journal_seq()) {
+                                eprintln!(
+                                    "probdedup-serve: compact {}: {e}",
+                                    journal.path().display()
+                                );
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(_) => eprintln!(
+                            "probdedup-serve: autosave {}: journal poisoned, session quarantined",
+                            path.display()
+                        ),
+                    }
+                }
                 Err(e) => eprintln!("probdedup-serve: autosave {}: {e}", path.display()),
             }
         }
@@ -316,14 +575,29 @@ fn handle_request(state: &ServerState, req: &Request) -> Response {
 }
 
 fn handle_health(state: &ServerState) -> Response {
+    let degraded = state.sessions_degraded.load(Ordering::Relaxed);
     Response::json(
         200,
         format!(
-            "{{\"status\": \"ok\", \"sessions\": {}, \"uptime_secs\": {:.3}}}\n",
+            concat!(
+                "{{\"status\": \"{}\", \"sessions\": {}, \"sessions_degraded\": {}, ",
+                "\"uptime_secs\": {:.3}}}\n"
+            ),
+            if degraded == 0 { "ok" } else { "degraded" },
             rlock(&state.sessions).len(),
+            degraded,
             state.uptime_secs(),
         ),
     )
+}
+
+/// `"ok"` / `"degraded"` for a session's health-state field.
+fn entry_state(e: &SessionEntry) -> &'static str {
+    if e.is_degraded() {
+        "degraded"
+    } else {
+        "ok"
+    }
 }
 
 fn handle_sessions(state: &ServerState) -> Response {
@@ -332,11 +606,12 @@ fn handle_sessions(state: &ServerState) -> Response {
         .map(|(name, e)| {
             let s = rlock(&e.session);
             format!(
-                "{{\"name\": {}, \"rows\": {}, \"sources\": {}, \"restored\": {}}}",
+                "{{\"name\": {}, \"rows\": {}, \"sources\": {}, \"restored\": {}, \"state\": \"{}\"}}",
                 json_string(name),
                 s.rows(),
                 s.source_count(),
                 e.restored,
+                entry_state(e),
             )
         })
         .collect();
@@ -356,7 +631,8 @@ fn handle_stats(state: &ServerState) -> Response {
                 concat!(
                     "{{\"name\": {}, \"rows\": {}, \"sources\": {}, \"candidates\": {}, ",
                     "\"decided_pairs\": {}, \"interned_values\": {}, \"uptime_secs\": {:.3}, ",
-                    "\"restored\": {}, \"key_renders\": {}, \"key_renders_since_open\": {}, ",
+                    "\"restored\": {}, \"state\": \"{}\", \"journal_seq\": {}, ",
+                    "\"key_renders\": {}, \"key_renders_since_open\": {}, ",
                     "\"cache_hits_since_open\": {}, \"cache_misses_since_open\": {}, ",
                     "\"cache_evictions_since_open\": {}, \"memo_evictions_since_open\": {}}}"
                 ),
@@ -368,6 +644,8 @@ fn handle_stats(state: &ServerState) -> Response {
                 s.interned_value_count(),
                 e.opened.elapsed().as_secs_f64(),
                 e.restored,
+                entry_state(&e),
+                s.journal_seq(),
                 s.key_render_count(),
                 s.key_render_count() - e.base.key_renders,
                 stats.cache_hits - e.base.stats.cache_hits,
@@ -377,6 +655,7 @@ fn handle_stats(state: &ServerState) -> Response {
             )
         })
         .collect();
+    let wal_replayed = state.wal_replayed.load(Ordering::Relaxed);
     Response::json(
         200,
         format!(
@@ -385,6 +664,9 @@ fn handle_stats(state: &ServerState) -> Response {
                 "\"errors\": {}, \"pairs_classified\": {}, \"autosaves\": {}, ",
                 "\"requests_dedup\": {}, \"requests_ingest\": {}, \"requests_query\": {}, ",
                 "\"requests_partition\": {}, \"requests_snapshot\": {}, ",
+                "\"wal_appends\": {}, \"wal_replayed_records\": {}, ",
+                "\"journal_replayed_records\": {}, \"requests_shed\": {}, ",
+                "\"panics_caught\": {}, \"sessions_degraded\": {}, \"inflight_peak\": {}, ",
                 "\"sessions\": [{}]}}\n"
             ),
             state.uptime_secs(),
@@ -397,6 +679,14 @@ fn handle_stats(state: &ServerState) -> Response {
             state.endpoints.query.load(Ordering::Relaxed),
             state.endpoints.partition.load(Ordering::Relaxed),
             state.endpoints.snapshot.load(Ordering::Relaxed),
+            state.wal_appends.load(Ordering::Relaxed),
+            wal_replayed,
+            // Alias of wal_replayed_records (the ops-facing name).
+            wal_replayed,
+            state.requests_shed.load(Ordering::Relaxed),
+            state.panics_caught.load(Ordering::Relaxed),
+            state.sessions_degraded.load(Ordering::Relaxed),
+            state.inflight_peak.load(Ordering::Relaxed),
             session_rows.join(", "),
         ),
     )
@@ -422,11 +712,36 @@ fn handle_session_route(state: &ServerState, req: &Request) -> Response {
         ("GET", "query") => handle_query(state, name, req),
         ("GET", "partition") => handle_partition(state, name, req),
         ("POST", "snapshot") => handle_snapshot(state, name),
+        ("POST", "debug-panic") if state.debug_endpoints => handle_debug_panic(state, name),
+        ("GET", "debug-sleep") if state.debug_endpoints => handle_debug_sleep(req),
         (_, "ingest" | "dedup" | "query" | "partition" | "snapshot") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "unknown session action"),
     }
+}
+
+/// `POST /sessions/{name}/debug-panic` (chaos injection, test builds of
+/// the config only): panic while holding the session's write lock —
+/// exactly the failure `catch_unwind` + quarantine must contain.
+fn handle_debug_panic(state: &ServerState, name: &str) -> Response {
+    let Some(entry) = state.entry(name) else {
+        return Response::error(404, "no such session");
+    };
+    let _guard = entry.write_guard(state);
+    panic!("injected panic (debug-panic endpoint)");
+}
+
+/// `GET /sessions/{name}/debug-sleep?ms=N` (chaos injection): occupy an
+/// in-flight slot for `ms` milliseconds, for deterministic shedding tests.
+fn handle_debug_sleep(req: &Request) -> Response {
+    let ms: u64 = req
+        .query_value("ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+        .min(5_000);
+    std::thread::sleep(Duration::from_millis(ms));
+    Response::json(200, format!("{{\"slept_ms\": {ms}}}\n"))
 }
 
 /// Parse a `.pxr` body and check its arity against the pipeline.
@@ -456,9 +771,33 @@ fn handle_ingest(state: &ServerState, name: &str, body: &[u8]) -> Response {
         Ok(r) => r,
         Err(resp) => return resp,
     };
-    let entry = state.entry_or_create(name);
-    let mut session = wlock(&entry.session);
-    match session.ingest(&rel) {
+    let entry = match state.entry_or_create(name) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let mut session = match entry.write_guard(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    // Write-ahead discipline: validate, journal + fsync, then mutate.
+    // A journal append failure refuses the batch with memory and disk
+    // still in agreement; an accepted batch is durable before this
+    // response is even built.
+    let step = match entry.journal_guard(state) {
+        Err(resp) => return resp,
+        Ok(Some(mut journal)) => match journal.ingest(&mut session, &rel) {
+            Ok(step) => {
+                state.wal_appends.fetch_add(1, Ordering::Relaxed);
+                Ok(step)
+            }
+            Err(SnapshotError::Model(e)) => Err(Response::error(409, &format!("ingest: {e}"))),
+            Err(e) => Err(Response::error(500, &format!("journal append: {e}"))),
+        },
+        Ok(None) => session
+            .ingest(&rel)
+            .map_err(|e| Response::error(409, &format!("ingest: {e}"))),
+    };
+    match step {
         Ok(step) => {
             state
                 .pairs_classified
@@ -481,7 +820,7 @@ fn handle_ingest(state: &ServerState, name: &str, body: &[u8]) -> Response {
                 ),
             )
         }
-        Err(e) => Response::error(409, &format!("ingest: {e}")),
+        Err(resp) => resp,
     }
 }
 
@@ -529,16 +868,38 @@ fn handle_dedup(state: &ServerState, name: &str, body: &[u8]) -> Response {
         Ok(r) => r,
         Err(resp) => return resp,
     };
-    let entry = state.entry_or_create(name);
-    let mut session = wlock(&entry.session);
-    match session.run(&[&rel]) {
+    let entry = match state.entry_or_create(name) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let mut session = match entry.write_guard(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    // Corpus replacements journal like ingests: recovery must converge to
+    // the same resident corpus (see `probdedup_core::wal`).
+    let result = match entry.journal_guard(state) {
+        Err(resp) => return resp,
+        Ok(Some(mut journal)) => match journal.run(&mut session, &rel) {
+            Ok(result) => {
+                state.wal_appends.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
+            }
+            Err(SnapshotError::Model(e)) => Err(Response::error(409, &format!("dedup: {e}"))),
+            Err(e) => Err(Response::error(500, &format!("journal append: {e}"))),
+        },
+        Ok(None) => session
+            .run(&[&rel])
+            .map_err(|e| Response::error(409, &format!("dedup: {e}"))),
+    };
+    match result {
         Ok(result) => {
             state
                 .pairs_classified
                 .fetch_add(result.decisions.len() as u64, Ordering::Relaxed);
             Response::json(200, result_json(name, &result, false))
         }
-        Err(e) => Response::error(409, &format!("dedup: {e}")),
+        Err(resp) => resp,
     }
 }
 
@@ -560,7 +921,10 @@ fn handle_query(state: &ServerState, name: &str, req: &Request) -> Response {
         (Ok(i), Ok(j)) => (i, j),
         (Err(r), _) | (_, Err(r)) => return r,
     };
-    let session = rlock(&entry.session);
+    let session = match entry.read_guard(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
     match session.classify_pair(i, j) {
         Some(d) => {
             state.pairs_classified.fetch_add(1, Ordering::Relaxed);
@@ -595,7 +959,10 @@ fn handle_partition(state: &ServerState, name: &str, req: &Request) -> Response 
     let full = req
         .query_value("full")
         .is_some_and(|v| v == "1" || v == "true");
-    let session = rlock(&entry.session);
+    let session = match entry.read_guard(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
     let result = session.result();
     Response::json(200, result_json(name, &result, full))
 }
@@ -608,9 +975,19 @@ fn handle_snapshot(state: &ServerState, name: &str) -> Response {
     let Some(path) = state.snapshot_path(name) else {
         return Response::error(400, "no snapshot directory configured (--snapshot-dir)");
     };
-    let session = rlock(&entry.session);
+    let session = match entry.read_guard(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
     match session.save(&path) {
         Ok(()) => {
+            // Snapshot durable → the journal tail it covers is redundant.
+            // The read guard is still held, so no append can interleave.
+            if let Ok(Some(mut journal)) = entry.journal_guard(state) {
+                if let Err(e) = journal.compact(session.journal_seq()) {
+                    eprintln!("probdedup-serve: compact {}: {e}", journal.path().display());
+                }
+            }
             let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             Response::json(
                 200,
@@ -632,8 +1009,42 @@ fn handle_snapshot(state: &ServerState, name: &str) -> Response {
 // Connection loop
 // ---------------------------------------------------------------------
 
+/// Session routes (`/sessions/{name}/{action}`) pass through the
+/// admission gate; the ops surface (`/health`, `/stats`, `/sessions`,
+/// `/shutdown`) stays exempt so visibility survives overload.
+fn is_session_route(path: &str) -> bool {
+    path.strip_prefix("/sessions/")
+        .is_some_and(|rest| rest.contains('/'))
+}
+
+/// Dispatch one request behind the in-flight gate and a panic boundary.
+/// The slot guard lives *outside* the `catch_unwind`, so a panicking
+/// handler still releases its slot; the panic itself becomes a 500 and
+/// the process keeps serving (the touched session is quarantined by its
+/// poisoned lock on next access).
+fn dispatch(state: &ServerState, req: &Request) -> Response {
+    let _slot = if is_session_route(&req.path) {
+        match state.try_acquire_slot() {
+            Some(slot) => Some(slot),
+            None => {
+                return Response::shed("server at --max-inflight capacity; retry shortly", 1);
+            }
+        }
+    } else {
+        None
+    };
+    match catch_unwind(AssertUnwindSafe(|| handle_request(state, req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            state.panics_caught.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, "internal panic (caught; connection isolated)")
+        }
+    }
+}
+
 fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_read_timeout(Some(state.request_timeout));
+    let _ = stream.set_write_timeout(Some(state.request_timeout));
     let mut peer = stream.try_clone();
     let mut reader = std::io::BufReader::new(stream);
     loop {
@@ -657,7 +1068,7 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
         let resp = if state.shutting_down.load(Ordering::SeqCst) && !shutdown_request {
             Response::error(503, "shutting down")
         } else {
-            handle_request(&state, &req)
+            dispatch(&state, &req)
         };
         if resp.status >= 400 {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -771,31 +1182,61 @@ impl Server {
             .local_addr()
             .map_err(|e| ServeError::Bind(config.addr.clone(), e))?;
 
-        let mut sessions = BTreeMap::new();
+        // Boot over the *union* of snapshot and journal names: a session
+        // whose snapshot never happened (crash before the first save)
+        // still exists durably as `NAME.wal` and must come back.
+        let mut boot_names = std::collections::BTreeSet::new();
         if let Some(dir) = &config.snapshot_dir {
             std::fs::create_dir_all(dir).map_err(|e| ServeError::SnapshotDir(dir.clone(), e))?;
-            let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
-                .map_err(|e| ServeError::SnapshotDir(dir.clone(), e))?
-                .filter_map(|entry| entry.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|ext| ext == "snap"))
-                .collect();
-            paths.sort();
-            for path in paths {
-                let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
-                    continue;
-                };
-                if !valid_name(name) {
-                    continue;
+            collect_stems(dir, "snap", &mut boot_names)
+                .map_err(|e| ServeError::SnapshotDir(dir.clone(), e))?;
+        }
+        if let Some(dir) = &config.wal_dir {
+            std::fs::create_dir_all(dir).map_err(|e| ServeError::WalDir(dir.clone(), e))?;
+            // Probe writability now: an ingest that cannot journal would
+            // otherwise only surface after the daemon accepted traffic.
+            let probe = dir.join(".wal-write-probe");
+            std::fs::write(&probe, b"probe").map_err(|e| ServeError::WalDir(dir.clone(), e))?;
+            std::fs::remove_file(&probe).map_err(|e| ServeError::WalDir(dir.clone(), e))?;
+            collect_stems(dir, "wal", &mut boot_names)
+                .map_err(|e| ServeError::WalDir(dir.clone(), e))?;
+        }
+
+        let mut sessions = BTreeMap::new();
+        let mut wal_replayed_total = 0u64;
+        for name in boot_names {
+            let snap_path = config
+                .snapshot_dir
+                .as_ref()
+                .map(|d| d.join(format!("{name}.snap")))
+                .filter(|p| p.is_file());
+            let mut restored = snap_path.is_some();
+            let mut session = match &snap_path {
+                Some(path) => DedupSession::open(path, &config.pipeline)
+                    .map_err(|e| ServeError::Snapshot(path.clone(), e))?,
+                None => config.pipeline.session(),
+            };
+            let journal = match &config.wal_dir {
+                None => None,
+                Some(dir) => {
+                    let path = dir.join(format!("{name}.wal"));
+                    let (journal, replay) = SessionJournal::open_and_replay(&path, &mut session)
+                        .map_err(|e| ServeError::Wal(path.clone(), e))?;
+                    wal_replayed_total += replay.replayed;
+                    restored |= replay.replayed > 0;
+                    Some(journal)
                 }
-                let session = DedupSession::open(&path, &config.pipeline)
-                    .map_err(|e| ServeError::Snapshot(path.clone(), e))?;
-                sessions.insert(name.to_string(), Arc::new(SessionEntry::new(session, true)));
-            }
+            };
+            sessions.insert(
+                name,
+                Arc::new(SessionEntry::new(session, restored, journal)),
+            );
         }
 
         let state = Arc::new(ServerState {
             pipeline: config.pipeline,
             snapshot_dir: config.snapshot_dir,
+            wal_dir: config.wal_dir,
             sessions: RwLock::new(sessions),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
@@ -804,6 +1245,16 @@ impl Server {
             pairs_classified: AtomicU64::new(0),
             autosaves: AtomicU64::new(0),
             endpoints: EndpointCounters::default(),
+            max_inflight: config.max_inflight,
+            inflight: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            sessions_degraded: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_replayed: AtomicU64::new(wal_replayed_total),
+            request_timeout: config.request_timeout,
+            debug_endpoints: config.debug_endpoints,
         });
         Ok(Self {
             listener,

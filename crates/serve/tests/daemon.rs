@@ -410,6 +410,256 @@ fn bounded_memo_reports_evictions_in_stats() {
     running.shutdown().unwrap();
 }
 
+/// Flat copy of every file in `from` into `to` (the test's stand-in for
+/// what a `kill -9` leaves on disk: the durable bytes at this instant).
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Tentpole: a crash after an acknowledged ingest loses nothing. The
+/// second batch lives only in the journal (the snapshot predates it);
+/// a daemon booted over a copy of the durable state taken *while the
+/// first daemon still runs* — exactly a `kill -9` image — must serve the
+/// identical partition, with the replay visible in `/stats`.
+#[test]
+fn wal_recovery_equals_the_pre_crash_partition() {
+    let srcs = sources();
+    let base = std::env::temp_dir().join(format!("probdedup-serve-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let snap_a = base.join("a-snap");
+    let wal_a = base.join("a-wal");
+
+    // First life: snapshot after the first ingest (compacting the
+    // journal), then a second ingest that exists ONLY in the journal.
+    let (running, client) = boot(config().snapshot_dir(&snap_a).wal_dir(&wal_a));
+    let (status, _) = client
+        .post(
+            "/sessions/census/ingest",
+            write_xrelation(&srcs[0]).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.post("/sessions/census/snapshot", b"").unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client
+        .post(
+            "/sessions/census/ingest",
+            write_xrelation(&srcs[1]).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (_, body) = client.get("/sessions/census/partition").unwrap();
+    let expected = clusters_of(&body);
+
+    let snap_b = base.join("b-snap");
+    let wal_b = base.join("b-wal");
+    copy_dir(&snap_a, &snap_b);
+    copy_dir(&wal_a, &wal_b);
+
+    // Second life over the crash image.
+    let (running2, client2) = boot(config().snapshot_dir(&snap_b).wal_dir(&wal_b));
+    let (status, body) = client2.get("/sessions").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&body, "restored").as_deref(), Some("true"));
+    let (status, body) = client2.get("/sessions/census/partition").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        clusters_of(&body),
+        expected,
+        "recovery lost a committed ingest"
+    );
+    let (_, stats) = client2.get("/stats").unwrap();
+    let replayed: u64 = json_field(&stats, "wal_replayed_records")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        replayed > 0,
+        "the un-snapshotted batch must come back from the journal: {stats}"
+    );
+    assert_eq!(
+        json_field(&stats, "journal_replayed_records").as_deref(),
+        Some(replayed.to_string().as_str()),
+        "the ops alias must track wal_replayed_records"
+    );
+
+    running2.shutdown().unwrap();
+    running.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Tentpole: past `--max-inflight` the daemon sheds with 503 instead of
+/// queueing, the bound is never exceeded (`inflight_peak`), and the ops
+/// surface stays reachable throughout.
+#[test]
+fn overload_sheds_with_503_and_bounded_inflight() {
+    let srcs = sources();
+    let (running, client) = boot(config().max_inflight(1).debug_endpoints(true));
+    let (status, _) = client
+        .post(
+            "/sessions/census/ingest",
+            write_xrelation(&srcs[0]).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+
+    // One slow request occupies the only slot...
+    let addr = running.addr();
+    let sleeper = std::thread::spawn(move || {
+        let client = Client::new(addr);
+        client.get("/sessions/census/debug-sleep?ms=2000").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // ...so a concurrent session request is shed, while /health and
+    // /stats (exempt from the gate) keep answering.
+    let (status, body) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(
+        status, 503,
+        "the gate must shed past --max-inflight 1: {body}"
+    );
+    let (status, _) = client.get("/health").unwrap();
+    assert_eq!(status, 200, "/health must survive overload");
+    let (status, stats) = client.get("/stats").unwrap();
+    assert_eq!(status, 200, "/stats must survive overload");
+    assert!(
+        json_field(&stats, "requests_shed")
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+            >= 1,
+        "shedding must be counted: {stats}"
+    );
+    assert_eq!(
+        json_field(&stats, "inflight_peak").as_deref(),
+        Some("1"),
+        "the in-flight bound was exceeded: {stats}"
+    );
+
+    let (status, _) = sleeper.join().unwrap();
+    assert_eq!(status, 200);
+    // Slot released: the same request now passes.
+    let (status, _) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(status, 200);
+    running.shutdown().unwrap();
+}
+
+/// Tentpole: a handler panic becomes a 500, the process keeps serving,
+/// only the touched session is quarantined (503 + `/health` degraded),
+/// and a restart replays the quarantined session back from its journal.
+#[test]
+fn panic_is_contained_and_the_session_quarantined() {
+    let srcs = sources();
+    let base = std::env::temp_dir().join(format!("probdedup-serve-panic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let wal = base.join("wal");
+
+    let (running, client) = boot(config().wal_dir(&wal).debug_endpoints(true));
+    for (name, src) in [("census", &srcs[0]), ("other", &srcs[1])] {
+        let (status, _) = client
+            .post(
+                &format!("/sessions/{name}/ingest"),
+                write_xrelation(src).as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (_, body) = client.get("/sessions/census/partition").unwrap();
+    let expected = clusters_of(&body);
+
+    let (status, body) = client.post("/sessions/census/debug-panic", b"").unwrap();
+    assert_eq!(
+        status, 500,
+        "a panic must become a 500, not a dead daemon: {body}"
+    );
+
+    let (status, _) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(status, 503, "the poisoned session must quarantine");
+    let (status, _) = client.get("/sessions/other/partition").unwrap();
+    assert_eq!(status, 200, "the neighbor session must be unaffected");
+    let (status, health) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&health, "status").as_deref(), Some("degraded"));
+    let (_, stats) = client.get("/stats").unwrap();
+    assert_eq!(json_field(&stats, "panics_caught").as_deref(), Some("1"));
+    assert_eq!(
+        json_field(&stats, "sessions_degraded").as_deref(),
+        Some("1")
+    );
+    running.shutdown().unwrap();
+
+    // Restart: the quarantined session comes back from its journal (the
+    // ingest was fsynced before the mutation the panic interrupted).
+    let (running, client) = boot(config().wal_dir(&wal).debug_endpoints(true));
+    let (status, body) = client.get("/sessions/census/partition").unwrap();
+    assert_eq!(
+        status, 200,
+        "restart must recover the degraded session: {body}"
+    );
+    assert_eq!(clusters_of(&body), expected);
+    let (status, health) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&health, "status").as_deref(), Some("ok"));
+    running.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Satellite: a body shorter than its declared `Content-Length` is a
+/// fast 400, not a hang and not a half-parsed ingest.
+#[test]
+fn short_body_is_rejected_not_hung() {
+    use std::io::{Read as _, Write as _};
+    let (running, client) = boot(config());
+    let mut stream = std::net::TcpStream::connect(running.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            b"POST /sessions/census/ingest HTTP/1.1\r\nHost: x\r\n\
+              Content-Length: 100\r\nConnection: close\r\n\r\nshort",
+        )
+        .unwrap();
+    // Half-close: the declared body can never complete.
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "want 400 for a short body, got: {response}"
+    );
+    let (status, _) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    running.shutdown().unwrap();
+}
+
+/// Satellite: a silent client is disconnected by the per-connection
+/// deadline instead of pinning a worker thread forever.
+#[test]
+fn stalled_connections_are_disconnected_by_the_deadline() {
+    let (running, client) = boot(config().request_timeout(Duration::from_millis(250)));
+    let start = std::time::Instant::now();
+    let mut stream = std::net::TcpStream::connect(running.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send nothing: the server's read deadline must close the connection.
+    let mut buf = [0u8; 16];
+    let n = std::io::Read::read(&mut stream, &mut buf).unwrap();
+    assert_eq!(n, 0, "server should close a silent connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "the deadline never fired"
+    );
+    let (status, _) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    running.shutdown().unwrap();
+}
+
 /// `default_pipeline(4)` with the decision memo capped at 8 entries.
 fn capped_pipeline() -> probdedup_core::pipeline::DedupPipeline {
     // Rebuild the default pipeline shape with the memo knob set; the

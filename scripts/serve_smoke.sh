@@ -32,6 +32,7 @@ fail() {
 boot() {
     local log=$1
     "$BIN" serve --addr 127.0.0.1:0 --arity 4 --snapshot-dir "$WORK/snaps" \
+        --wal-dir "$WORK/wal" \
         >"$log" 2>&1 &
     SERVER_PID=$!
     ADDR=""
@@ -109,5 +110,31 @@ req -X POST "http://$ADDR/shutdown" | grep -q 'shutting down' || fail "shutdown"
 wait "$SERVER_PID" || fail "daemon exited non-zero after /shutdown"
 SERVER_PID=""
 grep -q 'session(s) saved' "$WORK/serve2.log" || fail "no autosave on /shutdown"
+
+echo "== third life: kill -9 mid-ingest loses nothing (the WAL contract)"
+boot "$WORK/serve3.log"
+# This batch is acknowledged (the journal fsynced it) but never
+# snapshotted — the only copy outlives the crash in $WORK/wal.
+req -X POST --data-binary @"$WORK/census.source0.pxr" \
+    "http://$ADDR/sessions/fresh/ingest" | grep -q '"rows_added"' \
+    || fail "ingest into fresh session"
+PART3=$(req "http://$ADDR/sessions/fresh/partition")
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+boot "$WORK/serve4.log"
+PART4=$(req "http://$ADDR/sessions/fresh/partition")
+[ "$PART3" = "$PART4" ] || fail "kill -9 lost an acknowledged batch:
+  before: $PART3
+  after:  $PART4"
+STATS=$(req "http://$ADDR/stats")
+echo "$STATS" | grep -q '"journal_replayed_records": 0' \
+    && fail "recovery must report replayed journal records: $STATS"
+echo "$STATS" | grep -q '"journal_replayed_records": ' \
+    || fail "stats missing journal_replayed_records: $STATS"
+req -X POST "http://$ADDR/shutdown" >/dev/null || fail "final shutdown"
+wait "$SERVER_PID" || fail "daemon exited non-zero after final shutdown"
+SERVER_PID=""
 
 echo "serve smoke: OK"

@@ -74,14 +74,22 @@ USAGE:
       corpus replays entirely from the snapshot (zero key renders).
 
   probdedup serve [--addr HOST:PORT] [--arity N]
-      [--snapshot-dir DIR] [--autosave-secs S]
+      [--snapshot-dir DIR] [--autosave-secs S] [--wal-dir DIR]
+      [--max-inflight N] [--request-timeout-secs S]
       (same pipeline options as ingest; --arity fixes the relation width,
       default 4, since the daemon builds its pipeline before any input)
       Run the HTTP serving front door: named warm sessions with dedup /
       ingest / query / partition / snapshot endpoints plus /stats,
       /health, /sessions and /shutdown. With --snapshot-dir, sessions
       autoload on boot and autosave on graceful shutdown (SIGTERM,
-      ctrl-c, POST /shutdown) and every --autosave-secs. Prints
+      ctrl-c, POST /shutdown) and every --autosave-secs. With --wal-dir,
+      every accepted ingest/dedup batch is fsynced to NAME.wal *before*
+      it mutates the session, and boot replays snapshot + journal tail —
+      a kill -9 loses no acknowledged batch (the directory is probed for
+      writability at boot; an unwritable one exits with code 6).
+      --max-inflight bounds concurrently executing session requests
+      (excess is shed with 503 + Retry-After); --request-timeout-secs
+      sets the per-connection read/write deadline (default 60). Prints
       `listening on HOST:PORT` once ready (use port 0 for an ephemeral
       port).
 
@@ -97,7 +105,7 @@ COMMON PIPELINE OPTIONS (dedup / ingest / snapshot / serve):
 
 EXIT CODES:
   0 success   2 usage error   3 I/O error   4 data parse error
-  5 corrupt or mismatched snapshot
+  5 corrupt or mismatched snapshot   6 unusable write-ahead journal
 ";
 
 /// A CLI failure with its exit code: distinct codes let scripts tell a
@@ -113,6 +121,11 @@ enum CliError {
     /// A snapshot failed validation (corruption, version or config
     /// mismatch) — the file was not silently misread.
     Snapshot(String),
+    /// The write-ahead journal is unusable: the `--wal-dir` is not
+    /// writable, or a journal failed to open/replay at boot. Distinct
+    /// from a plain I/O error so supervisors can tell "fix the disk /
+    /// permissions" from "input file missing".
+    Wal(String),
 }
 
 impl CliError {
@@ -122,12 +135,13 @@ impl CliError {
             Self::Io(_) => 3,
             Self::Parse(_) => 4,
             Self::Snapshot(_) => 5,
+            Self::Wal(_) => 6,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            Self::Usage(m) | Self::Io(m) | Self::Parse(m) | Self::Snapshot(m) => m,
+            Self::Usage(m) | Self::Io(m) | Self::Parse(m) | Self::Snapshot(m) | Self::Wal(m) => m,
         }
     }
 }
@@ -515,10 +529,38 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
         config = config.autosave_interval(std::time::Duration::from_secs_f64(secs));
     }
+    if let Some(dir) = args.get("wal-dir") {
+        config = config.wal_dir(dir);
+    }
+    if let Some(bound) = args.get("max-inflight") {
+        let bound: u64 = bound
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--max-inflight: cannot parse {bound:?}")))?;
+        if bound == 0 {
+            return Err(CliError::Usage(
+                "--max-inflight must be at least 1 (0 would shed everything)".into(),
+            ));
+        }
+        config = config.max_inflight(bound);
+    }
+    if let Some(secs) = args.get("request-timeout-secs") {
+        let secs: f64 = secs.parse().map_err(|_| {
+            CliError::Usage(format!("--request-timeout-secs: cannot parse {secs:?}"))
+        })?;
+        if secs <= 0.0 {
+            return Err(CliError::Usage(
+                "--request-timeout-secs must be positive".into(),
+            ));
+        }
+        config = config.request_timeout(std::time::Duration::from_secs_f64(secs));
+    }
 
     let server = Server::bind(config).map_err(|e| match e {
         probdedup::serve::ServeError::Snapshot(path, err) => {
             snapshot_error(&path.display().to_string(), err)
+        }
+        e @ (probdedup::serve::ServeError::WalDir(..) | probdedup::serve::ServeError::Wal(..)) => {
+            CliError::Wal(e.to_string())
         }
         other => CliError::Io(other.to_string()),
     })?;

@@ -339,6 +339,80 @@ fn distinct_exit_codes_per_error_kind() {
 }
 
 #[test]
+fn serve_wal_flags_and_exit_code() {
+    let dir = temp_dir("walflags");
+
+    // An unusable --wal-dir is its own exit code (6): the daemon refuses
+    // to accept traffic it could not journal, and a supervisor can tell
+    // "fix the disk" apart from a plain I/O error.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"a file, not a directory").unwrap();
+    let wal = blocker.join("wal");
+    let out = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            wal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wal dir"), "{stderr}");
+
+    // A corrupt journal (not our magic) also refuses boot with 6 — the
+    // foreign file is reported, never clobbered.
+    let waldir = dir.join("wal-ok");
+    std::fs::create_dir_all(&waldir).unwrap();
+    std::fs::write(waldir.join("census.wal"), b"NOTAWAL\0junk bytes here").unwrap();
+    let out = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            waldir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --max-inflight 0 is a usage error, caught before binding.
+    let out = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--max-inflight", "0"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+
+    // So is a non-positive --request-timeout-secs.
+    let out = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--request-timeout-secs",
+            "0",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors() {
     // Unknown subcommand.
     let out = bin().arg("frobnicate").output().expect("run");

@@ -1,0 +1,382 @@
+//! The write-ahead journal's **crash contract**, end to end: a `kill -9`
+//! at *any* point of the append / snapshot / compaction protocol recovers
+//! (via `snapshot + journal tail`) exactly the partition of the committed
+//! ingest prefix — never a half-applied batch, never a lost acknowledged
+//! one. Three layers:
+//!
+//! * a **crash matrix** enumerating every interleaving point of the
+//!   protocol (including the synthesized mid-compaction state a crash
+//!   between the base write and the truncation leaves behind);
+//! * a **property test** over random batch splits × crash after any
+//!   prefix of appends × an arbitrary snapshot/compaction point, reusing
+//!   the split-invariance machinery of `tests/session_incremental.rs`;
+//! * a **fuzz pass** over torn and bit-flipped journal tails: recovery
+//!   must never panic, and whatever it applies must equal the partition
+//!   of exactly the records it reports replayed.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup::core::pipeline::{DedupPipeline, DedupResult, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::core::session::DedupSession;
+use probdedup::core::wal::{SessionJournal, WAL_HEADER_LEN};
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::Thresholds;
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::relation::XRelation;
+use probdedup::model::xtuple::XTuple;
+use probdedup::reduction::{KeyPart, KeySpec};
+use probdedup::textsim::JaroWinkler;
+
+/// The workload corpus: two small dirty sources, concatenated (the tests
+/// re-split them into ingest batches themselves).
+fn corpus() -> Vec<XTuple> {
+    let ds = generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 12,
+            sources: 2,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed: 0x5EED_CAFE,
+            ..DatasetConfig::default()
+        },
+    );
+    ds.combined().xtuples().to_vec()
+}
+
+fn corpus_schema() -> probdedup::model::schema::Schema {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities: 1,
+            ..DatasetConfig::default()
+        },
+    )
+    .schema
+}
+
+fn pipeline() -> DedupPipeline {
+    let schema = corpus_schema();
+    DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap()),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.72, 0.82).unwrap(),
+        )))
+        .reduction(ReductionStrategy::SortingAlternatives {
+            spec: KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)]),
+            window: 4,
+        })
+        .threads(2)
+        .cache_similarities(true)
+        .build()
+}
+
+/// Split `tuples` into 1..=4 batches at the given relative cut points
+/// (the machinery of `tests/session_incremental.rs`).
+fn split_sources(tuples: &[XTuple], cuts: &[usize]) -> Vec<XRelation> {
+    let schema = corpus_schema();
+    let n = tuples.len();
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (n + 1)).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .map(|w| {
+            let mut r = XRelation::new(schema.clone());
+            for t in &tuples[w[0]..w[1]] {
+                r.push(t.clone());
+            }
+            r
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// A fresh scratch directory (unique per call — proptest cases run many
+/// recoveries in one process).
+fn scratch() -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "probdedup-wal-matrix-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The partition after ingesting the first `k` batches (the reference a
+/// crash at "k batches committed" must recover to).
+fn reference_prefix(batches: &[XRelation], k: usize) -> DedupResult {
+    let mut s = pipeline().session();
+    for b in &batches[..k] {
+        s.ingest(b).unwrap();
+    }
+    s.result()
+}
+
+fn assert_partition_eq(got: &DedupResult, want: &DedupResult, label: &str) {
+    assert_eq!(got.decisions, want.decisions, "{label}: decisions differ");
+    assert_eq!(got.clusters, want.clusters, "{label}: clusters differ");
+}
+
+/// One durable state a crash can leave behind: the snapshot bytes (if a
+/// snapshot had completed) and the journal bytes at that instant.
+struct CrashState {
+    label: String,
+    snap: Option<Vec<u8>>,
+    wal: Vec<u8>,
+    /// Ingest batches committed (journaled) at this point.
+    committed: usize,
+}
+
+/// Recover a session from one crash image: restore the snapshot (or start
+/// fresh), then open + replay the journal.
+fn recover(state: &CrashState, dir: &Path) -> DedupSession {
+    let wal_path = dir.join(format!("{}.wal", state.label.replace(' ', "-")));
+    std::fs::write(&wal_path, &state.wal).unwrap();
+    let mut session = match &state.snap {
+        Some(bytes) => DedupSession::from_snapshot_bytes(bytes, &pipeline()).unwrap(),
+        None => pipeline().session(),
+    };
+    let (_, _replay) = SessionJournal::open_and_replay(&wal_path, &mut session)
+        .unwrap_or_else(|e| panic!("{}: recovery refused: {e}", state.label));
+    session
+}
+
+/// The crash matrix: walk the full protocol once, capturing the durable
+/// bytes at every interleaving point (plus the synthesized mid-compaction
+/// state and torn-append states), then recover each image and assert the
+/// partition equals the committed prefix's.
+#[test]
+fn crash_matrix_recovers_every_interleaving_point() {
+    let tuples = corpus();
+    let n = tuples.len();
+    let batches = split_sources(&tuples, &[n / 3, 2 * n / 3]);
+    assert_eq!(batches.len(), 3, "corpus too small to split three ways");
+
+    let dir = scratch();
+    let wal_path = dir.join("live.wal");
+    let mut states: Vec<CrashState> = Vec::new();
+    let wal_bytes = || std::fs::read(&wal_path).unwrap();
+
+    let mut live = pipeline().session();
+    let (mut journal, _) = SessionJournal::open_and_replay(&wal_path, &mut live).unwrap();
+    states.push(CrashState {
+        label: "boot, nothing committed".into(),
+        snap: None,
+        wal: wal_bytes(),
+        committed: 0,
+    });
+
+    // Append the first two batches, capturing after each fsync point.
+    for (i, batch) in batches.iter().take(2).enumerate() {
+        journal.ingest(&mut live, batch).unwrap();
+        states.push(CrashState {
+            label: format!("after append {}", i + 1),
+            snap: None,
+            wal: wal_bytes(),
+            committed: i + 1,
+        });
+    }
+
+    // Torn append: every-byte tearing is covered by the codec's unit
+    // tests; here, representative cuts into the *last* frame of the
+    // two-record file must recover exactly one batch.
+    let two_records = wal_bytes();
+    let one_record_len = states[1].wal.len();
+    for cut in [
+        one_record_len + 1,
+        (one_record_len + two_records.len()) / 2,
+        two_records.len() - 1,
+    ] {
+        states.push(CrashState {
+            label: format!("append 2 torn at byte {cut}"),
+            snap: None,
+            wal: two_records[..cut].to_vec(),
+            committed: 1,
+        });
+    }
+
+    // Snapshot protocol. Crash windows, in order:
+    //   (a) snapshot durable, compaction not started;
+    //   (b) compaction's base_seq written, records not yet truncated;
+    //   (c) compaction complete.
+    let snap = live.to_snapshot_bytes();
+    states.push(CrashState {
+        label: "snapshot durable, pre-compaction".into(),
+        snap: Some(snap.clone()),
+        wal: wal_bytes(),
+        committed: 2,
+    });
+    let mut mid_compact = wal_bytes();
+    mid_compact[12..20].copy_from_slice(&live.journal_seq().to_le_bytes());
+    states.push(CrashState {
+        label: "mid-compaction (base written, not truncated)".into(),
+        snap: Some(snap.clone()),
+        wal: mid_compact,
+        committed: 2,
+    });
+    journal.compact(live.journal_seq()).unwrap();
+    assert_eq!(wal_bytes().len() as u64, WAL_HEADER_LEN);
+    states.push(CrashState {
+        label: "post-compaction".into(),
+        snap: Some(snap.clone()),
+        wal: wal_bytes(),
+        committed: 2,
+    });
+
+    // Append past the snapshot: recovery must stack journal on snapshot.
+    journal.ingest(&mut live, &batches[2]).unwrap();
+    states.push(CrashState {
+        label: "append after snapshot".into(),
+        snap: Some(snap.clone()),
+        wal: wal_bytes(),
+        committed: 3,
+    });
+    let three = wal_bytes();
+    states.push(CrashState {
+        label: "append after snapshot, torn".into(),
+        snap: Some(snap),
+        wal: three[..three.len() - 3].to_vec(),
+        committed: 2,
+    });
+    drop(journal);
+
+    let references: Vec<DedupResult> = (0..=batches.len())
+        .map(|k| reference_prefix(&batches, k))
+        .collect();
+    for state in &states {
+        let recovered = recover(state, &dir);
+        assert_partition_eq(
+            &recovered.result(),
+            &references[state.committed],
+            &state.label,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any split of the corpus into ingest batches × a crash after any
+    /// prefix of journal appends × an arbitrary snapshot/compaction point
+    /// within that prefix recovers exactly the committed prefix's
+    /// partition.
+    #[test]
+    fn any_split_and_crash_point_recovers_the_committed_prefix(
+        cuts in proptest::collection::vec(0usize..10_000, 0..3),
+        snap_raw in 0usize..8,
+        crash_raw in 0usize..8,
+    ) {
+        let tuples = corpus();
+        let batches = split_sources(&tuples, &cuts);
+        let crash_after = crash_raw % (batches.len() + 1);
+        // Snapshot point ≤ crash point (a snapshot after the crash never
+        // happened); equal means "snapshot just before the crash".
+        let snap_at = snap_raw % (crash_after + 1);
+
+        let dir = scratch();
+        let wal_path = dir.join("s.wal");
+        let mut live = pipeline().session();
+        let (mut journal, _) = SessionJournal::open_and_replay(&wal_path, &mut live).unwrap();
+        let mut snap: Option<Vec<u8>> = None;
+        for (i, batch) in batches.iter().take(crash_after).enumerate() {
+            if i == snap_at {
+                snap = Some(live.to_snapshot_bytes());
+                journal.compact(live.journal_seq()).unwrap();
+            }
+            journal.ingest(&mut live, batch).unwrap();
+        }
+        if crash_after == snap_at {
+            snap = Some(live.to_snapshot_bytes());
+            journal.compact(live.journal_seq()).unwrap();
+        }
+        drop(journal); // kill -9
+
+        let mut recovered = match &snap {
+            Some(bytes) => DedupSession::from_snapshot_bytes(bytes, &pipeline()).unwrap(),
+            None => pipeline().session(),
+        };
+        SessionJournal::open_and_replay(&wal_path, &mut recovered).unwrap();
+        let reference = reference_prefix(&batches, crash_after);
+        assert_partition_eq(
+            &recovered.result(),
+            &reference,
+            &format!(
+                "batches={} snap_at={snap_at} crash_after={crash_after}",
+                batches.len()
+            ),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Torn and bit-flipped journal tails: recovery never panics, and a
+    /// successful recovery equals the partition of exactly the records it
+    /// reports replayed (a refused journal — e.g. a flipped header — is
+    /// also acceptable; silent wrong data is not).
+    #[test]
+    fn corrupt_tails_recover_to_a_committed_prefix_or_refuse(
+        cut_frac in 0.0f64..1.0,
+        flip_on in any::<bool>(),
+        flip_pos_frac in 0.0f64..1.0,
+        flip_xor in 0u8..255,
+    ) {
+        let tuples = corpus();
+        let n = tuples.len();
+        let batches = split_sources(&tuples, &[n / 3, 2 * n / 3]);
+
+        let dir = scratch();
+        let wal_path = dir.join("s.wal");
+        let mut live = pipeline().session();
+        let (mut journal, _) = SessionJournal::open_and_replay(&wal_path, &mut live).unwrap();
+        for batch in &batches {
+            journal.ingest(&mut live, batch).unwrap();
+        }
+        drop(journal);
+
+        // Damage the file: truncate at a random position, then optionally
+        // flip one byte of what remains.
+        let full = std::fs::read(&wal_path).unwrap();
+        let keep = ((full.len() as f64) * cut_frac) as usize;
+        let mut bytes = full[..keep].to_vec();
+        if flip_on && !bytes.is_empty() {
+            let pos = (((bytes.len() - 1) as f64) * flip_pos_frac) as usize;
+            bytes[pos] ^= flip_xor.wrapping_add(1); // never a zero-flip
+        }
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let mut recovered = pipeline().session();
+        match SessionJournal::open_and_replay(&wal_path, &mut recovered) {
+            Err(_) => {} // refused loudly — acceptable for header damage
+            Ok((_, replay)) => {
+                let k = usize::try_from(replay.replayed).unwrap();
+                prop_assert!(k <= batches.len());
+                let reference = reference_prefix(&batches, k);
+                assert_partition_eq(
+                    &recovered.result(),
+                    &reference,
+                    &format!("keep={keep} flip_on={flip_on} replayed={k}"),
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
