@@ -51,6 +51,15 @@
 //!   dominates) or `partition` (the full merged view serialized per
 //!   request — `pairs_per_sec` counts decisions returned). The JSON adds
 //!   `requests_per_sec` for these modes;
+//! * `entities-components` / `entities-greedy` / `entities-repaired` —
+//!   entity-resolution throughput over the decided pairs of one untimed
+//!   exact pipeline run: the match graph is rebuilt and clustered per
+//!   repetition with the named strategy, `candidates` counts the
+//!   resolved entities and `pairs_per_sec` is entities (clusters)
+//!   resolved per second. The JSON adds cluster-level quality vs the
+//!   workload's ground truth — pairwise precision/recall/F1 and
+//!   closest-cluster F1 — and the run asserts the repaired strategy's
+//!   pairwise F1 is never below the components baseline;
 //! * `textsim`     — raw string-kernel throughput (Jaro-Winkler,
 //!   Levenshtein, Hamming over the workload's distinct attribute values):
 //!   isolates the cache-miss cost the bit-parallel kernels target, with
@@ -154,6 +163,15 @@ struct Run {
     /// Process peak RSS (`VmHWM`) right after the measured region, bytes
     /// (out-of-core modes only; 0 elsewhere).
     peak_rss_bytes: u64,
+    /// Cluster-level pairwise precision vs ground truth (entities modes
+    /// only; 0 elsewhere).
+    pairwise_precision: f64,
+    /// Cluster-level pairwise recall vs ground truth (entities modes only).
+    pairwise_recall: f64,
+    /// Cluster-level pairwise F1 vs ground truth (entities modes only).
+    pairwise_f1: f64,
+    /// Closest-cluster F1 vs ground truth (entities modes only).
+    closest_cluster_f1: f64,
 }
 
 fn main() {
@@ -315,6 +333,12 @@ fn main() {
         // Reduction-phase throughput: interned keys vs the string-key
         // oracle (threads are irrelevant; measured single-threaded).
         for run in reduction_modes(entities, rows, &sources) {
+            print_run(&run);
+            runs.push(run);
+        }
+        // Entity resolution over the decided pairs, scored against the
+        // workload's ground truth (clustering is single-threaded).
+        for run in entities_modes(entities, rows, &ds) {
             print_run(&run);
             runs.push(run);
         }
@@ -874,6 +898,75 @@ fn serve_modes(entities: usize, rows: usize, sources: &[&XRelation], threads: us
     runs
 }
 
+/// Entity-resolution throughput and quality: one untimed exact pipeline
+/// run over the workload, then each strategy repeatedly rebuilds the
+/// match graph from the decided pairs and clusters it until the 250 ms
+/// window is filled. `candidates` counts the resolved entities;
+/// `pairs_per_sec` is entities (clusters) resolved per second. Each
+/// run's partition is scored against the workload's ground truth with
+/// the cluster-level metrics, and the repaired strategy must never
+/// score below the components baseline on pairwise F1 — the quality
+/// contract the correlation-clustering repair exists to uphold.
+fn entities_modes(
+    entities: usize,
+    rows: usize,
+    ds: &probdedup_datagen::SyntheticDataset,
+) -> Vec<Run> {
+    use probdedup_entity::{ClusterStrategy, ResolveEntities};
+    use probdedup_eval::ClusterMetrics;
+
+    /// Minimum accumulated measurement window per strategy.
+    const ENTITY_MIN_WALL: f64 = 0.25;
+    let sources: Vec<&XRelation> = ds.relations.iter().collect();
+    let pipeline = experiment_pipeline_cached(ReductionStrategy::Full, 4, true);
+    let result = pipeline.run(&sources).expect("pipeline run (untimed)");
+    let truth = ds.truth.true_clusters();
+
+    let mut runs = Vec::new();
+    let mut f1_of = [0.0f64; 3];
+    for (slot, (mode, strategy)) in [
+        ("entities-components", ClusterStrategy::Components),
+        ("entities-greedy", ClusterStrategy::CorrelationGreedy),
+        ("entities-repaired", ClusterStrategy::CorrelationRepaired),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let start = Instant::now();
+        let mut res = result.resolve_entities(strategy);
+        let mut reps = 1usize;
+        while start.elapsed().as_secs_f64() < ENTITY_MIN_WALL {
+            res = result.resolve_entities(strategy);
+            reps += 1;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let metrics = ClusterMetrics::from_partitions(&res.clusters, &truth, rows);
+        println!("  {mode}: {metrics}");
+        f1_of[slot] = metrics.pairwise.f1;
+        runs.push(Run {
+            entities,
+            rows,
+            mode,
+            threads: 1,
+            candidates: res.stats.entities,
+            wall_ms: wall * 1e3 / reps as f64,
+            pairs_per_sec: (res.stats.entities * reps) as f64 / wall,
+            pairwise_precision: metrics.pairwise.precision,
+            pairwise_recall: metrics.pairwise.recall,
+            pairwise_f1: metrics.pairwise.f1,
+            closest_cluster_f1: metrics.closest_cluster_f1,
+            ..Run::default()
+        });
+    }
+    assert!(
+        f1_of[2] >= f1_of[0] - 1e-12,
+        "correlation-repaired pairwise F1 ({}) fell below components ({})",
+        f1_of[2],
+        f1_of[0]
+    );
+    runs
+}
+
 /// Raw kernel throughput over the workload's distinct prepared text
 /// values: every unordered pair through Jaro-Winkler (the pipeline
 /// kernel), Levenshtein and normalized Hamming. `candidates` counts
@@ -1039,6 +1132,15 @@ fn render_json(runs: &[Run]) -> String {
         if r.peak_rss_bytes > 0 {
             // Out-of-core modes: process VmHWM after the measured region.
             let _ = write!(s, ", \"peak_rss_bytes\": {}", r.peak_rss_bytes);
+        }
+        if r.mode.starts_with("entities") {
+            // Cluster-level quality vs the workload's ground truth.
+            let _ = write!(
+                s,
+                ", \"pairwise_precision\": {:.6}, \"pairwise_recall\": {:.6}, \
+                 \"pairwise_f1\": {:.6}, \"closest_cluster_f1\": {:.6}",
+                r.pairwise_precision, r.pairwise_recall, r.pairwise_f1, r.closest_cluster_f1,
+            );
         }
         if r.mode.starts_with("bounded") {
             // Per-tier disposal fractions of the bounded path (they sum

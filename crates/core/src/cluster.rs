@@ -67,19 +67,42 @@ impl UnionFind {
     /// All clusters of size ≥ `min_size`, each sorted ascending; clusters
     /// ordered by their smallest member (deterministic).
     pub fn clusters(&mut self, min_size: usize) -> Vec<Vec<usize>> {
-        let n = self.len();
-        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for x in 0..n {
-            let r = self.find(x);
-            by_root.entry(r).or_default().push(x);
-        }
-        let mut out: Vec<Vec<usize>> = by_root
-            .into_values()
+        let (clusters, _) = self.clusters_with_map();
+        clusters
+            .into_iter()
             .filter(|c| c.len() >= min_size)
-            .collect();
-        out.sort_by_key(|c| c[0]);
-        out
+            .collect()
+    }
+
+    /// Every cluster (singletons included) plus the cluster index of each
+    /// element, in one pass over the elements.
+    ///
+    /// Clusters are ordered by their smallest member and each is sorted
+    /// ascending — the same deterministic contract as
+    /// [`clusters`](Self::clusters), but without a per-cluster sort or a
+    /// second find pass: visiting elements in ascending order means each
+    /// root's first appearance *is* its smallest member, so first-seen
+    /// order and smallest-member order coincide.
+    pub fn clusters_with_map(&mut self) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let n = self.len();
+        // root -> cluster slot, assigned in first-seen (= smallest-member)
+        // order.
+        let mut slot = vec![usize::MAX; n];
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut map = vec![0usize; n];
+        for (x, m) in map.iter_mut().enumerate() {
+            let r = self.find(x);
+            let s = if slot[r] == usize::MAX {
+                slot[r] = clusters.len();
+                clusters.push(Vec::new());
+                slot[r]
+            } else {
+                slot[r]
+            };
+            clusters[s].push(x);
+            *m = s;
+        }
+        (clusters, map)
     }
 }
 
@@ -122,6 +145,39 @@ mod tests {
         let mut uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert!(uf.clusters(1).is_empty());
+    }
+
+    #[test]
+    fn clusters_with_map_is_consistent_with_clusters() {
+        let mut uf = UnionFind::new(8);
+        for (a, b) in [(7, 2), (2, 4), (1, 6), (0, 3)] {
+            uf.union(a, b);
+        }
+        let (clusters, map) = uf.clusters_with_map();
+        // Singletons included; smallest-member order; members ascending.
+        assert_eq!(
+            clusters,
+            vec![vec![0, 3], vec![1, 6], vec![2, 4, 7], vec![5]]
+        );
+        // The map agrees with membership.
+        assert_eq!(map.len(), 8);
+        for (i, cluster) in clusters.iter().enumerate() {
+            for &x in cluster {
+                assert_eq!(map[x], i, "element {x}");
+            }
+        }
+        // clusters(min_size) is the filtered view of the same partition.
+        assert_eq!(uf.clusters(2), vec![vec![0, 3], vec![1, 6], vec![2, 4, 7]]);
+        assert_eq!(uf.clusters(1).len(), 4);
+        assert_eq!(uf.clusters(4), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn clusters_with_map_on_empty_structure() {
+        let mut uf = UnionFind::new(0);
+        let (clusters, map) = uf.clusters_with_map();
+        assert!(clusters.is_empty());
+        assert!(map.is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | 6   | reduction  | the warm [`KeyTable`] pools (values, keys, memos)     |
 //! | 7   | decisions  | every classified pair + the bounded-tier counters     |
 //! | 8   | journal    | *(optional)* highest applied WAL sequence number      |
+//! | 9   | entities   | *(optional)* cached entity partitions per strategy    |
 //!
 //! Section 8 couples a snapshot to the write-ahead ingest journal
 //! ([`crate::wal`]): it records the journal sequence number the snapshot's
@@ -31,6 +32,14 @@
 //! is *trailing and optional* — files written before it existed (including
 //! the committed golden v1 fixture) read as "journal seq 0" and keep
 //! loading, which is why the format version did not change.
+//!
+//! Section 9 persists the session's memoized entity partitions (the
+//! [`CachedEntities`](crate::session::CachedEntities) entries the
+//! `probdedup-entity` crate computes): one entry per clustering strategy,
+//! each a full partition of the resident rows plus the local-search move
+//! count that produced it. Like section 8 it is trailing and optional —
+//! older files simply read as "no cached entities" and the resolution is
+//! recomputed on demand, so format version 1 still holds.
 //!
 //! The relation is stored *post-preparation*, so opening never re-runs the
 //! preparation plan; pools are stored in dense symbol order, so re-interning
@@ -83,6 +92,11 @@ pub const TAG_DECIDED: u32 = 7;
 /// Section tag (optional, trailing): highest applied write-ahead-journal
 /// sequence number (see [`crate::wal`]). Absent in pre-WAL snapshots.
 pub const TAG_JOURNAL: u32 = 8;
+/// Section tag (optional, trailing): cached entity partitions per
+/// clustering strategy (see
+/// [`CachedEntities`](crate::session::CachedEntities)). Absent in files
+/// written before entity resolution existed.
+pub const TAG_ENTITIES: u32 = 9;
 
 /// The temp-file path the atomic protocol stages into: `<path>.tmp` in the
 /// same directory (same filesystem, so the rename is atomic).

@@ -67,6 +67,24 @@ impl GroundTruth {
         ids.dedup();
         ids.len()
     }
+
+    /// The ground-truth entity partition: every row grouped with the
+    /// rows describing the same entity, singletons included. Clusters are
+    /// ordered by their smallest member and each is sorted ascending —
+    /// the same deterministic contract as the pipeline's cluster output,
+    /// so cluster-level metrics can compare the two directly.
+    pub fn true_clusters(&self) -> Vec<Vec<usize>> {
+        let mut slot: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for (row, &e) in self.entity.iter().enumerate() {
+            let s = *slot.entry(e).or_insert_with(|| {
+                clusters.push(Vec::new());
+                clusters.len() - 1
+            });
+            clusters[s].push(row);
+        }
+        clusters
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +121,32 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.true_pairs().is_empty());
         assert_eq!(t.entity_count(), 0);
+        assert!(t.true_clusters().is_empty());
+    }
+
+    #[test]
+    fn true_clusters_partition_the_rows() {
+        // Same fixture as `pairs_of_small_clusters`; clusters come out in
+        // smallest-member order with ascending members.
+        let t = GroundTruth::new(vec![0, 1, 0, 2, 1, 0]);
+        let clusters = t.true_clusters();
+        assert_eq!(clusters, vec![vec![0, 2, 5], vec![1, 4], vec![3]]);
+        assert_eq!(clusters.len(), t.entity_count());
+        // Consistent with the pairwise oracle.
+        let pairs = t.true_pairs();
+        for c in &clusters {
+            for (a, &i) in c.iter().enumerate() {
+                for &j in c.iter().skip(a + 1) {
+                    assert!(pairs.contains(&(i, j)));
+                }
+            }
+        }
+        assert_eq!(
+            clusters
+                .iter()
+                .map(|c| c.len() * (c.len() - 1) / 2)
+                .sum::<usize>(),
+            pairs.len()
+        );
     }
 }

@@ -1,0 +1,228 @@
+//! The clustering algorithms behind [`ClusterStrategy`]: connected
+//! components, greedy pivot, and the best-move local-search repair.
+//!
+//! [`ClusterStrategy`]: crate::ClusterStrategy
+
+use std::collections::BTreeMap;
+
+use probdedup_core::UnionFind;
+
+use crate::graph::MatchGraph;
+
+/// Strict-improvement threshold of the local search: a move must beat the
+/// current placement by more than this, so floating-point noise cannot
+/// make two placements oscillate forever.
+const EPS: f64 = 1e-12;
+
+/// Local-search round cap. Each round is a full ascending sweep; the
+/// search normally reaches a fixed point in two or three rounds, and the
+/// cap makes termination unconditional.
+pub(crate) const MAX_REPAIR_ROUNDS: usize = 16;
+
+/// Transitive closure of the positive edges — every node in its
+/// component, singletons included, smallest-member order.
+pub(crate) fn components(graph: &MatchGraph) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(graph.rows());
+    for v in 0..graph.rows() {
+        for &(u, _) in graph.positive_neighbors(v) {
+            uf.union(v, u);
+        }
+    }
+    uf.clusters_with_map().0
+}
+
+/// Ailon-style greedy pivot: visit nodes ascending; each unassigned node
+/// pivots a new cluster and absorbs its unassigned positive neighbors.
+/// Returns the cluster id per node. Deterministic by construction (the
+/// pivot order is the node order), and every cluster's pivot is its
+/// smallest member — a smaller positive neighbor would have pivoted (or
+/// been absorbed) first.
+pub(crate) fn greedy_pivot(graph: &MatchGraph) -> Vec<usize> {
+    let n = graph.rows();
+    let mut assign = vec![usize::MAX; n];
+    let mut next = 0;
+    for v in 0..n {
+        if assign[v] != usize::MAX {
+            continue;
+        }
+        assign[v] = next;
+        for &(u, _) in graph.positive_neighbors(v) {
+            if assign[u] == usize::MAX {
+                assign[u] = next;
+            }
+        }
+        next += 1;
+    }
+    assign
+}
+
+/// Best-move local search over `assign`: each node may move to the
+/// neighboring cluster (or a fresh singleton) maximizing its net
+/// agreement `Σ w⁺(positive edges inside) − Σ w⁻(negative edges
+/// inside)`; only strictly improving moves are taken. Returns the number
+/// of moves performed.
+///
+/// Deterministic: nodes sweep in ascending order, candidate clusters are
+/// scored in ascending id order with ties resolved toward the current
+/// placement first and the smallest cluster id second, and each move
+/// strictly increases the (bounded) global objective, so the fixed point
+/// — and every step toward it — is a pure function of the graph.
+pub(crate) fn repair(graph: &MatchGraph, assign: &mut [usize]) -> u64 {
+    let n = graph.rows();
+    let mut moves = 0u64;
+    let mut next_fresh = assign.iter().copied().max().map_or(0, |m| m + 1);
+    for _ in 0..MAX_REPAIR_ROUNDS {
+        let mut changed = false;
+        for v in 0..n {
+            let cur = assign[v];
+            // Net agreement of placing v in each adjacent cluster (the
+            // BTreeMap gives ascending-id iteration, hence deterministic
+            // tie-breaks).
+            let mut score: BTreeMap<usize, f64> = BTreeMap::new();
+            score.insert(cur, 0.0);
+            for &(u, w) in graph.positive_neighbors(v) {
+                *score.entry(assign[u]).or_insert(0.0) += w;
+            }
+            for &(u, w) in graph.negative_neighbors(v) {
+                *score.entry(assign[u]).or_insert(0.0) -= w;
+            }
+            let (mut best_c, mut best_s) = (cur, score[&cur]);
+            for (&c, &s) in &score {
+                if s > best_s + EPS {
+                    best_c = c;
+                    best_s = s;
+                }
+            }
+            // A fresh singleton scores 0: strictly better ⇒ split v out.
+            if 0.0 > best_s + EPS {
+                best_c = next_fresh;
+            }
+            if best_c != cur {
+                if best_c == next_fresh {
+                    next_fresh += 1;
+                }
+                assign[v] = best_c;
+                moves += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    moves
+}
+
+/// Canonicalize an assignment vector into the partition contract shared
+/// with [`UnionFind::clusters_with_map`]: clusters ordered by smallest
+/// member, members ascending (first-seen order over ascending nodes *is*
+/// smallest-member order).
+pub(crate) fn canonical_partition(assign: &[usize]) -> Vec<Vec<usize>> {
+    let mut slot: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for (v, &a) in assign.iter().enumerate() {
+        let s = *slot.entry(a).or_insert_with(|| {
+            clusters.push(Vec::new());
+            clusters.len() - 1
+        });
+        clusters[s].push(v);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MatchGraphBuilder;
+    use probdedup_core::PairDecision;
+    use probdedup_decision::MatchClass;
+
+    fn graph(rows: usize, edges: &[(usize, usize, f64, MatchClass)]) -> MatchGraph {
+        let mut b = MatchGraphBuilder::new(rows);
+        for &(i, j, similarity, class) in edges {
+            b.add_decision(&PairDecision {
+                pair: (i, j),
+                similarity,
+                class,
+            });
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn components_cover_all_nodes() {
+        let g = graph(
+            5,
+            &[
+                (0, 1, 0.9, MatchClass::Match),
+                (1, 2, 0.9, MatchClass::Match),
+                (3, 4, 0.2, MatchClass::NonMatch),
+            ],
+        );
+        assert_eq!(components(&g), vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn greedy_pivot_breaks_chains_through_assigned_nodes() {
+        // 0≈1, 1≈2 but 0 and 2 never compared: pivot 0 takes {0, 1},
+        // leaving 2 to pivot alone — unlike transitive closure.
+        let g = graph(
+            3,
+            &[
+                (0, 1, 0.9, MatchClass::Match),
+                (1, 2, 0.9, MatchClass::Match),
+            ],
+        );
+        let assign = greedy_pivot(&g);
+        assert_eq!(canonical_partition(&assign), vec![vec![0, 1], vec![2]]);
+        assert_eq!(components(&g), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn repair_splits_a_weakly_attached_node() {
+        // 0≈1 weakly (0.55) while 0≉2 and 0≉3 strongly; 1≈2≈3 strongly.
+        // Greedy pivots {0, 1}, {2, 3}; repair moves 1 over to {2, 3}
+        // (net 1.8 beats 0.55) leaving 0 alone.
+        let g = graph(
+            4,
+            &[
+                (0, 1, 0.55, MatchClass::Match),
+                (1, 2, 0.9, MatchClass::Match),
+                (1, 3, 0.9, MatchClass::Match),
+                (2, 3, 0.9, MatchClass::Match),
+                (0, 2, 0.1, MatchClass::NonMatch),
+                (0, 3, 0.1, MatchClass::NonMatch),
+            ],
+        );
+        let mut assign = greedy_pivot(&g);
+        assert_eq!(canonical_partition(&assign), vec![vec![0, 1], vec![2, 3]]);
+        let moves = repair(&g, &mut assign);
+        assert!(moves >= 1);
+        assert_eq!(canonical_partition(&assign), vec![vec![0], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn repair_is_a_fixed_point_on_consistent_graphs() {
+        let g = graph(
+            4,
+            &[
+                (0, 1, 0.9, MatchClass::Match),
+                (2, 3, 0.9, MatchClass::Match),
+                (0, 2, 0.1, MatchClass::NonMatch),
+            ],
+        );
+        let mut assign = greedy_pivot(&g);
+        let before = canonical_partition(&assign);
+        assert_eq!(repair(&g, &mut assign), 0);
+        assert_eq!(canonical_partition(&assign), before);
+    }
+
+    #[test]
+    fn canonical_partition_orders_by_smallest_member() {
+        assert_eq!(
+            canonical_partition(&[9, 4, 9, 7]),
+            vec![vec![0, 2], vec![1], vec![3]]
+        );
+        assert_eq!(canonical_partition(&[]), Vec::<Vec<usize>>::new());
+    }
+}

@@ -21,12 +21,14 @@
 //! assert!((m.f1 - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod cluster_metrics;
 pub mod confusion;
 pub mod metrics;
 pub mod reduction_metrics;
 pub mod report;
 pub mod sweep;
 
+pub use cluster_metrics::{ClusterMetrics, SizeHistogram};
 pub use confusion::ConfusionCounts;
 pub use metrics::EffectivenessMetrics;
 pub use reduction_metrics::ReductionMetrics;

@@ -19,6 +19,7 @@ use probdedup_decision::combine::WeightedSum;
 use probdedup_decision::derive_sim::ExpectedSimilarity;
 use probdedup_decision::threshold::{MatchClass, Thresholds};
 use probdedup_decision::xmodel::SimilarityBasedModel;
+use probdedup_entity::{ClusterStrategy, SessionEntities};
 use probdedup_matching::vector::AttributeComparators;
 use probdedup_model::format::parse_xrelation;
 use probdedup_model::schema::Schema;
@@ -316,6 +317,7 @@ struct EndpointCounters {
     query: AtomicU64,
     partition: AtomicU64,
     snapshot: AtomicU64,
+    entities: AtomicU64,
 }
 
 struct ServerState {
@@ -664,6 +666,7 @@ fn handle_stats(state: &ServerState) -> Response {
                 "\"errors\": {}, \"pairs_classified\": {}, \"autosaves\": {}, ",
                 "\"requests_dedup\": {}, \"requests_ingest\": {}, \"requests_query\": {}, ",
                 "\"requests_partition\": {}, \"requests_snapshot\": {}, ",
+                "\"requests_entities\": {}, ",
                 "\"wal_appends\": {}, \"wal_replayed_records\": {}, ",
                 "\"journal_replayed_records\": {}, \"requests_shed\": {}, ",
                 "\"panics_caught\": {}, \"sessions_degraded\": {}, \"inflight_peak\": {}, ",
@@ -679,6 +682,7 @@ fn handle_stats(state: &ServerState) -> Response {
             state.endpoints.query.load(Ordering::Relaxed),
             state.endpoints.partition.load(Ordering::Relaxed),
             state.endpoints.snapshot.load(Ordering::Relaxed),
+            state.endpoints.entities.load(Ordering::Relaxed),
             state.wal_appends.load(Ordering::Relaxed),
             wal_replayed,
             // Alias of wal_replayed_records (the ops-facing name).
@@ -711,10 +715,11 @@ fn handle_session_route(state: &ServerState, req: &Request) -> Response {
         ("POST", "dedup") => handle_dedup(state, name, &req.body),
         ("GET", "query") => handle_query(state, name, req),
         ("GET", "partition") => handle_partition(state, name, req),
+        ("GET", "entities") => handle_entities(state, name, req),
         ("POST", "snapshot") => handle_snapshot(state, name),
         ("POST", "debug-panic") if state.debug_endpoints => handle_debug_panic(state, name),
         ("GET", "debug-sleep") if state.debug_endpoints => handle_debug_sleep(req),
-        (_, "ingest" | "dedup" | "query" | "partition" | "snapshot") => {
+        (_, "ingest" | "dedup" | "query" | "partition" | "snapshot" | "entities") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "unknown session action"),
@@ -965,6 +970,58 @@ fn handle_partition(state: &ServerState, name: &str, req: &Request) -> Response 
     };
     let result = session.result();
     Response::json(200, result_json(name, &result, full))
+}
+
+/// `GET /sessions/{name}/entities[?strategy=components|correlation-greedy|correlation-repaired]`:
+/// the resident corpus resolved into entities. Takes the session's
+/// *write* path so the resolved partition is memoized into the session —
+/// subsequent requests (and snapshot save/restore round-trips) replay
+/// the cached partition byte-for-byte instead of re-clustering.
+fn handle_entities(state: &ServerState, name: &str, req: &Request) -> Response {
+    state.endpoints.entities.fetch_add(1, Ordering::Relaxed);
+    let Some(entry) = state.entry(name) else {
+        return Response::error(404, "no such session");
+    };
+    let strategy = match req.query_value("strategy") {
+        None => ClusterStrategy::Components,
+        Some(s) => match ClusterStrategy::from_name(s) {
+            Some(s) => s,
+            None => {
+                return Response::error(
+                    400,
+                    "?strategy must be components, correlation-greedy or correlation-repaired",
+                )
+            }
+        },
+    };
+    let mut session = match entry.write_guard(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let res = session.resolve_entities(strategy);
+    Response::json(
+        200,
+        format!(
+            concat!(
+                "{{\"session\": {}, \"strategy\": {}, \"rows\": {}, \"entities\": {}, ",
+                "\"duplicates\": {}, \"max_cluster_size\": {}, \"positive_edges\": {}, ",
+                "\"negative_edges\": {}, \"possible_edges\": {}, ",
+                "\"inconsistent_triangles\": {}, \"repair_moves\": {}, \"clusters\": {}}}\n"
+            ),
+            json_string(name),
+            json_string(res.strategy.name()),
+            res.stats.rows,
+            res.stats.entities,
+            res.stats.duplicates,
+            res.stats.max_cluster_size,
+            res.stats.positive_edges,
+            res.stats.negative_edges,
+            res.stats.possible_edges,
+            res.stats.inconsistent_triangles,
+            res.stats.repair_moves,
+            clusters_json(&res.clusters),
+        ),
+    )
 }
 
 fn handle_snapshot(state: &ServerState, name: &str) -> Response {

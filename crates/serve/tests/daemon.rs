@@ -608,6 +608,94 @@ fn panic_is_contained_and_the_session_quarantined() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// Entity resolution through the front door: the endpoint equals the
+/// library resolution for every strategy, rejects unknown strategies,
+/// and a restart over the autosaved snapshot replays the memoized
+/// partition byte-for-byte (snapshot section 9 is load-bearing here).
+#[test]
+fn entities_endpoint_matches_library_and_survives_restart() {
+    use probdedup_entity::{ClusterStrategy, SessionEntities};
+
+    let srcs = sources();
+    let dir = std::env::temp_dir().join(format!("probdedup-serve-entities-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (running, client) = boot(config().snapshot_dir(&dir));
+    for src in &srcs {
+        let (status, _) = client
+            .post("/sessions/census/ingest", write_xrelation(src).as_bytes())
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+
+    // The library ground truth over the same pipeline and corpus.
+    let mut session = ServeConfig::default_pipeline(4).session();
+    for src in &srcs {
+        session.ingest(src).unwrap();
+    }
+
+    let mut first_bodies = Vec::new();
+    for strategy in ClusterStrategy::ALL {
+        let (status, body) = client
+            .get(&format!(
+                "/sessions/census/entities?strategy={}",
+                strategy.name()
+            ))
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let expected = session.resolve_entities(strategy);
+        assert_eq!(clusters_of(&body), clusters_json(&expected.clusters));
+        assert_eq!(
+            json_field(&body, "entities").as_deref(),
+            Some(expected.stats.entities.to_string().as_str())
+        );
+        assert_eq!(
+            json_field(&body, "repair_moves").as_deref(),
+            Some(expected.stats.repair_moves.to_string().as_str())
+        );
+        first_bodies.push(body);
+    }
+
+    // No ?strategy= defaults to components; unknown strategies are a 400.
+    let (status, body) = client.get("/sessions/census/entities").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        json_field(&body, "strategy").as_deref(),
+        Some("components"),
+        "{body}"
+    );
+    assert_eq!(body, first_bodies[0]);
+    let (status, _) = client
+        .get("/sessions/census/entities?strategy=kmeans")
+        .unwrap();
+    assert_eq!(status, 400);
+    let (_, stats) = client.get("/stats").unwrap();
+    assert_eq!(
+        json_field(&stats, "requests_entities").as_deref(),
+        Some("5")
+    );
+
+    // Second life over the autosaved snapshot: every strategy's response
+    // must come back byte-identical from the restored entity cache.
+    running.shutdown().unwrap();
+    let (running, client) = boot(config().snapshot_dir(&dir));
+    for (strategy, first) in ClusterStrategy::ALL.iter().zip(&first_bodies) {
+        let (status, body) = client
+            .get(&format!(
+                "/sessions/census/entities?strategy={}",
+                strategy.name()
+            ))
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            &body, first,
+            "restart changed the {strategy} entity response"
+        );
+    }
+    running.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Satellite: a body shorter than its declared `Content-Length` is a
 /// fast 400, not a hang and not a half-parsed ingest.
 #[test]

@@ -62,6 +62,12 @@ req -X POST --data-binary @"$WORK/census.source1.pxr" \
 PART1=$(req "http://$ADDR/sessions/census/partition")
 echo "$PART1" | grep -q '"clusters"' || fail "partition body"
 
+ENT1=$(req "http://$ADDR/sessions/census/entities?strategy=correlation-repaired")
+echo "$ENT1" | grep -q '"entities"' || fail "entities body"
+curl -s -o /dev/null -w '%{http_code}' \
+    "http://$ADDR/sessions/census/entities?strategy=kmeans" | grep -q 400 \
+    || fail "unknown strategy should 400"
+
 req "http://$ADDR/sessions/census/query?i=0&j=1" | grep -q '"class"' \
     || fail "query endpoint"
 req "http://$ADDR/health" | grep -q '"status": "ok"' || fail "health"
@@ -93,6 +99,14 @@ PART2=$(req "http://$ADDR/sessions/census/partition")
 [ "$PART1" = "$PART2" ] || fail "partition changed across restart:
   before: $PART1
   after:  $PART2"
+
+# The entity resolution was memoized into the session before the
+# snapshot (section 9), so the restarted daemon must serve the
+# byte-identical body without re-clustering.
+ENT2=$(req "http://$ADDR/sessions/census/entities?strategy=correlation-repaired")
+[ "$ENT1" = "$ENT2" ] || fail "entity resolution changed across restart:
+  before: $ENT1
+  after:  $ENT2"
 
 # Drive reads through the restored warm state, then assert nothing
 # re-rendered: the restore rebuilt pools/tables without key renders and

@@ -17,11 +17,14 @@ use std::sync::Arc;
 use probdedup::core::pipeline::{DedupPipeline, ReductionStrategy};
 use probdedup::core::prepare::Preparation;
 use probdedup::core::session::DedupSession;
+use probdedup::datagen::GroundTruth;
 use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
 use probdedup::decision::combine::WeightedSum;
 use probdedup::decision::derive_sim::ExpectedSimilarity;
 use probdedup::decision::threshold::Thresholds;
 use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::entity::{ClusterStrategy, PipelineEntities};
+use probdedup::eval::ClusterMetrics;
 use probdedup::matching::vector::AttributeComparators;
 use probdedup::model::format::{parse_xrelation, write_xrelation};
 use probdedup::model::relation::XRelation;
@@ -61,6 +64,20 @@ USAGE:
       each batch is interned incrementally, only new-vs-resident candidate
       pairs are classified, and the merged result is printed at the end
       (identical partition to a one-shot dedup over the same inputs).
+
+  probdedup entities --input FILE.pxr [--input FILE2.pxr ...]
+      [--strategy components|correlation-greedy|correlation-repaired]
+      [--truth FILE.truth]
+      (same pipeline options as dedup)
+      Run the pipeline, then resolve the pairwise verdicts into entity
+      clusters: build the similarity-weighted match graph over the
+      decided pairs and cluster it with the chosen strategy —
+      connected components over Match edges (default), greedy
+      correlation clustering, or greedy + a local-search repair pass
+      that resolves inconsistent triangles. With --truth (the file
+      `generate` writes) the predicted partition is scored against the
+      ground truth with cluster-level pairwise precision/recall/F1 and
+      closest-cluster F1.
 
   probdedup snapshot save --out FILE.snap --input FILE.pxr [...]
       (same pipeline options as ingest)
@@ -224,6 +241,7 @@ fn run() -> Result<(), CliError> {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "dedup" => cmd_dedup(&args),
+        "entities" => cmd_entities(&args),
         "ingest" => cmd_ingest(&args),
         "serve" => cmd_serve(&args),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
@@ -472,6 +490,77 @@ fn cmd_dedup(args: &Args) -> Result<(), CliError> {
     };
     print_result(&result);
     Ok(())
+}
+
+/// `entities`: one-shot pipeline run, then entity resolution over the
+/// pairwise verdicts. With `--truth` the predicted partition is scored
+/// against the ground-truth clustering.
+fn cmd_entities(args: &Args) -> Result<(), CliError> {
+    let strategy = match args.get("strategy") {
+        None => ClusterStrategy::Components,
+        Some(name) => ClusterStrategy::from_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown strategy {name:?} (expected components, \
+                 correlation-greedy or correlation-repaired)"
+            ))
+        })?,
+    };
+    let (_, relations, pipeline) = parse_pipeline(args, false)?;
+    let refs: Vec<&XRelation> = relations.iter().collect();
+    let (result, resolution) = pipeline
+        .run_entities(&refs, strategy)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    println!("{}", result.summary());
+    println!("{}", resolution.summary());
+    println!("entity clusters (size ≥ 2):");
+    for cluster in resolution.duplicate_clusters() {
+        let members: Vec<String> = cluster
+            .iter()
+            .map(|&r| result.handle(r).to_string())
+            .collect();
+        println!("  {{{}}}", members.join(", "));
+    }
+    if let Some(path) = args.get("truth") {
+        let truth = load_truth(path, resolution.rows)?;
+        let metrics = ClusterMetrics::from_partitions(
+            &resolution.clusters,
+            &truth.true_clusters(),
+            resolution.rows,
+        );
+        println!("vs truth: {metrics}");
+    }
+    Ok(())
+}
+
+/// Parse the `row entity` lines `generate` writes as `PREFIX.truth`.
+fn load_truth(path: &str, rows: usize) -> Result<GroundTruth, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let mut entity = vec![u64::MAX; rows];
+    let mut seen = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = || CliError::Parse(format!("{path}:{}: expected `row entity`", lineno + 1));
+        let (row, ent) = line.split_once(' ').ok_or_else(bad)?;
+        let row: usize = row.parse().map_err(|_| bad())?;
+        let ent: u64 = ent.trim().parse().map_err(|_| bad())?;
+        if row >= rows {
+            return Err(CliError::Parse(format!(
+                "{path}:{}: row {row} out of range for {rows} input rows",
+                lineno + 1
+            )));
+        }
+        entity[row] = ent;
+        seen += 1;
+    }
+    if seen != rows || entity.contains(&u64::MAX) {
+        return Err(CliError::Parse(format!(
+            "{path}: truth covers {seen} of {rows} input rows"
+        )));
+    }
+    Ok(GroundTruth::new(entity))
 }
 
 /// The session front door: ingest the input files one at a time, printing

@@ -27,6 +27,9 @@
 //!   pairs completeness, reduction ratio, threshold sweeps.
 //! * [`core`] — the end-to-end pipeline: preparation → reduction → matching
 //!   → decision → clustering (+ fusion and probabilistic results).
+//! * [`entity`] — entity resolution over the pairwise verdicts: match-graph
+//!   build, connected components vs. correlation-clustering repair, and
+//!   canonical-record fusion.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +71,7 @@ pub mod paper;
 pub use probdedup_core as core;
 pub use probdedup_datagen as datagen;
 pub use probdedup_decision as decision;
+pub use probdedup_entity as entity;
 pub use probdedup_eval as eval;
 pub use probdedup_matching as matching;
 pub use probdedup_model as model;
@@ -80,6 +84,7 @@ pub mod prelude {
     pub use probdedup_core::pipeline::{DedupPipeline, DedupResult};
     pub use probdedup_decision::combine::{CombinationFunction, WeightedSum};
     pub use probdedup_decision::threshold::{MatchClass, Thresholds};
+    pub use probdedup_entity::{ClusterStrategy, PipelineEntities, ResolveEntities};
     pub use probdedup_matching::pvalue_sim::pvalue_similarity;
     pub use probdedup_matching::vector::{compare_tuples, AttributeComparators};
     pub use probdedup_model::pvalue::PValue;

@@ -339,6 +339,81 @@ fn distinct_exit_codes_per_error_kind() {
 }
 
 #[test]
+fn entities_subcommand_resolves_and_scores() {
+    let dir = temp_dir("entities");
+    let prefix = dir.join("ent");
+    let prefix_str = prefix.to_str().unwrap();
+    let out = bin()
+        .args([
+            "generate",
+            "--out-prefix",
+            prefix_str,
+            "--entities",
+            "40",
+            "--seed",
+            "13",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let src0 = format!("{prefix_str}.source0.pxr");
+    let src1 = format!("{prefix_str}.source1.pxr");
+    let truth = format!("{prefix_str}.truth");
+
+    let shared = [
+        "--input",
+        src0.as_str(),
+        "--input",
+        src1.as_str(),
+        "--key",
+        "name:3,city:2",
+    ];
+    for strategy in ["components", "correlation-greedy", "correlation-repaired"] {
+        let out = bin()
+            .arg("entities")
+            .args(shared)
+            .args(["--strategy", strategy, "--truth", &truth])
+            .output()
+            .expect("run entities");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(strategy), "{stdout}");
+        assert!(stdout.contains("entity clusters (size ≥ 2):"), "{stdout}");
+        assert!(stdout.contains("vs truth: pairwise"), "{stdout}");
+        assert!(stdout.contains("ccF1="), "{stdout}");
+    }
+
+    // Unknown strategy → usage error (2).
+    let out = bin()
+        .arg("entities")
+        .args(shared)
+        .args(["--strategy", "kmeans"])
+        .output()
+        .expect("run entities");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+
+    // A truth file that does not cover the corpus → parse error (4).
+    let out = bin()
+        .arg("entities")
+        .args(["--input", src0.as_str(), "--truth", &truth])
+        .output()
+        .expect("run entities");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_wal_flags_and_exit_code() {
     let dir = temp_dir("walflags");
 

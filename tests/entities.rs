@@ -1,0 +1,248 @@
+//! End-to-end contracts of the entity-resolution subsystem
+//! (`probdedup::entity`) over the real pipeline:
+//!
+//! * **determinism** — the resolution is byte-identical across thread
+//!   counts and invariant under the order the decided pairs arrive in;
+//! * **persistence** — a session's memoized resolutions survive a
+//!   snapshot save → open round-trip bit-for-bit (snapshot section 9);
+//! * **semantics** — on a constructed inconsistent triangle the
+//!   correlation-repaired strategy splits what connected components
+//!   glue, and on clean corpora all strategies agree.
+//!
+//! Exactness matters here: these tests run the exact (non-bounded)
+//! matcher, whose certified similarities — the edge weights — are
+//! invariant. Bounded + cached runs certify the same *partition* but
+//! may certify different representative similarities, so only the
+//! weight-blind `Components` strategy is byte-stable there (covered by
+//! the rider in `tests/sharded.rs`).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use probdedup::core::pipeline::{DedupPipeline, PairDecision, ReductionStrategy};
+use probdedup::core::prepare::Preparation;
+use probdedup::core::session::DedupSession;
+use probdedup::datagen::{generate, DatasetConfig, Dictionaries};
+use probdedup::decision::combine::WeightedSum;
+use probdedup::decision::derive_sim::ExpectedSimilarity;
+use probdedup::decision::threshold::{MatchClass, Thresholds};
+use probdedup::decision::xmodel::SimilarityBasedModel;
+use probdedup::entity::{resolve_decisions, ClusterStrategy, ResolveEntities, SessionEntities};
+use probdedup::matching::vector::AttributeComparators;
+use probdedup::model::relation::XRelation;
+use probdedup::reduction::{KeyPart, KeySpec};
+use probdedup::textsim::JaroWinkler;
+
+/// Two dirty overlapping sources (the sharded-suite recipe).
+fn sources(entities: usize, seed: u64) -> Vec<XRelation> {
+    generate(
+        &Dictionaries::people(),
+        &DatasetConfig {
+            entities,
+            sources: 2,
+            typo_rate: 0.3,
+            uncertainty_rate: 0.4,
+            xtuple_rate: 0.3,
+            maybe_rate: 0.2,
+            seed,
+            ..DatasetConfig::default()
+        },
+    )
+    .relations
+}
+
+/// Exact (non-bounded) pipeline — certified similarities, hence edge
+/// weights, are deterministic.
+fn pipeline(threads: usize) -> DedupPipeline {
+    let schema = sources(1, 7).remove(0).schema().clone();
+    DedupPipeline::builder()
+        .preparation(Preparation::standard_all(4))
+        .comparators(AttributeComparators::uniform(&schema, JaroWinkler::new()))
+        .model(Arc::new(SimilarityBasedModel::new(
+            Arc::new(WeightedSum::normalized([3.0, 1.0, 1.5, 0.5]).unwrap()),
+            Arc::new(ExpectedSimilarity),
+            Thresholds::new(0.72, 0.82).unwrap(),
+        )))
+        .reduction(ReductionStrategy::SortingAlternatives {
+            spec: KeySpec::new(vec![KeyPart::prefix(0, 3), KeyPart::prefix(2, 2)]),
+            window: 4,
+        })
+        .threads(threads)
+        .cache_similarities(true)
+        .build()
+}
+
+/// Byte identity across thread counts, for every strategy: the whole
+/// resolution — clusters, stats (including repair moves), possible
+/// edges — must not depend on parallel classification order.
+#[test]
+fn resolution_is_identical_across_thread_counts() {
+    let srcs = sources(16, 0xE17);
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let reference = pipeline(1).run(&refs).unwrap();
+    let parallel = pipeline(4).run(&refs).unwrap();
+    for strategy in ClusterStrategy::ALL {
+        assert_eq!(
+            reference.resolve_entities(strategy),
+            parallel.resolve_entities(strategy),
+            "threads 1 vs 4, {strategy}"
+        );
+    }
+}
+
+/// A session's memoized resolutions survive save → open byte-for-bit:
+/// the reopened session answers from the restored cache (snapshot
+/// section 9) without re-clustering, and the answers are identical.
+#[test]
+fn session_snapshot_round_trips_the_entity_cache() {
+    let srcs = sources(12, 0xBEEF);
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let p = pipeline(2);
+    let mut session = p.session();
+    session.run(&refs).unwrap();
+
+    let before: Vec<_> = ClusterStrategy::ALL
+        .into_iter()
+        .map(|s| session.resolve_entities(s))
+        .collect();
+
+    let path = std::env::temp_dir().join(format!("probdedup-entities-{}.snap", std::process::id()));
+    session.save(&path).unwrap();
+    let mut reopened = DedupSession::open(&path, &p).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for (strategy, expected) in ClusterStrategy::ALL.into_iter().zip(&before) {
+        let cached = reopened
+            .cached_entities(strategy.id())
+            .unwrap_or_else(|| panic!("section 9 must restore the {strategy} cache"));
+        assert_eq!(cached.clusters, expected.clusters, "{strategy}: cache");
+        assert_eq!(
+            cached.moves, expected.stats.repair_moves,
+            "{strategy}: cached moves"
+        );
+        assert_eq!(
+            &reopened.resolve_entities(strategy),
+            expected,
+            "{strategy}: resolution after restart"
+        );
+    }
+}
+
+/// `peek_entities` (read-only) agrees with `resolve_entities`
+/// (memoizing), and an ingest invalidates the memo.
+#[test]
+fn peek_agrees_and_ingest_invalidates() {
+    let srcs = sources(10, 42);
+    let p = pipeline(2);
+    let mut session = p.session();
+    session.ingest(&srcs[0]).unwrap();
+
+    let peeked = session.peek_entities(ClusterStrategy::CorrelationRepaired);
+    let resolved = session.resolve_entities(ClusterStrategy::CorrelationRepaired);
+    assert_eq!(peeked, resolved);
+    assert!(session
+        .cached_entities(ClusterStrategy::CorrelationRepaired.id())
+        .is_some());
+
+    session.ingest(&srcs[1]).unwrap();
+    assert!(
+        session
+            .cached_entities(ClusterStrategy::CorrelationRepaired.id())
+            .is_none(),
+        "new rows must invalidate the entity memo"
+    );
+    // Re-resolving over the grown corpus equals the one-shot resolution.
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let oneshot = p
+        .run(&refs)
+        .unwrap()
+        .resolve_entities(ClusterStrategy::CorrelationRepaired);
+    assert_eq!(
+        session.resolve_entities(ClusterStrategy::CorrelationRepaired),
+        oneshot
+    );
+}
+
+/// The constructed inconsistent triangle, end to end through the public
+/// resolver: A≈B (strong), B≈C (weaker), A≉C. Transitive closure glues
+/// all three; the repaired correlation clustering cuts the weakest
+/// agreement instead of overruling the strong disagreement.
+#[test]
+fn repair_splits_the_inconsistent_triangle_components_do_not() {
+    let d = |i: usize, j: usize, sim: f64, class: MatchClass| PairDecision {
+        pair: (i, j),
+        similarity: sim,
+        class,
+    };
+    let decisions = vec![
+        d(0, 1, 0.95, MatchClass::Match),
+        d(1, 2, 0.74, MatchClass::Match),
+        d(0, 2, 0.05, MatchClass::NonMatch),
+    ];
+
+    let glued = resolve_decisions(3, &decisions, ClusterStrategy::Components);
+    assert_eq!(glued.clusters, vec![vec![0, 1, 2]]);
+    assert_eq!(glued.stats.inconsistent_triangles, 1);
+
+    let repaired = resolve_decisions(3, &decisions, ClusterStrategy::CorrelationRepaired);
+    assert_eq!(repaired.clusters, vec![vec![0, 1], vec![2]]);
+    assert_eq!(repaired.stats.inconsistent_triangles, 1);
+    assert!(repaired.stats.repair_moves > 0 || repaired.clusters.len() == 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pair-order invariance: however the decided pairs are permuted
+    /// (here: rotated and reversed — enough to break any order
+    /// dependence), every strategy resolves to the identical partition.
+    #[test]
+    fn resolution_is_invariant_under_pair_order(
+        seed in 0u64..1_000_000,
+        n in 4usize..24,
+        rotation in 0usize..64,
+    ) {
+        // A deterministic pseudo-random decision list over `n` rows.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut decisions = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                match next() % 4 {
+                    0 => decisions.push(PairDecision {
+                        pair: (i, j),
+                        similarity: (next() % 1000) as f64 / 1000.0,
+                        class: MatchClass::Match,
+                    }),
+                    1 => decisions.push(PairDecision {
+                        pair: (i, j),
+                        similarity: (next() % 1000) as f64 / 1000.0,
+                        class: MatchClass::NonMatch,
+                    }),
+                    2 => decisions.push(PairDecision {
+                        pair: (i, j),
+                        similarity: (next() % 1000) as f64 / 1000.0,
+                        class: MatchClass::Possible,
+                    }),
+                    _ => {} // undecided pair
+                }
+            }
+        }
+        let mut permuted = decisions.clone();
+        let cut = if permuted.is_empty() { 0 } else { rotation % permuted.len() };
+        permuted.rotate_left(cut);
+        permuted.reverse();
+
+        for strategy in ClusterStrategy::ALL {
+            let a = resolve_decisions(n, &decisions, strategy);
+            let b = resolve_decisions(n, &permuted, strategy);
+            prop_assert_eq!(a, b, "strategy {}", strategy);
+        }
+    }
+}

@@ -252,6 +252,59 @@ fn shard_invariance_under_tight_budget() {
     }
 }
 
+/// Entity-resolution rider on the shard-invariance harness: resolving
+/// the merged sharded result must equal resolving the one-shot result,
+/// for every strategy. In exact mode the full [`EntityResolution`]
+/// (clusters, stats, possible edges) is byte-identical; in bounded +
+/// cached mode — where certified similarities may legitimately differ —
+/// the `Components` partition is still invariant, because connected
+/// components use only the Match/NonMatch classes, never the weights.
+///
+/// [`EntityResolution`]: probdedup::entity::EntityResolution
+#[test]
+fn entity_resolution_is_shard_invariant() {
+    use probdedup::entity::{ClusterStrategy, ResolveEntities};
+
+    let srcs = sources(16, 0xC0FFEE);
+    let refs: Vec<&XRelation> = srcs.iter().collect();
+    let strategy = ReductionStrategy::SortingAlternatives {
+        spec: key(),
+        window: 4,
+    };
+
+    // Exact mode: decisions are byte-identical, so every strategy's
+    // resolution must be too — including repair moves and stats.
+    let p = pipeline(strategy.clone(), false, true, 2);
+    let reference = p.run(&refs).unwrap();
+    for k in [1usize, 4] {
+        let merged = p.sharded(k).run(&refs).unwrap();
+        for s in ClusterStrategy::ALL {
+            let a = reference.resolve_entities(s);
+            let b = merged.resolve_entities(s);
+            assert_eq!(a, b, "exact k={k} strategy={s}");
+        }
+    }
+
+    // Bounded + cached: certified similarities may differ per shard
+    // count, but Components ignores edge weights entirely.
+    let p = pipeline(strategy, true, true, 2);
+    let reference = p
+        .run(&refs)
+        .unwrap()
+        .resolve_entities(ClusterStrategy::Components);
+    for k in [1usize, 4] {
+        let merged = p
+            .sharded(k)
+            .run(&refs)
+            .unwrap()
+            .resolve_entities(ClusterStrategy::Components);
+        assert_eq!(
+            reference.clusters, merged.clusters,
+            "bounded+cached k={k}: components partition"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
